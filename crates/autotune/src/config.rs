@@ -1,0 +1,213 @@
+//! Schedule-space specification (§5.1).
+//!
+//! A [`ConfigSpace`] declares the knobs of a schedule template — tile
+//! factors, annotation choices, ordering switches. Each point of the
+//! (mixed-radix) space is a [`ConfigEntity`] the template consumes to build
+//! a concrete schedule. Real-world spaces here reach millions to billions
+//! of configurations, matching the paper's scale claims.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// One knob: a named choice among integer options.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Knob {
+    /// Knob name, referenced by the template.
+    pub name: String,
+    /// Allowed values.
+    pub options: Vec<i64>,
+}
+
+/// The declared space of schedule configurations.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ConfigSpace {
+    /// Knobs in declaration order (the mixed-radix digit order).
+    pub knobs: Vec<Knob>,
+}
+
+impl ConfigSpace {
+    /// Empty space.
+    pub fn new() -> Self {
+        ConfigSpace::default()
+    }
+
+    /// Declares a tiling knob whose options are the divisors of `extent`
+    /// (optionally capped), the standard `define_split` pattern.
+    pub fn define_split(&mut self, name: impl Into<String>, extent: i64, max_factor: i64) {
+        let mut options: Vec<i64> = (1..=extent.min(max_factor))
+            .filter(|f| extent % f == 0)
+            .collect();
+        if options.is_empty() {
+            options.push(1);
+        }
+        self.knobs.push(Knob { name: name.into(), options });
+    }
+
+    /// Declares an arbitrary-choice knob.
+    pub fn define_knob(&mut self, name: impl Into<String>, options: &[i64]) {
+        assert!(!options.is_empty(), "knob must have at least one option");
+        self.knobs.push(Knob { name: name.into(), options: options.to_vec() });
+    }
+
+    /// Total number of configurations.
+    pub fn size(&self) -> u64 {
+        self.knobs.iter().map(|k| k.options.len() as u64).product()
+    }
+
+    /// Decodes a flat index into a configuration.
+    pub fn get(&self, index: u64) -> ConfigEntity {
+        let mut rem = index % self.size().max(1);
+        let mut values = Vec::with_capacity(self.knobs.len());
+        for k in &self.knobs {
+            let n = k.options.len() as u64;
+            values.push((k.name.clone(), k.options[(rem % n) as usize]));
+            rem /= n;
+        }
+        ConfigEntity { index, values }
+    }
+
+    /// Uniform random configuration index.
+    pub fn random_index(&self, rng: &mut impl Rng) -> u64 {
+        rng.random_range(0..self.size().max(1))
+    }
+
+    /// A neighboring index: one knob mutated to a different option.
+    pub fn neighbor(&self, index: u64, rng: &mut impl Rng) -> u64 {
+        if self.knobs.is_empty() {
+            return index;
+        }
+        let dim = rng.random_range(0..self.knobs.len());
+        // Decode digits.
+        let mut digits: Vec<u64> = Vec::with_capacity(self.knobs.len());
+        let mut rem = index % self.size().max(1);
+        for k in &self.knobs {
+            let n = k.options.len() as u64;
+            digits.push(rem % n);
+            rem /= n;
+        }
+        let n = self.knobs[dim].options.len() as u64;
+        if n > 1 {
+            let mut nv = rng.random_range(0..n);
+            if nv == digits[dim] {
+                nv = (nv + 1) % n;
+            }
+            digits[dim] = nv;
+        }
+        // Re-encode.
+        let mut out = 0u64;
+        for (d, k) in digits.iter().zip(&self.knobs).rev() {
+            out = out * k.options.len() as u64 + d;
+        }
+        out
+    }
+}
+
+/// One point of a [`ConfigSpace`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConfigEntity {
+    /// Flat index in the space.
+    pub index: u64,
+    /// Knob values in declaration order.
+    pub values: Vec<(String, i64)>,
+}
+
+impl ConfigEntity {
+    /// Value of a knob by name.
+    ///
+    /// # Panics
+    /// Panics when the knob does not exist (a template bug).
+    pub fn get(&self, name: &str) -> i64 {
+        self.values
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("unknown knob `{name}`"))
+    }
+
+    /// Short human-readable form for logs.
+    pub fn summary(&self) -> String {
+        self.values
+            .iter()
+            .map(|(n, v)| format!("{n}={v}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> ConfigSpace {
+        let mut s = ConfigSpace::new();
+        s.define_split("tile_x", 64, 64);
+        s.define_split("tile_y", 64, 64);
+        s.define_knob("unroll", &[0, 1]);
+        s
+    }
+
+    #[test]
+    fn size_is_product() {
+        let s = space();
+        // divisors of 64: 1,2,4,8,16,32,64 -> 7 options.
+        assert_eq!(s.size(), 7 * 7 * 2);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let s = space();
+        for idx in [0u64, 1, 13, 97, 57] {
+            let c = s.get(idx);
+            assert_eq!(c.index, idx);
+            // Rebuilding the index from the digit values matches.
+            let mut out = 0u64;
+            for (d, k) in c
+                .values
+                .iter()
+                .map(|(n, v)| {
+                    let k = s.knobs.iter().find(|k| &k.name == n).expect("knob");
+                    (k.options.iter().position(|o| o == v).expect("option") as u64, k)
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+            {
+                out = out * k.options.len() as u64 + d;
+            }
+            assert_eq!(out, idx);
+        }
+    }
+
+    #[test]
+    fn neighbor_differs_in_exactly_one_knob() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let idx = s.random_index(&mut rng);
+            let nb = s.neighbor(idx, &mut rng);
+            let a = s.get(idx);
+            let b = s.get(nb);
+            let diffs = a
+                .values
+                .iter()
+                .zip(&b.values)
+                .filter(|((_, x), (_, y))| x != y)
+                .count();
+            assert!(diffs <= 1, "{} vs {}", a.summary(), b.summary());
+        }
+    }
+
+    #[test]
+    fn split_options_divide_extent() {
+        let mut s = ConfigSpace::new();
+        s.define_split("t", 56, 16);
+        for k in &s.knobs {
+            for o in &k.options {
+                assert_eq!(56 % o, 0);
+                assert!(*o <= 16);
+            }
+        }
+    }
+}

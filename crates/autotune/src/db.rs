@@ -1,0 +1,125 @@
+//! Tuning-log database (Fig. 11's "log" / "database" box): JSON-lines
+//! records of measured configurations, keyed by task name, mirroring
+//! upstream TVM's autotvm log format.
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ConfigEntity;
+use crate::tuner::TuneResult;
+
+/// One persisted measurement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DbRecord {
+    /// Task name (workload + target).
+    pub task: String,
+    /// Config index within the task's space.
+    pub config_index: u64,
+    /// Human-readable knob values.
+    pub config: String,
+    /// Measured milliseconds.
+    pub cost_ms: f64,
+}
+
+/// In-memory database of tuning records.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    /// All records, append order.
+    pub records: Vec<DbRecord>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Appends one record.
+    pub fn add(&mut self, task: &str, cfg: &ConfigEntity, cost_ms: f64) {
+        self.records.push(DbRecord {
+            task: task.to_string(),
+            config_index: cfg.index,
+            config: cfg.summary(),
+            cost_ms,
+        });
+    }
+
+    /// Appends a whole tuning history.
+    pub fn add_result(&mut self, task: &str, space: &crate::config::ConfigSpace, r: &TuneResult) {
+        for rec in &r.history {
+            if rec.cost_ms.is_finite() {
+                let cfg = space.get(rec.config_index);
+                self.add(task, &cfg, rec.cost_ms);
+            }
+        }
+    }
+
+    /// Best record for a task, if any.
+    pub fn best(&self, task: &str) -> Option<&DbRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.task == task)
+            .min_by(|a, b| a.cost_ms.total_cmp(&b.cost_ms))
+    }
+
+    /// Serializes as JSON lines.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        for r in &self.records {
+            writeln!(f, "{}", serde_json::to_string(r)?)?;
+        }
+        Ok(())
+    }
+
+    /// Loads JSON lines.
+    pub fn load(path: &Path) -> std::io::Result<Database> {
+        let f = std::fs::File::open(path)?;
+        let mut db = Database::new();
+        for line in std::io::BufReader::new(f).lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec: DbRecord = serde_json::from_str(&line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            db.records.push(rec);
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConfigSpace;
+
+    #[test]
+    fn best_picks_minimum() {
+        let mut space = ConfigSpace::new();
+        space.define_knob("k", &[1, 2, 3]);
+        let mut db = Database::new();
+        db.add("conv", &space.get(0), 3.0);
+        db.add("conv", &space.get(1), 1.5);
+        db.add("dense", &space.get(2), 0.5);
+        assert_eq!(db.best("conv").expect("exists").cost_ms, 1.5);
+        assert_eq!(db.best("dense").expect("exists").config_index, 2);
+        assert!(db.best("missing").is_none());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut space = ConfigSpace::new();
+        space.define_knob("k", &[4, 8]);
+        let mut db = Database::new();
+        db.add("t", &space.get(1), 2.25);
+        let dir = std::env::temp_dir().join("tvm_rs_db_test.jsonl");
+        db.save(&dir).expect("save");
+        let loaded = Database::load(&dir).expect("load");
+        assert_eq!(loaded.records.len(), 1);
+        assert_eq!(loaded.records[0].cost_ms, 2.25);
+        assert_eq!(loaded.records[0].config, "k=8");
+        let _ = std::fs::remove_file(dir);
+    }
+}

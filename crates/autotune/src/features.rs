@@ -1,0 +1,141 @@
+//! Loop-program feature extraction for the ML cost model (Fig. 13).
+//!
+//! Features are extracted from the *lowered* loop program, exactly as in
+//! the paper: per-buffer memory access counts and reuse ratios at each
+//! loop level, plus one-hot encodings of loop annotations such as
+//! vectorize, unroll and parallel.
+
+use tvm_ir::{LoweredFunc, MemScope};
+use tvm_sim::analysis::{analyze, ProgramAnalysis};
+
+/// Number of access sites encoded (sorted by touch volume).
+pub const MAX_ACCESSES: usize = 8;
+/// Features per access site.
+pub const ACCESS_FEATURES: usize = 9;
+/// Global program features.
+pub const GLOBAL_FEATURES: usize = 12;
+/// Total feature-vector length.
+pub const FEATURE_LEN: usize = GLOBAL_FEATURES + MAX_ACCESSES * ACCESS_FEATURES;
+
+fn log2p(x: f64) -> f64 {
+    (x.max(0.0) + 1.0).log2()
+}
+
+/// Extracts the fixed-length feature vector of a lowered function.
+pub fn extract(func: &LoweredFunc) -> Vec<f64> {
+    extract_analysis(&analyze(func))
+}
+
+/// Extracts features from a precomputed analysis.
+pub fn extract_analysis(an: &ProgramAnalysis) -> Vec<f64> {
+    let mut f = Vec::with_capacity(FEATURE_LEN);
+    // Global features.
+    f.push(log2p(an.flops));
+    f.push(if an.flops > 0.0 { an.vector_flops / an.flops } else { 0.0 });
+    f.push(if an.flops > 0.0 { an.parallel_flops / an.flops } else { 0.0 });
+    f.push(log2p(an.parallel_extent as f64));
+    f.push(log2p(an.loop_iterations));
+    f.push(log2p(an.branches));
+    f.push(log2p(an.barriers));
+    f.push(log2p(an.block_threads() as f64));
+    f.push(log2p(an.grid_blocks() as f64));
+    f.push(log2p(an.alloc_bytes.get(&MemScope::Shared).copied().unwrap_or(0.0)));
+    f.push(log2p(an.alloc_bytes.get(&MemScope::Local).copied().unwrap_or(0.0)));
+    f.push(log2p(an.intrinsics.iter().map(|i| i.trips).sum::<f64>()));
+
+    // Per-access features, heaviest first.
+    let mut accesses: Vec<_> = an.accesses.iter().collect();
+    accesses.sort_by(|a, b| {
+        (b.trips * b.dtype.bytes() as f64).total_cmp(&(a.trips * a.dtype.bytes() as f64))
+    });
+    for i in 0..MAX_ACCESSES {
+        match accesses.get(i) {
+            Some(a) => {
+                let depth = a.loops.len();
+                f.push(log2p(a.trips));
+                f.push(log2p(a.bytes_at_depth(0)));
+                // Footprint/reuse at a shallow, a middle and the innermost
+                // loop level.
+                let mid = depth / 2;
+                f.push(log2p(a.footprint_at_depth.get(mid).copied().unwrap_or(1.0)));
+                f.push(log2p(
+                    a.footprint_at_depth.get(depth.saturating_sub(1)).copied().unwrap_or(1.0),
+                ));
+                f.push(log2p(a.reuse_at_depth(mid)));
+                // Stride class: invariant / unit / strided / unknown.
+                f.push(match a.innermost_stride {
+                    0 => 0.0,
+                    1 | -1 => 1.0,
+                    s if s > 1 => 2.0 + (s as f64).log2().min(8.0) / 8.0,
+                    _ => 4.0,
+                });
+                f.push(match a.thread_stride {
+                    Some(0) => 0.0,
+                    Some(1) => 1.0,
+                    Some(_) => 2.0,
+                    None => 3.0,
+                });
+                f.push(if a.is_store { 1.0 } else { 0.0 });
+                f.push(match a.scope {
+                    MemScope::Global => 0.0,
+                    MemScope::Shared => 1.0,
+                    MemScope::Local => 2.0,
+                    _ => 3.0,
+                });
+            }
+            None => f.extend(std::iter::repeat_n(0.0, ACCESS_FEATURES)),
+        }
+    }
+    debug_assert_eq!(f.len(), FEATURE_LEN);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm_ir::DType;
+    use tvm_te::{compute, create_schedule, lower, placeholder, reduce_axis, sum};
+
+    fn mm(tile: i64) -> LoweredFunc {
+        let n = 64;
+        let a = placeholder(&[n, n], DType::float32(), "A");
+        let b = placeholder(&[n, n], DType::float32(), "B");
+        let k = reduce_axis(n, "k");
+        let c = compute(&[n, n], "C", |i| {
+            sum(a.at(&[i[0].clone(), k.expr()]) * b.at(&[k.expr(), i[1].clone()]), &[k.clone()])
+        });
+        let mut s = create_schedule(&[c.clone()]);
+        if tile > 1 {
+            let ax = c.op.axes();
+            let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], tile, tile);
+            s.reorder(&c, &[&yo, &xo, &yi, &xi]);
+            s.vectorize(&c, &xi);
+        }
+        lower(&s, &[a, b, c], "mm").expect("lowers")
+    }
+
+    #[test]
+    fn fixed_length_and_finite() {
+        for t in [1, 8] {
+            let f = extract(&mm(t));
+            assert_eq!(f.len(), FEATURE_LEN);
+            assert!(f.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn different_schedules_have_different_features() {
+        let f1 = extract(&mm(1));
+        let f2 = extract(&mm(8));
+        assert_ne!(f1, f2);
+    }
+
+    #[test]
+    fn vectorization_flag_visible() {
+        let f1 = extract(&mm(1)); // no vectorize
+        let f2 = extract(&mm(8)); // vectorized xi
+        // Feature 1 is the vectorized-flop fraction.
+        assert_eq!(f1[1], 0.0);
+        assert!(f2[1] > 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! `tvm-autotune` — the ML-based automated schedule optimizer (§5).
+//!
+//! * [`config`] — schedule-space templates with declared knobs (§5.1);
+//! * [`features`] — loop-program features: per-buffer access counts and
+//!   reuse ratios per loop level, annotation one-hots (Fig. 13);
+//! * [`gbt`] — from-scratch gradient-boosted trees with regression and
+//!   pairwise-rank objectives (§5.2);
+//! * [`mlp`] — the neural-network alternative cost model the paper
+//!   compares against (its TreeRNN stand-in);
+//! * [`tuner`] — parallel simulated-annealing explorer guided by the cost
+//!   model, plus the random-search and genetic-algorithm baselines of
+//!   Fig. 12 (§5.3);
+//! * [`pool`] — the RPC device-pool protocol against simulated devices
+//!   (§5.4);
+//! * [`db`] — JSON-lines tuning logs.
+
+pub mod config;
+pub mod db;
+pub mod features;
+pub mod gbt;
+pub mod mlp;
+pub mod pool;
+pub mod tuner;
+
+pub use config::{ConfigEntity, ConfigSpace, Knob};
+pub use db::{Database, DbRecord};
+pub use features::{extract, extract_analysis, FEATURE_LEN};
+pub use gbt::{fit, pairwise_accuracy, Gbt, GbtParams, Objective};
+pub use mlp::{fit_mlp, Mlp, MlpParams};
+pub use pool::{RpcMsg, Tracker};
+pub use tuner::{tune, TrialRecord, TuneOptions, TuneResult, TunerKind, TuningTask};

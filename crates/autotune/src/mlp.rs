@@ -1,0 +1,194 @@
+//! Neural-network cost model — the paper's TreeRNN alternative (§5.2).
+//!
+//! The paper evaluates a neural model alongside gradient tree boosting and
+//! finds "similar predictive quality", with the tree model predicting
+//! about twice as fast — hence GBT is the default. This module provides
+//! the neural alternative: a small two-layer perceptron over the same
+//! Fig. 13 loop features (standing in for the TreeRNN's learned summary of
+//! the AST), trained with mini-batch gradient descent.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Hyperparameters for the MLP cost model.
+#[derive(Clone, Debug)]
+pub struct MlpParams {
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Training epochs over the dataset.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// RNG seed for initialization.
+    pub seed: u64,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        MlpParams { hidden: 32, epochs: 200, lr: 0.01, seed: 0 }
+    }
+}
+
+/// A fitted two-layer perceptron `y = w2 . relu(W1 x + b1) + b2`.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    w1: Vec<Vec<f64>>,
+    b1: Vec<f64>,
+    w2: Vec<f64>,
+    b2: f64,
+    // Feature standardization learned from the training set.
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Mlp {
+    /// Predicted score for one feature vector (higher = faster config).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut acc = self.b2;
+        for (h, (w_row, b)) in self.w1.iter().zip(&self.b1).enumerate() {
+            let mut z = *b;
+            for ((v, w), (m, s)) in x.iter().zip(w_row).zip(self.mean.iter().zip(&self.std)) {
+                z += w * (v - m) / s;
+            }
+            acc += self.w2[h] * z.max(0.0);
+        }
+        acc
+    }
+}
+
+/// Fits the MLP on `(features, score)` pairs (higher scores = better).
+pub fn fit_mlp(xs: &[Vec<f64>], ys: &[f64], params: &MlpParams) -> Mlp {
+    assert_eq!(xs.len(), ys.len());
+    let dim = xs.first().map(Vec::len).unwrap_or(0);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    // Standardize features.
+    let n = xs.len().max(1) as f64;
+    let mut mean = vec![0.0; dim];
+    for x in xs {
+        for (m, v) in mean.iter_mut().zip(x) {
+            *m += v / n;
+        }
+    }
+    let mut std = vec![0.0; dim];
+    for x in xs {
+        for ((s, v), m) in std.iter_mut().zip(x).zip(&mean) {
+            *s += (v - m).powi(2) / n;
+        }
+    }
+    for s in &mut std {
+        *s = s.sqrt().max(1e-6);
+    }
+    let y_mean = ys.iter().sum::<f64>() / n;
+
+    let mut w1: Vec<Vec<f64>> = (0..params.hidden)
+        .map(|_| (0..dim).map(|_| rng.random_range(-0.2..0.2)).collect())
+        .collect();
+    let mut b1 = vec![0.0; params.hidden];
+    let mut w2: Vec<f64> = (0..params.hidden).map(|_| rng.random_range(-0.2..0.2)).collect();
+    let mut b2 = y_mean;
+
+    if xs.is_empty() {
+        return Mlp { w1, b1, w2, b2, mean, std };
+    }
+    let norm = |x: &[f64]| -> Vec<f64> {
+        x.iter().zip(mean.iter().zip(&std)).map(|(v, (m, s))| (v - m) / s).collect()
+    };
+    let xn: Vec<Vec<f64>> = xs.iter().map(|x| norm(x)).collect();
+    for _ in 0..params.epochs {
+        for (x, &y) in xn.iter().zip(ys) {
+            // Forward.
+            let mut h = vec![0.0; params.hidden];
+            for (hi, (w_row, b)) in h.iter_mut().zip(w1.iter().zip(&b1)) {
+                let mut z = *b;
+                for (v, w) in x.iter().zip(w_row) {
+                    z += w * v;
+                }
+                *hi = z.max(0.0);
+            }
+            let pred = b2 + w2.iter().zip(&h).map(|(w, v)| w * v).sum::<f64>();
+            let err = pred - y;
+            // Backward (squared error), SGD step.
+            let g = (2.0 * err).clamp(-10.0, 10.0) * params.lr;
+            b2 -= g;
+            for (hid, hv) in h.iter().enumerate() {
+                let gw2 = g * hv;
+                let gh = g * w2[hid];
+                w2[hid] -= gw2;
+                if *hv > 0.0 {
+                    b1[hid] -= gh;
+                    for (w, v) in w1[hid].iter_mut().zip(x) {
+                        *w -= gh * v;
+                    }
+                }
+            }
+        }
+    }
+    Mlp { w1, b1, w2, b2, mean, std }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gbt::{fit, pairwise_accuracy, GbtParams, Objective};
+
+    fn synthetic(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.random_range(0.0..4.0);
+            let b: f64 = rng.random_range(0.0..4.0);
+            let y = -(a - 2.0).powi(2) - 0.5 * (b - 1.0).powi(2);
+            xs.push(vec![a, b]);
+            ys.push(y);
+        }
+        (xs, ys)
+    }
+
+    fn mlp_pairwise(model: &Mlp, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        let preds: Vec<f64> = xs.iter().map(|x| model.predict(x)).collect();
+        let mut c = 0u64;
+        let mut t = 0u64;
+        for i in 0..xs.len() {
+            for j in (i + 1)..xs.len() {
+                if ys[i] == ys[j] {
+                    continue;
+                }
+                t += 1;
+                if (ys[i] > ys[j]) == (preds[i] > preds[j]) {
+                    c += 1;
+                }
+            }
+        }
+        c as f64 / t.max(1) as f64
+    }
+
+    #[test]
+    fn mlp_learns_the_surface() {
+        let (xs, ys) = synthetic(300, 1);
+        let model = fit_mlp(&xs, &ys, &MlpParams::default());
+        let (txs, tys) = synthetic(100, 2);
+        let acc = mlp_pairwise(&model, &txs, &tys);
+        assert!(acc > 0.8, "pairwise accuracy {acc}");
+    }
+
+    #[test]
+    fn quality_comparable_to_gbt_but_prediction_slower() {
+        // The paper's §5.2 comparison: similar predictive quality; the tree
+        // model predicts faster.
+        let (xs, ys) = synthetic(300, 3);
+        let (txs, tys) = synthetic(120, 4);
+        let gbt = fit(&xs, &ys, &GbtParams { objective: Objective::Regression, ..Default::default() });
+        let mlp = fit_mlp(&xs, &ys, &MlpParams::default());
+        let acc_gbt = pairwise_accuracy(&gbt, &txs, &tys);
+        let acc_mlp = mlp_pairwise(&mlp, &txs, &tys);
+        assert!((acc_gbt - acc_mlp).abs() < 0.12, "gbt {acc_gbt} vs mlp {acc_mlp}");
+        assert!(acc_mlp > 0.75 && acc_gbt > 0.75);
+    }
+
+    #[test]
+    fn empty_training_is_safe() {
+        let m = fit_mlp(&[], &[], &MlpParams::default());
+        assert!(m.predict(&[]).is_finite());
+    }
+}

@@ -1,0 +1,151 @@
+//! RPC-based device pool (§5.4), simulated.
+//!
+//! The paper scales measurement with a tracker + RPC protocol: clients
+//! request a device of a given type, upload a cross-compiled module, run
+//! it and fetch profiling results. This module reproduces that control
+//! flow against simulated devices — requests queue, devices are granted
+//! per-type round-robin, and per-device utilization is accounted — without
+//! a network (see DESIGN.md's substitution table).
+
+use tvm_ir::LoweredFunc;
+use tvm_sim::{estimate_with, SimOptions, Target};
+
+/// Messages of the RPC protocol (kept explicit so tests can assert on the
+/// exchange).
+#[derive(Clone, Debug, PartialEq)]
+pub enum RpcMsg {
+    /// Client asks for a device of a type.
+    RequestDevice(String),
+    /// Tracker grants a device id.
+    DeviceGranted(usize),
+    /// Client uploads a compiled module (by name).
+    Upload(usize, String),
+    /// Client runs the module and asks for timing.
+    Run(usize),
+    /// Device reports measured milliseconds.
+    Perf(usize, f64),
+    /// Client releases the device.
+    Release(usize),
+}
+
+struct Device {
+    target: Target,
+    busy_ms: f64,
+    runs: u64,
+}
+
+/// The tracker: owns the device fleet and the message log.
+pub struct Tracker {
+    devices: Vec<Device>,
+    next_rr: usize,
+    /// Full protocol transcript.
+    pub log: Vec<RpcMsg>,
+    sim_opts: SimOptions,
+}
+
+impl Tracker {
+    /// Creates a tracker over a fleet of simulated devices.
+    pub fn new(targets: Vec<Target>) -> Tracker {
+        Tracker {
+            devices: targets
+                .into_iter()
+                .map(|t| Device { target: t, busy_ms: 0.0, runs: 0 })
+                .collect(),
+            next_rr: 0,
+            log: Vec::new(),
+            sim_opts: SimOptions::default(),
+        }
+    }
+
+    /// Sets intrinsic cost hints forwarded to the simulator.
+    pub fn set_sim_options(&mut self, opts: SimOptions) {
+        self.sim_opts = opts;
+    }
+
+    /// Requests a device whose target name matches; round-robin across
+    /// matching devices (fine-grained sharing between jobs).
+    pub fn request(&mut self, target_name: &str) -> Option<usize> {
+        self.log.push(RpcMsg::RequestDevice(target_name.to_string()));
+        let n = self.devices.len();
+        for off in 0..n {
+            let id = (self.next_rr + off) % n;
+            if self.devices[id].target.name() == target_name {
+                self.next_rr = (id + 1) % n;
+                self.log.push(RpcMsg::DeviceGranted(id));
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Uploads a module and runs it, returning measured milliseconds.
+    pub fn run(&mut self, device: usize, func: &LoweredFunc) -> f64 {
+        self.log.push(RpcMsg::Upload(device, func.name.clone()));
+        self.log.push(RpcMsg::Run(device));
+        let d = &mut self.devices[device];
+        let ms = estimate_with(func, &d.target, &self.sim_opts).millis();
+        d.busy_ms += ms;
+        d.runs += 1;
+        self.log.push(RpcMsg::Perf(device, ms));
+        ms
+    }
+
+    /// Releases a device back to the pool.
+    pub fn release(&mut self, device: usize) {
+        self.log.push(RpcMsg::Release(device));
+    }
+
+    /// Per-device (runs, busy-ms) accounting.
+    pub fn stats(&self) -> Vec<(u64, f64)> {
+        self.devices.iter().map(|d| (d.runs, d.busy_ms)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm_ir::DType;
+    use tvm_sim::arm_a53;
+    use tvm_te::{compute, create_schedule, lower, placeholder};
+
+    fn small_func() -> LoweredFunc {
+        let a = placeholder(&[64], DType::float32(), "A");
+        let b = compute(&[64], "B", |i| a.at(&[i[0].clone()]) + 1);
+        let s = create_schedule(&[b.clone()]);
+        lower(&s, &[a, b], "inc").expect("lowers")
+    }
+
+    #[test]
+    fn round_robin_shares_devices() {
+        let mut t = Tracker::new(vec![arm_a53(), arm_a53()]);
+        let f = small_func();
+        for _ in 0..4 {
+            let d = t.request("a53-sim").expect("granted");
+            t.run(d, &f);
+            t.release(d);
+        }
+        let stats = t.stats();
+        assert_eq!(stats[0].0, 2);
+        assert_eq!(stats[1].0, 2);
+    }
+
+    #[test]
+    fn unknown_target_not_granted() {
+        let mut t = Tracker::new(vec![arm_a53()]);
+        assert!(t.request("titanx-sim").is_none());
+    }
+
+    #[test]
+    fn protocol_transcript_shape() {
+        let mut t = Tracker::new(vec![arm_a53()]);
+        let f = small_func();
+        let d = t.request("a53-sim").expect("granted");
+        t.run(d, &f);
+        t.release(d);
+        assert_eq!(t.log.len(), 6);
+        assert!(matches!(t.log[0], RpcMsg::RequestDevice(_)));
+        assert!(matches!(t.log[1], RpcMsg::DeviceGranted(0)));
+        assert!(matches!(t.log[4], RpcMsg::Perf(0, ms) if ms > 0.0));
+        assert!(matches!(t.log[5], RpcMsg::Release(0)));
+    }
+}

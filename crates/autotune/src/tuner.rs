@@ -1,0 +1,420 @@
+//! The automated schedule optimizer (§5): schedule explorer + ML cost
+//! model + measurement loop (Fig. 11).
+//!
+//! Tuners implemented, matching the Fig. 12 comparison:
+//!
+//! * **GBT (rank / regression)** — the ML-based optimizer: a
+//!   gradient-boosted-tree cost model trained online on measured trials
+//!   guides a parallel simulated-annealing explorer (§5.3).
+//! * **Random** — blackbox random search.
+//! * **Genetic** — blackbox genetic algorithm over knob digit vectors.
+//!
+//! Measurement ("run on real hardware") is a full architectural-simulator
+//! evaluation per DESIGN.md.
+
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use tvm_ir::LoweredFunc;
+use tvm_sim::{estimate_with, SimOptions, Target};
+use tvm_te::TeError;
+
+use crate::config::{ConfigEntity, ConfigSpace};
+use crate::features::extract;
+use crate::gbt::{fit, Gbt, GbtParams, Objective};
+
+/// A tunable kernel: a config space plus a builder producing a lowered
+/// function for each configuration.
+pub struct TuningTask {
+    /// Task name (db key).
+    pub name: String,
+    /// Declared schedule space.
+    pub space: ConfigSpace,
+    /// Template: config -> lowered function. Configs may be invalid
+    /// (e.g. exceeding shared memory); the builder returns an error and
+    /// the tuner skips them.
+    pub builder: Rc<dyn Fn(&ConfigEntity) -> Result<LoweredFunc, TeError>>,
+    /// Measurement target.
+    pub target: Target,
+    /// Simulator options (intrinsic costs).
+    pub sim_opts: SimOptions,
+}
+
+impl TuningTask {
+    /// Builds and "measures" one configuration; `None` when invalid.
+    pub fn measure(&self, cfg: &ConfigEntity) -> Option<(LoweredFunc, f64)> {
+        let f = (self.builder)(cfg).ok()?;
+        let ms = estimate_with(&f, &self.target, &self.sim_opts).millis();
+        Some((f, ms))
+    }
+}
+
+/// Which optimizer drives exploration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TunerKind {
+    /// ML cost model (rank objective) + simulated annealing.
+    GbtRank,
+    /// ML cost model (regression objective) + simulated annealing.
+    GbtReg,
+    /// Blackbox random search.
+    Random,
+    /// Blackbox genetic algorithm.
+    Genetic,
+    /// Hand-written static cost model (no measurements drive the search;
+    /// Table 1's "predefined cost model" row): candidates are ranked by a
+    /// simple arithmetic-intensity heuristic, and only the predicted-best
+    /// are measured. Zero data cost, but the model's bias caps quality.
+    Predefined,
+}
+
+/// Tuning options.
+#[derive(Clone, Debug)]
+pub struct TuneOptions {
+    /// Total measurement trials.
+    pub n_trials: usize,
+    /// Trials measured per round (the paper measures in batches on the
+    /// device cluster).
+    pub batch: usize,
+    /// Simulated-annealing steps per exploration round.
+    pub sa_steps: usize,
+    /// Parallel annealing chains.
+    pub sa_chains: usize,
+    /// RNG seed (determinism for tests/benches).
+    pub seed: u64,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions { n_trials: 64, batch: 8, sa_steps: 40, sa_chains: 16, seed: 0 }
+    }
+}
+
+/// One measured trial.
+#[derive(Clone, Debug)]
+pub struct TrialRecord {
+    /// Trial number (1-based).
+    pub trial: usize,
+    /// Config index in the space.
+    pub config_index: u64,
+    /// Measured cost (ms); `f64::INFINITY` for invalid configs.
+    pub cost_ms: f64,
+}
+
+/// Result of a tuning run.
+#[derive(Clone, Debug)]
+pub struct TuneResult {
+    /// All measured trials in order.
+    pub history: Vec<TrialRecord>,
+    /// Best cost found.
+    pub best_ms: f64,
+    /// Best configuration.
+    pub best_config: Option<ConfigEntity>,
+    /// `best_curve[i]` = best cost after trial `i+1` (Fig. 12 y-axis data).
+    pub best_curve: Vec<f64>,
+}
+
+impl TuneResult {
+    /// Best cost after `n` trials (for convergence comparisons).
+    pub fn best_after(&self, n: usize) -> f64 {
+        if self.best_curve.is_empty() {
+            return f64::INFINITY;
+        }
+        self.best_curve[n.min(self.best_curve.len()) - 1]
+    }
+}
+
+/// Runs the optimizer on a task.
+pub fn tune(task: &TuningTask, opts: &TuneOptions, kind: TunerKind) -> TuneResult {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    match kind {
+        TunerKind::Random => tune_random(task, opts, &mut rng),
+        TunerKind::Genetic => tune_genetic(task, opts, &mut rng),
+        TunerKind::GbtRank => tune_ml(task, opts, Objective::Rank, &mut rng),
+        TunerKind::GbtReg => tune_ml(task, opts, Objective::Regression, &mut rng),
+        TunerKind::Predefined => tune_predefined(task, opts, &mut rng),
+    }
+}
+
+/// Static heuristic score (higher = predicted faster): rewards SIMD-able
+/// unit-stride inner loops, parallelism and small inner-tile footprints —
+/// the kind of rules a hand-written cost model encodes. Deliberately
+/// ignores the memory hierarchy's actual behavior (that is the "model
+/// bias" the paper's Table 1 calls out).
+fn predefined_score(func: &tvm_ir::LoweredFunc) -> f64 {
+    let an = tvm_sim::analyze(func);
+    let vec_frac = if an.flops > 0.0 { an.vector_flops / an.flops } else { 0.0 };
+    let par = (an.parallel_extent as f64).max(1.0).min(8.0);
+    let unit_stride = an
+        .accesses
+        .iter()
+        .filter(|a| a.innermost_stride == 1 || a.innermost_stride == 0)
+        .count() as f64
+        / an.accesses.len().max(1) as f64;
+    let overhead = an.loop_iterations / an.flops.max(1.0);
+    // GPU-flavored terms: total parallelism and coalesced global access.
+    let threads = (an.block_threads() * an.grid_blocks()) as f64;
+    let global: Vec<_> = an
+        .accesses
+        .iter()
+        .filter(|a| a.scope == tvm_ir::MemScope::Global)
+        .collect();
+    let coalesced = global
+        .iter()
+        .filter(|a| matches!(a.thread_stride, Some(0) | Some(1)))
+        .count() as f64
+        / global.len().max(1) as f64;
+    threads.max(1.0).min(16384.0).log2() + 3.0 * coalesced + 3.0 * vec_frac + par.log2()
+        + 2.0 * unit_stride
+        - overhead
+}
+
+fn tune_predefined(task: &TuningTask, opts: &TuneOptions, rng: &mut StdRng) -> TuneResult {
+    // Score a sizeable random sample with the static model, then measure
+    // only the predicted-best configurations.
+    let mut h = History::new();
+    let sample = (opts.n_trials * 8).max(64);
+    let mut scored: Vec<(u64, f64)> = Vec::new();
+    for _ in 0..sample {
+        let idx = task.space.random_index(rng);
+        let cfg = task.space.get(idx);
+        if let Ok(f) = (task.builder)(&cfg) {
+            scored.push((idx, predefined_score(&f)));
+        }
+    }
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    scored.dedup_by_key(|(i, _)| *i);
+    for (idx, _) in scored.into_iter().take(opts.n_trials) {
+        let cfg = task.space.get(idx);
+        let cost = task.measure(&cfg).map(|(_, ms)| ms).unwrap_or(f64::INFINITY);
+        h.push(&cfg, cost);
+    }
+    while h.records.len() < opts.n_trials {
+        let cfg = task.space.get(task.space.random_index(rng));
+        let cost = task.measure(&cfg).map(|(_, ms)| ms).unwrap_or(f64::INFINITY);
+        h.push(&cfg, cost);
+    }
+    h.finish()
+}
+
+struct History {
+    records: Vec<TrialRecord>,
+    best_ms: f64,
+    best_config: Option<ConfigEntity>,
+    best_curve: Vec<f64>,
+}
+
+impl History {
+    fn new() -> Self {
+        History { records: Vec::new(), best_ms: f64::INFINITY, best_config: None, best_curve: Vec::new() }
+    }
+
+    fn push(&mut self, cfg: &ConfigEntity, cost: f64) {
+        if cost < self.best_ms {
+            self.best_ms = cost;
+            self.best_config = Some(cfg.clone());
+        }
+        self.records.push(TrialRecord {
+            trial: self.records.len() + 1,
+            config_index: cfg.index,
+            cost_ms: cost,
+        });
+        self.best_curve.push(self.best_ms);
+    }
+
+    fn finish(self) -> TuneResult {
+        TuneResult {
+            history: self.records,
+            best_ms: self.best_ms,
+            best_config: self.best_config,
+            best_curve: self.best_curve,
+        }
+    }
+}
+
+fn tune_random(task: &TuningTask, opts: &TuneOptions, rng: &mut StdRng) -> TuneResult {
+    let mut h = History::new();
+    let mut visited = HashSet::new();
+    while h.records.len() < opts.n_trials {
+        let idx = task.space.random_index(rng);
+        if task.space.size() > opts.n_trials as u64 && !visited.insert(idx) {
+            continue;
+        }
+        let cfg = task.space.get(idx);
+        let cost = task.measure(&cfg).map(|(_, ms)| ms).unwrap_or(f64::INFINITY);
+        h.push(&cfg, cost);
+    }
+    h.finish()
+}
+
+fn tune_genetic(task: &TuningTask, opts: &TuneOptions, rng: &mut StdRng) -> TuneResult {
+    let mut h = History::new();
+    let pop_size = opts.batch.max(8);
+    // Initial population.
+    let mut pop: Vec<(u64, f64)> = Vec::new();
+    while pop.len() < pop_size && h.records.len() < opts.n_trials {
+        let idx = task.space.random_index(rng);
+        let cfg = task.space.get(idx);
+        let cost = task.measure(&cfg).map(|(_, ms)| ms).unwrap_or(f64::INFINITY);
+        h.push(&cfg, cost);
+        pop.push((idx, cost));
+    }
+    while h.records.len() < opts.n_trials {
+        // Tournament selection + digit crossover + mutation.
+        let parent = |rng: &mut StdRng, pop: &[(u64, f64)]| -> u64 {
+            let a = &pop[rng.random_range(0..pop.len())];
+            let b = &pop[rng.random_range(0..pop.len())];
+            if a.1 < b.1 {
+                a.0
+            } else {
+                b.0
+            }
+        };
+        let pa = parent(rng, &pop);
+        let pb = parent(rng, &pop);
+        let child = crossover(&task.space, pa, pb, rng);
+        let child = if rng.random_range(0.0..1.0) < 0.3 {
+            task.space.neighbor(child, rng)
+        } else {
+            child
+        };
+        let cfg = task.space.get(child);
+        let cost = task.measure(&cfg).map(|(_, ms)| ms).unwrap_or(f64::INFINITY);
+        h.push(&cfg, cost);
+        // Replace the worst member.
+        if let Some(worst) = pop
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+            .map(|(i, _)| i)
+        {
+            if cost < pop[worst].1 {
+                pop[worst] = (child, cost);
+            }
+        }
+    }
+    h.finish()
+}
+
+fn crossover(space: &ConfigSpace, a: u64, b: u64, rng: &mut StdRng) -> u64 {
+    let (mut ra, mut rb) = (a % space.size().max(1), b % space.size().max(1));
+    let mut out = 0u64;
+    let mut mult = 1u64;
+    for k in &space.knobs {
+        let n = k.options.len() as u64;
+        let da = ra % n;
+        let db = rb % n;
+        ra /= n;
+        rb /= n;
+        let d = if rng.random_range(0.0..1.0) < 0.5 { da } else { db };
+        out += d * mult;
+        mult *= n;
+    }
+    out
+}
+
+fn tune_ml(
+    task: &TuningTask,
+    opts: &TuneOptions,
+    objective: Objective,
+    rng: &mut StdRng,
+) -> TuneResult {
+    let mut h = History::new();
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut xs: Vec<Vec<f64>> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    // Exploration state persists across model updates (§5.3).
+    let mut chains: Vec<u64> =
+        (0..opts.sa_chains).map(|_| task.space.random_index(rng)).collect();
+    while h.records.len() < opts.n_trials {
+        let batch: Vec<u64> = if xs.len() < opts.batch {
+            // No training data yet: random candidates (§5.3).
+            let mut b = Vec::new();
+            while b.len() < opts.batch {
+                let idx = task.space.random_index(rng);
+                if visited.contains(&idx) && task.space.size() > opts.n_trials as u64 {
+                    continue;
+                }
+                b.push(idx);
+            }
+            b
+        } else {
+            let params = GbtParams { objective, ..GbtParams::default() };
+            let model = fit(&xs, &ys, &params);
+            propose_sa(task, &model, &mut chains, &visited, opts, rng)
+        };
+        for idx in batch {
+            if h.records.len() >= opts.n_trials {
+                break;
+            }
+            visited.insert(idx);
+            let cfg = task.space.get(idx);
+            match task.measure(&cfg) {
+                Some((func, ms)) => {
+                    xs.push(extract(&func));
+                    ys.push(-(ms.max(1e-9)).ln());
+                    h.push(&cfg, ms);
+                }
+                None => h.push(&cfg, f64::INFINITY),
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Parallel simulated annealing over the space, scored by the cost model;
+/// returns the best-predicted unvisited batch.
+fn propose_sa(
+    task: &TuningTask,
+    model: &Gbt,
+    chains: &mut [u64],
+    visited: &HashSet<u64>,
+    opts: &TuneOptions,
+    rng: &mut StdRng,
+) -> Vec<u64> {
+    let score = |idx: u64| -> f64 {
+        let cfg = task.space.get(idx);
+        match (task.builder)(&cfg) {
+            Ok(f) => model.predict(&extract(&f)),
+            Err(_) => f64::NEG_INFINITY,
+        }
+    };
+    let mut cand: Vec<(u64, f64)> = Vec::new();
+    let mut scores: Vec<f64> = chains.iter().map(|&c| score(c)).collect();
+    let mut temp = 1.0f64;
+    let cooling = 0.9f64;
+    for _ in 0..opts.sa_steps {
+        for (c, s) in chains.iter_mut().zip(scores.iter_mut()) {
+            let nb = task.space.neighbor(*c, rng);
+            let ns = score(nb);
+            let accept = ns > *s || rng.random_range(0.0..1.0) < ((ns - *s) / temp).exp();
+            if accept && ns.is_finite() {
+                *c = nb;
+                *s = ns;
+                if !visited.contains(&nb) {
+                    cand.push((nb, ns));
+                }
+            }
+        }
+        temp *= cooling;
+    }
+    // Also consider current chain heads.
+    for (&c, &s) in chains.iter().zip(scores.iter()) {
+        if !visited.contains(&c) && s.is_finite() {
+            cand.push((c, s));
+        }
+    }
+    cand.sort_by(|a, b| b.1.total_cmp(&a.1));
+    cand.dedup_by_key(|(i, _)| *i);
+    let mut out: Vec<u64> = cand.into_iter().map(|(i, _)| i).take(opts.batch).collect();
+    // Top up with random picks if annealing found too few fresh points.
+    while out.len() < opts.batch {
+        let idx = task.space.random_index(rng);
+        if !visited.contains(&idx) || task.space.size() <= opts.n_trials as u64 {
+            out.push(idx);
+        }
+    }
+    out
+}

@@ -1,0 +1,88 @@
+//! Property tests on the optimizer's data structures: config-space
+//! encoding, neighborhood moves, and cost-model rank quality.
+
+use proptest::prelude::*;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tvm_autotune::{fit, pairwise_accuracy, ConfigSpace, GbtParams, Objective};
+
+fn arb_space() -> impl Strategy<Value = ConfigSpace> {
+    prop::collection::vec((1i64..65, 1i64..5), 1..5).prop_map(|dims| {
+        let mut s = ConfigSpace::new();
+        for (i, (extent, kind)) in dims.into_iter().enumerate() {
+            match kind {
+                1 => s.define_split(format!("k{i}"), extent, 64),
+                2 => s.define_knob(format!("k{i}"), &[0, 1]),
+                _ => s.define_knob(format!("k{i}"), &[1, 2, 4, 8]),
+            }
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every index decodes to knob values taken from the declared options,
+    /// and decoding is total over [0, size).
+    #[test]
+    fn config_decode_is_total_and_valid(space in arb_space(), idx in any::<u64>()) {
+        let size = space.size();
+        prop_assert!(size >= 1);
+        let cfg = space.get(idx % size);
+        prop_assert_eq!(cfg.values.len(), space.knobs.len());
+        for ((name, v), knob) in cfg.values.iter().zip(&space.knobs) {
+            prop_assert_eq!(name, &knob.name);
+            prop_assert!(knob.options.contains(v));
+        }
+    }
+
+    /// Decoding is injective: distinct indices below the size give distinct
+    /// value vectors.
+    #[test]
+    fn config_decode_injective(space in arb_space(), a in any::<u64>(), b in any::<u64>()) {
+        let size = space.size();
+        let (a, b) = (a % size, b % size);
+        let ca = space.get(a);
+        let cb = space.get(b);
+        if a != b {
+            prop_assert_ne!(format!("{:?}", ca.values), format!("{:?}", cb.values));
+        } else {
+            prop_assert_eq!(format!("{:?}", ca.values), format!("{:?}", cb.values));
+        }
+    }
+
+    /// Neighbors stay inside the space and change at most one knob.
+    #[test]
+    fn neighbor_is_valid_single_mutation(space in arb_space(), idx in any::<u64>(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let size = space.size();
+        let idx = idx % size;
+        let nb = space.neighbor(idx, &mut rng);
+        prop_assert!(nb < size);
+        let a = space.get(idx);
+        let b = space.get(nb);
+        let diffs = a.values.iter().zip(&b.values).filter(|(x, y)| x.1 != y.1).count();
+        prop_assert!(diffs <= 1);
+    }
+
+    /// The rank-objective GBT orders a monotone synthetic function better
+    /// than chance.
+    #[test]
+    fn gbt_rank_beats_chance(seed in any::<u64>()) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 33) as f64) / (1u64 << 31) as f64
+        };
+        let xs: Vec<Vec<f64>> = (0..120).map(|_| vec![next() * 4.0, next() * 4.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|v| -(v[0] - 2.0).powi(2) - 0.3 * v[1]).collect();
+        let model = fit(&xs[..80], &ys[..80], &GbtParams { objective: Objective::Rank, ..Default::default() });
+        let acc = pairwise_accuracy(&model, &xs[80..], &ys[80..]);
+        prop_assert!(acc > 0.6, "pairwise accuracy {acc}");
+    }
+}

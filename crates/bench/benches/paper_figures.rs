@@ -1,0 +1,149 @@
+//! Criterion benches over the experiment harness: each group regenerates a
+//! (scaled-down) slice of a paper figure/table per iteration, so `cargo
+//! bench` both times the compiler stack and continuously re-derives the
+//! evaluation data. The full-scale printable figures come from the
+//! `src/bin/figNN` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tvm::prelude::*;
+use tvm_ir::DType;
+use tvm_sim::{arm_a53, estimate, titanx};
+use tvm_topi as topi;
+
+fn small_conv() -> topi::Conv2dWorkload {
+    topi::Conv2dWorkload { batch: 1, size: 14, in_c: 32, out_c: 64, kernel: 3, stride: 1, pad: 1 }
+}
+
+/// Fig. 4 slice: build the fused and unfused conv+bn+relu modules.
+fn bench_fig04_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig04_fusion");
+    group.sample_size(10);
+    group.bench_function("conv_bn_relu_fused_build", |b| {
+        b.iter(|| {
+            let mut g = tvm_graph::Graph::new();
+            let x = g.input(&[1, 32, 14, 14], "data");
+            let cid = g.conv2d(x, small_conv(), "conv");
+            let bn = g.batch_norm(cid, "bn");
+            let r = g.relu(bn, "relu");
+            g.outputs.push(r);
+            let m = tvm::build(&g, &titanx(), &Default::default()).expect("builds");
+            black_box(m.total_ms())
+        })
+    });
+    group.finish();
+}
+
+/// Fig. 7 slice: measure one cooperative and one non-cooperative matmul
+/// schedule.
+fn bench_fig07_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig07_gemm");
+    group.sample_size(10);
+    let w = topi::DenseWorkload { m: 256, n: 256, k: 256, dtype: DType::float32() };
+    let task = topi::dense_task(w, titanx());
+    group.bench_function("measure_config", |b| {
+        let cfg = topi::default_config(&task.space);
+        b.iter(|| black_box(task.measure(&cfg)))
+    });
+    group.finish();
+}
+
+/// Fig. 10 slice: trace + pipeline-simulate one VDLA conv layer.
+fn bench_fig10_vdla(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_vdla");
+    group.sample_size(10);
+    let w = topi::resnet18_convs()[11]; // C12, the smallest
+    group.bench_function("trace_and_simulate", |b| {
+        b.iter(|| {
+            let (r, _) = tvm_bench::vdla_gemm::run_conv_on_vdla(&w, true);
+            black_box(r.cycles)
+        })
+    });
+    group.finish();
+}
+
+/// Fig. 12 slice: one ML tuning round (model fit + annealing + measure).
+fn bench_fig12_tuning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_tuning");
+    group.sample_size(10);
+    group.bench_function("ml_tuner_16_trials", |b| {
+        b.iter(|| {
+            let task = topi::conv2d_task(small_conv(), DType::float32(), titanx());
+            let opts = TuneOptions { n_trials: 16, batch: 8, sa_steps: 4, sa_chains: 4, seed: 1 };
+            black_box(tune(&task, &opts, TunerKind::GbtRank).best_ms)
+        })
+    });
+    group.finish();
+}
+
+/// Figs. 14/16 slice: end-to-end compile of DQN for both target classes.
+fn bench_e2e_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_fig16_e2e");
+    group.sample_size(10);
+    for (name, target) in [("gpu", titanx()), ("cpu", arm_a53())] {
+        group.bench_function(format!("build_dqn_{name}"), |b| {
+            b.iter(|| {
+                let g = tvm_models::dqn();
+                let m = tvm::build(&g, &target, &Default::default()).expect("builds");
+                black_box(m.total_ms())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 18 slice: lower + estimate a bit-serial low-precision conv.
+fn bench_fig18_lowprec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18_lowprec");
+    group.sample_size(10);
+    let w = tvm_topi::bitserial::BitserialWorkload {
+        conv: topi::Conv2dWorkload { batch: 1, size: 16, in_c: 64, out_c: 16, kernel: 3, stride: 1, pad: 0 },
+        a_bits: 2,
+        w_bits: 1,
+    };
+    let task = tvm_topi::bitserial::bitserial_task(w, arm_a53(), true);
+    group.bench_function("measure_config", |b| {
+        let cfg = topi::default_config(&task.space);
+        b.iter(|| black_box(task.measure(&cfg)))
+    });
+    group.finish();
+}
+
+/// Compiler-stack microbenches: lowering, analysis, cost-model fit.
+fn bench_stack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler_stack");
+    group.sample_size(20);
+    let task = topi::conv2d_task(small_conv(), DType::float32(), titanx());
+    let cfg = topi::default_config(&task.space);
+    let func = (task.builder)(&cfg).expect("builds");
+    group.bench_function("lower_conv2d", |b| {
+        b.iter(|| black_box((task.builder)(&cfg).expect("builds").name.len()))
+    });
+    group.bench_function("simulate_conv2d", |b| {
+        b.iter(|| black_box(estimate(&func, &task.target).cycles))
+    });
+    group.bench_function("extract_features", |b| {
+        b.iter(|| black_box(tvm_autotune::extract(&func).len()))
+    });
+    group.bench_function("gbt_fit_128", |b| {
+        let xs: Vec<Vec<f64>> = (0..128)
+            .map(|i| (0..16).map(|j| ((i * j) % 17) as f64).collect())
+            .collect();
+        let ys: Vec<f64> = (0..128).map(|i| (i % 23) as f64).collect();
+        b.iter(|| black_box(tvm_autotune::fit(&xs, &ys, &Default::default()).n_trees()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig04_fusion,
+    bench_fig07_gemm,
+    bench_fig10_vdla,
+    bench_fig12_tuning,
+    bench_e2e_compile,
+    bench_fig18_lowprec,
+    bench_stack
+);
+criterion_main!(benches);

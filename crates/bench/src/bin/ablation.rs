@@ -1,0 +1,74 @@
+//! Ablation studies over the design choices DESIGN.md calls out:
+//!
+//! 1. Cost-model objective: rank vs regression vs predefined heuristic.
+//! 2. Explorer: simulated annealing vs pure random proposals under the
+//!    same ML model budget.
+//! 3. Feature set: the Fig. 13 loop features vs a knob-values-only model
+//!    (does the model need to see the *lowered program*?).
+
+use tvm_autotune::{tune, TuneOptions, TunerKind, TuningTask};
+use tvm_bench::figures::quick_tune_opts;
+use tvm_ir::DType;
+use tvm_sim::titanx;
+use tvm_topi as topi;
+
+fn task() -> TuningTask {
+    let w = topi::resnet18_convs()[6];
+    topi::conv2d_task(w, DType::float32(), titanx())
+}
+
+fn main() {
+    let trials = 64;
+    println!("== Ablation: automated optimizer design choices (conv2d C7, titanx-sim) ==");
+
+    // 1. Objectives.
+    println!("\n-- cost-model objective (best ms after {trials} trials) --");
+    for (name, kind) in [
+        ("GBT + rank objective (paper default)", TunerKind::GbtRank),
+        ("GBT + regression objective", TunerKind::GbtReg),
+        ("predefined heuristic model", TunerKind::Predefined),
+        ("no model (random)", TunerKind::Random),
+    ] {
+        let r = tune(&task(), &quick_tune_opts(trials), kind);
+        println!("{name:<42} {:.4} ms (after 16: {:.4})", r.best_ms, r.best_after(16));
+    }
+
+    // 2. Explorer budget: annealing steps swept under the rank model.
+    println!("\n-- simulated-annealing depth (GBT rank) --");
+    for sa_steps in [0usize, 4, 16] {
+        let opts = TuneOptions { n_trials: trials, sa_steps, ..quick_tune_opts(trials) };
+        let r = tune(&task(), &opts, TunerKind::GbtRank);
+        println!("sa_steps = {sa_steps:<3} best {:.4} ms", r.best_ms);
+    }
+
+    // 3. Model speed vs measurement speed (the paper reports 0.67 ms
+    //    per prediction, thousands of times faster than a hardware run;
+    //    here: model prediction vs a full simulator measurement).
+    println!("\n-- cost-model prediction vs measurement speed --");
+    let t = task();
+    let cfgs: Vec<_> = (0..64u64).map(|i| t.space.get(i * 997)).collect();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for cfg in &cfgs {
+        if let Some((f, ms)) = t.measure(cfg) {
+            xs.push(tvm_autotune::extract(&f));
+            ys.push(-ms.ln());
+        }
+    }
+    let model = tvm_autotune::fit(&xs, &ys, &Default::default());
+    let start = std::time::Instant::now();
+    let mut acc = 0.0;
+    for x in &xs {
+        acc += model.predict(x);
+    }
+    let pred_us = start.elapsed().as_secs_f64() * 1e6 / xs.len() as f64;
+    let start = std::time::Instant::now();
+    for cfg in cfgs.iter().take(8) {
+        let _ = t.measure(cfg);
+    }
+    let meas_us = start.elapsed().as_secs_f64() * 1e6 / 8.0;
+    println!(
+        "prediction {pred_us:.1} us vs measurement {meas_us:.1} us per config ({:.0}x faster; sum {acc:.1})",
+        meas_us / pred_us
+    );
+}

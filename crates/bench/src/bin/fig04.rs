@@ -1,0 +1,22 @@
+//! Regenerates Fig. 4: fused vs non-fused operator performance (GPU model).
+use tvm_bench::figures::fig04_fusion;
+use tvm_bench::print_table;
+
+fn main() {
+    let rows = fig04_fusion();
+    print_table(
+        "Figure 4: operator fusion speedup (titanx-sim)",
+        &["workload", "w/o fusion (ms)", "w/ fusion (ms)", "speedup"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    format!("{:.4}", r.no_fusion_ms),
+                    format!("{:.4}", r.fusion_ms),
+                    format!("{:.2}x", r.speedup()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 7: cooperative shared-memory fetching on matmul.
+use tvm_bench::figures::fig07_gemm;
+use tvm_bench::print_table;
+
+fn main() {
+    let rows = fig07_gemm(48);
+    print_table(
+        "Figure 7: matmul with/without cooperative fetching (titanx-sim)",
+        &["size", "cuBLAS (ms)", "TVM w/o coop (ms)", "TVM (ms)"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.size.to_string(),
+                    format!("{:.3}", r.cublas_ms),
+                    format!("{:.3}", r.tvm_no_coop_ms),
+                    format!("{:.3}", r.tvm_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,27 @@
+//! Regenerates Fig. 10: VDLA roofline with/without latency hiding.
+use tvm_bench::figures::fig10_roofline;
+use tvm_bench::print_table;
+
+fn main() {
+    let rows = fig10_roofline();
+    print_table(
+        "Figure 10: VDLA roofline (peak 102.4 GOPS)",
+        &["layer", "ops/byte", "GOPS base", "GOPS lat-hiding", "util base", "util lat-hiding"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    format!("{:.1}", r.intensity),
+                    format!("{:.1}", r.gops_base),
+                    format!("{:.1}", r.gops_hidden),
+                    format!("{:.0}%", r.util_base * 100.0),
+                    format!("{:.0}%", r.util_hidden * 100.0),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let avg_b: f64 = rows.iter().map(|r| r.util_base).sum::<f64>() / rows.len() as f64;
+    let avg_h: f64 = rows.iter().map(|r| r.util_hidden).sum::<f64>() / rows.len() as f64;
+    println!("mean compute utilization: {:.0}% -> {:.0}%", avg_b * 100.0, avg_h * 100.0);
+}

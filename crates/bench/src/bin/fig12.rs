@@ -1,0 +1,17 @@
+//! Regenerates Fig. 12: automation-method comparison on a ResNet conv2d.
+use tvm_bench::figures::fig12_tuning;
+
+fn main() {
+    let trials = 128;
+    let (curves, cudnn) = fig12_tuning(trials);
+    println!("== Figure 12: conv2d C7 tuning on titanx-sim (cuDNN model = {cudnn:.3} ms) ==");
+    println!("trial\t{}", curves.iter().map(|c| c.method.clone()).collect::<Vec<_>>().join("\t"));
+    for t in (7..trials).step_by(8) {
+        let cols: Vec<String> = curves
+            .iter()
+            .map(|c| format!("{:.2}", cudnn / c.best_curve[t.min(c.best_curve.len() - 1)]))
+            .collect();
+        println!("{}\t{}", t + 1, cols.join("\t"));
+    }
+    println!("(values = speedup over the cuDNN model, higher is better)");
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 14: GPU end-to-end comparison.
+use tvm_bench::figures::fig14_gpu_e2e;
+use tvm_bench::print_table;
+
+fn main() {
+    let rows = fig14_gpu_e2e(224, 32);
+    let labels: Vec<String> = rows[0].systems.iter().map(|(l, _)| l.clone()).collect();
+    let mut header = vec!["model".to_string()];
+    header.extend(labels.iter().cloned());
+    print_table(
+        "Figure 14: GPU end-to-end (ms, titanx-sim)",
+        &header.iter().map(String::as_str).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|r| {
+                let mut v = vec![r.model.clone()];
+                v.extend(r.systems.iter().map(|(_, t)| format!("{t:.3}")));
+                v
+            })
+            .collect::<Vec<_>>(),
+    );
+}

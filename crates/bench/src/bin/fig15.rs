@@ -1,0 +1,26 @@
+//! Regenerates Fig. 15: per-operator GPU speedups over cuDNN / MX kernels.
+use tvm_bench::figures::per_op_rows;
+use tvm_bench::print_table;
+
+fn main() {
+    let rows = per_op_rows(true, 32);
+    print_table(
+        "Figure 15: per-operator speedup on titanx-sim (baseline = cuDNN for C*, MX kernel for D*)",
+        &["op", "baseline(ms)", "TC(ms)", "TVM(ms)", "TVM speedup"],
+        &rows
+            .iter()
+            .map(|r| {
+                let base = r.systems[0].1;
+                let tc = r.systems.iter().find(|(l, _)| l == "TC").map(|(_, v)| *v);
+                let tvm = r.systems.iter().find(|(l, _)| l == "TVM").map(|(_, v)| *v).unwrap();
+                vec![
+                    r.name.clone(),
+                    format!("{base:.3}"),
+                    tc.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into()),
+                    format!("{tvm:.3}"),
+                    format!("{:.2}x", base / tvm),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 16: ARM A53 end-to-end vs TFLite.
+use tvm_bench::figures::fig16_arm_e2e;
+use tvm_bench::print_table;
+
+fn main() {
+    let rows = fig16_arm_e2e(224, 32);
+    let labels: Vec<String> = rows[0].systems.iter().map(|(l, _)| l.clone()).collect();
+    let mut header = vec!["model".to_string()];
+    header.extend(labels);
+    print_table(
+        "Figure 16: ARM A53 end-to-end (ms, a53-sim)",
+        &header.iter().map(String::as_str).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|r| {
+                let mut v = vec![r.model.clone()];
+                v.extend(r.systems.iter().map(|(_, t)| format!("{t:.2}")));
+                v
+            })
+            .collect::<Vec<_>>(),
+    );
+}

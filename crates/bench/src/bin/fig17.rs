@@ -1,0 +1,27 @@
+//! Regenerates Fig. 17: per-operator ARM speedups over TFLite kernels.
+use tvm_bench::figures::per_op_rows;
+use tvm_bench::print_table;
+
+fn main() {
+    let rows = per_op_rows(false, 32);
+    print_table(
+        "Figure 17: per-operator speedup on a53-sim (baseline = TFLite; PT = winograd pre-transformed)",
+        &["op", "TFLite(ms)", "TVM(ms)", "TVM PT(ms)", "speedup", "PT speedup"],
+        &rows
+            .iter()
+            .map(|r| {
+                let base = r.systems[0].1;
+                let tvm = r.systems.iter().find(|(l, _)| l == "TVM").map(|(_, v)| *v).unwrap();
+                let pt = r.systems.iter().find(|(l, _)| l == "TVM PT").map(|(_, v)| *v);
+                vec![
+                    r.name.clone(),
+                    format!("{base:.3}"),
+                    format!("{tvm:.3}"),
+                    pt.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into()),
+                    format!("{:.2}x", base / tvm),
+                    pt.map(|v| format!("{:.2}x", base / v)).unwrap_or_else(|| "-".into()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

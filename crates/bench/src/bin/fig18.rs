@@ -1,0 +1,27 @@
+//! Regenerates Fig. 18: ultra-low-precision conv vs hand-optimized kernels.
+use tvm_bench::figures::fig18_lowprec;
+use tvm_bench::print_table;
+
+fn main() {
+    let rows = fig18_lowprec(24);
+    print_table(
+        "Figure 18: 2-bit/1-bit conv on a53-sim (baseline = Caffe2-style hand-optimized, single-threaded)",
+        &["op", "hand-opt(ms)", "TVM 1T(ms)", "TVM 4T(ms)", "1T speedup", "4T speedup"],
+        &rows
+            .iter()
+            .map(|r| {
+                let base = r.systems[0].1;
+                let st = r.systems[1].1;
+                let mt = r.systems[2].1;
+                vec![
+                    r.name.clone(),
+                    format!("{base:.3}"),
+                    format!("{st:.3}"),
+                    format!("{mt:.3}"),
+                    format!("{:.2}x", base / st),
+                    format!("{:.2}x", base / mt),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,24 @@
+//! Regenerates Fig. 19: Mali GPU float32/float16 vs ARM Compute Library.
+use tvm_bench::figures::fig19_mali;
+use tvm_bench::print_table;
+
+fn main() {
+    let rows = fig19_mali(32);
+    print_table(
+        "Figure 19: Mali-T860 conv portions (ms, mali-sim)",
+        &["model+dtype", "ARMComputeLib", "TVM", "speedup"],
+        &rows
+            .iter()
+            .map(|r| {
+                let acl = r.get("ARMComputeLib");
+                let tvm = r.get("TVM");
+                vec![
+                    r.model.clone(),
+                    format!("{acl:.2}"),
+                    format!("{tvm:.2}"),
+                    format!("{:.2}x", acl / tvm),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,25 @@
+//! Regenerates Fig. 21: ResNet conv offloading to the VDLA accelerator.
+use tvm_bench::figures::fig21_offload;
+use tvm_bench::print_table;
+
+fn main() {
+    let rows = fig21_offload(224, 24);
+    print_table(
+        "Figure 21: ResNet-18 inference time breakdown (ms)",
+        &["mode", "conv", "layer_0", "other", "total"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.mode.clone(),
+                    format!("{:.2}", r.conv_ms),
+                    format!("{:.2}", r.layer0_ms),
+                    format!("{:.2}", r.other_ms),
+                    format!("{:.2}", r.total_ms()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let speedup = rows[0].conv_ms / rows[1].conv_ms;
+    println!("offloaded conv speedup: {speedup:.1}x");
+}

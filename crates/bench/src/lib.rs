@@ -1,0 +1,20 @@
+//! `tvm-bench` — the evaluation harness: one module per paper figure or
+//! table, each returning printable rows; `src/bin/figNN.rs` binaries
+//! regenerate the corresponding figure's data and `EXPERIMENTS.md` records
+//! the outcomes. Absolute numbers are simulator outputs (see DESIGN.md);
+//! the assertions in `tests/` check the paper's *shape*: who wins, by
+//! roughly what factor, where crossovers fall.
+
+pub mod baselines_e2e;
+pub mod figures;
+pub mod vdla_gemm;
+
+/// Prints a table of rows with a header.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("== {title} ==");
+    println!("{}", header.join("\t"));
+    for r in rows {
+        println!("{}", r.join("\t"));
+    }
+    println!();
+}

@@ -1,0 +1,129 @@
+//! VDLA kernel builders for the accelerator experiments (Figs. 10 and 21):
+//! tiled GEMM schedules with DMA staging, tensorized 16x16x16 tiles and
+//! optional virtual-thread latency hiding, plus the conv-as-GEMM mapping
+//! (the im2col view the accelerator executes).
+
+use tvm_ir::{DType, LoweredFunc, MemScope};
+use tvm_te::{
+    compute, create_schedule, lower_with, placeholder, reduce_axis, sum, LowerOptions,
+};
+use tvm_topi::Conv2dWorkload;
+use tvm_vdla::{gemm_intrin, VdlaSpec, VdlaRunResult};
+
+/// Rounds `x` up to a multiple of `m`.
+pub fn round_up(x: i64, m: i64) -> i64 {
+    (x + m - 1) / m * m
+}
+
+/// Builds a VDLA GEMM kernel `C[m, n] = sum_k A[m, k] * B[n, k]` over
+/// 8-bit operands with two-level tiling: `ts x ts` SRAM tiles staged by
+/// DMA (amortizing off-chip traffic, like the paper's blocked 3-D tensor
+/// loads), executed as tensorized `t x t x t` GEMM-core tiles;
+/// `vthreads > 1` enables latency hiding.
+pub fn vdla_gemm_func(m: i64, n: i64, k: i64, t: i64, vthreads: i64) -> LoweredFunc {
+    let ts = (4 * t).min(m).min(n).min(k); // SRAM tile (64 when t = 16)
+    assert!(
+        m % ts == 0 && n % ts == 0 && k % ts == 0 && ts % t == 0,
+        "dims must be tile-aligned"
+    );
+    let dt = DType::int8();
+    let a = placeholder(&[m, k], dt, "A");
+    let b = placeholder(&[n, k], dt, "B");
+    let kk = reduce_axis(k, "k");
+    let c = compute(&[m, n], "C", |i| {
+        sum(
+            a.at(&[i[0].clone(), kk.expr()]).cast(DType::int32())
+                * b.at(&[i[1].clone(), kk.expr()]).cast(DType::int32()),
+            &[kk.clone()],
+        )
+    });
+    let mut s = create_schedule(&[c.clone()]);
+    let cl = s.cache_write(&c, MemScope::AccBuffer);
+    let ax = c.op.axes();
+    let (_yo, xo, yi, _xi) = s.tile(&c, &ax[0], &ax[1], ts, ts);
+    let attach_leaf = if vthreads > 1 && (n / ts) % vthreads == 0 {
+        let (_xoo, xov) = s.split(&c, &xo, vthreads);
+        s.vthread(&c, &xov);
+        xov
+    } else {
+        xo
+    };
+    s.pragma(&c, &yi, "dma_copy");
+    s.compute_at(&cl, &c, &attach_leaf);
+    // SRAM-level reduction tiling: stage ts x ts operand tiles on chip.
+    let clr = cl.op.reduce_axes();
+    let (ks, kin) = s.split(&cl, &clr[0], ts);
+    let clax = cl.op.axes();
+    // GEMM-core level: 16x16x16 tensorized tiles within the SRAM tile.
+    let (y1, y2) = s.split(&cl, &clax[0], t);
+    let (x1, x2) = s.split(&cl, &clax[1], t);
+    let (k1, k2) = s.split(&cl, &kin, t);
+    s.reorder(&cl, &[&ks, &y1, &x1, &k1, &y2, &x2, &k2]);
+    let al = s.cache_read(&a, MemScope::InpBuffer, &[&cl]);
+    let bl = s.cache_read(&b, MemScope::WgtBuffer, &[&cl]);
+    s.compute_at(&al, &cl, &ks);
+    s.compute_at(&bl, &cl, &ks);
+    let al_leaf = s.stage(&al).leaf_iters[0].clone();
+    s.pragma(&al, &al_leaf, "dma_copy");
+    let bl_leaf = s.stage(&bl).leaf_iters[0].clone();
+    s.pragma(&bl, &bl_leaf, "dma_copy");
+    s.tensorize(&cl, &y2, gemm_intrin(t, t, t, dt));
+    lower_with(
+        &s,
+        &[a, b, c],
+        &format!("vdla_gemm_{m}x{n}x{k}"),
+        &LowerOptions { dae_sync: true },
+    )
+    .expect("vdla gemm lowers")
+}
+
+/// Maps a convolution onto the accelerator as an (im2col) GEMM:
+/// `M = out_c`, `N = out_pixels`, `K = in_c * k * k`, padded to tiles.
+pub fn conv_as_vdla_gemm(w: &Conv2dWorkload, vthreads: i64) -> LoweredFunc {
+    let t = 16;
+    let ts = 4 * t;
+    let m = round_up(w.out_c, ts);
+    // Pad the pixel dimension so the virtual threads divide the tile grid.
+    let n = round_up(w.out_size() * w.out_size(), ts * vthreads.max(1));
+    let k = round_up(w.in_c * w.kernel * w.kernel, ts);
+    vdla_gemm_func(m, n, k, t, vthreads)
+}
+
+/// Runs a conv layer on the VDLA pipeline; returns the result and the
+/// spec used.
+pub fn run_conv_on_vdla(
+    w: &Conv2dWorkload,
+    latency_hiding: bool,
+) -> (VdlaRunResult, VdlaSpec) {
+    let spec = VdlaSpec::default();
+    let f = conv_as_vdla_gemm(w, if latency_hiding { 2 } else { 1 });
+    let r = if latency_hiding {
+        tvm_vdla::run_timed(&f, &spec).expect("pipeline runs")
+    } else {
+        tvm_vdla::run_timed_monolithic(&f, &spec).expect("trace ok")
+    };
+    (r, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_func_builds_both_modes() {
+        for v in [1, 2] {
+            let f = vdla_gemm_func(32, 32, 64, 16, v);
+            let txt = f.body.to_string();
+            assert!(txt.contains("vdla.gemm"), "{txt}");
+            assert!(txt.contains("push_dep_to"), "{txt}");
+        }
+    }
+
+    #[test]
+    fn conv_mapping_covers_all_macs() {
+        let w = tvm_topi::resnet18_convs()[8]; // C9: 14x14, 256->256, 3x3
+        let (r, _) = run_conv_on_vdla(&w, true);
+        // Padded GEMM does at least the conv's MAC count.
+        assert!(r.macs as f64 >= w.macs(), "{} < {}", r.macs, w.macs());
+    }
+}

@@ -1,0 +1,384 @@
+//! The end-to-end compiler (§2): computational graph in, deployable
+//! [`Module`] out.
+//!
+//! `build` runs the §3 graph passes (fusion, memory planning), then
+//! generates one kernel per fused group: member operators become tensor
+//! expressions, injective members are inlined into the group output, and
+//! the group is scheduled — either with the operator's (optionally tuned)
+//! schedule template, or with the fused-group schedule that nests the
+//! complex master inside the element-wise output's loops so intermediates
+//! never touch DRAM.
+
+use std::collections::HashMap;
+
+use tvm_autotune::Database;
+use tvm_graph::{fuse, plan_memory, FusedGraph, Graph, Group, NodeId, OpType, Pattern};
+use tvm_ir::MemScope;
+use tvm_runtime::{CompiledGroup, Module};
+use tvm_sim::{estimate, Target};
+use tvm_te::{compute, create_schedule, lower, placeholder, Schedule, TeError, Tensor};
+use tvm_topi as topi;
+
+/// Build configuration.
+#[derive(Default)]
+pub struct BuildOptions<'a> {
+    /// Disable operator fusion (the "TVM w/o graph opt" baselines).
+    pub no_fusion: bool,
+    /// Tuning-log database consulted for operator configurations.
+    pub db: Option<&'a Database>,
+}
+
+/// Compiles a graph for a target — `t.compiler.build(graph, target, params)`
+/// in the paper's end-user example.
+pub fn build(graph: &Graph, target: &Target, opts: &BuildOptions) -> Result<Module, TeError> {
+    let fused = fuse(graph, !opts.no_fusion);
+    let plan = plan_memory(graph, &fused);
+    let mut kernels = Vec::with_capacity(fused.groups.len());
+    for group in &fused.groups {
+        kernels.push(build_group(graph, &fused, group, target, opts)?);
+    }
+    Ok(Module {
+        graph: graph.clone(),
+        kernels,
+        plan,
+        target_name: target.name().to_string(),
+    })
+}
+
+struct GroupBuild {
+    tensors: HashMap<NodeId, Tensor>,
+    inputs: Vec<(NodeId, Tensor)>,
+    pads: Vec<Tensor>,
+}
+
+impl GroupBuild {
+    fn input_tensor(&mut self, g: &Graph, id: NodeId) -> Tensor {
+        if let Some(t) = self.tensors.get(&id) {
+            return t.clone();
+        }
+        let node = g.node(id);
+        let t = placeholder(&node.shape, node.dtype, &node.name);
+        self.tensors.insert(id, t.clone());
+        self.inputs.push((id, t.clone()));
+        t
+    }
+}
+
+fn emit_compute(g: &Graph, gb: &mut GroupBuild, id: NodeId, member_ids: &[NodeId]) -> Tensor {
+    let node = g.node(id);
+    let arg = |gb: &mut GroupBuild, i: usize| -> Tensor {
+        let inp = node.inputs[i];
+        if member_ids.contains(&inp) {
+            gb.tensors.get(&inp).expect("members emitted in topo order").clone()
+        } else {
+            gb.input_tensor(g, inp)
+        }
+    };
+    let out = match &node.op {
+        OpType::Conv2d(w) => {
+            let data = arg(gb, 0);
+            let weight = arg(gb, 1);
+            let op = topi::conv2d_compute(&data, &weight, w);
+            gb.pads.extend(op.pad.clone());
+            op.out
+        }
+        OpType::DepthwiseConv2d(w) => {
+            let data = arg(gb, 0);
+            let weight = arg(gb, 1);
+            let op = topi::depthwise_conv2d_compute(&data, &weight, w);
+            gb.pads.extend(op.pad.clone());
+            op.out
+        }
+        OpType::Dense(w) => {
+            let data = arg(gb, 0);
+            let weight = arg(gb, 1);
+            topi::dense_compute(&data, &weight, w)
+        }
+        OpType::Conv2dTranspose { in_c, in_size, out_c, kernel, stride, out_pad } => {
+            let data = arg(gb, 0);
+            let weight = arg(gb, 1);
+            let op = topi::conv2d_transpose_compute(
+                &data, &weight, 1, *in_c, *in_size, *out_c, *kernel, *stride, *out_pad,
+            );
+            gb.pads.extend(op.pad.clone());
+            op.out
+        }
+        OpType::Relu => topi::relu(&arg(gb, 0)),
+        OpType::BiasAdd => {
+            let x = arg(gb, 0);
+            let b = arg(gb, 1);
+            topi::bias_add(&x, &b)
+        }
+        OpType::BatchNorm => {
+            let x = arg(gb, 0);
+            let sc = arg(gb, 1);
+            let sh = arg(gb, 2);
+            topi::batch_norm(&x, &sc, &sh)
+        }
+        OpType::Add => {
+            let a = arg(gb, 0);
+            let b = arg(gb, 1);
+            topi::add(&a, &b)
+        }
+        OpType::Multiply => {
+            let a = arg(gb, 0);
+            let b = arg(gb, 1);
+            topi::multiply(&a, &b)
+        }
+        OpType::Tanh => topi::tanh_t(&arg(gb, 0)),
+        OpType::Sigmoid => topi::sigmoid_t(&arg(gb, 0)),
+        OpType::Softmax => topi::softmax(&arg(gb, 0)),
+        OpType::MaxPool2d { window, stride, pad } => {
+            let x = arg(gb, 0);
+            topi::max_pool2d(&x, *window, *stride, *pad)
+        }
+        OpType::GlobalAvgPool => topi::global_avg_pool(&arg(gb, 0)),
+        OpType::Flatten => topi::flatten(&arg(gb, 0)),
+        OpType::Reshape => topi::reshape(&arg(gb, 0), &node.shape),
+        OpType::LayoutTransform { .. } => {
+            // Semantically an identity copy that marks the layout boundary;
+            // it pays the copy cost the transform would.
+            let x = arg(gb, 0);
+            let xs = x.clone();
+            compute(&node.shape, format!("{}_copy", node.name), |i| xs.at(i))
+        }
+        OpType::Input | OpType::Param => unreachable!("inputs are not group members"),
+    };
+    gb.tensors.insert(id, out.clone());
+    out
+}
+
+/// Looks up the tuned configuration for an operator task, if any.
+fn tuned_config(
+    db: Option<&Database>,
+    task: &tvm_autotune::TuningTask,
+) -> tvm_autotune::ConfigEntity {
+    if let Some(db) = db {
+        if let Some(rec) = db.best(&task.name) {
+            return task.space.get(rec.config_index);
+        }
+    }
+    topi::default_config(&task.space)
+}
+
+/// How a fused group with a complex master is scheduled.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FuseStrategy {
+    /// Nest the master inside the element-wise output's thread loops so
+    /// the intermediate lives in registers.
+    Attach,
+    /// Keep the master at root with its (tuned) operator template; the
+    /// output tail is scheduled injectively in the same kernel.
+    TemplateRoot,
+}
+
+fn schedule_group(
+    s: &mut Schedule,
+    g: &Graph,
+    group: &Group,
+    gb: &GroupBuild,
+    target: &Target,
+    db: Option<&Database>,
+    strategy: FuseStrategy,
+) {
+    // Inline padding stages and all injective members except the output.
+    for p in &gb.pads {
+        s.compute_inline(p);
+    }
+    for &m in &group.nodes {
+        if m != group.output
+            && m != group.master
+            && g.node(m).op.pattern() == Pattern::Injective
+        {
+            s.compute_inline(&gb.tensors[&m]);
+        }
+    }
+    let master_t = gb.tensors[&group.master].clone();
+    let out_t = gb.tensors[&group.output].clone();
+    let master_is_complex =
+        g.node(group.master).op.pattern() == Pattern::ComplexOutFusable;
+
+    if group.master == group.output || (master_is_complex && strategy == FuseStrategy::TemplateRoot) {
+        // Use the operator's schedule template on the master; when the
+        // group has an element-wise tail it is scheduled injectively in
+        // the same kernel (the intermediate stays function-local).
+        let master_out = master_t.clone();
+        if group.master != group.output {
+            topi::schedule_injective(s, &out_t, target);
+        }
+        match &g.node(group.master).op {
+            OpType::Conv2d(w) => {
+                let task = topi::conv2d_task(*w, master_out.dtype(), target.clone());
+                let cfg = tuned_config(db, &task);
+                let op = topi::Conv2dOp {
+                    data: gb.tensors[&g.node(group.master).inputs[0]].clone(),
+                    weight: gb.tensors[&g.node(group.master).inputs[1]].clone(),
+                    pad: None, // already inlined above
+                    out: master_out,
+                };
+                topi::apply_conv2d_schedule(s, &op, target, &cfg);
+            }
+            OpType::DepthwiseConv2d(w) => {
+                let task = topi::depthwise_task(*w, master_out.dtype(), target.clone());
+                let cfg = tuned_config(db, &task);
+                let op = topi::Conv2dOp {
+                    data: gb.tensors[&g.node(group.master).inputs[0]].clone(),
+                    weight: gb.tensors[&g.node(group.master).inputs[1]].clone(),
+                    pad: None,
+                    out: master_out,
+                };
+                topi::apply_depthwise_schedule(s, &op, target, &cfg);
+            }
+            OpType::Dense(w) => {
+                let task = topi::dense_task(*w, target.clone());
+                let cfg = tuned_config(db, &task);
+                let data = gb.tensors[&g.node(group.master).inputs[0]].clone();
+                let weight = gb.tensors[&g.node(group.master).inputs[1]].clone();
+                topi::apply_dense_schedule(s, &data, &weight, &master_out, target, &cfg);
+            }
+            _ if group.master != group.output => {
+                // No template for this master: the injective tail already
+                // got the kernel's loop structure above.
+            }
+            _ => topi::schedule_injective(s, &out_t, target),
+        }
+    } else if master_is_complex {
+        // Fused complex + element-wise tail: give the *output* the loop
+        // structure and nest the master inside its innermost parallel
+        // loop, so the intermediate lives in registers/local memory.
+        s.set_scope(&master_t, MemScope::Local);
+        let axes = out_t.op.axes();
+        if target.is_gpu() {
+            use tvm_ir::ThreadTag::*;
+            // Mirror the operator template's structure on the *output*:
+            // thread tiles, master in registers, shared-memory staging of
+            // the master's operands with cooperative fetch.
+            let shared_inputs: Vec<tvm_te::Tensor> = master_t.op.input_tensors();
+            let reduce = master_t.op.reduce_axes();
+            if axes.len() == 4 {
+                let t_c = 4.min(out_t.shape()[1]);
+                let t_y = 4.min(out_t.shape()[2]);
+                let t_x = 8.min(out_t.shape()[3]);
+                let (bz, tz) = s.split(&out_t, &axes[1], t_c);
+                let (by, ty) = s.split(&out_t, &axes[2], t_y);
+                let (bx, tx) = s.split(&out_t, &axes[3], t_x);
+                s.reorder(&out_t, &[&axes[0], &bz, &by, &bx, &tz, &ty, &tx]);
+                s.bind(&out_t, &bz, BlockIdxZ);
+                s.bind(&out_t, &by, BlockIdxY);
+                s.bind(&out_t, &bx, BlockIdxX);
+                s.bind(&out_t, &tz, ThreadIdxZ);
+                s.bind(&out_t, &ty, ThreadIdxY);
+                s.bind(&out_t, &tx, ThreadIdxX);
+                s.compute_at(&master_t, &out_t, &tx);
+                if !reduce.is_empty() {
+                    let f = reduce[0].const_extent().unwrap_or(1).min(8).max(1);
+                    let (rco, _rci) = s.split(&master_t, &reduce[0], f);
+                    let threads =
+                        [(ThreadIdxZ, t_c), (ThreadIdxY, t_y), (ThreadIdxX, t_x)];
+                    for inp in shared_inputs.iter().take(2) {
+                        let cs = s.cache_read(inp, MemScope::Shared, &[&master_t]);
+                        s.compute_at(&cs, &master_t, &rco);
+                        topi::cooperative_load(&mut *s, &cs, &threads);
+                    }
+                }
+            } else {
+                let last = axes.len() - 1;
+                let t_x = 32.min(out_t.shape()[last]);
+                let (bx, tx) = s.split(&out_t, &axes[last], t_x);
+                s.reorder(&out_t, &[&axes[0], &bx, &tx]);
+                s.bind(&out_t, &axes[0], BlockIdxY);
+                s.bind(&out_t, &bx, BlockIdxX);
+                s.bind(&out_t, &tx, ThreadIdxX);
+                s.compute_at(&master_t, &out_t, &tx);
+                if !reduce.is_empty() {
+                    let f = reduce[0].const_extent().unwrap_or(1).min(16).max(1);
+                    let (rco, _rci) = s.split(&master_t, &reduce[0], f);
+                    let threads = [(ThreadIdxX, t_x)];
+                    for inp in shared_inputs.iter().take(2) {
+                        let cs = s.cache_read(inp, MemScope::Shared, &[&master_t]);
+                        s.compute_at(&cs, &master_t, &rco);
+                        topi::cooperative_load(&mut *s, &cs, &threads);
+                    }
+                }
+            }
+        } else if axes.len() == 4 {
+            let last = axes.len() - 1;
+            let (wo, wi) = s.split(&out_t, &axes[last], 8.min(out_t.shape()[last]));
+            s.vectorize(&out_t, &wi);
+            s.parallel(&out_t, &axes[1]);
+            s.compute_at(&master_t, &out_t, &axes[2]);
+            let _ = wo;
+        } else {
+            let last = axes.len() - 1;
+            let (_, wi) = s.split(&out_t, &axes[last], 8.min(out_t.shape()[last]));
+            s.vectorize(&out_t, &wi);
+            s.compute_at(&master_t, &out_t, &axes[0]);
+        }
+    } else {
+        // Injective/reduction group.
+        topi::schedule_injective(s, &out_t, target);
+    }
+}
+
+fn build_group_with(
+    g: &Graph,
+    group: &Group,
+    target: &Target,
+    opts: &BuildOptions,
+    strategy: FuseStrategy,
+    name: &str,
+) -> Result<CompiledGroup, TeError> {
+    let mut gb = GroupBuild { tensors: HashMap::new(), inputs: Vec::new(), pads: Vec::new() };
+    for &m in &group.nodes {
+        emit_compute(g, &mut gb, m, &group.nodes);
+    }
+    let out_t = gb.tensors[&group.output].clone();
+    let mut s = create_schedule(&[out_t.clone()]);
+    schedule_group(&mut s, g, group, &gb, target, opts.db, strategy);
+    let mut arg_tensors: Vec<Tensor> = gb.inputs.iter().map(|(_, t)| t.clone()).collect();
+    arg_tensors.push(out_t);
+    let mut args: Vec<NodeId> = gb.inputs.iter().map(|(id, _)| *id).collect();
+    args.push(group.output);
+    let func = lower(&s, &arg_tensors, name)?;
+    let est_ms = estimate(func_ref(&func), target).millis();
+    Ok(CompiledGroup { func, args, est_ms, name: name.to_string() })
+}
+
+fn func_ref(f: &tvm_ir::LoweredFunc) -> &tvm_ir::LoweredFunc {
+    f
+}
+
+fn build_group(
+    g: &Graph,
+    _fused: &FusedGraph,
+    group: &Group,
+    target: &Target,
+    opts: &BuildOptions,
+) -> Result<CompiledGroup, TeError> {
+    let name = format!(
+        "fused_{}",
+        group
+            .nodes
+            .iter()
+            .map(|&m| g.node(m).op.name())
+            .collect::<Vec<_>>()
+            .join("_")
+    );
+    let master_is_complex =
+        g.node(group.master).op.pattern() == Pattern::ComplexOutFusable;
+    if master_is_complex && group.master != group.output {
+        // Two candidate strategies for fused complex groups; keep the one
+        // the cost model prefers (a compiler decision the simulator makes
+        // cheap to evaluate).
+        let a = build_group_with(g, group, target, opts, FuseStrategy::Attach, &name);
+        let b = build_group_with(g, group, target, opts, FuseStrategy::TemplateRoot, &name);
+        match (a, b) {
+            (Ok(x), Ok(y)) => Ok(if x.est_ms <= y.est_ms { x } else { y }),
+            (Ok(x), Err(_)) => Ok(x),
+            (Err(_), Ok(y)) => Ok(y),
+            (Err(e), Err(_)) => Err(e),
+        }
+    } else {
+        build_group_with(g, group, target, opts, FuseStrategy::Attach, &name)
+    }
+}

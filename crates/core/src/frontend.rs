@@ -1,0 +1,210 @@
+//! Model frontend: imports a JSON model description into the graph IR —
+//! the stand-in for the paper's Keras/MXNet/ONNX importers
+//! (`t.frontend.from_keras`).
+//!
+//! Format: `{"inputs": [{"name", "shape"}], "nodes": [{"name", "op",
+//! "inputs": [names], ...attrs}], "outputs": [names]}`.
+
+use std::collections::HashMap;
+
+use serde_json::Value;
+
+use tvm_graph::{Graph, NodeId, OpType};
+use tvm_topi::{Conv2dWorkload, DenseWorkload, DepthwiseConv2dWorkload};
+
+/// Import error.
+#[derive(Debug)]
+pub struct FrontendError(pub String);
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frontend error: {}", self.0)
+    }
+}
+impl std::error::Error for FrontendError {}
+
+fn err<T>(m: impl Into<String>) -> Result<T, FrontendError> {
+    Err(FrontendError(m.into()))
+}
+
+fn get_i64(v: &Value, key: &str) -> Result<i64, FrontendError> {
+    v.get(key)
+        .and_then(Value::as_i64)
+        .ok_or_else(|| FrontendError(format!("missing integer attr `{key}`")))
+}
+
+fn get_shape(v: &Value, key: &str) -> Result<Vec<i64>, FrontendError> {
+    v.get(key)
+        .and_then(Value::as_array)
+        .map(|a| a.iter().filter_map(Value::as_i64).collect())
+        .ok_or_else(|| FrontendError(format!("missing shape attr `{key}`")))
+}
+
+/// Parses a JSON model into a [`Graph`].
+pub fn from_json(text: &str) -> Result<Graph, FrontendError> {
+    let v: Value =
+        serde_json::from_str(text).map_err(|e| FrontendError(format!("bad json: {e}")))?;
+    let mut g = Graph::new();
+    let mut by_name: HashMap<String, NodeId> = HashMap::new();
+
+    for inp in v.get("inputs").and_then(Value::as_array).unwrap_or(&vec![]) {
+        let name = inp
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| FrontendError("input needs a name".into()))?;
+        let shape = get_shape(inp, "shape")?;
+        let id = g.input(&shape, name);
+        by_name.insert(name.to_string(), id);
+    }
+
+    for node in v.get("nodes").and_then(Value::as_array).unwrap_or(&vec![]) {
+        let name = node
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| FrontendError("node needs a name".into()))?;
+        let op = node
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| FrontendError(format!("node `{name}` needs an op")))?;
+        let input_ids: Vec<NodeId> = node
+            .get("inputs")
+            .and_then(Value::as_array)
+            .unwrap_or(&vec![])
+            .iter()
+            .filter_map(Value::as_str)
+            .map(|n| {
+                by_name
+                    .get(n)
+                    .copied()
+                    .ok_or_else(|| FrontendError(format!("unknown input `{n}` of `{name}`")))
+            })
+            .collect::<Result<_, _>>()?;
+        let x_shape =
+            input_ids.first().map(|&i| g.node(i).shape.clone()).unwrap_or_default();
+        let id = match op {
+            "conv2d" => {
+                let w = Conv2dWorkload {
+                    batch: x_shape[0],
+                    size: x_shape[2],
+                    in_c: x_shape[1],
+                    out_c: get_i64(node, "channels")?,
+                    kernel: get_i64(node, "kernel_size")?,
+                    stride: get_i64(node, "strides").unwrap_or(1),
+                    pad: get_i64(node, "padding")
+                        .unwrap_or(get_i64(node, "kernel_size")? / 2),
+                };
+                g.conv2d(input_ids[0], w, name)
+            }
+            "depthwise_conv2d" => {
+                let w = DepthwiseConv2dWorkload {
+                    batch: x_shape[0],
+                    size: x_shape[2],
+                    channels: x_shape[1],
+                    kernel: get_i64(node, "kernel_size")?,
+                    stride: get_i64(node, "strides").unwrap_or(1),
+                    pad: get_i64(node, "padding")
+                        .unwrap_or(get_i64(node, "kernel_size")? / 2),
+                };
+                g.depthwise_conv2d(input_ids[0], w, name)
+            }
+            "dense" => {
+                let w = DenseWorkload {
+                    m: x_shape[0],
+                    n: get_i64(node, "units")?,
+                    k: x_shape[1],
+                    dtype: tvm_ir::DType::float32(),
+                };
+                g.dense(input_ids[0], w, name)
+            }
+            "relu" => g.relu(input_ids[0], name),
+            "batch_norm" => g.batch_norm(input_ids[0], name),
+            "add" => g.add_op(input_ids[0], input_ids[1], name),
+            "multiply" => g.add(OpType::Multiply, input_ids.clone(), x_shape, name),
+            "tanh" => g.add(OpType::Tanh, input_ids.clone(), x_shape, name),
+            "sigmoid" => g.add(OpType::Sigmoid, input_ids.clone(), x_shape, name),
+            "softmax" => g.add(OpType::Softmax, input_ids.clone(), x_shape, name),
+            "flatten" => {
+                let flat: i64 = x_shape[1..].iter().product();
+                g.add(OpType::Flatten, input_ids.clone(), vec![x_shape[0], flat], name)
+            }
+            "max_pool2d" => {
+                let window = get_i64(node, "pool_size")?;
+                let stride = get_i64(node, "strides").unwrap_or(window);
+                let pad = get_i64(node, "padding").unwrap_or(0);
+                let o = (x_shape[2] + 2 * pad - window) / stride + 1;
+                g.add(
+                    OpType::MaxPool2d { window, stride, pad },
+                    input_ids.clone(),
+                    vec![x_shape[0], x_shape[1], o, o],
+                    name,
+                )
+            }
+            "global_avg_pool" => g.add(
+                OpType::GlobalAvgPool,
+                input_ids.clone(),
+                vec![x_shape[0], x_shape[1]],
+                name,
+            ),
+            other => return err(format!("unsupported op `{other}`")),
+        };
+        by_name.insert(name.to_string(), id);
+    }
+
+    for out in v.get("outputs").and_then(Value::as_array).unwrap_or(&vec![]) {
+        let n = out.as_str().ok_or_else(|| FrontendError("output must be a name".into()))?;
+        let id = *by_name
+            .get(n)
+            .ok_or_else(|| FrontendError(format!("unknown output `{n}`")))?;
+        g.outputs.push(id);
+    }
+    if g.outputs.is_empty() {
+        // Default: last node.
+        if let Some(last) = g.nodes.last() {
+            g.outputs.push(last.id);
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODEL: &str = r#"{
+        "inputs": [{"name": "data", "shape": [1, 3, 16, 16]}],
+        "nodes": [
+            {"name": "c1", "op": "conv2d", "inputs": ["data"],
+             "channels": 8, "kernel_size": 3, "strides": 1},
+            {"name": "b1", "op": "batch_norm", "inputs": ["c1"]},
+            {"name": "r1", "op": "relu", "inputs": ["b1"]},
+            {"name": "p1", "op": "max_pool2d", "inputs": ["r1"], "pool_size": 2},
+            {"name": "f1", "op": "flatten", "inputs": ["p1"]},
+            {"name": "fc", "op": "dense", "inputs": ["f1"], "units": 10},
+            {"name": "sm", "op": "softmax", "inputs": ["fc"]}
+        ],
+        "outputs": ["sm"]
+    }"#;
+
+    #[test]
+    fn imports_a_small_cnn() {
+        let g = from_json(MODEL).expect("imports");
+        assert_eq!(g.node(g.outputs[0]).shape, vec![1, 10]);
+        let convs = g.nodes.iter().filter(|n| n.op.name() == "conv2d").count();
+        assert_eq!(convs, 1);
+        // Implicit weight params created.
+        assert!(g.nodes.iter().any(|n| n.name == "c1_w"));
+    }
+
+    #[test]
+    fn unknown_op_is_an_error() {
+        let bad = r#"{"inputs": [{"name": "x", "shape": [1, 4]}],
+                      "nodes": [{"name": "q", "op": "quantum_fft", "inputs": ["x"]}]}"#;
+        assert!(from_json(bad).is_err());
+    }
+
+    #[test]
+    fn unknown_input_reference_is_an_error() {
+        let bad = r#"{"inputs": [], "nodes": [{"name": "r", "op": "relu", "inputs": ["ghost"]}]}"#;
+        assert!(from_json(bad).is_err());
+    }
+}

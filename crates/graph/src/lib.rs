@@ -1,0 +1,13 @@
+//! `tvm-graph` — the computational graph IR and high-level optimizations
+//! (§3): operator fusion by pattern category, static memory planning with
+//! buffer reuse, constant folding, and data-layout transformation.
+
+pub mod fusion;
+pub mod ir;
+pub mod layout;
+pub mod memplan;
+
+pub use fusion::{fuse, FusedGraph, Group};
+pub use ir::{Graph, Node, NodeId, OpType, Pattern};
+pub use layout::{cpu_preference, transform_layouts};
+pub use memplan::{constant_foldable, plan_memory, MemoryPlan};

@@ -1,0 +1,121 @@
+//! Property tests on the graph passes: fusion partitions the graph, and
+//! the memory planner never aliases two live tensors.
+
+use proptest::prelude::*;
+
+use tvm_graph::{fuse, plan_memory, Graph, OpType};
+use tvm_topi::Conv2dWorkload;
+
+/// Builds a random chain/diamond graph from a small op alphabet.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    prop::collection::vec((0u8..5, any::<bool>()), 1..14).prop_map(|ops| {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 8, 8, 8], "data");
+        let mut cur = x;
+        let mut older: Vec<_> = vec![];
+        for (i, (op, take_old)) in ops.into_iter().enumerate() {
+            let prev = cur;
+            cur = match op {
+                0 => {
+                    let w = Conv2dWorkload {
+                        batch: 1, size: 8, in_c: 8, out_c: 8, kernel: 3, stride: 1, pad: 1,
+                    };
+                    g.conv2d(cur, w, &format!("conv{i}"))
+                }
+                1 => g.relu(cur, &format!("relu{i}")),
+                2 => g.batch_norm(cur, &format!("bn{i}")),
+                3 => {
+                    // Residual add against an older tensor when available.
+                    let other = if take_old && !older.is_empty() {
+                        older[i % older.len()]
+                    } else {
+                        cur
+                    };
+                    if other == cur {
+                        g.relu(cur, &format!("relu{i}"))
+                    } else {
+                        g.add_op(cur, other, &format!("add{i}"))
+                    }
+                }
+                _ => {
+                    let shape = g.node(cur).shape.clone();
+                    g.add(OpType::Tanh, vec![cur], shape, format!("tanh{i}"))
+                }
+            };
+            older.push(prev);
+        }
+        g.outputs.push(cur);
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Fusion assigns every compute node to exactly one group, groups are
+    /// topologically contiguous, and each group has one output.
+    #[test]
+    fn fusion_partitions_the_graph(g in arb_graph(), enabled in any::<bool>()) {
+        let fused = fuse(&g, enabled);
+        let mut seen = vec![false; g.nodes.len()];
+        for (gi, grp) in fused.groups.iter().enumerate() {
+            prop_assert!(!grp.nodes.is_empty());
+            prop_assert!(grp.nodes.contains(&grp.master));
+            prop_assert!(grp.nodes.contains(&grp.output));
+            for &n in &grp.nodes {
+                prop_assert!(!seen[n.0], "node in two groups");
+                seen[n.0] = true;
+                prop_assert_eq!(fused.group_of[n.0], gi);
+            }
+        }
+        for node in &g.nodes {
+            let is_compute = !matches!(node.op, OpType::Input | OpType::Param);
+            prop_assert_eq!(seen[node.id.0], is_compute);
+        }
+    }
+
+    /// The memory plan never lets two simultaneously-live group outputs
+    /// share a storage slot, and every slot is large enough.
+    #[test]
+    fn memory_plan_is_alias_free(g in arb_graph()) {
+        let fused = fuse(&g, true);
+        let plan = plan_memory(&g, &fused);
+        let consumers = g.consumers();
+        let n_groups = fused.groups.len();
+        // Live range per group output.
+        let live_end: Vec<usize> = fused
+            .groups
+            .iter()
+            .map(|grp| {
+                let mut last = fused.group_of[grp.output.0];
+                for &c in &consumers[grp.output.0] {
+                    if fused.group_of[c.0] != usize::MAX {
+                        last = last.max(fused.group_of[c.0]);
+                    }
+                }
+                if g.outputs.contains(&grp.output) {
+                    last = n_groups;
+                }
+                last
+            })
+            .collect();
+        for (i, gi) in fused.groups.iter().enumerate() {
+            let si = plan.storage_of[gi.output.0];
+            prop_assert_ne!(si, usize::MAX);
+            let size = g.node(gi.output).shape.iter().product::<i64>() as usize;
+            prop_assert!(plan.slot_sizes[si] >= size);
+            for (j, gj) in fused.groups.iter().enumerate().skip(i + 1) {
+                let sj = plan.storage_of[gj.output.0];
+                if si == sj {
+                    // Overlapping live ranges must not share a slot; group j
+                    // starts at index j, so i's value must be dead by then.
+                    prop_assert!(
+                        live_end[i] < j,
+                        "slot {si} shared while group {i} is live until {} (j = {j})",
+                        live_end[i]
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Scalar and vector data types of the low-level IR.
+//!
+//! TVM programs manipulate fixed-width numeric types, including sub-byte
+//! quantized integers (`uint1`/`uint2`, used by the ultra-low-precision
+//! operators of §6.2) and half-precision floats (Mali evaluation, Fig. 19).
+
+use std::fmt;
+
+/// The kind of a numeric type.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum TypeCode {
+    /// Signed two's-complement integer.
+    Int,
+    /// Unsigned integer (including sub-byte widths 1, 2, 4).
+    UInt,
+    /// IEEE-754 binary float (16, 32 or 64 bits).
+    Float,
+}
+
+/// A (possibly vectorized) numeric data type: a type code, a bit width and a
+/// lane count.
+///
+/// `lanes > 1` denotes a short SIMD vector, as produced by the `vectorize`
+/// schedule primitive.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DType {
+    /// Scalar kind.
+    pub code: TypeCode,
+    /// Bits per lane. Sub-byte widths (1, 2, 4) are legal for `UInt`.
+    pub bits: u8,
+    /// Number of SIMD lanes; 1 for scalars.
+    pub lanes: u16,
+}
+
+impl DType {
+    /// Creates a scalar type from a code and bit width.
+    pub const fn new(code: TypeCode, bits: u8) -> Self {
+        DType { code, bits, lanes: 1 }
+    }
+
+    /// `bool` is represented as `uint1`.
+    pub const fn bool_() -> Self {
+        DType::new(TypeCode::UInt, 1)
+    }
+
+    /// Signed 8-bit integer.
+    pub const fn int8() -> Self {
+        DType::new(TypeCode::Int, 8)
+    }
+
+    /// Signed 16-bit integer.
+    pub const fn int16() -> Self {
+        DType::new(TypeCode::Int, 16)
+    }
+
+    /// Signed 32-bit integer — the default index type.
+    pub const fn int32() -> Self {
+        DType::new(TypeCode::Int, 32)
+    }
+
+    /// Signed 64-bit integer.
+    pub const fn int64() -> Self {
+        DType::new(TypeCode::Int, 64)
+    }
+
+    /// Unsigned integer of the given width (1, 2, 4, 8, 16, 32 or 64 bits).
+    pub const fn uint(bits: u8) -> Self {
+        DType::new(TypeCode::UInt, bits)
+    }
+
+    /// IEEE half-precision float.
+    pub const fn float16() -> Self {
+        DType::new(TypeCode::Float, 16)
+    }
+
+    /// IEEE single-precision float — the default compute type.
+    pub const fn float32() -> Self {
+        DType::new(TypeCode::Float, 32)
+    }
+
+    /// IEEE double-precision float.
+    pub const fn float64() -> Self {
+        DType::new(TypeCode::Float, 64)
+    }
+
+    /// Returns a copy of this type with `lanes` SIMD lanes.
+    pub const fn with_lanes(self, lanes: u16) -> Self {
+        DType { lanes, ..self }
+    }
+
+    /// Returns the scalar element type (lanes = 1).
+    pub const fn element(self) -> Self {
+        self.with_lanes(1)
+    }
+
+    /// True for `Int` and `UInt` codes.
+    pub const fn is_int(self) -> bool {
+        matches!(self.code, TypeCode::Int | TypeCode::UInt)
+    }
+
+    /// True for the `Float` code.
+    pub const fn is_float(self) -> bool {
+        matches!(self.code, TypeCode::Float)
+    }
+
+    /// True for the canonical boolean representation `uint1`.
+    pub const fn is_bool(self) -> bool {
+        matches!(self.code, TypeCode::UInt) && self.bits == 1
+    }
+
+    /// Storage size of one lane in bytes, rounding sub-byte types up.
+    ///
+    /// Sub-byte types are packed by the low-precision operators explicitly,
+    /// so for allocation purposes a lone `uint2` still occupies one byte.
+    pub const fn lane_bytes(self) -> usize {
+        ((self.bits as usize) + 7) / 8
+    }
+
+    /// Storage size of the full vector in bytes.
+    pub const fn bytes(self) -> usize {
+        self.lane_bytes() * self.lanes as usize
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let base = match self.code {
+            TypeCode::Int => "int",
+            TypeCode::UInt => "uint",
+            TypeCode::Float => "float",
+        };
+        if self.is_bool() && self.lanes == 1 {
+            return write!(f, "bool");
+        }
+        write!(f, "{}{}", base, self.bits)?;
+        if self.lanes > 1 {
+            write!(f, "x{}", self.lanes)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trip_names() {
+        assert_eq!(DType::int32().to_string(), "int32");
+        assert_eq!(DType::uint(1).to_string(), "bool");
+        assert_eq!(DType::uint(2).to_string(), "uint2");
+        assert_eq!(DType::float16().to_string(), "float16");
+        assert_eq!(DType::float32().with_lanes(4).to_string(), "float32x4");
+    }
+
+    #[test]
+    fn byte_sizes_round_sub_byte_up() {
+        assert_eq!(DType::uint(1).lane_bytes(), 1);
+        assert_eq!(DType::uint(2).lane_bytes(), 1);
+        assert_eq!(DType::int32().lane_bytes(), 4);
+        assert_eq!(DType::float32().with_lanes(8).bytes(), 32);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(DType::int8().is_int());
+        assert!(!DType::float32().is_int());
+        assert!(DType::float16().is_float());
+        assert!(DType::bool_().is_bool());
+        assert!(!DType::uint(8).is_bool());
+    }
+}

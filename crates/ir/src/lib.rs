@@ -1,0 +1,36 @@
+//! `tvm-ir` — the low-level intermediate representation of the tvm-rs stack.
+//!
+//! This crate provides the typed expression and loop-statement IR that the
+//! tensor-expression layer (`tvm-te`) lowers into, together with the
+//! analyses and tools every other layer relies on:
+//!
+//! * [`dtype`] — scalar/vector numeric types, including sub-byte quantized
+//!   integers and `float16`;
+//! * [`expr`] / [`stmt`] — immutable reference-counted IR trees with
+//!   operator-overloaded builders;
+//! * [`visit`] — visitor/mutator traversal and variable substitution;
+//! * [`mod@simplify`] — constant folding, affine canonicalization and
+//!   interval-based predicate elimination;
+//! * [`interval`] — conservative integer range analysis;
+//! * [`printer`] — the Python-like pseudo-code printer used in the paper's
+//!   listings;
+//! * [`interp`] — a reference interpreter with faithful GPU barrier
+//!   semantics, used as the correctness oracle for every schedule
+//!   transformation.
+
+pub mod dtype;
+pub mod expr;
+pub mod interp;
+pub mod interval;
+pub mod printer;
+pub mod simplify;
+pub mod stmt;
+pub mod visit;
+
+pub use dtype::{DType, TypeCode};
+pub use expr::{BinOp, CallKind, CmpOp, Expr, ExprNode, Range, Var, VarId};
+pub use interp::{Buffer, Interp, InterpError, MemState, Value};
+pub use interval::{eval_interval, Interval};
+pub use simplify::{simplify, simplify_stmt, simplify_with, Simplifier};
+pub use stmt::{ForKind, LoweredFunc, MemScope, PipeStage, Stmt, StmtNode, ThreadTag};
+pub use visit::{collect_vars, substitute, substitute_one, substitute_stmt, Mutator, Visitor};

@@ -1,0 +1,631 @@
+//! Algebraic simplifier.
+//!
+//! Performs constant folding, identity elimination (`x+0`, `x*1`, `x*0`),
+//! light affine canonicalization (`(x+c1)+c2 → x+(c1+c2)`), and — when
+//! variable ranges are supplied — interval-based predicate elimination,
+//! which is what lets lowering drop always-true bounds checks.
+
+use std::collections::HashMap;
+
+use crate::dtype::{DType, TypeCode};
+use crate::expr::{BinOp, CmpOp, Expr, ExprNode, VarId};
+use crate::interval::{eval_interval, floor_div, floor_mod, prove_cmp, Interval};
+use crate::stmt::{Stmt, StmtNode};
+use crate::visit::Mutator;
+
+/// Simplifier with an optional variable-range context.
+pub struct Simplifier {
+    bounds: HashMap<VarId, Interval>,
+}
+
+impl Default for Simplifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simplifier {
+    /// Simplifier with no range information.
+    pub fn new() -> Self {
+        Simplifier { bounds: HashMap::new() }
+    }
+
+    /// Simplifier that may use `bounds` to prove predicates.
+    pub fn with_bounds(bounds: HashMap<VarId, Interval>) -> Self {
+        Simplifier { bounds }
+    }
+
+    /// Registers a variable range.
+    pub fn bind_range(&mut self, id: VarId, iv: Interval) {
+        self.bounds.insert(id, iv);
+    }
+
+    fn fold_int_binop(op: BinOp, a: i64, b: i64) -> Option<i64> {
+        Some(match op {
+            BinOp::Add => a.checked_add(b)?,
+            BinOp::Sub => a.checked_sub(b)?,
+            BinOp::Mul => a.checked_mul(b)?,
+            BinOp::Div => {
+                if b == 0 {
+                    return None;
+                }
+                floor_div(a, b)
+            }
+            BinOp::Mod => {
+                if b == 0 {
+                    return None;
+                }
+                floor_mod(a, b)
+            }
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+            BinOp::BitAnd => a & b,
+            BinOp::BitOr => a | b,
+            BinOp::BitXor => a ^ b,
+            BinOp::Shl => {
+                if !(0..64).contains(&b) {
+                    return None;
+                }
+                a.checked_shl(b as u32)?
+            }
+            BinOp::Shr => {
+                if !(0..64).contains(&b) {
+                    return None;
+                }
+                a >> b
+            }
+        })
+    }
+
+    fn fold_float_binop(op: BinOp, a: f64, b: f64) -> Option<f64> {
+        Some(match op {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+            _ => return None,
+        })
+    }
+
+    fn simplify_binary(&mut self, op: BinOp, a: Expr, b: Expr) -> Expr {
+        // Constant folding.
+        if let (Some(x), Some(y)) = (a.as_int(), b.as_int()) {
+            if let Some(v) = Self::fold_int_binop(op, x, y) {
+                return Expr::int_of(v, a.dtype());
+            }
+        }
+        if let (Some(x), Some(y)) = (a.as_float(), b.as_float()) {
+            if let Some(v) = Self::fold_float_binop(op, x, y) {
+                return Expr::new(ExprNode::FloatImm { value: v, dtype: a.dtype() });
+            }
+        }
+        // Canonicalize: move the constant to the right for commutative ops.
+        let (a, b) = if op.commutative() && is_const(&a) && !is_const(&b) { (b, a) } else { (a, b) };
+        let is_float = a.dtype().is_float();
+        match op {
+            BinOp::Add => {
+                if is_zero(&b) {
+                    return a;
+                }
+                if is_zero(&a) {
+                    return b;
+                }
+                // (x + c1) + c2 -> x + (c1 + c2)
+                if let (Some(c2), ExprNode::Binary { op: BinOp::Add, a: x, b: c1e }) =
+                    (b.as_int(), &*a.0)
+                {
+                    if let Some(c1) = c1e.as_int() {
+                        if let Some(c) = c1.checked_add(c2) {
+                            return self
+                                .simplify_binary(BinOp::Add, x.clone(), Expr::int_of(c, x.dtype()));
+                        }
+                    }
+                }
+            }
+            BinOp::Sub => {
+                if is_zero(&b) {
+                    return a;
+                }
+                if !is_float && a.structural_eq(&b) {
+                    return Expr::zero(a.dtype());
+                }
+                // Affine cancellation: rebase expressions like
+                // `(yo*8 + yi) - yo*8` produced by buffer-index rebasing.
+                if !is_float {
+                    if let (Some(la), Some(lb)) = (linearize(&a), linearize(&b)) {
+                        if let Some(e) = rebuild_linear_diff(la, lb, a.dtype()) {
+                            return e;
+                        }
+                    }
+                }
+            }
+            BinOp::Mul => {
+                if is_zero(&b) && !is_float {
+                    return Expr::zero(a.dtype());
+                }
+                if is_one(&b) {
+                    return a;
+                }
+                if is_zero(&a) && !is_float {
+                    return Expr::zero(b.dtype());
+                }
+                if is_one(&a) {
+                    return b;
+                }
+                // (x * c1) * c2 -> x * (c1 * c2)
+                if let (Some(c2), ExprNode::Binary { op: BinOp::Mul, a: x, b: c1e }) =
+                    (b.as_int(), &*a.0)
+                {
+                    if let Some(c1) = c1e.as_int() {
+                        if let Some(c) = c1.checked_mul(c2) {
+                            return self
+                                .simplify_binary(BinOp::Mul, x.clone(), Expr::int_of(c, x.dtype()));
+                        }
+                    }
+                }
+            }
+            BinOp::Div => {
+                if is_one(&b) {
+                    return a;
+                }
+                // Interval: a in [0, b) -> a / b == 0.
+                if let (Some(ia), Some(c)) = (eval_interval(&a, &self.bounds), b.as_int()) {
+                    if c > 0 && ia.min >= 0 && ia.max < c {
+                        return Expr::zero(a.dtype());
+                    }
+                }
+            }
+            BinOp::Mod => {
+                if is_one(&b) && !is_float {
+                    return Expr::zero(a.dtype());
+                }
+                // Interval: a in [0, b) -> a % b == a.
+                if let (Some(ia), Some(c)) = (eval_interval(&a, &self.bounds), b.as_int()) {
+                    if c > 0 && ia.min >= 0 && ia.max < c {
+                        return a;
+                    }
+                }
+            }
+            BinOp::Min | BinOp::Max => {
+                if a.structural_eq(&b) {
+                    return a;
+                }
+                // Interval-proven dominance.
+                if let (Some(ia), Some(ib)) =
+                    (eval_interval(&a, &self.bounds), eval_interval(&b, &self.bounds))
+                {
+                    match op {
+                        BinOp::Min => {
+                            if ia.max <= ib.min {
+                                return a;
+                            }
+                            if ib.max <= ia.min {
+                                return b;
+                            }
+                        }
+                        BinOp::Max => {
+                            if ia.min >= ib.max {
+                                return a;
+                            }
+                            if ib.min >= ia.max {
+                                return b;
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            }
+            _ => {}
+        }
+        Expr::binary(op, a, b)
+    }
+
+    fn simplify_cmp(&mut self, op: CmpOp, a: Expr, b: Expr) -> Expr {
+        if let Some(v) = prove_cmp(op, &a, &b, &self.bounds) {
+            return Expr::bool_(v);
+        }
+        Expr::cmp(op, a, b)
+    }
+}
+
+/// A linear combination: atomic sub-expressions with integer coefficients
+/// plus a constant.
+type Linear = (Vec<(Expr, i64)>, i64);
+
+/// Decomposes an integer expression into a linear combination of atomic
+/// terms. Atoms are variables or non-affine sub-expressions compared
+/// structurally. Returns `None` for floats or non-decomposable forms.
+fn linearize(e: &Expr) -> Option<Linear> {
+    if !e.dtype().is_int() {
+        return None;
+    }
+    match &*e.0 {
+        ExprNode::IntImm { value, .. } => Some((Vec::new(), *value)),
+        ExprNode::Var(_) => Some((vec![(e.clone(), 1)], 0)),
+        ExprNode::Binary { op: BinOp::Add, a, b } => {
+            let (ta, ca) = linearize(a)?;
+            let (tb, cb) = linearize(b)?;
+            Some((merge_terms(ta, tb, 1), ca.checked_add(cb)?))
+        }
+        ExprNode::Binary { op: BinOp::Sub, a, b } => {
+            let (ta, ca) = linearize(a)?;
+            let (tb, cb) = linearize(b)?;
+            Some((merge_terms(ta, tb, -1), ca.checked_sub(cb)?))
+        }
+        ExprNode::Binary { op: BinOp::Mul, a, b } => {
+            let (lin, c) = if let Some(c) = b.as_int() {
+                (linearize(a)?, c)
+            } else if let Some(c) = a.as_int() {
+                (linearize(b)?, c)
+            } else {
+                // Non-affine product: treat as an atom.
+                return Some((vec![(e.clone(), 1)], 0));
+            };
+            let (t, k) = lin;
+            let t = t
+                .into_iter()
+                .map(|(a, co)| co.checked_mul(c).map(|nc| (a, nc)))
+                .collect::<Option<Vec<_>>>()?;
+            Some((t, k.checked_mul(c)?))
+        }
+        // Division, modulus, min/max, loads etc.: atomic terms.
+        _ => Some((vec![(e.clone(), 1)], 0)),
+    }
+}
+
+fn merge_terms(a: Vec<(Expr, i64)>, b: Vec<(Expr, i64)>, sign: i64) -> Vec<(Expr, i64)> {
+    let mut out = a;
+    'next: for (atom, coef) in b {
+        let coef = coef * sign;
+        for (ex, c) in out.iter_mut() {
+            if ex.structural_eq(&atom) {
+                *c += coef;
+                continue 'next;
+            }
+        }
+        out.push((atom, coef));
+    }
+    out.retain(|(_, c)| *c != 0);
+    out
+}
+
+/// Rebuilds `la - lb` as a canonical sum if any term cancels; `None` when no
+/// cancellation happens (keep the original tree to avoid churn).
+fn rebuild_linear_diff(la: Linear, lb: Linear, dtype: DType) -> Option<Expr> {
+    let before = la.0.len() + lb.0.len();
+    let terms = merge_terms(la.0, lb.0, -1);
+    let konst = la.1.checked_sub(lb.1)?;
+    if terms.len() >= before {
+        return None;
+    }
+    let mut acc: Option<Expr> = None;
+    for (atom, coef) in terms {
+        let piece = if coef == 1 {
+            atom
+        } else if coef == -1 {
+            match acc.take() {
+                Some(a) => {
+                    acc = Some(Expr::binary(BinOp::Sub, a, atom));
+                    continue;
+                }
+                None => Expr::binary(BinOp::Mul, atom, Expr::int_of(-1, dtype)),
+            }
+        } else if coef < 0 {
+            match acc.take() {
+                Some(a) => {
+                    acc = Some(Expr::binary(
+                        BinOp::Sub,
+                        a,
+                        Expr::binary(BinOp::Mul, atom, Expr::int_of(-coef, dtype)),
+                    ));
+                    continue;
+                }
+                None => Expr::binary(BinOp::Mul, atom, Expr::int_of(coef, dtype)),
+            }
+        } else {
+            Expr::binary(BinOp::Mul, atom, Expr::int_of(coef, dtype))
+        };
+        acc = Some(match acc {
+            Some(a) => Expr::binary(BinOp::Add, a, piece),
+            None => piece,
+        });
+    }
+    let base = acc.unwrap_or_else(|| Expr::zero(dtype));
+    Some(if konst == 0 {
+        base
+    } else if konst > 0 {
+        Expr::binary(BinOp::Add, base, Expr::int_of(konst, dtype))
+    } else {
+        Expr::binary(BinOp::Sub, base, Expr::int_of(-konst, dtype))
+    })
+}
+
+fn is_const(e: &Expr) -> bool {
+    matches!(&*e.0, ExprNode::IntImm { .. } | ExprNode::FloatImm { .. })
+}
+
+fn is_zero(e: &Expr) -> bool {
+    e.as_int() == Some(0) || e.as_float() == Some(0.0)
+}
+
+fn is_one(e: &Expr) -> bool {
+    e.as_int() == Some(1) || e.as_float() == Some(1.0)
+}
+
+impl Mutator for Simplifier {
+    fn mutate_expr(&mut self, e: &Expr) -> Expr {
+        let e = self.default_mutate_expr(e);
+        match &*e.0 {
+            ExprNode::Binary { op, a, b } => self.simplify_binary(*op, a.clone(), b.clone()),
+            ExprNode::Cmp { op, a, b } => self.simplify_cmp(*op, a.clone(), b.clone()),
+            ExprNode::And { a, b } => {
+                if a.is_const_int(1) {
+                    return b.clone();
+                }
+                if b.is_const_int(1) {
+                    return a.clone();
+                }
+                if a.is_const_int(0) || b.is_const_int(0) {
+                    return Expr::bool_(false);
+                }
+                e
+            }
+            ExprNode::Or { a, b } => {
+                if a.is_const_int(0) {
+                    return b.clone();
+                }
+                if b.is_const_int(0) {
+                    return a.clone();
+                }
+                if a.is_const_int(1) || b.is_const_int(1) {
+                    return Expr::bool_(true);
+                }
+                e
+            }
+            ExprNode::Not { a } => match a.as_int() {
+                Some(v) => Expr::bool_(v == 0),
+                None => e,
+            },
+            ExprNode::Select { cond, then_case, else_case } => match cond.as_int() {
+                Some(0) => else_case.clone(),
+                Some(_) => then_case.clone(),
+                None => e,
+            },
+            ExprNode::Cast { dtype, value } => {
+                if let Some(v) = value.as_int() {
+                    if dtype.is_int() {
+                        let folded = fold_int_cast(v, dtype.bits, dtype.code);
+                        return Expr::int_of(folded, *dtype);
+                    }
+                    if dtype.is_float() {
+                        return Expr::new(ExprNode::FloatImm { value: v as f64, dtype: *dtype });
+                    }
+                }
+                if let Some(v) = value.as_float() {
+                    if dtype.is_float() {
+                        return Expr::new(ExprNode::FloatImm { value: v, dtype: *dtype });
+                    }
+                }
+                e
+            }
+            _ => e,
+        }
+    }
+
+    fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
+        // Register loop-var ranges on the way down so nested predicates can
+        // be discharged.
+        if let StmtNode::For { var, min, extent, kind, body } = &*s.0 {
+            let min_s = self.mutate_expr(min);
+            let ext_s = self.mutate_expr(extent);
+            if let (Some(lo), Some(n)) = (min_s.as_int(), ext_s.as_int()) {
+                if n > 0 {
+                    self.bounds.insert(var.id(), Interval::new(lo, lo + n - 1));
+                }
+            }
+            let body_s = self.mutate_stmt(body);
+            self.bounds.remove(&var.id());
+            if ext_s.as_int() == Some(1) {
+                // Single-iteration loop: inline the loop var.
+                let mut m = HashMap::new();
+                m.insert(var.id(), min_s);
+                let inlined = crate::visit::substitute_stmt(&body_s, &m);
+                return self.mutate_stmt(&inlined);
+            }
+            if ext_s.as_int() == Some(0) {
+                return Stmt::nop();
+            }
+            return Stmt::loop_(var, min_s, ext_s, *kind, body_s);
+        }
+        let s = self.default_mutate_stmt(s);
+        match &*s.0 {
+            StmtNode::IfThenElse { cond, then_case, else_case } => match cond.as_int() {
+                Some(0) => else_case.clone().unwrap_or_else(Stmt::nop),
+                Some(_) => then_case.clone(),
+                None => s,
+            },
+            StmtNode::Seq(stmts) => {
+                let filtered: Vec<Stmt> =
+                    stmts.iter().filter(|st| !st.is_nop()).cloned().collect();
+                if filtered.len() != stmts.len() {
+                    Stmt::seq(filtered)
+                } else {
+                    s
+                }
+            }
+            _ => s,
+        }
+    }
+}
+
+fn fold_int_cast(v: i64, bits: u8, code: TypeCode) -> i64 {
+    if bits >= 64 {
+        return v;
+    }
+    let mask = (1i64 << bits) - 1;
+    let low = v & mask;
+    match code {
+        TypeCode::UInt => low,
+        TypeCode::Int => {
+            // Sign-extend.
+            let sign = 1i64 << (bits - 1);
+            if low & sign != 0 {
+                low - (1i64 << bits)
+            } else {
+                low
+            }
+        }
+        TypeCode::Float => unreachable!("int cast only"),
+    }
+}
+
+/// Simplifies an expression with no range context.
+pub fn simplify(e: &Expr) -> Expr {
+    Simplifier::new().mutate_expr(e)
+}
+
+/// Simplifies an expression under variable ranges.
+pub fn simplify_with(e: &Expr, bounds: &HashMap<VarId, Interval>) -> Expr {
+    Simplifier::with_bounds(bounds.clone()).mutate_expr(e)
+}
+
+/// Simplifies a statement, learning loop ranges on the way down.
+pub fn simplify_stmt(s: &Stmt) -> Stmt {
+    Simplifier::new().mutate_stmt(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DType;
+    use crate::expr::Var;
+
+    #[test]
+    fn constant_folding() {
+        let e = Expr::int(3) * 4 + 5;
+        assert_eq!(simplify(&e).as_int(), Some(17));
+    }
+
+    #[test]
+    fn identities() {
+        let x = Var::int("x");
+        assert!(simplify(&(x.clone() + 0)).structural_eq(&x.to_expr()));
+        assert!(simplify(&(x.clone() * 1)).structural_eq(&x.to_expr()));
+        assert_eq!(simplify(&(x.clone() * 0)).as_int(), Some(0));
+        assert_eq!(simplify(&(x.clone() - x.to_expr())).as_int(), Some(0));
+    }
+
+    #[test]
+    fn affine_collapse() {
+        let x = Var::int("x");
+        let e = (x.clone() + 3) + 4;
+        let s = simplify(&e);
+        assert!(s.structural_eq(&(x.clone() + 7)));
+        let e = (x.clone() * 3) * 4;
+        assert!(simplify(&e).structural_eq(&(x.clone() * 12)));
+    }
+
+    #[test]
+    fn const_moves_right() {
+        let x = Var::int("x");
+        let e = Expr::int(5) + x.to_expr();
+        assert!(simplify(&e).structural_eq(&(x.clone() + 5)));
+    }
+
+    #[test]
+    fn interval_predicate_elimination() {
+        let x = Var::int("x");
+        let mut b = HashMap::new();
+        b.insert(x.id(), Interval::new(0, 7));
+        let e = x.to_expr().lt(Expr::int(8));
+        assert_eq!(simplify_with(&e, &b).as_int(), Some(1));
+        let e = (x.clone() % 8).structural_eq(&x.to_expr());
+        assert!(!e); // unsimplified differs
+        let e = simplify_with(&(x.clone() % 8), &b);
+        assert!(e.structural_eq(&x.to_expr()));
+        let e = simplify_with(&(x.clone() / 8), &b);
+        assert_eq!(e.as_int(), Some(0));
+    }
+
+    #[test]
+    fn loop_range_learned_in_stmt() {
+        let x = Var::int("x");
+        let buf = Var::new("b", DType::float32());
+        // for x in [0,4): if x < 4 { b[x] = 1.0 }  -- predicate drops.
+        let body = Stmt::if_then(
+            x.to_expr().lt(Expr::int(4)),
+            Stmt::store(&buf, x.to_expr(), Expr::f32(1.0)),
+        );
+        let s = Stmt::for_(&x, 0, 4, body);
+        let out = simplify_stmt(&s);
+        match &*out.0 {
+            StmtNode::For { body, .. } => {
+                assert!(matches!(&*body.0, StmtNode::Store { .. }), "predicate not dropped: {body}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unit_loop_inlined() {
+        let x = Var::int("x");
+        let buf = Var::new("b", DType::float32());
+        let s = Stmt::for_(&x, 3, 1, Stmt::store(&buf, x.to_expr(), Expr::f32(1.0)));
+        let out = simplify_stmt(&s);
+        match &*out.0 {
+            StmtNode::Store { index, .. } => assert_eq!(index.as_int(), Some(3)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_loop_removed() {
+        let x = Var::int("x");
+        let buf = Var::new("b", DType::float32());
+        let s = Stmt::for_(&x, 0, 0, Stmt::store(&buf, x.to_expr(), Expr::f32(1.0)));
+        assert!(simplify_stmt(&s).is_nop());
+    }
+
+    #[test]
+    fn select_and_bool_folding() {
+        let x = Var::int("x");
+        let e = Expr::select(Expr::bool_(true), x.to_expr(), Expr::int(0));
+        assert!(simplify(&e).structural_eq(&x.to_expr()));
+        let e = Expr::bool_(true).and(x.to_expr().lt(Expr::int(3)));
+        assert!(simplify(&e).structural_eq(&x.to_expr().lt(Expr::int(3))));
+    }
+
+    #[test]
+    fn affine_rebase_cancellation() {
+        let yo = Var::int("yo");
+        let yi = Var::int("yi");
+        // (yo*8 + yi) - yo*8 -> yi
+        let e = (yo.clone() * 8 + yi.clone()) - (yo.clone() * 8);
+        assert!(simplify(&e).structural_eq(&yi.to_expr()), "{}", simplify(&e));
+        // ((yo*8 + yi)*2 + 3) - yo*16 -> yi*2 + 3
+        let e = ((yo.clone() * 8 + yi.clone()) * 2 + 3) - (yo.clone() * 16);
+        let s = simplify(&e);
+        assert!(s.structural_eq(&(yi.clone() * 2 + 3)), "{s}");
+    }
+
+    #[test]
+    fn affine_no_cancellation_keeps_tree() {
+        let a = Var::int("a");
+        let b = Var::int("b");
+        let e = a.clone() - b.clone();
+        let s = simplify(&e);
+        assert!(s.structural_eq(&(a.clone() - b.clone())), "{s}");
+    }
+
+    #[test]
+    fn int_cast_folding_masks() {
+        let e = Expr::int(300).cast(DType::uint(8));
+        assert_eq!(simplify(&e).as_int(), Some(44));
+        let e = Expr::int(200).cast(DType::int8());
+        assert_eq!(simplify(&e).as_int(), Some(-56));
+        let e = Expr::int(5).cast(DType::uint(2));
+        assert_eq!(simplify(&e).as_int(), Some(1));
+    }
+}

@@ -1,0 +1,308 @@
+//! Visitor and mutator infrastructure over the expression/statement trees,
+//! plus the ubiquitous variable-substitution pass.
+
+use std::collections::HashMap;
+
+use crate::expr::{Expr, ExprNode, Var, VarId};
+use crate::stmt::{Stmt, StmtNode};
+
+/// Rewrites expressions and statements bottom-up.
+///
+/// Implementors override [`Mutator::mutate_expr`] / [`Mutator::mutate_stmt`]
+/// and call the `default_*` helpers to recurse.
+pub trait Mutator {
+    /// Rewrites one expression (override point).
+    fn mutate_expr(&mut self, e: &Expr) -> Expr {
+        self.default_mutate_expr(e)
+    }
+
+    /// Rewrites one statement (override point).
+    fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
+        self.default_mutate_stmt(s)
+    }
+
+    /// Recurses into an expression's children.
+    fn default_mutate_expr(&mut self, e: &Expr) -> Expr {
+        use ExprNode::*;
+        match &*e.0 {
+            IntImm { .. } | FloatImm { .. } | StringImm(_) | Var(_) => e.clone(),
+            Cast { dtype, value } => {
+                Expr::new(Cast { dtype: *dtype, value: self.mutate_expr(value) })
+            }
+            Binary { op, a, b } => {
+                Expr::new(Binary { op: *op, a: self.mutate_expr(a), b: self.mutate_expr(b) })
+            }
+            Cmp { op, a, b } => {
+                Expr::new(Cmp { op: *op, a: self.mutate_expr(a), b: self.mutate_expr(b) })
+            }
+            And { a, b } => Expr::new(And { a: self.mutate_expr(a), b: self.mutate_expr(b) }),
+            Or { a, b } => Expr::new(Or { a: self.mutate_expr(a), b: self.mutate_expr(b) }),
+            Not { a } => Expr::new(Not { a: self.mutate_expr(a) }),
+            Select { cond, then_case, else_case } => Expr::new(Select {
+                cond: self.mutate_expr(cond),
+                then_case: self.mutate_expr(then_case),
+                else_case: self.mutate_expr(else_case),
+            }),
+            Load { buffer, index, predicate } => Expr::new(Load {
+                buffer: buffer.clone(),
+                index: self.mutate_expr(index),
+                predicate: predicate.as_ref().map(|p| self.mutate_expr(p)),
+            }),
+            Ramp { base, stride, lanes } => Expr::new(Ramp {
+                base: self.mutate_expr(base),
+                stride: self.mutate_expr(stride),
+                lanes: *lanes,
+            }),
+            Broadcast { value, lanes } => {
+                Expr::new(Broadcast { value: self.mutate_expr(value), lanes: *lanes })
+            }
+            Let { var, value, body } => Expr::new(Let {
+                var: var.clone(),
+                value: self.mutate_expr(value),
+                body: self.mutate_expr(body),
+            }),
+            Call { dtype, name, args, kind } => Expr::new(Call {
+                dtype: *dtype,
+                name: name.clone(),
+                args: args.iter().map(|a| self.mutate_expr(a)).collect(),
+                kind: *kind,
+            }),
+        }
+    }
+
+    /// Recurses into a statement's children.
+    fn default_mutate_stmt(&mut self, s: &Stmt) -> Stmt {
+        use StmtNode::*;
+        match &*s.0 {
+            LetStmt { var, value, body } => Stmt::new(LetStmt {
+                var: var.clone(),
+                value: self.mutate_expr(value),
+                body: self.mutate_stmt(body),
+            }),
+            AttrStmt { key, value, body } => Stmt::new(AttrStmt {
+                key: key.clone(),
+                value: self.mutate_expr(value),
+                body: self.mutate_stmt(body),
+            }),
+            Store { buffer, index, value, predicate } => Stmt::new(Store {
+                buffer: buffer.clone(),
+                index: self.mutate_expr(index),
+                value: self.mutate_expr(value),
+                predicate: predicate.as_ref().map(|p| self.mutate_expr(p)),
+            }),
+            Allocate { buffer, dtype, extent, scope, body } => Stmt::new(Allocate {
+                buffer: buffer.clone(),
+                dtype: *dtype,
+                extent: self.mutate_expr(extent),
+                scope: *scope,
+                body: self.mutate_stmt(body),
+            }),
+            For { var, min, extent, kind, body } => Stmt::new(For {
+                var: var.clone(),
+                min: self.mutate_expr(min),
+                extent: self.mutate_expr(extent),
+                kind: *kind,
+                body: self.mutate_stmt(body),
+            }),
+            Seq(stmts) => Stmt::seq(stmts.iter().map(|st| self.mutate_stmt(st)).collect()),
+            IfThenElse { cond, then_case, else_case } => Stmt::new(IfThenElse {
+                cond: self.mutate_expr(cond),
+                then_case: self.mutate_stmt(then_case),
+                else_case: else_case.as_ref().map(|e| self.mutate_stmt(e)),
+            }),
+            Evaluate(e) => Stmt::new(Evaluate(self.mutate_expr(e))),
+            Barrier | PushDep { .. } | PopDep { .. } => s.clone(),
+        }
+    }
+}
+
+/// Read-only traversal of expressions and statements.
+pub trait Visitor {
+    /// Visits one expression (override and recurse via
+    /// [`Visitor::walk_expr`]).
+    fn visit_expr(&mut self, e: &Expr) {
+        self.walk_expr(e);
+    }
+
+    /// Visits one statement.
+    fn visit_stmt(&mut self, s: &Stmt) {
+        self.walk_stmt(s);
+    }
+
+    /// Recurses into an expression's children.
+    fn walk_expr(&mut self, e: &Expr) {
+        use ExprNode::*;
+        match &*e.0 {
+            IntImm { .. } | FloatImm { .. } | StringImm(_) | Var(_) => {}
+            Cast { value, .. } => self.visit_expr(value),
+            Binary { a, b, .. } | Cmp { a, b, .. } | And { a, b } | Or { a, b } => {
+                self.visit_expr(a);
+                self.visit_expr(b);
+            }
+            Not { a } => self.visit_expr(a),
+            Select { cond, then_case, else_case } => {
+                self.visit_expr(cond);
+                self.visit_expr(then_case);
+                self.visit_expr(else_case);
+            }
+            Load { index, predicate, .. } => {
+                self.visit_expr(index);
+                if let Some(p) = predicate {
+                    self.visit_expr(p);
+                }
+            }
+            Ramp { base, stride, .. } => {
+                self.visit_expr(base);
+                self.visit_expr(stride);
+            }
+            Broadcast { value, .. } => self.visit_expr(value),
+            Let { value, body, .. } => {
+                self.visit_expr(value);
+                self.visit_expr(body);
+            }
+            Call { args, .. } => {
+                for a in args {
+                    self.visit_expr(a);
+                }
+            }
+        }
+    }
+
+    /// Recurses into a statement's children.
+    fn walk_stmt(&mut self, s: &Stmt) {
+        use StmtNode::*;
+        match &*s.0 {
+            LetStmt { value, body, .. } => {
+                self.visit_expr(value);
+                self.visit_stmt(body);
+            }
+            AttrStmt { value, body, .. } => {
+                self.visit_expr(value);
+                self.visit_stmt(body);
+            }
+            Store { index, value, predicate, .. } => {
+                self.visit_expr(index);
+                self.visit_expr(value);
+                if let Some(p) = predicate {
+                    self.visit_expr(p);
+                }
+            }
+            Allocate { extent, body, .. } => {
+                self.visit_expr(extent);
+                self.visit_stmt(body);
+            }
+            For { min, extent, body, .. } => {
+                self.visit_expr(min);
+                self.visit_expr(extent);
+                self.visit_stmt(body);
+            }
+            Seq(stmts) => {
+                for st in stmts {
+                    self.visit_stmt(st);
+                }
+            }
+            IfThenElse { cond, then_case, else_case } => {
+                self.visit_expr(cond);
+                self.visit_stmt(then_case);
+                if let Some(e) = else_case {
+                    self.visit_stmt(e);
+                }
+            }
+            Evaluate(e) => self.visit_expr(e),
+            Barrier | PushDep { .. } | PopDep { .. } => {}
+        }
+    }
+}
+
+struct Substituter<'a> {
+    map: &'a HashMap<VarId, Expr>,
+}
+
+impl Mutator for Substituter<'_> {
+    fn mutate_expr(&mut self, e: &Expr) -> Expr {
+        if let ExprNode::Var(v) = &*e.0 {
+            if let Some(repl) = self.map.get(&v.id()) {
+                return repl.clone();
+            }
+        }
+        self.default_mutate_expr(e)
+    }
+}
+
+/// Replaces free occurrences of variables in `e` according to `map`.
+pub fn substitute(e: &Expr, map: &HashMap<VarId, Expr>) -> Expr {
+    Substituter { map }.mutate_expr(e)
+}
+
+/// Replaces free occurrences of variables in `s` according to `map`.
+pub fn substitute_stmt(s: &Stmt, map: &HashMap<VarId, Expr>) -> Stmt {
+    Substituter { map }.mutate_stmt(s)
+}
+
+/// Replaces a single variable in `e`.
+pub fn substitute_one(e: &Expr, var: &Var, with: &Expr) -> Expr {
+    let mut map = HashMap::new();
+    map.insert(var.id(), with.clone());
+    substitute(e, &map)
+}
+
+/// Collects the set of free variables referenced by an expression.
+pub fn collect_vars(e: &Expr) -> Vec<Var> {
+    struct C {
+        out: Vec<Var>,
+    }
+    impl Visitor for C {
+        fn visit_expr(&mut self, e: &Expr) {
+            if let ExprNode::Var(v) = &*e.0 {
+                if !self.out.iter().any(|x| x == v) {
+                    self.out.push(v.clone());
+                }
+            }
+            self.walk_expr(e);
+        }
+    }
+    let mut c = C { out: Vec::new() };
+    c.visit_expr(e);
+    c.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DType;
+
+    #[test]
+    fn substitution_replaces_all_occurrences() {
+        let x = Var::int("x");
+        let y = Var::int("y");
+        let e = (x.clone() + 1) * (x.clone() + 2);
+        let sub = substitute_one(&e, &x, &y.to_expr());
+        let expected = (y.clone() + 1) * (y.clone() + 2);
+        assert!(sub.structural_eq(&expected));
+    }
+
+    #[test]
+    fn substitution_in_stmt() {
+        let x = Var::int("x");
+        let buf = Var::new("b", DType::float32());
+        let s = Stmt::store(&buf, x.to_expr(), Expr::f32(1.0));
+        let s2 = substitute_stmt(&s, &{
+            let mut m = HashMap::new();
+            m.insert(x.id(), Expr::int(7));
+            m
+        });
+        match &*s2.0 {
+            StmtNode::Store { index, .. } => assert_eq!(index.as_int(), Some(7)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collect_vars_dedupes() {
+        let x = Var::int("x");
+        let y = Var::int("y");
+        let e = (x.clone() + y.clone()) * x.clone();
+        let vars = collect_vars(&e);
+        assert_eq!(vars.len(), 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Edge-case tests for the reference interpreter: error reporting, type
+//! quantization on stores, predicated access, and GPU phasing corner cases.
+
+use tvm_ir::{
+    Buffer, DType, Expr, ForKind, Interp, InterpError, LoweredFunc, MemScope, Stmt, StmtNode,
+    ThreadTag, Value, Var,
+};
+
+fn func(params: Vec<Var>, dtypes: Vec<DType>, extents: Vec<usize>, body: Stmt) -> LoweredFunc {
+    LoweredFunc { name: "t".into(), params, param_dtypes: dtypes, param_extents: extents, body }
+}
+
+#[test]
+fn unbound_variable_is_reported_by_name() {
+    let out = Var::new("O", DType::float32());
+    let ghost = Var::int("ghost");
+    let body = Stmt::store(&out, ghost.to_expr(), Expr::f32(1.0));
+    let err = Interp::new()
+        .run_f32(&func(vec![out], vec![DType::float32()], vec![4], body), &mut [vec![0.0; 4]])
+        .unwrap_err();
+    match err {
+        InterpError::UnboundVar(n) => assert_eq!(n, "ghost"),
+        other => panic!("unexpected {other}"),
+    }
+}
+
+#[test]
+fn division_by_zero_is_an_error_not_a_crash() {
+    let out = Var::new("O", DType::int32());
+    let body = Stmt::store(&out, Expr::int(0), Expr::int(1) / Expr::int(0));
+    let bufs = vec![Buffer::zeros(DType::int32(), 1)];
+    let err = Interp::new()
+        .run(&func(vec![out], vec![DType::int32()], vec![1], body), bufs)
+        .unwrap_err();
+    assert!(matches!(err, InterpError::DivideByZero));
+}
+
+#[test]
+fn predicated_store_skips_when_false() {
+    let out = Var::new("O", DType::float32());
+    let i = Var::int("i");
+    let pred_store = Stmt::new(StmtNode::Store {
+        buffer: out.clone(),
+        index: i.to_expr(),
+        value: Expr::f32(7.0),
+        predicate: Some(i.to_expr().lt(Expr::int(2))),
+    });
+    let body = Stmt::for_(&i, 0, 4, pred_store);
+    let mut arrays = vec![vec![0.0f32; 4]];
+    Interp::new()
+        .run_f32(&func(vec![out], vec![DType::float32()], vec![4], body), &mut arrays)
+        .expect("runs");
+    assert_eq!(arrays[0], vec![7.0, 7.0, 0.0, 0.0]);
+}
+
+#[test]
+fn stores_quantize_to_buffer_dtype() {
+    // Store 3.9 into an int8 buffer -> truncates through the int path; and
+    // 200 wraps to -56.
+    let out = Var::new("O", DType::int8());
+    let body = Stmt::seq(vec![
+        Stmt::store(&out, Expr::int(0), Expr::f32(3.9).cast(DType::int8())),
+        Stmt::store(&out, Expr::int(1), Expr::int(200)),
+    ]);
+    let bufs = vec![Buffer::zeros(DType::int8(), 2)];
+    let out_bufs = Interp::new()
+        .run(&func(vec![out], vec![DType::int8()], vec![2], body), bufs)
+        .expect("runs");
+    assert_eq!(out_bufs[0].to_i64(), vec![3, -56]);
+}
+
+#[test]
+fn f16_buffer_rounds_on_store() {
+    let out = Var::new("O", DType::float16());
+    let body = Stmt::store(&out, Expr::int(0), Expr::f32(1.0 / 3.0));
+    let bufs = vec![Buffer::zeros(DType::float16(), 1)];
+    let got = Interp::new()
+        .run(&func(vec![out], vec![DType::float16()], vec![1], body), bufs)
+        .expect("runs")[0]
+        .to_f32()[0];
+    assert_ne!(got, 1.0f32 / 3.0);
+    assert!((got - 1.0 / 3.0).abs() < 1e-3);
+}
+
+#[test]
+fn param_count_mismatch_is_malformed() {
+    let out = Var::new("O", DType::float32());
+    let f = func(vec![out], vec![DType::float32()], vec![1], Stmt::nop());
+    let err = Interp::new().run(&f, vec![]).unwrap_err();
+    assert!(matches!(err, InterpError::Malformed(_)));
+}
+
+#[test]
+fn divergent_barrier_counts_are_rejected() {
+    // A barrier inside only one branch of a data-dependent if within a
+    // thread nest is undefined behavior on real GPUs; the interpreter
+    // reports it instead of hanging.
+    let out = Var::new("O", DType::float32());
+    let t = Var::int("t");
+    let body = Stmt::new(StmtNode::IfThenElse {
+        cond: t.to_expr().lt(Expr::int(1)),
+        then_case: Stmt::new(StmtNode::Barrier),
+        else_case: Some(Stmt::store(&out, Expr::int(0), Expr::f32(1.0))),
+    });
+    // Make the nest contain at least one barrier so phasing engages.
+    let with_sync = Stmt::seq(vec![Stmt::new(StmtNode::Barrier), body]);
+    let nest = Stmt::loop_(&t, 0, 2, ForKind::ThreadBinding(ThreadTag::ThreadIdxX), with_sync);
+    let err = Interp::new()
+        .run_f32(&func(vec![out], vec![DType::float32()], vec![1], nest), &mut [vec![0.0]])
+        .unwrap_err();
+    assert!(matches!(err, InterpError::Malformed(_)), "{err}");
+}
+
+#[test]
+fn scalar_bindings_reach_expressions() {
+    let mut it = Interp::new();
+    let x = Var::int("x");
+    it.bind_scalar(&x, Value::Int(21));
+    let v = it.eval(&(x.clone() * 2)).expect("evaluates");
+    assert_eq!(v.as_int().expect("int"), 42);
+}
+
+#[test]
+fn store_count_tracks_dynamic_work() {
+    let out = Var::new("O", DType::float32());
+    let i = Var::int("i");
+    let body = Stmt::for_(&i, 0, 10, Stmt::store(&out, i.to_expr(), Expr::f32(1.0)));
+    let mut it = Interp::new();
+    it.run_f32(&func(vec![out], vec![DType::float32()], vec![10], body), &mut [vec![0.0; 10]])
+        .expect("runs");
+    assert_eq!(it.store_count(), 10);
+}
+
+#[test]
+fn vthread_loops_execute_serially_outside_dae() {
+    let out = Var::new("O", DType::float32());
+    let v = Var::int("vt");
+    let body = Stmt::loop_(
+        &v,
+        0,
+        3,
+        ForKind::VThread,
+        Stmt::store(&out, v.to_expr(), (v.clone() + 1).cast(DType::float32())),
+    );
+    let mut arrays = vec![vec![0.0f32; 3]];
+    Interp::new()
+        .run_f32(&func(vec![out], vec![DType::float32()], vec![3], body), &mut arrays)
+        .expect("runs");
+    assert_eq!(arrays[0], vec![1.0, 2.0, 3.0]);
+}

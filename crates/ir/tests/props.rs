@@ -1,0 +1,123 @@
+//! Property tests on the IR: the simplifier preserves semantics, and
+//! interval analysis is sound.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use tvm_ir::{
+    eval_interval, simplify, BinOp, DType, Expr, Interp, Interval, Value, Var, VarId,
+};
+
+/// A random integer expression over up to three variables.
+fn arb_expr(vars: Vec<Var>, depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(Expr::int),
+        (0..vars.len()).prop_map(move |i| vars[i].to_expr()),
+    ];
+    leaf.prop_recursive(depth, 64, 2, |inner| {
+        (inner.clone(), inner, 0usize..7)
+            .prop_map(|(a, b, op)| {
+                let op = match op {
+                    0 => BinOp::Add,
+                    1 => BinOp::Sub,
+                    2 => BinOp::Mul,
+                    3 => BinOp::Min,
+                    4 => BinOp::Max,
+                    5 => BinOp::Div,
+                    _ => BinOp::Mod,
+                };
+                // Guard division by making the divisor strictly positive.
+                if matches!(op, BinOp::Div | BinOp::Mod) {
+                    let b = Expr::binary(BinOp::Add, b.max(Expr::int(0)), Expr::int(1));
+                    Expr::binary(op, a, b)
+                } else {
+                    Expr::binary(op, a, b)
+                }
+            })
+            .boxed()
+    })
+    .boxed()
+}
+
+fn eval_with(e: &Expr, bindings: &[(Var, i64)]) -> i64 {
+    let mut it = Interp::new();
+    for (v, x) in bindings {
+        it.bind_scalar(v, Value::Int(*x));
+    }
+    it.eval(e).expect("evaluates").as_int().expect("int")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// simplify(e) computes the same value as e for all variable bindings.
+    #[test]
+    fn simplifier_preserves_semantics(
+        seed in any::<u64>(),
+        vals in prop::collection::vec(-9i64..9, 3),
+    ) {
+        let vars = vec![Var::int("a"), Var::int("b"), Var::int("c")];
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let _ = seed;
+        let e = arb_expr(vars.clone(), 4)
+            .new_tree(&mut runner)
+            .map(|t| t.current())
+            .unwrap_or_else(|_| Expr::int(1));
+        let simplified = simplify(&e);
+        let bindings: Vec<(Var, i64)> =
+            vars.into_iter().zip(vals.iter().copied()).collect();
+        prop_assert_eq!(eval_with(&e, &bindings), eval_with(&simplified, &bindings));
+    }
+
+    /// eval_interval is a sound over-approximation: the concrete value of
+    /// the expression always falls inside the computed interval.
+    #[test]
+    fn interval_analysis_is_sound(
+        lo in -10i64..10,
+        width in 0i64..10,
+        at in 0i64..10,
+        vals2 in prop::collection::vec(-9i64..9, 2),
+    ) {
+        let x = Var::int("x");
+        let y = Var::int("y");
+        let z = Var::int("z");
+        // e = (x * c1 + y) and friends via a fixed compound shape.
+        let e = (x.clone() * vals2[0] + y.clone()).max(x.clone() - vals2[1])
+            + (z.clone() % 5);
+        let mut bounds: HashMap<VarId, Interval> = HashMap::new();
+        bounds.insert(x.id(), Interval::new(lo, lo + width));
+        bounds.insert(y.id(), Interval::new(-3, 3));
+        bounds.insert(z.id(), Interval::new(0, 9));
+        let iv = eval_interval(&e, &bounds).expect("analyzable");
+        // Pick a concrete point inside the bounds.
+        let xv = lo + at.min(width);
+        let yv = (vals2[0].rem_euclid(7)) - 3;
+        let zv = at.rem_euclid(10);
+        let got = eval_with(&e, &[(x, xv), (y, yv), (z, zv)]);
+        prop_assert!(iv.min <= got && got <= iv.max, "{got} outside [{}, {}]", iv.min, iv.max);
+    }
+
+    /// Quantization is idempotent and stays within the type's range.
+    #[test]
+    fn quantization_idempotent(v in any::<i64>(), bits in 1u8..16) {
+        let dt = DType::uint(bits);
+        let q1 = tvm_ir::interp::quantize(Value::Int(v), dt).expect("quantizes");
+        let q2 = tvm_ir::interp::quantize(q1, dt).expect("quantizes");
+        prop_assert_eq!(q1, q2);
+        if let Value::Int(x) = q1 {
+            prop_assert!(x >= 0 && x < (1 << bits));
+        }
+    }
+
+    /// f16 rounding is idempotent and monotone on finite values.
+    #[test]
+    fn f16_round_idempotent_and_monotone(a in -1e4f64..1e4, b in -1e4f64..1e4) {
+        let ra = tvm_ir::interp::round_f16(a);
+        prop_assert_eq!(tvm_ir::interp::round_f16(ra), ra);
+        let rb = tvm_ir::interp::round_f16(b);
+        if a <= b {
+            prop_assert!(ra <= rb, "round({a})={ra} > round({b})={rb}");
+        }
+    }
+}

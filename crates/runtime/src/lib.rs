@@ -1,0 +1,234 @@
+//! `tvm-runtime` — the deployable-module runtime (§2's end-user example):
+//! `NDArray` tensors, a [`Module`] packaging the optimized graph with its
+//! compiled kernels and memory plan, and a [`GraphExecutor`] with the
+//! `set_input` / `run` / `get_output` interface.
+//!
+//! Execution is *functional* (the reference interpreter computes real
+//! values) while timing is *simulated* (each kernel carries the cost its
+//! target simulator estimated at compile time) — see DESIGN.md.
+
+use std::collections::HashMap;
+
+use tvm_graph::{Graph, MemoryPlan, NodeId, OpType};
+use tvm_ir::{Interp, LoweredFunc};
+
+/// A dense host tensor (f32).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NDArray {
+    /// Shape.
+    pub shape: Vec<i64>,
+    /// Row-major contents.
+    pub data: Vec<f32>,
+}
+
+impl NDArray {
+    /// Zero-filled tensor.
+    pub fn zeros(shape: &[i64]) -> NDArray {
+        NDArray { shape: shape.to_vec(), data: vec![0.0; shape.iter().product::<i64>() as usize] }
+    }
+
+    /// Tensor from contents.
+    pub fn new(shape: &[i64], data: Vec<f32>) -> NDArray {
+        assert_eq!(shape.iter().product::<i64>() as usize, data.len());
+        NDArray { shape: shape.to_vec(), data }
+    }
+
+    /// Deterministic pseudo-random tensor (for parameter initialization in
+    /// examples and benches).
+    pub fn seeded(shape: &[i64], seed: u64) -> NDArray {
+        let n = shape.iter().product::<i64>() as usize;
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let data = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+            })
+            .collect();
+        NDArray { shape: shape.to_vec(), data }
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// One compiled fused kernel.
+pub struct CompiledGroup {
+    /// The lowered function.
+    pub func: LoweredFunc,
+    /// Graph nodes whose values bind to the function's buffer params, in
+    /// order; the last entry is the kernel output.
+    pub args: Vec<NodeId>,
+    /// Simulated execution time on the module's target.
+    pub est_ms: f64,
+    /// Display name.
+    pub name: String,
+}
+
+/// A deployable module: optimized graph + generated operators + plan —
+/// the `(graph, lib, params)` triple of §2.
+pub struct Module {
+    /// The optimized graph.
+    pub graph: Graph,
+    /// Compiled kernels in execution order.
+    pub kernels: Vec<CompiledGroup>,
+    /// Static memory plan.
+    pub plan: MemoryPlan,
+    /// Target name the module was built for.
+    pub target_name: String,
+}
+
+impl Module {
+    /// Total simulated end-to-end time.
+    pub fn total_ms(&self) -> f64 {
+        self.kernels.iter().map(|k| k.est_ms).sum()
+    }
+
+    /// Human-readable per-kernel breakdown.
+    pub fn describe(&self) -> String {
+        let mut s = format!("module for {} ({} kernels)\n", self.target_name, self.kernels.len());
+        for k in &self.kernels {
+            s.push_str(&format!("  {:<40} {:>10.4} ms\n", k.name, k.est_ms));
+        }
+        s.push_str(&format!("  total {:.4} ms", self.total_ms()));
+        s
+    }
+}
+
+/// The graph executor: `runtime.create(graph, lib, ctx)` in §2.
+pub struct GraphExecutor {
+    module: Module,
+    values: HashMap<NodeId, NDArray>,
+    /// Simulated time of the last `run`.
+    pub last_run_ms: f64,
+    /// Hook to register hardware-intrinsic functional models before runs.
+    pub interp_setup: Option<Box<dyn Fn(&mut Interp)>>,
+}
+
+impl GraphExecutor {
+    /// Creates an executor and auto-initializes all parameters with
+    /// deterministic pseudo-random values (override via
+    /// [`GraphExecutor::set_param`]).
+    pub fn new(module: Module) -> GraphExecutor {
+        let mut values = HashMap::new();
+        for node in &module.graph.nodes {
+            if matches!(node.op, OpType::Param) {
+                values.insert(node.id, NDArray::seeded(&node.shape, node.id.0 as u64 + 1));
+            }
+        }
+        GraphExecutor { module, values, last_run_ms: 0.0, interp_setup: None }
+    }
+
+    /// Module accessor.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Binds an input by node name.
+    pub fn set_input(&mut self, name: &str, value: NDArray) {
+        let id = self
+            .module
+            .graph
+            .nodes
+            .iter()
+            .find(|n| n.name == name && matches!(n.op, OpType::Input))
+            .unwrap_or_else(|| panic!("no input named `{name}`"))
+            .id;
+        assert_eq!(
+            self.module.graph.node(id).shape,
+            value.shape,
+            "input `{name}` shape mismatch"
+        );
+        self.values.insert(id, value);
+    }
+
+    /// Overrides a parameter by name.
+    pub fn set_param(&mut self, name: &str, value: NDArray) {
+        let id = self
+            .module
+            .graph
+            .nodes
+            .iter()
+            .find(|n| n.name == name && matches!(n.op, OpType::Param))
+            .unwrap_or_else(|| panic!("no param named `{name}`"))
+            .id;
+        self.values.insert(id, value);
+    }
+
+    /// Executes the graph; returns the simulated time in ms.
+    pub fn run(&mut self) -> Result<f64, tvm_ir::InterpError> {
+        let mut total = 0.0;
+        for gi in 0..self.module.kernels.len() {
+            let k = &self.module.kernels[gi];
+            let mut bufs: Vec<Vec<f32>> = Vec::with_capacity(k.args.len());
+            for (ai, &arg) in k.args.iter().enumerate() {
+                let is_output = ai + 1 == k.args.len();
+                if is_output {
+                    let shape = &self.module.graph.node(arg).shape;
+                    bufs.push(vec![0.0; shape.iter().product::<i64>() as usize]);
+                } else {
+                    let v = self.values.get(&arg).unwrap_or_else(|| {
+                        panic!(
+                            "missing value for `{}` (unset input?)",
+                            self.module.graph.node(arg).name
+                        )
+                    });
+                    bufs.push(v.data.clone());
+                }
+            }
+            let mut it = Interp::new();
+            if let Some(setup) = &self.interp_setup {
+                setup(&mut it);
+            }
+            it.run_f32(&k.func, &mut bufs)?;
+            let out_id = *k.args.last().expect("kernel has args");
+            let out_shape = self.module.graph.node(out_id).shape.clone();
+            let out = bufs.pop().expect("output buffer");
+            self.values.insert(out_id, NDArray::new(&out_shape, out));
+            total += self.module.kernels[gi].est_ms;
+        }
+        self.last_run_ms = total;
+        Ok(total)
+    }
+
+    /// Fetches the i-th graph output.
+    pub fn get_output(&self, i: usize) -> &NDArray {
+        let id = self.module.graph.outputs[i];
+        self.values.get(&id).expect("run() before get_output()")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndarray_construction() {
+        let a = NDArray::zeros(&[2, 3]);
+        assert_eq!(a.numel(), 6);
+        let b = NDArray::seeded(&[4, 4], 7);
+        assert_eq!(b.numel(), 16);
+        // Deterministic.
+        assert_eq!(b, NDArray::seeded(&[4, 4], 7));
+        assert_ne!(b, NDArray::seeded(&[4, 4], 8));
+        assert!(b.data.iter().all(|v| v.abs() <= 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn input_shape_checked() {
+        // A minimal module with one input and no kernels.
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4], "data");
+        g.outputs.push(x);
+        let fused = tvm_graph::fuse(&g, true);
+        let plan = tvm_graph::plan_memory(&g, &fused);
+        let module =
+            Module { graph: g, kernels: vec![], plan, target_name: "test".into() };
+        let mut ex = GraphExecutor::new(module);
+        ex.set_input("data", NDArray::zeros(&[2, 4]));
+    }
+}

@@ -1,0 +1,139 @@
+//! Executor tests against hand-assembled modules (no compiler dependency):
+//! argument binding, kernel sequencing through intermediate values, and
+//! parameter override.
+
+use tvm_graph::{fuse, plan_memory, Graph, OpType};
+use tvm_ir::{DType, Expr, LoweredFunc, Stmt, Var};
+use tvm_runtime::{CompiledGroup, GraphExecutor, Module, NDArray};
+
+/// Hand-lowers `out[i] = in[i] * k + c` as a kernel.
+fn affine_kernel(n: i64, k: f32, c: f32, name: &str) -> LoweredFunc {
+    let src = Var::new("src", DType::float32());
+    let dst = Var::new("dst", DType::float32());
+    let i = Var::int("i");
+    let body = Stmt::for_(
+        &i,
+        0,
+        n,
+        Stmt::store(&dst, i.to_expr(), Expr::load(&src, i.to_expr()) * Expr::f32(k) + Expr::f32(c)),
+    );
+    LoweredFunc {
+        name: name.into(),
+        params: vec![src, dst],
+        param_dtypes: vec![DType::float32(); 2],
+        param_extents: vec![n as usize; 2],
+        body,
+    }
+}
+
+fn two_stage_module() -> (Module, tvm_graph::NodeId) {
+    // Graph: input -> relu(a) -> tanh(b); kernels are affine stand-ins so
+    // the test controls the math exactly: y = (x*2+1)*3+0.
+    let mut g = Graph::new();
+    let x = g.input(&[1, 4], "data");
+    let shape = vec![1, 4];
+    let a = g.add(OpType::Relu, vec![x], shape.clone(), "a");
+    let b = g.add(OpType::Tanh, vec![a], shape, "b");
+    g.outputs.push(b);
+    let fused = fuse(&g, false);
+    let plan = plan_memory(&g, &fused);
+    let kernels = vec![
+        CompiledGroup {
+            func: affine_kernel(4, 2.0, 1.0, "k1"),
+            args: vec![x, a],
+            est_ms: 0.5,
+            name: "k1".into(),
+        },
+        CompiledGroup {
+            func: affine_kernel(4, 3.0, 0.0, "k2"),
+            args: vec![a, b],
+            est_ms: 0.25,
+            name: "k2".into(),
+        },
+    ];
+    (Module { graph: g, kernels, plan, target_name: "test".into() }, b)
+}
+
+#[test]
+fn kernels_chain_through_intermediates() {
+    let (module, _out) = two_stage_module();
+    let mut ex = GraphExecutor::new(module);
+    ex.set_input("data", NDArray::new(&[1, 4], vec![0.0, 1.0, 2.0, 3.0]));
+    let ms = ex.run().expect("runs");
+    assert!((ms - 0.75).abs() < 1e-12, "kernel times accumulate: {ms}");
+    assert_eq!(ex.get_output(0).data, vec![3.0, 9.0, 15.0, 21.0]);
+    assert_eq!(ex.last_run_ms, ms);
+}
+
+#[test]
+fn rerun_with_new_input_updates_output() {
+    let (module, _) = two_stage_module();
+    let mut ex = GraphExecutor::new(module);
+    ex.set_input("data", NDArray::new(&[1, 4], vec![1.0; 4]));
+    ex.run().expect("runs");
+    assert_eq!(ex.get_output(0).data, vec![9.0; 4]);
+    ex.set_input("data", NDArray::new(&[1, 4], vec![0.0; 4]));
+    ex.run().expect("runs");
+    assert_eq!(ex.get_output(0).data, vec![3.0; 4]);
+}
+
+#[test]
+fn module_describe_lists_kernels() {
+    let (module, _) = two_stage_module();
+    let text = module.describe();
+    assert!(text.contains("k1"));
+    assert!(text.contains("k2"));
+    assert!(text.contains("total 0.75"), "{text}");
+}
+
+#[test]
+#[should_panic(expected = "no input named")]
+fn unknown_input_name_panics() {
+    let (module, _) = two_stage_module();
+    let mut ex = GraphExecutor::new(module);
+    ex.set_input("bogus", NDArray::zeros(&[1, 4]));
+}
+
+#[test]
+fn params_are_seeded_and_overridable() {
+    let mut g = Graph::new();
+    let x = g.input(&[1, 2], "data");
+    let p = g.param(&[1, 2], "w");
+    let s = g.add_op(x, p, "sum");
+    g.outputs.push(s);
+    let fused = fuse(&g, false);
+    let plan = plan_memory(&g, &fused);
+    // One kernel: out = a + b, hand-lowered.
+    let av = Var::new("a", DType::float32());
+    let bv = Var::new("b", DType::float32());
+    let ov = Var::new("o", DType::float32());
+    let i = Var::int("i");
+    let body = Stmt::for_(
+        &i,
+        0,
+        2,
+        Stmt::store(
+            &ov,
+            i.to_expr(),
+            Expr::load(&av, i.to_expr()) + Expr::load(&bv, i.to_expr()),
+        ),
+    );
+    let func = LoweredFunc {
+        name: "add".into(),
+        params: vec![av, bv, ov],
+        param_dtypes: vec![DType::float32(); 3],
+        param_extents: vec![2; 3],
+        body,
+    };
+    let module = Module {
+        graph: g,
+        kernels: vec![CompiledGroup { func, args: vec![x, p, s], est_ms: 0.1, name: "add".into() }],
+        plan,
+        target_name: "test".into(),
+    };
+    let mut ex = GraphExecutor::new(module);
+    ex.set_input("data", NDArray::new(&[1, 2], vec![10.0, 20.0]));
+    ex.set_param("w", NDArray::new(&[1, 2], vec![1.0, 2.0]));
+    ex.run().expect("runs");
+    assert_eq!(ex.get_output(0).data, vec![11.0, 22.0]);
+}

@@ -1,0 +1,476 @@
+//! Static analysis of lowered loop programs.
+//!
+//! Walks a [`LoweredFunc`] and summarizes, per memory access, the paper's
+//! Fig. 13 statistics — access counts and the buffer footprint touched at
+//! every loop depth — plus arithmetic counts and loop annotations. The
+//! hardware models (`cpu`, `gpu`) and the autotuner's feature extractor
+//! both consume this analysis.
+
+use std::collections::HashMap;
+
+use tvm_ir::expr::ExprNode;
+use tvm_ir::stmt::StmtNode;
+use tvm_ir::{
+    BinOp, CallKind, DType, Expr, ForKind, Interval, LoweredFunc, MemScope, Stmt, ThreadTag, Var,
+    VarId,
+};
+
+/// One loop on the stack, outermost first.
+#[derive(Clone, Debug)]
+pub struct LoopLevel {
+    /// Loop variable.
+    pub var: Var,
+    /// Constant lower bound (0 in generated code).
+    pub min: i64,
+    /// Constant extent.
+    pub extent: i64,
+    /// Execution kind.
+    pub kind: ForKind,
+}
+
+/// A summarized load or store site.
+#[derive(Clone, Debug)]
+pub struct AccessRecord {
+    /// Buffer variable id.
+    pub buffer: VarId,
+    /// Buffer display name.
+    pub name: String,
+    /// Memory scope the buffer was allocated in (global for params).
+    pub scope: MemScope,
+    /// Element type.
+    pub dtype: DType,
+    /// True for stores.
+    pub is_store: bool,
+    /// Dynamic execution count (product of enclosing loop extents).
+    pub trips: f64,
+    /// Distinct elements touched by the loops at depth `d..` for every
+    /// depth `d` in `0..=depth` (index `depth` = single iteration).
+    pub footprint_at_depth: Vec<f64>,
+    /// Element stride with respect to the innermost enclosing loop
+    /// variable; `0` if invariant, `-1` if unknown.
+    pub innermost_stride: i64,
+    /// Element stride with respect to `threadIdx.x`, if bound.
+    pub thread_stride: Option<i64>,
+    /// Enclosing loops, outermost first.
+    pub loops: Vec<LoopLevel>,
+}
+
+impl AccessRecord {
+    /// Reuse ratio at depth `d`: executed accesses inside the sub-nest per
+    /// distinct element touched — the Fig. 13 "reuse" feature.
+    pub fn reuse_at_depth(&self, d: usize) -> f64 {
+        let inner_trips: f64 = self.loops[d..].iter().map(|l| l.extent as f64).product();
+        let fp = self.footprint_at_depth.get(d).copied().unwrap_or(1.0).max(1.0);
+        inner_trips / fp
+    }
+
+    /// Bytes touched at depth `d`.
+    pub fn bytes_at_depth(&self, d: usize) -> f64 {
+        self.footprint_at_depth.get(d).copied().unwrap_or(1.0) * self.dtype.bytes() as f64
+    }
+}
+
+/// Summary of a hardware-intrinsic call site.
+#[derive(Clone, Debug)]
+pub struct IntrinRecord {
+    /// Intrinsic name.
+    pub name: String,
+    /// Dynamic execution count.
+    pub trips: f64,
+}
+
+/// Whole-program analysis result.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramAnalysis {
+    /// Per-site access summaries.
+    pub accesses: Vec<AccessRecord>,
+    /// Total scalar floating/integer arithmetic operations executed.
+    pub flops: f64,
+    /// Flops executed inside vectorized loops (eligible for SIMD).
+    pub vector_flops: f64,
+    /// Flops executed inside parallel loops (eligible for multicore).
+    pub parallel_flops: f64,
+    /// Extent of the outermost parallel loop (1 if none).
+    pub parallel_extent: i64,
+    /// Dynamic executions of barriers.
+    pub barriers: f64,
+    /// Dynamic loop iterations started (loop overhead proxy); unrolled
+    /// loops are free.
+    pub loop_iterations: f64,
+    /// Dynamic predicate (if/select) evaluations.
+    pub branches: f64,
+    /// Hardware intrinsic call sites.
+    pub intrinsics: Vec<IntrinRecord>,
+    /// Thread-axis extents, when bound.
+    pub thread_extents: HashMap<ThreadTag, i64>,
+    /// Per-scope allocated bytes (max live, approximated as sum).
+    pub alloc_bytes: HashMap<MemScope, f64>,
+}
+
+impl ProgramAnalysis {
+    /// Total threads per block (product of threadIdx extents).
+    pub fn block_threads(&self) -> i64 {
+        self.thread_extents
+            .iter()
+            .filter(|(t, _)| !t.is_block())
+            .map(|(_, e)| *e)
+            .product::<i64>()
+            .max(1)
+    }
+
+    /// Total blocks in the grid (product of blockIdx extents).
+    pub fn grid_blocks(&self) -> i64 {
+        self.thread_extents
+            .iter()
+            .filter(|(t, _)| t.is_block())
+            .map(|(_, e)| *e)
+            .product::<i64>()
+            .max(1)
+    }
+
+    /// Sum of bytes moved for accesses in a scope (trips × element size).
+    pub fn access_bytes(&self, scope: MemScope) -> f64 {
+        self.accesses
+            .iter()
+            .filter(|a| a.scope == scope)
+            .map(|a| a.trips * a.dtype.bytes() as f64)
+            .sum()
+    }
+}
+
+struct Walker {
+    loops: Vec<LoopLevel>,
+    scopes: HashMap<VarId, MemScope>,
+    out: ProgramAnalysis,
+    cond_scale: f64,
+}
+
+/// Analyzes a lowered function.
+pub fn analyze(func: &LoweredFunc) -> ProgramAnalysis {
+    let mut w = Walker {
+        loops: Vec::new(),
+        scopes: HashMap::new(),
+        out: ProgramAnalysis::default(),
+        cond_scale: 1.0,
+    };
+    w.walk(&func.body);
+    w.out
+}
+
+impl Walker {
+    fn trips(&self) -> f64 {
+        self.loops.iter().map(|l| l.extent as f64).product::<f64>() * self.cond_scale
+    }
+
+    fn in_kind(&self, pred: impl Fn(ForKind) -> bool) -> bool {
+        self.loops.iter().any(|l| pred(l.kind))
+    }
+
+    fn walk(&mut self, s: &Stmt) {
+        match &*s.0 {
+            StmtNode::For { var, min, extent, kind, body } => {
+                let lo = min.as_int().unwrap_or(0);
+                let n = extent.as_int().unwrap_or(1).max(0);
+                if let ForKind::ThreadBinding(tag) = kind {
+                    *self.out.thread_extents.entry(*tag).or_insert(1) *= n.max(1);
+                }
+                if !matches!(kind, ForKind::Unrolled | ForKind::ThreadBinding(_)) {
+                    self.out.loop_iterations += self.trips() * n as f64;
+                }
+                if matches!(kind, ForKind::Parallel) && self.out.parallel_extent == 1 {
+                    self.out.parallel_extent = n.max(1);
+                }
+                self.loops.push(LoopLevel { var: var.clone(), min: lo, extent: n.max(1), kind: *kind });
+                self.walk(body);
+                self.loops.pop();
+            }
+            StmtNode::Seq(items) => {
+                for it in items {
+                    self.walk(it);
+                }
+            }
+            StmtNode::Allocate { buffer, dtype, extent, scope, body } => {
+                self.scopes.insert(buffer.id(), *scope);
+                let bytes = extent.as_int().unwrap_or(0) as f64 * dtype.bytes() as f64;
+                *self.out.alloc_bytes.entry(*scope).or_insert(0.0) += bytes;
+                self.walk(body);
+            }
+            StmtNode::Store { buffer, index, value, predicate } => {
+                self.record_access(buffer, index, true);
+                self.visit_expr(value);
+                // Address arithmetic is folded into addressing modes and is
+                // not counted as compute.
+                if let Some(p) = predicate {
+                    self.visit_expr(p);
+                    self.out.branches += self.trips();
+                }
+            }
+            StmtNode::IfThenElse { cond, then_case, else_case } => {
+                self.visit_expr(cond);
+                self.out.branches += self.trips();
+                self.walk(then_case);
+                if let Some(e) = else_case {
+                    // Both branches cost; assume the predicate is mostly
+                    // true (guards) and weight the else branch lightly.
+                    let saved = self.cond_scale;
+                    self.cond_scale *= 0.5;
+                    self.walk(e);
+                    self.cond_scale = saved;
+                }
+            }
+            StmtNode::Evaluate(e) => self.visit_expr(e),
+            StmtNode::Barrier => self.out.barriers += self.trips(),
+            StmtNode::LetStmt { value, body, .. } => {
+                self.visit_expr(value);
+                self.walk(body);
+            }
+            StmtNode::AttrStmt { body, .. } => self.walk(body),
+            StmtNode::PushDep { .. } | StmtNode::PopDep { .. } => {}
+        }
+    }
+
+    fn record_access(&mut self, buffer: &Var, index: &Expr, is_store: bool) {
+        let trips = self.trips();
+        let depth = self.loops.len();
+        // Footprints: interval width with loops [d..] ranging, outer pinned.
+        let mut footprints = Vec::with_capacity(depth + 1);
+        for d in 0..=depth {
+            let mut bounds: HashMap<VarId, Interval> = HashMap::new();
+            for (i, l) in self.loops.iter().enumerate() {
+                let iv = if i >= d {
+                    Interval::new(l.min, l.min + l.extent - 1)
+                } else {
+                    Interval::point(l.min)
+                };
+                bounds.insert(l.var.id(), iv);
+            }
+            let fp = match tvm_ir::eval_interval(index, &bounds) {
+                Some(iv) => iv.extent() as f64,
+                None => f64::INFINITY,
+            };
+            footprints.push(fp);
+        }
+        // Replace unknown with the most conservative finite estimate: the
+        // total trips inside that depth.
+        for d in 0..=depth {
+            if !footprints[d].is_finite() {
+                footprints[d] =
+                    self.loops[d..].iter().map(|l| l.extent as f64).product::<f64>();
+            }
+        }
+        let innermost_stride = self
+            .loops
+            .last()
+            .map(|l| stride_wrt(index, &l.var, &self.loops))
+            .unwrap_or(0);
+        let thread_stride = self
+            .loops
+            .iter()
+            .find(|l| matches!(l.kind, ForKind::ThreadBinding(ThreadTag::ThreadIdxX)))
+            .map(|l| stride_wrt(index, &l.var, &self.loops));
+        let scope = self.scopes.get(&buffer.id()).copied().unwrap_or(MemScope::Global);
+        self.out.accesses.push(AccessRecord {
+            buffer: buffer.id(),
+            name: buffer.name().to_string(),
+            scope,
+            dtype: buffer.dtype(),
+            is_store,
+            trips,
+            footprint_at_depth: footprints,
+            innermost_stride,
+            thread_stride,
+            loops: self.loops.clone(),
+        });
+    }
+
+    fn visit_expr(&mut self, e: &Expr) {
+        match &*e.0 {
+            ExprNode::Binary { op, a, b } => {
+                self.visit_expr(a);
+                self.visit_expr(b);
+                let cost = match op {
+                    BinOp::Div | BinOp::Mod if a.dtype().is_float() => 4.0,
+                    _ => 1.0,
+                };
+                let t = self.trips() * cost;
+                self.out.flops += t;
+                if self.in_kind(|k| matches!(k, ForKind::Vectorized)) {
+                    self.out.vector_flops += t;
+                }
+                if self.in_kind(|k| matches!(k, ForKind::Parallel)) {
+                    self.out.parallel_flops += t;
+                }
+            }
+            ExprNode::Cmp { a, b, .. } => {
+                self.visit_expr(a);
+                self.visit_expr(b);
+                self.out.flops += self.trips();
+            }
+            ExprNode::And { a, b } | ExprNode::Or { a, b } => {
+                self.visit_expr(a);
+                self.visit_expr(b);
+            }
+            ExprNode::Not { a } | ExprNode::Cast { value: a, .. } => self.visit_expr(a),
+            ExprNode::Select { cond, then_case, else_case } => {
+                self.visit_expr(cond);
+                self.visit_expr(then_case);
+                self.visit_expr(else_case);
+                self.out.branches += self.trips();
+            }
+            ExprNode::Load { buffer, index, predicate } => {
+                self.record_access(buffer, index, false);
+                if let Some(p) = predicate {
+                    self.visit_expr(p);
+                }
+            }
+            ExprNode::Let { value, body, .. } => {
+                self.visit_expr(value);
+                self.visit_expr(body);
+            }
+            ExprNode::Call { name, args, kind, .. } => {
+                for a in args {
+                    self.visit_expr(a);
+                }
+                match kind {
+                    // Transcendentals cost ~8 scalar ops; popcount is a
+                    // near-native instruction.
+                    CallKind::PureIntrinsic => {
+                        let unit = if name == "popcount" { 2.0 } else { 8.0 };
+                        self.out.flops += self.trips() * unit;
+                    }
+                    CallKind::HardwareIntrinsic => {
+                        let trips = self.trips();
+                        self.out
+                            .intrinsics
+                            .push(IntrinRecord { name: name.clone(), trips });
+                    }
+                }
+            }
+            ExprNode::Ramp { base, stride, .. } => {
+                self.visit_expr(base);
+                self.visit_expr(stride);
+            }
+            ExprNode::Broadcast { value, .. } => self.visit_expr(value),
+            _ => {}
+        }
+    }
+}
+
+/// Estimates the element stride of `index` with respect to `var`:
+/// `f(v+1) - f(v)` evaluated with every other loop var at its minimum.
+fn stride_wrt(index: &Expr, var: &Var, loops: &[LoopLevel]) -> i64 {
+    let mut at0: HashMap<VarId, Expr> = HashMap::new();
+    let mut at1: HashMap<VarId, Expr> = HashMap::new();
+    for l in loops {
+        let base = Expr::int(l.min);
+        at0.insert(l.var.id(), base.clone());
+        at1.insert(l.var.id(), base);
+    }
+    at0.insert(var.id(), Expr::int(0));
+    at1.insert(var.id(), Expr::int(1));
+    let e0 = tvm_ir::simplify(&tvm_ir::substitute(index, &at0));
+    let e1 = tvm_ir::simplify(&tvm_ir::substitute(index, &at1));
+    match (e0.as_int(), e1.as_int()) {
+        (Some(a), Some(b)) => b - a,
+        _ => -1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm_te::{compute, create_schedule, lower, placeholder, reduce_axis, sum};
+
+    fn matmul_func(tile: Option<i64>) -> LoweredFunc {
+        let n = 64;
+        let a = placeholder(&[n, n], DType::float32(), "A");
+        let b = placeholder(&[n, n], DType::float32(), "B");
+        let k = reduce_axis(n, "k");
+        let c = compute(&[n, n], "C", |i| {
+            sum(a.at(&[i[0].clone(), k.expr()]) * b.at(&[k.expr(), i[1].clone()]), &[k.clone()])
+        });
+        let mut s = create_schedule(&[c.clone()]);
+        if let Some(t) = tile {
+            let ax = c.op.axes();
+            let r = c.op.reduce_axes();
+            let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], t, t);
+            let (ko, ki) = s.split(&c, &r[0], t);
+            s.reorder(&c, &[&yo, &xo, &ko, &yi, &xi, &ki]);
+        }
+        lower(&s, &[a, b, c], "mm").expect("lowers")
+    }
+
+    #[test]
+    fn flop_count_matches_matmul() {
+        let f = matmul_func(None);
+        let an = analyze(&f);
+        // 64^3 multiply-adds = 2 * 64^3 flops.
+        let expect = 2.0 * 64f64.powi(3);
+        assert!((an.flops - expect).abs() / expect < 0.05, "flops = {}", an.flops);
+    }
+
+    #[test]
+    fn footprints_shrink_with_tiling() {
+        let naive = analyze(&matmul_func(None));
+        let tiled = analyze(&matmul_func(Some(8)));
+        // Find the B loads (column-major walk, worst locality when naive).
+        let b_naive = naive
+            .accesses
+            .iter()
+            .find(|a| a.name == "B" && !a.is_store)
+            .expect("B access");
+        let b_tiled = tiled
+            .accesses
+            .iter()
+            .find(|a| a.name == "B" && !a.is_store)
+            .expect("B access");
+        // Innermost two loops of the tiled version touch far fewer distinct
+        // elements of B than the naive version's innermost two loops.
+        let d_naive = b_naive.loops.len() - 2;
+        let d_tiled = b_tiled.loops.len() - 2;
+        assert!(
+            b_tiled.footprint_at_depth[d_tiled] < b_naive.footprint_at_depth[d_naive],
+            "tiled {} vs naive {}",
+            b_tiled.footprint_at_depth[d_tiled],
+            b_naive.footprint_at_depth[d_naive]
+        );
+    }
+
+    #[test]
+    fn stride_detection() {
+        let f = matmul_func(None);
+        let an = analyze(&f);
+        let a_load = an.accesses.iter().find(|x| x.name == "A" && !x.is_store).expect("A");
+        let b_load = an.accesses.iter().find(|x| x.name == "B" && !x.is_store).expect("B");
+        // Innermost loop is k: A[y*64+k] has stride 1, B[k*64+x] stride 64.
+        assert_eq!(a_load.innermost_stride, 1);
+        assert_eq!(b_load.innermost_stride, 64);
+    }
+
+    #[test]
+    fn trips_account_loops() {
+        let f = matmul_func(None);
+        let an = analyze(&f);
+        let b_load = an.accesses.iter().find(|x| x.name == "B" && !x.is_store).expect("B");
+        assert_eq!(b_load.trips, 64f64.powi(3));
+        // Init store runs 64^2 times; update store 64^3.
+        let stores: Vec<&AccessRecord> =
+            an.accesses.iter().filter(|a| a.name == "C" && a.is_store).collect();
+        assert_eq!(stores.len(), 2);
+        let mut t: Vec<f64> = stores.iter().map(|a| a.trips).collect();
+        t.sort_by(f64::total_cmp);
+        assert_eq!(t, vec![64f64.powi(2), 64f64.powi(3)]);
+    }
+
+    #[test]
+    fn reuse_ratio_reflects_locality() {
+        let f = matmul_func(Some(8));
+        let an = analyze(&f);
+        let a_load = an.accesses.iter().find(|x| x.name == "A" && !x.is_store).expect("A");
+        // Within one iteration of the innermost loop, reuse is 1.
+        let d = a_load.loops.len();
+        assert!((a_load.reuse_at_depth(d) - 1.0).abs() < 1e-9);
+        // Across the whole nest there is massive reuse.
+        assert!(a_load.reuse_at_depth(0) > 10.0);
+    }
+}

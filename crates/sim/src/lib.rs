@@ -1,0 +1,19 @@
+//! `tvm-sim` — architectural performance models of the evaluation hardware.
+//!
+//! The paper measures on a Titan X, an ARM Cortex-A53 and a Mali GPU; this
+//! crate substitutes analytical simulators for that silicon (see DESIGN.md
+//! for the substitution argument). [`analysis`] statically summarizes a
+//! lowered loop program (access counts, per-depth footprints, strides —
+//! the same statistics the paper's Fig. 13 cost-model features are built
+//! from); [`cost`] turns a summary into estimated cycles on a
+//! [`target::Target`]; [`roofline`] provides the Fig. 10 roofline tools.
+
+pub mod analysis;
+pub mod cost;
+pub mod roofline;
+pub mod target;
+
+pub use analysis::{analyze, AccessRecord, ProgramAnalysis};
+pub use cost::{estimate, estimate_analysis, estimate_with, time_ms, Cost, SimOptions};
+pub use roofline::{attainable, attainable_gflops, ridge_intensity, utilization, RooflinePoint};
+pub use target::{arm_a53, mali_t860, titanx, CacheLevel, CpuSpec, GpuSpec, Target};

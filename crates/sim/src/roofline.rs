@@ -1,0 +1,67 @@
+//! Roofline-model utilities (Williams et al.), used by the Fig. 10
+//! reproduction: attainable GFLOP/s as a function of operational intensity.
+
+use crate::target::Target;
+
+/// A measured point on the roofline plot.
+#[derive(Clone, Debug)]
+pub struct RooflinePoint {
+    /// Benchmark label (e.g. a ResNet layer).
+    pub name: String,
+    /// Operational intensity in FLOPs per DRAM byte.
+    pub intensity: f64,
+    /// Achieved GFLOP/s (or GOP/s for integer accelerators).
+    pub gflops: f64,
+}
+
+/// Attainable GFLOP/s at a given operational intensity for a target:
+/// `min(peak_flops, intensity * peak_bw)`.
+pub fn attainable_gflops(target: &Target, intensity: f64) -> f64 {
+    let peak = target.peak_flops() / 1e9;
+    let bw_bound = intensity * target.peak_bw() / 1e9;
+    peak.min(bw_bound)
+}
+
+/// Attainable throughput for explicit peaks (used by accelerators whose
+/// peak is expressed in GOPS rather than FLOPs).
+pub fn attainable(peak_gops: f64, peak_gbps: f64, intensity: f64) -> f64 {
+    peak_gops.min(intensity * peak_gbps)
+}
+
+/// The ridge point: intensity above which a target is compute-bound.
+pub fn ridge_intensity(peak_gops: f64, peak_gbps: f64) -> f64 {
+    peak_gops / peak_gbps
+}
+
+/// Utilization of the roofline: achieved / attainable, in [0, 1].
+pub fn utilization(point: &RooflinePoint, peak_gops: f64, peak_gbps: f64) -> f64 {
+    (point.gflops / attainable(peak_gops, peak_gbps, point.intensity)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::titanx;
+
+    #[test]
+    fn ridge_point_separates_regimes() {
+        let ridge = ridge_intensity(6144.0, 336.0);
+        assert!((ridge - 18.285).abs() < 0.01);
+        // Below the ridge: bandwidth bound; above: compute bound.
+        assert!(attainable(6144.0, 336.0, ridge / 2.0) < 6144.0);
+        assert_eq!(attainable(6144.0, 336.0, ridge * 2.0), 6144.0);
+    }
+
+    #[test]
+    fn target_roofline_matches_specs() {
+        let t = titanx();
+        assert!((attainable_gflops(&t, 1000.0) - 6144.0).abs() < 1.0);
+        assert!((attainable_gflops(&t, 1.0) - 336.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn utilization_capped_at_one() {
+        let p = RooflinePoint { name: "x".into(), intensity: 100.0, gflops: 1e9 };
+        assert_eq!(utilization(&p, 102.4, 8.0), 1.0);
+    }
+}

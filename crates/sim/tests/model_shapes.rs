@@ -1,0 +1,168 @@
+//! Behavioral tests of the hardware models: each modeled mechanism must
+//! respond in the physically-correct direction, since the autotuner's
+//! entire search signal comes from these responses.
+
+use tvm_ir::{DType, ThreadTag};
+use tvm_sim::{arm_a53, estimate, estimate_with, mali_t860, titanx, SimOptions, Target};
+use tvm_te::{compute, create_schedule, lower, placeholder, reduce_axis, sum, Schedule, Tensor};
+
+fn copy2d(n: i64, transposed_read: bool) -> (Tensor, Tensor) {
+    let a = placeholder(&[n, n], DType::float32(), "A");
+    let a2 = a.clone();
+    let b = compute(&[n, n], "B", move |i| {
+        if transposed_read {
+            a2.at(&[i[1].clone(), i[0].clone()])
+        } else {
+            a2.at(&[i[0].clone(), i[1].clone()])
+        }
+    });
+    (a, b)
+}
+
+fn gpu_flat_schedule(s: &mut Schedule, out: &Tensor) {
+    let ax = out.op.axes();
+    let fused = s.fuse(out, &ax[0], &ax[1]);
+    let (bx, tx) = s.split(out, &fused, 256);
+    s.bind(out, &bx, ThreadTag::BlockIdxX);
+    s.bind(out, &tx, ThreadTag::ThreadIdxX);
+}
+
+#[test]
+fn gpu_uncoalesced_access_costs_more() {
+    let t = titanx();
+    let mut costs = Vec::new();
+    for transposed in [false, true] {
+        let (a, b) = copy2d(1024, transposed);
+        let mut s = create_schedule(&[b.clone()]);
+        gpu_flat_schedule(&mut s, &b);
+        let f = lower(&s, &[a, b], "copy").expect("lowers");
+        costs.push(estimate(&f, &t).cycles);
+    }
+    assert!(
+        costs[1] > costs[0] * 3.0,
+        "transposed (uncoalesced) {} should dwarf coalesced {}",
+        costs[1],
+        costs[0]
+    );
+}
+
+#[test]
+fn gpu_occupancy_penalizes_tiny_grids() {
+    let t = titanx();
+    let n = 512i64;
+    let mut costs = Vec::new();
+    for threads in [8i64, 256] {
+        let (a, b) = copy2d(n, false);
+        let mut s = create_schedule(&[b.clone()]);
+        let ax = b.op.axes();
+        let fused = s.fuse(&b, &ax[0], &ax[1]);
+        let (bx, tx) = s.split(&b, &fused, threads);
+        s.bind(&b, &bx, ThreadTag::BlockIdxX);
+        s.bind(&b, &tx, ThreadTag::ThreadIdxX);
+        let f = lower(&s, &[a, b], "copy").expect("lowers");
+        costs.push(estimate(&f, &t).cycles);
+    }
+    assert!(costs[0] > costs[1], "8-thread blocks {} vs 256 {}", costs[0], costs[1]);
+}
+
+#[test]
+fn mali_fp16_outperforms_fp32_on_compute_bound() {
+    let t = mali_t860();
+    let mut costs = Vec::new();
+    for dt in [DType::float32(), DType::float16()] {
+        let n = 128i64;
+        let a = placeholder(&[n, n], dt, "A");
+        let b = placeholder(&[n, n], dt, "B");
+        let k = reduce_axis(n, "k");
+        let c = compute(&[n, n], "C", |i| {
+            sum(a.at(&[i[0].clone(), k.expr()]) * b.at(&[k.expr(), i[1].clone()]), &[k.clone()])
+        });
+        let mut s = create_schedule(&[c.clone()]);
+        gpu_flat_schedule(&mut s, &c);
+        let f = lower(&s, &[a, b, c], "mm").expect("lowers");
+        costs.push(estimate(&f, &t).cycles);
+    }
+    assert!(costs[1] < costs[0], "fp16 {} should beat fp32 {}", costs[1], costs[0]);
+}
+
+#[test]
+fn cpu_parallel_and_vectorize_help() {
+    let t = arm_a53();
+    let n = 256i64;
+    let build = |par: bool, vec: bool| {
+        let (a, b) = copy2d(n, false);
+        let mut s = create_schedule(&[b.clone()]);
+        let ax = b.op.axes();
+        let (_, wi) = s.split(&b, &ax[1], 8);
+        if vec {
+            s.vectorize(&b, &wi);
+        }
+        if par {
+            s.parallel(&b, &ax[0]);
+        }
+        let f = lower(&s, &[a, b], "copy").expect("lowers");
+        estimate(&f, &t).cycles
+    };
+    let base = build(false, false);
+    assert!(build(false, true) <= base, "vectorize must not hurt");
+    // Parallel pays a fork overhead but wins on compute-side loops of this
+    // size only if compute-bound; at least it must be within the overhead.
+    let par = build(true, true);
+    assert!(par <= base + 2.0 * 4000.0, "parallel {par} vs base {base}");
+}
+
+#[test]
+fn cpu_unroll_removes_loop_overhead() {
+    let t = arm_a53();
+    let n = 64i64;
+    let build = |unroll: bool| {
+        let a = placeholder(&[n, n], DType::float32(), "A");
+        let k = reduce_axis(n, "k");
+        let c = compute(&[n], "C", |i| {
+            sum(a.at(&[i[0].clone(), k.expr()]), &[k.clone()])
+        });
+        let mut s = create_schedule(&[c.clone()]);
+        let r = c.op.reduce_axes();
+        let (_, ki) = s.split(&c, &r[0], 8);
+        if unroll {
+            s.unroll(&c, &ki);
+        }
+        let f = lower(&s, &[a, c], "rowsum").expect("lowers");
+        estimate(&f, &t).cycles
+    };
+    assert!(build(true) < build(false));
+}
+
+#[test]
+fn intrinsic_costs_are_accounted() {
+    let a = placeholder(&[64], DType::float32(), "A");
+    let a2 = a.clone();
+    let b = compute(&[64], "B", move |i| {
+        tvm_ir::Expr::call("exp", vec![a2.at(&[i[0].clone()])], DType::float32())
+    });
+    let s = create_schedule(&[b.clone()]);
+    let f = lower(&s, &[a, b], "exp").expect("lowers");
+    let base = estimate(&f, &arm_a53()).flops;
+    assert!(base >= 64.0 * 8.0, "transcendentals cost ~8 ops each: {base}");
+    // Hardware-intrinsic cost hooks scale with the provided table.
+    let mut opts = SimOptions::default();
+    opts.intrin_costs.insert("unit.test".into(), (1000.0, 0.0));
+    let c = estimate_with(&f, &arm_a53(), &opts);
+    assert_eq!(c.flops, base, "unused hooks change nothing");
+}
+
+#[test]
+fn targets_expose_consistent_peaks() {
+    for t in [titanx(), arm_a53(), mali_t860()] {
+        assert!(t.peak_flops() > 0.0);
+        assert!(t.peak_bw() > 0.0);
+        assert!(t.clock_ghz() > 0.0);
+        match &t {
+            Target::Gpu(_) => assert!(t.is_gpu()),
+            Target::Cpu(_) => assert!(!t.is_gpu()),
+        }
+    }
+    // Relative ordering sanity: server GPU >> embedded GPU >> embedded CPU.
+    assert!(titanx().peak_flops() > 50.0 * mali_t860().peak_flops());
+    assert!(mali_t860().peak_bw() > arm_a53().peak_bw());
+}

@@ -1,0 +1,1020 @@
+//! Schedule lowering: bound inference + loop-nest code generation.
+//!
+//! Turns a schedule (`crate::schedule::Schedule`) into a lowered
+//! function:
+//!
+//! 1. **Inlining** — stages marked `compute_inline` are substituted into
+//!    their consumers' bodies (this is how fused injective operators
+//!    disappear into the complex op's loop nest, §3).
+//! 2. **Bound inference** — every stage gets a *realize region* (per-axis
+//!    symbolic min + constant extent): full shape at root, or the region its
+//!    consumer touches when `compute_at`-nested. Thread-bound consumer axes
+//!    are relaxed (ranged over) when the producer lives in shared memory,
+//!    which is what sizes cooperative-fetch tiles (§4.2).
+//! 3. **Emission** — loop nests are generated per stage, nesting attached
+//!    producers at their attachment points, unifying loops bound to the
+//!    same GPU thread axis, inserting barriers around shared-scope
+//!    producers, splicing tensorized intrinsics (§4.3) and honoring
+//!    `dma_copy` pragmas.
+//! 4. **Post passes** — shared allocations are hoisted out of thread loops,
+//!    virtual threads are lowered to an interleaved instruction stream with
+//!    explicit DAE tokens (§4.4), and the result is simplified.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use tvm_ir::expr::ExprNode;
+use tvm_ir::stmt::StmtNode;
+use tvm_ir::{
+    DType, Expr, ForKind, Interval, LoweredFunc, MemScope, Stmt, ThreadTag, Var, VarId,
+};
+
+use crate::schedule::{Attach, IterRelation, LoopAnn, Schedule, Stage};
+use crate::tensor::{collect_reads, ComputeBody, IterKind, IterVar, OpId, Tensor};
+use crate::tensorize::BufferSlice;
+
+/// Lowering error.
+#[derive(Debug, Clone)]
+pub struct TeError(pub String);
+
+impl fmt::Display for TeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering error: {}", self.0)
+    }
+}
+impl std::error::Error for TeError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, TeError> {
+    Err(TeError(msg.into()))
+}
+
+/// Options for [`lower_with`].
+#[derive(Clone, Default, Debug)]
+pub struct LowerOptions {
+    /// Inject decoupled-access-execute dependence tokens and interleave
+    /// virtual threads for a DAE accelerator target (§4.4).
+    pub dae_sync: bool,
+}
+
+/// Per-stage results of bound inference.
+#[derive(Clone, Debug)]
+struct StageData {
+    /// Per-data-axis region min (symbolic in outer loop vars).
+    realize_min: Vec<Expr>,
+    /// Per-data-axis region extent.
+    realize_ext: Vec<i64>,
+    /// Extent of every itervar of the stage.
+    extents: HashMap<VarId, i64>,
+    /// Root/intermediate itervar -> expression in leaf vars (local coords).
+    var_expr: HashMap<VarId, Expr>,
+    /// Guard predicates (local coords) from non-perfect splits, with the
+    /// root axis kind of the guarded variable.
+    guards: Vec<(Expr, IterKind)>,
+}
+
+/// Lowers a schedule into a function over `args` (placeholders then
+/// outputs, in the order the caller wants parameters bound).
+pub fn lower(sched: &Schedule, args: &[Tensor], name: &str) -> Result<LoweredFunc, TeError> {
+    lower_with(sched, args, name, &LowerOptions::default())
+}
+
+/// Lowers a schedule with explicit options.
+pub fn lower_with(
+    sched: &Schedule,
+    args: &[Tensor],
+    name: &str,
+    opts: &LowerOptions,
+) -> Result<LoweredFunc, TeError> {
+    let bodies = effective_bodies(sched);
+    let data = infer_bounds(sched, &bodies)?;
+
+    // Buffer variables: params first (stable across calls), then internals.
+    let mut buffers: HashMap<OpId, Var> = HashMap::new();
+    for t in args {
+        buffers.insert(t.op_id(), Var::new(t.name(), t.dtype()));
+    }
+    for id in data.keys() {
+        if !buffers.contains_key(id) {
+            if let Some(stage) = sched.stage_by_op(*id) {
+                buffers.insert(*id, Var::new(stage.tensor.name(), stage.tensor.dtype()));
+            } else if let Some(t) = crate::tensor::resolve_tensor(*id) {
+                buffers.insert(*id, Var::new(t.name(), t.dtype()));
+            }
+        }
+    }
+
+    // Attachment map.
+    let mut attach_map: HashMap<(OpId, VarId), Vec<OpId>> = HashMap::new();
+    for stage in &sched.stages {
+        if let Attach::At { consumer, iter } = &stage.attach {
+            attach_map.entry((*consumer, iter.id())).or_default().push(stage.op_id());
+        }
+    }
+
+    // Pre-scan thread bindings: one canonical variable per tag, sized to
+    // the largest extent bound anywhere in the kernel. Stages binding a
+    // smaller extent run guarded on the canonical variable.
+    let mut thread_vars: HashMap<ThreadTag, (Var, i64)> = HashMap::new();
+    for stage in &sched.stages {
+        if matches!(stage.attach, Attach::Inline) {
+            continue;
+        }
+        let Some(sd) = data.get(&stage.op_id()) else { continue };
+        for leaf in &stage.leaf_iters {
+            if let Some(attr) = stage.iter_attrs.get(&leaf.var.id()) {
+                if let Some(tag) = attr.thread {
+                    let ext = sd.extents.get(&leaf.var.id()).copied().unwrap_or(1);
+                    let entry = thread_vars
+                        .entry(tag)
+                        .or_insert_with(|| (Var::int(tag.name()), ext));
+                    entry.1 = entry.1.max(ext);
+                }
+            }
+        }
+    }
+
+    let mut em = Emitter { sched, bodies: &bodies, data: &data, buffers, attach_map, thread_vars };
+
+    // Emit root stages in order, wrapping non-param roots in allocations.
+    let mut pieces: Vec<(OpId, Stmt)> = Vec::new();
+    for stage in &sched.stages {
+        if matches!(stage.attach, Attach::Root) {
+            pieces.push((stage.op_id(), em.emit_stage(stage.op_id())?));
+        }
+    }
+    let param_ids: HashSet<OpId> = args.iter().map(|t| t.op_id()).collect();
+    let mut body = Stmt::nop();
+    for (op, nest) in pieces.into_iter().rev() {
+        body = Stmt::seq(vec![nest, body]);
+        if !param_ids.contains(&op) {
+            let sd = &data[&op];
+            let extent: i64 = sd.realize_ext.iter().product::<i64>().max(1);
+            let stage = sched.stage_by_op(op).expect("root stage");
+            body = Stmt::allocate(
+                &em.buffers[&op],
+                stage.tensor.dtype(),
+                extent,
+                stage.scope,
+                body,
+            );
+        }
+    }
+
+    // Wrap the kernel with one canonical loop per bound thread axis:
+    // threadIdx innermost, blockIdx outermost.
+    for tag in [
+        ThreadTag::ThreadIdxX,
+        ThreadTag::ThreadIdxY,
+        ThreadTag::ThreadIdxZ,
+        ThreadTag::BlockIdxX,
+        ThreadTag::BlockIdxY,
+        ThreadTag::BlockIdxZ,
+    ] {
+        if let Some((v, ext)) = em.thread_vars.get(&tag) {
+            body = Stmt::loop_(v, 0, *ext, ForKind::ThreadBinding(tag), body);
+        }
+    }
+
+    let body = hoist_shared_allocs(&body);
+    let body = if opts.dae_sync {
+        crate::vthread::lower_dae(&body)
+    } else {
+        crate::vthread::lower_vthreads(&body)
+    };
+    let body = tvm_ir::simplify_stmt(&body);
+
+    let params: Vec<Var> = args.iter().map(|t| em.buffers[&t.op_id()].clone()).collect();
+    Ok(LoweredFunc {
+        name: name.to_string(),
+        param_dtypes: args.iter().map(|t| t.dtype()).collect(),
+        param_extents: args.iter().map(|t| t.numel() as usize).collect(),
+        params,
+        body,
+    })
+}
+
+/// Applies `compute_inline` substitution, returning effective bodies for
+/// every non-inlined compute op.
+fn effective_bodies(sched: &Schedule) -> HashMap<OpId, ComputeBody> {
+    let mut bodies: HashMap<OpId, ComputeBody> = HashMap::new();
+    for stage in &sched.stages {
+        if let Some(b) = stage.tensor.op.body() {
+            bodies.insert(stage.op_id(), b);
+        }
+    }
+    // Topological order: inline producers into everything downstream.
+    for stage in &sched.stages {
+        if !matches!(stage.attach, Attach::Inline) {
+            continue;
+        }
+        let id = stage.op_id();
+        let expr = match bodies.get(&id) {
+            Some(ComputeBody::Plain(e)) => e.clone(),
+            _ => continue, // validated at schedule time
+        };
+        let axes: Vec<Var> =
+            stage.tensor.op.axes().iter().map(|iv| iv.var.clone()).collect();
+        let keys: Vec<OpId> = bodies.keys().copied().collect();
+        for key in keys {
+            if key == id {
+                continue;
+            }
+            let b = bodies.remove(&key).expect("key exists");
+            bodies.insert(key, crate::rewrite::inline_reads(&b, id, &axes, &expr));
+        }
+        bodies.remove(&id);
+    }
+    bodies
+}
+
+fn full_realize(shape: &[i64]) -> (Vec<Expr>, Vec<i64>) {
+    (shape.iter().map(|_| Expr::int(0)).collect(), shape.to_vec())
+}
+
+fn infer_bounds(
+    sched: &Schedule,
+    bodies: &HashMap<OpId, ComputeBody>,
+) -> Result<HashMap<OpId, StageData>, TeError> {
+    let mut out: HashMap<OpId, StageData> = HashMap::new();
+    // Thread-bound / vthread leaf extents seen so far; when a producer
+    // lives in shared memory, these axes are *relaxed* (ranged over) so the
+    // tile covers the whole thread block — even when the thread variable
+    // reaches the region expression through an attachment chain.
+    let mut thread_extents: HashMap<VarId, i64> = HashMap::new();
+    // Consumers first.
+    for stage in sched.stages.iter().rev() {
+        if matches!(stage.attach, Attach::Inline) {
+            continue;
+        }
+        let shape = stage.tensor.shape();
+        let (mins, exts) = match &stage.attach {
+            Attach::Root | Attach::Inline => full_realize(shape),
+            Attach::At { consumer, iter } => {
+                let cons_stage = sched
+                    .stage_by_op(*consumer)
+                    .ok_or_else(|| TeError(format!("unknown consumer for `{}`", stage.tensor.name())))?;
+                let cons_data = out.get(consumer).ok_or_else(|| {
+                    TeError(format!(
+                        "compute_at consumer of `{}` not yet bounded (attach to an inlined stage?)",
+                        stage.tensor.name()
+                    ))
+                })?;
+                compute_region(stage, cons_stage, cons_data, iter, bodies, &thread_extents)?
+            }
+        };
+        // Root iter extents: data axes take realize extents, reduce axes
+        // keep declared extents.
+        let mut root_ext: HashMap<VarId, i64> = HashMap::new();
+        let mut kinds: HashMap<VarId, IterKind> = HashMap::new();
+        for (axis, e) in stage.tensor.op.axes().iter().zip(&exts) {
+            root_ext.insert(axis.var.id(), *e);
+            kinds.insert(axis.var.id(), IterKind::Data);
+        }
+        // Reduce axes from the *effective* body (cache_write moves them).
+        if let Some(ComputeBody::Reduce { axes, .. }) = bodies.get(&stage.op_id()) {
+            for r in axes {
+                let e = r.const_extent().ok_or_else(|| {
+                    TeError(format!("reduce axis `{}` has no constant extent", r.var.name()))
+                })?;
+                root_ext.insert(r.var.id(), e);
+                kinds.insert(r.var.id(), IterKind::Reduce);
+            }
+        }
+        let (extents, var_expr, guards) = resolve_iters(stage, root_ext, kinds)?;
+        // Record thread-bound / vthread leaves for transitive relaxation.
+        for leaf in &stage.leaf_iters {
+            if let Some(attr) = stage.iter_attrs.get(&leaf.var.id()) {
+                let threaded = matches!(attr.thread, Some(t) if !t.is_block());
+                let vthreaded = matches!(attr.ann, Some(LoopAnn::VThread));
+                if threaded || vthreaded {
+                    if let Some(e) = extents.get(&leaf.var.id()) {
+                        thread_extents.insert(leaf.var.id(), *e);
+                    }
+                }
+            }
+        }
+        out.insert(
+            stage.op_id(),
+            StageData { realize_min: mins, realize_ext: exts, extents, var_expr, guards },
+        );
+    }
+    // Placeholders realize their full shape.
+    for stage in &sched.stages {
+        for inp in stage.tensor.op.input_tensors() {
+            let id = inp.op_id();
+            if sched.stage_by_op(id).is_none() && !out.contains_key(&id) {
+                let (mins, exts) = full_realize(inp.shape());
+                out.insert(
+                    id,
+                    StageData {
+                        realize_min: mins,
+                        realize_ext: exts,
+                        extents: HashMap::new(),
+                        var_expr: HashMap::new(),
+                        guards: Vec::new(),
+                    },
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Computes the realize region of `stage` when attached inside `cons_stage`
+/// under leaf `attach_iter`.
+fn compute_region(
+    stage: &Stage,
+    cons_stage: &Stage,
+    cons_data: &StageData,
+    attach_iter: &Var,
+    bodies: &HashMap<OpId, ComputeBody>,
+    thread_extents: &HashMap<VarId, i64>,
+) -> Result<(Vec<Expr>, Vec<i64>), TeError> {
+    let shape = stage.tensor.shape();
+    let pos = cons_stage
+        .leaf_iters
+        .iter()
+        .position(|l| l.var == *attach_iter)
+        .ok_or_else(|| {
+            TeError(format!(
+                "attach iter `{}` is not a leaf of `{}`",
+                attach_iter.name(),
+                cons_stage.tensor.name()
+            ))
+        })?;
+    // Inner vars range; outer vars are symbolic points. Thread-bound and
+    // vthread outer leaves are relaxed when the producer is shared.
+    let mut inner: HashSet<VarId> = cons_stage.leaf_iters[pos + 1..]
+        .iter()
+        .map(|l| l.var.id())
+        .collect();
+    if stage.scope == MemScope::Shared {
+        for leaf in &cons_stage.leaf_iters[..=pos] {
+            if let Some(attr) = cons_stage.iter_attrs.get(&leaf.var.id()) {
+                let threaded = matches!(attr.thread, Some(t) if !t.is_block());
+                let vthreaded = matches!(attr.ann, Some(LoopAnn::VThread));
+                if threaded || vthreaded {
+                    inner.insert(leaf.var.id());
+                }
+            }
+        }
+    }
+    // Consumer coordinate substitution: axis -> realize_min + local expr.
+    let mut sub: HashMap<VarId, Expr> = HashMap::new();
+    for (d, axis) in cons_stage.tensor.op.axes().iter().enumerate() {
+        let local = cons_data.var_expr.get(&axis.var.id()).cloned().unwrap_or_else(|| axis.expr());
+        sub.insert(axis.var.id(), cons_data.realize_min[d].clone() + local);
+    }
+    if let Some(ComputeBody::Reduce { axes, .. }) = bodies.get(&cons_stage.op_id()) {
+        for r in axes {
+            let local = cons_data.var_expr.get(&r.var.id()).cloned().unwrap_or_else(|| r.expr());
+            sub.insert(r.var.id(), local);
+        }
+    }
+    let body = bodies.get(&cons_stage.op_id()).ok_or_else(|| {
+        TeError(format!("consumer `{}` has no body", cons_stage.tensor.name()))
+    })?;
+    let mut regions: Vec<(Vec<Expr>, Vec<i64>)> = Vec::new();
+    let target = stage.op_id();
+    let failure: Option<TeError> = None;
+    collect_reads(body.source_expr(), &mut |t, idx| {
+        if t.op_id() != target || failure.is_some() {
+            return;
+        }
+        let mut mins = Vec::with_capacity(idx.len());
+        let mut exts = Vec::with_capacity(idx.len());
+        for (d, e) in idx.iter().enumerate() {
+            let e = tvm_ir::simplify(&tvm_ir::substitute(e, &sub));
+            // Width: inner vars ranged, everything else pinned to 0.
+            let mut bounds: HashMap<VarId, Interval> = HashMap::new();
+            let mut relaxed: Vec<VarId> = Vec::new();
+            for v in tvm_ir::collect_vars(&e) {
+                let iv = if inner.contains(&v.id()) {
+                    let ext = cons_data.extents.get(&v.id()).copied().unwrap_or(1);
+                    Interval::new(0, (ext - 1).max(0))
+                } else if stage.scope == MemScope::Shared && thread_extents.contains_key(&v.id())
+                {
+                    // Transitive thread relaxation: thread variables that
+                    // reach this index through the attachment chain range
+                    // over the whole block for shared producers.
+                    relaxed.push(v.id());
+                    Interval::new(0, (thread_extents[&v.id()] - 1).max(0))
+                } else {
+                    Interval::point(0)
+                };
+                bounds.insert(v.id(), iv);
+            }
+            match tvm_ir::eval_interval(&e, &bounds) {
+                Some(iv) => {
+                    let width = iv.extent().min(shape[d]);
+                    // Min: substitute inner (and relaxed) vars by 0.
+                    let mut zero_sub: HashMap<VarId, Expr> = inner
+                        .iter()
+                        .map(|id| (*id, Expr::int(0)))
+                        .collect();
+                    for id in &relaxed {
+                        zero_sub.insert(*id, Expr::int(0));
+                    }
+                    let min_e = tvm_ir::simplify(&tvm_ir::substitute(&e, &zero_sub));
+                    mins.push(min_e);
+                    exts.push(width);
+                }
+                None => {
+                    // Unanalyzable index: realize the whole axis.
+                    mins.push(Expr::int(0));
+                    exts.push(shape[d]);
+                }
+            }
+        }
+        regions.push((mins, exts));
+    });
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    if regions.is_empty() {
+        // Consumer does not read this op directly (multi-level attachment
+        // chains read through other stages): be conservative.
+        return Ok(full_realize(shape));
+    }
+    // Merge: identical mins -> max extents; otherwise fall back to full.
+    let (first_min, mut ext) = regions[0].clone();
+    for (m, e) in &regions[1..] {
+        let same = m.iter().zip(&first_min).all(|(a, b)| a.structural_eq(b));
+        if !same {
+            return Ok(full_realize(shape));
+        }
+        for (acc, v) in ext.iter_mut().zip(e) {
+            *acc = (*acc).max(*v);
+        }
+    }
+    Ok((first_min, ext))
+}
+
+type ResolvedIters =
+    (HashMap<VarId, i64>, HashMap<VarId, Expr>, Vec<(Expr, IterKind)>);
+
+/// Resolves extents, leaf-coordinate expressions and split guards for all
+/// itervars of a stage.
+fn resolve_iters(
+    stage: &Stage,
+    root_ext: HashMap<VarId, i64>,
+    mut kinds: HashMap<VarId, IterKind>,
+) -> Result<ResolvedIters, TeError> {
+    let mut extents = root_ext;
+    let mut overshoot: Vec<(Var, i64)> = Vec::new(); // (parent, parent extent)
+    for rel in &stage.relations {
+        match rel {
+            IterRelation::Split { parent, outer, inner, factor } => {
+                let ep = *extents.get(&parent.id()).ok_or_else(|| {
+                    TeError(format!("split parent `{}` has unknown extent", parent.name()))
+                })?;
+                let ei = (*factor).min(ep).max(1);
+                let eo = (ep + ei - 1) / ei;
+                extents.insert(outer.var.id(), eo);
+                extents.insert(inner.var.id(), ei);
+                let kind = kinds.get(&parent.id()).copied().unwrap_or(IterKind::Data);
+                kinds.insert(outer.var.id(), kind);
+                kinds.insert(inner.var.id(), kind);
+                if eo * ei > ep {
+                    overshoot.push((parent.clone(), ep));
+                }
+            }
+            IterRelation::Fuse { outer, inner, fused } => {
+                let eo = *extents.get(&outer.id()).ok_or_else(|| {
+                    TeError(format!("fuse outer `{}` has unknown extent", outer.name()))
+                })?;
+                let ei = *extents.get(&inner.id()).ok_or_else(|| {
+                    TeError(format!("fuse inner `{}` has unknown extent", inner.name()))
+                })?;
+                extents.insert(fused.var.id(), eo * ei);
+                let kind = kinds.get(&outer.id()).copied().unwrap_or(IterKind::Data);
+                kinds.insert(fused.var.id(), kind);
+            }
+        }
+    }
+    // Leaf-coordinate expressions, memoized.
+    let mut var_expr: HashMap<VarId, Expr> = HashMap::new();
+    let all_vars: Vec<Var> = {
+        let mut v: Vec<Var> = stage.tensor.op.axes().iter().map(|a| a.var.clone()).collect();
+        v.extend(stage.tensor.op.reduce_axes().iter().map(|a| a.var.clone()));
+        for rel in &stage.relations {
+            match rel {
+                IterRelation::Split { parent, outer, inner, .. } => {
+                    v.push(parent.clone());
+                    v.push(outer.var.clone());
+                    v.push(inner.var.clone());
+                }
+                IterRelation::Fuse { fused, .. } => v.push(fused.var.clone()),
+            }
+        }
+        v
+    };
+    for var in &all_vars {
+        let e = expand_var(var, stage, &extents, &mut HashSet::new())?;
+        var_expr.insert(var.id(), e);
+    }
+    let guards: Vec<(Expr, IterKind)> = overshoot
+        .into_iter()
+        .map(|(parent, ep)| {
+            let pe = var_expr.get(&parent.id()).cloned().unwrap_or_else(|| parent.to_expr());
+            let kind = kinds.get(&parent.id()).copied().unwrap_or(IterKind::Data);
+            (pe.lt(Expr::int(ep)), kind)
+        })
+        .collect();
+    Ok((extents, var_expr, guards))
+}
+
+fn expand_var(
+    var: &Var,
+    stage: &Stage,
+    extents: &HashMap<VarId, i64>,
+    seen: &mut HashSet<VarId>,
+) -> Result<Expr, TeError> {
+    if !seen.insert(var.id()) {
+        return err(format!("cyclic iter relation at `{}`", var.name()));
+    }
+    for rel in &stage.relations {
+        match rel {
+            IterRelation::Split { parent, outer, inner, .. } if parent.id() == var.id() => {
+                let eo = expand_var(&outer.var, stage, extents, seen)?;
+                let ei_expr = expand_var(&inner.var, stage, extents, seen)?;
+                let ei = *extents.get(&inner.var.id()).expect("resolved");
+                seen.remove(&var.id());
+                return Ok(eo * ei + ei_expr);
+            }
+            IterRelation::Fuse { outer, inner, fused } => {
+                let ei = *extents.get(&inner.id()).ok_or_else(|| {
+                    TeError(format!("fuse inner `{}` unresolved", inner.name()))
+                })?;
+                if outer.id() == var.id() {
+                    let f = expand_var(&fused.var, stage, extents, seen)?;
+                    seen.remove(&var.id());
+                    return Ok(f / ei);
+                }
+                if inner.id() == var.id() {
+                    let f = expand_var(&fused.var, stage, extents, seen)?;
+                    seen.remove(&var.id());
+                    return Ok(f % ei);
+                }
+            }
+            _ => {}
+        }
+    }
+    seen.remove(&var.id());
+    Ok(var.to_expr())
+}
+
+struct Emitter<'a> {
+    sched: &'a Schedule,
+    bodies: &'a HashMap<OpId, ComputeBody>,
+    data: &'a HashMap<OpId, StageData>,
+    buffers: HashMap<OpId, Var>,
+    attach_map: HashMap<(OpId, VarId), Vec<OpId>>,
+    thread_vars: HashMap<ThreadTag, (Var, i64)>,
+}
+
+struct Plan {
+    op: OpId,
+    leaves: Vec<IterVar>,
+    init_pos: Option<usize>,
+    init_stmt: Option<Stmt>,
+    init_loop_leaves: Vec<IterVar>,
+    body_stmt: Stmt,
+    ten_pos: Option<usize>,
+}
+
+impl Emitter<'_> {
+    fn strides_of(&self, op: OpId) -> Vec<i64> {
+        let exts = &self.data[&op].realize_ext;
+        row_major_strides(exts)
+    }
+
+    /// Applies the stage's coordinate substitution, then converts tensor
+    /// reads to flat buffer loads rebased into each producer's realize
+    /// region. Order matters: realize mins reference consumer *loop*
+    /// variables which may coincide with this stage's axis variables, so
+    /// they must be added after the substitution has run.
+    fn convert_body_expr(
+        &self,
+        e: &Expr,
+        axis_sub: &HashMap<VarId, Expr>,
+    ) -> Result<Expr, TeError> {
+        let substituted = tvm_ir::substitute(e, axis_sub);
+        self.convert_reads(&substituted)
+    }
+
+    fn convert_reads(&self, e: &Expr) -> Result<Expr, TeError> {
+        struct C<'b, 'c> {
+            em: &'b Emitter<'c>,
+            error: Option<TeError>,
+        }
+        impl tvm_ir::Mutator for C<'_, '_> {
+            fn mutate_expr(&mut self, e: &Expr) -> Expr {
+                if let ExprNode::Call { name, args, .. } = &*e.0 {
+                    if let Some(id) = crate::tensor::parse_read_key(name) {
+                        let args: Vec<Expr> =
+                            args.iter().map(|a| self.mutate_expr(a)).collect();
+                        match self.em.flat_read(id, &args) {
+                            Ok(load) => return load,
+                            Err(te) => {
+                                self.error.get_or_insert(te);
+                                return e.clone();
+                            }
+                        }
+                    }
+                }
+                self.default_mutate_expr(e)
+            }
+        }
+        let mut c = C { em: self, error: None };
+        let out = tvm_ir::Mutator::mutate_expr(&mut c, e);
+        match c.error {
+            Some(te) => Err(te),
+            None => Ok(out),
+        }
+    }
+
+    fn flat_read(&self, id: OpId, idx: &[Expr]) -> Result<Expr, TeError> {
+        let buf = self
+            .buffers
+            .get(&id)
+            .ok_or_else(|| TeError(format!("no buffer for read of op {id:?}")))?;
+        let sd = self
+            .data
+            .get(&id)
+            .ok_or_else(|| TeError(format!("no bounds for read of op {id:?}")))?;
+        let strides = row_major_strides(&sd.realize_ext);
+        let mut flat = Expr::int(0);
+        for (d, e) in idx.iter().enumerate() {
+            let local = e.clone() - sd.realize_min[d].clone();
+            flat = flat + local * Expr::int(strides[d]);
+        }
+        Ok(Expr::load(buf, tvm_ir::simplify(&flat)))
+    }
+
+    fn plan_stage(&self, op: OpId) -> Result<Plan, TeError> {
+        let stage = self.sched.stage_by_op(op).ok_or_else(|| TeError("missing stage".into()))?;
+        let sd = &self.data[&op];
+        let body = self
+            .bodies
+            .get(&op)
+            .ok_or_else(|| TeError(format!("stage `{}` has no body", stage.tensor.name())))?;
+        let leaves = stage.leaf_iters.clone();
+        let self_buf = self.buffers[&op].clone();
+        let strides = self.strides_of(op);
+        let dtype = stage.tensor.dtype();
+
+        // Coordinate substitution for the body: axis -> min + local expr.
+        let mut axis_sub: HashMap<VarId, Expr> = HashMap::new();
+        let axes = stage.tensor.op.axes();
+        for (d, axis) in axes.iter().enumerate() {
+            let local =
+                sd.var_expr.get(&axis.var.id()).cloned().unwrap_or_else(|| axis.expr());
+            axis_sub.insert(axis.var.id(), sd.realize_min[d].clone() + local);
+        }
+        if let ComputeBody::Reduce { axes: raxes, .. } = body {
+            for r in raxes {
+                let local =
+                    sd.var_expr.get(&r.var.id()).cloned().unwrap_or_else(|| r.expr());
+                axis_sub.insert(r.var.id(), local);
+            }
+        }
+
+        // Store index (local coordinates).
+        let mut store_idx = Expr::int(0);
+        for (d, axis) in axes.iter().enumerate() {
+            let local =
+                sd.var_expr.get(&axis.var.id()).cloned().unwrap_or_else(|| axis.expr());
+            store_idx = store_idx + local * Expr::int(strides[d]);
+        }
+        let store_idx = tvm_ir::simplify(&store_idx);
+
+        let mut data_guards: Vec<Expr> = sd
+            .guards
+            .iter()
+            .filter(|(_, k)| *k == IterKind::Data)
+            .map(|(g, _)| g.clone())
+            .collect();
+        let mut all_guards: Vec<Expr> = sd.guards.iter().map(|(g, _)| g.clone()).collect();
+        // Attached stages may realize a region that overruns the tensor
+        // when the consumer's own tiles are guarded; clamp computation to
+        // the declared shape. The simplifier drops these when provably
+        // in-bounds. Tensorized stages assert perfect tiling instead.
+        if stage.tensorize_at.is_none() {
+            let shape = stage.tensor.shape();
+            for (d, axis) in axes.iter().enumerate() {
+                let full = sd.realize_min[d].as_int() == Some(0)
+                    && sd.realize_ext[d] == shape[d];
+                if !full {
+                    let coord = axis_sub[&axis.var.id()].clone();
+                    let g = coord.lt(Expr::int(shape[d]));
+                    data_guards.push(g.clone());
+                    all_guards.push(g);
+                }
+            }
+        }
+        let guard = |stmt: Stmt, gs: &[Expr]| -> Stmt {
+            if gs.is_empty() {
+                stmt
+            } else {
+                let cond = gs[1..]
+                    .iter()
+                    .fold(gs[0].clone(), |acc, g| acc.and(g.clone()));
+                Stmt::if_then(cond, stmt)
+            }
+        };
+
+        // Tensorize position.
+        let ten = stage.tensorize_at.as_ref();
+        let ten_pos = match ten {
+            Some((vid, _)) => Some(
+                leaves
+                    .iter()
+                    .position(|l| l.var.id() == *vid)
+                    .ok_or_else(|| TeError("tensorize target is not a leaf".into()))?,
+            ),
+            None => None,
+        };
+
+        // First reduce leaf (init position).
+        let init_pos = match body {
+            ComputeBody::Reduce { .. } => {
+                Some(leaves.iter().position(|l| l.kind == IterKind::Reduce).unwrap_or(0))
+            }
+            ComputeBody::Plain(_) => None,
+        };
+
+        let (init_stmt, body_stmt, init_loop_leaves) = match ten {
+            None => match body {
+                ComputeBody::Plain(e) => {
+                    let val = self.convert_body_expr(e, &axis_sub)?;
+                    let st = guard(Stmt::store(&self_buf, store_idx.clone(), val), &all_guards);
+                    (None, st, Vec::new())
+                }
+                ComputeBody::Reduce { combiner, source, .. } => {
+                    let val = self.convert_body_expr(source, &axis_sub)?;
+                    let acc = Expr::load(&self_buf, store_idx.clone());
+                    let upd = Stmt::store(&self_buf, store_idx.clone(), combiner.combine(acc, val));
+                    let upd = guard(upd, &all_guards);
+                    let init =
+                        Stmt::store(&self_buf, store_idx.clone(), combiner.identity(dtype));
+                    let init = guard(init, &data_guards);
+                    let p = init_pos.expect("reduce has init pos");
+                    let end = ten_pos.unwrap_or(leaves.len());
+                    let init_leaves: Vec<IterVar> = leaves[p..end]
+                        .iter()
+                        .filter(|l| l.kind == IterKind::Data)
+                        .cloned()
+                        .collect();
+                    (Some(init), upd, init_leaves)
+                }
+            },
+            Some((_, intrin)) => {
+                let tp = ten_pos.expect("position resolved");
+                // Guards may not reference tensorized leaves.
+                let ten_ids: HashSet<VarId> =
+                    leaves[tp..].iter().map(|l| l.var.id()).collect();
+                for (g, _) in &sd.guards {
+                    for v in tvm_ir::collect_vars(g) {
+                        if ten_ids.contains(&v.id()) {
+                            return err(format!(
+                                "tensorize region of `{}` has a non-perfect split",
+                                stage.tensor.name()
+                            ));
+                        }
+                    }
+                }
+                // Extent checks.
+                let data_prod: i64 = leaves[tp..]
+                    .iter()
+                    .filter(|l| l.kind == IterKind::Data)
+                    .map(|l| sd.extents[&l.var.id()])
+                    .product();
+                let red_prod: i64 = leaves[tp..]
+                    .iter()
+                    .filter(|l| l.kind == IterKind::Reduce)
+                    .map(|l| sd.extents[&l.var.id()])
+                    .product();
+                let want_data: i64 = intrin.output_shape().iter().product();
+                let want_red: i64 = intrin.reduce_extents().iter().product::<i64>().max(1);
+                if data_prod != want_data || red_prod != want_red {
+                    return err(format!(
+                        "tensorize mismatch on `{}`: loops cover {}x{} but intrinsic `{}` covers {}x{}",
+                        stage.tensor.name(), data_prod, red_prod, intrin.name(), want_data, want_red
+                    ));
+                }
+                // Zero the tensorized leaves to get slice origins.
+                let zero_sub: HashMap<VarId, Expr> =
+                    ten_ids.iter().map(|id| (*id, Expr::int(0))).collect();
+                let out_off =
+                    tvm_ir::simplify(&tvm_ir::substitute(&store_idx, &zero_sub));
+                let output = BufferSlice {
+                    var: self_buf.clone(),
+                    offset: out_off,
+                    strides: strides.iter().map(|s| Expr::int(*s)).collect(),
+                    shape: intrin.output_shape().to_vec(),
+                    dtype,
+                };
+                // Input slices, in body read order.
+                let mut inputs: Vec<BufferSlice> = Vec::new();
+                let read_err: Option<TeError> = None;
+                collect_reads(body.source_expr(), &mut |t, idx| {
+                    if read_err.is_some() {
+                        return;
+                    }
+                    let id = t.op_id();
+                    let tsd = &self.data[&id];
+                    let tstr = row_major_strides(&tsd.realize_ext);
+                    let mut flat = Expr::int(0);
+                    for (d, e) in idx.iter().enumerate() {
+                        let e = tvm_ir::substitute(e, &axis_sub);
+                        let local = e - tsd.realize_min[d].clone();
+                        flat = flat + local * Expr::int(tstr[d]);
+                    }
+                    let off = tvm_ir::simplify(&tvm_ir::substitute(&flat, &zero_sub));
+                    inputs.push(BufferSlice {
+                        var: self.buffers[&id].clone(),
+                        offset: off,
+                        strides: tstr.iter().map(|s| Expr::int(*s)).collect(),
+                        shape: tsd.realize_ext.clone(),
+                        dtype: t.dtype(),
+                    });
+                });
+                if let Some(e) = read_err {
+                    return Err(e);
+                }
+                let imp = (intrin.0.lower)(&inputs, &output);
+                // When the whole reduction sits inside the tensorized
+                // region, the reset belongs at the tensorize position.
+                let p = init_pos.unwrap_or(0).min(tp);
+                let init_leaves: Vec<IterVar> = leaves[p..tp]
+                    .iter()
+                    .filter(|l| l.kind == IterKind::Data)
+                    .cloned()
+                    .collect();
+                (imp.reset, imp.body, init_leaves)
+            }
+        };
+
+        Ok(Plan { op, leaves, init_pos, init_stmt, init_loop_leaves, body_stmt, ten_pos })
+    }
+
+    fn emit_stage(&mut self, op: OpId) -> Result<Stmt, TeError> {
+        let plan = self.plan_stage(op)?;
+        self.emit_from(&plan, 0)
+    }
+
+    fn emit_from(&mut self, plan: &Plan, idx: usize) -> Result<Stmt, TeError> {
+        if Some(idx) == plan.ten_pos || idx == plan.leaves.len() {
+            // A reduction fully covered by the tensorized region needs its
+            // reset emitted right before the intrinsic body.
+            if Some(idx) == plan.ten_pos
+                && plan.init_pos.map(|p| p >= idx).unwrap_or(false)
+            {
+                let init = plan.init_stmt.clone().unwrap_or_else(Stmt::nop);
+                return Ok(Stmt::seq(vec![init, plan.body_stmt.clone()]));
+            }
+            return Ok(plan.body_stmt.clone());
+        }
+        let stage = self.sched.stage_by_op(plan.op).expect("stage exists");
+        let sd = &self.data[&plan.op];
+        let leaf = plan.leaves[idx].clone();
+        let ext = *sd
+            .extents
+            .get(&leaf.var.id())
+            .ok_or_else(|| TeError(format!("no extent for leaf `{}`", leaf.var.name())))?;
+
+        let mut inner = self.emit_from(plan, idx + 1)?;
+
+        // Attached producers nest right after this loop opens. All
+        // allocations are hoisted above one flat sequence so downstream
+        // passes (DAE token injection) see the producer groups and the
+        // consumer as siblings.
+        if let Some(list) = self.attach_map.get(&(plan.op, leaf.var.id())).cloned() {
+            let mut items: Vec<Stmt> = Vec::new();
+            let mut allocs: Vec<(Var, DType, i64, MemScope)> = Vec::new();
+            for p in list {
+                let p_stage = self.sched.stage_by_op(p).expect("attached stage exists");
+                let scope = p_stage.scope;
+                let dtype = p_stage.tensor.dtype();
+                let buf = self.buffers[&p].clone();
+                let extent: i64 = self.data[&p].realize_ext.iter().product::<i64>().max(1);
+                let nest = self.emit_stage(p)?;
+                if scope == MemScope::Shared {
+                    // WAR: previous iteration's readers must finish before
+                    // the tile is overwritten; RAW: make it visible after.
+                    items.push(Stmt::new(StmtNode::Barrier));
+                    items.push(nest);
+                    items.push(Stmt::new(StmtNode::Barrier));
+                } else {
+                    items.push(nest);
+                }
+                allocs.push((buf, dtype, extent, scope));
+            }
+            items.push(inner);
+            inner = Stmt::seq(items);
+            for (buf, dtype, extent, scope) in allocs.into_iter().rev() {
+                inner = Stmt::allocate(&buf, dtype, extent, scope, inner);
+            }
+        }
+
+        let attr = stage.iter_attrs.get(&leaf.var.id()).cloned().unwrap_or_default();
+        let loop_stmt = if let Some(tag) = attr.thread {
+            // Thread-bound loops are elided here: every leaf bound to the
+            // same tag unifies with the pre-scanned canonical variable, and
+            // the kernel is wrapped with a single loop nest per tag at the
+            // end of lowering (all statements in a kernel execute on every
+            // thread, as on real hardware). A stage binding fewer
+            // iterations than the canonical extent runs under a guard.
+            let (tv, text) = self
+                .thread_vars
+                .get(&tag)
+                .cloned()
+                .ok_or_else(|| TeError(format!("thread axis {} not pre-scanned", tag.name())))?;
+            let mut m = HashMap::new();
+            m.insert(leaf.var.id(), tv.to_expr());
+            let unified = tvm_ir::substitute_stmt(&inner, &m);
+            if ext < text {
+                Stmt::if_then(tv.to_expr().lt(Expr::int(ext)), unified)
+            } else {
+                unified
+            }
+        } else {
+            let kind = match attr.ann {
+                Some(LoopAnn::Vectorize) => ForKind::Vectorized,
+                Some(LoopAnn::Unroll) => ForKind::Unrolled,
+                Some(LoopAnn::Parallel) => ForKind::Parallel,
+                Some(LoopAnn::VThread) => ForKind::VThread,
+                None => ForKind::Serial,
+            };
+            let f = Stmt::loop_(&leaf.var, 0, ext, kind, inner);
+            match &attr.pragma {
+                Some(key) => Stmt::attr(format!("pragma.{key}"), Expr::int(ext), f),
+                None => f,
+            }
+        };
+
+        if Some(idx) == plan.init_pos && plan.ten_pos.map(|t| idx < t).unwrap_or(true) {
+            let mut init = plan.init_stmt.clone().unwrap_or_else(Stmt::nop);
+            for l in plan.init_loop_leaves.iter().rev() {
+                let e = sd.extents[&l.var.id()];
+                init = Stmt::for_(&l.var, 0, e, init);
+            }
+            Ok(Stmt::seq(vec![init, loop_stmt]))
+        } else {
+            Ok(loop_stmt)
+        }
+    }
+
+}
+
+fn row_major_strides(exts: &[i64]) -> Vec<i64> {
+    let mut strides = vec![1i64; exts.len()];
+    for d in (0..exts.len().saturating_sub(1)).rev() {
+        strides[d] = strides[d + 1] * exts[d + 1];
+    }
+    strides
+}
+
+/// Hoists shared-memory allocations out of thread-bound loops so that one
+/// tile is shared by the whole thread block.
+fn hoist_shared_allocs(s: &Stmt) -> Stmt {
+    use tvm_ir::Mutator;
+    struct H;
+    impl Mutator for H {
+        fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
+            if let StmtNode::For { kind: ForKind::ThreadBinding(tag), .. } = &*s.0 {
+                if !tag.is_block() {
+                    let mut specs = Vec::new();
+                    let stripped = strip_shared(s, &mut specs);
+                    let mut out = stripped;
+                    for (buf, dtype, extent) in specs.into_iter().rev() {
+                        out = Stmt::allocate(&buf, dtype, extent, MemScope::Shared, out);
+                    }
+                    return out;
+                }
+            }
+            self.default_mutate_stmt(s)
+        }
+    }
+    H.mutate_stmt(s)
+}
+
+fn strip_shared(s: &Stmt, specs: &mut Vec<(Var, DType, Expr)>) -> Stmt {
+    use tvm_ir::Mutator;
+    struct S<'a> {
+        specs: &'a mut Vec<(Var, DType, Expr)>,
+    }
+    impl Mutator for S<'_> {
+        fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
+            if let StmtNode::Allocate { buffer, dtype, extent, scope: MemScope::Shared, body } =
+                &*s.0
+            {
+                self.specs.push((buffer.clone(), *dtype, extent.clone()));
+                return self.mutate_stmt(body);
+            }
+            self.default_mutate_stmt(s)
+        }
+    }
+    S { specs }.mutate_stmt(s)
+}

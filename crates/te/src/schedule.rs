@@ -1,0 +1,564 @@
+//! Schedules: trees of loop transformations over tensor expressions (§4.1).
+//!
+//! A [`Schedule`] holds one [`Stage`] per compute operation. Schedule
+//! primitives (`split`, `tile`, `fuse`, `reorder`, `bind`, `compute_at`,
+//! `cache_read`, `cache_write`, `set_scope`, `vectorize`, `unroll`,
+//! `parallel`, `vthread`, `tensorize`, `pragma`) incrementally transform the
+//! loop structure while preserving program semantics; the lowering pass
+//! (`crate::lower`) turns the final schedule into a low-level loop program.
+
+use std::collections::HashMap;
+
+use tvm_ir::{Expr, MemScope, ThreadTag, Var, VarId};
+
+use crate::tensor::{
+    compute_with_axes, ComputeBody, IterVar, OpId, Tensor,
+};
+use crate::tensorize::TensorIntrin;
+
+/// Loop annotation applied by annotation primitives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LoopAnn {
+    /// SIMD-vectorize the loop.
+    Vectorize,
+    /// Fully unroll the loop.
+    Unroll,
+    /// Multi-core parallelize the loop.
+    Parallel,
+    /// Virtual thread for DAE latency hiding (§4.4).
+    VThread,
+}
+
+/// Per-itervar schedule attributes.
+#[derive(Clone, Default, Debug)]
+pub struct IterAttr {
+    /// Loop annotation, if any.
+    pub ann: Option<LoopAnn>,
+    /// GPU thread-axis binding, if any.
+    pub thread: Option<ThreadTag>,
+    /// Back-end pragma (e.g. `dma_copy` for accelerator DMA lowering).
+    pub pragma: Option<String>,
+}
+
+/// Where a stage's computation is placed.
+#[derive(Clone, Debug)]
+pub enum Attach {
+    /// At the top level of the function.
+    Root,
+    /// Substituted into consumers (no materialized loops or buffer).
+    Inline,
+    /// Nested inside `consumer`'s loop over `iter`.
+    At {
+        /// Consumer operation.
+        consumer: OpId,
+        /// Leaf iteration variable of the consumer to attach under.
+        iter: Var,
+    },
+}
+
+/// Iteration-variable relations produced by `split` and `fuse`.
+#[derive(Clone, Debug)]
+pub enum IterRelation {
+    /// `parent` is rewritten as `outer * factor + inner`.
+    Split {
+        /// The variable being split.
+        parent: Var,
+        /// Outer result.
+        outer: IterVar,
+        /// Inner result (extent = `factor`).
+        inner: IterVar,
+        /// Split factor.
+        factor: i64,
+    },
+    /// `fused` iterates the flattened product of `outer` then `inner`.
+    Fuse {
+        /// Original outer variable.
+        outer: Var,
+        /// Original inner variable.
+        inner: Var,
+        /// Fused result.
+        fused: IterVar,
+    },
+}
+
+/// One operation's scheduling state.
+#[derive(Clone, Debug)]
+pub struct Stage {
+    /// The stage's output tensor.
+    pub tensor: Tensor,
+    /// Current loop order (outermost first).
+    pub leaf_iters: Vec<IterVar>,
+    /// Applied split/fuse relations, in application order.
+    pub relations: Vec<IterRelation>,
+    /// Placement.
+    pub attach: Attach,
+    /// Memory scope of the stage's buffer.
+    pub scope: MemScope,
+    /// Per-itervar annotations keyed by the itervar's variable id.
+    pub iter_attrs: HashMap<VarId, IterAttr>,
+    /// Tensorization: replace the loop nest from this leaf inwards with a
+    /// hardware intrinsic (§4.3).
+    pub tensorize_at: Option<(VarId, TensorIntrin)>,
+    /// True for stages whose tensor is a function output.
+    pub is_output: bool,
+}
+
+impl Stage {
+    fn new(tensor: Tensor, is_output: bool) -> Stage {
+        let mut leaf_iters = tensor.op.axes();
+        leaf_iters.extend(tensor.op.reduce_axes());
+        Stage {
+            tensor,
+            leaf_iters,
+            relations: Vec::new(),
+            attach: Attach::Root,
+            scope: MemScope::Global,
+            iter_attrs: HashMap::new(),
+            tensorize_at: None,
+            is_output,
+        }
+    }
+
+    /// Operation id.
+    pub fn op_id(&self) -> OpId {
+        self.tensor.op_id()
+    }
+
+    /// Position of an itervar among the leaves.
+    fn leaf_pos(&self, iv: &IterVar) -> usize {
+        self.leaf_iters
+            .iter()
+            .position(|l| l.var == iv.var)
+            .unwrap_or_else(|| {
+                panic!(
+                    "itervar `{}` is not a leaf of stage `{}`",
+                    iv.var.name(),
+                    self.tensor.name()
+                )
+            })
+    }
+
+    /// Mutable attribute entry for an itervar.
+    fn attr_mut(&mut self, iv: &IterVar) -> &mut IterAttr {
+        self.iter_attrs.entry(iv.var.id()).or_default()
+    }
+}
+
+/// A schedule over a tensor-expression DAG.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// Stages in topological order (producers before consumers).
+    pub stages: Vec<Stage>,
+    /// Function outputs.
+    pub outputs: Vec<Tensor>,
+    stage_of: HashMap<OpId, usize>,
+}
+
+/// Creates a schedule for the given output tensors — `t.create_schedule` in
+/// the paper's API.
+pub fn create_schedule(outputs: &[Tensor]) -> Schedule {
+    let mut order: Vec<Tensor> = Vec::new();
+    let mut visited: Vec<OpId> = Vec::new();
+    fn dfs(t: &Tensor, order: &mut Vec<Tensor>, visited: &mut Vec<OpId>) {
+        if visited.contains(&t.op_id()) {
+            return;
+        }
+        visited.push(t.op_id());
+        for inp in t.op.input_tensors() {
+            dfs(&inp, order, visited);
+        }
+        if t.op.body().is_some() {
+            order.push(t.clone());
+        }
+    }
+    for t in outputs {
+        dfs(t, &mut order, &mut visited);
+    }
+    let mut stages = Vec::with_capacity(order.len());
+    let mut stage_of = HashMap::new();
+    for t in order {
+        let is_output = outputs.iter().any(|o| o.op_id() == t.op_id());
+        stage_of.insert(t.op_id(), stages.len());
+        stages.push(Stage::new(t, is_output));
+    }
+    Schedule { stages, outputs: outputs.to_vec(), stage_of }
+}
+
+impl Schedule {
+    /// The stage scheduling `t`'s operation.
+    pub fn stage(&self, t: &Tensor) -> &Stage {
+        &self.stages[self.stage_index(t)]
+    }
+
+    /// Mutable stage access.
+    pub fn stage_mut(&mut self, t: &Tensor) -> &mut Stage {
+        let i = self.stage_index(t);
+        &mut self.stages[i]
+    }
+
+    /// Stage index of a tensor's op.
+    pub fn stage_index(&self, t: &Tensor) -> usize {
+        *self
+            .stage_of
+            .get(&t.op_id())
+            .unwrap_or_else(|| panic!("tensor `{}` is not scheduled here", t.name()))
+    }
+
+    /// Stage lookup by op id.
+    pub fn stage_by_op(&self, id: OpId) -> Option<&Stage> {
+        self.stage_of.get(&id).map(|&i| &self.stages[i])
+    }
+
+    /// Splits a leaf itervar by `factor`, returning `(outer, inner)`.
+    pub fn split(&mut self, t: &Tensor, iv: &IterVar, factor: i64) -> (IterVar, IterVar) {
+        assert!(factor >= 1, "split factor must be >= 1, got {factor}");
+        let stage = self.stage_mut(t);
+        let pos = stage.leaf_pos(iv);
+        let outer = IterVar {
+            kind: iv.kind,
+            ..IterVar::derived(format!("{}.o", iv.var.name()))
+        };
+        let inner = IterVar {
+            kind: iv.kind,
+            ..IterVar::derived(format!("{}.i", iv.var.name()))
+        };
+        stage.relations.push(IterRelation::Split {
+            parent: iv.var.clone(),
+            outer: outer.clone(),
+            inner: inner.clone(),
+            factor,
+        });
+        stage.leaf_iters.splice(pos..=pos, [outer.clone(), inner.clone()]);
+        (outer, inner)
+    }
+
+    /// Tiles two leaf itervars — `s[C].tile(y, x, fy, fx)` — returning
+    /// `(yo, xo, yi, xi)` and reordering the leaves accordingly.
+    pub fn tile(
+        &mut self,
+        t: &Tensor,
+        y: &IterVar,
+        x: &IterVar,
+        fy: i64,
+        fx: i64,
+    ) -> (IterVar, IterVar, IterVar, IterVar) {
+        let (yo, yi) = self.split(t, y, fy);
+        let (xo, xi) = self.split(t, x, fx);
+        self.reorder(t, &[&yo, &xo, &yi, &xi]);
+        (yo, xo, yi, xi)
+    }
+
+    /// Fuses two adjacent leaf itervars into one.
+    pub fn fuse(&mut self, t: &Tensor, outer: &IterVar, inner: &IterVar) -> IterVar {
+        let stage = self.stage_mut(t);
+        let po = stage.leaf_pos(outer);
+        let pi = stage.leaf_pos(inner);
+        assert_eq!(pi, po + 1, "fuse requires adjacent leaves (reorder first)");
+        let kind = outer.kind;
+        let fused = IterVar {
+            kind,
+            ..IterVar::derived(format!("{}.{}.f", outer.var.name(), inner.var.name()))
+        };
+        stage.relations.push(IterRelation::Fuse {
+            outer: outer.var.clone(),
+            inner: inner.var.clone(),
+            fused: fused.clone(),
+        });
+        stage.leaf_iters.splice(po..=pi, [fused.clone()]);
+        fused
+    }
+
+    /// Reorders the listed leaves into the given relative order (leaves not
+    /// listed keep their positions).
+    pub fn reorder(&mut self, t: &Tensor, order: &[&IterVar]) {
+        let stage = self.stage_mut(t);
+        let positions: Vec<usize> = order.iter().map(|iv| stage.leaf_pos(iv)).collect();
+        let mut sorted = positions.clone();
+        sorted.sort_unstable();
+        for (slot, iv) in sorted.iter().zip(order.iter()) {
+            stage.leaf_iters[*slot] = (*iv).clone();
+        }
+    }
+
+    /// Binds a leaf itervar to a GPU thread axis.
+    pub fn bind(&mut self, t: &Tensor, iv: &IterVar, tag: ThreadTag) {
+        let stage = self.stage_mut(t);
+        stage.leaf_pos(iv); // validate
+        stage.attr_mut(iv).thread = Some(tag);
+    }
+
+    /// Marks a leaf itervar for SIMD vectorization.
+    pub fn vectorize(&mut self, t: &Tensor, iv: &IterVar) {
+        self.annotate(t, iv, LoopAnn::Vectorize);
+    }
+
+    /// Marks a leaf itervar for unrolling.
+    pub fn unroll(&mut self, t: &Tensor, iv: &IterVar) {
+        self.annotate(t, iv, LoopAnn::Unroll);
+    }
+
+    /// Marks a leaf itervar for CPU multi-core parallelism.
+    pub fn parallel(&mut self, t: &Tensor, iv: &IterVar) {
+        self.annotate(t, iv, LoopAnn::Parallel);
+    }
+
+    /// Marks a leaf itervar as a virtual thread (§4.4).
+    pub fn vthread(&mut self, t: &Tensor, iv: &IterVar) {
+        self.annotate(t, iv, LoopAnn::VThread);
+    }
+
+    fn annotate(&mut self, t: &Tensor, iv: &IterVar, ann: LoopAnn) {
+        let stage = self.stage_mut(t);
+        stage.leaf_pos(iv); // validate
+        stage.attr_mut(iv).ann = Some(ann);
+    }
+
+    /// Attaches a back-end pragma to a leaf itervar (e.g. `dma_copy`).
+    pub fn pragma(&mut self, t: &Tensor, iv: &IterVar, key: impl Into<String>) {
+        let stage = self.stage_mut(t);
+        stage.leaf_pos(iv); // validate
+        stage.attr_mut(iv).pragma = Some(key.into());
+    }
+
+    /// Nests `producer`'s computation inside `consumer`'s loop over `iv`.
+    pub fn compute_at(&mut self, producer: &Tensor, consumer: &Tensor, iv: &IterVar) {
+        let cons_id = consumer.op_id();
+        // Validate that `iv` is a leaf of the consumer.
+        self.stage(consumer).leaf_iters.iter().position(|l| l.var == iv.var).unwrap_or_else(
+            || {
+                panic!(
+                    "compute_at target `{}` is not a leaf of `{}`",
+                    iv.var.name(),
+                    consumer.name()
+                )
+            },
+        );
+        let stage = self.stage_mut(producer);
+        stage.attach = Attach::At { consumer: cons_id, iter: iv.var.clone() };
+    }
+
+    /// Inlines an injective stage into all of its consumers.
+    pub fn compute_inline(&mut self, t: &Tensor) {
+        let stage = self.stage_mut(t);
+        assert!(
+            !stage.is_output,
+            "cannot inline output stage `{}`",
+            t.name()
+        );
+        assert!(
+            matches!(t.op.body(), Some(ComputeBody::Plain(_))),
+            "cannot inline reduction stage `{}`",
+            t.name()
+        );
+        stage.attach = Attach::Inline;
+    }
+
+    /// Sets the memory scope of a stage's buffer.
+    pub fn set_scope(&mut self, t: &Tensor, scope: MemScope) {
+        self.stage_mut(t).scope = scope;
+    }
+
+    /// Creates a cached copy of `t` in `scope` and redirects `readers` to
+    /// consume the cache — the `cache_read` primitive that enables
+    /// cooperative shared-memory fetching (§4.2) and accelerator DMA
+    /// staging.
+    pub fn cache_read(&mut self, t: &Tensor, scope: MemScope, readers: &[&Tensor]) -> Tensor {
+        let axes: Vec<IterVar> = t
+            .shape()
+            .iter()
+            .enumerate()
+            .map(|(d, &e)| IterVar::data(e, format!("{}_{}_c{}", t.name(), scope.name(), d)))
+            .collect();
+        let idx: Vec<Expr> = axes.iter().map(|a| a.expr()).collect();
+        let body = ComputeBody::Plain(t.at(&idx));
+        let cached =
+            compute_with_axes(t.shape(), format!("{}.{}", t.name(), scope.name()), axes, body);
+        // Redirect reader bodies.
+        for reader in readers {
+            let body = reader.op.body().unwrap_or_else(|| {
+                panic!("cache_read reader `{}` has no body", reader.name())
+            });
+            let new_body = crate::rewrite::replace_reads(&body, t.op_id(), &cached);
+            reader.op.set_body(new_body);
+        }
+        // Insert the cache stage immediately before the earliest reader.
+        let insert_at = readers
+            .iter()
+            .map(|r| self.stage_index(r))
+            .min()
+            .expect("cache_read requires at least one reader");
+        let mut stage = Stage::new(cached.clone(), false);
+        stage.scope = scope;
+        self.insert_stage(insert_at, stage);
+        cached
+    }
+
+    /// Moves `t`'s computation into a new stage writing to `scope`, leaving
+    /// the original stage as a copy-out — the `cache_write` primitive used
+    /// for register/accumulator tiling.
+    ///
+    /// Must be applied before other primitives touch `t`'s stage: the
+    /// reduction axes move to the returned cache stage.
+    pub fn cache_write(&mut self, t: &Tensor, scope: MemScope) -> Tensor {
+        let body = t
+            .op
+            .body()
+            .unwrap_or_else(|| panic!("cache_write target `{}` has no body", t.name()));
+        let old_axes = t.op.axes();
+        let new_axes: Vec<IterVar> = t
+            .shape()
+            .iter()
+            .enumerate()
+            .map(|(d, &e)| IterVar::data(e, format!("{}_{}_w{}", t.name(), scope.name(), d)))
+            .collect();
+        let mut sub = HashMap::new();
+        for (old, new) in old_axes.iter().zip(&new_axes) {
+            sub.insert(old.var.id(), new.expr());
+        }
+        let new_body = crate::rewrite::substitute_body(&body, &sub);
+        let cached = compute_with_axes(
+            t.shape(),
+            format!("{}.{}", t.name(), scope.name()),
+            new_axes,
+            new_body,
+        );
+        // The original op becomes an identity copy of the cache.
+        let idx: Vec<Expr> = old_axes.iter().map(|a| a.expr()).collect();
+        t.op.set_body(ComputeBody::Plain(cached.at(&idx)));
+        // Reset the original stage's loop state: its reduce axes are gone.
+        let orig_index = self.stage_index(t);
+        {
+            let stage = &mut self.stages[orig_index];
+            assert!(
+                stage.relations.is_empty(),
+                "cache_write must be applied before other schedule primitives on `{}`",
+                t.name()
+            );
+            stage.leaf_iters = t.op.axes();
+        }
+        let mut stage = Stage::new(cached.clone(), false);
+        stage.scope = scope;
+        self.insert_stage(orig_index, stage);
+        cached
+    }
+
+    /// Replaces the loop nest from leaf `iv` inwards with a declared
+    /// hardware intrinsic (§4.3).
+    pub fn tensorize(&mut self, t: &Tensor, iv: &IterVar, intrin: TensorIntrin) {
+        let stage = self.stage_mut(t);
+        stage.leaf_pos(iv); // validate
+        stage.tensorize_at = Some((iv.var.id(), intrin));
+    }
+
+    fn insert_stage(&mut self, index: usize, stage: Stage) {
+        let id = stage.op_id();
+        self.stages.insert(index, stage);
+        self.stage_of.clear();
+        for (i, s) in self.stages.iter().enumerate() {
+            self.stage_of.insert(s.op_id(), i);
+        }
+        debug_assert!(self.stage_of.contains_key(&id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::{compute, placeholder, reduce_axis, sum};
+    use tvm_ir::DType;
+
+    fn matmul(n: i64) -> (Tensor, Tensor, Tensor) {
+        let a = placeholder(&[n, n], DType::float32(), "A");
+        let b = placeholder(&[n, n], DType::float32(), "B");
+        let k = reduce_axis(n, "k");
+        let c = compute(&[n, n], "C", |i| {
+            sum(a.at(&[i[0].clone(), k.expr()]) * b.at(&[k.expr(), i[1].clone()]), &[k.clone()])
+        });
+        (a, b, c)
+    }
+
+    #[test]
+    fn create_schedule_orders_producers_first() {
+        let (_, _, c) = matmul(16);
+        let d = compute(&[16, 16], "D", |i| c.at(&[i[0].clone(), i[1].clone()]) + 1);
+        let s = create_schedule(&[d.clone()]);
+        assert_eq!(s.stages.len(), 2);
+        assert_eq!(s.stages[0].tensor.name(), "C");
+        assert_eq!(s.stages[1].tensor.name(), "D");
+        assert!(s.stages[1].is_output);
+        assert!(!s.stages[0].is_output);
+    }
+
+    #[test]
+    fn split_replaces_leaf() {
+        let (_, _, c) = matmul(16);
+        let mut s = create_schedule(&[c.clone()]);
+        let axes = c.op.axes();
+        assert_eq!(s.stage(&c).leaf_iters.len(), 3); // y, x, k
+        let (yo, yi) = s.split(&c, &axes[0], 4);
+        let leaves = &s.stage(&c).leaf_iters;
+        assert_eq!(leaves.len(), 4);
+        assert_eq!(leaves[0].var, yo.var);
+        assert_eq!(leaves[1].var, yi.var);
+    }
+
+    #[test]
+    fn tile_reorders() {
+        let (_, _, c) = matmul(16);
+        let mut s = create_schedule(&[c.clone()]);
+        let axes = c.op.axes();
+        let (yo, xo, yi, xi) = s.tile(&c, &axes[0], &axes[1], 4, 4);
+        let names: Vec<VarId> = s.stage(&c).leaf_iters.iter().map(|l| l.var.id()).collect();
+        assert_eq!(
+            names[..4],
+            [yo.var.id(), xo.var.id(), yi.var.id(), xi.var.id()]
+        );
+    }
+
+    #[test]
+    fn fuse_requires_adjacent() {
+        let (_, _, c) = matmul(16);
+        let mut s = create_schedule(&[c.clone()]);
+        let axes = c.op.axes();
+        let f = s.fuse(&c, &axes[0], &axes[1]);
+        let leaves = &s.stage(&c).leaf_iters;
+        assert_eq!(leaves.len(), 2); // fused, k
+        assert_eq!(leaves[0].var, f.var);
+    }
+
+    #[test]
+    fn cache_write_moves_reduction() {
+        let (_, _, c) = matmul(16);
+        let mut s = create_schedule(&[c.clone()]);
+        let cl = s.cache_write(&c, MemScope::Local);
+        assert_eq!(s.stages.len(), 2);
+        assert_eq!(s.stages[0].tensor.op_id(), cl.op_id());
+        assert_eq!(s.stages[0].scope, MemScope::Local);
+        // Original op is now an identity read of the cache.
+        assert!(matches!(c.op.body().expect("body"), ComputeBody::Plain(_)));
+        assert_eq!(s.stage(&c).leaf_iters.len(), 2); // reduce axis moved
+        assert_eq!(s.stage(&cl).leaf_iters.len(), 3);
+    }
+
+    #[test]
+    fn cache_read_redirects_readers() {
+        let (a, _, c) = matmul(16);
+        let mut s = create_schedule(&[c.clone()]);
+        let ashared = s.cache_read(&a, MemScope::Shared, &[&c]);
+        let inputs = c.op.input_tensors();
+        assert!(inputs.iter().any(|t| t.op_id() == ashared.op_id()));
+        assert!(!inputs.iter().any(|t| t.op_id() == a.op_id()));
+        assert_eq!(s.stage(&ashared).scope, MemScope::Shared);
+        // Cache stage precedes the consumer.
+        assert!(s.stage_index(&ashared) < s.stage_index(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a leaf")]
+    fn split_nonexistent_leaf_panics() {
+        let (_, _, c) = matmul(16);
+        let mut s = create_schedule(&[c.clone()]);
+        let bogus = IterVar::data(4, "bogus");
+        s.split(&c, &bogus, 2);
+    }
+}

@@ -1,0 +1,524 @@
+//! The declarative tensor expression language (§4.1).
+//!
+//! Operators are declared by giving the output shape and an index-formula
+//! expression for each element, exactly as in the paper's transposed-matmul
+//! example:
+//!
+//! ```
+//! use tvm_te::{placeholder, compute, reduce_axis, sum};
+//! use tvm_ir::DType;
+//!
+//! let (m, n, h) = (64, 64, 64);
+//! let a = placeholder(&[h, m], DType::float32(), "A");
+//! let b = placeholder(&[h, n], DType::float32(), "B");
+//! let k = reduce_axis(h, "k");
+//! let c = compute(&[m, n], "C", |i| {
+//!     sum(a.at(&[k.expr(), i[0].clone()]) * b.at(&[k.expr(), i[1].clone()]), &[k.clone()])
+//! });
+//! assert_eq!(c.shape(), &[64, 64]);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use tvm_ir::expr::{CallKind, ExprNode};
+use tvm_ir::{DType, Expr, Range, Var};
+
+static NEXT_OP_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// Unique operation identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct OpId(pub usize);
+
+/// Kind of an iteration variable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IterKind {
+    /// Data-parallel axis (one per output dimension).
+    Data,
+    /// Reduction (communicative) axis.
+    Reduce,
+    /// Axis produced by `split`/`fuse` schedule relations.
+    Derived,
+}
+
+/// An iteration variable: a loop variable together with its domain.
+#[derive(Clone, Debug)]
+pub struct IterVar {
+    /// Underlying IR variable.
+    pub var: Var,
+    /// Iteration domain.
+    pub dom: Range,
+    /// Axis kind.
+    pub kind: IterKind,
+}
+
+impl IterVar {
+    /// Fresh data axis over `[0, extent)`.
+    pub fn data(extent: i64, name: impl Into<String>) -> Self {
+        IterVar {
+            var: Var::int(name),
+            dom: Range::from_extent(Expr::int(extent)),
+            kind: IterKind::Data,
+        }
+    }
+
+    /// Fresh reduce axis over `[0, extent)`.
+    pub fn reduce(extent: i64, name: impl Into<String>) -> Self {
+        IterVar {
+            var: Var::int(name),
+            dom: Range::from_extent(Expr::int(extent)),
+            kind: IterKind::Reduce,
+        }
+    }
+
+    /// Fresh derived axis (extent resolved by bound inference).
+    pub fn derived(name: impl Into<String>) -> Self {
+        IterVar {
+            var: Var::int(name),
+            dom: Range::from_extent(Expr::int(-1)),
+            kind: IterKind::Derived,
+        }
+    }
+
+    /// The variable as an expression.
+    pub fn expr(&self) -> Expr {
+        self.var.to_expr()
+    }
+
+    /// Constant extent, if declared.
+    pub fn const_extent(&self) -> Option<i64> {
+        self.dom.const_extent()
+    }
+}
+
+impl PartialEq for IterVar {
+    fn eq(&self, other: &Self) -> bool {
+        self.var == other.var
+    }
+}
+impl Eq for IterVar {}
+
+/// Creates a reduction axis — `t.reduce_axis((0, h))` in the paper's API.
+pub fn reduce_axis(extent: i64, name: impl Into<String>) -> IterVar {
+    IterVar::reduce(extent, name)
+}
+
+/// Reduction combiner.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Combiner {
+    /// `+=` with identity 0.
+    Sum,
+    /// `max=` with identity `min_value(dtype)`.
+    Max,
+    /// `min=` with identity `max_value(dtype)` (negated min identity).
+    Min,
+}
+
+impl Combiner {
+    /// The combiner's identity element for `dtype`.
+    pub fn identity(self, dtype: DType) -> Expr {
+        match self {
+            Combiner::Sum => Expr::zero(dtype),
+            Combiner::Max => Expr::min_value(dtype),
+            Combiner::Min => {
+                // max_value = -(min_value) for floats; for ints use bitwise
+                // complement of min.
+                if dtype.is_float() {
+                    Expr::float_of(f64::INFINITY, dtype)
+                } else {
+                    let mn = Expr::min_value(dtype).as_int().expect("int min");
+                    Expr::int_of(if mn == 0 { i64::MAX } else { -mn - 1 }, dtype)
+                }
+            }
+        }
+    }
+
+    /// Applies the combiner to (accumulator, value).
+    pub fn combine(self, acc: Expr, val: Expr) -> Expr {
+        match self {
+            Combiner::Sum => acc + val,
+            Combiner::Max => acc.max(val),
+            Combiner::Min => acc.min(val),
+        }
+    }
+}
+
+/// Body of a compute operation.
+#[derive(Clone, Debug)]
+pub enum ComputeBody {
+    /// Pure element-wise formula.
+    Plain(Expr),
+    /// Reduction over `axes` of `source`.
+    Reduce {
+        /// Combiner applied across the reduction domain.
+        combiner: Combiner,
+        /// Per-point value, referencing data and reduce axes.
+        source: Expr,
+        /// Reduction axes.
+        axes: Vec<IterVar>,
+    },
+}
+
+impl ComputeBody {
+    /// The expression(s) whose tensor reads define this op's inputs.
+    pub fn source_expr(&self) -> &Expr {
+        match self {
+            ComputeBody::Plain(e) => e,
+            ComputeBody::Reduce { source, .. } => source,
+        }
+    }
+
+    /// Result dtype.
+    pub fn dtype(&self) -> DType {
+        self.source_expr().dtype()
+    }
+}
+
+impl From<Expr> for ComputeBody {
+    fn from(e: Expr) -> Self {
+        ComputeBody::Plain(e)
+    }
+}
+
+/// Builds a sum reduction body.
+pub fn sum(source: Expr, axes: &[IterVar]) -> ComputeBody {
+    ComputeBody::Reduce { combiner: Combiner::Sum, source, axes: axes.to_vec() }
+}
+
+/// Builds a max reduction body.
+pub fn max_reduce(source: Expr, axes: &[IterVar]) -> ComputeBody {
+    ComputeBody::Reduce { combiner: Combiner::Max, source, axes: axes.to_vec() }
+}
+
+/// Builds a min reduction body.
+pub fn min_reduce(source: Expr, axes: &[IterVar]) -> ComputeBody {
+    ComputeBody::Reduce { combiner: Combiner::Min, source, axes: axes.to_vec() }
+}
+
+/// Operation kinds.
+#[derive(Clone, Debug)]
+pub enum OpKind {
+    /// External input of a given shape.
+    Placeholder,
+    /// Computed tensor. The body is interior-mutable because `cache_read` /
+    /// `cache_write` rewrite dataflow in place while tensors keep referring
+    /// to the same operation identity.
+    Compute {
+        /// Data axes, one per output dimension.
+        axes: Vec<IterVar>,
+        /// Element formula.
+        body: RefCell<ComputeBody>,
+    },
+}
+
+/// Interior of an operation.
+#[derive(Debug)]
+pub struct OpNode {
+    /// Unique id.
+    pub id: OpId,
+    /// Display name.
+    pub name: String,
+    /// Output shape (static).
+    pub shape: Vec<i64>,
+    /// Output element type.
+    pub dtype: DType,
+    /// Kind and body.
+    pub kind: OpKind,
+}
+
+/// Reference-counted operation.
+pub type OpRef = Rc<OpNode>;
+
+impl OpNode {
+    /// Data axes for compute ops; empty for placeholders.
+    pub fn axes(&self) -> Vec<IterVar> {
+        match &self.kind {
+            OpKind::Placeholder => Vec::new(),
+            OpKind::Compute { axes, .. } => axes.clone(),
+        }
+    }
+
+    /// Reduce axes of a compute op's current body.
+    pub fn reduce_axes(&self) -> Vec<IterVar> {
+        match &self.kind {
+            OpKind::Placeholder => Vec::new(),
+            OpKind::Compute { body, .. } => match &*body.borrow() {
+                ComputeBody::Plain(_) => Vec::new(),
+                ComputeBody::Reduce { axes, .. } => axes.clone(),
+            },
+        }
+    }
+
+    /// Current body clone (compute ops only).
+    pub fn body(&self) -> Option<ComputeBody> {
+        match &self.kind {
+            OpKind::Placeholder => None,
+            OpKind::Compute { body, .. } => Some(body.borrow().clone()),
+        }
+    }
+
+    /// Replaces the body (dataflow rewriting).
+    pub fn set_body(&self, new_body: ComputeBody) {
+        match &self.kind {
+            OpKind::Placeholder => panic!("cannot set body of a placeholder"),
+            OpKind::Compute { body, .. } => *body.borrow_mut() = new_body,
+        }
+    }
+
+    /// Input tensors read by the current body, in first-read order.
+    pub fn input_tensors(&self) -> Vec<Tensor> {
+        match self.body() {
+            None => Vec::new(),
+            Some(b) => {
+                let mut out: Vec<Tensor> = Vec::new();
+                collect_reads(b.source_expr(), &mut |t, _| {
+                    if !out.iter().any(|x| x.op_id() == t.op_id()) {
+                        out.push(t);
+                    }
+                });
+                out
+            }
+        }
+    }
+}
+
+/// A symbolic multi-dimensional tensor: one output of an operation.
+#[derive(Clone, Debug)]
+pub struct Tensor {
+    /// Producing operation.
+    pub op: OpRef,
+}
+
+impl Tensor {
+    /// Operation id.
+    pub fn op_id(&self) -> OpId {
+        self.op.id
+    }
+
+    /// Shape.
+    pub fn shape(&self) -> &[i64] {
+        &self.op.shape
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.op.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> i64 {
+        self.op.shape.iter().product()
+    }
+
+    /// Element type.
+    pub fn dtype(&self) -> DType {
+        self.op.dtype
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.op.name
+    }
+
+    /// Symbolic element read `self[indices]`, for use inside `compute`
+    /// bodies. Registers the tensor so the scheduler can recover dataflow.
+    pub fn at(&self, indices: &[Expr]) -> Expr {
+        assert_eq!(
+            indices.len(),
+            self.ndim(),
+            "tensor `{}` has {} dims, indexed with {}",
+            self.name(),
+            self.ndim(),
+            indices.len()
+        );
+        register_tensor(self);
+        Expr::new(ExprNode::Call {
+            dtype: self.dtype(),
+            name: read_key(self.op_id()),
+            args: indices.to_vec(),
+            kind: CallKind::PureIntrinsic,
+        })
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:?}", self.name(), self.shape())
+    }
+}
+
+const READ_PREFIX: &str = "@read.";
+
+/// The call name used to encode a read of op `id` inside a body expression.
+pub fn read_key(id: OpId) -> String {
+    format!("{READ_PREFIX}{}", id.0)
+}
+
+/// Decodes a read key back to an op id.
+pub fn parse_read_key(name: &str) -> Option<OpId> {
+    name.strip_prefix(READ_PREFIX).and_then(|s| s.parse().ok()).map(OpId)
+}
+
+thread_local! {
+    static TENSOR_REGISTRY: RefCell<HashMap<OpId, Tensor>> = RefCell::new(HashMap::new());
+}
+
+fn register_tensor(t: &Tensor) {
+    TENSOR_REGISTRY.with(|r| {
+        r.borrow_mut().entry(t.op_id()).or_insert_with(|| t.clone());
+    });
+}
+
+/// Resolves an op id registered by [`Tensor::at`].
+pub fn resolve_tensor(id: OpId) -> Option<Tensor> {
+    TENSOR_REGISTRY.with(|r| r.borrow().get(&id).cloned())
+}
+
+/// Walks an expression calling `f` for every tensor read `(tensor, indices)`.
+pub fn collect_reads(e: &Expr, f: &mut dyn FnMut(Tensor, &[Expr])) {
+    use tvm_ir::Visitor;
+    struct V<'a> {
+        f: &'a mut dyn FnMut(Tensor, &[Expr]),
+    }
+    impl Visitor for V<'_> {
+        fn visit_expr(&mut self, e: &Expr) {
+            if let ExprNode::Call { name, args, .. } = &*e.0 {
+                if let Some(id) = parse_read_key(name) {
+                    let t = resolve_tensor(id)
+                        .unwrap_or_else(|| panic!("unregistered tensor read {name}"));
+                    (self.f)(t, args);
+                }
+            }
+            self.walk_expr(e);
+        }
+    }
+    V { f }.visit_expr(e);
+}
+
+/// Declares an external input tensor.
+pub fn placeholder(shape: &[i64], dtype: DType, name: impl Into<String>) -> Tensor {
+    let name = name.into();
+    let op = Rc::new(OpNode {
+        id: OpId(NEXT_OP_ID.fetch_add(1, Ordering::Relaxed)),
+        name,
+        shape: shape.to_vec(),
+        dtype,
+        kind: OpKind::Placeholder,
+    });
+    let t = Tensor { op };
+    register_tensor(&t);
+    t
+}
+
+/// Declares a computed tensor: `f` receives one index expression per output
+/// dimension and returns the element formula (plain or reduction).
+pub fn compute<B: Into<ComputeBody>>(
+    shape: &[i64],
+    name: impl Into<String>,
+    f: impl FnOnce(&[Expr]) -> B,
+) -> Tensor {
+    let name = name.into();
+    let axis_names = ["i0", "i1", "i2", "i3", "i4", "i5"];
+    let axes: Vec<IterVar> = shape
+        .iter()
+        .enumerate()
+        .map(|(d, &e)| {
+            IterVar::data(e, format!("{}_{}", name, axis_names.get(d).unwrap_or(&"ix")))
+        })
+        .collect();
+    let idx: Vec<Expr> = axes.iter().map(|a| a.expr()).collect();
+    let body: ComputeBody = f(&idx).into();
+    let dtype = body.dtype();
+    let op = Rc::new(OpNode {
+        id: OpId(NEXT_OP_ID.fetch_add(1, Ordering::Relaxed)),
+        name,
+        shape: shape.to_vec(),
+        dtype,
+        kind: OpKind::Compute { axes, body: RefCell::new(body) },
+    });
+    let t = Tensor { op };
+    register_tensor(&t);
+    t
+}
+
+/// Declares a computed tensor with explicit data axes (used by the
+/// scheduler's cache stages, which need fresh axes for a copied body).
+pub fn compute_with_axes(
+    shape: &[i64],
+    name: impl Into<String>,
+    axes: Vec<IterVar>,
+    body: ComputeBody,
+) -> Tensor {
+    let dtype = body.dtype();
+    let op = Rc::new(OpNode {
+        id: OpId(NEXT_OP_ID.fetch_add(1, Ordering::Relaxed)),
+        name: name.into(),
+        shape: shape.to_vec(),
+        dtype,
+        kind: OpKind::Compute { axes, body: RefCell::new(body) },
+    });
+    let t = Tensor { op };
+    register_tensor(&t);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_declaration() {
+        let a = placeholder(&[64, 32], DType::float32(), "A");
+        let b = placeholder(&[32, 48], DType::float32(), "B");
+        let k = reduce_axis(32, "k");
+        let c = compute(&[64, 48], "C", |i| {
+            sum(
+                a.at(&[i[0].clone(), k.expr()]) * b.at(&[k.expr(), i[1].clone()]),
+                &[k.clone()],
+            )
+        });
+        assert_eq!(c.shape(), &[64, 48]);
+        assert_eq!(c.dtype(), DType::float32());
+        assert_eq!(c.op.reduce_axes().len(), 1);
+        let inputs = c.op.input_tensors();
+        assert_eq!(inputs.len(), 2);
+        assert_eq!(inputs[0].name(), "A");
+        assert_eq!(inputs[1].name(), "B");
+    }
+
+    #[test]
+    fn elementwise_declaration() {
+        let a = placeholder(&[16], DType::float32(), "A");
+        let b = compute(&[16], "B", |i| a.at(&[i[0].clone()]) * 2 + 1);
+        assert!(matches!(b.op.body().expect("body"), ComputeBody::Plain(_)));
+        assert_eq!(b.op.input_tensors().len(), 1);
+        assert_eq!(b.op.axes().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "has 1 dims")]
+    fn wrong_arity_read_panics() {
+        let a = placeholder(&[16], DType::float32(), "A");
+        let _ = a.at(&[Expr::int(0), Expr::int(1)]);
+    }
+
+    #[test]
+    fn read_key_round_trip() {
+        assert_eq!(parse_read_key(&read_key(OpId(42))), Some(OpId(42)));
+        assert_eq!(parse_read_key("exp"), None);
+    }
+
+    #[test]
+    fn combiner_identities() {
+        assert_eq!(Combiner::Sum.identity(DType::float32()).as_float(), Some(0.0));
+        assert!(Combiner::Max
+            .identity(DType::float32())
+            .as_float()
+            .expect("imm")
+            .is_infinite());
+        assert_eq!(Combiner::Min.identity(DType::int8()).as_int(), Some(127));
+    }
+}

@@ -1,0 +1,153 @@
+//! Tensorization (§4.3): declaring hardware tensor intrinsics and splicing
+//! them into schedules.
+//!
+//! An intrinsic's *behavior* is declared with the same tensor expression
+//! language used for operators; its *lowering rule* is a closure that, given
+//! buffer slices for the inputs and output, emits the hardware-intrinsic
+//! calls that carry out the computation (mirroring the paper's
+//! `decl_tensor_intrin(y.op, gemm_intrin_lower)` example).
+
+use std::fmt;
+use std::rc::Rc;
+
+use tvm_ir::{DType, Expr, Stmt, Var};
+
+use crate::tensor::Tensor;
+
+/// A strided view of a flat buffer, passed to intrinsic lowering rules —
+/// the analogue of the paper's `access_ptr("r")` / `access_ptr("w")`.
+#[derive(Clone, Debug)]
+pub struct BufferSlice {
+    /// The underlying flat buffer variable.
+    pub var: Var,
+    /// Element offset of the slice origin.
+    pub offset: Expr,
+    /// Element stride per slice dimension (row-major over the region).
+    pub strides: Vec<Expr>,
+    /// Extent of the slice in each dimension.
+    pub shape: Vec<i64>,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl BufferSlice {
+    /// An "access pointer" expression: the buffer handle (the runtime pairs
+    /// it with [`BufferSlice::offset`]).
+    pub fn access_ptr(&self) -> Expr {
+        self.var.to_expr()
+    }
+}
+
+/// The statements an intrinsic lowering produces.
+pub struct TensorIntrinImpl {
+    /// Accumulator reset, emitted at the reduction-init position (e.g.
+    /// `vdla.fill_zero`); `None` for non-reduction intrinsics.
+    pub reset: Option<Stmt>,
+    /// The update/compute body, emitted in place of the tensorized loops
+    /// (e.g. `vdla.fused_gemm8x8_add`).
+    pub body: Stmt,
+}
+
+/// Lowering-rule signature: receives the input slices (in body read order)
+/// and the output slice.
+pub type LowerFn = dyn Fn(&[BufferSlice], &BufferSlice) -> TensorIntrinImpl;
+
+/// Interior of a declared tensor intrinsic.
+pub struct TensorIntrinNode {
+    /// Intrinsic name (diagnostics and cost modeling).
+    pub name: String,
+    /// Behavior declaration: a small compute tensor whose shape and
+    /// reduction structure the matcher checks against the tensorized loops.
+    pub decl: Tensor,
+    /// Lowering rule.
+    pub lower: Box<LowerFn>,
+}
+
+/// A declared, sharable tensor intrinsic.
+#[derive(Clone)]
+pub struct TensorIntrin(pub Rc<TensorIntrinNode>);
+
+impl TensorIntrin {
+    /// Declares a tensor intrinsic — `t.decl_tensor_intrin` in the paper.
+    pub fn new(
+        name: impl Into<String>,
+        decl: Tensor,
+        lower: impl Fn(&[BufferSlice], &BufferSlice) -> TensorIntrinImpl + 'static,
+    ) -> Self {
+        TensorIntrin(Rc::new(TensorIntrinNode {
+            name: name.into(),
+            decl,
+            lower: Box::new(lower),
+        }))
+    }
+
+    /// Intrinsic name.
+    pub fn name(&self) -> &str {
+        &self.0.name
+    }
+
+    /// Output region shape the intrinsic computes per invocation.
+    pub fn output_shape(&self) -> &[i64] {
+        self.0.decl.shape()
+    }
+
+    /// Reduction extents the intrinsic consumes per invocation, in the
+    /// declaration's reduce-axis order.
+    pub fn reduce_extents(&self) -> Vec<i64> {
+        self.0
+            .decl
+            .op
+            .reduce_axes()
+            .iter()
+            .map(|iv| iv.const_extent().unwrap_or(0))
+            .collect()
+    }
+}
+
+impl fmt::Debug for TensorIntrin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TensorIntrin")
+            .field("name", &self.0.name)
+            .field("output_shape", &self.output_shape())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::{compute, placeholder, reduce_axis, sum};
+
+    #[test]
+    fn gemm8x8_declaration() {
+        // Mirrors the paper's 8x8 tensor hardware intrinsic declaration.
+        let w = placeholder(&[8, 8], DType::float32(), "w");
+        let x = placeholder(&[8, 8], DType::float32(), "x");
+        let k = reduce_axis(8, "k");
+        let y = compute(&[8, 8], "y", |i| {
+            sum(
+                w.at(&[i[0].clone(), k.expr()]) * x.at(&[i[1].clone(), k.expr()]),
+                &[k.clone()],
+            )
+        });
+        let intrin = TensorIntrin::new("gemm8x8", y, |inputs, output| TensorIntrinImpl {
+            reset: Some(Stmt::evaluate(Expr::hw_call(
+                "fill_zero",
+                vec![output.access_ptr(), output.offset.clone()],
+                DType::int32(),
+            ))),
+            body: Stmt::evaluate(Expr::hw_call(
+                "fused_gemm8x8_add",
+                vec![
+                    inputs[0].access_ptr(),
+                    inputs[1].access_ptr(),
+                    output.access_ptr(),
+                ],
+                DType::int32(),
+            )),
+        });
+        assert_eq!(intrin.output_shape(), &[8, 8]);
+        assert_eq!(intrin.reduce_extents(), vec![8]);
+        assert_eq!(intrin.name(), "gemm8x8");
+    }
+}

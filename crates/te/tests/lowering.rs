@@ -1,0 +1,378 @@
+//! End-to-end lowering tests: every schedule of the same tensor expression
+//! must compute the same result as the naive schedule (the interpreter is
+//! the correctness oracle).
+
+use tvm_ir::{DType, Expr, Interp, MemScope, Stmt, ThreadTag};
+use tvm_te::{
+    compute, create_schedule, lower, placeholder, reduce_axis, sum, max_reduce, Tensor,
+    TensorIntrin, TensorIntrinImpl,
+};
+
+fn run(f: &tvm_ir::LoweredFunc, bufs: &mut [Vec<f32>]) {
+    Interp::new().run_f32(f, bufs).unwrap_or_else(|e| panic!("{}: {e}\n{}", f.name, f.body));
+}
+
+fn seq_data(n: usize, scale: f32, offset: f32) -> Vec<f32> {
+    (0..n).map(|i| ((i * 37 % 101) as f32) * scale + offset).collect()
+}
+
+fn matmul_decl(m: i64, n: i64, k: i64) -> (Tensor, Tensor, Tensor) {
+    let a = placeholder(&[m, k], DType::float32(), "A");
+    let b = placeholder(&[k, n], DType::float32(), "B");
+    let kk = reduce_axis(k, "k");
+    let c = compute(&[m, n], "C", |i| {
+        sum(a.at(&[i[0].clone(), kk.expr()]) * b.at(&[kk.expr(), i[1].clone()]), &[kk.clone()])
+    });
+    (a, b, c)
+}
+
+fn matmul_ref(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for y in 0..m {
+        for x in 0..n {
+            let mut acc = 0.0f64;
+            for z in 0..k {
+                acc += (a[y * k + z] as f64) * (b[z * n + x] as f64);
+            }
+            c[y * n + x] = acc as f32;
+        }
+    }
+    c
+}
+
+fn check_matmul(f: &tvm_ir::LoweredFunc, m: usize, n: usize, k: usize) {
+    let a = seq_data(m * k, 0.25, -3.0);
+    let b = seq_data(k * n, 0.5, 1.0);
+    let reference = matmul_ref(m, n, k, &a, &b);
+    let mut bufs = vec![a, b, vec![0.0; m * n]];
+    run(f, &mut bufs);
+    for (i, (got, want)) in bufs[2].iter().zip(&reference).enumerate() {
+        assert!(
+            (got - want).abs() <= 1e-3 * want.abs().max(1.0),
+            "mismatch at {i}: got {got}, want {want}\n{}",
+            f.body
+        );
+    }
+}
+
+#[test]
+fn naive_matmul() {
+    let (a, b, c) = matmul_decl(16, 12, 20);
+    let s = create_schedule(&[c.clone()]);
+    let f = lower(&s, &[a, b, c], "mm").expect("lowers");
+    check_matmul(&f, 16, 12, 20);
+}
+
+#[test]
+fn tiled_matmul_perfect() {
+    let (a, b, c) = matmul_decl(16, 16, 16);
+    let mut s = create_schedule(&[c.clone()]);
+    let ax = c.op.axes();
+    let r = c.op.reduce_axes();
+    let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4);
+    let (ko, ki) = s.split(&c, &r[0], 4);
+    s.reorder(&c, &[&yo, &xo, &ko, &yi, &xi, &ki]);
+    let f = lower(&s, &[a, b, c], "mm_tiled").expect("lowers");
+    check_matmul(&f, 16, 16, 16);
+}
+
+#[test]
+fn tiled_matmul_imperfect_split_guards() {
+    // 10 is not divisible by 4: guards must protect out-of-range tails.
+    let (a, b, c) = matmul_decl(10, 6, 7);
+    let mut s = create_schedule(&[c.clone()]);
+    let ax = c.op.axes();
+    let r = c.op.reduce_axes();
+    let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4);
+    let (ko, ki) = s.split(&c, &r[0], 3);
+    s.reorder(&c, &[&yo, &xo, &ko, &yi, &xi, &ki]);
+    let f = lower(&s, &[a, b, c], "mm_guard").expect("lowers");
+    check_matmul(&f, 10, 6, 7);
+}
+
+#[test]
+fn fused_and_annotated_matmul() {
+    let (a, b, c) = matmul_decl(8, 8, 8);
+    let mut s = create_schedule(&[c.clone()]);
+    let ax = c.op.axes();
+    let fused = s.fuse(&c, &ax[0], &ax[1]);
+    let (fo, fi) = s.split(&c, &fused, 16);
+    s.parallel(&c, &fo);
+    s.vectorize(&c, &fi);
+    let r = c.op.reduce_axes();
+    s.unroll(&c, &r[0]);
+    let f = lower(&s, &[a, b, c], "mm_fused").expect("lowers");
+    check_matmul(&f, 8, 8, 8);
+}
+
+#[test]
+fn compute_at_producer_region() {
+    // B = A * 2 computed per 4-element tile of C's loop.
+    let a = placeholder(&[32], DType::float32(), "A");
+    let b = compute(&[32], "B", |i| a.at(&[i[0].clone()]) * 2);
+    let c = compute(&[32], "C", |i| b.at(&[i[0].clone()]) + 1);
+    let mut s = create_schedule(&[c.clone()]);
+    let cx = c.op.axes();
+    let (xo, _xi) = s.split(&c, &cx[0], 4);
+    s.compute_at(&b, &c, &xo);
+    let f = lower(&s, &[a.clone(), c.clone()], "fused_tile").expect("lowers");
+    // The intermediate B buffer must be 4 elements, not 32.
+    let text = f.body.to_string();
+    assert!(text.contains("alloc B: float32[4]"), "{text}");
+    let input = seq_data(32, 1.0, 0.0);
+    let want: Vec<f32> = input.iter().map(|v| v * 2.0 + 1.0).collect();
+    let mut bufs = vec![input, vec![0.0; 32]];
+    run(&f, &mut bufs);
+    assert_eq!(bufs[1], want);
+}
+
+#[test]
+fn compute_inline_removes_buffer() {
+    let a = placeholder(&[16], DType::float32(), "A");
+    let b = compute(&[16], "B", |i| a.at(&[i[0].clone()]) * 2);
+    let c = compute(&[16], "C", |i| b.at(&[i[0].clone()]) + 1);
+    let mut s = create_schedule(&[c.clone()]);
+    s.compute_inline(&b);
+    let f = lower(&s, &[a.clone(), c.clone()], "inlined").expect("lowers");
+    let text = f.body.to_string();
+    assert!(!text.contains("alloc"), "inlined stage still allocates: {text}");
+    let input = seq_data(16, 1.0, 0.0);
+    let want: Vec<f32> = input.iter().map(|v| v * 2.0 + 1.0).collect();
+    let mut bufs = vec![input, vec![0.0; 16]];
+    run(&f, &mut bufs);
+    assert_eq!(bufs[1], want);
+}
+
+#[test]
+fn cache_write_local_accumulator() {
+    let (a, b, c) = matmul_decl(8, 8, 8);
+    let mut s = create_schedule(&[c.clone()]);
+    let cl = s.cache_write(&c, MemScope::Local);
+    let ax = c.op.axes();
+    let (yo, xo, _yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4);
+    let _ = (yo, xi);
+    s.compute_at(&cl, &c, &xo);
+    let f = lower(&s, &[a, b, c], "mm_cache_write").expect("lowers");
+    check_matmul(&f, 8, 8, 8);
+}
+
+#[test]
+fn gpu_matmul_with_thread_binding() {
+    let (a, b, c) = matmul_decl(16, 16, 16);
+    let mut s = create_schedule(&[c.clone()]);
+    let ax = c.op.axes();
+    let (by, bx, ty, tx) = s.tile(&c, &ax[0], &ax[1], 4, 4);
+    s.bind(&c, &by, ThreadTag::BlockIdxY);
+    s.bind(&c, &bx, ThreadTag::BlockIdxX);
+    s.bind(&c, &ty, ThreadTag::ThreadIdxY);
+    s.bind(&c, &tx, ThreadTag::ThreadIdxX);
+    let f = lower(&s, &[a, b, c], "mm_gpu").expect("lowers");
+    assert_eq!(f.grid_size(), 16);
+    assert_eq!(f.block_size(), 16);
+    check_matmul(&f, 16, 16, 16);
+}
+
+#[test]
+fn gpu_cooperative_shared_memory_matmul() {
+    // The full §4.2 pattern: block/thread tiling, local accumulator,
+    // cooperative shared-memory fetch of both inputs with barriers.
+    let (m, n, k) = (16, 16, 16);
+    let (a, b, c) = matmul_decl(m, n, k);
+    let mut s = create_schedule(&[c.clone()]);
+    let cl = s.cache_write(&c, MemScope::Local);
+    let ax = c.op.axes();
+    let (by, bx, yb, xb) = s.tile(&c, &ax[0], &ax[1], 8, 8);
+    let (ty, yi) = s.split(&c, &yb, 2);
+    let (tx, xi) = s.split(&c, &xb, 2);
+    s.reorder(&c, &[&by, &bx, &ty, &tx, &yi, &xi]);
+    s.bind(&c, &by, ThreadTag::BlockIdxY);
+    s.bind(&c, &bx, ThreadTag::BlockIdxX);
+    s.bind(&c, &ty, ThreadTag::ThreadIdxY);
+    s.bind(&c, &tx, ThreadTag::ThreadIdxX);
+    s.compute_at(&cl, &c, &tx);
+    // Schedule the cache stage: split its reduction for staged loads.
+    let clr = cl.op.reduce_axes();
+    let (ko, _ki) = s.split(&cl, &clr[0], 4);
+    let asb = s.cache_read(&a, MemScope::Shared, &[&cl]);
+    let bsb = s.cache_read(&b, MemScope::Shared, &[&cl]);
+    s.compute_at(&asb, &cl, &ko);
+    s.compute_at(&bsb, &cl, &ko);
+    // Cooperative load: fuse the tile loops and distribute across the
+    // 4x4 thread block.
+    for stage_t in [&asb, &bsb] {
+        let sax = stage_t.op.axes();
+        let fused = s.fuse(stage_t, &sax[0], &sax[1]);
+        let (o, r) = s.split(stage_t, &fused, 16);
+        let (ty2, tx2) = s.split(stage_t, &r, 4);
+        let _ = o;
+        s.bind(stage_t, &ty2, ThreadTag::ThreadIdxY);
+        s.bind(stage_t, &tx2, ThreadTag::ThreadIdxX);
+    }
+    let f = lower(&s, &[a, b, c], "mm_coop").expect("lowers");
+    let text = f.body.to_string();
+    assert!(text.contains("memory_barrier_among_threads"), "{text}");
+    assert!(text.contains("@shared"), "{text}");
+    check_matmul(&f, m as usize, n as usize, k as usize);
+}
+
+#[test]
+fn max_pool_style_reduction() {
+    let a = placeholder(&[4, 16], DType::float32(), "A");
+    let r = reduce_axis(16, "r");
+    let m = compute(&[4], "M", |i| max_reduce(a.at(&[i[0].clone(), r.expr()]), &[r.clone()]));
+    let mut s = create_schedule(&[m.clone()]);
+    let rx = m.op.reduce_axes();
+    let (_ro, _ri) = s.split(&m, &rx[0], 4);
+    let f = lower(&s, &[a.clone(), m.clone()], "rowmax").expect("lowers");
+    let data = seq_data(64, 1.0, -20.0);
+    let mut want = vec![f32::NEG_INFINITY; 4];
+    for y in 0..4 {
+        for x in 0..16 {
+            want[y] = want[y].max(data[y * 16 + x]);
+        }
+    }
+    let mut bufs = vec![data, vec![0.0; 4]];
+    run(&f, &mut bufs);
+    assert_eq!(bufs[1], want);
+}
+
+#[test]
+fn tensorize_gemm_tile() {
+    // Tensorize the inner 4x4x4 tile of a 8x8x8 matmul with a mock
+    // "hardware" gemm whose functional model is registered with the
+    // interpreter.
+    let (a, b, c) = matmul_decl(8, 8, 8);
+    let mut s = create_schedule(&[c.clone()]);
+    let ax = c.op.axes();
+    let r = c.op.reduce_axes();
+    let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4);
+    let (ko, ki) = s.split(&c, &r[0], 4);
+    s.reorder(&c, &[&yo, &xo, &ko, &yi, &xi, &ki]);
+
+    // Declare the intrinsic behavior (4x4x4 gemm tile).
+    let wd = placeholder(&[4, 4], DType::float32(), "w");
+    let xd = placeholder(&[4, 4], DType::float32(), "x");
+    let kd = reduce_axis(4, "k");
+    let yd = compute(&[4, 4], "y", |i| {
+        sum(wd.at(&[i[0].clone(), kd.expr()]) * xd.at(&[kd.expr(), i[1].clone()]), &[kd.clone()])
+    });
+    let intrin = TensorIntrin::new("gemm4x4", yd, |inputs, output| TensorIntrinImpl {
+        reset: Some(Stmt::evaluate(Expr::hw_call(
+            "mock.fill_zero",
+            vec![
+                output.access_ptr(),
+                output.offset.clone(),
+                output.strides[0].clone(),
+            ],
+            DType::int32(),
+        ))),
+        body: Stmt::evaluate(Expr::hw_call(
+            "mock.gemm4x4_acc",
+            vec![
+                output.access_ptr(),
+                output.offset.clone(),
+                output.strides[0].clone(),
+                inputs[0].access_ptr(),
+                inputs[0].offset.clone(),
+                inputs[0].strides[0].clone(),
+                inputs[1].access_ptr(),
+                inputs[1].offset.clone(),
+                inputs[1].strides[0].clone(),
+            ],
+            DType::int32(),
+        )),
+    });
+    s.tensorize(&c, &yi, intrin);
+    let f = lower(&s, &[a, b, c], "mm_tensorized").expect("lowers");
+    let text = f.body.to_string();
+    assert!(text.contains("mock.gemm4x4_acc"), "{text}");
+
+    let mut it = Interp::new();
+    it.register_hw(
+        "mock.fill_zero",
+        Box::new(|args, mem| {
+            let (h, off, stride) = (args[0], args[1].as_int()?, args[2].as_int()?);
+            if let tvm_ir::Value::Handle(id) = h {
+                for i in 0..4 {
+                    for j in 0..4 {
+                        mem.store(id, off + i * stride + j, tvm_ir::Value::Float(0.0))?;
+                    }
+                }
+            }
+            Ok(tvm_ir::Value::Int(0))
+        }),
+    );
+    it.register_hw(
+        "mock.gemm4x4_acc",
+        Box::new(|args, mem| {
+            let out = args[0];
+            let (oo, os) = (args[1].as_int()?, args[2].as_int()?);
+            let aa = args[3];
+            let (ao, as_) = (args[4].as_int()?, args[5].as_int()?);
+            let bb = args[6];
+            let (bo, bs) = (args[7].as_int()?, args[8].as_int()?);
+            if let (tvm_ir::Value::Handle(o), tvm_ir::Value::Handle(a), tvm_ir::Value::Handle(b)) =
+                (out, aa, bb)
+            {
+                for i in 0..4 {
+                    for j in 0..4 {
+                        let mut acc = mem.load(o, oo + i * os + j)?.as_float()?;
+                        for k in 0..4 {
+                            acc += mem.load(a, ao + i * as_ + k)?.as_float()?
+                                * mem.load(b, bo + k * bs + j)?.as_float()?;
+                        }
+                        mem.store(o, oo + i * os + j, tvm_ir::Value::Float(acc))?;
+                    }
+                }
+            }
+            Ok(tvm_ir::Value::Int(0))
+        }),
+    );
+    let av = seq_data(64, 0.25, -3.0);
+    let bv = seq_data(64, 0.5, 1.0);
+    let want = matmul_ref(8, 8, 8, &av, &bv);
+    let mut bufs = vec![av, bv, vec![0.0; 64]];
+    it.run_f32(&f, &mut bufs).unwrap_or_else(|e| panic!("{e}\n{}", f.body));
+    for (g, w) in bufs[2].iter().zip(&want) {
+        assert!((g - w).abs() < 1e-3, "got {g} want {w}");
+    }
+}
+
+#[test]
+fn padded_conv1d_via_inlined_pad() {
+    // Padding as an inlined injective stage with a select predicate: the
+    // standard way conv handles borders without out-of-bounds reads.
+    let n = 16i64;
+    let a = placeholder(&[n], DType::float32(), "A");
+    let pad = compute(&[n + 2], "Apad", |i| {
+        let idx = i[0].clone();
+        Expr::select(
+            idx.clone().ge(Expr::int(1)).and(idx.clone().lt(Expr::int(n + 1))),
+            a.at(&[idx.clone() - 1]),
+            Expr::f32(0.0),
+        )
+    });
+    let w = placeholder(&[3], DType::float32(), "W");
+    let r = reduce_axis(3, "dw");
+    let c = compute(&[n], "Conv", |i| {
+        sum(pad.at(&[i[0].clone() + r.expr()]) * w.at(&[r.expr()]), &[r.clone()])
+    });
+    let mut s = create_schedule(&[c.clone()]);
+    s.compute_inline(&pad);
+    let f = lower(&s, &[a.clone(), w.clone(), c.clone()], "conv1d").expect("lowers");
+    let av = seq_data(n as usize, 1.0, 0.0);
+    let wv = vec![0.5f32, 1.0, -0.25];
+    let mut want = vec![0.0f32; n as usize];
+    for i in 0..n as usize {
+        for d in 0..3usize {
+            let src = i as i64 + d as i64 - 1;
+            let v = if (0..n).contains(&src) { av[src as usize] } else { 0.0 };
+            want[i] += v * wv[d];
+        }
+    }
+    let mut bufs = vec![av, wv, vec![0.0; n as usize]];
+    run(&f, &mut bufs);
+    for (g, wv) in bufs[2].iter().zip(&want) {
+        assert!((g - wv).abs() < 1e-4, "got {g} want {wv}");
+    }
+}

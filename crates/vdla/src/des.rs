@@ -1,0 +1,275 @@
+//! Discrete-event simulation of the VDLA decoupled access-execute pipeline
+//! (Fig. 9/20).
+//!
+//! The load, compute and store units each execute their slice of the
+//! instruction stream in order; dependence-token queues between unit pairs
+//! carry timestamps, so a `pop` completes no earlier than its matching
+//! `push`. Latency hiding emerges exactly as in the paper: with virtual
+//! threads the compute unit's pops find tokens already pushed by loads
+//! issued one tile ahead, and memory time overlaps compute time.
+
+use std::collections::{HashMap, VecDeque};
+
+use tvm_ir::PipeStage;
+
+use crate::isa::VdlaInstr;
+use crate::spec::VdlaSpec;
+
+/// Result of simulating an instruction stream.
+#[derive(Clone, Debug)]
+pub struct VdlaRunResult {
+    /// Total cycles until the last unit retires its last instruction.
+    pub cycles: f64,
+    /// Busy cycles per unit.
+    pub busy: HashMap<PipeStage, f64>,
+    /// Total MACs retired by the GEMM core.
+    pub macs: u64,
+    /// Total ALU element ops.
+    pub alu_ops: u64,
+    /// Total bytes moved by the load + store DMAs.
+    pub dram_bytes: u64,
+    /// Instructions executed.
+    pub instructions: usize,
+}
+
+impl VdlaRunResult {
+    /// Wall-clock seconds under the spec's clock.
+    pub fn seconds(&self, spec: &VdlaSpec) -> f64 {
+        self.cycles / (spec.clock_ghz * 1e9)
+    }
+
+    /// Wall-clock milliseconds.
+    pub fn millis(&self, spec: &VdlaSpec) -> f64 {
+        self.seconds(spec) * 1e3
+    }
+
+    /// Achieved GOPS (2 ops per MAC, plus ALU ops).
+    pub fn gops(&self, spec: &VdlaSpec) -> f64 {
+        (2.0 * self.macs as f64 + self.alu_ops as f64) / self.seconds(spec) / 1e9
+    }
+
+    /// GEMM-core utilization: busy compute cycles over total cycles.
+    pub fn compute_utilization(&self) -> f64 {
+        self.busy.get(&PipeStage::Compute).copied().unwrap_or(0.0) / self.cycles.max(1.0)
+    }
+
+    /// Operational intensity: ops per DRAM byte.
+    pub fn intensity(&self) -> f64 {
+        (2.0 * self.macs as f64 + self.alu_ops as f64) / (self.dram_bytes as f64).max(1.0)
+    }
+}
+
+/// Simulation error (deadlock from unbalanced tokens).
+#[derive(Debug, Clone)]
+pub struct DesError(pub String);
+
+impl std::fmt::Display for DesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vdla pipeline error: {}", self.0)
+    }
+}
+impl std::error::Error for DesError {}
+
+fn latency(instr: &VdlaInstr, spec: &VdlaSpec) -> f64 {
+    match instr {
+        VdlaInstr::Load { bytes } | VdlaInstr::Store { bytes } => {
+            spec.dma_latency + *bytes as f64 / spec.dram_bw_bytes_per_cycle
+        }
+        VdlaInstr::Gemm { macs } => (*macs as f64 / spec.macs_per_cycle()).ceil().max(1.0),
+        VdlaInstr::Alu { ops } => (*ops as f64 / spec.alu_lanes as f64).ceil().max(1.0),
+        VdlaInstr::Push { .. } | VdlaInstr::Pop { .. } => 0.0,
+    }
+}
+
+/// Simulates a *monolithic* pipeline (Fig. 9 left): instructions execute
+/// strictly in program order with no overlap between units. This is the
+/// paper's "without latency hiding" baseline.
+pub fn simulate_monolithic(stream: &[VdlaInstr], spec: &VdlaSpec) -> VdlaRunResult {
+    let mut t = 0.0;
+    let mut busy: HashMap<PipeStage, f64> = HashMap::new();
+    let mut macs = 0u64;
+    let mut alu_ops = 0u64;
+    let mut dram_bytes = 0u64;
+    let mut executed = 0usize;
+    for instr in stream {
+        let lat = latency(instr, spec);
+        t += lat;
+        *busy.entry(instr.unit()).or_insert(0.0) += lat;
+        executed += 1;
+        match instr {
+            VdlaInstr::Gemm { macs: m } => macs += m,
+            VdlaInstr::Alu { ops } => alu_ops += ops,
+            VdlaInstr::Load { bytes } | VdlaInstr::Store { bytes } => dram_bytes += bytes,
+            _ => {}
+        }
+    }
+    VdlaRunResult { cycles: t, busy, macs, alu_ops, dram_bytes, instructions: executed }
+}
+
+/// Simulates the pipeline over an instruction stream.
+pub fn simulate(stream: &[VdlaInstr], spec: &VdlaSpec) -> Result<VdlaRunResult, DesError> {
+    // Split the stream per unit, preserving program order within a unit.
+    let units = [PipeStage::Load, PipeStage::Compute, PipeStage::Store];
+    let mut per_unit: HashMap<PipeStage, Vec<&VdlaInstr>> = HashMap::new();
+    for u in units {
+        per_unit.insert(u, Vec::new());
+    }
+    for i in stream {
+        per_unit.get_mut(&i.unit()).expect("unit exists").push(i);
+    }
+
+    let mut pc: HashMap<PipeStage, usize> = units.iter().map(|u| (*u, 0)).collect();
+    let mut time: HashMap<PipeStage, f64> = units.iter().map(|u| (*u, 0.0)).collect();
+    let mut busy: HashMap<PipeStage, f64> = units.iter().map(|u| (*u, 0.0)).collect();
+    let mut queues: HashMap<(PipeStage, PipeStage), VecDeque<f64>> = HashMap::new();
+
+    let mut macs = 0u64;
+    let mut alu_ops = 0u64;
+    let mut dram_bytes = 0u64;
+    let mut executed = 0usize;
+
+    loop {
+        let mut progress = false;
+        for u in units {
+            loop {
+                let stream_u = &per_unit[&u];
+                let i = pc[&u];
+                if i >= stream_u.len() {
+                    break;
+                }
+                let instr = stream_u[i];
+                match instr {
+                    VdlaInstr::Push { from, to } => {
+                        let t = time[&u];
+                        queues.entry((*from, *to)).or_default().push_back(t);
+                    }
+                    VdlaInstr::Pop { by, from } => {
+                        let q = queues.entry((*from, *by)).or_default();
+                        match q.pop_front() {
+                            Some(push_time) => {
+                                let t = time.get_mut(&u).expect("unit");
+                                *t = t.max(push_time);
+                            }
+                            None => break, // blocked on the token
+                        }
+                    }
+                    work => {
+                        let lat = latency(work, spec);
+                        *time.get_mut(&u).expect("unit") += lat;
+                        *busy.get_mut(&u).expect("unit") += lat;
+                        match work {
+                            VdlaInstr::Gemm { macs: m } => macs += m,
+                            VdlaInstr::Alu { ops } => alu_ops += ops,
+                            VdlaInstr::Load { bytes } | VdlaInstr::Store { bytes } => {
+                                dram_bytes += bytes
+                            }
+                            _ => unreachable!("token ops handled above"),
+                        }
+                    }
+                }
+                *pc.get_mut(&u).expect("unit") += 1;
+                executed += 1;
+                progress = true;
+            }
+        }
+        let done = units.iter().all(|u| pc[u] >= per_unit[u].len());
+        if done {
+            break;
+        }
+        if !progress {
+            return Err(DesError(format!(
+                "deadlock: pcs {:?} of {:?}",
+                units.iter().map(|u| pc[u]).collect::<Vec<_>>(),
+                units.iter().map(|u| per_unit[u].len()).collect::<Vec<_>>()
+            )));
+        }
+    }
+
+    let cycles = time.values().cloned().fold(0.0, f64::max);
+    Ok(VdlaRunResult { cycles, busy, macs, alu_ops, dram_bytes, instructions: executed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use PipeStage::{Compute, Load};
+
+    fn spec() -> VdlaSpec {
+        VdlaSpec { dma_latency: 0.0, dram_bw_bytes_per_cycle: 1.0, ..VdlaSpec::default() }
+    }
+
+    #[test]
+    fn serialized_pipeline_adds_latencies() {
+        // Monolithic: ld(256cy) then ex(1cy) strictly alternating, enforced
+        // by RAW tokens both ways (no double buffering).
+        let mut stream = Vec::new();
+        stream.push(VdlaInstr::Push { from: Compute, to: Load });
+        for _ in 0..4 {
+            stream.push(VdlaInstr::Pop { by: Load, from: Compute });
+            stream.push(VdlaInstr::Load { bytes: 256 });
+            stream.push(VdlaInstr::Push { from: Load, to: Compute });
+            stream.push(VdlaInstr::Pop { by: Compute, from: Load });
+            stream.push(VdlaInstr::Gemm { macs: 256 });
+            stream.push(VdlaInstr::Push { from: Compute, to: Load });
+        }
+        stream.push(VdlaInstr::Pop { by: Load, from: Compute });
+        let r = simulate(&stream, &spec()).expect("no deadlock");
+        // 4 * (256 + 1) = 1028 cycles, fully serialized.
+        assert!((r.cycles - 1028.0).abs() < 1e-9, "{}", r.cycles);
+        assert!(r.compute_utilization() < 0.01);
+    }
+
+    #[test]
+    fn double_buffering_overlaps_load_and_compute() {
+        // Two virtual threads' interleaved streams: two seed credits allow
+        // the load unit to run one tile ahead.
+        let mut stream = Vec::new();
+        stream.push(VdlaInstr::Push { from: Compute, to: Load });
+        stream.push(VdlaInstr::Push { from: Compute, to: Load });
+        for _ in 0..4 {
+            for _ in 0..2 {
+                stream.push(VdlaInstr::Pop { by: Load, from: Compute });
+                stream.push(VdlaInstr::Load { bytes: 128 });
+                stream.push(VdlaInstr::Push { from: Load, to: Compute });
+                stream.push(VdlaInstr::Pop { by: Compute, from: Load });
+                stream.push(VdlaInstr::Gemm { macs: 16 * 128 });
+                stream.push(VdlaInstr::Push { from: Compute, to: Load });
+            }
+        }
+        stream.push(VdlaInstr::Pop { by: Load, from: Compute });
+        stream.push(VdlaInstr::Pop { by: Load, from: Compute });
+        let r = simulate(&stream, &spec()).expect("no deadlock");
+        // Load: 8*128 = 1024 cycles total; compute: 8*8=64. With overlap the
+        // total is close to the load-bound 1024+first-compute, far from the
+        // serialized 1024+64 in lockstep... both small here; the key check:
+        // cycles < sum of strictly alternating execution.
+        let serialized = 8.0 * (128.0 + 8.0);
+        assert!(r.cycles < serialized, "cycles {} vs serialized {serialized}", r.cycles);
+        assert!(r.cycles >= 1024.0);
+    }
+
+    #[test]
+    fn unbalanced_tokens_deadlock() {
+        let stream = vec![
+            VdlaInstr::Pop { by: Compute, from: Load },
+            VdlaInstr::Gemm { macs: 16 },
+        ];
+        assert!(simulate(&stream, &spec()).is_err());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let stream = vec![
+            VdlaInstr::Load { bytes: 100 },
+            VdlaInstr::Gemm { macs: 512 },
+            VdlaInstr::Alu { ops: 32 },
+            VdlaInstr::Store { bytes: 50 },
+        ];
+        let r = simulate(&stream, &VdlaSpec::default()).expect("runs");
+        assert_eq!(r.macs, 512);
+        assert_eq!(r.alu_ops, 32);
+        assert_eq!(r.dram_bytes, 150);
+        assert_eq!(r.instructions, 4);
+        assert!(r.gops(&VdlaSpec::default()) > 0.0);
+    }
+}

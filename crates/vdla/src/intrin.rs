@@ -1,0 +1,111 @@
+//! VDLA tensor intrinsics (§4.3) and their functional models.
+//!
+//! The GEMM core's behavior is declared with the same tensor expression
+//! language used for operators — the paper's `decl_tensor_intrin` pattern —
+//! and its lowering rule emits `vdla.*` hardware calls whose last argument
+//! is the op count (consumed by the trace generator for timing and by the
+//! registered interpreter handlers for functional execution).
+
+use tvm_ir::{DType, Expr, Interp, Stmt, Value};
+use tvm_te::{compute, placeholder, reduce_axis, sum, TensorIntrin, TensorIntrinImpl};
+
+/// Declares the VDLA GEMM tile intrinsic computing
+/// `y[i, j] += sum_k a[i, k] * w[j, k]` over an `m x n x k` tile.
+///
+/// `dtype` is the operand type (the paper's VDLA multiplies 8-bit values
+/// into 32-bit accumulators; we accept f32 operands too so the same
+/// schedules can be checked against the f32 reference interpreter).
+pub fn gemm_intrin(m: i64, n: i64, k: i64, dtype: DType) -> TensorIntrin {
+    let a = placeholder(&[m, k], dtype, "vdla_a");
+    let w = placeholder(&[n, k], dtype, "vdla_w");
+    let kk = reduce_axis(k, "vdla_k");
+    let acc_dtype = if dtype.is_float() { dtype } else { DType::int32() };
+    let y = compute(&[m, n], "vdla_y", |i| {
+        sum(
+            a.at(&[i[0].clone(), kk.expr()]).cast(acc_dtype)
+                * w.at(&[i[1].clone(), kk.expr()]).cast(acc_dtype),
+            &[kk.clone()],
+        )
+    });
+    let macs = m * n * k;
+    let fill_ops = m * n;
+    TensorIntrin::new("vdla.gemm", y, move |inputs, output| {
+        let out_args = vec![
+            output.access_ptr(),
+            output.offset.clone(),
+            output.strides[0].clone(),
+        ];
+        let mut gemm_args = out_args.clone();
+        for inp in inputs {
+            gemm_args.push(inp.access_ptr());
+            gemm_args.push(inp.offset.clone());
+            gemm_args.push(inp.strides[0].clone());
+        }
+        gemm_args.extend([Expr::int(m), Expr::int(n), Expr::int(k), Expr::int(macs)]);
+        let mut fill_args = out_args;
+        fill_args.extend([Expr::int(m), Expr::int(n), Expr::int(fill_ops)]);
+        TensorIntrinImpl {
+            reset: Some(Stmt::evaluate(Expr::hw_call(
+                "vdla.fill_zero",
+                fill_args,
+                DType::int32(),
+            ))),
+            body: Stmt::evaluate(Expr::hw_call("vdla.gemm", gemm_args, DType::int32())),
+        }
+    })
+}
+
+/// Registers functional models of the VDLA intrinsics with an interpreter,
+/// so tensorized programs can be executed for correctness checking.
+pub fn register_interp(it: &mut Interp) {
+    it.register_hw(
+        "vdla.fill_zero",
+        Box::new(|args, mem| {
+            let out = handle(args[0])?;
+            let off = args[1].as_int()?;
+            let s0 = args[2].as_int()?;
+            let m = args[3].as_int()?;
+            let n = args[4].as_int()?;
+            for i in 0..m {
+                for j in 0..n {
+                    mem.store(out, off + i * s0 + j, Value::Float(0.0))?;
+                }
+            }
+            Ok(Value::Int(0))
+        }),
+    );
+    it.register_hw(
+        "vdla.gemm",
+        Box::new(|args, mem| {
+            let out = handle(args[0])?;
+            let (oo, os) = (args[1].as_int()?, args[2].as_int()?);
+            let a = handle(args[3])?;
+            let (ao, asr) = (args[4].as_int()?, args[5].as_int()?);
+            let w = handle(args[6])?;
+            let (wo, ws) = (args[7].as_int()?, args[8].as_int()?);
+            let m = args[9].as_int()?;
+            let n = args[10].as_int()?;
+            let k = args[11].as_int()?;
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = mem.load(out, oo + i * os + j)?.as_float()?;
+                    for kk in 0..k {
+                        acc += mem.load(a, ao + i * asr + kk)?.as_float()?
+                            * mem.load(w, wo + j * ws + kk)?.as_float()?;
+                    }
+                    mem.store(out, oo + i * os + j, Value::Float(acc))?;
+                }
+            }
+            Ok(Value::Int(0))
+        }),
+    );
+}
+
+fn handle(v: Value) -> Result<tvm_ir::VarId, tvm_ir::InterpError> {
+    match v {
+        Value::Handle(id) => Ok(id),
+        other => Err(tvm_ir::InterpError::Unsupported(format!(
+            "expected buffer handle, got {other:?}"
+        ))),
+    }
+}

@@ -1,0 +1,112 @@
+//! Ultra-low-precision inference (§6.2): 2-bit activations and 1-bit
+//! weights packed into 32-bit words, convolution via popcount(and), with
+//! the ARM-style bit-serial micro-kernel exposed as a tensor intrinsic.
+//!
+//! Run with: `cargo run --release --example low_precision`
+
+use tvm_ir::{Buffer, DType, Interp};
+use tvm_sim::{arm_a53, estimate_with};
+use tvm_topi::bitserial::{
+    bitserial_sim_options, bitserial_task, pack_activations, pack_weights, BitserialWorkload,
+};
+use tvm_topi::Conv2dWorkload;
+
+fn main() {
+    // A ResNet C6-like layer, quantized.
+    let conv = Conv2dWorkload {
+        batch: 1,
+        size: 30, // pre-padded 28 + 2
+        in_c: 128,
+        out_c: 128,
+        kernel: 3,
+        stride: 1,
+        pad: 0,
+    };
+    let w = BitserialWorkload { conv, a_bits: 2, w_bits: 1 };
+    println!(
+        "bit-serial conv: {} ({} binary ops, {} packed blocks)",
+        conv.describe(),
+        w.binary_ops(),
+        w.blocks()
+    );
+
+    // Pack host data.
+    let acts: Vec<f32> = (0..conv.in_c * conv.size * conv.size)
+        .map(|i| ((i * 7) % 4) as f32)
+        .collect();
+    let wts: Vec<f32> =
+        (0..conv.out_c * conv.in_c * 9).map(|i| ((i * 3) % 2) as f32).collect();
+    let packed_a = pack_activations(&acts, conv.in_c as usize, conv.size as usize, 2);
+    let packed_w = pack_weights(&wts, conv.out_c as usize, conv.in_c as usize, 3);
+
+    // Build, run functionally, and sanity-check one output.
+    let target = arm_a53();
+    let task = bitserial_task(w, target.clone(), true);
+    let cfg = tvm_topi::default_config(&task.space);
+    let f = (task.builder)(&cfg).expect("builds");
+    let o = conv.out_size() as usize;
+    let u32t = DType::uint(32);
+    let bufs = vec![
+        Buffer::from_i64(u32t, &packed_a),
+        Buffer::from_i64(u32t, &packed_w),
+        Buffer::zeros(DType::int32(), conv.out_c as usize * o * o),
+    ];
+    let out = Interp::new().run(&f, bufs).expect("executes");
+    let result = out[2].to_i64();
+    println!("output[0..6] = {:?}", &result[..6]);
+
+    // §4.3: present the hand-written bit-serial micro-kernel as a tensor
+    // intrinsic. Build a packed GEMV both ways — generic loops vs the
+    // tensorized intrinsic — check they agree, and compare modeled time.
+    use tvm_te::{compute, create_schedule, lower, placeholder, reduce_axis, sum};
+    use tvm_topi::bitserial::{bitserial_dot_intrin, register_bitserial_interp};
+
+    let (blocks, pixels, rows) = (w.blocks(), 8i64, 64i64);
+    let build = |tensorize: bool| {
+        let x = placeholder(&[blocks, pixels], DType::int32(), "xb");
+        let wv = placeholder(&[rows, blocks], DType::int32(), "wb");
+        let r = reduce_axis(blocks, "blk");
+        let y = compute(&[rows, pixels], "y", |i| {
+            let anded = tvm_ir::Expr::binary(
+                tvm_ir::BinOp::BitAnd,
+                x.at(&[r.expr(), i[1].clone()]),
+                wv.at(&[i[0].clone(), r.expr()]),
+            );
+            sum(tvm_ir::Expr::call("popcount", vec![anded], DType::int32()), &[r.clone()])
+        });
+        let mut s = create_schedule(&[y.clone()]);
+        if tensorize {
+            let ax = y.op.axes();
+            s.tensorize(&y, &ax[1], bitserial_dot_intrin(blocks, pixels));
+        }
+        lower(&s, &[x, wv, y], "bitserial_gemv").expect("lowers")
+    };
+    let plain_f = build(false);
+    let micro_f = build(true);
+    // Functional agreement.
+    let xs: Vec<i64> = (0..blocks * pixels).map(|i| (i * 2654435761) & 0xffff_ffff).collect();
+    let wsv: Vec<i64> = (0..rows * blocks).map(|i| (i * 40503) & 0xffff_ffff).collect();
+    let run = |f: &tvm_ir::LoweredFunc| {
+        let mut it = Interp::new();
+        register_bitserial_interp(&mut it);
+        let bufs = vec![
+            Buffer::from_i64(DType::int32(), &xs),
+            Buffer::from_i64(DType::int32(), &wsv),
+            Buffer::zeros(DType::int32(), (rows * pixels) as usize),
+        ];
+        it.run(f, bufs).expect("executes")[2].to_i64()
+    };
+    assert_eq!(run(&plain_f), run(&micro_f), "tensorized kernel must agree");
+    let plain = estimate_with(&plain_f, &target, &Default::default());
+    let micro = estimate_with(&micro_f, &target, &bitserial_sim_options(blocks, pixels));
+    println!("generic GEMV lowering:              {:.4} ms", plain.millis());
+    println!(
+        "tensorized bit-serial micro-kernel: {:.4} ms ({:.2}x speedup)",
+        micro.millis(),
+        plain.millis() / micro.millis()
+    );
+    println!(
+        "(the paper reports up to 1.5x on full conv layers, where compute \
+         dominates; this small GEMV also amortizes loop overhead)"
+    );
+}

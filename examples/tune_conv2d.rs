@@ -1,0 +1,45 @@
+//! Automated schedule optimization (§5): declare a conv2d tuning task,
+//! explore its schedule space with the ML-guided optimizer, compare
+//! against blackbox baselines, and save the tuning log.
+//!
+//! Run with: `cargo run --release --example tune_conv2d`
+
+use tvm::prelude::*;
+use tvm_ir::DType;
+use tvm_topi as topi;
+
+fn main() {
+    // A ResNet-18 convolution (C6 in Table 2) on the server-GPU model.
+    let workload = topi::resnet18_convs()[5];
+    let target = tvm::target::titanx();
+    println!(
+        "tuning {} on {} — schedule space has {} configurations",
+        workload.describe(),
+        target.name(),
+        topi::conv2d_space(&workload, &target).size()
+    );
+
+    let opts = TuneOptions { n_trials: 64, ..Default::default() };
+    for (name, kind) in [
+        ("ML-based (GBT rank + sim. annealing)", TunerKind::GbtRank),
+        ("genetic algorithm", TunerKind::Genetic),
+        ("random search", TunerKind::Random),
+    ] {
+        let task = topi::conv2d_task(workload, DType::float32(), target.clone());
+        let result = tune(&task, &opts, kind);
+        println!(
+            "{name:<40} best {:.4} ms after {} trials (cfg: {})",
+            result.best_ms,
+            result.history.len(),
+            result.best_config.as_ref().map(|c| c.summary()).unwrap_or_default()
+        );
+        if kind == TunerKind::GbtRank {
+            // Persist the log, as the paper's distributed tuner does.
+            let mut db = Database::new();
+            db.add_result(&task.name, &task.space, &result);
+            let path = std::env::temp_dir().join("tvm_rs_tuning_log.jsonl");
+            db.save(&path).expect("log saves");
+            println!("  log saved to {}", path.display());
+        }
+    }
+}

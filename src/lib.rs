@@ -1,0 +1,5 @@
+//! Root crate of the tvm-rs reproduction workspace.
+//!
+//! This crate only hosts the cross-crate integration tests (`tests/`) and
+//! runnable examples (`examples/`); the real functionality lives in the
+//! `crates/` workspace members. See `README.md` and `DESIGN.md`.

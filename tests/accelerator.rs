@@ -1,0 +1,49 @@
+//! Integration tests for the accelerator path (§6.4): heterogeneous
+//! offload shape and end-to-end DAE pipeline behavior.
+
+use tvm_bench::vdla_gemm::{conv_as_vdla_gemm, vdla_gemm_func};
+use tvm_vdla::{run_timed, run_timed_monolithic, trace, VdlaInstr, VdlaSpec};
+
+#[test]
+fn offload_gives_order_of_magnitude_conv_speedup() {
+    // Fig. 21 shape on one layer: CPU conv time vs VDLA pipeline time.
+    let w = tvm_topi::resnet18_convs()[8]; // C9
+    let task = tvm_topi::conv2d_task(w, tvm_ir::DType::float32(), tvm_sim::arm_a53());
+    let cfg = tvm_topi::default_config(&task.space);
+    let cpu_ms = task.measure(&cfg).expect("valid").1;
+    let spec = VdlaSpec::default();
+    let (r, _) = tvm_bench::vdla_gemm::run_conv_on_vdla(&w, true);
+    let fpga_ms = r.millis(&spec);
+    assert!(
+        cpu_ms / fpga_ms > 10.0,
+        "expected >10x conv offload speedup, got {:.1} ({cpu_ms} vs {fpga_ms})",
+        cpu_ms / fpga_ms
+    );
+}
+
+#[test]
+fn vdla_pipeline_never_deadlocks_across_shapes() {
+    for (m, n, k) in [(64i64, 64, 64), (64, 128, 192), (128, 64, 320)] {
+        for vt in [1, 2] {
+            let f = vdla_gemm_func(m, n, k, 16, vt);
+            let r = run_timed(&f, &VdlaSpec::default()).expect("no deadlock");
+            assert_eq!(r.macs as i64, m * n * k, "all MACs retired");
+        }
+    }
+}
+
+#[test]
+fn dae_tokens_balance_for_all_resnet_layers() {
+    for w in tvm_topi::resnet18_convs().iter().skip(1) {
+        let f = conv_as_vdla_gemm(w, 2);
+        let stream = trace(&f).expect("traces");
+        let pushes = stream.iter().filter(|i| matches!(i, VdlaInstr::Push { .. })).count();
+        let pops = stream.iter().filter(|i| matches!(i, VdlaInstr::Pop { .. })).count();
+        assert_eq!(pushes, pops, "{}", w.describe());
+        // DAE must never be slower than the monolithic pipeline.
+        let spec = VdlaSpec::default();
+        let dae = run_timed(&f, &spec).expect("runs");
+        let mono = run_timed_monolithic(&f, &spec).expect("runs");
+        assert!(dae.cycles <= mono.cycles + 1.0, "{}", w.describe());
+    }
+}
