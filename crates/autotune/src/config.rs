@@ -7,10 +7,9 @@
 //! of configurations, matching the paper's scale claims.
 
 use rand::{Rng, RngExt};
-use serde::{Deserialize, Serialize};
 
 /// One knob: a named choice among integer options.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Knob {
     /// Knob name, referenced by the template.
     pub name: String,
@@ -19,7 +18,7 @@ pub struct Knob {
 }
 
 /// The declared space of schedule configurations.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ConfigSpace {
     /// Knobs in declaration order (the mixed-radix digit order).
     pub knobs: Vec<Knob>,
@@ -40,13 +39,19 @@ impl ConfigSpace {
         if options.is_empty() {
             options.push(1);
         }
-        self.knobs.push(Knob { name: name.into(), options });
+        self.knobs.push(Knob {
+            name: name.into(),
+            options,
+        });
     }
 
     /// Declares an arbitrary-choice knob.
     pub fn define_knob(&mut self, name: impl Into<String>, options: &[i64]) {
         assert!(!options.is_empty(), "knob must have at least one option");
-        self.knobs.push(Knob { name: name.into(), options: options.to_vec() });
+        self.knobs.push(Knob {
+            name: name.into(),
+            options: options.to_vec(),
+        });
     }
 
     /// Total number of configurations.
@@ -103,7 +108,7 @@ impl ConfigSpace {
 }
 
 /// One point of a [`ConfigSpace`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ConfigEntity {
     /// Flat index in the space.
     pub index: u64,
@@ -168,7 +173,10 @@ mod tests {
                 .iter()
                 .map(|(n, v)| {
                     let k = s.knobs.iter().find(|k| &k.name == n).expect("knob");
-                    (k.options.iter().position(|o| o == v).expect("option") as u64, k)
+                    (
+                        k.options.iter().position(|o| o == v).expect("option") as u64,
+                        k,
+                    )
                 })
                 .collect::<Vec<_>>()
                 .into_iter()

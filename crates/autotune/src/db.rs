@@ -5,13 +5,13 @@
 use std::io::{BufRead, Write};
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
+use tvm_json::Value;
 
 use crate::config::ConfigEntity;
 use crate::tuner::TuneResult;
 
 /// One persisted measurement.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DbRecord {
     /// Task name (workload + target).
     pub task: String,
@@ -21,6 +21,41 @@ pub struct DbRecord {
     pub config: String,
     /// Measured milliseconds.
     pub cost_ms: f64,
+}
+
+impl DbRecord {
+    /// Compact JSON form (one log line).
+    pub fn to_json(&self) -> String {
+        Value::object([
+            ("task", Value::from(self.task.clone())),
+            ("config_index", Value::from(self.config_index)),
+            ("config", Value::from(self.config.clone())),
+            ("cost_ms", Value::from(self.cost_ms)),
+        ])
+        .to_string()
+    }
+
+    /// Parses one log line.
+    pub fn from_json(line: &str) -> Result<DbRecord, String> {
+        let v = tvm_json::from_str(line).map_err(|e| e.to_string())?;
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field `{k}`"));
+        Ok(DbRecord {
+            task: field("task")?
+                .as_str()
+                .ok_or("task must be a string")?
+                .to_string(),
+            config_index: field("config_index")?
+                .as_i64()
+                .ok_or("config_index must be an integer")? as u64,
+            config: field("config")?
+                .as_str()
+                .ok_or("config must be a string")?
+                .to_string(),
+            cost_ms: field("cost_ms")?
+                .as_f64()
+                .ok_or("cost_ms must be a number")?,
+        })
+    }
 }
 
 /// In-memory database of tuning records.
@@ -68,7 +103,7 @@ impl Database {
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
         let mut f = std::fs::File::create(path)?;
         for r in &self.records {
-            writeln!(f, "{}", serde_json::to_string(r)?)?;
+            writeln!(f, "{}", r.to_json())?;
         }
         Ok(())
     }
@@ -82,7 +117,7 @@ impl Database {
             if line.trim().is_empty() {
                 continue;
             }
-            let rec: DbRecord = serde_json::from_str(&line)
+            let rec = DbRecord::from_json(&line)
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
             db.records.push(rec);
         }

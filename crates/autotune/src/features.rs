@@ -31,16 +31,31 @@ pub fn extract_analysis(an: &ProgramAnalysis) -> Vec<f64> {
     let mut f = Vec::with_capacity(FEATURE_LEN);
     // Global features.
     f.push(log2p(an.flops));
-    f.push(if an.flops > 0.0 { an.vector_flops / an.flops } else { 0.0 });
-    f.push(if an.flops > 0.0 { an.parallel_flops / an.flops } else { 0.0 });
+    f.push(if an.flops > 0.0 {
+        an.vector_flops / an.flops
+    } else {
+        0.0
+    });
+    f.push(if an.flops > 0.0 {
+        an.parallel_flops / an.flops
+    } else {
+        0.0
+    });
     f.push(log2p(an.parallel_extent as f64));
     f.push(log2p(an.loop_iterations));
     f.push(log2p(an.branches));
     f.push(log2p(an.barriers));
     f.push(log2p(an.block_threads() as f64));
     f.push(log2p(an.grid_blocks() as f64));
-    f.push(log2p(an.alloc_bytes.get(&MemScope::Shared).copied().unwrap_or(0.0)));
-    f.push(log2p(an.alloc_bytes.get(&MemScope::Local).copied().unwrap_or(0.0)));
+    f.push(log2p(
+        an.alloc_bytes
+            .get(&MemScope::Shared)
+            .copied()
+            .unwrap_or(0.0),
+    ));
+    f.push(log2p(
+        an.alloc_bytes.get(&MemScope::Local).copied().unwrap_or(0.0),
+    ));
     f.push(log2p(an.intrinsics.iter().map(|i| i.trips).sum::<f64>()));
 
     // Per-access features, heaviest first.
@@ -59,7 +74,10 @@ pub fn extract_analysis(an: &ProgramAnalysis) -> Vec<f64> {
                 let mid = depth / 2;
                 f.push(log2p(a.footprint_at_depth.get(mid).copied().unwrap_or(1.0)));
                 f.push(log2p(
-                    a.footprint_at_depth.get(depth.saturating_sub(1)).copied().unwrap_or(1.0),
+                    a.footprint_at_depth
+                        .get(depth.saturating_sub(1))
+                        .copied()
+                        .unwrap_or(1.0),
                 ));
                 f.push(log2p(a.reuse_at_depth(mid)));
                 // Stride class: invariant / unit / strided / unknown.
@@ -102,9 +120,12 @@ mod tests {
         let b = placeholder(&[n, n], DType::float32(), "B");
         let k = reduce_axis(n, "k");
         let c = compute(&[n, n], "C", |i| {
-            sum(a.at(&[i[0].clone(), k.expr()]) * b.at(&[k.expr(), i[1].clone()]), &[k.clone()])
+            sum(
+                a.at(&[i[0].clone(), k.expr()]) * b.at(&[k.expr(), i[1].clone()]),
+                std::slice::from_ref(&k),
+            )
         });
-        let mut s = create_schedule(&[c.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&c));
         if tile > 1 {
             let ax = c.op.axes();
             let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], tile, tile);
@@ -134,7 +155,7 @@ mod tests {
     fn vectorization_flag_visible() {
         let f1 = extract(&mm(1)); // no vectorize
         let f2 = extract(&mm(8)); // vectorized xi
-        // Feature 1 is the vectorized-flop fraction.
+                                  // Feature 1 is the vectorized-flop fraction.
         assert_eq!(f1[1], 0.0);
         assert!(f2[1] > 0.0);
     }

@@ -50,7 +50,12 @@ impl Default for GbtParams {
 #[derive(Clone, Debug)]
 enum Node {
     Leaf(f64),
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -64,8 +69,17 @@ impl Tree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf(v) => return *v,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -82,7 +96,12 @@ pub struct Gbt {
 impl Gbt {
     /// Predicted score for one feature vector (higher = faster config).
     pub fn predict(&self, x: &[f64]) -> f64 {
-        self.base + self.trees.iter().map(|(w, t)| w * t.predict(x)).sum::<f64>()
+        self.base
+            + self
+                .trees
+                .iter()
+                .map(|(w, t)| w * t.predict(x))
+                .sum::<f64>()
     }
 
     /// Number of boosting rounds fitted.
@@ -110,6 +129,7 @@ fn fit_tree(
     let total_cnt = idx.len() as f64;
     let base_score = total_sum * total_sum / total_cnt;
     let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+    #[allow(clippy::needless_range_loop)] // `f` indexes column `f` of every sample row
     for f in 0..n_features {
         let mut order: Vec<usize> = idx.to_vec();
         order.sort_by(|&a, &b| xs[a][f].total_cmp(&xs[b][f]));
@@ -125,8 +145,8 @@ fn fit_tree(
             }
             let right_sum = total_sum - left_sum;
             let right_cnt = total_cnt - left_cnt;
-            let gain = left_sum * left_sum / left_cnt + right_sum * right_sum / right_cnt
-                - base_score;
+            let gain =
+                left_sum * left_sum / left_cnt + right_sum * right_sum / right_cnt - base_score;
             if best.map(|(g, _, _)| gain > g).unwrap_or(gain > 1e-12) {
                 best = Some((gain, f, (xa + xb) * 0.5));
             }
@@ -148,7 +168,12 @@ fn fit_tree(
             nodes.push(Node::Leaf(0.0)); // placeholder
             let left = fit_tree(xs, targets, &li, depth + 1, params, nodes);
             let right = fit_tree(xs, targets, &ri, depth + 1, params, nodes);
-            nodes[slot] = Node::Split { feature, threshold, left, right };
+            nodes[slot] = Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            };
             slot
         }
     }
@@ -168,14 +193,15 @@ pub fn fit(xs: &[Vec<f64>], ys: &[f64], params: &GbtParams) -> Gbt {
     let n = xs.len();
     let base = ys.iter().sum::<f64>() / n as f64;
     let mut preds = vec![base; n];
-    let mut model = Gbt { trees: Vec::new(), base };
+    let mut model = Gbt {
+        trees: Vec::new(),
+        base,
+    };
     let all_idx: Vec<usize> = (0..n).collect();
     for _ in 0..params.n_trees {
         // Negative gradient of the objective at current predictions.
         let grad: Vec<f64> = match params.objective {
-            Objective::Regression => {
-                (0..n).map(|i| ys[i] - preds[i]).collect()
-            }
+            Objective::Regression => (0..n).map(|i| ys[i] - preds[i]).collect(),
             Objective::Rank => {
                 let mut g = vec![0.0; n];
                 // Pairwise RankNet lambdas over a bounded sample of pairs.
@@ -257,7 +283,10 @@ mod tests {
         let model = fit(
             &xs,
             &ys,
-            &GbtParams { objective: Objective::Regression, ..GbtParams::default() },
+            &GbtParams {
+                objective: Objective::Regression,
+                ..GbtParams::default()
+            },
         );
         let (txs, tys) = synthetic(100, 2);
         let mse: f64 = txs
@@ -276,8 +305,14 @@ mod tests {
     #[test]
     fn rank_objective_orders_pairs() {
         let (xs, ys) = synthetic(200, 3);
-        let model =
-            fit(&xs, &ys, &GbtParams { objective: Objective::Rank, ..GbtParams::default() });
+        let model = fit(
+            &xs,
+            &ys,
+            &GbtParams {
+                objective: Objective::Rank,
+                ..GbtParams::default()
+            },
+        );
         let (txs, tys) = synthetic(100, 4);
         let acc = pairwise_accuracy(&model, &txs, &tys);
         assert!(acc > 0.8, "pairwise accuracy {acc}");
@@ -295,7 +330,10 @@ mod tests {
         let model = fit(
             &[vec![1.0]],
             &[5.0],
-            &GbtParams { objective: Objective::Regression, ..GbtParams::default() },
+            &GbtParams {
+                objective: Objective::Regression,
+                ..GbtParams::default()
+            },
         );
         assert!((model.predict(&[1.0]) - 5.0).abs() < 1e-6);
     }

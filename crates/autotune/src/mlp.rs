@@ -25,7 +25,12 @@ pub struct MlpParams {
 
 impl Default for MlpParams {
     fn default() -> Self {
-        MlpParams { hidden: 32, epochs: 200, lr: 0.01, seed: 0 }
+        MlpParams {
+            hidden: 32,
+            epochs: 200,
+            lr: 0.01,
+            seed: 0,
+        }
     }
 }
 
@@ -84,14 +89,26 @@ pub fn fit_mlp(xs: &[Vec<f64>], ys: &[f64], params: &MlpParams) -> Mlp {
         .map(|_| (0..dim).map(|_| rng.random_range(-0.2..0.2)).collect())
         .collect();
     let mut b1 = vec![0.0; params.hidden];
-    let mut w2: Vec<f64> = (0..params.hidden).map(|_| rng.random_range(-0.2..0.2)).collect();
+    let mut w2: Vec<f64> = (0..params.hidden)
+        .map(|_| rng.random_range(-0.2..0.2))
+        .collect();
     let mut b2 = y_mean;
 
     if xs.is_empty() {
-        return Mlp { w1, b1, w2, b2, mean, std };
+        return Mlp {
+            w1,
+            b1,
+            w2,
+            b2,
+            mean,
+            std,
+        };
     }
     let norm = |x: &[f64]| -> Vec<f64> {
-        x.iter().zip(mean.iter().zip(&std)).map(|(v, (m, s))| (v - m) / s).collect()
+        x.iter()
+            .zip(mean.iter().zip(&std))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
     };
     let xn: Vec<Vec<f64>> = xs.iter().map(|x| norm(x)).collect();
     for _ in 0..params.epochs {
@@ -123,7 +140,14 @@ pub fn fit_mlp(xs: &[Vec<f64>], ys: &[f64], params: &MlpParams) -> Mlp {
             }
         }
     }
-    Mlp { w1, b1, w2, b2, mean, std }
+    Mlp {
+        w1,
+        b1,
+        w2,
+        b2,
+        mean,
+        std,
+    }
 }
 
 #[cfg(test)]
@@ -178,11 +202,21 @@ mod tests {
         // model predicts faster.
         let (xs, ys) = synthetic(300, 3);
         let (txs, tys) = synthetic(120, 4);
-        let gbt = fit(&xs, &ys, &GbtParams { objective: Objective::Regression, ..Default::default() });
+        let gbt = fit(
+            &xs,
+            &ys,
+            &GbtParams {
+                objective: Objective::Regression,
+                ..Default::default()
+            },
+        );
         let mlp = fit_mlp(&xs, &ys, &MlpParams::default());
         let acc_gbt = pairwise_accuracy(&gbt, &txs, &tys);
         let acc_mlp = mlp_pairwise(&mlp, &txs, &tys);
-        assert!((acc_gbt - acc_mlp).abs() < 0.12, "gbt {acc_gbt} vs mlp {acc_mlp}");
+        assert!(
+            (acc_gbt - acc_mlp).abs() < 0.12,
+            "gbt {acc_gbt} vs mlp {acc_mlp}"
+        );
         assert!(acc_mlp > 0.75 && acc_gbt > 0.75);
     }
 

@@ -49,7 +49,11 @@ impl Tracker {
         Tracker {
             devices: targets
                 .into_iter()
-                .map(|t| Device { target: t, busy_ms: 0.0, runs: 0 })
+                .map(|t| Device {
+                    target: t,
+                    busy_ms: 0.0,
+                    runs: 0,
+                })
                 .collect(),
             next_rr: 0,
             log: Vec::new(),
@@ -65,7 +69,8 @@ impl Tracker {
     /// Requests a device whose target name matches; round-robin across
     /// matching devices (fine-grained sharing between jobs).
     pub fn request(&mut self, target_name: &str) -> Option<usize> {
-        self.log.push(RpcMsg::RequestDevice(target_name.to_string()));
+        self.log
+            .push(RpcMsg::RequestDevice(target_name.to_string()));
         let n = self.devices.len();
         for off in 0..n {
             let id = (self.next_rr + off) % n;
@@ -111,7 +116,7 @@ mod tests {
     fn small_func() -> LoweredFunc {
         let a = placeholder(&[64], DType::float32(), "A");
         let b = compute(&[64], "B", |i| a.at(&[i[0].clone()]) + 1);
-        let s = create_schedule(&[b.clone()]);
+        let s = create_schedule(std::slice::from_ref(&b));
         lower(&s, &[a, b], "inc").expect("lowers")
     }
 

@@ -26,6 +26,9 @@ use crate::config::{ConfigEntity, ConfigSpace};
 use crate::features::extract;
 use crate::gbt::{fit, Gbt, GbtParams, Objective};
 
+/// Template callback: lowers one configuration, or rejects it with an error.
+pub type TemplateBuilder = Rc<dyn Fn(&ConfigEntity) -> Result<LoweredFunc, TeError>>;
+
 /// A tunable kernel: a config space plus a builder producing a lowered
 /// function for each configuration.
 pub struct TuningTask {
@@ -36,7 +39,7 @@ pub struct TuningTask {
     /// Template: config -> lowered function. Configs may be invalid
     /// (e.g. exceeding shared memory); the builder returns an error and
     /// the tuner skips them.
-    pub builder: Rc<dyn Fn(&ConfigEntity) -> Result<LoweredFunc, TeError>>,
+    pub builder: TemplateBuilder,
     /// Measurement target.
     pub target: Target,
     /// Simulator options (intrinsic costs).
@@ -88,7 +91,13 @@ pub struct TuneOptions {
 
 impl Default for TuneOptions {
     fn default() -> Self {
-        TuneOptions { n_trials: 64, batch: 8, sa_steps: 40, sa_chains: 16, seed: 0 }
+        TuneOptions {
+            n_trials: 64,
+            batch: 8,
+            sa_steps: 40,
+            sa_chains: 16,
+            seed: 0,
+        }
     }
 }
 
@@ -145,8 +154,12 @@ pub fn tune(task: &TuningTask, opts: &TuneOptions, kind: TunerKind) -> TuneResul
 /// bias" the paper's Table 1 calls out).
 fn predefined_score(func: &tvm_ir::LoweredFunc) -> f64 {
     let an = tvm_sim::analyze(func);
-    let vec_frac = if an.flops > 0.0 { an.vector_flops / an.flops } else { 0.0 };
-    let par = (an.parallel_extent as f64).max(1.0).min(8.0);
+    let vec_frac = if an.flops > 0.0 {
+        an.vector_flops / an.flops
+    } else {
+        0.0
+    };
+    let par = (an.parallel_extent as f64).clamp(1.0, 8.0);
     let unit_stride = an
         .accesses
         .iter()
@@ -166,7 +179,10 @@ fn predefined_score(func: &tvm_ir::LoweredFunc) -> f64 {
         .filter(|a| matches!(a.thread_stride, Some(0) | Some(1)))
         .count() as f64
         / global.len().max(1) as f64;
-    threads.max(1.0).min(16384.0).log2() + 3.0 * coalesced + 3.0 * vec_frac + par.log2()
+    threads.clamp(1.0, 16384.0).log2()
+        + 3.0 * coalesced
+        + 3.0 * vec_frac
+        + par.log2()
         + 2.0 * unit_stride
         - overhead
 }
@@ -188,12 +204,18 @@ fn tune_predefined(task: &TuningTask, opts: &TuneOptions, rng: &mut StdRng) -> T
     scored.dedup_by_key(|(i, _)| *i);
     for (idx, _) in scored.into_iter().take(opts.n_trials) {
         let cfg = task.space.get(idx);
-        let cost = task.measure(&cfg).map(|(_, ms)| ms).unwrap_or(f64::INFINITY);
+        let cost = task
+            .measure(&cfg)
+            .map(|(_, ms)| ms)
+            .unwrap_or(f64::INFINITY);
         h.push(&cfg, cost);
     }
     while h.records.len() < opts.n_trials {
         let cfg = task.space.get(task.space.random_index(rng));
-        let cost = task.measure(&cfg).map(|(_, ms)| ms).unwrap_or(f64::INFINITY);
+        let cost = task
+            .measure(&cfg)
+            .map(|(_, ms)| ms)
+            .unwrap_or(f64::INFINITY);
         h.push(&cfg, cost);
     }
     h.finish()
@@ -208,7 +230,12 @@ struct History {
 
 impl History {
     fn new() -> Self {
-        History { records: Vec::new(), best_ms: f64::INFINITY, best_config: None, best_curve: Vec::new() }
+        History {
+            records: Vec::new(),
+            best_ms: f64::INFINITY,
+            best_config: None,
+            best_curve: Vec::new(),
+        }
     }
 
     fn push(&mut self, cfg: &ConfigEntity, cost: f64) {
@@ -243,7 +270,10 @@ fn tune_random(task: &TuningTask, opts: &TuneOptions, rng: &mut StdRng) -> TuneR
             continue;
         }
         let cfg = task.space.get(idx);
-        let cost = task.measure(&cfg).map(|(_, ms)| ms).unwrap_or(f64::INFINITY);
+        let cost = task
+            .measure(&cfg)
+            .map(|(_, ms)| ms)
+            .unwrap_or(f64::INFINITY);
         h.push(&cfg, cost);
     }
     h.finish()
@@ -257,7 +287,10 @@ fn tune_genetic(task: &TuningTask, opts: &TuneOptions, rng: &mut StdRng) -> Tune
     while pop.len() < pop_size && h.records.len() < opts.n_trials {
         let idx = task.space.random_index(rng);
         let cfg = task.space.get(idx);
-        let cost = task.measure(&cfg).map(|(_, ms)| ms).unwrap_or(f64::INFINITY);
+        let cost = task
+            .measure(&cfg)
+            .map(|(_, ms)| ms)
+            .unwrap_or(f64::INFINITY);
         h.push(&cfg, cost);
         pop.push((idx, cost));
     }
@@ -281,7 +314,10 @@ fn tune_genetic(task: &TuningTask, opts: &TuneOptions, rng: &mut StdRng) -> Tune
             child
         };
         let cfg = task.space.get(child);
-        let cost = task.measure(&cfg).map(|(_, ms)| ms).unwrap_or(f64::INFINITY);
+        let cost = task
+            .measure(&cfg)
+            .map(|(_, ms)| ms)
+            .unwrap_or(f64::INFINITY);
         h.push(&cfg, cost);
         // Replace the worst member.
         if let Some(worst) = pop
@@ -308,7 +344,11 @@ fn crossover(space: &ConfigSpace, a: u64, b: u64, rng: &mut StdRng) -> u64 {
         let db = rb % n;
         ra /= n;
         rb /= n;
-        let d = if rng.random_range(0.0..1.0) < 0.5 { da } else { db };
+        let d = if rng.random_range(0.0..1.0) < 0.5 {
+            da
+        } else {
+            db
+        };
         out += d * mult;
         mult *= n;
     }
@@ -326,8 +366,9 @@ fn tune_ml(
     let mut xs: Vec<Vec<f64>> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();
     // Exploration state persists across model updates (§5.3).
-    let mut chains: Vec<u64> =
-        (0..opts.sa_chains).map(|_| task.space.random_index(rng)).collect();
+    let mut chains: Vec<u64> = (0..opts.sa_chains)
+        .map(|_| task.space.random_index(rng))
+        .collect();
     while h.records.len() < opts.n_trials {
         let batch: Vec<u64> = if xs.len() < opts.batch {
             // No training data yet: random candidates (§5.3).
@@ -341,7 +382,10 @@ fn tune_ml(
             }
             b
         } else {
-            let params = GbtParams { objective, ..GbtParams::default() };
+            let params = GbtParams {
+                objective,
+                ..GbtParams::default()
+            };
             let model = fit(&xs, &ys, &params);
             propose_sa(task, &model, &mut chains, &visited, opts, rng)
         };
@@ -365,7 +409,9 @@ fn tune_ml(
 }
 
 /// Parallel simulated annealing over the space, scored by the cost model;
-/// returns the best-predicted unvisited batch.
+/// returns the best-predicted unvisited batch with a reserved fraction of
+/// epsilon-greedy random slots (so a biased early model cannot trap the
+/// search in one basin).
 fn propose_sa(
     task: &TuningTask,
     model: &Gbt,
@@ -381,6 +427,14 @@ fn propose_sa(
             Err(_) => f64::NEG_INFINITY,
         }
     };
+    // Restart half the chains from fresh random points each round; persisting
+    // every chain across model updates lets one early bad basin capture the
+    // whole explorer.
+    for (i, c) in chains.iter_mut().enumerate() {
+        if i % 2 == 1 {
+            *c = task.space.random_index(rng);
+        }
+    }
     let mut cand: Vec<(u64, f64)> = Vec::new();
     let mut scores: Vec<f64> = chains.iter().map(|&c| score(c)).collect();
     let mut temp = 1.0f64;
@@ -408,11 +462,18 @@ fn propose_sa(
     }
     cand.sort_by(|a, b| b.1.total_cmp(&a.1));
     cand.dedup_by_key(|(i, _)| *i);
-    let mut out: Vec<u64> = cand.into_iter().map(|(i, _)| i).take(opts.batch).collect();
-    // Top up with random picks if annealing found too few fresh points.
+    // Epsilon-greedy batch: most slots go to the model's best proposals, the
+    // tail is pure random exploration.
+    let explore = (opts.batch / 4).max(1);
+    let exploit = opts.batch.saturating_sub(explore);
+    let mut out: Vec<u64> = cand.into_iter().map(|(i, _)| i).take(exploit).collect();
+    // Fill the exploration slots (and any exploit shortfall) with random
+    // unvisited picks.
+    let mut attempts = 0;
     while out.len() < opts.batch {
         let idx = task.space.random_index(rng);
-        if !visited.contains(&idx) || task.space.size() <= opts.n_trials as u64 {
+        attempts += 1;
+        if !visited.contains(&idx) || task.space.size() <= opts.n_trials as u64 || attempts > 64 {
             out.push(idx);
         }
     }

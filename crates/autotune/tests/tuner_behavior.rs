@@ -3,9 +3,7 @@
 
 use std::rc::Rc;
 
-use tvm_autotune::{
-    tune, ConfigEntity, ConfigSpace, Database, TuneOptions, TunerKind, TuningTask,
-};
+use tvm_autotune::{tune, ConfigEntity, ConfigSpace, Database, TuneOptions, TunerKind, TuningTask};
 use tvm_ir::DType;
 use tvm_sim::arm_a53;
 use tvm_te::{compute, create_schedule, lower, placeholder, TeError};
@@ -24,8 +22,10 @@ fn synthetic_task() -> TuningTask {
         let n = 256i64;
         let a = placeholder(&[n, n], DType::float32(), "A");
         let a2 = a.clone();
-        let b = compute(&[n, n], "B", move |i| a2.at(&[i[1].clone(), i[0].clone()]) + 1);
-        let mut s = create_schedule(&[b.clone()]);
+        let b = compute(&[n, n], "B", move |i| {
+            a2.at(&[i[1].clone(), i[0].clone()]) + 1
+        });
+        let mut s = create_schedule(std::slice::from_ref(&b));
         let ax = b.op.axes();
         let (_, wi) = s.split(&b, &ax[1], cfg.get("tile"));
         if cfg.get("vec") == 1 {
@@ -44,7 +44,11 @@ fn synthetic_task() -> TuningTask {
 
 #[test]
 fn tuning_is_deterministic_per_seed() {
-    let opts = TuneOptions { n_trials: 24, seed: 9, ..Default::default() };
+    let opts = TuneOptions {
+        n_trials: 24,
+        seed: 9,
+        ..Default::default()
+    };
     let r1 = tune(&synthetic_task(), &opts, TunerKind::GbtRank);
     let r2 = tune(&synthetic_task(), &opts, TunerKind::GbtRank);
     assert_eq!(r1.best_ms, r2.best_ms);
@@ -53,7 +57,11 @@ fn tuning_is_deterministic_per_seed() {
     assert_eq!(h1, h2);
     let opts2 = TuneOptions { seed: 10, ..opts };
     let r3 = tune(&synthetic_task(), &opts2, TunerKind::Random);
-    let r4 = tune(&synthetic_task(), &TuneOptions { seed: 11, ..opts2 }, TunerKind::Random);
+    let r4 = tune(
+        &synthetic_task(),
+        &TuneOptions { seed: 11, ..opts2 },
+        TunerKind::Random,
+    );
     let h3: Vec<u64> = r3.history.iter().map(|t| t.config_index).collect();
     let h4: Vec<u64> = r4.history.iter().map(|t| t.config_index).collect();
     assert_ne!(h3, h4, "different seeds explore differently");
@@ -61,9 +69,17 @@ fn tuning_is_deterministic_per_seed() {
 
 #[test]
 fn invalid_configs_are_skipped_not_fatal() {
-    let opts = TuneOptions { n_trials: 32, seed: 3, ..Default::default() };
-    for kind in [TunerKind::Random, TunerKind::Genetic, TunerKind::GbtRank, TunerKind::Predefined]
-    {
+    let opts = TuneOptions {
+        n_trials: 32,
+        seed: 3,
+        ..Default::default()
+    };
+    for kind in [
+        TunerKind::Random,
+        TunerKind::Genetic,
+        TunerKind::GbtRank,
+        TunerKind::Predefined,
+    ] {
         let r = tune(&synthetic_task(), &opts, kind);
         assert!(r.best_ms.is_finite(), "{kind:?} found something valid");
         // Invalid (poisoned) trials appear as infinite cost, never as the
@@ -76,19 +92,30 @@ fn invalid_configs_are_skipped_not_fatal() {
 
 #[test]
 fn every_tuner_converges_on_the_easy_surface() {
-    let opts = TuneOptions { n_trials: 48, seed: 5, ..Default::default() };
+    let opts = TuneOptions {
+        n_trials: 48,
+        seed: 5,
+        ..Default::default()
+    };
     let mut bests = Vec::new();
     for kind in [TunerKind::GbtRank, TunerKind::Genetic, TunerKind::Random] {
         bests.push(tune(&synthetic_task(), &opts, kind).best_ms);
     }
     let spread = bests.iter().cloned().fold(0.0f64, f64::max)
         / bests.iter().cloned().fold(f64::INFINITY, f64::min);
-    assert!(spread < 1.5, "48 trials on a 28-point space: all close, got {bests:?}");
+    assert!(
+        spread < 1.5,
+        "48 trials on a 28-point space: all close, got {bests:?}"
+    );
 }
 
 #[test]
 fn best_curve_is_monotone_nonincreasing() {
-    let opts = TuneOptions { n_trials: 32, seed: 2, ..Default::default() };
+    let opts = TuneOptions {
+        n_trials: 32,
+        seed: 2,
+        ..Default::default()
+    };
     let r = tune(&synthetic_task(), &opts, TunerKind::GbtRank);
     for w in r.best_curve.windows(2) {
         assert!(w[1] <= w[0]);
@@ -99,7 +126,11 @@ fn best_curve_is_monotone_nonincreasing() {
 #[test]
 fn database_round_trips_tuning_results() {
     let task = synthetic_task();
-    let opts = TuneOptions { n_trials: 16, seed: 4, ..Default::default() };
+    let opts = TuneOptions {
+        n_trials: 16,
+        seed: 4,
+        ..Default::default()
+    };
     let r = tune(&task, &opts, TunerKind::Random);
     let mut db = Database::new();
     db.add_result(&task.name, &task.space, &r);
@@ -113,6 +144,9 @@ fn database_round_trips_tuning_results() {
     let path = std::env::temp_dir().join("tvm_rs_tuner_behavior.jsonl");
     db.save(&path).expect("saves");
     let loaded = Database::load(&path).expect("loads");
-    assert_eq!(loaded.best(&task.name).expect("exists").config_index, best.config_index);
+    assert_eq!(
+        loaded.best(&task.name).expect("exists").config_index,
+        best.config_index
+    );
     let _ = std::fs::remove_file(path);
 }

@@ -13,7 +13,15 @@ use tvm_sim::{arm_a53, estimate, titanx};
 use tvm_topi as topi;
 
 fn small_conv() -> topi::Conv2dWorkload {
-    topi::Conv2dWorkload { batch: 1, size: 14, in_c: 32, out_c: 64, kernel: 3, stride: 1, pad: 1 }
+    topi::Conv2dWorkload {
+        batch: 1,
+        size: 14,
+        in_c: 32,
+        out_c: 64,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+    }
 }
 
 /// Fig. 4 slice: build the fused and unfused conv+bn+relu modules.
@@ -40,7 +48,12 @@ fn bench_fig04_fusion(c: &mut Criterion) {
 fn bench_fig07_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig07_gemm");
     group.sample_size(10);
-    let w = topi::DenseWorkload { m: 256, n: 256, k: 256, dtype: DType::float32() };
+    let w = topi::DenseWorkload {
+        m: 256,
+        n: 256,
+        k: 256,
+        dtype: DType::float32(),
+    };
     let task = topi::dense_task(w, titanx());
     group.bench_function("measure_config", |b| {
         let cfg = topi::default_config(&task.space);
@@ -70,7 +83,13 @@ fn bench_fig12_tuning(c: &mut Criterion) {
     group.bench_function("ml_tuner_16_trials", |b| {
         b.iter(|| {
             let task = topi::conv2d_task(small_conv(), DType::float32(), titanx());
-            let opts = TuneOptions { n_trials: 16, batch: 8, sa_steps: 4, sa_chains: 4, seed: 1 };
+            let opts = TuneOptions {
+                n_trials: 16,
+                batch: 8,
+                sa_steps: 4,
+                sa_chains: 4,
+                seed: 1,
+            };
             black_box(tune(&task, &opts, TunerKind::GbtRank).best_ms)
         })
     });
@@ -98,7 +117,15 @@ fn bench_fig18_lowprec(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig18_lowprec");
     group.sample_size(10);
     let w = tvm_topi::bitserial::BitserialWorkload {
-        conv: topi::Conv2dWorkload { batch: 1, size: 16, in_c: 64, out_c: 16, kernel: 3, stride: 1, pad: 0 },
+        conv: topi::Conv2dWorkload {
+            batch: 1,
+            size: 16,
+            in_c: 64,
+            out_c: 16,
+            kernel: 3,
+            stride: 1,
+            pad: 0,
+        },
         a_bits: 2,
         w_bits: 1,
     };

@@ -42,7 +42,11 @@ fn dense_lib(fw: Framework) -> Library {
 /// Simulated cost of one stand-alone injective/reduction node executed as
 /// its own kernel (what a non-fusing framework pays).
 fn single_op_ms(g: &Graph, id: tvm_graph::NodeId, target: &Target) -> f64 {
-    let group = tvm_graph::Group { nodes: vec![id], master: id, output: id };
+    let group = tvm_graph::Group {
+        nodes: vec![id],
+        master: id,
+        output: id,
+    };
     let fused = tvm_graph::FusedGraph {
         groups: vec![group],
         group_of: vec![usize::MAX; g.nodes.len()],
@@ -64,15 +68,17 @@ fn single_op_ms(g: &Graph, id: tvm_graph::NodeId, target: &Target) -> f64 {
         OpType::Tanh => topi::tanh_t(&inputs[0]),
         OpType::Sigmoid => topi::sigmoid_t(&inputs[0]),
         OpType::Softmax => topi::softmax(&inputs[0]),
-        OpType::MaxPool2d { window, stride, pad } => {
-            topi::max_pool2d(&inputs[0], *window, *stride, *pad)
-        }
+        OpType::MaxPool2d {
+            window,
+            stride,
+            pad,
+        } => topi::max_pool2d(&inputs[0], *window, *stride, *pad),
         OpType::GlobalAvgPool => topi::global_avg_pool(&inputs[0]),
         OpType::Flatten => topi::flatten(&inputs[0]),
         OpType::Reshape => topi::reshape(&inputs[0], &node.shape),
         _ => return 0.0,
     };
-    let mut s = create_schedule(&[out.clone()]);
+    let mut s = create_schedule(std::slice::from_ref(&out));
     topi::schedule_injective(&mut s, &out, target);
     let mut args = inputs;
     args.push(out);
@@ -95,8 +101,10 @@ pub fn framework_e2e_ms(g: &Graph, fw: Framework, target: &Target) -> f64 {
             OpType::DepthwiseConv2d(w) => {
                 // "they implement their own versions of depthwise
                 // convolution" — handcrafted, not library-backed.
-                let lib = if matches!(fw, Framework::MxNet | Framework::TensorFlow | Framework::TensorFlowXla)
-                {
+                let lib = if matches!(
+                    fw,
+                    Framework::MxNet | Framework::TensorFlow | Framework::TensorFlowXla
+                ) {
                     Library::MxKernel
                 } else {
                     conv_lib(fw)
@@ -104,7 +112,14 @@ pub fn framework_e2e_ms(g: &Graph, fw: Framework, target: &Target) -> f64 {
                 total += topi::vendor_depthwise_ms(lib, w, node.dtype, target);
             }
             OpType::Dense(w) => total += topi::vendor_dense_ms(dense_lib(fw), w, target),
-            OpType::Conv2dTranspose { in_c, in_size, out_c, kernel, stride, .. } => {
+            OpType::Conv2dTranspose {
+                in_c,
+                in_size,
+                out_c,
+                kernel,
+                stride,
+                ..
+            } => {
                 // Libraries run transposed conv as a generic (unoptimized)
                 // convolution over the dilated input.
                 let eq = tvm_topi::Conv2dWorkload {

@@ -30,13 +30,21 @@ fn main() {
         ("no model (random)", TunerKind::Random),
     ] {
         let r = tune(&task(), &quick_tune_opts(trials), kind);
-        println!("{name:<42} {:.4} ms (after 16: {:.4})", r.best_ms, r.best_after(16));
+        println!(
+            "{name:<42} {:.4} ms (after 16: {:.4})",
+            r.best_ms,
+            r.best_after(16)
+        );
     }
 
     // 2. Explorer budget: annealing steps swept under the rank model.
     println!("\n-- simulated-annealing depth (GBT rank) --");
     for sa_steps in [0usize, 4, 16] {
-        let opts = TuneOptions { n_trials: trials, sa_steps, ..quick_tune_opts(trials) };
+        let opts = TuneOptions {
+            n_trials: trials,
+            sa_steps,
+            ..quick_tune_opts(trials)
+        };
         let r = tune(&task(), &opts, TunerKind::GbtRank);
         println!("sa_steps = {sa_steps:<3} best {:.4} ms", r.best_ms);
     }

@@ -6,7 +6,14 @@ fn main() {
     let rows = fig10_roofline();
     print_table(
         "Figure 10: VDLA roofline (peak 102.4 GOPS)",
-        &["layer", "ops/byte", "GOPS base", "GOPS lat-hiding", "util base", "util lat-hiding"],
+        &[
+            "layer",
+            "ops/byte",
+            "GOPS base",
+            "GOPS lat-hiding",
+            "util base",
+            "util lat-hiding",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -23,5 +30,9 @@ fn main() {
     );
     let avg_b: f64 = rows.iter().map(|r| r.util_base).sum::<f64>() / rows.len() as f64;
     let avg_h: f64 = rows.iter().map(|r| r.util_hidden).sum::<f64>() / rows.len() as f64;
-    println!("mean compute utilization: {:.0}% -> {:.0}%", avg_b * 100.0, avg_h * 100.0);
+    println!(
+        "mean compute utilization: {:.0}% -> {:.0}%",
+        avg_b * 100.0,
+        avg_h * 100.0
+    );
 }

@@ -5,7 +5,14 @@ fn main() {
     let trials = 128;
     let (curves, cudnn) = fig12_tuning(trials);
     println!("== Figure 12: conv2d C7 tuning on titanx-sim (cuDNN model = {cudnn:.3} ms) ==");
-    println!("trial\t{}", curves.iter().map(|c| c.method.clone()).collect::<Vec<_>>().join("\t"));
+    println!(
+        "trial\t{}",
+        curves
+            .iter()
+            .map(|c| c.method.clone())
+            .collect::<Vec<_>>()
+            .join("\t")
+    );
     for t in (7..trials).step_by(8) {
         let cols: Vec<String> = curves
             .iter()

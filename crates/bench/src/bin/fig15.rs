@@ -12,7 +12,12 @@ fn main() {
             .map(|r| {
                 let base = r.systems[0].1;
                 let tc = r.systems.iter().find(|(l, _)| l == "TC").map(|(_, v)| *v);
-                let tvm = r.systems.iter().find(|(l, _)| l == "TVM").map(|(_, v)| *v).unwrap();
+                let tvm = r
+                    .systems
+                    .iter()
+                    .find(|(l, _)| l == "TVM")
+                    .map(|(_, v)| *v)
+                    .unwrap();
                 vec![
                     r.name.clone(),
                     format!("{base:.3}"),

@@ -5,11 +5,28 @@ fn main() {
     println!("== Table 2 (top): ResNet-18 conv2d operators ==");
     println!("name\tH,W\tIC,OC\tK,S");
     for (i, w) in resnet18_convs().iter().enumerate() {
-        println!("C{}\t{},{}\t{},{}\t{},{}", i + 1, w.size, w.size, w.in_c, w.out_c, w.kernel, w.stride);
+        println!(
+            "C{}\t{},{}\t{},{}\t{},{}",
+            i + 1,
+            w.size,
+            w.size,
+            w.in_c,
+            w.out_c,
+            w.kernel,
+            w.stride
+        );
     }
     println!("\n== Table 2 (bottom): MobileNet depthwise conv2d operators ==");
     println!("name\tH,W\tIC\tK,S");
     for (i, w) in mobilenet_dwconvs().iter().enumerate() {
-        println!("D{}\t{},{}\t{}\t{},{}", i + 1, w.size, w.size, w.channels, w.kernel, w.stride);
+        println!(
+            "D{}\t{},{}\t{}\t{},{}",
+            i + 1,
+            w.size,
+            w.size,
+            w.channels,
+            w.kernel,
+            w.stride
+        );
     }
 }

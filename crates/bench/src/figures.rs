@@ -14,7 +14,13 @@ use crate::vdla_gemm::run_conv_on_vdla;
 
 /// Small deterministic tuning budget used throughout the harness.
 pub fn quick_tune_opts(n_trials: usize) -> TuneOptions {
-    TuneOptions { n_trials, batch: 8, sa_steps: 10, sa_chains: 8, seed: 42 }
+    TuneOptions {
+        n_trials,
+        batch: 8,
+        sa_steps: 10,
+        sa_chains: 8,
+        seed: 42,
+    }
 }
 
 /// Tunes a task with the ML optimizer and returns the best simulated ms.
@@ -51,7 +57,13 @@ pub fn fig04_fusion() -> Vec<FusionRow> {
             let mut g = Graph::new();
             let x = g.input(&[1, 128, 28, 28], "data");
             let w = topi::Conv2dWorkload {
-                batch: 1, size: 28, in_c: 128, out_c: 256, kernel: 1, stride: 1, pad: 0,
+                batch: 1,
+                size: 28,
+                in_c: 128,
+                out_c: 256,
+                kernel: 1,
+                stride: 1,
+                pad: 0,
             };
             let c = g.conv2d(x, w, "conv");
             let b = g.batch_norm(c, "bn");
@@ -63,7 +75,12 @@ pub fn fig04_fusion() -> Vec<FusionRow> {
             let mut g = Graph::new();
             let x = g.input(&[1, 512, 14, 14], "data");
             let w = topi::DepthwiseConv2dWorkload {
-                batch: 1, size: 14, channels: 512, kernel: 3, stride: 1, pad: 1,
+                batch: 1,
+                size: 14,
+                channels: 512,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
             };
             let d = g.depthwise_conv2d(x, w, "dw");
             let b = g.batch_norm(d, "bn");
@@ -74,7 +91,12 @@ pub fn fig04_fusion() -> Vec<FusionRow> {
         ("rnn cell h=128", {
             // h' = tanh(Wx + Uh)
             let mut g = Graph::new();
-            let dw = topi::DenseWorkload { m: 1, n: 128, k: 128, dtype: DType::float32() };
+            let dw = topi::DenseWorkload {
+                m: 1,
+                n: 128,
+                k: 128,
+                dtype: DType::float32(),
+            };
             let x = g.input(&[1, 128], "x");
             let h = g.input(&[1, 128], "h");
             let a = g.dense(x, dw, "wx");
@@ -85,15 +107,19 @@ pub fn fig04_fusion() -> Vec<FusionRow> {
             g.outputs.push(t);
             g
         }),
-        ("lstm cell h=128", {
-            let g = tvm_models::lstm_lm(128, 1);
-            g
-        }),
+        ("lstm cell h=128", { tvm_models::lstm_lm(128, 1) }),
     ];
     for (name, g) in cases {
         let fused = build(&g, &target, &BuildOptions::default()).expect("builds");
-        let unfused =
-            build(&g, &target, &BuildOptions { no_fusion: true, db: None }).expect("builds");
+        let unfused = build(
+            &g,
+            &target,
+            &BuildOptions {
+                no_fusion: true,
+                db: None,
+            },
+        )
+        .expect("builds");
         rows.push(FusionRow {
             name: name.to_string(),
             no_fusion_ms: unfused.total_ms(),
@@ -122,7 +148,12 @@ pub fn fig07_gemm(trials: usize) -> Vec<GemmRow> {
     let target = titanx();
     let mut rows = Vec::new();
     for size in [1024i64, 2048] {
-        let w = topi::DenseWorkload { m: size, n: size, k: size, dtype: DType::float32() };
+        let w = topi::DenseWorkload {
+            m: size,
+            n: size,
+            k: size,
+            dtype: DType::float32(),
+        };
         let cublas = topi::vendor_dense_ms(Library::CuBlas, &w, &target);
         let mut no_coop = topi::dense_task(w, target.clone());
         // Restrict the space: shared-memory staging off.
@@ -177,7 +208,11 @@ pub fn fig10_roofline() -> Vec<RooflineRow> {
             intensity: hidden.intensity(),
             gops_base: base.gops(&spec),
             gops_hidden: hidden.gops(&spec),
-            util_base: base.busy.get(&tvm_ir::PipeStage::Compute).copied().unwrap_or(0.0)
+            util_base: base
+                .busy
+                .get(&tvm_ir::PipeStage::Compute)
+                .copied()
+                .unwrap_or(0.0)
                 / base.cycles.max(1.0),
             util_hidden: hidden.compute_utilization(),
         });
@@ -210,7 +245,10 @@ pub fn fig12_tuning(trials: usize) -> (Vec<TuneCurve>, f64) {
     ] {
         let task = topi::conv2d_task(w, DType::float32(), target.clone());
         let r = tune(&task, &quick_tune_opts(trials), kind);
-        curves.push(TuneCurve { method: name.to_string(), best_curve: r.best_curve });
+        curves.push(TuneCurve {
+            method: name.to_string(),
+            best_curve: r.best_curve,
+        });
     }
     (curves, cudnn)
 }
@@ -279,17 +317,34 @@ fn e2e_row(
     trials: usize,
 ) -> E2eRow {
     let db = tune_graph_convs(g, target, trials);
-    let tvm_full =
-        build(g, target, &BuildOptions { no_fusion: false, db: Some(&db) }).expect("builds");
-    let tvm_nograph =
-        build(g, target, &BuildOptions { no_fusion: true, db: Some(&db) }).expect("builds");
+    let tvm_full = build(
+        g,
+        target,
+        &BuildOptions {
+            no_fusion: false,
+            db: Some(&db),
+        },
+    )
+    .expect("builds");
+    let tvm_nograph = build(
+        g,
+        target,
+        &BuildOptions {
+            no_fusion: true,
+            db: Some(&db),
+        },
+    )
+    .expect("builds");
     let mut systems: Vec<(String, f64)> = baselines
         .iter()
         .map(|fw| (format!("{fw:?}"), framework_e2e_ms(g, *fw, target)))
         .collect();
     systems.push(("TVM w/o graph opt".to_string(), tvm_nograph.total_ms()));
     systems.push(("TVM".to_string(), tvm_full.total_ms()));
-    E2eRow { model: model.to_string(), systems }
+    E2eRow {
+        model: model.to_string(),
+        systems,
+    }
 }
 
 /// Fig. 14: server-GPU end-to-end comparison. `input_size` scales the
@@ -297,13 +352,41 @@ fn e2e_row(
 /// budget.
 pub fn fig14_gpu_e2e(input_size: i64, trials: usize) -> Vec<E2eRow> {
     let target = titanx();
-    let fws = [Framework::MxNet, Framework::TensorFlow, Framework::TensorFlowXla];
+    let fws = [
+        Framework::MxNet,
+        Framework::TensorFlow,
+        Framework::TensorFlowXla,
+    ];
     vec![
-        e2e_row("ResNet-18", &tvm_models::resnet18(input_size), &target, &fws, trials),
-        e2e_row("MobileNet", &tvm_models::mobilenet(input_size), &target, &fws, trials),
-        e2e_row("LSTM LM", &tvm_models::lstm_lm(128, 4), &target, &fws, trials),
+        e2e_row(
+            "ResNet-18",
+            &tvm_models::resnet18(input_size),
+            &target,
+            &fws,
+            trials,
+        ),
+        e2e_row(
+            "MobileNet",
+            &tvm_models::mobilenet(input_size),
+            &target,
+            &fws,
+            trials,
+        ),
+        e2e_row(
+            "LSTM LM",
+            &tvm_models::lstm_lm(128, 4),
+            &target,
+            &fws,
+            trials,
+        ),
         e2e_row("DQN", &tvm_models::dqn(), &target, &fws, trials),
-        e2e_row("DCGAN", &tvm_models::dcgan_generator(), &target, &fws, trials),
+        e2e_row(
+            "DCGAN",
+            &tvm_models::dcgan_generator(),
+            &target,
+            &fws,
+            trials,
+        ),
     ]
 }
 
@@ -312,8 +395,20 @@ pub fn fig16_arm_e2e(input_size: i64, trials: usize) -> Vec<E2eRow> {
     let target = arm_a53();
     let fws = [Framework::TfLite];
     vec![
-        e2e_row("ResNet-18", &tvm_models::resnet18(input_size), &target, &fws, trials),
-        e2e_row("MobileNet", &tvm_models::mobilenet(input_size), &target, &fws, trials),
+        e2e_row(
+            "ResNet-18",
+            &tvm_models::resnet18(input_size),
+            &target,
+            &fws,
+            trials,
+        ),
+        e2e_row(
+            "MobileNet",
+            &tvm_models::mobilenet(input_size),
+            &target,
+            &fws,
+            trials,
+        ),
         e2e_row("DQN", &tvm_models::dqn(), &target, &fws, trials),
     ]
 }
@@ -362,8 +457,16 @@ pub struct OpRow {
 impl OpRow {
     /// Speedup of `system` relative to `baseline`.
     pub fn speedup(&self, system: &str, baseline: &str) -> f64 {
-        let b = self.systems.iter().find(|(l, _)| l == baseline).map(|(_, v)| *v);
-        let s = self.systems.iter().find(|(l, _)| l == system).map(|(_, v)| *v);
+        let b = self
+            .systems
+            .iter()
+            .find(|(l, _)| l == baseline)
+            .map(|(_, v)| *v);
+        let s = self
+            .systems
+            .iter()
+            .find(|(l, _)| l == system)
+            .map(|(_, v)| *v);
         match (b, s) {
             (Some(b), Some(s)) => b / s,
             _ => f64::NAN,
@@ -402,7 +505,10 @@ pub fn per_op_rows(gpu: bool, trials: usize) -> Vec<OpRow> {
             let pt = topi::winograd_task(*w, DType::float32(), target.clone());
             systems.push(("TVM PT".to_string(), tuned_ms(&pt, trials)));
         }
-        rows.push(OpRow { name: format!("C{}", i + 1), systems });
+        rows.push(OpRow {
+            name: format!("C{}", i + 1),
+            systems,
+        });
     }
     for (i, w) in topi::mobilenet_dwconvs().iter().enumerate() {
         let mut systems = Vec::new();
@@ -419,7 +525,10 @@ pub fn per_op_rows(gpu: bool, trials: usize) -> Vec<OpRow> {
         }
         let task = topi::depthwise_task(*w, DType::float32(), target.clone());
         systems.push(("TVM".to_string(), tuned_ms(&task, trials)));
-        rows.push(OpRow { name: format!("D{}", i + 1), systems });
+        rows.push(OpRow {
+            name: format!("D{}", i + 1),
+            systems,
+        });
     }
     rows
 }
@@ -436,12 +545,15 @@ pub fn fig18_lowprec(trials: usize) -> Vec<OpRow> {
         // Packed inputs are spatially pre-padded; the operator itself runs
         // pad-free.
         let w = tvm_topi::bitserial::BitserialWorkload {
-            conv: topi::Conv2dWorkload { pad: 0, size: c.size + 2 * c.pad, ..*c },
+            conv: topi::Conv2dWorkload {
+                pad: 0,
+                size: c.size + 2 * c.pad,
+                ..*c
+            },
             a_bits: 2,
             w_bits: 1,
         };
-        let base = topi::vendor_conv2d_ms(Library::Caffe2LowPrec, c, DType::uint(8), &target)
-            / 9.0; // low-precision kernels are ~9x cheaper than int8 MACs
+        let base = topi::vendor_conv2d_ms(Library::Caffe2LowPrec, c, DType::uint(8), &target) / 9.0; // low-precision kernels are ~9x cheaper than int8 MACs
         let single = tvm_topi::bitserial::bitserial_task(w, target.clone(), false);
         let multi = tvm_topi::bitserial::bitserial_task(w, target.clone(), true);
         rows.push(OpRow {
@@ -483,8 +595,15 @@ pub fn fig21_offload(input_size: i64, trials: usize) -> Vec<OffloadRow> {
     let cpu = arm_a53();
     let g = tvm_models::resnet18(input_size);
     let db = tune_graph_convs(&g, &cpu, trials);
-    let module =
-        build(&g, &cpu, &BuildOptions { no_fusion: false, db: Some(&db) }).expect("builds");
+    let module = build(
+        &g,
+        &cpu,
+        &BuildOptions {
+            no_fusion: false,
+            db: Some(&db),
+        },
+    )
+    .expect("builds");
     // Split CPU kernel times: conv groups (except the shallow stem conv,
     // which stays on the CPU) vs the rest.
     let mut conv_cpu = 0.0;

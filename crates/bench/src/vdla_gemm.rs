@@ -4,11 +4,9 @@
 //! (the im2col view the accelerator executes).
 
 use tvm_ir::{DType, LoweredFunc, MemScope};
-use tvm_te::{
-    compute, create_schedule, lower_with, placeholder, reduce_axis, sum, LowerOptions,
-};
+use tvm_te::{compute, create_schedule, lower_with, placeholder, reduce_axis, sum, LowerOptions};
 use tvm_topi::Conv2dWorkload;
-use tvm_vdla::{gemm_intrin, VdlaSpec, VdlaRunResult};
+use tvm_vdla::{gemm_intrin, VdlaRunResult, VdlaSpec};
 
 /// Rounds `x` up to a multiple of `m`.
 pub fn round_up(x: i64, m: i64) -> i64 {
@@ -34,10 +32,10 @@ pub fn vdla_gemm_func(m: i64, n: i64, k: i64, t: i64, vthreads: i64) -> LoweredF
         sum(
             a.at(&[i[0].clone(), kk.expr()]).cast(DType::int32())
                 * b.at(&[i[1].clone(), kk.expr()]).cast(DType::int32()),
-            &[kk.clone()],
+            std::slice::from_ref(&kk),
         )
     });
-    let mut s = create_schedule(&[c.clone()]);
+    let mut s = create_schedule(std::slice::from_ref(&c));
     let cl = s.cache_write(&c, MemScope::AccBuffer);
     let ax = c.op.axes();
     let (_yo, xo, yi, _xi) = s.tile(&c, &ax[0], &ax[1], ts, ts);
@@ -91,10 +89,7 @@ pub fn conv_as_vdla_gemm(w: &Conv2dWorkload, vthreads: i64) -> LoweredFunc {
 
 /// Runs a conv layer on the VDLA pipeline; returns the result and the
 /// spec used.
-pub fn run_conv_on_vdla(
-    w: &Conv2dWorkload,
-    latency_hiding: bool,
-) -> (VdlaRunResult, VdlaSpec) {
+pub fn run_conv_on_vdla(w: &Conv2dWorkload, latency_hiding: bool) -> (VdlaRunResult, VdlaSpec) {
     let spec = VdlaSpec::default();
     let f = conv_as_vdla_gemm(w, if latency_hiding { 2 } else { 1 });
     let r = if latency_hiding {

@@ -69,7 +69,10 @@ fn emit_compute(g: &Graph, gb: &mut GroupBuild, id: NodeId, member_ids: &[NodeId
     let arg = |gb: &mut GroupBuild, i: usize| -> Tensor {
         let inp = node.inputs[i];
         if member_ids.contains(&inp) {
-            gb.tensors.get(&inp).expect("members emitted in topo order").clone()
+            gb.tensors
+                .get(&inp)
+                .expect("members emitted in topo order")
+                .clone()
         } else {
             gb.input_tensor(g, inp)
         }
@@ -94,7 +97,14 @@ fn emit_compute(g: &Graph, gb: &mut GroupBuild, id: NodeId, member_ids: &[NodeId
             let weight = arg(gb, 1);
             topi::dense_compute(&data, &weight, w)
         }
-        OpType::Conv2dTranspose { in_c, in_size, out_c, kernel, stride, out_pad } => {
+        OpType::Conv2dTranspose {
+            in_c,
+            in_size,
+            out_c,
+            kernel,
+            stride,
+            out_pad,
+        } => {
             let data = arg(gb, 0);
             let weight = arg(gb, 1);
             let op = topi::conv2d_transpose_compute(
@@ -128,7 +138,11 @@ fn emit_compute(g: &Graph, gb: &mut GroupBuild, id: NodeId, member_ids: &[NodeId
         OpType::Tanh => topi::tanh_t(&arg(gb, 0)),
         OpType::Sigmoid => topi::sigmoid_t(&arg(gb, 0)),
         OpType::Softmax => topi::softmax(&arg(gb, 0)),
-        OpType::MaxPool2d { window, stride, pad } => {
+        OpType::MaxPool2d {
+            window,
+            stride,
+            pad,
+        } => {
             let x = arg(gb, 0);
             topi::max_pool2d(&x, *window, *stride, *pad)
         }
@@ -186,19 +200,16 @@ fn schedule_group(
         s.compute_inline(p);
     }
     for &m in &group.nodes {
-        if m != group.output
-            && m != group.master
-            && g.node(m).op.pattern() == Pattern::Injective
-        {
+        if m != group.output && m != group.master && g.node(m).op.pattern() == Pattern::Injective {
             s.compute_inline(&gb.tensors[&m]);
         }
     }
     let master_t = gb.tensors[&group.master].clone();
     let out_t = gb.tensors[&group.output].clone();
-    let master_is_complex =
-        g.node(group.master).op.pattern() == Pattern::ComplexOutFusable;
+    let master_is_complex = g.node(group.master).op.pattern() == Pattern::ComplexOutFusable;
 
-    if group.master == group.output || (master_is_complex && strategy == FuseStrategy::TemplateRoot) {
+    if group.master == group.output || (master_is_complex && strategy == FuseStrategy::TemplateRoot)
+    {
         // Use the operator's schedule template on the master; when the
         // group has an element-wise tail it is scheduled injectively in
         // the same kernel (the intermediate stays function-local).
@@ -271,10 +282,9 @@ fn schedule_group(
                 s.bind(&out_t, &tx, ThreadIdxX);
                 s.compute_at(&master_t, &out_t, &tx);
                 if !reduce.is_empty() {
-                    let f = reduce[0].const_extent().unwrap_or(1).min(8).max(1);
+                    let f = reduce[0].const_extent().unwrap_or(1).clamp(1, 8);
                     let (rco, _rci) = s.split(&master_t, &reduce[0], f);
-                    let threads =
-                        [(ThreadIdxZ, t_c), (ThreadIdxY, t_y), (ThreadIdxX, t_x)];
+                    let threads = [(ThreadIdxZ, t_c), (ThreadIdxY, t_y), (ThreadIdxX, t_x)];
                     for inp in shared_inputs.iter().take(2) {
                         let cs = s.cache_read(inp, MemScope::Shared, &[&master_t]);
                         s.compute_at(&cs, &master_t, &rco);
@@ -291,7 +301,7 @@ fn schedule_group(
                 s.bind(&out_t, &tx, ThreadIdxX);
                 s.compute_at(&master_t, &out_t, &tx);
                 if !reduce.is_empty() {
-                    let f = reduce[0].const_extent().unwrap_or(1).min(16).max(1);
+                    let f = reduce[0].const_extent().unwrap_or(1).clamp(1, 16);
                     let (rco, _rci) = s.split(&master_t, &reduce[0], f);
                     let threads = [(ThreadIdxX, t_x)];
                     for inp in shared_inputs.iter().take(2) {
@@ -328,12 +338,16 @@ fn build_group_with(
     strategy: FuseStrategy,
     name: &str,
 ) -> Result<CompiledGroup, TeError> {
-    let mut gb = GroupBuild { tensors: HashMap::new(), inputs: Vec::new(), pads: Vec::new() };
+    let mut gb = GroupBuild {
+        tensors: HashMap::new(),
+        inputs: Vec::new(),
+        pads: Vec::new(),
+    };
     for &m in &group.nodes {
         emit_compute(g, &mut gb, m, &group.nodes);
     }
     let out_t = gb.tensors[&group.output].clone();
-    let mut s = create_schedule(&[out_t.clone()]);
+    let mut s = create_schedule(std::slice::from_ref(&out_t));
     schedule_group(&mut s, g, group, &gb, target, opts.db, strategy);
     let mut arg_tensors: Vec<Tensor> = gb.inputs.iter().map(|(_, t)| t.clone()).collect();
     arg_tensors.push(out_t);
@@ -341,7 +355,12 @@ fn build_group_with(
     args.push(group.output);
     let func = lower(&s, &arg_tensors, name)?;
     let est_ms = estimate(func_ref(&func), target).millis();
-    Ok(CompiledGroup { func, args, est_ms, name: name.to_string() })
+    Ok(CompiledGroup {
+        func,
+        args,
+        est_ms,
+        name: name.to_string(),
+    })
 }
 
 fn func_ref(f: &tvm_ir::LoweredFunc) -> &tvm_ir::LoweredFunc {
@@ -364,8 +383,7 @@ fn build_group(
             .collect::<Vec<_>>()
             .join("_")
     );
-    let master_is_complex =
-        g.node(group.master).op.pattern() == Pattern::ComplexOutFusable;
+    let master_is_complex = g.node(group.master).op.pattern() == Pattern::ComplexOutFusable;
     if master_is_complex && group.master != group.output {
         // Two candidate strategies for fused complex groups; keep the one
         // the cost model prefers (a compiler decision the simulator makes

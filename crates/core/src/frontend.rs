@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use serde_json::Value;
+use tvm_json::Value;
 
 use tvm_graph::{Graph, NodeId, OpType};
 use tvm_topi::{Conv2dWorkload, DenseWorkload, DepthwiseConv2dWorkload};
@@ -42,8 +42,7 @@ fn get_shape(v: &Value, key: &str) -> Result<Vec<i64>, FrontendError> {
 
 /// Parses a JSON model into a [`Graph`].
 pub fn from_json(text: &str) -> Result<Graph, FrontendError> {
-    let v: Value =
-        serde_json::from_str(text).map_err(|e| FrontendError(format!("bad json: {e}")))?;
+    let v: Value = tvm_json::from_str(text).map_err(|e| FrontendError(format!("bad json: {e}")))?;
     let mut g = Graph::new();
     let mut by_name: HashMap<String, NodeId> = HashMap::new();
 
@@ -79,8 +78,10 @@ pub fn from_json(text: &str) -> Result<Graph, FrontendError> {
                     .ok_or_else(|| FrontendError(format!("unknown input `{n}` of `{name}`")))
             })
             .collect::<Result<_, _>>()?;
-        let x_shape =
-            input_ids.first().map(|&i| g.node(i).shape.clone()).unwrap_or_default();
+        let x_shape = input_ids
+            .first()
+            .map(|&i| g.node(i).shape.clone())
+            .unwrap_or_default();
         let id = match op {
             "conv2d" => {
                 let w = Conv2dWorkload {
@@ -90,8 +91,7 @@ pub fn from_json(text: &str) -> Result<Graph, FrontendError> {
                     out_c: get_i64(node, "channels")?,
                     kernel: get_i64(node, "kernel_size")?,
                     stride: get_i64(node, "strides").unwrap_or(1),
-                    pad: get_i64(node, "padding")
-                        .unwrap_or(get_i64(node, "kernel_size")? / 2),
+                    pad: get_i64(node, "padding").unwrap_or(get_i64(node, "kernel_size")? / 2),
                 };
                 g.conv2d(input_ids[0], w, name)
             }
@@ -102,8 +102,7 @@ pub fn from_json(text: &str) -> Result<Graph, FrontendError> {
                     channels: x_shape[1],
                     kernel: get_i64(node, "kernel_size")?,
                     stride: get_i64(node, "strides").unwrap_or(1),
-                    pad: get_i64(node, "padding")
-                        .unwrap_or(get_i64(node, "kernel_size")? / 2),
+                    pad: get_i64(node, "padding").unwrap_or(get_i64(node, "kernel_size")? / 2),
                 };
                 g.depthwise_conv2d(input_ids[0], w, name)
             }
@@ -125,7 +124,12 @@ pub fn from_json(text: &str) -> Result<Graph, FrontendError> {
             "softmax" => g.add(OpType::Softmax, input_ids.clone(), x_shape, name),
             "flatten" => {
                 let flat: i64 = x_shape[1..].iter().product();
-                g.add(OpType::Flatten, input_ids.clone(), vec![x_shape[0], flat], name)
+                g.add(
+                    OpType::Flatten,
+                    input_ids.clone(),
+                    vec![x_shape[0], flat],
+                    name,
+                )
             }
             "max_pool2d" => {
                 let window = get_i64(node, "pool_size")?;
@@ -133,7 +137,11 @@ pub fn from_json(text: &str) -> Result<Graph, FrontendError> {
                 let pad = get_i64(node, "padding").unwrap_or(0);
                 let o = (x_shape[2] + 2 * pad - window) / stride + 1;
                 g.add(
-                    OpType::MaxPool2d { window, stride, pad },
+                    OpType::MaxPool2d {
+                        window,
+                        stride,
+                        pad,
+                    },
                     input_ids.clone(),
                     vec![x_shape[0], x_shape[1], o, o],
                     name,
@@ -150,8 +158,14 @@ pub fn from_json(text: &str) -> Result<Graph, FrontendError> {
         by_name.insert(name.to_string(), id);
     }
 
-    for out in v.get("outputs").and_then(Value::as_array).unwrap_or(&vec![]) {
-        let n = out.as_str().ok_or_else(|| FrontendError("output must be a name".into()))?;
+    for out in v
+        .get("outputs")
+        .and_then(Value::as_array)
+        .unwrap_or(&vec![])
+    {
+        let n = out
+            .as_str()
+            .ok_or_else(|| FrontendError("output must be a name".into()))?;
         let id = *by_name
             .get(n)
             .ok_or_else(|| FrontendError(format!("unknown output `{n}`")))?;

@@ -114,7 +114,11 @@ pub fn fuse(g: &Graph, enabled: bool) -> FusedGraph {
         }
         if !joined {
             group_of[node.id.0] = groups.len();
-            groups.push(Group { nodes: vec![node.id], master: node.id, output: node.id });
+            groups.push(Group {
+                nodes: vec![node.id],
+                master: node.id,
+                output: node.id,
+            });
         }
     }
     // Masters: highest-rank member.
@@ -125,8 +129,7 @@ pub fn fuse(g: &Graph, enabled: bool) -> FusedGraph {
             .copied()
             .max_by_key(|&id| master_rank(g.node(id).op.pattern()))
             .expect("non-empty group");
-        if master_rank(g.node(best).op.pattern()) > master_rank(g.node(grp.master).op.pattern())
-        {
+        if master_rank(g.node(best).op.pattern()) > master_rank(g.node(grp.master).op.pattern()) {
             grp.master = best;
         }
     }
@@ -141,7 +144,15 @@ mod tests {
     fn conv_bn_relu_graph() -> Graph {
         let mut g = Graph::new();
         let x = g.input(&[1, 16, 8, 8], "data");
-        let w = Conv2dWorkload { batch: 1, size: 8, in_c: 16, out_c: 16, kernel: 3, stride: 1, pad: 1 };
+        let w = Conv2dWorkload {
+            batch: 1,
+            size: 8,
+            in_c: 16,
+            out_c: 16,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
         let c = g.conv2d(x, w, "conv");
         let b = g.batch_norm(c, "bn");
         let r = g.relu(b, "relu");
@@ -174,7 +185,15 @@ mod tests {
         // absorb relu (conv result must materialize).
         let mut g = Graph::new();
         let x = g.input(&[1, 4, 4, 4], "data");
-        let w = Conv2dWorkload { batch: 1, size: 4, in_c: 4, out_c: 4, kernel: 3, stride: 1, pad: 1 };
+        let w = Conv2dWorkload {
+            batch: 1,
+            size: 4,
+            in_c: 4,
+            out_c: 4,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
         let c = g.conv2d(x, w, "conv");
         let r = g.relu(c, "relu");
         let a = g.add_op(r, c, "residual");
@@ -189,7 +208,16 @@ mod tests {
     fn opaque_stays_alone() {
         let mut g = Graph::new();
         let x = g.input(&[4, 32], "data");
-        let d = g.dense(x, DenseWorkload { m: 4, n: 10, k: 32, dtype: tvm_ir::DType::float32() }, "fc");
+        let d = g.dense(
+            x,
+            DenseWorkload {
+                m: 4,
+                n: 10,
+                k: 32,
+                dtype: tvm_ir::DType::float32(),
+            },
+            "fc",
+        );
         let sm = {
             let shape = g.node(d).shape.clone();
             g.add(OpType::Softmax, vec![d], shape, "softmax")

@@ -199,7 +199,14 @@ impl Graph {
         name: impl Into<String>,
     ) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { id, op, inputs, name: name.into(), shape, dtype });
+        self.nodes.push(Node {
+            id,
+            op,
+            inputs,
+            name: name.into(),
+            shape,
+            dtype,
+        });
         id
     }
 
@@ -217,7 +224,12 @@ impl Graph {
     pub fn conv2d(&mut self, x: NodeId, w: Conv2dWorkload, name: &str) -> NodeId {
         let wt = self.param(&[w.out_c, w.in_c, w.kernel, w.kernel], format!("{name}_w"));
         let o = w.out_size();
-        self.add(OpType::Conv2d(w), vec![x, wt], vec![w.batch, w.out_c, o, o], name)
+        self.add(
+            OpType::Conv2d(w),
+            vec![x, wt],
+            vec![w.batch, w.out_c, o, o],
+            name,
+        )
     }
 
     /// Depthwise convolution.
@@ -306,7 +318,15 @@ mod tests {
     fn builder_wires_edges_and_shapes() {
         let mut g = Graph::new();
         let x = g.input(&[1, 3, 8, 8], "data");
-        let w = Conv2dWorkload { batch: 1, size: 8, in_c: 3, out_c: 16, kernel: 3, stride: 1, pad: 1 };
+        let w = Conv2dWorkload {
+            batch: 1,
+            size: 8,
+            in_c: 3,
+            out_c: 16,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
         let c = g.conv2d(x, w, "conv1");
         let r = g.relu(c, "relu1");
         g.outputs.push(r);

@@ -80,10 +80,26 @@ mod tests {
         let mut g = Graph::new();
         let x = g.input(&[1, 3, 16, 16], "data");
         // First conv: 3 input channels (not blockable) -> NCHW.
-        let w1 = Conv2dWorkload { batch: 1, size: 16, in_c: 3, out_c: 8, kernel: 3, stride: 1, pad: 1 };
+        let w1 = Conv2dWorkload {
+            batch: 1,
+            size: 16,
+            in_c: 3,
+            out_c: 8,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
         let c1 = g.conv2d(x, w1, "c1");
         // Second conv: 8 -> 8 channels, blockable -> NCHW4c.
-        let w2 = Conv2dWorkload { batch: 1, size: 16, in_c: 8, out_c: 8, kernel: 3, stride: 1, pad: 1 };
+        let w2 = Conv2dWorkload {
+            batch: 1,
+            size: 16,
+            in_c: 8,
+            out_c: 8,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
         let c2 = g.conv2d(c1, w2, "c2");
         // Third conv, same pref as c2: no transform between them.
         let c3 = g.conv2d(c2, w2, "c3");
@@ -99,8 +115,16 @@ mod tests {
         let (out, inserted) = transform_layouts(&g, &pref);
         // One transform entering c2 (NCHW -> NCHW4c) and one entering relu
         // (back to NCHW); none between c2 and c3.
-        assert_eq!(inserted, 2, "{:#?}", out.nodes.iter().map(|n| n.name.clone()).collect::<Vec<_>>());
-        assert!(out.nodes.iter().any(|n| matches!(&n.op, OpType::LayoutTransform { dst } if dst == "NCHW4c")));
+        assert_eq!(
+            inserted,
+            2,
+            "{:#?}",
+            out.nodes.iter().map(|n| n.name.clone()).collect::<Vec<_>>()
+        );
+        assert!(out
+            .nodes
+            .iter()
+            .any(|n| matches!(&n.op, OpType::LayoutTransform { dst } if dst == "NCHW4c")));
     }
 
     #[test]

@@ -61,10 +61,11 @@ pub fn plan_memory(g: &Graph, fused: &FusedGraph) -> MemoryPlan {
         // Greedy: reuse the smallest free slot that fits.
         let mut best: Option<usize> = None;
         for (si, &free_at) in slot_free_at.iter().enumerate() {
-            if free_at <= gi && slot_sizes[si] >= size {
-                if best.map(|b| slot_sizes[si] < slot_sizes[b]).unwrap_or(true) {
-                    best = Some(si);
-                }
+            if free_at <= gi
+                && slot_sizes[si] >= size
+                && best.map(|b| slot_sizes[si] < slot_sizes[b]).unwrap_or(true)
+            {
+                best = Some(si);
             }
         }
         let slot = match best {
@@ -78,7 +79,10 @@ pub fn plan_memory(g: &Graph, fused: &FusedGraph) -> MemoryPlan {
         slot_free_at[slot] = last_use[gi] + 1;
         storage_of[grp.output.0] = slot;
     }
-    MemoryPlan { storage_of, slot_sizes }
+    MemoryPlan {
+        storage_of,
+        slot_sizes,
+    }
 }
 
 /// Constant folding (§3): nodes whose transitive inputs are all `Param`
@@ -112,7 +116,15 @@ mod tests {
         let mut g = Graph::new();
         let mut x = g.input(&[1, 8, 8, 8], "data");
         for i in 0..n {
-            let w = Conv2dWorkload { batch: 1, size: 8, in_c: 8, out_c: 8, kernel: 3, stride: 1, pad: 1 };
+            let w = Conv2dWorkload {
+                batch: 1,
+                size: 8,
+                in_c: 8,
+                out_c: 8,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+            };
             x = g.conv2d(x, w, &format!("conv{i}"));
         }
         g.outputs.push(x);
@@ -133,7 +145,15 @@ mod tests {
     fn residual_extends_liveness() {
         let mut g = Graph::new();
         let x = g.input(&[1, 8, 8, 8], "data");
-        let w = Conv2dWorkload { batch: 1, size: 8, in_c: 8, out_c: 8, kernel: 3, stride: 1, pad: 1 };
+        let w = Conv2dWorkload {
+            batch: 1,
+            size: 8,
+            in_c: 8,
+            out_c: 8,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
         let c1 = g.conv2d(x, w, "c1");
         let c2 = g.conv2d(c1, w, "c2");
         let c3 = g.conv2d(c2, w, "c3");

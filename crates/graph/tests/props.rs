@@ -18,7 +18,13 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
             cur = match op {
                 0 => {
                     let w = Conv2dWorkload {
-                        batch: 1, size: 8, in_c: 8, out_c: 8, kernel: 3, stride: 1, pad: 1,
+                        batch: 1,
+                        size: 8,
+                        in_c: 8,
+                        out_c: 8,
+                        kernel: 3,
+                        stride: 1,
+                        pad: 1,
                     };
                     g.conv2d(cur, w, &format!("conv{i}"))
                 }

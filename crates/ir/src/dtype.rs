@@ -35,7 +35,11 @@ pub struct DType {
 impl DType {
     /// Creates a scalar type from a code and bit width.
     pub const fn new(code: TypeCode, bits: u8) -> Self {
-        DType { code, bits, lanes: 1 }
+        DType {
+            code,
+            bits,
+            lanes: 1,
+        }
     }
 
     /// `bool` is represented as `uint1`.
@@ -113,7 +117,7 @@ impl DType {
     /// Sub-byte types are packed by the low-precision operators explicitly,
     /// so for allocation purposes a lone `uint2` still occupies one byte.
     pub const fn lane_bytes(self) -> usize {
-        ((self.bits as usize) + 7) / 8
+        (self.bits as usize).div_ceil(8)
     }
 
     /// Storage size of the full vector in bytes.

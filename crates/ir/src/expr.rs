@@ -41,7 +41,11 @@ impl Var {
     /// Creates a fresh variable with a unique id.
     pub fn new(name: impl Into<String>, dtype: DType) -> Self {
         let id = VarId(NEXT_VAR_ID.fetch_add(1, Ordering::Relaxed));
-        Var(Rc::new(VarNode { name: name.into(), dtype, id }))
+        Var(Rc::new(VarNode {
+            name: name.into(),
+            dtype,
+            id,
+        }))
     }
 
     /// Convenience constructor for an `int32` variable (the index type).
@@ -116,7 +120,13 @@ impl BinOp {
     pub fn commutative(self) -> bool {
         matches!(
             self,
-            BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max | BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::Min
+                | BinOp::Max
+                | BinOp::BitAnd
+                | BinOp::BitOr
+                | BinOp::BitXor
         )
     }
 }
@@ -174,17 +184,34 @@ pub enum ExprNode {
     /// Logical negation.
     Not { a: Expr },
     /// `cond ? then_case : else_case`, lane-wise.
-    Select { cond: Expr, then_case: Expr, else_case: Expr },
+    Select {
+        cond: Expr,
+        then_case: Expr,
+        else_case: Expr,
+    },
     /// Scalar or vector load `buffer[index]` (flat index, in elements).
-    Load { buffer: Var, index: Expr, predicate: Option<Expr> },
+    Load {
+        buffer: Var,
+        index: Expr,
+        predicate: Option<Expr>,
+    },
     /// Vector `base + stride * [0, 1, .., lanes-1]`.
-    Ramp { base: Expr, stride: Expr, lanes: u16 },
+    Ramp {
+        base: Expr,
+        stride: Expr,
+        lanes: u16,
+    },
     /// Vector with all lanes equal to `value`.
     Broadcast { value: Expr, lanes: u16 },
     /// `let var = value in body`.
     Let { var: Var, value: Expr, body: Expr },
     /// Intrinsic call.
-    Call { dtype: DType, name: String, args: Vec<Expr>, kind: CallKind },
+    Call {
+        dtype: DType,
+        name: String,
+        args: Vec<Expr>,
+        kind: CallKind,
+    },
 }
 
 /// A reference-counted, immutable expression.
@@ -199,7 +226,10 @@ impl Expr {
 
     /// `int32` immediate.
     pub fn int(value: i64) -> Self {
-        Expr::new(ExprNode::IntImm { value, dtype: DType::int32() })
+        Expr::new(ExprNode::IntImm {
+            value,
+            dtype: DType::int32(),
+        })
     }
 
     /// Immediate of an arbitrary integer type.
@@ -210,7 +240,10 @@ impl Expr {
 
     /// `float32` immediate.
     pub fn f32(value: f32) -> Self {
-        Expr::new(ExprNode::FloatImm { value: value as f64, dtype: DType::float32() })
+        Expr::new(ExprNode::FloatImm {
+            value: value as f64,
+            dtype: DType::float32(),
+        })
     }
 
     /// Immediate of an arbitrary float type.
@@ -221,7 +254,10 @@ impl Expr {
 
     /// Boolean immediate (`uint1`).
     pub fn bool_(value: bool) -> Self {
-        Expr::new(ExprNode::IntImm { value: value as i64, dtype: DType::bool_() })
+        Expr::new(ExprNode::IntImm {
+            value: value as i64,
+            dtype: DType::bool_(),
+        })
     }
 
     /// Typed zero immediate.
@@ -245,11 +281,18 @@ impl Expr {
     /// Most negative representable immediate, used as `max`-reduce identity.
     pub fn min_value(dtype: DType) -> Self {
         if dtype.is_float() {
-            Expr::new(ExprNode::FloatImm { value: f64::NEG_INFINITY, dtype })
+            Expr::new(ExprNode::FloatImm {
+                value: f64::NEG_INFINITY,
+                dtype,
+            })
         } else if dtype.code == TypeCode::UInt {
             Expr::new(ExprNode::IntImm { value: 0, dtype })
         } else {
-            let v = if dtype.bits >= 64 { i64::MIN } else { -(1i64 << (dtype.bits - 1)) };
+            let v = if dtype.bits >= 64 {
+                i64::MIN
+            } else {
+                -(1i64 << (dtype.bits - 1))
+            };
             Expr::new(ExprNode::IntImm { value: v, dtype })
         }
     }
@@ -267,9 +310,7 @@ impl Expr {
                 DType::bool_().with_lanes(a.dtype().lanes)
             }
             ExprNode::Select { then_case, .. } => then_case.dtype(),
-            ExprNode::Load { buffer, index, .. } => {
-                buffer.dtype().with_lanes(index.dtype().lanes)
-            }
+            ExprNode::Load { buffer, index, .. } => buffer.dtype().with_lanes(index.dtype().lanes),
             ExprNode::Ramp { base, lanes, .. } => base.dtype().with_lanes(*lanes),
             ExprNode::Broadcast { value, lanes } => value.dtype().with_lanes(*lanes),
             ExprNode::Let { body, .. } => body.dtype(),
@@ -376,7 +417,9 @@ impl Expr {
         Expr::new(ExprNode::Or { a: self, b: other })
     }
 
-    /// Logical negation.
+    /// Logical negation. Named to match `and`/`or` in the builder DSL
+    /// rather than implementing `std::ops::Not`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Expr {
         Expr::new(ExprNode::Not { a: self })
     }
@@ -392,17 +435,30 @@ impl Expr {
 
     /// `cond ? a : b`.
     pub fn select(cond: Expr, a: Expr, b: Expr) -> Expr {
-        Expr::new(ExprNode::Select { cond, then_case: a, else_case: b })
+        Expr::new(ExprNode::Select {
+            cond,
+            then_case: a,
+            else_case: b,
+        })
     }
 
     /// Unpredicated flat load.
     pub fn load(buffer: &Var, index: Expr) -> Expr {
-        Expr::new(ExprNode::Load { buffer: buffer.clone(), index, predicate: None })
+        Expr::new(ExprNode::Load {
+            buffer: buffer.clone(),
+            index,
+            predicate: None,
+        })
     }
 
     /// Pure math intrinsic call with result type `dtype`.
     pub fn call(name: impl Into<String>, args: Vec<Expr>, dtype: DType) -> Expr {
-        Expr::new(ExprNode::Call { dtype, name: name.into(), args, kind: CallKind::PureIntrinsic })
+        Expr::new(ExprNode::Call {
+            dtype,
+            name: name.into(),
+            args,
+            kind: CallKind::PureIntrinsic,
+        })
     }
 
     /// Opaque hardware intrinsic call.
@@ -424,33 +480,90 @@ impl Expr {
 fn structural_eq(a: &Expr, b: &Expr) -> bool {
     use ExprNode::*;
     match (&*a.0, &*b.0) {
-        (IntImm { value: v1, dtype: d1 }, IntImm { value: v2, dtype: d2 }) => v1 == v2 && d1 == d2,
-        (FloatImm { value: v1, dtype: d1 }, FloatImm { value: v2, dtype: d2 }) => {
-            v1 == v2 && d1 == d2
-        }
+        (
+            IntImm {
+                value: v1,
+                dtype: d1,
+            },
+            IntImm {
+                value: v2,
+                dtype: d2,
+            },
+        ) => v1 == v2 && d1 == d2,
+        (
+            FloatImm {
+                value: v1,
+                dtype: d1,
+            },
+            FloatImm {
+                value: v2,
+                dtype: d2,
+            },
+        ) => v1 == v2 && d1 == d2,
         (StringImm(s1), StringImm(s2)) => s1 == s2,
         (Var(v1), Var(v2)) => v1 == v2,
-        (Cast { dtype: d1, value: v1 }, Cast { dtype: d2, value: v2 }) => {
-            d1 == d2 && structural_eq(v1, v2)
-        }
-        (Binary { op: o1, a: a1, b: b1 }, Binary { op: o2, a: a2, b: b2 }) => {
-            o1 == o2 && structural_eq(a1, a2) && structural_eq(b1, b2)
-        }
-        (Cmp { op: o1, a: a1, b: b1 }, Cmp { op: o2, a: a2, b: b2 }) => {
-            o1 == o2 && structural_eq(a1, a2) && structural_eq(b1, b2)
-        }
+        (
+            Cast {
+                dtype: d1,
+                value: v1,
+            },
+            Cast {
+                dtype: d2,
+                value: v2,
+            },
+        ) => d1 == d2 && structural_eq(v1, v2),
+        (
+            Binary {
+                op: o1,
+                a: a1,
+                b: b1,
+            },
+            Binary {
+                op: o2,
+                a: a2,
+                b: b2,
+            },
+        ) => o1 == o2 && structural_eq(a1, a2) && structural_eq(b1, b2),
+        (
+            Cmp {
+                op: o1,
+                a: a1,
+                b: b1,
+            },
+            Cmp {
+                op: o2,
+                a: a2,
+                b: b2,
+            },
+        ) => o1 == o2 && structural_eq(a1, a2) && structural_eq(b1, b2),
         (And { a: a1, b: b1 }, And { a: a2, b: b2 })
         | (Or { a: a1, b: b1 }, Or { a: a2, b: b2 }) => {
             structural_eq(a1, a2) && structural_eq(b1, b2)
         }
         (Not { a: a1 }, Not { a: a2 }) => structural_eq(a1, a2),
         (
-            Select { cond: c1, then_case: t1, else_case: e1 },
-            Select { cond: c2, then_case: t2, else_case: e2 },
+            Select {
+                cond: c1,
+                then_case: t1,
+                else_case: e1,
+            },
+            Select {
+                cond: c2,
+                then_case: t2,
+                else_case: e2,
+            },
         ) => structural_eq(c1, c2) && structural_eq(t1, t2) && structural_eq(e1, e2),
         (
-            Load { buffer: buf1, index: i1, predicate: p1 },
-            Load { buffer: buf2, index: i2, predicate: p2 },
+            Load {
+                buffer: buf1,
+                index: i1,
+                predicate: p1,
+            },
+            Load {
+                buffer: buf2,
+                index: i2,
+                predicate: p2,
+            },
         ) => {
             buf1 == buf2
                 && structural_eq(i1, i2)
@@ -460,18 +573,53 @@ fn structural_eq(a: &Expr, b: &Expr) -> bool {
                     _ => false,
                 }
         }
-        (Ramp { base: b1, stride: s1, lanes: l1 }, Ramp { base: b2, stride: s2, lanes: l2 }) => {
-            l1 == l2 && structural_eq(b1, b2) && structural_eq(s1, s2)
-        }
-        (Broadcast { value: v1, lanes: l1 }, Broadcast { value: v2, lanes: l2 }) => {
-            l1 == l2 && structural_eq(v1, v2)
-        }
-        (Let { var: v1, value: x1, body: b1 }, Let { var: v2, value: x2, body: b2 }) => {
-            v1 == v2 && structural_eq(x1, x2) && structural_eq(b1, b2)
-        }
         (
-            Call { dtype: d1, name: n1, args: a1, kind: k1 },
-            Call { dtype: d2, name: n2, args: a2, kind: k2 },
+            Ramp {
+                base: b1,
+                stride: s1,
+                lanes: l1,
+            },
+            Ramp {
+                base: b2,
+                stride: s2,
+                lanes: l2,
+            },
+        ) => l1 == l2 && structural_eq(b1, b2) && structural_eq(s1, s2),
+        (
+            Broadcast {
+                value: v1,
+                lanes: l1,
+            },
+            Broadcast {
+                value: v2,
+                lanes: l2,
+            },
+        ) => l1 == l2 && structural_eq(v1, v2),
+        (
+            Let {
+                var: v1,
+                value: x1,
+                body: b1,
+            },
+            Let {
+                var: v2,
+                value: x2,
+                body: b2,
+            },
+        ) => v1 == v2 && structural_eq(x1, x2) && structural_eq(b1, b2),
+        (
+            Call {
+                dtype: d1,
+                name: n1,
+                args: a1,
+                kind: k1,
+            },
+            Call {
+                dtype: d2,
+                name: n2,
+                args: a2,
+                kind: k2,
+            },
         ) => {
             d1 == d2
                 && n1 == n2
@@ -575,7 +723,10 @@ pub struct Range {
 impl Range {
     /// Builds a range from expressions.
     pub fn new(min: impl Into<Expr>, extent: impl Into<Expr>) -> Self {
-        Range { min: min.into(), extent: extent.into() }
+        Range {
+            min: min.into(),
+            extent: extent.into(),
+        }
     }
 
     /// Builds `[0, extent)`.
@@ -606,7 +757,9 @@ mod tests {
         let x = Var::int("x");
         let e = x.clone() * 4 + 3;
         match &*e.0 {
-            ExprNode::Binary { op: BinOp::Add, a, .. } => match &*a.0 {
+            ExprNode::Binary {
+                op: BinOp::Add, a, ..
+            } => match &*a.0 {
                 ExprNode::Binary { op: BinOp::Mul, .. } => {}
                 other => panic!("expected Mul, got {other:?}"),
             },
@@ -638,7 +791,10 @@ mod tests {
     fn min_value_identities() {
         assert_eq!(Expr::min_value(DType::int8()).as_int(), Some(-128));
         assert_eq!(Expr::min_value(DType::uint(8)).as_int(), Some(0));
-        assert!(Expr::min_value(DType::float32()).as_float().unwrap().is_infinite());
+        assert!(Expr::min_value(DType::float32())
+            .as_float()
+            .unwrap()
+            .is_infinite());
     }
 
     #[test]

@@ -28,7 +28,11 @@ pub enum InterpError {
     /// Access to a buffer that was never allocated or bound.
     UnknownBuffer(String),
     /// Flat index outside the buffer extent.
-    OutOfBounds { buffer: String, index: i64, extent: usize },
+    OutOfBounds {
+        buffer: String,
+        index: i64,
+        extent: usize,
+    },
     /// Division or modulus by zero.
     DivideByZero,
     /// Call of an unregistered intrinsic.
@@ -44,8 +48,15 @@ impl fmt::Display for InterpError {
         match self {
             InterpError::UnboundVar(n) => write!(f, "unbound variable `{n}`"),
             InterpError::UnknownBuffer(n) => write!(f, "unknown buffer `{n}`"),
-            InterpError::OutOfBounds { buffer, index, extent } => {
-                write!(f, "index {index} out of bounds for `{buffer}` (extent {extent})")
+            InterpError::OutOfBounds {
+                buffer,
+                index,
+                extent,
+            } => {
+                write!(
+                    f,
+                    "index {index} out of bounds for `{buffer}` (extent {extent})"
+                )
             }
             InterpError::DivideByZero => write!(f, "division by zero"),
             InterpError::UnknownIntrinsic(n) => write!(f, "unknown intrinsic `{n}`"),
@@ -137,7 +148,10 @@ impl Buffer {
     /// Builds an integer buffer from `i64` contents.
     pub fn from_i64(dtype: DType, values: &[i64]) -> Buffer {
         debug_assert!(dtype.is_int());
-        Buffer { dtype, data: Data::I64(values.to_vec()) }
+        Buffer {
+            dtype,
+            data: Data::I64(values.to_vec()),
+        }
     }
 
     /// Extracts integer contents.
@@ -349,7 +363,11 @@ impl MemState {
 
     /// Stores an element (with dtype quantization).
     pub fn store(&mut self, id: VarId, idx: i64, val: Value) -> Result<()> {
-        let name = self.names.get(&id).cloned().unwrap_or_else(|| "?".to_string());
+        let name = self
+            .names
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| "?".to_string());
         let buf = self
             .buffers
             .get_mut(&id)
@@ -498,21 +516,29 @@ impl Interp {
                 };
                 Ok(Value::Int(r as i64))
             }
-            And { a, b } => {
-                Ok(Value::Int((self.eval(a)?.truthy()? && self.eval(b)?.truthy()?) as i64))
-            }
-            Or { a, b } => {
-                Ok(Value::Int((self.eval(a)?.truthy()? || self.eval(b)?.truthy()?) as i64))
-            }
+            And { a, b } => Ok(Value::Int(
+                (self.eval(a)?.truthy()? && self.eval(b)?.truthy()?) as i64,
+            )),
+            Or { a, b } => Ok(Value::Int(
+                (self.eval(a)?.truthy()? || self.eval(b)?.truthy()?) as i64,
+            )),
             Not { a } => Ok(Value::Int(!self.eval(a)?.truthy()? as i64)),
-            Select { cond, then_case, else_case } => {
+            Select {
+                cond,
+                then_case,
+                else_case,
+            } => {
                 if self.eval(cond)?.truthy()? {
                     self.eval(then_case)
                 } else {
                     self.eval(else_case)
                 }
             }
-            Load { buffer, index, predicate } => {
+            Load {
+                buffer,
+                index,
+                predicate,
+            } => {
                 if let Some(p) = predicate {
                     if !self.eval(p)?.truthy()? {
                         return Ok(Value::zero_of(buffer.dtype()));
@@ -521,9 +547,9 @@ impl Interp {
                 let idx = self.eval(index)?.as_int()?;
                 self.load_any(buffer.id(), idx, buffer.name())
             }
-            Ramp { .. } | Broadcast { .. } => {
-                Err(InterpError::Unsupported("vector value (run pre-vectorized IR)".into()))
-            }
+            Ramp { .. } | Broadcast { .. } => Err(InterpError::Unsupported(
+                "vector value (run pre-vectorized IR)".into(),
+            )),
             Let { var, value, body } => {
                 let v = self.eval(value)?;
                 let old = self.env.insert(var.id(), v);
@@ -538,9 +564,13 @@ impl Interp {
                 }
                 r
             }
-            Call { name, args, kind, dtype } => {
-                let vals: Vec<Value> =
-                    args.iter().map(|a| self.eval(a)).collect::<Result<_>>()?;
+            Call {
+                name,
+                args,
+                kind,
+                dtype,
+            } => {
+                let vals: Vec<Value> = args.iter().map(|a| self.eval(a)).collect::<Result<_>>()?;
                 match kind {
                     CallKind::PureIntrinsic => eval_pure_intrinsic(name, &vals, *dtype),
                     CallKind::HardwareIntrinsic => {
@@ -613,7 +643,12 @@ impl Interp {
                 r
             }
             AttrStmt { body, .. } => self.exec(body),
-            Store { buffer, index, value, predicate } => {
+            Store {
+                buffer,
+                index,
+                value,
+                predicate,
+            } => {
                 if let Some(p) = predicate {
                     if !self.eval(p)?.truthy()? {
                         return Ok(());
@@ -626,11 +661,18 @@ impl Interp {
                 }
                 Ok(())
             }
-            Allocate { buffer, dtype, extent, body, .. } => {
+            Allocate {
+                buffer,
+                dtype,
+                extent,
+                body,
+                ..
+            } => {
                 let n = self.eval(extent)?.as_int()?.max(0) as usize;
                 let inside_phased = self.phase.is_some();
                 let key = (buffer.id(), self.thread_coords.clone());
-                self.thread_buf_names.insert(buffer.id(), buffer.name().to_string());
+                self.thread_buf_names
+                    .insert(buffer.id(), buffer.name().to_string());
                 if inside_phased {
                     // Persist across phases for a given thread; create once.
                     self.thread_bufs
@@ -649,13 +691,20 @@ impl Interp {
                     }
                     r
                 } else {
-                    self.thread_bufs.insert(key.clone(), Buffer::zeros(*dtype, n));
+                    self.thread_bufs
+                        .insert(key.clone(), Buffer::zeros(*dtype, n));
                     let r = self.exec(body);
                     self.thread_bufs.remove(&key);
                     r
                 }
             }
-            For { var, min, extent, kind, body } => {
+            For {
+                var,
+                min,
+                extent,
+                kind,
+                body,
+            } => {
                 let lo = self.eval(min)?.as_int()?;
                 let n = self.eval(extent)?.as_int()?;
                 match kind {
@@ -689,7 +738,11 @@ impl Interp {
                 }
                 Ok(())
             }
-            IfThenElse { cond, then_case, else_case } => {
+            IfThenElse {
+                cond,
+                then_case,
+                else_case,
+            } => {
                 if self.eval(cond)?.truthy()? {
                     self.exec(then_case)
                 } else if let Some(e) = else_case {
@@ -744,7 +797,8 @@ impl Interp {
             self.run_thread_combos(&axes, &body, Some(phase))?;
         }
         // Free per-thread buffers created inside the nest.
-        self.thread_bufs.retain(|(_, coords), _| coords.len() < axes.len());
+        self.thread_bufs
+            .retain(|(_, coords), _| coords.len() < axes.len());
         Ok(())
     }
 
@@ -760,8 +814,10 @@ impl Interp {
             let mut coords = Vec::with_capacity(axes.len());
             // Row-major thread enumeration.
             for (_, lo, n) in axes {
-                let extent_rest: i64 =
-                    axes[coords.len() + 1..].iter().map(|(_, _, m)| *m).product();
+                let extent_rest: i64 = axes[coords.len() + 1..]
+                    .iter()
+                    .map(|(_, _, m)| *m)
+                    .product();
                 let i = lo + (rem / extent_rest.max(1)) % n;
                 rem %= extent_rest.max(1);
                 coords.push(i);
@@ -802,7 +858,13 @@ impl Interp {
         use StmtNode::*;
         Ok(match &*s.0 {
             Barrier => 1,
-            For { var, min, extent, body, .. } => {
+            For {
+                var,
+                min,
+                extent,
+                body,
+                ..
+            } => {
                 let lo = self.eval(min)?.as_int()?;
                 let n = self.eval(extent)?.as_int()?;
                 if n <= 0 {
@@ -830,7 +892,11 @@ impl Interp {
                 }
                 t
             }
-            IfThenElse { then_case, else_case, .. } => {
+            IfThenElse {
+                then_case,
+                else_case,
+                ..
+            } => {
                 let a = self.count_barriers(then_case)?;
                 let b = match else_case {
                     Some(e) => self.count_barriers(e)?,
@@ -971,7 +1037,11 @@ mod tests {
             &i,
             0,
             8,
-            Stmt::store(&c, i.to_expr(), Expr::load(&a, i.to_expr()) + Expr::load(&b, i.to_expr())),
+            Stmt::store(
+                &c,
+                i.to_expr(),
+                Expr::load(&a, i.to_expr()) + Expr::load(&b, i.to_expr()),
+            ),
         );
         let f = f32_func("add", vec![a, b, c], vec![8, 8, 8], body);
         let mut arrays = vec![
@@ -980,7 +1050,10 @@ mod tests {
             vec![0.0; 8],
         ];
         Interp::new().run_f32(&f, &mut arrays).expect("run ok");
-        assert_eq!(arrays[2], vec![0.0, 11.0, 22.0, 33.0, 44.0, 55.0, 66.0, 77.0]);
+        assert_eq!(
+            arrays[2],
+            vec![0.0, 11.0, 22.0, 33.0, 44.0, 55.0, 66.0, 77.0]
+        );
     }
 
     #[test]
@@ -1006,9 +1079,18 @@ mod tests {
 
     #[test]
     fn quantize_uint2_wraps() {
-        assert_eq!(quantize(Value::Int(5), DType::uint(2)).unwrap(), Value::Int(1));
-        assert_eq!(quantize(Value::Int(-1), DType::uint(2)).unwrap(), Value::Int(3));
-        assert_eq!(quantize(Value::Int(130), DType::int8()).unwrap(), Value::Int(-126));
+        assert_eq!(
+            quantize(Value::Int(5), DType::uint(2)).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            quantize(Value::Int(-1), DType::uint(2)).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            quantize(Value::Int(130), DType::int8()).unwrap(),
+            Value::Int(-126)
+        );
     }
 
     #[test]
@@ -1021,11 +1103,7 @@ mod tests {
         let out = Var::new("O", DType::float32());
         let t = Var::int("t");
         let write = Stmt::store(&s, t.to_expr(), t.clone() * 10);
-        let read = Stmt::store(
-            &out,
-            t.to_expr(),
-            Expr::load(&s, (t.clone() + 1) % n),
-        );
+        let read = Stmt::store(&out, t.to_expr(), Expr::load(&s, (t.clone() + 1) % n));
         let body = Stmt::seq(vec![write, Stmt::new(StmtNode::Barrier), read]);
         let threads = Stmt::loop_(
             &t,
@@ -1069,8 +1147,13 @@ mod tests {
             MemScope::Local,
             Stmt::seq(vec![init, kloop, writeback]),
         );
-        let threads =
-            Stmt::loop_(&t, 0, 2, ForKind::ThreadBinding(ThreadTag::ThreadIdxX), body);
+        let threads = Stmt::loop_(
+            &t,
+            0,
+            2,
+            ForKind::ThreadBinding(ThreadTag::ThreadIdxX),
+            body,
+        );
         let f = f32_func("accum", vec![out], vec![2], threads);
         let mut arrays = vec![vec![0.0f32; 2]];
         Interp::new().run_f32(&f, &mut arrays).expect("run ok");

@@ -36,7 +36,10 @@ impl Interval {
 
     /// Smallest interval containing both.
     pub fn union(self, other: Interval) -> Interval {
-        Interval { min: self.min.min(other.min), max: self.max.max(other.max) }
+        Interval {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// True if the interval is the single point `v`.
@@ -99,7 +102,10 @@ impl Interval {
             let qa = floor_div(self.min, m);
             let qb = floor_div(self.max, m);
             if qa == qb {
-                return Some(Interval::new(floor_mod(self.min, m), floor_mod(self.max, m)));
+                return Some(Interval::new(
+                    floor_mod(self.min, m),
+                    floor_mod(self.max, m),
+                ));
             }
         }
         Some(Interval::new(0, o.max - 1))
@@ -144,7 +150,11 @@ pub fn eval_interval(e: &Expr, bounds: &HashMap<VarId, Interval>) -> Option<Inte
                 _ => None,
             }
         }
-        Select { then_case, else_case, .. } => {
+        Select {
+            then_case,
+            else_case,
+            ..
+        } => {
             let it = eval_interval(then_case, bounds)?;
             let ie = eval_interval(else_case, bounds)?;
             Some(it.union(ie))
@@ -161,12 +171,7 @@ pub fn eval_interval(e: &Expr, bounds: &HashMap<VarId, Interval>) -> Option<Inte
 
 /// Attempts to prove a comparison true or false via interval analysis.
 /// Returns `None` when undecidable.
-pub fn prove_cmp(
-    op: CmpOp,
-    a: &Expr,
-    b: &Expr,
-    bounds: &HashMap<VarId, Interval>,
-) -> Option<bool> {
+pub fn prove_cmp(op: CmpOp, a: &Expr, b: &Expr, bounds: &HashMap<VarId, Interval>) -> Option<bool> {
     let ia = eval_interval(a, bounds)?;
     let ib = eval_interval(b, bounds)?;
     match op {
@@ -260,9 +265,18 @@ mod tests {
     fn prove_bounds_check() {
         let x = Var::int("x");
         // x in [0, 7] proves x < 8.
-        assert_eq!(prove_cmp(CmpOp::Lt, &x.to_expr(), &Expr::int(8), &b(&x, 0, 7)), Some(true));
-        assert_eq!(prove_cmp(CmpOp::Lt, &x.to_expr(), &Expr::int(7), &b(&x, 0, 7)), None);
-        assert_eq!(prove_cmp(CmpOp::Ge, &x.to_expr(), &Expr::int(0), &b(&x, 0, 7)), Some(true));
+        assert_eq!(
+            prove_cmp(CmpOp::Lt, &x.to_expr(), &Expr::int(8), &b(&x, 0, 7)),
+            Some(true)
+        );
+        assert_eq!(
+            prove_cmp(CmpOp::Lt, &x.to_expr(), &Expr::int(7), &b(&x, 0, 7)),
+            None
+        );
+        assert_eq!(
+            prove_cmp(CmpOp::Ge, &x.to_expr(), &Expr::int(0), &b(&x, 0, 7)),
+            Some(true)
+        );
     }
 
     #[test]

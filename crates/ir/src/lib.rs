@@ -30,7 +30,7 @@ pub mod visit;
 pub use dtype::{DType, TypeCode};
 pub use expr::{BinOp, CallKind, CmpOp, Expr, ExprNode, Range, Var, VarId};
 pub use interp::{Buffer, Interp, InterpError, MemState, Value};
-pub use interval::{eval_interval, Interval};
+pub use interval::{eval_interval, floor_div, floor_mod, prove_cmp, Interval};
 pub use simplify::{simplify, simplify_stmt, simplify_with, Simplifier};
 pub use stmt::{ForKind, LoweredFunc, MemScope, PipeStage, Stmt, StmtNode, ThreadTag};
 pub use visit::{collect_vars, substitute, substitute_one, substitute_stmt, Mutator, Visitor};

@@ -57,17 +57,29 @@ pub fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         And { a, b } => write!(f, "({a} and {b})"),
         Or { a, b } => write!(f, "({a} or {b})"),
         Not { a } => write!(f, "(not {a})"),
-        Select { cond, then_case, else_case } => {
+        Select {
+            cond,
+            then_case,
+            else_case,
+        } => {
             write!(f, "({then_case} if {cond} else {else_case})")
         }
-        Load { buffer, index, predicate } => {
+        Load {
+            buffer,
+            index,
+            predicate,
+        } => {
             write!(f, "{}[{index}]", buffer.name())?;
             if let Some(p) = predicate {
                 write!(f, " if {p}")?;
             }
             Ok(())
         }
-        Ramp { base, stride, lanes } => write!(f, "ramp({base}, {stride}, {lanes})"),
+        Ramp {
+            base,
+            stride,
+            lanes,
+        } => write!(f, "ramp({base}, {stride}, {lanes})"),
         Broadcast { value, lanes } => write!(f, "bcast({value}, {lanes})"),
         Let { var, value, body } => write!(f, "(let {} = {value} in {body})", var.name()),
         Call { name, args, .. } => {
@@ -104,7 +116,12 @@ pub fn fmt_stmt(s: &Stmt, f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Resu
             writeln!(f, "# attr {key} = {value}")?;
             fmt_stmt(body, f, level)
         }
-        Store { buffer, index, value, predicate } => {
+        Store {
+            buffer,
+            index,
+            value,
+            predicate,
+        } => {
             indent(f, level)?;
             write!(f, "{}[{index}] = {value}", buffer.name())?;
             if let Some(p) = predicate {
@@ -112,12 +129,29 @@ pub fn fmt_stmt(s: &Stmt, f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Resu
             }
             writeln!(f)
         }
-        Allocate { buffer, dtype, extent, scope, body } => {
+        Allocate {
+            buffer,
+            dtype,
+            extent,
+            scope,
+            body,
+        } => {
             indent(f, level)?;
-            writeln!(f, "alloc {}: {dtype}[{extent}] @{}", buffer.name(), scope.name())?;
+            writeln!(
+                f,
+                "alloc {}: {dtype}[{extent}] @{}",
+                buffer.name(),
+                scope.name()
+            )?;
             fmt_stmt(body, f, level)
         }
-        For { var, min, extent, kind, body } => {
+        For {
+            var,
+            min,
+            extent,
+            kind,
+            body,
+        } => {
             indent(f, level)?;
             let kw = match kind {
                 ForKind::Serial => "for",
@@ -153,7 +187,11 @@ pub fn fmt_stmt(s: &Stmt, f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Resu
                 Ok(())
             }
         }
-        IfThenElse { cond, then_case, else_case } => {
+        IfThenElse {
+            cond,
+            then_case,
+            else_case,
+        } => {
             indent(f, level)?;
             writeln!(f, "if {cond}:")?;
             fmt_stmt(then_case, f, level + 1)?;

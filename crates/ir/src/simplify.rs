@@ -27,7 +27,9 @@ impl Default for Simplifier {
 impl Simplifier {
     /// Simplifier with no range information.
     pub fn new() -> Self {
-        Simplifier { bounds: HashMap::new() }
+        Simplifier {
+            bounds: HashMap::new(),
+        }
     }
 
     /// Simplifier that may use `bounds` to prove predicates.
@@ -98,11 +100,18 @@ impl Simplifier {
         }
         if let (Some(x), Some(y)) = (a.as_float(), b.as_float()) {
             if let Some(v) = Self::fold_float_binop(op, x, y) {
-                return Expr::new(ExprNode::FloatImm { value: v, dtype: a.dtype() });
+                return Expr::new(ExprNode::FloatImm {
+                    value: v,
+                    dtype: a.dtype(),
+                });
             }
         }
         // Canonicalize: move the constant to the right for commutative ops.
-        let (a, b) = if op.commutative() && is_const(&a) && !is_const(&b) { (b, a) } else { (a, b) };
+        let (a, b) = if op.commutative() && is_const(&a) && !is_const(&b) {
+            (b, a)
+        } else {
+            (a, b)
+        };
         let is_float = a.dtype().is_float();
         match op {
             BinOp::Add => {
@@ -113,13 +122,22 @@ impl Simplifier {
                     return b;
                 }
                 // (x + c1) + c2 -> x + (c1 + c2)
-                if let (Some(c2), ExprNode::Binary { op: BinOp::Add, a: x, b: c1e }) =
-                    (b.as_int(), &*a.0)
+                if let (
+                    Some(c2),
+                    ExprNode::Binary {
+                        op: BinOp::Add,
+                        a: x,
+                        b: c1e,
+                    },
+                ) = (b.as_int(), &*a.0)
                 {
                     if let Some(c1) = c1e.as_int() {
                         if let Some(c) = c1.checked_add(c2) {
-                            return self
-                                .simplify_binary(BinOp::Add, x.clone(), Expr::int_of(c, x.dtype()));
+                            return self.simplify_binary(
+                                BinOp::Add,
+                                x.clone(),
+                                Expr::int_of(c, x.dtype()),
+                            );
                         }
                     }
                 }
@@ -155,13 +173,22 @@ impl Simplifier {
                     return b;
                 }
                 // (x * c1) * c2 -> x * (c1 * c2)
-                if let (Some(c2), ExprNode::Binary { op: BinOp::Mul, a: x, b: c1e }) =
-                    (b.as_int(), &*a.0)
+                if let (
+                    Some(c2),
+                    ExprNode::Binary {
+                        op: BinOp::Mul,
+                        a: x,
+                        b: c1e,
+                    },
+                ) = (b.as_int(), &*a.0)
                 {
                     if let Some(c1) = c1e.as_int() {
                         if let Some(c) = c1.checked_mul(c2) {
-                            return self
-                                .simplify_binary(BinOp::Mul, x.clone(), Expr::int_of(c, x.dtype()));
+                            return self.simplify_binary(
+                                BinOp::Mul,
+                                x.clone(),
+                                Expr::int_of(c, x.dtype()),
+                            );
                         }
                     }
                 }
@@ -193,9 +220,10 @@ impl Simplifier {
                     return a;
                 }
                 // Interval-proven dominance.
-                if let (Some(ia), Some(ib)) =
-                    (eval_interval(&a, &self.bounds), eval_interval(&b, &self.bounds))
-                {
+                if let (Some(ia), Some(ib)) = (
+                    eval_interval(&a, &self.bounds),
+                    eval_interval(&b, &self.bounds),
+                ) {
                     match op {
                         BinOp::Min => {
                             if ia.max <= ib.min {
@@ -244,17 +272,29 @@ fn linearize(e: &Expr) -> Option<Linear> {
     match &*e.0 {
         ExprNode::IntImm { value, .. } => Some((Vec::new(), *value)),
         ExprNode::Var(_) => Some((vec![(e.clone(), 1)], 0)),
-        ExprNode::Binary { op: BinOp::Add, a, b } => {
+        ExprNode::Binary {
+            op: BinOp::Add,
+            a,
+            b,
+        } => {
             let (ta, ca) = linearize(a)?;
             let (tb, cb) = linearize(b)?;
             Some((merge_terms(ta, tb, 1), ca.checked_add(cb)?))
         }
-        ExprNode::Binary { op: BinOp::Sub, a, b } => {
+        ExprNode::Binary {
+            op: BinOp::Sub,
+            a,
+            b,
+        } => {
             let (ta, ca) = linearize(a)?;
             let (tb, cb) = linearize(b)?;
             Some((merge_terms(ta, tb, -1), ca.checked_sub(cb)?))
         }
-        ExprNode::Binary { op: BinOp::Mul, a, b } => {
+        ExprNode::Binary {
+            op: BinOp::Mul,
+            a,
+            b,
+        } => {
             let (lin, c) = if let Some(c) = b.as_int() {
                 (linearize(a)?, c)
             } else if let Some(c) = a.as_int() {
@@ -388,7 +428,11 @@ impl Mutator for Simplifier {
                 Some(v) => Expr::bool_(v == 0),
                 None => e,
             },
-            ExprNode::Select { cond, then_case, else_case } => match cond.as_int() {
+            ExprNode::Select {
+                cond,
+                then_case,
+                else_case,
+            } => match cond.as_int() {
                 Some(0) => else_case.clone(),
                 Some(_) => then_case.clone(),
                 None => e,
@@ -400,12 +444,18 @@ impl Mutator for Simplifier {
                         return Expr::int_of(folded, *dtype);
                     }
                     if dtype.is_float() {
-                        return Expr::new(ExprNode::FloatImm { value: v as f64, dtype: *dtype });
+                        return Expr::new(ExprNode::FloatImm {
+                            value: v as f64,
+                            dtype: *dtype,
+                        });
                     }
                 }
                 if let Some(v) = value.as_float() {
                     if dtype.is_float() {
-                        return Expr::new(ExprNode::FloatImm { value: v, dtype: *dtype });
+                        return Expr::new(ExprNode::FloatImm {
+                            value: v,
+                            dtype: *dtype,
+                        });
                     }
                 }
                 e
@@ -417,7 +467,14 @@ impl Mutator for Simplifier {
     fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
         // Register loop-var ranges on the way down so nested predicates can
         // be discharged.
-        if let StmtNode::For { var, min, extent, kind, body } = &*s.0 {
+        if let StmtNode::For {
+            var,
+            min,
+            extent,
+            kind,
+            body,
+        } = &*s.0
+        {
             let min_s = self.mutate_expr(min);
             let ext_s = self.mutate_expr(extent);
             if let (Some(lo), Some(n)) = (min_s.as_int(), ext_s.as_int()) {
@@ -441,14 +498,17 @@ impl Mutator for Simplifier {
         }
         let s = self.default_mutate_stmt(s);
         match &*s.0 {
-            StmtNode::IfThenElse { cond, then_case, else_case } => match cond.as_int() {
+            StmtNode::IfThenElse {
+                cond,
+                then_case,
+                else_case,
+            } => match cond.as_int() {
                 Some(0) => else_case.clone().unwrap_or_else(Stmt::nop),
                 Some(_) => then_case.clone(),
                 None => s,
             },
             StmtNode::Seq(stmts) => {
-                let filtered: Vec<Stmt> =
-                    stmts.iter().filter(|st| !st.is_nop()).cloned().collect();
+                let filtered: Vec<Stmt> = stmts.iter().filter(|st| !st.is_nop()).cloned().collect();
                 if filtered.len() != stmts.len() {
                     Stmt::seq(filtered)
                 } else {
@@ -562,7 +622,10 @@ mod tests {
         let out = simplify_stmt(&s);
         match &*out.0 {
             StmtNode::For { body, .. } => {
-                assert!(matches!(&*body.0, StmtNode::Store { .. }), "predicate not dropped: {body}");
+                assert!(
+                    matches!(&*body.0, StmtNode::Store { .. }),
+                    "predicate not dropped: {body}"
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -603,7 +666,11 @@ mod tests {
         let yi = Var::int("yi");
         // (yo*8 + yi) - yo*8 -> yi
         let e = (yo.clone() * 8 + yi.clone()) - (yo.clone() * 8);
-        assert!(simplify(&e).structural_eq(&yi.to_expr()), "{}", simplify(&e));
+        assert!(
+            simplify(&e).structural_eq(&yi.to_expr()),
+            "{}",
+            simplify(&e)
+        );
         // ((yo*8 + yi)*2 + 3) - yo*16 -> yi*2 + 3
         let e = ((yo.clone() * 8 + yi.clone()) * 2 + 3) - (yo.clone() * 16);
         let s = simplify(&e);

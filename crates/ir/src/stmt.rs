@@ -28,7 +28,10 @@ pub enum ThreadTag {
 impl ThreadTag {
     /// True for the block (grid) axes.
     pub fn is_block(self) -> bool {
-        matches!(self, ThreadTag::BlockIdxX | ThreadTag::BlockIdxY | ThreadTag::BlockIdxZ)
+        matches!(
+            self,
+            ThreadTag::BlockIdxX | ThreadTag::BlockIdxY | ThreadTag::BlockIdxZ
+        )
     }
 
     /// Canonical name, e.g. `threadIdx.x`.
@@ -109,7 +112,10 @@ impl MemScope {
 
     /// True for the accelerator on-chip scopes.
     pub fn is_accel(self) -> bool {
-        matches!(self, MemScope::AccBuffer | MemScope::InpBuffer | MemScope::WgtBuffer)
+        matches!(
+            self,
+            MemScope::AccBuffer | MemScope::InpBuffer | MemScope::WgtBuffer
+        )
     }
 }
 
@@ -142,18 +148,43 @@ pub enum StmtNode {
     LetStmt { var: Var, value: Expr, body: Stmt },
     /// Key/value annotation wrapped around `body` (e.g. pragmas, pipeline
     /// stage tags for DAE lowering).
-    AttrStmt { key: String, value: Expr, body: Stmt },
+    AttrStmt {
+        key: String,
+        value: Expr,
+        body: Stmt,
+    },
     /// Scalar or vector store `buffer[index] = value`.
-    Store { buffer: Var, index: Expr, value: Expr, predicate: Option<Expr> },
+    Store {
+        buffer: Var,
+        index: Expr,
+        value: Expr,
+        predicate: Option<Expr>,
+    },
     /// Allocation of `extent` elements of `dtype` in `scope`, live for
     /// `body`.
-    Allocate { buffer: Var, dtype: DType, extent: Expr, scope: MemScope, body: Stmt },
+    Allocate {
+        buffer: Var,
+        dtype: DType,
+        extent: Expr,
+        scope: MemScope,
+        body: Stmt,
+    },
     /// Loop `for var in [min, min+extent) { body }` with execution `kind`.
-    For { var: Var, min: Expr, extent: Expr, kind: ForKind, body: Stmt },
+    For {
+        var: Var,
+        min: Expr,
+        extent: Expr,
+        kind: ForKind,
+        body: Stmt,
+    },
     /// Statement sequence.
     Seq(Vec<Stmt>),
     /// Conditional.
-    IfThenElse { cond: Expr, then_case: Stmt, else_case: Option<Stmt> },
+    IfThenElse {
+        cond: Expr,
+        then_case: Stmt,
+        else_case: Option<Stmt>,
+    },
     /// Expression evaluated for effect (hardware intrinsic calls).
     Evaluate(Expr),
     /// `memory_barrier_among_threads()` — synchronizes a GPU thread block
@@ -177,7 +208,12 @@ impl Stmt {
 
     /// Unpredicated flat store.
     pub fn store(buffer: &Var, index: Expr, value: Expr) -> Stmt {
-        Stmt::new(StmtNode::Store { buffer: buffer.clone(), index, value, predicate: None })
+        Stmt::new(StmtNode::Store {
+            buffer: buffer.clone(),
+            index,
+            value,
+            predicate: None,
+        })
     }
 
     /// Serial loop.
@@ -247,12 +283,20 @@ impl Stmt {
 
     /// Annotation wrapper.
     pub fn attr(key: impl Into<String>, value: Expr, body: Stmt) -> Stmt {
-        Stmt::new(StmtNode::AttrStmt { key: key.into(), value, body })
+        Stmt::new(StmtNode::AttrStmt {
+            key: key.into(),
+            value,
+            body,
+        })
     }
 
     /// Conditional with no else branch.
     pub fn if_then(cond: Expr, then_case: Stmt) -> Stmt {
-        Stmt::new(StmtNode::IfThenElse { cond, then_case, else_case: None })
+        Stmt::new(StmtNode::IfThenElse {
+            cond,
+            then_case,
+            else_case: None,
+        })
     }
 
     /// Hardware/pure intrinsic evaluated for effect.
@@ -304,7 +348,12 @@ impl LoweredFunc {
 
 fn collect_thread_extents(s: &Stmt, block: bool, acc: &mut usize) {
     match &*s.0 {
-        StmtNode::For { kind: ForKind::ThreadBinding(tag), extent, body, .. } => {
+        StmtNode::For {
+            kind: ForKind::ThreadBinding(tag),
+            extent,
+            body,
+            ..
+        } => {
             if tag.is_block() == block {
                 if let Some(e) = extent.as_int() {
                     *acc = acc.saturating_mul(e.max(1) as usize);
@@ -327,7 +376,11 @@ fn collect_thread_extents(s: &Stmt, block: bool, acc: &mut usize) {
                 }
             }
         }
-        StmtNode::IfThenElse { then_case, else_case, .. } => {
+        StmtNode::IfThenElse {
+            then_case,
+            else_case,
+            ..
+        } => {
             collect_thread_extents(then_case, block, acc);
             if let Some(e) = else_case {
                 collect_thread_extents(e, block, acc);
@@ -375,8 +428,13 @@ mod tests {
             ForKind::ThreadBinding(ThreadTag::ThreadIdxX),
             body,
         );
-        let outer =
-            Stmt::loop_(&bx, 0, 64, ForKind::ThreadBinding(ThreadTag::BlockIdxX), inner);
+        let outer = Stmt::loop_(
+            &bx,
+            0,
+            64,
+            ForKind::ThreadBinding(ThreadTag::BlockIdxX),
+            inner,
+        );
         let f = LoweredFunc {
             name: "k".into(),
             params: vec![buf],

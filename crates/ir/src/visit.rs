@@ -26,42 +26,73 @@ pub trait Mutator {
         use ExprNode::*;
         match &*e.0 {
             IntImm { .. } | FloatImm { .. } | StringImm(_) | Var(_) => e.clone(),
-            Cast { dtype, value } => {
-                Expr::new(Cast { dtype: *dtype, value: self.mutate_expr(value) })
-            }
-            Binary { op, a, b } => {
-                Expr::new(Binary { op: *op, a: self.mutate_expr(a), b: self.mutate_expr(b) })
-            }
-            Cmp { op, a, b } => {
-                Expr::new(Cmp { op: *op, a: self.mutate_expr(a), b: self.mutate_expr(b) })
-            }
-            And { a, b } => Expr::new(And { a: self.mutate_expr(a), b: self.mutate_expr(b) }),
-            Or { a, b } => Expr::new(Or { a: self.mutate_expr(a), b: self.mutate_expr(b) }),
-            Not { a } => Expr::new(Not { a: self.mutate_expr(a) }),
-            Select { cond, then_case, else_case } => Expr::new(Select {
+            Cast { dtype, value } => Expr::new(Cast {
+                dtype: *dtype,
+                value: self.mutate_expr(value),
+            }),
+            Binary { op, a, b } => Expr::new(Binary {
+                op: *op,
+                a: self.mutate_expr(a),
+                b: self.mutate_expr(b),
+            }),
+            Cmp { op, a, b } => Expr::new(Cmp {
+                op: *op,
+                a: self.mutate_expr(a),
+                b: self.mutate_expr(b),
+            }),
+            And { a, b } => Expr::new(And {
+                a: self.mutate_expr(a),
+                b: self.mutate_expr(b),
+            }),
+            Or { a, b } => Expr::new(Or {
+                a: self.mutate_expr(a),
+                b: self.mutate_expr(b),
+            }),
+            Not { a } => Expr::new(Not {
+                a: self.mutate_expr(a),
+            }),
+            Select {
+                cond,
+                then_case,
+                else_case,
+            } => Expr::new(Select {
                 cond: self.mutate_expr(cond),
                 then_case: self.mutate_expr(then_case),
                 else_case: self.mutate_expr(else_case),
             }),
-            Load { buffer, index, predicate } => Expr::new(Load {
+            Load {
+                buffer,
+                index,
+                predicate,
+            } => Expr::new(Load {
                 buffer: buffer.clone(),
                 index: self.mutate_expr(index),
                 predicate: predicate.as_ref().map(|p| self.mutate_expr(p)),
             }),
-            Ramp { base, stride, lanes } => Expr::new(Ramp {
+            Ramp {
+                base,
+                stride,
+                lanes,
+            } => Expr::new(Ramp {
                 base: self.mutate_expr(base),
                 stride: self.mutate_expr(stride),
                 lanes: *lanes,
             }),
-            Broadcast { value, lanes } => {
-                Expr::new(Broadcast { value: self.mutate_expr(value), lanes: *lanes })
-            }
+            Broadcast { value, lanes } => Expr::new(Broadcast {
+                value: self.mutate_expr(value),
+                lanes: *lanes,
+            }),
             Let { var, value, body } => Expr::new(Let {
                 var: var.clone(),
                 value: self.mutate_expr(value),
                 body: self.mutate_expr(body),
             }),
-            Call { dtype, name, args, kind } => Expr::new(Call {
+            Call {
+                dtype,
+                name,
+                args,
+                kind,
+            } => Expr::new(Call {
                 dtype: *dtype,
                 name: name.clone(),
                 args: args.iter().map(|a| self.mutate_expr(a)).collect(),
@@ -84,20 +115,37 @@ pub trait Mutator {
                 value: self.mutate_expr(value),
                 body: self.mutate_stmt(body),
             }),
-            Store { buffer, index, value, predicate } => Stmt::new(Store {
+            Store {
+                buffer,
+                index,
+                value,
+                predicate,
+            } => Stmt::new(Store {
                 buffer: buffer.clone(),
                 index: self.mutate_expr(index),
                 value: self.mutate_expr(value),
                 predicate: predicate.as_ref().map(|p| self.mutate_expr(p)),
             }),
-            Allocate { buffer, dtype, extent, scope, body } => Stmt::new(Allocate {
+            Allocate {
+                buffer,
+                dtype,
+                extent,
+                scope,
+                body,
+            } => Stmt::new(Allocate {
                 buffer: buffer.clone(),
                 dtype: *dtype,
                 extent: self.mutate_expr(extent),
                 scope: *scope,
                 body: self.mutate_stmt(body),
             }),
-            For { var, min, extent, kind, body } => Stmt::new(For {
+            For {
+                var,
+                min,
+                extent,
+                kind,
+                body,
+            } => Stmt::new(For {
                 var: var.clone(),
                 min: self.mutate_expr(min),
                 extent: self.mutate_expr(extent),
@@ -105,7 +153,11 @@ pub trait Mutator {
                 body: self.mutate_stmt(body),
             }),
             Seq(stmts) => Stmt::seq(stmts.iter().map(|st| self.mutate_stmt(st)).collect()),
-            IfThenElse { cond, then_case, else_case } => Stmt::new(IfThenElse {
+            IfThenElse {
+                cond,
+                then_case,
+                else_case,
+            } => Stmt::new(IfThenElse {
                 cond: self.mutate_expr(cond),
                 then_case: self.mutate_stmt(then_case),
                 else_case: else_case.as_ref().map(|e| self.mutate_stmt(e)),
@@ -140,12 +192,18 @@ pub trait Visitor {
                 self.visit_expr(b);
             }
             Not { a } => self.visit_expr(a),
-            Select { cond, then_case, else_case } => {
+            Select {
+                cond,
+                then_case,
+                else_case,
+            } => {
                 self.visit_expr(cond);
                 self.visit_expr(then_case);
                 self.visit_expr(else_case);
             }
-            Load { index, predicate, .. } => {
+            Load {
+                index, predicate, ..
+            } => {
                 self.visit_expr(index);
                 if let Some(p) = predicate {
                     self.visit_expr(p);
@@ -180,7 +238,12 @@ pub trait Visitor {
                 self.visit_expr(value);
                 self.visit_stmt(body);
             }
-            Store { index, value, predicate, .. } => {
+            Store {
+                index,
+                value,
+                predicate,
+                ..
+            } => {
                 self.visit_expr(index);
                 self.visit_expr(value);
                 if let Some(p) = predicate {
@@ -191,7 +254,9 @@ pub trait Visitor {
                 self.visit_expr(extent);
                 self.visit_stmt(body);
             }
-            For { min, extent, body, .. } => {
+            For {
+                min, extent, body, ..
+            } => {
                 self.visit_expr(min);
                 self.visit_expr(extent);
                 self.visit_stmt(body);
@@ -201,7 +266,11 @@ pub trait Visitor {
                     self.visit_stmt(st);
                 }
             }
-            IfThenElse { cond, then_case, else_case } => {
+            IfThenElse {
+                cond,
+                then_case,
+                else_case,
+            } => {
                 self.visit_expr(cond);
                 self.visit_stmt(then_case);
                 if let Some(e) = else_case {

@@ -2,12 +2,18 @@
 //! quantization on stores, predicated access, and GPU phasing corner cases.
 
 use tvm_ir::{
-    Buffer, DType, Expr, ForKind, Interp, InterpError, LoweredFunc, MemScope, Stmt, StmtNode,
-    ThreadTag, Value, Var,
+    Buffer, DType, Expr, ForKind, Interp, InterpError, LoweredFunc, Stmt, StmtNode, ThreadTag,
+    Value, Var,
 };
 
 fn func(params: Vec<Var>, dtypes: Vec<DType>, extents: Vec<usize>, body: Stmt) -> LoweredFunc {
-    LoweredFunc { name: "t".into(), params, param_dtypes: dtypes, param_extents: extents, body }
+    LoweredFunc {
+        name: "t".into(),
+        params,
+        param_dtypes: dtypes,
+        param_extents: extents,
+        body,
+    }
 }
 
 #[test]
@@ -16,7 +22,10 @@ fn unbound_variable_is_reported_by_name() {
     let ghost = Var::int("ghost");
     let body = Stmt::store(&out, ghost.to_expr(), Expr::f32(1.0));
     let err = Interp::new()
-        .run_f32(&func(vec![out], vec![DType::float32()], vec![4], body), &mut [vec![0.0; 4]])
+        .run_f32(
+            &func(vec![out], vec![DType::float32()], vec![4], body),
+            &mut [vec![0.0; 4]],
+        )
         .unwrap_err();
     match err {
         InterpError::UnboundVar(n) => assert_eq!(n, "ghost"),
@@ -48,7 +57,10 @@ fn predicated_store_skips_when_false() {
     let body = Stmt::for_(&i, 0, 4, pred_store);
     let mut arrays = vec![vec![0.0f32; 4]];
     Interp::new()
-        .run_f32(&func(vec![out], vec![DType::float32()], vec![4], body), &mut arrays)
+        .run_f32(
+            &func(vec![out], vec![DType::float32()], vec![4], body),
+            &mut arrays,
+        )
         .expect("runs");
     assert_eq!(arrays[0], vec![7.0, 7.0, 0.0, 0.0]);
 }
@@ -75,7 +87,10 @@ fn f16_buffer_rounds_on_store() {
     let body = Stmt::store(&out, Expr::int(0), Expr::f32(1.0 / 3.0));
     let bufs = vec![Buffer::zeros(DType::float16(), 1)];
     let got = Interp::new()
-        .run(&func(vec![out], vec![DType::float16()], vec![1], body), bufs)
+        .run(
+            &func(vec![out], vec![DType::float16()], vec![1], body),
+            bufs,
+        )
         .expect("runs")[0]
         .to_f32()[0];
     assert_ne!(got, 1.0f32 / 3.0);
@@ -104,9 +119,18 @@ fn divergent_barrier_counts_are_rejected() {
     });
     // Make the nest contain at least one barrier so phasing engages.
     let with_sync = Stmt::seq(vec![Stmt::new(StmtNode::Barrier), body]);
-    let nest = Stmt::loop_(&t, 0, 2, ForKind::ThreadBinding(ThreadTag::ThreadIdxX), with_sync);
+    let nest = Stmt::loop_(
+        &t,
+        0,
+        2,
+        ForKind::ThreadBinding(ThreadTag::ThreadIdxX),
+        with_sync,
+    );
     let err = Interp::new()
-        .run_f32(&func(vec![out], vec![DType::float32()], vec![1], nest), &mut [vec![0.0]])
+        .run_f32(
+            &func(vec![out], vec![DType::float32()], vec![1], nest),
+            &mut [vec![0.0]],
+        )
         .unwrap_err();
     assert!(matches!(err, InterpError::Malformed(_)), "{err}");
 }
@@ -126,8 +150,11 @@ fn store_count_tracks_dynamic_work() {
     let i = Var::int("i");
     let body = Stmt::for_(&i, 0, 10, Stmt::store(&out, i.to_expr(), Expr::f32(1.0)));
     let mut it = Interp::new();
-    it.run_f32(&func(vec![out], vec![DType::float32()], vec![10], body), &mut [vec![0.0; 10]])
-        .expect("runs");
+    it.run_f32(
+        &func(vec![out], vec![DType::float32()], vec![10], body),
+        &mut [vec![0.0; 10]],
+    )
+    .expect("runs");
     assert_eq!(it.store_count(), 10);
 }
 
@@ -144,7 +171,10 @@ fn vthread_loops_execute_serially_outside_dae() {
     );
     let mut arrays = vec![vec![0.0f32; 3]];
     Interp::new()
-        .run_f32(&func(vec![out], vec![DType::float32()], vec![3], body), &mut arrays)
+        .run_f32(
+            &func(vec![out], vec![DType::float32()], vec![3], body),
+            &mut arrays,
+        )
         .expect("runs");
     assert_eq!(arrays[0], vec![1.0, 2.0, 3.0]);
 }

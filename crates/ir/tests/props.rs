@@ -5,9 +5,7 @@ use std::collections::HashMap;
 
 use proptest::prelude::*;
 
-use tvm_ir::{
-    eval_interval, simplify, BinOp, DType, Expr, Interp, Interval, Value, Var, VarId,
-};
+use tvm_ir::{eval_interval, simplify, BinOp, DType, Expr, Interp, Interval, Value, Var, VarId};
 
 /// A random integer expression over up to three variables.
 fn arb_expr(vars: Vec<Var>, depth: u32) -> BoxedStrategy<Expr> {

@@ -6,7 +6,15 @@ use tvm_graph::{Graph, NodeId, OpType};
 use tvm_topi::{Conv2dWorkload, DenseWorkload, DepthwiseConv2dWorkload};
 
 fn conv_wl(size: i64, in_c: i64, out_c: i64, kernel: i64, stride: i64) -> Conv2dWorkload {
-    Conv2dWorkload { batch: 1, size, in_c, out_c, kernel, stride, pad: kernel / 2 }
+    Conv2dWorkload {
+        batch: 1,
+        size,
+        in_c,
+        out_c,
+        kernel,
+        stride,
+        pad: kernel / 2,
+    }
 }
 
 fn conv_bn_relu(g: &mut Graph, x: NodeId, w: Conv2dWorkload, name: &str) -> NodeId {
@@ -28,7 +36,11 @@ pub fn resnet18(input_size: i64) -> Graph {
     cur = {
         let o = (size + 2 - 3) / 2 + 1;
         let id = g.add(
-            OpType::MaxPool2d { window: 3, stride: 2, pad: 1 },
+            OpType::MaxPool2d {
+                window: 3,
+                stride: 2,
+                pad: 1,
+            },
             vec![cur],
             vec![1, 64, o, o],
             "pool1",
@@ -58,8 +70,11 @@ pub fn resnet18(input_size: i64) -> Graph {
             // Projection shortcut on each stage's first block (this
             // variant's first stage also projects, giving Table 2's C3).
             let skip = if stride != 1 || in_c != w || bi == 0 {
-                let c =
-                    g.conv2d(identity, conv_wl(size, in_c, w, 1, stride), &format!("{name}_ds"));
+                let c = g.conv2d(
+                    identity,
+                    conv_wl(size, in_c, w, 1, stride),
+                    &format!("{name}_ds"),
+                );
                 g.batch_norm(c, &format!("{name}_ds_bn"))
             } else {
                 identity
@@ -74,7 +89,12 @@ pub fn resnet18(input_size: i64) -> Graph {
     let gap = g.add(OpType::GlobalAvgPool, vec![cur], vec![1, 512], "gap");
     let fc = g.dense(
         gap,
-        DenseWorkload { m: 1, n: 1000, k: 512, dtype: tvm_ir::DType::float32() },
+        DenseWorkload {
+            m: 1,
+            n: 1000,
+            k: 512,
+            dtype: tvm_ir::DType::float32(),
+        },
         "fc",
     );
     let shape = g.node(fc).shape.clone();
@@ -121,14 +141,23 @@ pub fn mobilenet(input_size: i64) -> Graph {
         let db = g.batch_norm(d, &format!("{name}_dw_bn"));
         let dr = g.relu(db, &format!("{name}_dw_relu"));
         size = dw.out_size();
-        cur =
-            conv_bn_relu(&mut g, dr, conv_wl(size, in_c, *out_c, 1, 1), &format!("{name}_pw"));
+        cur = conv_bn_relu(
+            &mut g,
+            dr,
+            conv_wl(size, in_c, *out_c, 1, 1),
+            &format!("{name}_pw"),
+        );
         in_c = *out_c;
     }
     let gap = g.add(OpType::GlobalAvgPool, vec![cur], vec![1, in_c], "gap");
     let fc = g.dense(
         gap,
-        DenseWorkload { m: 1, n: 1000, k: in_c, dtype: tvm_ir::DType::float32() },
+        DenseWorkload {
+            m: 1,
+            n: 1000,
+            k: in_c,
+            dtype: tvm_ir::DType::float32(),
+        },
         "fc",
     );
     let shape = g.node(fc).shape.clone();
@@ -153,13 +182,23 @@ pub fn dqn() -> Graph {
     let f = g.add(OpType::Flatten, vec![cur], vec![1, flat_len], "flatten");
     let d1 = g.dense(
         f,
-        DenseWorkload { m: 1, n: 512, k: flat_len, dtype: tvm_ir::DType::float32() },
+        DenseWorkload {
+            m: 1,
+            n: 512,
+            k: flat_len,
+            dtype: tvm_ir::DType::float32(),
+        },
         "fc1",
     );
     let r = g.relu(d1, "fc1_relu");
     let d2 = g.dense(
         r,
-        DenseWorkload { m: 1, n: 18, k: 512, dtype: tvm_ir::DType::float32() },
+        DenseWorkload {
+            m: 1,
+            n: 18,
+            k: 512,
+            dtype: tvm_ir::DType::float32(),
+        },
         "fc2",
     );
     g.outputs.push(d2);
@@ -173,7 +212,12 @@ pub fn dcgan_generator() -> Graph {
     let z = g.input(&[1, 100], "z");
     let proj = g.dense(
         z,
-        DenseWorkload { m: 1, n: 512 * 4 * 4, k: 100, dtype: tvm_ir::DType::float32() },
+        DenseWorkload {
+            m: 1,
+            n: 512 * 4 * 4,
+            k: 100,
+            dtype: tvm_ir::DType::float32(),
+        },
         "proj",
     );
     let mut cur = g.add(OpType::Reshape, vec![proj], vec![1, 512, 4, 4], "reshape");
@@ -219,12 +263,22 @@ pub fn lstm_lm(hidden: i64, steps: i64) -> Graph {
         for gate in ["i", "f", "o", "g"] {
             let wx = g.dense(
                 x,
-                DenseWorkload { m: 1, n: hidden, k: hidden, dtype: dt },
+                DenseWorkload {
+                    m: 1,
+                    n: hidden,
+                    k: hidden,
+                    dtype: dt,
+                },
                 &format!("t{t}_{gate}_x"),
             );
             let wh = g.dense(
                 h,
-                DenseWorkload { m: 1, n: hidden, k: hidden, dtype: dt },
+                DenseWorkload {
+                    m: 1,
+                    n: hidden,
+                    k: hidden,
+                    dtype: dt,
+                },
                 &format!("t{t}_{gate}_h"),
             );
             let s = g.add_op(wx, wh, &format!("t{t}_{gate}_sum"));
@@ -276,8 +330,11 @@ mod tests {
             assert!(found, "missing conv {want:?}");
         }
         // 8 basic blocks x 2 convs + stem + 4 projection shortcuts = 21.
-        let n_convs =
-            g.nodes.iter().filter(|n| matches!(n.op, OpType::Conv2d(_))).count();
+        let n_convs = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, OpType::Conv2d(_)))
+            .count();
         assert_eq!(n_convs, 21);
     }
 
@@ -308,7 +365,11 @@ mod tests {
     #[test]
     fn lstm_cell_counts() {
         let g = lstm_lm(128, 2);
-        let denses = g.nodes.iter().filter(|n| matches!(n.op, OpType::Dense(_))).count();
+        let denses = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, OpType::Dense(_)))
+            .count();
         assert_eq!(denses, 16); // 8 per step
         assert_eq!(g.node(g.outputs[0]).shape, vec![1, 128]);
     }

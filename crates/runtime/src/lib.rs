@@ -24,13 +24,19 @@ pub struct NDArray {
 impl NDArray {
     /// Zero-filled tensor.
     pub fn zeros(shape: &[i64]) -> NDArray {
-        NDArray { shape: shape.to_vec(), data: vec![0.0; shape.iter().product::<i64>() as usize] }
+        NDArray {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product::<i64>() as usize],
+        }
     }
 
     /// Tensor from contents.
     pub fn new(shape: &[i64], data: Vec<f32>) -> NDArray {
         assert_eq!(shape.iter().product::<i64>() as usize, data.len());
-        NDArray { shape: shape.to_vec(), data }
+        NDArray {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Deterministic pseudo-random tensor (for parameter initialization in
@@ -46,7 +52,10 @@ impl NDArray {
                 ((state >> 40) as f32 / (1u32 << 24) as f32) - 0.5
             })
             .collect();
-        NDArray { shape: shape.to_vec(), data }
+        NDArray {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Number of elements.
@@ -89,7 +98,11 @@ impl Module {
 
     /// Human-readable per-kernel breakdown.
     pub fn describe(&self) -> String {
-        let mut s = format!("module for {} ({} kernels)\n", self.target_name, self.kernels.len());
+        let mut s = format!(
+            "module for {} ({} kernels)\n",
+            self.target_name,
+            self.kernels.len()
+        );
         for k in &self.kernels {
             s.push_str(&format!("  {:<40} {:>10.4} ms\n", k.name, k.est_ms));
         }
@@ -98,6 +111,9 @@ impl Module {
     }
 }
 
+/// Pre-run hook that registers hardware-intrinsic functional models.
+pub type InterpSetup = Box<dyn Fn(&mut Interp)>;
+
 /// The graph executor: `runtime.create(graph, lib, ctx)` in §2.
 pub struct GraphExecutor {
     module: Module,
@@ -105,7 +121,7 @@ pub struct GraphExecutor {
     /// Simulated time of the last `run`.
     pub last_run_ms: f64,
     /// Hook to register hardware-intrinsic functional models before runs.
-    pub interp_setup: Option<Box<dyn Fn(&mut Interp)>>,
+    pub interp_setup: Option<InterpSetup>,
 }
 
 impl GraphExecutor {
@@ -119,7 +135,12 @@ impl GraphExecutor {
                 values.insert(node.id, NDArray::seeded(&node.shape, node.id.0 as u64 + 1));
             }
         }
-        GraphExecutor { module, values, last_run_ms: 0.0, interp_setup: None }
+        GraphExecutor {
+            module,
+            values,
+            last_run_ms: 0.0,
+            interp_setup: None,
+        }
     }
 
     /// Module accessor.
@@ -226,8 +247,12 @@ mod tests {
         g.outputs.push(x);
         let fused = tvm_graph::fuse(&g, true);
         let plan = tvm_graph::plan_memory(&g, &fused);
-        let module =
-            Module { graph: g, kernels: vec![], plan, target_name: "test".into() };
+        let module = Module {
+            graph: g,
+            kernels: vec![],
+            plan,
+            target_name: "test".into(),
+        };
         let mut ex = GraphExecutor::new(module);
         ex.set_input("data", NDArray::zeros(&[2, 4]));
     }

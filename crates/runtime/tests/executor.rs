@@ -15,7 +15,11 @@ fn affine_kernel(n: i64, k: f32, c: f32, name: &str) -> LoweredFunc {
         &i,
         0,
         n,
-        Stmt::store(&dst, i.to_expr(), Expr::load(&src, i.to_expr()) * Expr::f32(k) + Expr::f32(c)),
+        Stmt::store(
+            &dst,
+            i.to_expr(),
+            Expr::load(&src, i.to_expr()) * Expr::f32(k) + Expr::f32(c),
+        ),
     );
     LoweredFunc {
         name: name.into(),
@@ -51,7 +55,15 @@ fn two_stage_module() -> (Module, tvm_graph::NodeId) {
             name: "k2".into(),
         },
     ];
-    (Module { graph: g, kernels, plan, target_name: "test".into() }, b)
+    (
+        Module {
+            graph: g,
+            kernels,
+            plan,
+            target_name: "test".into(),
+        },
+        b,
+    )
 }
 
 #[test]
@@ -127,7 +139,12 @@ fn params_are_seeded_and_overridable() {
     };
     let module = Module {
         graph: g,
-        kernels: vec![CompiledGroup { func, args: vec![x, p, s], est_ms: 0.1, name: "add".into() }],
+        kernels: vec![CompiledGroup {
+            func,
+            args: vec![x, p, s],
+            est_ms: 0.1,
+            name: "add".into(),
+        }],
         plan,
         target_name: "test".into(),
     };

@@ -60,7 +60,12 @@ impl AccessRecord {
     /// distinct element touched — the Fig. 13 "reuse" feature.
     pub fn reuse_at_depth(&self, d: usize) -> f64 {
         let inner_trips: f64 = self.loops[d..].iter().map(|l| l.extent as f64).product();
-        let fp = self.footprint_at_depth.get(d).copied().unwrap_or(1.0).max(1.0);
+        let fp = self
+            .footprint_at_depth
+            .get(d)
+            .copied()
+            .unwrap_or(1.0)
+            .max(1.0);
         inner_trips / fp
     }
 
@@ -168,7 +173,13 @@ impl Walker {
 
     fn walk(&mut self, s: &Stmt) {
         match &*s.0 {
-            StmtNode::For { var, min, extent, kind, body } => {
+            StmtNode::For {
+                var,
+                min,
+                extent,
+                kind,
+                body,
+            } => {
                 let lo = min.as_int().unwrap_or(0);
                 let n = extent.as_int().unwrap_or(1).max(0);
                 if let ForKind::ThreadBinding(tag) = kind {
@@ -180,7 +191,12 @@ impl Walker {
                 if matches!(kind, ForKind::Parallel) && self.out.parallel_extent == 1 {
                     self.out.parallel_extent = n.max(1);
                 }
-                self.loops.push(LoopLevel { var: var.clone(), min: lo, extent: n.max(1), kind: *kind });
+                self.loops.push(LoopLevel {
+                    var: var.clone(),
+                    min: lo,
+                    extent: n.max(1),
+                    kind: *kind,
+                });
                 self.walk(body);
                 self.loops.pop();
             }
@@ -189,13 +205,24 @@ impl Walker {
                     self.walk(it);
                 }
             }
-            StmtNode::Allocate { buffer, dtype, extent, scope, body } => {
+            StmtNode::Allocate {
+                buffer,
+                dtype,
+                extent,
+                scope,
+                body,
+            } => {
                 self.scopes.insert(buffer.id(), *scope);
                 let bytes = extent.as_int().unwrap_or(0) as f64 * dtype.bytes() as f64;
                 *self.out.alloc_bytes.entry(*scope).or_insert(0.0) += bytes;
                 self.walk(body);
             }
-            StmtNode::Store { buffer, index, value, predicate } => {
+            StmtNode::Store {
+                buffer,
+                index,
+                value,
+                predicate,
+            } => {
                 self.record_access(buffer, index, true);
                 self.visit_expr(value);
                 // Address arithmetic is folded into addressing modes and is
@@ -205,7 +232,11 @@ impl Walker {
                     self.out.branches += self.trips();
                 }
             }
-            StmtNode::IfThenElse { cond, then_case, else_case } => {
+            StmtNode::IfThenElse {
+                cond,
+                then_case,
+                else_case,
+            } => {
                 self.visit_expr(cond);
                 self.out.branches += self.trips();
                 self.walk(then_case);
@@ -252,10 +283,12 @@ impl Walker {
         }
         // Replace unknown with the most conservative finite estimate: the
         // total trips inside that depth.
-        for d in 0..=depth {
-            if !footprints[d].is_finite() {
-                footprints[d] =
-                    self.loops[d..].iter().map(|l| l.extent as f64).product::<f64>();
+        for (d, fp) in footprints.iter_mut().enumerate() {
+            if !fp.is_finite() {
+                *fp = self.loops[d..]
+                    .iter()
+                    .map(|l| l.extent as f64)
+                    .product::<f64>();
             }
         }
         let innermost_stride = self
@@ -268,7 +301,11 @@ impl Walker {
             .iter()
             .find(|l| matches!(l.kind, ForKind::ThreadBinding(ThreadTag::ThreadIdxX)))
             .map(|l| stride_wrt(index, &l.var, &self.loops));
-        let scope = self.scopes.get(&buffer.id()).copied().unwrap_or(MemScope::Global);
+        let scope = self
+            .scopes
+            .get(&buffer.id())
+            .copied()
+            .unwrap_or(MemScope::Global);
         self.out.accesses.push(AccessRecord {
             buffer: buffer.id(),
             name: buffer.name().to_string(),
@@ -311,13 +348,21 @@ impl Walker {
                 self.visit_expr(b);
             }
             ExprNode::Not { a } | ExprNode::Cast { value: a, .. } => self.visit_expr(a),
-            ExprNode::Select { cond, then_case, else_case } => {
+            ExprNode::Select {
+                cond,
+                then_case,
+                else_case,
+            } => {
                 self.visit_expr(cond);
                 self.visit_expr(then_case);
                 self.visit_expr(else_case);
                 self.out.branches += self.trips();
             }
-            ExprNode::Load { buffer, index, predicate } => {
+            ExprNode::Load {
+                buffer,
+                index,
+                predicate,
+            } => {
                 self.record_access(buffer, index, false);
                 if let Some(p) = predicate {
                     self.visit_expr(p);
@@ -327,7 +372,9 @@ impl Walker {
                 self.visit_expr(value);
                 self.visit_expr(body);
             }
-            ExprNode::Call { name, args, kind, .. } => {
+            ExprNode::Call {
+                name, args, kind, ..
+            } => {
                 for a in args {
                     self.visit_expr(a);
                 }
@@ -340,9 +387,10 @@ impl Walker {
                     }
                     CallKind::HardwareIntrinsic => {
                         let trips = self.trips();
-                        self.out
-                            .intrinsics
-                            .push(IntrinRecord { name: name.clone(), trips });
+                        self.out.intrinsics.push(IntrinRecord {
+                            name: name.clone(),
+                            trips,
+                        });
                     }
                 }
             }
@@ -387,9 +435,12 @@ mod tests {
         let b = placeholder(&[n, n], DType::float32(), "B");
         let k = reduce_axis(n, "k");
         let c = compute(&[n, n], "C", |i| {
-            sum(a.at(&[i[0].clone(), k.expr()]) * b.at(&[k.expr(), i[1].clone()]), &[k.clone()])
+            sum(
+                a.at(&[i[0].clone(), k.expr()]) * b.at(&[k.expr(), i[1].clone()]),
+                std::slice::from_ref(&k),
+            )
         });
-        let mut s = create_schedule(&[c.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&c));
         if let Some(t) = tile {
             let ax = c.op.axes();
             let r = c.op.reduce_axes();
@@ -406,7 +457,11 @@ mod tests {
         let an = analyze(&f);
         // 64^3 multiply-adds = 2 * 64^3 flops.
         let expect = 2.0 * 64f64.powi(3);
-        assert!((an.flops - expect).abs() / expect < 0.05, "flops = {}", an.flops);
+        assert!(
+            (an.flops - expect).abs() / expect < 0.05,
+            "flops = {}",
+            an.flops
+        );
     }
 
     #[test]
@@ -440,8 +495,16 @@ mod tests {
     fn stride_detection() {
         let f = matmul_func(None);
         let an = analyze(&f);
-        let a_load = an.accesses.iter().find(|x| x.name == "A" && !x.is_store).expect("A");
-        let b_load = an.accesses.iter().find(|x| x.name == "B" && !x.is_store).expect("B");
+        let a_load = an
+            .accesses
+            .iter()
+            .find(|x| x.name == "A" && !x.is_store)
+            .expect("A");
+        let b_load = an
+            .accesses
+            .iter()
+            .find(|x| x.name == "B" && !x.is_store)
+            .expect("B");
         // Innermost loop is k: A[y*64+k] has stride 1, B[k*64+x] stride 64.
         assert_eq!(a_load.innermost_stride, 1);
         assert_eq!(b_load.innermost_stride, 64);
@@ -451,11 +514,18 @@ mod tests {
     fn trips_account_loops() {
         let f = matmul_func(None);
         let an = analyze(&f);
-        let b_load = an.accesses.iter().find(|x| x.name == "B" && !x.is_store).expect("B");
+        let b_load = an
+            .accesses
+            .iter()
+            .find(|x| x.name == "B" && !x.is_store)
+            .expect("B");
         assert_eq!(b_load.trips, 64f64.powi(3));
         // Init store runs 64^2 times; update store 64^3.
-        let stores: Vec<&AccessRecord> =
-            an.accesses.iter().filter(|a| a.name == "C" && a.is_store).collect();
+        let stores: Vec<&AccessRecord> = an
+            .accesses
+            .iter()
+            .filter(|a| a.name == "C" && a.is_store)
+            .collect();
         assert_eq!(stores.len(), 2);
         let mut t: Vec<f64> = stores.iter().map(|a| a.trips).collect();
         t.sort_by(f64::total_cmp);
@@ -466,7 +536,11 @@ mod tests {
     fn reuse_ratio_reflects_locality() {
         let f = matmul_func(Some(8));
         let an = analyze(&f);
-        let a_load = an.accesses.iter().find(|x| x.name == "A" && !x.is_store).expect("A");
+        let a_load = an
+            .accesses
+            .iter()
+            .find(|x| x.name == "A" && !x.is_store)
+            .expect("A");
         // Within one iteration of the innermost loop, reuse is 1.
         let d = a_load.loops.len();
         assert!((a_load.reuse_at_depth(d) - 1.0).abs() < 1e-9);

@@ -84,7 +84,11 @@ fn intrin_totals(an: &ProgramAnalysis, opts: &SimOptions) -> (f64, f64) {
     let mut flops = 0.0;
     let mut bytes = 0.0;
     for i in &an.intrinsics {
-        let (f, b) = opts.intrin_costs.get(&i.name).copied().unwrap_or((16.0, 64.0));
+        let (f, b) = opts
+            .intrin_costs
+            .get(&i.name)
+            .copied()
+            .unwrap_or((16.0, 64.0));
         flops += i.trips * f;
         bytes += i.trips * b;
     }
@@ -100,7 +104,7 @@ fn miss_bytes(a: &AccessRecord, share: f64, line: f64) -> f64 {
     // Spatial waste: a stride larger than one element fetches whole lines
     // but uses only one element of each.
     let stride = a.innermost_stride;
-    let waste = if stride <= 1 && stride >= -1 {
+    let waste = if (-1..=1).contains(&stride) {
         1.0
     } else {
         (stride as f64 * elem).min(line) / elem
@@ -134,8 +138,7 @@ fn cpu_cost(an: &ProgramAnalysis, cpu: &CpuSpec, opts: &SimOptions) -> Cost {
     } else {
         0.0
     };
-    let compute =
-        serial_compute * (1.0 - par_frac) + serial_compute * par_frac / cores_eff;
+    let compute = serial_compute * (1.0 - par_frac) + serial_compute * par_frac / cores_eff;
 
     // Memory: live global/shared accesses walk the hierarchy; `local`
     // accesses model registers and are free.
@@ -152,14 +155,19 @@ fn cpu_cost(an: &ProgramAnalysis, cpu: &CpuSpec, opts: &SimOptions) -> Cost {
     };
     let line = cpu.line_bytes as f64;
     // L1 traffic: every executed access touches L1.
-    let l1_bytes: f64 =
-        mem_accesses.iter().map(|a| a.trips * a.dtype.bytes() as f64).sum::<f64>() + ibytes;
+    let l1_bytes: f64 = mem_accesses
+        .iter()
+        .map(|a| a.trips * a.dtype.bytes() as f64)
+        .sum::<f64>()
+        + ibytes;
     let mut level_cycles = vec![l1_bytes / (cpu.caches[0].bw_bytes_per_cycle * cores_eff)];
     let mut dram_bytes = 0.0;
     for (li, lvl) in cpu.caches.iter().enumerate() {
         let share = lvl.size as f64 / n_buffers;
-        let missed: f64 =
-            mem_accesses.iter().map(|a| miss_bytes(a, share, line)).sum();
+        let missed: f64 = mem_accesses
+            .iter()
+            .map(|a| miss_bytes(a, share, line))
+            .sum();
         if li + 1 < cpu.caches.len() {
             // Traffic into this level comes from the next level's bandwidth.
             let next_bw = cpu.caches[li + 1].bw_bytes_per_cycle;
@@ -172,7 +180,11 @@ fn cpu_cost(an: &ProgramAnalysis, cpu: &CpuSpec, opts: &SimOptions) -> Cost {
 
     let overhead = an.loop_iterations * 1.5 / cores_eff
         + an.branches * 2.0 / cores_eff
-        + if an.parallel_extent > 1 { cpu.parallel_overhead_cycles } else { 0.0 };
+        + if an.parallel_extent > 1 {
+            cpu.parallel_overhead_cycles
+        } else {
+            0.0
+        };
 
     let mem_max = level_cycles.iter().cloned().fold(0.0, f64::max);
     let cycles = compute.max(mem_max) + overhead;
@@ -182,7 +194,11 @@ fn cpu_cost(an: &ProgramAnalysis, cpu: &CpuSpec, opts: &SimOptions) -> Cost {
         ("overhead".to_string(), overhead),
     ];
     for (i, c) in level_cycles.iter().enumerate().skip(1) {
-        let name = if i == level_cycles.len() - 1 { "dram".to_string() } else { format!("l{}", i + 1) };
+        let name = if i == level_cycles.len() - 1 {
+            "dram".to_string()
+        } else {
+            format!("l{}", i + 1)
+        };
         breakdown.push((name, *c));
     }
     Cost {
@@ -212,9 +228,7 @@ fn gpu_cost(an: &ProgramAnalysis, gpu: &GpuSpec, opts: &SimOptions) -> Cost {
     let exec_width = (gpu.sms * gpu.lanes_per_sm) as f64;
     let total_threads = (blocks * block_threads).max(1.0);
     let compute_util = (total_threads / exec_width).min(1.0).max(1.0 / exec_width);
-    let compute = (an.flops + iflops)
-        / (exec_width * gpu.flops_per_lane * rate)
-        / compute_util;
+    let compute = (an.flops + iflops) / (exec_width * gpu.flops_per_lane * rate) / compute_util;
 
     // Global traffic with coalescing.
     let mut dram_bytes = 0.0;
@@ -226,7 +240,7 @@ fn gpu_cost(an: &ProgramAnalysis, gpu: &GpuSpec, opts: &SimOptions) -> Cost {
                 a.trips * elem // coalesced
             }
             Some(_) => a.trips * gpu.transaction_bytes as f64, // scattered
-            None => a.trips * elem, // serial walk by one thread
+            None => a.trips * elem,                            // serial walk by one thread
         };
         dram_bytes += bytes;
     }
@@ -235,10 +249,14 @@ fn gpu_cost(an: &ProgramAnalysis, gpu: &GpuSpec, opts: &SimOptions) -> Cost {
     let sms_used = blocks.min(gpu.sms as f64).max(1.0);
     let blocks_per_sm = (blocks / gpu.sms as f64).ceil().max(1.0);
     let resident_blocks = blocks_per_sm
-        .min((gpu.max_threads_per_sm as f64 / block_threads).floor().max(1.0))
+        .min(
+            (gpu.max_threads_per_sm as f64 / block_threads)
+                .floor()
+                .max(1.0),
+        )
         .min(gpu.max_blocks_per_sm as f64);
     let resident = (block_threads * resident_blocks).min(gpu.max_threads_per_sm as f64);
-    let occupancy = (resident / gpu.latency_hiding_threads as f64).min(1.0).max(0.02);
+    let occupancy = (resident / gpu.latency_hiding_threads as f64).clamp(0.02, 1.0);
     let dram = dram_bytes / gpu.dram_bw_bytes_per_cycle / occupancy
         * (gpu.sms as f64 / sms_used).max(1.0).sqrt();
 
@@ -288,7 +306,10 @@ mod tests {
         let b = placeholder(&[n, n], DType::float32(), "B");
         let k = reduce_axis(n, "k");
         let c = compute(&[n, n], "C", |i| {
-            sum(a.at(&[i[0].clone(), k.expr()]) * b.at(&[k.expr(), i[1].clone()]), &[k.clone()])
+            sum(
+                a.at(&[i[0].clone(), k.expr()]) * b.at(&[k.expr(), i[1].clone()]),
+                std::slice::from_ref(&k),
+            )
         });
         (a, b, c)
     }
@@ -297,11 +318,11 @@ mod tests {
     fn tiling_improves_cpu_matmul() {
         let n = 256;
         let (a, b, c) = matmul(n);
-        let s = create_schedule(&[c.clone()]);
+        let s = create_schedule(std::slice::from_ref(&c));
         let naive = lower(&s, &[a.clone(), b.clone(), c.clone()], "naive").expect("lowers");
 
         let (a2, b2, c2) = matmul(n);
-        let mut s2 = create_schedule(&[c2.clone()]);
+        let mut s2 = create_schedule(std::slice::from_ref(&c2));
         let ax = c2.op.axes();
         let r = c2.op.reduce_axes();
         let (yo, xo, yi, xi) = s2.tile(&c2, &ax[0], &ax[1], 32, 32);
@@ -327,14 +348,14 @@ mod tests {
         let n = 512;
         let a = placeholder(&[n, n], DType::float32(), "A");
         let b = compute(&[n, n], "B", |i| a.at(&[i[0].clone(), i[1].clone()]) * 2);
-        let mut s = create_schedule(&[b.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&b));
         let ax = b.op.axes();
         s.vectorize(&b, &ax[1]); // unit stride: good
         let good = lower(&s, &[a.clone(), b.clone()], "v_good").expect("lowers");
 
         let a2 = placeholder(&[n, n], DType::float32(), "A");
         let b2 = compute(&[n, n], "B", |i| a2.at(&[i[0].clone(), i[1].clone()]) * 2);
-        let mut s2 = create_schedule(&[b2.clone()]);
+        let mut s2 = create_schedule(std::slice::from_ref(&b2));
         let ax2 = b2.op.axes();
         s2.reorder(&b2, &[&ax2[1], &ax2[0]]);
         let bad = lower(&s2, &[a2, b2], "strided").expect("lowers");
@@ -347,7 +368,7 @@ mod tests {
     fn gpu_prefers_more_parallelism() {
         let n = 1024;
         let (a, b, c) = matmul(n);
-        let mut s = create_schedule(&[c.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&c));
         let ax = c.op.axes();
         let (by, bx, ty, tx) = s.tile(&c, &ax[0], &ax[1], 16, 16);
         s.bind(&c, &by, ThreadTag::BlockIdxY);
@@ -357,7 +378,7 @@ mod tests {
         let wide = lower(&s, &[a.clone(), b.clone(), c.clone()], "wide").expect("lowers");
 
         let (a2, b2, c2) = matmul(n);
-        let mut s2 = create_schedule(&[c2.clone()]);
+        let mut s2 = create_schedule(std::slice::from_ref(&c2));
         let ax2 = c2.op.axes();
         let (bx2, tx2) = s2.split(&c2, &ax2[0], 4);
         s2.bind(&c2, &bx2, ThreadTag::BlockIdxX);
@@ -367,13 +388,18 @@ mod tests {
         let t = titanx();
         let cw = estimate(&wide, &t);
         let cn = estimate(&narrow, &t);
-        assert!(cw.cycles < cn.cycles, "wide {} narrow {}", cw.cycles, cn.cycles);
+        assert!(
+            cw.cycles < cn.cycles,
+            "wide {} narrow {}",
+            cw.cycles,
+            cn.cycles
+        );
     }
 
     #[test]
     fn breakdown_and_units_are_consistent() {
         let (a, b, c) = matmul(64);
-        let s = create_schedule(&[c.clone()]);
+        let s = create_schedule(std::slice::from_ref(&c));
         let f = lower(&s, &[a, b, c], "mm").expect("lowers");
         let cost = estimate(&f, &arm_a53());
         assert!(cost.cycles > 0.0);

@@ -61,7 +61,11 @@ mod tests {
 
     #[test]
     fn utilization_capped_at_one() {
-        let p = RooflinePoint { name: "x".into(), intensity: 100.0, gflops: 1e9 };
+        let p = RooflinePoint {
+            name: "x".into(),
+            intensity: 100.0,
+            gflops: 1e9,
+        };
         assert_eq!(utilization(&p, 102.4, 8.0), 1.0);
     }
 }

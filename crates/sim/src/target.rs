@@ -159,8 +159,16 @@ pub fn arm_a53() -> Target {
         simd_lanes: 4,
         flops_per_cycle: 2.0,
         caches: vec![
-            CacheLevel { size: 32 * 1024, bw_bytes_per_cycle: 16.0, latency: 3.0 },
-            CacheLevel { size: 512 * 1024, bw_bytes_per_cycle: 8.0, latency: 18.0 },
+            CacheLevel {
+                size: 32 * 1024,
+                bw_bytes_per_cycle: 16.0,
+                latency: 3.0,
+            },
+            CacheLevel {
+                size: 512 * 1024,
+                bw_bytes_per_cycle: 8.0,
+                latency: 18.0,
+            },
         ],
         dram_bw_bytes_per_cycle: 2.2, // ~2.6 GB/s LPDDR2 effective
         line_bytes: 64,

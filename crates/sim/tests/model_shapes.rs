@@ -33,7 +33,7 @@ fn gpu_uncoalesced_access_costs_more() {
     let mut costs = Vec::new();
     for transposed in [false, true] {
         let (a, b) = copy2d(1024, transposed);
-        let mut s = create_schedule(&[b.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&b));
         gpu_flat_schedule(&mut s, &b);
         let f = lower(&s, &[a, b], "copy").expect("lowers");
         costs.push(estimate(&f, &t).cycles);
@@ -53,7 +53,7 @@ fn gpu_occupancy_penalizes_tiny_grids() {
     let mut costs = Vec::new();
     for threads in [8i64, 256] {
         let (a, b) = copy2d(n, false);
-        let mut s = create_schedule(&[b.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&b));
         let ax = b.op.axes();
         let fused = s.fuse(&b, &ax[0], &ax[1]);
         let (bx, tx) = s.split(&b, &fused, threads);
@@ -62,7 +62,12 @@ fn gpu_occupancy_penalizes_tiny_grids() {
         let f = lower(&s, &[a, b], "copy").expect("lowers");
         costs.push(estimate(&f, &t).cycles);
     }
-    assert!(costs[0] > costs[1], "8-thread blocks {} vs 256 {}", costs[0], costs[1]);
+    assert!(
+        costs[0] > costs[1],
+        "8-thread blocks {} vs 256 {}",
+        costs[0],
+        costs[1]
+    );
 }
 
 #[test]
@@ -75,14 +80,22 @@ fn mali_fp16_outperforms_fp32_on_compute_bound() {
         let b = placeholder(&[n, n], dt, "B");
         let k = reduce_axis(n, "k");
         let c = compute(&[n, n], "C", |i| {
-            sum(a.at(&[i[0].clone(), k.expr()]) * b.at(&[k.expr(), i[1].clone()]), &[k.clone()])
+            sum(
+                a.at(&[i[0].clone(), k.expr()]) * b.at(&[k.expr(), i[1].clone()]),
+                std::slice::from_ref(&k),
+            )
         });
-        let mut s = create_schedule(&[c.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&c));
         gpu_flat_schedule(&mut s, &c);
         let f = lower(&s, &[a, b, c], "mm").expect("lowers");
         costs.push(estimate(&f, &t).cycles);
     }
-    assert!(costs[1] < costs[0], "fp16 {} should beat fp32 {}", costs[1], costs[0]);
+    assert!(
+        costs[1] < costs[0],
+        "fp16 {} should beat fp32 {}",
+        costs[1],
+        costs[0]
+    );
 }
 
 #[test]
@@ -91,7 +104,7 @@ fn cpu_parallel_and_vectorize_help() {
     let n = 256i64;
     let build = |par: bool, vec: bool| {
         let (a, b) = copy2d(n, false);
-        let mut s = create_schedule(&[b.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&b));
         let ax = b.op.axes();
         let (_, wi) = s.split(&b, &ax[1], 8);
         if vec {
@@ -119,9 +132,9 @@ fn cpu_unroll_removes_loop_overhead() {
         let a = placeholder(&[n, n], DType::float32(), "A");
         let k = reduce_axis(n, "k");
         let c = compute(&[n], "C", |i| {
-            sum(a.at(&[i[0].clone(), k.expr()]), &[k.clone()])
+            sum(a.at(&[i[0].clone(), k.expr()]), std::slice::from_ref(&k))
         });
-        let mut s = create_schedule(&[c.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&c));
         let r = c.op.reduce_axes();
         let (_, ki) = s.split(&c, &r[0], 8);
         if unroll {
@@ -140,10 +153,13 @@ fn intrinsic_costs_are_accounted() {
     let b = compute(&[64], "B", move |i| {
         tvm_ir::Expr::call("exp", vec![a2.at(&[i[0].clone()])], DType::float32())
     });
-    let s = create_schedule(&[b.clone()]);
+    let s = create_schedule(std::slice::from_ref(&b));
     let f = lower(&s, &[a, b], "exp").expect("lowers");
     let base = estimate(&f, &arm_a53()).flops;
-    assert!(base >= 64.0 * 8.0, "transcendentals cost ~8 ops each: {base}");
+    assert!(
+        base >= 64.0 * 8.0,
+        "transcendentals cost ~8 ops each: {base}"
+    );
     // Hardware-intrinsic cost hooks scale with the provided table.
     let mut opts = SimOptions::default();
     opts.intrin_costs.insert("unit.test".into(), (1000.0, 0.0));

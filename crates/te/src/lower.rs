@@ -25,9 +25,7 @@ use std::fmt;
 
 use tvm_ir::expr::ExprNode;
 use tvm_ir::stmt::StmtNode;
-use tvm_ir::{
-    DType, Expr, ForKind, Interval, LoweredFunc, MemScope, Stmt, ThreadTag, Var, VarId,
-};
+use tvm_ir::{DType, Expr, ForKind, Interval, LoweredFunc, MemScope, Stmt, ThreadTag, Var, VarId};
 
 use crate::schedule::{Attach, IterRelation, LoopAnn, Schedule, Stage};
 use crate::tensor::{collect_reads, ComputeBody, IterKind, IterVar, OpId, Tensor};
@@ -107,7 +105,10 @@ pub fn lower_with(
     let mut attach_map: HashMap<(OpId, VarId), Vec<OpId>> = HashMap::new();
     for stage in &sched.stages {
         if let Attach::At { consumer, iter } = &stage.attach {
-            attach_map.entry((*consumer, iter.id())).or_default().push(stage.op_id());
+            attach_map
+                .entry((*consumer, iter.id()))
+                .or_default()
+                .push(stage.op_id());
         }
     }
 
@@ -119,7 +120,9 @@ pub fn lower_with(
         if matches!(stage.attach, Attach::Inline) {
             continue;
         }
-        let Some(sd) = data.get(&stage.op_id()) else { continue };
+        let Some(sd) = data.get(&stage.op_id()) else {
+            continue;
+        };
         for leaf in &stage.leaf_iters {
             if let Some(attr) = stage.iter_attrs.get(&leaf.var.id()) {
                 if let Some(tag) = attr.thread {
@@ -133,7 +136,14 @@ pub fn lower_with(
         }
     }
 
-    let mut em = Emitter { sched, bodies: &bodies, data: &data, buffers, attach_map, thread_vars };
+    let mut em = Emitter {
+        sched,
+        bodies: &bodies,
+        data: &data,
+        buffers,
+        attach_map,
+        thread_vars,
+    };
 
     // Emit root stages in order, wrapping non-param roots in allocations.
     let mut pieces: Vec<(OpId, Stmt)> = Vec::new();
@@ -183,7 +193,10 @@ pub fn lower_with(
     };
     let body = tvm_ir::simplify_stmt(&body);
 
-    let params: Vec<Var> = args.iter().map(|t| em.buffers[&t.op_id()].clone()).collect();
+    let params: Vec<Var> = args
+        .iter()
+        .map(|t| em.buffers[&t.op_id()].clone())
+        .collect();
     Ok(LoweredFunc {
         name: name.to_string(),
         param_dtypes: args.iter().map(|t| t.dtype()).collect(),
@@ -212,8 +225,13 @@ fn effective_bodies(sched: &Schedule) -> HashMap<OpId, ComputeBody> {
             Some(ComputeBody::Plain(e)) => e.clone(),
             _ => continue, // validated at schedule time
         };
-        let axes: Vec<Var> =
-            stage.tensor.op.axes().iter().map(|iv| iv.var.clone()).collect();
+        let axes: Vec<Var> = stage
+            .tensor
+            .op
+            .axes()
+            .iter()
+            .map(|iv| iv.var.clone())
+            .collect();
         let keys: Vec<OpId> = bodies.keys().copied().collect();
         for key in keys {
             if key == id {
@@ -250,9 +268,9 @@ fn infer_bounds(
         let (mins, exts) = match &stage.attach {
             Attach::Root | Attach::Inline => full_realize(shape),
             Attach::At { consumer, iter } => {
-                let cons_stage = sched
-                    .stage_by_op(*consumer)
-                    .ok_or_else(|| TeError(format!("unknown consumer for `{}`", stage.tensor.name())))?;
+                let cons_stage = sched.stage_by_op(*consumer).ok_or_else(|| {
+                    TeError(format!("unknown consumer for `{}`", stage.tensor.name()))
+                })?;
                 let cons_data = out.get(consumer).ok_or_else(|| {
                     TeError(format!(
                         "compute_at consumer of `{}` not yet bounded (attach to an inlined stage?)",
@@ -274,7 +292,10 @@ fn infer_bounds(
         if let Some(ComputeBody::Reduce { axes, .. }) = bodies.get(&stage.op_id()) {
             for r in axes {
                 let e = r.const_extent().ok_or_else(|| {
-                    TeError(format!("reduce axis `{}` has no constant extent", r.var.name()))
+                    TeError(format!(
+                        "reduce axis `{}` has no constant extent",
+                        r.var.name()
+                    ))
                 })?;
                 root_ext.insert(r.var.id(), e);
                 kinds.insert(r.var.id(), IterKind::Reduce);
@@ -295,7 +316,13 @@ fn infer_bounds(
         }
         out.insert(
             stage.op_id(),
-            StageData { realize_min: mins, realize_ext: exts, extents, var_expr, guards },
+            StageData {
+                realize_min: mins,
+                realize_ext: exts,
+                extents,
+                var_expr,
+                guards,
+            },
         );
     }
     // Placeholders realize their full shape.
@@ -362,17 +389,28 @@ fn compute_region(
     // Consumer coordinate substitution: axis -> realize_min + local expr.
     let mut sub: HashMap<VarId, Expr> = HashMap::new();
     for (d, axis) in cons_stage.tensor.op.axes().iter().enumerate() {
-        let local = cons_data.var_expr.get(&axis.var.id()).cloned().unwrap_or_else(|| axis.expr());
+        let local = cons_data
+            .var_expr
+            .get(&axis.var.id())
+            .cloned()
+            .unwrap_or_else(|| axis.expr());
         sub.insert(axis.var.id(), cons_data.realize_min[d].clone() + local);
     }
     if let Some(ComputeBody::Reduce { axes, .. }) = bodies.get(&cons_stage.op_id()) {
         for r in axes {
-            let local = cons_data.var_expr.get(&r.var.id()).cloned().unwrap_or_else(|| r.expr());
+            let local = cons_data
+                .var_expr
+                .get(&r.var.id())
+                .cloned()
+                .unwrap_or_else(|| r.expr());
             sub.insert(r.var.id(), local);
         }
     }
     let body = bodies.get(&cons_stage.op_id()).ok_or_else(|| {
-        TeError(format!("consumer `{}` has no body", cons_stage.tensor.name()))
+        TeError(format!(
+            "consumer `{}` has no body",
+            cons_stage.tensor.name()
+        ))
     })?;
     let mut regions: Vec<(Vec<Expr>, Vec<i64>)> = Vec::new();
     let target = stage.op_id();
@@ -385,6 +423,21 @@ fn compute_region(
         let mut exts = Vec::with_capacity(idx.len());
         for (d, e) in idx.iter().enumerate() {
             let e = tvm_ir::simplify(&tvm_ir::substitute(e, &sub));
+            let ranged = |v: &Var| {
+                inner.contains(&v.id())
+                    || (stage.scope == MemScope::Shared && thread_extents.contains_key(&v.id()))
+            };
+            if divmod_mixes_ranged(&e, &ranged) {
+                // A floor-div/mod whose dividend mixes ranged (inner) and
+                // pinned (outer) variables has no per-instance width that
+                // is uniform in the outer value — e.g. an attachment under
+                // a fused-then-split loop whose chunks straddle an inner
+                // dimension boundary. Realize the whole axis, like TVM
+                // relaxes unaligned fused sub-ranges.
+                mins.push(Expr::int(0));
+                exts.push(shape[d]);
+                continue;
+            }
             // Width: inner vars ranged, everything else pinned to 0.
             let mut bounds: HashMap<VarId, Interval> = HashMap::new();
             let mut relaxed: Vec<VarId> = Vec::new();
@@ -392,8 +445,7 @@ fn compute_region(
                 let iv = if inner.contains(&v.id()) {
                     let ext = cons_data.extents.get(&v.id()).copied().unwrap_or(1);
                     Interval::new(0, (ext - 1).max(0))
-                } else if stage.scope == MemScope::Shared && thread_extents.contains_key(&v.id())
-                {
+                } else if stage.scope == MemScope::Shared && thread_extents.contains_key(&v.id()) {
                     // Transitive thread relaxation: thread variables that
                     // reach this index through the attachment chain range
                     // over the whole block for shared producers.
@@ -408,10 +460,8 @@ fn compute_region(
                 Some(iv) => {
                     let width = iv.extent().min(shape[d]);
                     // Min: substitute inner (and relaxed) vars by 0.
-                    let mut zero_sub: HashMap<VarId, Expr> = inner
-                        .iter()
-                        .map(|id| (*id, Expr::int(0)))
-                        .collect();
+                    let mut zero_sub: HashMap<VarId, Expr> =
+                        inner.iter().map(|id| (*id, Expr::int(0))).collect();
                     for id in &relaxed {
                         zero_sub.insert(*id, Expr::int(0));
                     }
@@ -450,8 +500,68 @@ fn compute_region(
     Ok((first_min, ext))
 }
 
-type ResolvedIters =
-    (HashMap<VarId, i64>, HashMap<VarId, Expr>, Vec<(Expr, IterKind)>);
+/// True when some floor-div/mod inside `e` has a dividend mixing variables
+/// the region query ranges over with variables it pins to a point. Interval
+/// evaluation with the pinned vars at 0 underestimates the width of such
+/// expressions (the span of `(outer*c + inner) // m` depends on `outer`),
+/// so [`compute_region`] must fall back to the full axis for them.
+fn divmod_mixes_ranged(e: &Expr, ranged: &dyn Fn(&Var) -> bool) -> bool {
+    use tvm_ir::{BinOp, ExprNode};
+    match &*e.0 {
+        ExprNode::Binary {
+            op: BinOp::Div | BinOp::Mod,
+            a,
+            b,
+        } => {
+            let vars = tvm_ir::collect_vars(a);
+            let mixes = vars.iter().any(ranged) && vars.iter().any(|v| !ranged(v));
+            mixes || divmod_mixes_ranged(a, ranged) || divmod_mixes_ranged(b, ranged)
+        }
+        ExprNode::Binary { a, b, .. } | ExprNode::Cmp { a, b, .. } => {
+            divmod_mixes_ranged(a, ranged) || divmod_mixes_ranged(b, ranged)
+        }
+        ExprNode::And { a, b } | ExprNode::Or { a, b } => {
+            divmod_mixes_ranged(a, ranged) || divmod_mixes_ranged(b, ranged)
+        }
+        ExprNode::Not { a }
+        | ExprNode::Cast { value: a, .. }
+        | ExprNode::Broadcast { value: a, .. } => divmod_mixes_ranged(a, ranged),
+        ExprNode::Select {
+            cond,
+            then_case,
+            else_case,
+        } => {
+            divmod_mixes_ranged(cond, ranged)
+                || divmod_mixes_ranged(then_case, ranged)
+                || divmod_mixes_ranged(else_case, ranged)
+        }
+        ExprNode::Ramp { base, stride, .. } => {
+            divmod_mixes_ranged(base, ranged) || divmod_mixes_ranged(stride, ranged)
+        }
+        ExprNode::Let { value, body, .. } => {
+            divmod_mixes_ranged(value, ranged) || divmod_mixes_ranged(body, ranged)
+        }
+        ExprNode::Load {
+            index, predicate, ..
+        } => {
+            divmod_mixes_ranged(index, ranged)
+                || predicate
+                    .as_ref()
+                    .is_some_and(|p| divmod_mixes_ranged(p, ranged))
+        }
+        ExprNode::Call { args, .. } => args.iter().any(|a| divmod_mixes_ranged(a, ranged)),
+        ExprNode::IntImm { .. }
+        | ExprNode::FloatImm { .. }
+        | ExprNode::StringImm(_)
+        | ExprNode::Var(_) => false,
+    }
+}
+
+type ResolvedIters = (
+    HashMap<VarId, i64>,
+    HashMap<VarId, Expr>,
+    Vec<(Expr, IterKind)>,
+);
 
 /// Resolves extents, leaf-coordinate expressions and split guards for all
 /// itervars of a stage.
@@ -464,9 +574,17 @@ fn resolve_iters(
     let mut overshoot: Vec<(Var, i64)> = Vec::new(); // (parent, parent extent)
     for rel in &stage.relations {
         match rel {
-            IterRelation::Split { parent, outer, inner, factor } => {
+            IterRelation::Split {
+                parent,
+                outer,
+                inner,
+                factor,
+            } => {
                 let ep = *extents.get(&parent.id()).ok_or_else(|| {
-                    TeError(format!("split parent `{}` has unknown extent", parent.name()))
+                    TeError(format!(
+                        "split parent `{}` has unknown extent",
+                        parent.name()
+                    ))
                 })?;
                 let ei = (*factor).min(ep).max(1);
                 let eo = (ep + ei - 1) / ei;
@@ -479,7 +597,11 @@ fn resolve_iters(
                     overshoot.push((parent.clone(), ep));
                 }
             }
-            IterRelation::Fuse { outer, inner, fused } => {
+            IterRelation::Fuse {
+                outer,
+                inner,
+                fused,
+            } => {
                 let eo = *extents.get(&outer.id()).ok_or_else(|| {
                     TeError(format!("fuse outer `{}` has unknown extent", outer.name()))
                 })?;
@@ -495,11 +617,22 @@ fn resolve_iters(
     // Leaf-coordinate expressions, memoized.
     let mut var_expr: HashMap<VarId, Expr> = HashMap::new();
     let all_vars: Vec<Var> = {
-        let mut v: Vec<Var> = stage.tensor.op.axes().iter().map(|a| a.var.clone()).collect();
+        let mut v: Vec<Var> = stage
+            .tensor
+            .op
+            .axes()
+            .iter()
+            .map(|a| a.var.clone())
+            .collect();
         v.extend(stage.tensor.op.reduce_axes().iter().map(|a| a.var.clone()));
         for rel in &stage.relations {
             match rel {
-                IterRelation::Split { parent, outer, inner, .. } => {
+                IterRelation::Split {
+                    parent,
+                    outer,
+                    inner,
+                    ..
+                } => {
                     v.push(parent.clone());
                     v.push(outer.var.clone());
                     v.push(inner.var.clone());
@@ -516,7 +649,10 @@ fn resolve_iters(
     let guards: Vec<(Expr, IterKind)> = overshoot
         .into_iter()
         .map(|(parent, ep)| {
-            let pe = var_expr.get(&parent.id()).cloned().unwrap_or_else(|| parent.to_expr());
+            let pe = var_expr
+                .get(&parent.id())
+                .cloned()
+                .unwrap_or_else(|| parent.to_expr());
             let kind = kinds.get(&parent.id()).copied().unwrap_or(IterKind::Data);
             (pe.lt(Expr::int(ep)), kind)
         })
@@ -535,17 +671,26 @@ fn expand_var(
     }
     for rel in &stage.relations {
         match rel {
-            IterRelation::Split { parent, outer, inner, .. } if parent.id() == var.id() => {
+            IterRelation::Split {
+                parent,
+                outer,
+                inner,
+                ..
+            } if parent.id() == var.id() => {
                 let eo = expand_var(&outer.var, stage, extents, seen)?;
                 let ei_expr = expand_var(&inner.var, stage, extents, seen)?;
                 let ei = *extents.get(&inner.var.id()).expect("resolved");
                 seen.remove(&var.id());
                 return Ok(eo * ei + ei_expr);
             }
-            IterRelation::Fuse { outer, inner, fused } => {
-                let ei = *extents.get(&inner.id()).ok_or_else(|| {
-                    TeError(format!("fuse inner `{}` unresolved", inner.name()))
-                })?;
+            IterRelation::Fuse {
+                outer,
+                inner,
+                fused,
+            } => {
+                let ei = *extents
+                    .get(&inner.id())
+                    .ok_or_else(|| TeError(format!("fuse inner `{}` unresolved", inner.name())))?;
                 if outer.id() == var.id() {
                     let f = expand_var(&fused.var, stage, extents, seen)?;
                     seen.remove(&var.id());
@@ -612,8 +757,7 @@ impl Emitter<'_> {
             fn mutate_expr(&mut self, e: &Expr) -> Expr {
                 if let ExprNode::Call { name, args, .. } = &*e.0 {
                     if let Some(id) = crate::tensor::parse_read_key(name) {
-                        let args: Vec<Expr> =
-                            args.iter().map(|a| self.mutate_expr(a)).collect();
+                        let args: Vec<Expr> = args.iter().map(|a| self.mutate_expr(a)).collect();
                         match self.em.flat_read(id, &args) {
                             Ok(load) => return load,
                             Err(te) => {
@@ -626,7 +770,10 @@ impl Emitter<'_> {
                 self.default_mutate_expr(e)
             }
         }
-        let mut c = C { em: self, error: None };
+        let mut c = C {
+            em: self,
+            error: None,
+        };
         let out = tvm_ir::Mutator::mutate_expr(&mut c, e);
         match c.error {
             Some(te) => Err(te),
@@ -653,7 +800,10 @@ impl Emitter<'_> {
     }
 
     fn plan_stage(&self, op: OpId) -> Result<Plan, TeError> {
-        let stage = self.sched.stage_by_op(op).ok_or_else(|| TeError("missing stage".into()))?;
+        let stage = self
+            .sched
+            .stage_by_op(op)
+            .ok_or_else(|| TeError("missing stage".into()))?;
         let sd = &self.data[&op];
         let body = self
             .bodies
@@ -668,14 +818,20 @@ impl Emitter<'_> {
         let mut axis_sub: HashMap<VarId, Expr> = HashMap::new();
         let axes = stage.tensor.op.axes();
         for (d, axis) in axes.iter().enumerate() {
-            let local =
-                sd.var_expr.get(&axis.var.id()).cloned().unwrap_or_else(|| axis.expr());
+            let local = sd
+                .var_expr
+                .get(&axis.var.id())
+                .cloned()
+                .unwrap_or_else(|| axis.expr());
             axis_sub.insert(axis.var.id(), sd.realize_min[d].clone() + local);
         }
         if let ComputeBody::Reduce { axes: raxes, .. } = body {
             for r in raxes {
-                let local =
-                    sd.var_expr.get(&r.var.id()).cloned().unwrap_or_else(|| r.expr());
+                let local = sd
+                    .var_expr
+                    .get(&r.var.id())
+                    .cloned()
+                    .unwrap_or_else(|| r.expr());
                 axis_sub.insert(r.var.id(), local);
             }
         }
@@ -683,8 +839,11 @@ impl Emitter<'_> {
         // Store index (local coordinates).
         let mut store_idx = Expr::int(0);
         for (d, axis) in axes.iter().enumerate() {
-            let local =
-                sd.var_expr.get(&axis.var.id()).cloned().unwrap_or_else(|| axis.expr());
+            let local = sd
+                .var_expr
+                .get(&axis.var.id())
+                .cloned()
+                .unwrap_or_else(|| axis.expr());
             store_idx = store_idx + local * Expr::int(strides[d]);
         }
         let store_idx = tvm_ir::simplify(&store_idx);
@@ -703,8 +862,7 @@ impl Emitter<'_> {
         if stage.tensorize_at.is_none() {
             let shape = stage.tensor.shape();
             for (d, axis) in axes.iter().enumerate() {
-                let full = sd.realize_min[d].as_int() == Some(0)
-                    && sd.realize_ext[d] == shape[d];
+                let full = sd.realize_min[d].as_int() == Some(0) && sd.realize_ext[d] == shape[d];
                 if !full {
                     let coord = axis_sub[&axis.var.id()].clone();
                     let g = coord.lt(Expr::int(shape[d]));
@@ -738,9 +896,12 @@ impl Emitter<'_> {
 
         // First reduce leaf (init position).
         let init_pos = match body {
-            ComputeBody::Reduce { .. } => {
-                Some(leaves.iter().position(|l| l.kind == IterKind::Reduce).unwrap_or(0))
-            }
+            ComputeBody::Reduce { .. } => Some(
+                leaves
+                    .iter()
+                    .position(|l| l.kind == IterKind::Reduce)
+                    .unwrap_or(0),
+            ),
             ComputeBody::Plain(_) => None,
         };
 
@@ -751,13 +912,14 @@ impl Emitter<'_> {
                     let st = guard(Stmt::store(&self_buf, store_idx.clone(), val), &all_guards);
                     (None, st, Vec::new())
                 }
-                ComputeBody::Reduce { combiner, source, .. } => {
+                ComputeBody::Reduce {
+                    combiner, source, ..
+                } => {
                     let val = self.convert_body_expr(source, &axis_sub)?;
                     let acc = Expr::load(&self_buf, store_idx.clone());
                     let upd = Stmt::store(&self_buf, store_idx.clone(), combiner.combine(acc, val));
                     let upd = guard(upd, &all_guards);
-                    let init =
-                        Stmt::store(&self_buf, store_idx.clone(), combiner.identity(dtype));
+                    let init = Stmt::store(&self_buf, store_idx.clone(), combiner.identity(dtype));
                     let init = guard(init, &data_guards);
                     let p = init_pos.expect("reduce has init pos");
                     let end = ten_pos.unwrap_or(leaves.len());
@@ -772,8 +934,7 @@ impl Emitter<'_> {
             Some((_, intrin)) => {
                 let tp = ten_pos.expect("position resolved");
                 // Guards may not reference tensorized leaves.
-                let ten_ids: HashSet<VarId> =
-                    leaves[tp..].iter().map(|l| l.var.id()).collect();
+                let ten_ids: HashSet<VarId> = leaves[tp..].iter().map(|l| l.var.id()).collect();
                 for (g, _) in &sd.guards {
                     for v in tvm_ir::collect_vars(g) {
                         if ten_ids.contains(&v.id()) {
@@ -806,8 +967,7 @@ impl Emitter<'_> {
                 // Zero the tensorized leaves to get slice origins.
                 let zero_sub: HashMap<VarId, Expr> =
                     ten_ids.iter().map(|id| (*id, Expr::int(0))).collect();
-                let out_off =
-                    tvm_ir::simplify(&tvm_ir::substitute(&store_idx, &zero_sub));
+                let out_off = tvm_ir::simplify(&tvm_ir::substitute(&store_idx, &zero_sub));
                 let output = BufferSlice {
                     var: self_buf.clone(),
                     offset: out_off,
@@ -856,7 +1016,15 @@ impl Emitter<'_> {
             }
         };
 
-        Ok(Plan { op, leaves, init_pos, init_stmt, init_loop_leaves, body_stmt, ten_pos })
+        Ok(Plan {
+            op,
+            leaves,
+            init_pos,
+            init_stmt,
+            init_loop_leaves,
+            body_stmt,
+            ten_pos,
+        })
     }
 
     fn emit_stage(&mut self, op: OpId) -> Result<Stmt, TeError> {
@@ -868,9 +1036,7 @@ impl Emitter<'_> {
         if Some(idx) == plan.ten_pos || idx == plan.leaves.len() {
             // A reduction fully covered by the tensorized region needs its
             // reset emitted right before the intrinsic body.
-            if Some(idx) == plan.ten_pos
-                && plan.init_pos.map(|p| p >= idx).unwrap_or(false)
-            {
+            if Some(idx) == plan.ten_pos && plan.init_pos.map(|p| p >= idx).unwrap_or(false) {
                 let init = plan.init_stmt.clone().unwrap_or_else(Stmt::nop);
                 return Ok(Stmt::seq(vec![init, plan.body_stmt.clone()]));
             }
@@ -918,7 +1084,11 @@ impl Emitter<'_> {
             }
         }
 
-        let attr = stage.iter_attrs.get(&leaf.var.id()).cloned().unwrap_or_default();
+        let attr = stage
+            .iter_attrs
+            .get(&leaf.var.id())
+            .cloned()
+            .unwrap_or_default();
         let loop_stmt = if let Some(tag) = attr.thread {
             // Thread-bound loops are elided here: every leaf bound to the
             // same tag unifies with the pre-scanned canonical variable, and
@@ -926,11 +1096,10 @@ impl Emitter<'_> {
             // end of lowering (all statements in a kernel execute on every
             // thread, as on real hardware). A stage binding fewer
             // iterations than the canonical extent runs under a guard.
-            let (tv, text) = self
-                .thread_vars
-                .get(&tag)
-                .cloned()
-                .ok_or_else(|| TeError(format!("thread axis {} not pre-scanned", tag.name())))?;
+            let (tv, text) =
+                self.thread_vars.get(&tag).cloned().ok_or_else(|| {
+                    TeError(format!("thread axis {} not pre-scanned", tag.name()))
+                })?;
             let mut m = HashMap::new();
             m.insert(leaf.var.id(), tv.to_expr());
             let unified = tvm_ir::substitute_stmt(&inner, &m);
@@ -965,7 +1134,6 @@ impl Emitter<'_> {
             Ok(loop_stmt)
         }
     }
-
 }
 
 fn row_major_strides(exts: &[i64]) -> Vec<i64> {
@@ -983,7 +1151,11 @@ fn hoist_shared_allocs(s: &Stmt) -> Stmt {
     struct H;
     impl Mutator for H {
         fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
-            if let StmtNode::For { kind: ForKind::ThreadBinding(tag), .. } = &*s.0 {
+            if let StmtNode::For {
+                kind: ForKind::ThreadBinding(tag),
+                ..
+            } = &*s.0
+            {
                 if !tag.is_block() {
                     let mut specs = Vec::new();
                     let stripped = strip_shared(s, &mut specs);
@@ -1007,8 +1179,13 @@ fn strip_shared(s: &Stmt, specs: &mut Vec<(Var, DType, Expr)>) -> Stmt {
     }
     impl Mutator for S<'_> {
         fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
-            if let StmtNode::Allocate { buffer, dtype, extent, scope: MemScope::Shared, body } =
-                &*s.0
+            if let StmtNode::Allocate {
+                buffer,
+                dtype,
+                extent,
+                scope: MemScope::Shared,
+                body,
+            } = &*s.0
             {
                 self.specs.push((buffer.clone(), *dtype, extent.clone()));
                 return self.mutate_stmt(body);

@@ -34,7 +34,11 @@ pub fn replace_reads(body: &ComputeBody, from: OpId, to: &Tensor) -> ComputeBody
 pub fn substitute_body(body: &ComputeBody, sub: &HashMap<VarId, Expr>) -> ComputeBody {
     match body {
         ComputeBody::Plain(e) => ComputeBody::Plain(tvm_ir::substitute(e, sub)),
-        ComputeBody::Reduce { combiner, source, axes } => ComputeBody::Reduce {
+        ComputeBody::Reduce {
+            combiner,
+            source,
+            axes,
+        } => ComputeBody::Reduce {
             combiner: *combiner,
             source: tvm_ir::substitute(source, sub),
             axes: axes.clone(),
@@ -69,13 +73,24 @@ pub fn inline_reads(
             self.default_mutate_expr(e)
         }
     }
-    map_body(target, &mut I { id, axes: producer_axes, expr: producer_expr })
+    map_body(
+        target,
+        &mut I {
+            id,
+            axes: producer_axes,
+            expr: producer_expr,
+        },
+    )
 }
 
 fn map_body(body: &ComputeBody, m: &mut impl Mutator) -> ComputeBody {
     match body {
         ComputeBody::Plain(e) => ComputeBody::Plain(m.mutate_expr(e)),
-        ComputeBody::Reduce { combiner, source, axes } => ComputeBody::Reduce {
+        ComputeBody::Reduce {
+            combiner,
+            source,
+            axes,
+        } => ComputeBody::Reduce {
             combiner: *combiner,
             source: m.mutate_expr(source),
             axes: axes.clone(),
@@ -93,8 +108,16 @@ pub fn substitute_buffers(s: &Stmt, map: &HashMap<VarId, Var>) -> Stmt {
     impl Mutator for B<'_> {
         fn mutate_expr(&mut self, e: &Expr) -> Expr {
             match &*e.0 {
-                ExprNode::Load { buffer, index, predicate } => {
-                    let buffer = self.map.get(&buffer.id()).cloned().unwrap_or(buffer.clone());
+                ExprNode::Load {
+                    buffer,
+                    index,
+                    predicate,
+                } => {
+                    let buffer = self
+                        .map
+                        .get(&buffer.id())
+                        .cloned()
+                        .unwrap_or(buffer.clone());
                     Expr::new(ExprNode::Load {
                         buffer,
                         index: self.mutate_expr(index),
@@ -111,8 +134,17 @@ pub fn substitute_buffers(s: &Stmt, map: &HashMap<VarId, Var>) -> Stmt {
 
         fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
             match &*s.0 {
-                StmtNode::Store { buffer, index, value, predicate } => {
-                    let buffer = self.map.get(&buffer.id()).cloned().unwrap_or(buffer.clone());
+                StmtNode::Store {
+                    buffer,
+                    index,
+                    value,
+                    predicate,
+                } => {
+                    let buffer = self
+                        .map
+                        .get(&buffer.id())
+                        .cloned()
+                        .unwrap_or(buffer.clone());
                     Stmt::new(StmtNode::Store {
                         buffer,
                         index: self.mutate_expr(index),
@@ -120,8 +152,18 @@ pub fn substitute_buffers(s: &Stmt, map: &HashMap<VarId, Var>) -> Stmt {
                         predicate: predicate.as_ref().map(|p| self.mutate_expr(p)),
                     })
                 }
-                StmtNode::Allocate { buffer, dtype, extent, scope, body } => {
-                    let buffer = self.map.get(&buffer.id()).cloned().unwrap_or(buffer.clone());
+                StmtNode::Allocate {
+                    buffer,
+                    dtype,
+                    extent,
+                    scope,
+                    body,
+                } => {
+                    let buffer = self
+                        .map
+                        .get(&buffer.id())
+                        .cloned()
+                        .unwrap_or(buffer.clone());
                     Stmt::new(StmtNode::Allocate {
                         buffer,
                         dtype: *dtype,
@@ -167,7 +209,11 @@ mod tests {
     fn buffer_substitution_renames_loads_and_stores() {
         let old = Var::new("buf", DType::float32());
         let new = Var::new("buf2", DType::float32());
-        let s = Stmt::store(&old, Expr::int(0), Expr::load(&old, Expr::int(0)) + Expr::f32(1.0));
+        let s = Stmt::store(
+            &old,
+            Expr::int(0),
+            Expr::load(&old, Expr::int(0)) + Expr::f32(1.0),
+        );
         let mut m = HashMap::new();
         m.insert(old.id(), new.clone());
         let s2 = substitute_buffers(&s, &m);

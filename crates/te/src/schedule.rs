@@ -11,9 +11,7 @@ use std::collections::HashMap;
 
 use tvm_ir::{Expr, MemScope, ThreadTag, Var, VarId};
 
-use crate::tensor::{
-    compute_with_axes, ComputeBody, IterVar, OpId, Tensor,
-};
+use crate::tensor::{compute_with_axes, ComputeBody, IterVar, OpId, Tensor};
 use crate::tensorize::TensorIntrin;
 
 /// Loop annotation applied by annotation primitives.
@@ -181,7 +179,11 @@ pub fn create_schedule(outputs: &[Tensor]) -> Schedule {
         stage_of.insert(t.op_id(), stages.len());
         stages.push(Stage::new(t, is_output));
     }
-    Schedule { stages, outputs: outputs.to_vec(), stage_of }
+    Schedule {
+        stages,
+        outputs: outputs.to_vec(),
+        stage_of,
+    }
 }
 
 impl Schedule {
@@ -228,7 +230,9 @@ impl Schedule {
             inner: inner.clone(),
             factor,
         });
-        stage.leaf_iters.splice(pos..=pos, [outer.clone(), inner.clone()]);
+        stage
+            .leaf_iters
+            .splice(pos..=pos, [outer.clone(), inner.clone()]);
         (outer, inner)
     }
 
@@ -324,17 +328,22 @@ impl Schedule {
     pub fn compute_at(&mut self, producer: &Tensor, consumer: &Tensor, iv: &IterVar) {
         let cons_id = consumer.op_id();
         // Validate that `iv` is a leaf of the consumer.
-        self.stage(consumer).leaf_iters.iter().position(|l| l.var == iv.var).unwrap_or_else(
-            || {
+        self.stage(consumer)
+            .leaf_iters
+            .iter()
+            .position(|l| l.var == iv.var)
+            .unwrap_or_else(|| {
                 panic!(
                     "compute_at target `{}` is not a leaf of `{}`",
                     iv.var.name(),
                     consumer.name()
                 )
-            },
-        );
+            });
         let stage = self.stage_mut(producer);
-        stage.attach = Attach::At { consumer: cons_id, iter: iv.var.clone() };
+        stage.attach = Attach::At {
+            consumer: cons_id,
+            iter: iv.var.clone(),
+        };
     }
 
     /// Inlines an injective stage into all of its consumers.
@@ -371,13 +380,18 @@ impl Schedule {
             .collect();
         let idx: Vec<Expr> = axes.iter().map(|a| a.expr()).collect();
         let body = ComputeBody::Plain(t.at(&idx));
-        let cached =
-            compute_with_axes(t.shape(), format!("{}.{}", t.name(), scope.name()), axes, body);
+        let cached = compute_with_axes(
+            t.shape(),
+            format!("{}.{}", t.name(), scope.name()),
+            axes,
+            body,
+        );
         // Redirect reader bodies.
         for reader in readers {
-            let body = reader.op.body().unwrap_or_else(|| {
-                panic!("cache_read reader `{}` has no body", reader.name())
-            });
+            let body = reader
+                .op
+                .body()
+                .unwrap_or_else(|| panic!("cache_read reader `{}` has no body", reader.name()));
             let new_body = crate::rewrite::replace_reads(&body, t.op_id(), &cached);
             reader.op.set_body(new_body);
         }
@@ -400,10 +414,9 @@ impl Schedule {
     /// Must be applied before other primitives touch `t`'s stage: the
     /// reduction axes move to the returned cache stage.
     pub fn cache_write(&mut self, t: &Tensor, scope: MemScope) -> Tensor {
-        let body = t
-            .op
-            .body()
-            .unwrap_or_else(|| panic!("cache_write target `{}` has no body", t.name()));
+        let body =
+            t.op.body()
+                .unwrap_or_else(|| panic!("cache_write target `{}` has no body", t.name()));
         let old_axes = t.op.axes();
         let new_axes: Vec<IterVar> = t
             .shape()
@@ -472,7 +485,10 @@ mod tests {
         let b = placeholder(&[n, n], DType::float32(), "B");
         let k = reduce_axis(n, "k");
         let c = compute(&[n, n], "C", |i| {
-            sum(a.at(&[i[0].clone(), k.expr()]) * b.at(&[k.expr(), i[1].clone()]), &[k.clone()])
+            sum(
+                a.at(&[i[0].clone(), k.expr()]) * b.at(&[k.expr(), i[1].clone()]),
+                std::slice::from_ref(&k),
+            )
         });
         (a, b, c)
     }
@@ -481,7 +497,7 @@ mod tests {
     fn create_schedule_orders_producers_first() {
         let (_, _, c) = matmul(16);
         let d = compute(&[16, 16], "D", |i| c.at(&[i[0].clone(), i[1].clone()]) + 1);
-        let s = create_schedule(&[d.clone()]);
+        let s = create_schedule(std::slice::from_ref(&d));
         assert_eq!(s.stages.len(), 2);
         assert_eq!(s.stages[0].tensor.name(), "C");
         assert_eq!(s.stages[1].tensor.name(), "D");
@@ -492,7 +508,7 @@ mod tests {
     #[test]
     fn split_replaces_leaf() {
         let (_, _, c) = matmul(16);
-        let mut s = create_schedule(&[c.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&c));
         let axes = c.op.axes();
         assert_eq!(s.stage(&c).leaf_iters.len(), 3); // y, x, k
         let (yo, yi) = s.split(&c, &axes[0], 4);
@@ -505,7 +521,7 @@ mod tests {
     #[test]
     fn tile_reorders() {
         let (_, _, c) = matmul(16);
-        let mut s = create_schedule(&[c.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&c));
         let axes = c.op.axes();
         let (yo, xo, yi, xi) = s.tile(&c, &axes[0], &axes[1], 4, 4);
         let names: Vec<VarId> = s.stage(&c).leaf_iters.iter().map(|l| l.var.id()).collect();
@@ -518,7 +534,7 @@ mod tests {
     #[test]
     fn fuse_requires_adjacent() {
         let (_, _, c) = matmul(16);
-        let mut s = create_schedule(&[c.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&c));
         let axes = c.op.axes();
         let f = s.fuse(&c, &axes[0], &axes[1]);
         let leaves = &s.stage(&c).leaf_iters;
@@ -529,7 +545,7 @@ mod tests {
     #[test]
     fn cache_write_moves_reduction() {
         let (_, _, c) = matmul(16);
-        let mut s = create_schedule(&[c.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&c));
         let cl = s.cache_write(&c, MemScope::Local);
         assert_eq!(s.stages.len(), 2);
         assert_eq!(s.stages[0].tensor.op_id(), cl.op_id());
@@ -543,7 +559,7 @@ mod tests {
     #[test]
     fn cache_read_redirects_readers() {
         let (a, _, c) = matmul(16);
-        let mut s = create_schedule(&[c.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&c));
         let ashared = s.cache_read(&a, MemScope::Shared, &[&c]);
         let inputs = c.op.input_tensors();
         assert!(inputs.iter().any(|t| t.op_id() == ashared.op_id()));
@@ -557,7 +573,7 @@ mod tests {
     #[should_panic(expected = "not a leaf")]
     fn split_nonexistent_leaf_panics() {
         let (_, _, c) = matmul(16);
-        let mut s = create_schedule(&[c.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&c));
         let bogus = IterVar::data(4, "bogus");
         s.split(&c, &bogus, 2);
     }

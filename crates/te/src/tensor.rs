@@ -13,7 +13,7 @@
 //! let b = placeholder(&[h, n], DType::float32(), "B");
 //! let k = reduce_axis(h, "k");
 //! let c = compute(&[m, n], "C", |i| {
-//!     sum(a.at(&[k.expr(), i[0].clone()]) * b.at(&[k.expr(), i[1].clone()]), &[k.clone()])
+//!     sum(a.at(&[k.expr(), i[0].clone()]) * b.at(&[k.expr(), i[1].clone()]), std::slice::from_ref(&k))
 //! });
 //! assert_eq!(c.shape(), &[64, 64]);
 //! ```
@@ -185,17 +185,29 @@ impl From<Expr> for ComputeBody {
 
 /// Builds a sum reduction body.
 pub fn sum(source: Expr, axes: &[IterVar]) -> ComputeBody {
-    ComputeBody::Reduce { combiner: Combiner::Sum, source, axes: axes.to_vec() }
+    ComputeBody::Reduce {
+        combiner: Combiner::Sum,
+        source,
+        axes: axes.to_vec(),
+    }
 }
 
 /// Builds a max reduction body.
 pub fn max_reduce(source: Expr, axes: &[IterVar]) -> ComputeBody {
-    ComputeBody::Reduce { combiner: Combiner::Max, source, axes: axes.to_vec() }
+    ComputeBody::Reduce {
+        combiner: Combiner::Max,
+        source,
+        axes: axes.to_vec(),
+    }
 }
 
 /// Builds a min reduction body.
 pub fn min_reduce(source: Expr, axes: &[IterVar]) -> ComputeBody {
-    ComputeBody::Reduce { combiner: Combiner::Min, source, axes: axes.to_vec() }
+    ComputeBody::Reduce {
+        combiner: Combiner::Min,
+        source,
+        axes: axes.to_vec(),
+    }
 }
 
 /// Operation kinds.
@@ -359,7 +371,9 @@ pub fn read_key(id: OpId) -> String {
 
 /// Decodes a read key back to an op id.
 pub fn parse_read_key(name: &str) -> Option<OpId> {
-    name.strip_prefix(READ_PREFIX).and_then(|s| s.parse().ok()).map(OpId)
+    name.strip_prefix(READ_PREFIX)
+        .and_then(|s| s.parse().ok())
+        .map(OpId)
 }
 
 thread_local! {
@@ -426,7 +440,10 @@ pub fn compute<B: Into<ComputeBody>>(
         .iter()
         .enumerate()
         .map(|(d, &e)| {
-            IterVar::data(e, format!("{}_{}", name, axis_names.get(d).unwrap_or(&"ix")))
+            IterVar::data(
+                e,
+                format!("{}_{}", name, axis_names.get(d).unwrap_or(&"ix")),
+            )
         })
         .collect();
     let idx: Vec<Expr> = axes.iter().map(|a| a.expr()).collect();
@@ -437,7 +454,10 @@ pub fn compute<B: Into<ComputeBody>>(
         name,
         shape: shape.to_vec(),
         dtype,
-        kind: OpKind::Compute { axes, body: RefCell::new(body) },
+        kind: OpKind::Compute {
+            axes,
+            body: RefCell::new(body),
+        },
     });
     let t = Tensor { op };
     register_tensor(&t);
@@ -458,7 +478,10 @@ pub fn compute_with_axes(
         name: name.into(),
         shape: shape.to_vec(),
         dtype,
-        kind: OpKind::Compute { axes, body: RefCell::new(body) },
+        kind: OpKind::Compute {
+            axes,
+            body: RefCell::new(body),
+        },
     });
     let t = Tensor { op };
     register_tensor(&t);
@@ -477,7 +500,7 @@ mod tests {
         let c = compute(&[64, 48], "C", |i| {
             sum(
                 a.at(&[i[0].clone(), k.expr()]) * b.at(&[k.expr(), i[1].clone()]),
-                &[k.clone()],
+                std::slice::from_ref(&k),
             )
         });
         assert_eq!(c.shape(), &[64, 48]);
@@ -513,7 +536,10 @@ mod tests {
 
     #[test]
     fn combiner_identities() {
-        assert_eq!(Combiner::Sum.identity(DType::float32()).as_float(), Some(0.0));
+        assert_eq!(
+            Combiner::Sum.identity(DType::float32()).as_float(),
+            Some(0.0)
+        );
         assert!(Combiner::Max
             .identity(DType::float32())
             .as_float()

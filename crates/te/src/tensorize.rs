@@ -127,7 +127,7 @@ mod tests {
         let y = compute(&[8, 8], "y", |i| {
             sum(
                 w.at(&[i[0].clone(), k.expr()]) * x.at(&[i[1].clone(), k.expr()]),
-                &[k.clone()],
+                std::slice::from_ref(&k),
             )
         });
         let intrin = TensorIntrin::new("gemm8x8", y, |inputs, output| TensorIntrinImpl {

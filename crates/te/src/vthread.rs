@@ -30,7 +30,14 @@ pub fn lower_vthreads(s: &Stmt) -> Stmt {
     struct M;
     impl Mutator for M {
         fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
-            if let StmtNode::For { var, min, extent, kind: ForKind::VThread, body } = &*s.0 {
+            if let StmtNode::For {
+                var,
+                min,
+                extent,
+                kind: ForKind::VThread,
+                body,
+            } = &*s.0
+            {
                 let body = self.mutate_stmt(body);
                 return Stmt::loop_(var, min.clone(), extent.clone(), ForKind::Serial, body);
             }
@@ -59,7 +66,14 @@ fn map_vthreads(s: &Stmt, scopes: &HashMap<VarId, MemScope>, found: &mut bool) -
     }
     impl Mutator for M<'_> {
         fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
-            if let StmtNode::For { var, min, extent, kind: ForKind::VThread, body } = &*s.0 {
+            if let StmtNode::For {
+                var,
+                min,
+                extent,
+                kind: ForKind::VThread,
+                body,
+            } = &*s.0
+            {
                 *self.found = true;
                 let body = self.mutate_stmt(body);
                 let lo = min.as_int().unwrap_or(0);
@@ -70,7 +84,11 @@ fn map_vthreads(s: &Stmt, scopes: &HashMap<VarId, MemScope>, found: &mut bool) -
             self.default_mutate_stmt(s)
         }
     }
-    M { scopes, found: &mut *found }.mutate_stmt(s)
+    M {
+        scopes,
+        found: &mut *found,
+    }
+    .mutate_stmt(s)
 }
 
 /// Collects allocation scopes; unknown buffers (function params) are global.
@@ -86,7 +104,9 @@ pub fn collect_scopes(s: &Stmt) -> HashMap<VarId, MemScope> {
             self.walk_stmt(s);
         }
     }
-    let mut c = C { out: HashMap::new() };
+    let mut c = C {
+        out: HashMap::new(),
+    };
     c.visit_stmt(s);
     c.out
 }
@@ -154,7 +174,12 @@ fn group_info(s: &Stmt, scopes: &HashMap<VarId, MemScope>) -> GroupInfo {
     impl Visitor for G<'_> {
         fn visit_stmt(&mut self, s: &Stmt) {
             match &*s.0 {
-                StmtNode::Store { buffer, index, value, predicate } => {
+                StmtNode::Store {
+                    buffer,
+                    index,
+                    value,
+                    predicate,
+                } => {
                     let unit = unit_of_store(scope_of(self.scopes, buffer.id()));
                     self.info.writes.insert(buffer.id(), unit);
                     self.collect_loads(value, unit);
@@ -187,7 +212,10 @@ fn group_info(s: &Stmt, scopes: &HashMap<VarId, MemScope>) -> GroupInfo {
             }
         }
     }
-    let mut g = G { scopes, info: GroupInfo::default() };
+    let mut g = G {
+        scopes,
+        info: GroupInfo::default(),
+    };
     g.visit_stmt(s);
     g.info
 }
@@ -212,7 +240,14 @@ fn rewrite_loops(s: &Stmt, scopes: &HashMap<VarId, MemScope>) -> Stmt {
     }
     impl Mutator for R<'_> {
         fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
-            if let StmtNode::For { var, min, extent, kind, body } = &*s.0 {
+            if let StmtNode::For {
+                var,
+                min,
+                extent,
+                kind,
+                body,
+            } = &*s.0
+            {
                 if !matches!(kind, ForKind::VThread) {
                     let body = self.mutate_stmt(body);
                     let (body, seeds, drains) = tokenize_level(&body, true, self.scopes);
@@ -239,14 +274,28 @@ fn tokenize_level(
 ) -> (Stmt, Vec<Stmt>, Vec<Stmt>) {
     match &*s.0 {
         // Transparent wrappers: the level continues inside.
-        StmtNode::Allocate { buffer, dtype, extent, scope, body } => {
+        StmtNode::Allocate {
+            buffer,
+            dtype,
+            extent,
+            scope,
+            body,
+        } => {
             let (b, seeds, drains) = tokenize_level(body, cyclic, scopes);
-            (Stmt::allocate(buffer, *dtype, extent.clone(), *scope, b), seeds, drains)
+            (
+                Stmt::allocate(buffer, *dtype, extent.clone(), *scope, b),
+                seeds,
+                drains,
+            )
         }
         StmtNode::LetStmt { var, value, body } => {
             let (b, seeds, drains) = tokenize_level(body, cyclic, scopes);
             (
-                Stmt::new(StmtNode::LetStmt { var: var.clone(), value: value.clone(), body: b }),
+                Stmt::new(StmtNode::LetStmt {
+                    var: var.clone(),
+                    value: value.clone(),
+                    body: b,
+                }),
                 seeds,
                 drains,
             )
@@ -256,7 +305,7 @@ fn tokenize_level(
             (Stmt::seq(items), seeds, drains)
         }
         _ => {
-            let (items, seeds, drains) = tokenize_items(&[s.clone()], cyclic, scopes);
+            let (items, seeds, drains) = tokenize_items(std::slice::from_ref(s), cyclic, scopes);
             (Stmt::seq(items), seeds, drains)
         }
     }
@@ -352,9 +401,11 @@ fn has_boundary(s: &Stmt) -> bool {
         StmtNode::Allocate { body, .. }
         | StmtNode::AttrStmt { body, .. }
         | StmtNode::LetStmt { body, .. } => has_boundary(body),
-        StmtNode::IfThenElse { then_case, else_case, .. } => {
-            has_boundary(then_case) || else_case.as_ref().is_some_and(|e| has_boundary(e))
-        }
+        StmtNode::IfThenElse {
+            then_case,
+            else_case,
+            ..
+        } => has_boundary(then_case) || else_case.as_ref().is_some_and(has_boundary),
         _ => false,
     }
 }
@@ -372,9 +423,12 @@ fn contains_shared_loop(s: &Stmt) -> bool {
         StmtNode::Allocate { body, .. }
         | StmtNode::AttrStmt { body, .. }
         | StmtNode::LetStmt { body, .. } => contains_shared_loop(body),
-        StmtNode::IfThenElse { then_case, else_case, .. } => {
-            contains_shared_loop(then_case)
-                || else_case.as_ref().is_some_and(contains_shared_loop)
+        StmtNode::IfThenElse {
+            then_case,
+            else_case,
+            ..
+        } => {
+            contains_shared_loop(then_case) || else_case.as_ref().is_some_and(contains_shared_loop)
         }
         _ => false,
     }
@@ -390,12 +444,22 @@ fn dup_for_copy(s: &Stmt, var: &Var, copy: &CopySubst) -> Stmt {
 
 fn push_copies(s: &Stmt, var: &Var, copies: &[CopySubst]) -> Stmt {
     match &*s.0 {
-        StmtNode::For { var: lv, min, extent, kind, body }
-            if !matches!(kind, ForKind::VThread) =>
-        {
+        StmtNode::For {
+            var: lv,
+            min,
+            extent,
+            kind,
+            body,
+        } if !matches!(kind, ForKind::VThread) => {
             if has_boundary(body) {
                 // Pipeline loop: shared across copies, interleave inside.
-                Stmt::loop_(lv, min.clone(), extent.clone(), *kind, push_copies(body, var, copies))
+                Stmt::loop_(
+                    lv,
+                    min.clone(),
+                    extent.clone(),
+                    *kind,
+                    push_copies(body, var, copies),
+                )
             } else {
                 // Pure compute nest: one whole copy per virtual thread.
                 Stmt::seq(copies.iter().map(|c| dup_for_copy(s, var, c)).collect())
@@ -431,7 +495,13 @@ fn push_copies(s: &Stmt, var: &Var, copies: &[CopySubst]) -> Stmt {
             flush(&mut run, &mut out);
             Stmt::seq(out)
         }
-        StmtNode::Allocate { buffer, dtype, extent, scope, body } => {
+        StmtNode::Allocate {
+            buffer,
+            dtype,
+            extent,
+            scope,
+            body,
+        } => {
             let mut new_copies = copies.to_vec();
             let mut fresh: Vec<Var> = Vec::new();
             for (i, (_, map)) in new_copies.iter_mut().enumerate() {
@@ -468,7 +538,11 @@ mod tests {
             &i,
             0,
             4,
-            Stmt::store(&out, v.clone() * 4 + i.clone(), (v.clone() * 4 + i.clone()).cast(DType::float32())),
+            Stmt::store(
+                &out,
+                v.clone() * 4 + i.clone(),
+                (v.clone() * 4 + i.clone()).cast(DType::float32()),
+            ),
         );
         let s = Stmt::loop_(&v, 0, 2, ForKind::VThread, body);
         let lowered = lower_vthreads(&s);

@@ -4,16 +4,20 @@
 
 use tvm_ir::{DType, Expr, Interp, MemScope, Stmt, ThreadTag};
 use tvm_te::{
-    compute, create_schedule, lower, placeholder, reduce_axis, sum, max_reduce, Tensor,
+    compute, create_schedule, lower, max_reduce, placeholder, reduce_axis, sum, Tensor,
     TensorIntrin, TensorIntrinImpl,
 };
 
 fn run(f: &tvm_ir::LoweredFunc, bufs: &mut [Vec<f32>]) {
-    Interp::new().run_f32(f, bufs).unwrap_or_else(|e| panic!("{}: {e}\n{}", f.name, f.body));
+    Interp::new()
+        .run_f32(f, bufs)
+        .unwrap_or_else(|e| panic!("{}: {e}\n{}", f.name, f.body));
 }
 
 fn seq_data(n: usize, scale: f32, offset: f32) -> Vec<f32> {
-    (0..n).map(|i| ((i * 37 % 101) as f32) * scale + offset).collect()
+    (0..n)
+        .map(|i| ((i * 37 % 101) as f32) * scale + offset)
+        .collect()
 }
 
 fn matmul_decl(m: i64, n: i64, k: i64) -> (Tensor, Tensor, Tensor) {
@@ -21,7 +25,10 @@ fn matmul_decl(m: i64, n: i64, k: i64) -> (Tensor, Tensor, Tensor) {
     let b = placeholder(&[k, n], DType::float32(), "B");
     let kk = reduce_axis(k, "k");
     let c = compute(&[m, n], "C", |i| {
-        sum(a.at(&[i[0].clone(), kk.expr()]) * b.at(&[kk.expr(), i[1].clone()]), &[kk.clone()])
+        sum(
+            a.at(&[i[0].clone(), kk.expr()]) * b.at(&[kk.expr(), i[1].clone()]),
+            std::slice::from_ref(&kk),
+        )
     });
     (a, b, c)
 }
@@ -58,7 +65,7 @@ fn check_matmul(f: &tvm_ir::LoweredFunc, m: usize, n: usize, k: usize) {
 #[test]
 fn naive_matmul() {
     let (a, b, c) = matmul_decl(16, 12, 20);
-    let s = create_schedule(&[c.clone()]);
+    let s = create_schedule(std::slice::from_ref(&c));
     let f = lower(&s, &[a, b, c], "mm").expect("lowers");
     check_matmul(&f, 16, 12, 20);
 }
@@ -66,7 +73,7 @@ fn naive_matmul() {
 #[test]
 fn tiled_matmul_perfect() {
     let (a, b, c) = matmul_decl(16, 16, 16);
-    let mut s = create_schedule(&[c.clone()]);
+    let mut s = create_schedule(std::slice::from_ref(&c));
     let ax = c.op.axes();
     let r = c.op.reduce_axes();
     let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4);
@@ -80,7 +87,7 @@ fn tiled_matmul_perfect() {
 fn tiled_matmul_imperfect_split_guards() {
     // 10 is not divisible by 4: guards must protect out-of-range tails.
     let (a, b, c) = matmul_decl(10, 6, 7);
-    let mut s = create_schedule(&[c.clone()]);
+    let mut s = create_schedule(std::slice::from_ref(&c));
     let ax = c.op.axes();
     let r = c.op.reduce_axes();
     let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4);
@@ -93,7 +100,7 @@ fn tiled_matmul_imperfect_split_guards() {
 #[test]
 fn fused_and_annotated_matmul() {
     let (a, b, c) = matmul_decl(8, 8, 8);
-    let mut s = create_schedule(&[c.clone()]);
+    let mut s = create_schedule(std::slice::from_ref(&c));
     let ax = c.op.axes();
     let fused = s.fuse(&c, &ax[0], &ax[1]);
     let (fo, fi) = s.split(&c, &fused, 16);
@@ -111,7 +118,7 @@ fn compute_at_producer_region() {
     let a = placeholder(&[32], DType::float32(), "A");
     let b = compute(&[32], "B", |i| a.at(&[i[0].clone()]) * 2);
     let c = compute(&[32], "C", |i| b.at(&[i[0].clone()]) + 1);
-    let mut s = create_schedule(&[c.clone()]);
+    let mut s = create_schedule(std::slice::from_ref(&c));
     let cx = c.op.axes();
     let (xo, _xi) = s.split(&c, &cx[0], 4);
     s.compute_at(&b, &c, &xo);
@@ -127,15 +134,42 @@ fn compute_at_producer_region() {
 }
 
 #[test]
+fn compute_at_under_fused_split_loop_crossing_rows() {
+    // Found by the differential schedule fuzzer (tvm-verify): attaching a
+    // producer under a fused-then-split loop whose 3-element chunks straddle
+    // the 16-wide inner dimension (e.g. fused indices 15,16,17) used to
+    // compute a 1x3 producer region anchored at the chunk start, so the
+    // consumer indexed the undersized buffer with negative offsets. The
+    // region inference must relax such axes to their full extent.
+    let a = placeholder(&[6, 16], DType::float32(), "A");
+    let b = compute(&[6, 16], "B", |i| a.at(&[i[0].clone(), i[1].clone()]) * 2);
+    let c = compute(&[6, 16], "C", |i| b.at(&[i[0].clone(), i[1].clone()]) + 1);
+    let mut s = create_schedule(std::slice::from_ref(&c));
+    let cx = c.op.axes();
+    let f0 = s.fuse(&c, &cx[0], &cx[1]);
+    let (fo, _fi) = s.split(&c, &f0, 3);
+    s.compute_at(&b, &c, &fo);
+    let f = lower(&s, &[a.clone(), c.clone()], "fused_split_attach").expect("lowers");
+    let input = seq_data(96, 0.5, -1.0);
+    let want: Vec<f32> = input.iter().map(|v| v * 2.0 + 1.0).collect();
+    let mut bufs = vec![input, vec![0.0; 96]];
+    run(&f, &mut bufs);
+    assert_eq!(bufs[1], want, "{}", f.body);
+}
+
+#[test]
 fn compute_inline_removes_buffer() {
     let a = placeholder(&[16], DType::float32(), "A");
     let b = compute(&[16], "B", |i| a.at(&[i[0].clone()]) * 2);
     let c = compute(&[16], "C", |i| b.at(&[i[0].clone()]) + 1);
-    let mut s = create_schedule(&[c.clone()]);
+    let mut s = create_schedule(std::slice::from_ref(&c));
     s.compute_inline(&b);
     let f = lower(&s, &[a.clone(), c.clone()], "inlined").expect("lowers");
     let text = f.body.to_string();
-    assert!(!text.contains("alloc"), "inlined stage still allocates: {text}");
+    assert!(
+        !text.contains("alloc"),
+        "inlined stage still allocates: {text}"
+    );
     let input = seq_data(16, 1.0, 0.0);
     let want: Vec<f32> = input.iter().map(|v| v * 2.0 + 1.0).collect();
     let mut bufs = vec![input, vec![0.0; 16]];
@@ -146,7 +180,7 @@ fn compute_inline_removes_buffer() {
 #[test]
 fn cache_write_local_accumulator() {
     let (a, b, c) = matmul_decl(8, 8, 8);
-    let mut s = create_schedule(&[c.clone()]);
+    let mut s = create_schedule(std::slice::from_ref(&c));
     let cl = s.cache_write(&c, MemScope::Local);
     let ax = c.op.axes();
     let (yo, xo, _yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4);
@@ -159,7 +193,7 @@ fn cache_write_local_accumulator() {
 #[test]
 fn gpu_matmul_with_thread_binding() {
     let (a, b, c) = matmul_decl(16, 16, 16);
-    let mut s = create_schedule(&[c.clone()]);
+    let mut s = create_schedule(std::slice::from_ref(&c));
     let ax = c.op.axes();
     let (by, bx, ty, tx) = s.tile(&c, &ax[0], &ax[1], 4, 4);
     s.bind(&c, &by, ThreadTag::BlockIdxY);
@@ -178,7 +212,7 @@ fn gpu_cooperative_shared_memory_matmul() {
     // cooperative shared-memory fetch of both inputs with barriers.
     let (m, n, k) = (16, 16, 16);
     let (a, b, c) = matmul_decl(m, n, k);
-    let mut s = create_schedule(&[c.clone()]);
+    let mut s = create_schedule(std::slice::from_ref(&c));
     let cl = s.cache_write(&c, MemScope::Local);
     let ax = c.op.axes();
     let (by, bx, yb, xb) = s.tile(&c, &ax[0], &ax[1], 8, 8);
@@ -219,8 +253,10 @@ fn gpu_cooperative_shared_memory_matmul() {
 fn max_pool_style_reduction() {
     let a = placeholder(&[4, 16], DType::float32(), "A");
     let r = reduce_axis(16, "r");
-    let m = compute(&[4], "M", |i| max_reduce(a.at(&[i[0].clone(), r.expr()]), &[r.clone()]));
-    let mut s = create_schedule(&[m.clone()]);
+    let m = compute(&[4], "M", |i| {
+        max_reduce(a.at(&[i[0].clone(), r.expr()]), std::slice::from_ref(&r))
+    });
+    let mut s = create_schedule(std::slice::from_ref(&m));
     let rx = m.op.reduce_axes();
     let (_ro, _ri) = s.split(&m, &rx[0], 4);
     let f = lower(&s, &[a.clone(), m.clone()], "rowmax").expect("lowers");
@@ -242,7 +278,7 @@ fn tensorize_gemm_tile() {
     // "hardware" gemm whose functional model is registered with the
     // interpreter.
     let (a, b, c) = matmul_decl(8, 8, 8);
-    let mut s = create_schedule(&[c.clone()]);
+    let mut s = create_schedule(std::slice::from_ref(&c));
     let ax = c.op.axes();
     let r = c.op.reduce_axes();
     let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4);
@@ -254,7 +290,10 @@ fn tensorize_gemm_tile() {
     let xd = placeholder(&[4, 4], DType::float32(), "x");
     let kd = reduce_axis(4, "k");
     let yd = compute(&[4, 4], "y", |i| {
-        sum(wd.at(&[i[0].clone(), kd.expr()]) * xd.at(&[kd.expr(), i[1].clone()]), &[kd.clone()])
+        sum(
+            wd.at(&[i[0].clone(), kd.expr()]) * xd.at(&[kd.expr(), i[1].clone()]),
+            std::slice::from_ref(&kd),
+        )
     });
     let intrin = TensorIntrin::new("gemm4x4", yd, |inputs, output| TensorIntrinImpl {
         reset: Some(Stmt::evaluate(Expr::hw_call(
@@ -332,7 +371,8 @@ fn tensorize_gemm_tile() {
     let bv = seq_data(64, 0.5, 1.0);
     let want = matmul_ref(8, 8, 8, &av, &bv);
     let mut bufs = vec![av, bv, vec![0.0; 64]];
-    it.run_f32(&f, &mut bufs).unwrap_or_else(|e| panic!("{e}\n{}", f.body));
+    it.run_f32(&f, &mut bufs)
+        .unwrap_or_else(|e| panic!("{e}\n{}", f.body));
     for (g, w) in bufs[2].iter().zip(&want) {
         assert!((g - w).abs() < 1e-3, "got {g} want {w}");
     }
@@ -347,7 +387,9 @@ fn padded_conv1d_via_inlined_pad() {
     let pad = compute(&[n + 2], "Apad", |i| {
         let idx = i[0].clone();
         Expr::select(
-            idx.clone().ge(Expr::int(1)).and(idx.clone().lt(Expr::int(n + 1))),
+            idx.clone()
+                .ge(Expr::int(1))
+                .and(idx.clone().lt(Expr::int(n + 1))),
             a.at(&[idx.clone() - 1]),
             Expr::f32(0.0),
         )
@@ -355,19 +397,26 @@ fn padded_conv1d_via_inlined_pad() {
     let w = placeholder(&[3], DType::float32(), "W");
     let r = reduce_axis(3, "dw");
     let c = compute(&[n], "Conv", |i| {
-        sum(pad.at(&[i[0].clone() + r.expr()]) * w.at(&[r.expr()]), &[r.clone()])
+        sum(
+            pad.at(&[i[0].clone() + r.expr()]) * w.at(&[r.expr()]),
+            std::slice::from_ref(&r),
+        )
     });
-    let mut s = create_schedule(&[c.clone()]);
+    let mut s = create_schedule(std::slice::from_ref(&c));
     s.compute_inline(&pad);
     let f = lower(&s, &[a.clone(), w.clone(), c.clone()], "conv1d").expect("lowers");
     let av = seq_data(n as usize, 1.0, 0.0);
     let wv = vec![0.5f32, 1.0, -0.25];
     let mut want = vec![0.0f32; n as usize];
-    for i in 0..n as usize {
-        for d in 0..3usize {
+    for (i, wi) in want.iter_mut().enumerate() {
+        for (d, &wd) in wv.iter().enumerate() {
             let src = i as i64 + d as i64 - 1;
-            let v = if (0..n).contains(&src) { av[src as usize] } else { 0.0 };
-            want[i] += v * wv[d];
+            let v = if (0..n).contains(&src) {
+                av[src as usize]
+            } else {
+                0.0
+            };
+            *wi += v * wd;
         }
     }
     let mut bufs = vec![av, wv, vec![0.0; n as usize]];

@@ -43,9 +43,9 @@ proptest! {
         let b = placeholder(&[k, n], DType::float32(), "B");
         let kk = reduce_axis(k, "k");
         let c = compute(&[m, n], "C", |i| {
-            sum(a.at(&[i[0].clone(), kk.expr()]) * b.at(&[kk.expr(), i[1].clone()]), &[kk.clone()])
+            sum(a.at(&[i[0].clone(), kk.expr()]) * b.at(&[kk.expr(), i[1].clone()]), std::slice::from_ref(&kk))
         });
-        let mut s = create_schedule(&[c.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&c));
         let target = if cache {
             let cl = s.cache_write(&c, MemScope::Local);
             let ax = c.op.axes();
@@ -99,7 +99,7 @@ proptest! {
         let b = compute(&[rows, n], "B", |i| {
             a.at(&[i[0].clone(), i[1].clone()]) * 3 + 1
         });
-        let mut s = create_schedule(&[b.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&b));
         let ax = b.op.axes();
         if fuse_axes {
             let f = s.fuse(&b, &ax[0], &ax[1]);

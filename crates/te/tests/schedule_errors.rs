@@ -4,8 +4,7 @@
 
 use tvm_ir::{DType, Interp, MemScope, ThreadTag};
 use tvm_te::{
-    compute, create_schedule, lower, placeholder, reduce_axis, sum, TensorIntrin,
-    TensorIntrinImpl,
+    compute, create_schedule, lower, placeholder, reduce_axis, sum, TensorIntrin, TensorIntrinImpl,
 };
 
 fn mm(n: i64) -> (tvm_te::Tensor, tvm_te::Tensor, tvm_te::Tensor) {
@@ -13,7 +12,10 @@ fn mm(n: i64) -> (tvm_te::Tensor, tvm_te::Tensor, tvm_te::Tensor) {
     let b = placeholder(&[n, n], DType::float32(), "B");
     let k = reduce_axis(n, "k");
     let c = compute(&[n, n], "C", |i| {
-        sum(a.at(&[i[0].clone(), k.expr()]) * b.at(&[k.expr(), i[1].clone()]), &[k.clone()])
+        sum(
+            a.at(&[i[0].clone(), k.expr()]) * b.at(&[k.expr(), i[1].clone()]),
+            std::slice::from_ref(&k),
+        )
     });
     (a, b, c)
 }
@@ -21,7 +23,7 @@ fn mm(n: i64) -> (tvm_te::Tensor, tvm_te::Tensor, tvm_te::Tensor) {
 #[test]
 fn tensorize_shape_mismatch_is_an_error() {
     let (a, b, c) = mm(16);
-    let mut s = create_schedule(&[c.clone()]);
+    let mut s = create_schedule(std::slice::from_ref(&c));
     let ax = c.op.axes();
     let r = c.op.reduce_axes();
     let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4);
@@ -32,7 +34,10 @@ fn tensorize_shape_mismatch_is_an_error() {
     let xd = placeholder(&[8, 8], DType::float32(), "x");
     let kd = reduce_axis(8, "k");
     let yd = compute(&[8, 8], "y", |i| {
-        sum(wd.at(&[i[0].clone(), kd.expr()]) * xd.at(&[kd.expr(), i[1].clone()]), &[kd.clone()])
+        sum(
+            wd.at(&[i[0].clone(), kd.expr()]) * xd.at(&[kd.expr(), i[1].clone()]),
+            std::slice::from_ref(&kd),
+        )
     });
     let intrin = TensorIntrin::new("gemm8", yd, |_, _| TensorIntrinImpl {
         reset: None,
@@ -46,7 +51,7 @@ fn tensorize_shape_mismatch_is_an_error() {
 #[test]
 fn tensorize_rejects_imperfect_tiles() {
     let (a, b, c) = mm(10); // 10 % 4 != 0 -> guards in the region
-    let mut s = create_schedule(&[c.clone()]);
+    let mut s = create_schedule(std::slice::from_ref(&c));
     let ax = c.op.axes();
     let r = c.op.reduce_axes();
     let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4);
@@ -56,7 +61,10 @@ fn tensorize_rejects_imperfect_tiles() {
     let xd = placeholder(&[4, 4], DType::float32(), "x");
     let kd = reduce_axis(5, "k");
     let yd = compute(&[4, 4], "y", |i| {
-        sum(wd.at(&[i[0].clone(), kd.expr()]) * xd.at(&[kd.expr(), i[1].clone()]), &[kd.clone()])
+        sum(
+            wd.at(&[i[0].clone(), kd.expr()]) * xd.at(&[kd.expr(), i[1].clone()]),
+            std::slice::from_ref(&kd),
+        )
     });
     let intrin = TensorIntrin::new("gemm4", yd, |_, _| TensorIntrinImpl {
         reset: None,
@@ -72,7 +80,9 @@ fn tensorize_rejects_imperfect_tiles() {
 fn inlining_a_reduction_panics() {
     let (_a, _b, c) = mm(8);
     let c2 = c.clone();
-    let d = compute(&[8, 8], "D", move |i| c2.at(&[i[0].clone(), i[1].clone()]) + 1);
+    let d = compute(&[8, 8], "D", move |i| {
+        c2.at(&[i[0].clone(), i[1].clone()]) + 1
+    });
     let mut s = create_schedule(&[d]);
     s.compute_inline(&c);
 }
@@ -82,8 +92,10 @@ fn inlining_a_reduction_panics() {
 fn inlining_the_output_panics() {
     let (_a, _b, c) = mm(8);
     let c2 = c.clone();
-    let d = compute(&[8, 8], "D", move |i| c2.at(&[i[0].clone(), i[1].clone()]) + 1);
-    let mut s = create_schedule(&[d.clone()]);
+    let d = compute(&[8, 8], "D", move |i| {
+        c2.at(&[i[0].clone(), i[1].clone()]) + 1
+    });
+    let mut s = create_schedule(std::slice::from_ref(&d));
     s.compute_inline(&d);
 }
 
@@ -91,7 +103,7 @@ fn inlining_the_output_panics() {
 #[should_panic(expected = "cache_write must be applied before")]
 fn cache_write_after_split_panics() {
     let (_a, _b, c) = mm(8);
-    let mut s = create_schedule(&[c.clone()]);
+    let mut s = create_schedule(std::slice::from_ref(&c));
     let ax = c.op.axes();
     let _ = s.split(&c, &ax[0], 2);
     let _ = s.cache_write(&c, MemScope::Local);
@@ -108,7 +120,7 @@ fn smaller_thread_binding_is_guarded_not_rejected() {
     let b = compute(&[n], "B", move |i| a2.at(&[i[0].clone()]) * 2);
     let b2 = b.clone();
     let c = compute(&[n], "C", move |i| b2.at(&[i[0].clone()]) + 1);
-    let mut s = create_schedule(&[c.clone()]);
+    let mut s = create_schedule(std::slice::from_ref(&c));
     let cx = c.op.axes();
     let (bx, tx) = s.split(&c, &cx[0], 8);
     s.bind(&c, &bx, ThreadTag::BlockIdxX);
@@ -119,7 +131,11 @@ fn smaller_thread_binding_is_guarded_not_rejected() {
     let (_o, i4) = s.split(&b, &bx2[0], 4);
     s.bind(&b, &i4, ThreadTag::ThreadIdxX);
     let f = lower(&s, &[a, c], "guarded").expect("lowers");
-    assert!(f.body.to_string().contains("if (threadIdx.x < 4)"), "{}", f.body);
+    assert!(
+        f.body.to_string().contains("if (threadIdx.x < 4)"),
+        "{}",
+        f.body
+    );
     let mut bufs = vec![(0..16).map(|v| v as f32).collect::<Vec<_>>(), vec![0.0; 16]];
     Interp::new().run_f32(&f, &mut bufs).expect("runs");
     let want: Vec<f32> = (0..16).map(|v| v as f32 * 2.0 + 1.0).collect();
@@ -132,7 +148,7 @@ fn dma_pragma_wraps_the_copy_nest() {
     let a = placeholder(&[n], DType::float32(), "A");
     let a2 = a.clone();
     let b = compute(&[n], "B", move |i| a2.at(&[i[0].clone()]) + 5);
-    let mut s = create_schedule(&[b.clone()]);
+    let mut s = create_schedule(std::slice::from_ref(&b));
     let al = s.cache_read(&a, MemScope::InpBuffer, &[&b]);
     let bx = b.op.axes();
     let (xo, _xi) = s.split(&b, &bx[0], 8);
@@ -160,7 +176,11 @@ fn multi_output_style_graphs_share_producers() {
     let out2 = compute(&[8], "out2", move |i| m2.at(&[i[0].clone()]) - 1);
     let s = create_schedule(&[out1.clone(), out2.clone()]);
     let f = lower(&s, &[a, out1, out2], "dual").expect("lowers");
-    let mut bufs = vec![(0..8).map(|v| v as f32).collect::<Vec<_>>(), vec![0.0; 8], vec![0.0; 8]];
+    let mut bufs = vec![
+        (0..8).map(|v| v as f32).collect::<Vec<_>>(),
+        vec![0.0; 8],
+        vec![0.0; 8],
+    ];
     Interp::new().run_f32(&f, &mut bufs).expect("runs");
     assert_eq!(bufs[1][3], 7.0);
     assert_eq!(bufs[2][3], 5.0);

@@ -12,9 +12,9 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 
+use tvm_autotune::{tune, TuneOptions, TunerKind};
 use tvm_ir::DType;
 use tvm_sim::Target;
-use tvm_autotune::{tune, TuneOptions, TunerKind};
 
 use crate::schedules::{conv2d_task, dense_task, depthwise_task};
 use crate::workloads::{Conv2dWorkload, DenseWorkload, DepthwiseConv2dWorkload};
@@ -96,7 +96,13 @@ pub fn expert_ms(task: &tvm_autotune::TuningTask) -> f64 {
     if let Some(v) = EXPERT_CACHE.with(|c| c.borrow().get(&task.name).copied()) {
         return v;
     }
-    let opts = TuneOptions { n_trials: 32, batch: 8, sa_steps: 8, sa_chains: 8, seed: 7 };
+    let opts = TuneOptions {
+        n_trials: 32,
+        batch: 8,
+        sa_steps: 8,
+        sa_chains: 8,
+        seed: 7,
+    };
     let best = tune(task, &opts, TunerKind::GbtRank).best_ms;
     EXPERT_CACHE.with(|c| c.borrow_mut().insert(task.name.clone(), best));
     best

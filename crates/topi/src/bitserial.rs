@@ -9,13 +9,13 @@
 
 use std::rc::Rc;
 
+use tvm_autotune::{ConfigEntity, ConfigSpace, TuningTask};
 use tvm_ir::{DType, Expr, Interp, LoweredFunc, Stmt, Value};
 use tvm_sim::{SimOptions, Target};
 use tvm_te::{
     compute, create_schedule, lower, placeholder, reduce_axis, sum, TeError, TensorIntrin,
     TensorIntrinImpl,
 };
-use tvm_autotune::{ConfigEntity, ConfigSpace, TuningTask};
 
 use crate::workloads::Conv2dWorkload;
 
@@ -55,13 +55,15 @@ impl BitserialWorkload {
 /// Inputs: activations `[a_bits, blocks, h, w]` (uint32 bitplanes, already
 /// padded spatially by the caller's packing) and weights
 /// `[out_c, w_bits, blocks, kh, kw]`; output `[out_c, oh, ow]` int32.
-pub fn bitserial_conv2d(
-    w: &BitserialWorkload,
-) -> (tvm_te::Tensor, tvm_te::Tensor, tvm_te::Tensor) {
+pub fn bitserial_conv2d(w: &BitserialWorkload) -> (tvm_te::Tensor, tvm_te::Tensor, tvm_te::Tensor) {
     let c = &w.conv;
     assert_eq!(c.pad, 0, "pack padded activations on the host");
     let blocks = w.blocks();
-    let a = placeholder(&[w.a_bits, blocks, c.size, c.size], DType::uint(32), "a_packed");
+    let a = placeholder(
+        &[w.a_bits, blocks, c.size, c.size],
+        DType::uint(32),
+        "a_packed",
+    );
     let wt = placeholder(
         &[c.out_c, w.w_bits, blocks, c.kernel, c.kernel],
         DType::uint(32),
@@ -90,7 +92,10 @@ pub fn bitserial_conv2d(
             pc,
             Expr::binary(tvm_ir::BinOp::Add, rb.expr(), rwb.expr()),
         );
-        sum(weighted, &[rb.clone(), rwb.clone(), rc.clone(), rh.clone(), rw.clone()])
+        sum(
+            weighted,
+            &[rb.clone(), rwb.clone(), rc.clone(), rh.clone(), rw.clone()],
+        )
     });
     (a, wt, out)
 }
@@ -102,9 +107,15 @@ pub fn bitserial_dot_intrin(blocks: i64, pixels: i64) -> TensorIntrin {
     let wv = placeholder(&[blocks], DType::int32(), "wb");
     let r = reduce_axis(blocks, "blk");
     let y = compute(&[pixels], "yb", |i| {
-        let anded =
-            Expr::binary(tvm_ir::BinOp::BitAnd, x.at(&[r.expr(), i[0].clone()]), wv.at(&[r.expr()]));
-        sum(Expr::call("popcount", vec![anded], DType::int32()), &[r.clone()])
+        let anded = Expr::binary(
+            tvm_ir::BinOp::BitAnd,
+            x.at(&[r.expr(), i[0].clone()]),
+            wv.at(&[r.expr()]),
+        );
+        sum(
+            Expr::call("popcount", vec![anded], DType::int32()),
+            std::slice::from_ref(&r),
+        )
     });
     let ops = blocks * pixels;
     TensorIntrin::new("arm.bitserial_dot", y, move |inputs, output| {
@@ -189,12 +200,17 @@ pub fn bitserial_task(w: BitserialWorkload, target: Target, threaded: bool) -> T
     let _t2 = target.clone();
     let builder = move |cfg: &ConfigEntity| -> Result<LoweredFunc, TeError> {
         let (a, wt, out) = bitserial_conv2d(&w);
-        let mut s = create_schedule(&[out.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&out));
         let ax = out.op.axes(); // oc, oh, ow
         let (oco, oci) = s.split(&out, &ax[0], cfg.get("tile_oc"));
         let (owo, owi) = s.split(&out, &ax[2], cfg.get("tile_ow"));
         let r = out.op.reduce_axes();
-        s.reorder(&out, &[&oco, &ax[1], &owo, &r[0], &r[1], &r[2], &r[3], &r[4], &oci, &owi]);
+        s.reorder(
+            &out,
+            &[
+                &oco, &ax[1], &owo, &r[0], &r[1], &r[2], &r[3], &r[4], &oci, &owi,
+            ],
+        );
         if cfg.get("vec") == 1 {
             s.vectorize(&out, &owi);
         }
@@ -204,7 +220,11 @@ pub fn bitserial_task(w: BitserialWorkload, target: Target, threaded: bool) -> T
         if cfg.get("unroll") == 1 {
             s.unroll(&out, &r[4]);
         }
-        lower(&s, &[a, wt, out], &format!("bitserial_{}", w.conv.describe()))
+        lower(
+            &s,
+            &[a, wt, out],
+            &format!("bitserial_{}", w.conv.describe()),
+        )
     };
     TuningTask {
         name: format!("bitserial_{}@{}", w.conv.describe(), target.name()),
@@ -264,12 +284,20 @@ pub fn pack_weights(wts: &[f32], out_c: usize, in_c: usize, k: usize) -> Vec<i64
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tvm_sim::arm_a53;
     use tvm_autotune::ConfigSpace as _CS;
+    use tvm_sim::arm_a53;
 
     fn wl() -> BitserialWorkload {
         BitserialWorkload {
-            conv: Conv2dWorkload { batch: 1, size: 10, in_c: 64, out_c: 8, kernel: 3, stride: 1, pad: 0 },
+            conv: Conv2dWorkload {
+                batch: 1,
+                size: 10,
+                in_c: 64,
+                out_c: 8,
+                kernel: 3,
+                stride: 1,
+                pad: 0,
+            },
             a_bits: 2,
             w_bits: 1,
         }
@@ -278,8 +306,12 @@ mod tests {
     /// Reference: quantized conv computed directly on unpacked data.
     fn reference(w: &BitserialWorkload, acts: &[f32], wts: &[f32]) -> Vec<i32> {
         let c = &w.conv;
-        let (ic, size, k, oc_n) =
-            (c.in_c as usize, c.size as usize, c.kernel as usize, c.out_c as usize);
+        let (ic, size, k, oc_n) = (
+            c.in_c as usize,
+            c.size as usize,
+            c.kernel as usize,
+            c.out_c as usize,
+        );
         let o = c.out_size() as usize;
         let mut out = vec![0i32; oc_n * o * o];
         for oc in 0..oc_n {
@@ -311,12 +343,14 @@ mod tests {
     fn packed_bitserial_matches_quantized_reference() {
         let w = wl();
         let c = &w.conv;
-        let acts: Vec<f32> =
-            (0..c.in_c * c.size * c.size).map(|i| ((i * 13 % 4) as f32)).collect();
-        let wts: Vec<f32> = (0..c.out_c * c.in_c * 9).map(|i| ((i * 7) % 2) as f32).collect();
+        let acts: Vec<f32> = (0..c.in_c * c.size * c.size)
+            .map(|i| (i * 13 % 4) as f32)
+            .collect();
+        let wts: Vec<f32> = (0..c.out_c * c.in_c * 9)
+            .map(|i| ((i * 7) % 2) as f32)
+            .collect();
         let want = reference(&w, &acts, &wts);
-        let packed_a =
-            pack_activations(&acts, c.in_c as usize, c.size as usize, w.a_bits as u32);
+        let packed_a = pack_activations(&acts, c.in_c as usize, c.size as usize, w.a_bits as u32);
         let packed_w = pack_weights(&wts, c.out_c as usize, c.in_c as usize, 3);
         let task = bitserial_task(w, arm_a53(), true);
         let cfg = task.space.get(0);
@@ -391,7 +425,12 @@ mod tests {
     #[test]
     fn space_includes_threading_knob_only_when_threaded() {
         fn knob_options(s: &_CS, name: &str) -> Vec<i64> {
-            s.knobs.iter().find(|k| k.name == name).expect("knob").options.clone()
+            s.knobs
+                .iter()
+                .find(|k| k.name == name)
+                .expect("knob")
+                .options
+                .clone()
         }
         let single = bitserial_task(wl(), arm_a53(), false);
         let multi = bitserial_task(wl(), arm_a53(), true);

@@ -45,8 +45,7 @@ pub fn pad_spatial(data: &Tensor, pad: i64, name: &str) -> Tensor {
 /// Declares a direct NCHW convolution for a workload.
 pub fn conv2d(w: &Conv2dWorkload, dtype: DType) -> Conv2dOp {
     let data = placeholder(&[w.batch, w.in_c, w.size, w.size], dtype, "data");
-    let weight =
-        placeholder(&[w.out_c, w.in_c, w.kernel, w.kernel], dtype, "weight");
+    let weight = placeholder(&[w.out_c, w.in_c, w.kernel, w.kernel], dtype, "weight");
     conv2d_compute(&data, &weight, w)
 }
 
@@ -75,7 +74,12 @@ pub fn conv2d_compute(data: &Tensor, weight: &Tensor, w: &Conv2dWorkload) -> Con
             &[rc.clone(), rh.clone(), rw.clone()],
         )
     });
-    Conv2dOp { data, weight, pad, out }
+    Conv2dOp {
+        data,
+        weight,
+        pad,
+        out,
+    }
 }
 
 /// Declares a depthwise NCHW convolution (channel multiplier 1).
@@ -113,12 +117,18 @@ pub fn depthwise_conv2d_compute(
             &[rh.clone(), rw.clone()],
         )
     });
-    Conv2dOp { data, weight, pad, out }
+    Conv2dOp {
+        data,
+        weight,
+        pad,
+        out,
+    }
 }
 
 /// Declares a transposed convolution (DCGAN's generator op) by zero-
 /// inserting the input ("fractional stride") then running a unit-stride
 /// convolution with the spatially flipped kernel access pattern.
+#[allow(clippy::too_many_arguments)]
 pub fn conv2d_transpose(
     batch: i64,
     in_c: i64,
@@ -131,7 +141,9 @@ pub fn conv2d_transpose(
 ) -> Conv2dOp {
     let data = placeholder(&[batch, in_c, in_size, in_size], dtype, "data");
     let weight = placeholder(&[out_c, in_c, kernel, kernel], dtype, "weight");
-    conv2d_transpose_compute(&data, &weight, batch, in_c, in_size, out_c, kernel, stride, out_pad)
+    conv2d_transpose_compute(
+        &data, &weight, batch, in_c, in_size, out_c, kernel, stride, out_pad,
+    )
 }
 
 /// Transposed convolution over existing tensors.
@@ -175,17 +187,26 @@ pub fn conv2d_transpose_compute(
     let dil2 = dil.clone();
     let out = compute(&[batch, out_c, out_size, out_size], "convt", |i| {
         sum(
-            dil2.at(&[i[0].clone(), rc.expr(), i[2].clone() + rh.expr(), i[3].clone() + rw.expr()])
-                * weight.at(&[
-                    i[1].clone(),
-                    rc.expr(),
-                    Expr::int(kernel - 1) - rh.expr(),
-                    Expr::int(kernel - 1) - rw.expr(),
-                ]),
+            dil2.at(&[
+                i[0].clone(),
+                rc.expr(),
+                i[2].clone() + rh.expr(),
+                i[3].clone() + rw.expr(),
+            ]) * weight.at(&[
+                i[1].clone(),
+                rc.expr(),
+                Expr::int(kernel - 1) - rh.expr(),
+                Expr::int(kernel - 1) - rw.expr(),
+            ]),
             &[rc.clone(), rh.clone(), rw.clone()],
         )
     });
-    Conv2dOp { data, weight, pad: Some(dil), out }
+    Conv2dOp {
+        data,
+        weight,
+        pad: Some(dil),
+        out,
+    }
 }
 
 /// Declares a dense layer `out[m, n] = sum_k data[m, k] * w[n, k]`.
@@ -203,14 +224,18 @@ pub fn dense_compute(data: &Tensor, weight: &Tensor, w: &DenseWorkload) -> Tenso
     compute(&[w.m, w.n], "dense", |i| {
         sum(
             data.at(&[i[0].clone(), r.expr()]) * weight.at(&[i[1].clone(), r.expr()]),
-            &[r.clone()],
+            std::slice::from_ref(&r),
         )
     })
 }
 
 /// Row-major reshape (same element count).
 pub fn reshape(x: &Tensor, shape: &[i64]) -> Tensor {
-    assert_eq!(x.numel(), shape.iter().product::<i64>(), "reshape must preserve size");
+    assert_eq!(
+        x.numel(),
+        shape.iter().product::<i64>(),
+        "reshape must preserve size"
+    );
     let xs = x.clone();
     let in_shape = x.shape().to_vec();
     compute(shape, "reshape", |i| {
@@ -249,7 +274,9 @@ pub fn bias_add(x: &Tensor, bias: &Tensor) -> Tensor {
 /// Inference-mode batch norm folded into per-channel scale and shift.
 pub fn batch_norm(x: &Tensor, scale: &Tensor, shift: &Tensor) -> Tensor {
     let (xs, sc, sh) = (x.clone(), scale.clone(), shift.clone());
-    compute(x.shape(), "bn", |i| xs.at(i) * sc.at(&[i[1].clone()]) + sh.at(&[i[1].clone()]))
+    compute(x.shape(), "bn", |i| {
+        xs.at(i) * sc.at(&[i[1].clone()]) + sh.at(&[i[1].clone()])
+    })
 }
 
 /// Element-wise addition of same-shape tensors (residual connections).
@@ -267,13 +294,17 @@ pub fn multiply(a: &Tensor, b: &Tensor) -> Tensor {
 /// Element-wise hyperbolic tangent.
 pub fn tanh_t(x: &Tensor) -> Tensor {
     let xs = x.clone();
-    compute(x.shape(), "tanh", |i| Expr::call("tanh", vec![xs.at(i)], xs.dtype()))
+    compute(x.shape(), "tanh", |i| {
+        Expr::call("tanh", vec![xs.at(i)], xs.dtype())
+    })
 }
 
 /// Element-wise logistic sigmoid.
 pub fn sigmoid_t(x: &Tensor) -> Tensor {
     let xs = x.clone();
-    compute(x.shape(), "sigmoid", |i| Expr::call("sigmoid", vec![xs.at(i)], xs.dtype()))
+    compute(x.shape(), "sigmoid", |i| {
+        Expr::call("sigmoid", vec![xs.at(i)], xs.dtype())
+    })
 }
 
 /// Row-wise softmax of a 2-D tensor, numerically stabilized.
@@ -282,17 +313,24 @@ pub fn softmax(x: &Tensor) -> Tensor {
     let xs = x.clone();
     let r = reduce_axis(n, "sm_max_k");
     let mx = compute(&[m], "sm_max", |i| {
-        max_reduce(xs.at(&[i[0].clone(), r.expr()]), &[r.clone()])
+        max_reduce(xs.at(&[i[0].clone(), r.expr()]), std::slice::from_ref(&r))
     });
     let xs2 = x.clone();
     let mx2 = mx.clone();
     let ex = compute(&[m, n], "sm_exp", |i| {
-        Expr::call("exp", vec![xs2.at(i) - mx2.at(&[i[0].clone()])], xs2.dtype())
+        Expr::call(
+            "exp",
+            vec![xs2.at(i) - mx2.at(&[i[0].clone()])],
+            xs2.dtype(),
+        )
     });
     let r2 = reduce_axis(n, "sm_sum_k");
     let ex2 = ex.clone();
     let s = compute(&[m], "sm_sum", |i| {
-        sum(ex2.at(&[i[0].clone(), r2.expr()]), &[r2.clone()])
+        sum(
+            ex2.at(&[i[0].clone(), r2.expr()]),
+            std::slice::from_ref(&r2),
+        )
     });
     let (ex3, s2) = (ex, s);
     compute(&[m, n], "softmax", |i| ex3.at(i) / s2.at(&[i[0].clone()]))
@@ -355,7 +393,12 @@ pub fn flatten(x: &Tensor) -> Tensor {
     let xs = x.clone();
     compute(&[s[0], c * h * w], "flatten", |i| {
         let f = i[1].clone();
-        xs.at(&[i[0].clone(), f.clone() / (h * w), (f.clone() / w) % h, f % w])
+        xs.at(&[
+            i[0].clone(),
+            f.clone() / (h * w),
+            (f.clone() / w) % h,
+            f % w,
+        ])
     })
 }
 
@@ -372,22 +415,41 @@ mod tests {
             s.compute_inline(p);
         }
         let f = lower(&s, args, "op").expect("lowers");
-        Interp::new().run_f32(&f, bufs).unwrap_or_else(|e| panic!("{e}\n{}", f.body));
+        Interp::new()
+            .run_f32(&f, bufs)
+            .unwrap_or_else(|e| panic!("{e}\n{}", f.body));
     }
 
     #[test]
     fn conv2d_matches_reference() {
-        let w = Conv2dWorkload { batch: 1, size: 8, in_c: 3, out_c: 4, kernel: 3, stride: 1, pad: 1 };
+        let w = Conv2dWorkload {
+            batch: 1,
+            size: 8,
+            in_c: 3,
+            out_c: 4,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
         let op = conv2d(&w, DType::float32());
         let data: Vec<f32> = (0..w.batch * w.in_c * w.size * w.size)
             .map(|i| ((i % 13) as f32) - 6.0)
             .collect();
-        let wts: Vec<f32> = (0..w.out_c * w.in_c * 9).map(|i| ((i % 7) as f32) * 0.5 - 1.0).collect();
+        let wts: Vec<f32> = (0..w.out_c * w.in_c * 9)
+            .map(|i| ((i % 7) as f32) * 0.5 - 1.0)
+            .collect();
         let o = w.out_size() as usize;
-        let mut bufs =
-            vec![data.clone(), wts.clone(), vec![0.0; (w.out_c as usize) * o * o]];
+        let mut bufs = vec![
+            data.clone(),
+            wts.clone(),
+            vec![0.0; (w.out_c as usize) * o * o],
+        ];
         let pads: Vec<&Tensor> = op.pad.iter().collect();
-        run(&[op.data.clone(), op.weight.clone(), op.out.clone()], &mut bufs, &pads);
+        run(
+            &[op.data.clone(), op.weight.clone(), op.out.clone()],
+            &mut bufs,
+            &pads,
+        );
         // Reference.
         let (ic, size, k) = (w.in_c as usize, w.size as usize, w.kernel as usize);
         for oc in 0..w.out_c as usize {
@@ -408,7 +470,10 @@ mod tests {
                         }
                     }
                     let got = bufs[2][oc * o * o + oy * o + ox];
-                    assert!((got - acc).abs() < 1e-3, "oc={oc} y={oy} x={ox}: {got} vs {acc}");
+                    assert!(
+                        (got - acc).abs() < 1e-3,
+                        "oc={oc} y={oy} x={ox}: {got} vs {acc}"
+                    );
                 }
             }
         }
@@ -416,14 +481,25 @@ mod tests {
 
     #[test]
     fn depthwise_conv_shapes_and_values() {
-        let w = DepthwiseConv2dWorkload { batch: 1, size: 6, channels: 2, kernel: 3, stride: 2, pad: 1 };
+        let w = DepthwiseConv2dWorkload {
+            batch: 1,
+            size: 6,
+            channels: 2,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
         let op = depthwise_conv2d(&w, DType::float32());
         assert_eq!(op.out.shape(), &[1, 2, 3, 3]);
         let data: Vec<f32> = (0..72).map(|i| i as f32 * 0.1).collect();
         let wts = vec![1.0f32; 18];
         let mut bufs = vec![data, wts, vec![0.0; 18]];
         let pads: Vec<&Tensor> = op.pad.iter().collect();
-        run(&[op.data.clone(), op.weight.clone(), op.out.clone()], &mut bufs, &pads);
+        run(
+            &[op.data.clone(), op.weight.clone(), op.out.clone()],
+            &mut bufs,
+            &pads,
+        );
         assert!(bufs[2].iter().all(|v| v.is_finite()));
         assert!(bufs[2][4] > 0.0);
     }
@@ -432,7 +508,7 @@ mod tests {
     fn softmax_rows_sum_to_one() {
         let x = placeholder(&[2, 5], DType::float32(), "x");
         let sm = softmax(&x);
-        let mut s = create_schedule(&[sm.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&sm));
         let stages: Vec<Tensor> = s.stages.iter().map(|st| st.tensor.clone()).collect();
         for t in &stages {
             if t.name() == "sm_exp" {
@@ -440,12 +516,17 @@ mod tests {
             }
         }
         let f = lower(&s, &[x, sm], "softmax").expect("lowers");
-        let mut bufs = vec![vec![1.0, 2.0, 3.0, 4.0, 100.0, -1.0, 0.0, 1.0, 2.0, 3.0], vec![0.0; 10]];
+        let mut bufs = vec![
+            vec![1.0, 2.0, 3.0, 4.0, 100.0, -1.0, 0.0, 1.0, 2.0, 3.0],
+            vec![0.0; 10],
+        ];
         Interp::new().run_f32(&f, &mut bufs).expect("runs");
         for row in 0..2 {
             let s: f32 = bufs[1][row * 5..(row + 1) * 5].iter().sum();
             assert!((s - 1.0).abs() < 1e-4, "row {row} sums to {s}");
-            assert!(bufs[1][row * 5..(row + 1) * 5].iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!(bufs[1][row * 5..(row + 1) * 5]
+                .iter()
+                .all(|&v| (0.0..=1.0).contains(&v)));
         }
     }
 
@@ -469,7 +550,11 @@ mod tests {
         let wts: Vec<f32> = (0..96).map(|i| ((i % 5) as f32) - 2.0).collect();
         let mut bufs = vec![data, wts, vec![0.0; 3 * 64]];
         let pads: Vec<&Tensor> = op.pad.iter().collect();
-        run(&[op.data.clone(), op.weight.clone(), op.out.clone()], &mut bufs, &pads);
+        run(
+            &[op.data.clone(), op.weight.clone(), op.out.clone()],
+            &mut bufs,
+            &pads,
+        );
         assert!(bufs[2].iter().any(|&v| v != 0.0));
     }
 
@@ -484,7 +569,7 @@ mod tests {
 
         let x2 = placeholder(&[1, 2, 2, 2], DType::float32(), "x");
         let g = global_avg_pool(&x2);
-        let mut s = create_schedule(&[g.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&g));
         let stages: Vec<Tensor> = s.stages.iter().map(|st| st.tensor.clone()).collect();
         let _ = &mut s;
         let f = lower(&s, &[x2, g], "gap").expect("lowers");

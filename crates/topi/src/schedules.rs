@@ -4,10 +4,10 @@
 
 use std::rc::Rc;
 
+use tvm_autotune::{ConfigEntity, ConfigSpace, TuningTask};
 use tvm_ir::{LoweredFunc, MemScope, ThreadTag};
 use tvm_sim::{analyze, Target};
 use tvm_te::{create_schedule, lower, IterVar, Schedule, TeError, Tensor};
-use tvm_autotune::{ConfigEntity, ConfigSpace, TuningTask};
 
 use crate::nn::{conv2d, dense, depthwise_conv2d, Conv2dOp};
 use crate::workloads::{Conv2dWorkload, DenseWorkload, DepthwiseConv2dWorkload};
@@ -41,11 +41,7 @@ pub fn schedule_injective(s: &mut Schedule, out: &Tensor, target: &Target) {
 
 /// Distributes a cache stage's copy loops across the thread block — the
 /// cooperative-fetch pattern of §4.2.
-pub fn cooperative_load(
-    s: &mut Schedule,
-    t: &Tensor,
-    threads: &[(ThreadTag, i64)],
-) {
+pub fn cooperative_load(s: &mut Schedule, t: &Tensor, threads: &[(ThreadTag, i64)]) {
     let axes = t.op.axes();
     let mut fused = axes[0].clone();
     for a in &axes[1..] {
@@ -93,12 +89,7 @@ pub fn conv2d_space(w: &Conv2dWorkload, target: &Target) -> ConfigSpace {
 
 /// Applies a conv2d schedule configuration; shared by dense/depthwise via
 /// the same knob names.
-pub fn apply_conv2d_schedule(
-    s: &mut Schedule,
-    op: &Conv2dOp,
-    target: &Target,
-    cfg: &ConfigEntity,
-) {
+pub fn apply_conv2d_schedule(s: &mut Schedule, op: &Conv2dOp, target: &Target, cfg: &ConfigEntity) {
     if let Some(p) = &op.pad {
         s.compute_inline(p);
     }
@@ -106,8 +97,7 @@ pub fn apply_conv2d_schedule(
     if target.is_gpu() {
         let cl = s.cache_write(out, MemScope::Local);
         let ax = out.op.axes(); // n, oc, oh, ow
-        let (t_oc, t_oh, t_ow) =
-            (cfg.get("tile_oc"), cfg.get("tile_oh"), cfg.get("tile_ow"));
+        let (t_oc, t_oh, t_ow) = (cfg.get("tile_oc"), cfg.get("tile_oh"), cfg.get("tile_ow"));
         let (s_oh, s_ow) = (cfg.get("step_oh"), cfg.get("step_ow"));
         let (oco, oci) = s.split(out, &ax[1], t_oc);
         // Three-level spatial tiling: block / thread / per-thread register
@@ -116,7 +106,10 @@ pub fn apply_conv2d_schedule(
         let (ohm, ohi) = s.split(out, &hrest, t_oh);
         let (owo, wrest) = s.split(out, &ax[3], t_ow * s_ow);
         let (owm, owi) = s.split(out, &wrest, t_ow);
-        s.reorder(out, &[&ax[0], &oco, &oho, &owo, &oci, &ohi, &owi, &ohm, &owm]);
+        s.reorder(
+            out,
+            &[&ax[0], &oco, &oho, &owo, &oci, &ohi, &owi, &ohm, &owm],
+        );
         s.bind(out, &oco, ThreadTag::BlockIdxZ);
         s.bind(out, &oho, ThreadTag::BlockIdxY);
         s.bind(out, &owo, ThreadTag::BlockIdxX);
@@ -129,7 +122,9 @@ pub fn apply_conv2d_schedule(
         let cl_ax = cl.op.axes();
         s.reorder(
             &cl,
-            &[&rco, &r[1], &r[2], &rci, &cl_ax[0], &cl_ax[1], &cl_ax[2], &cl_ax[3]],
+            &[
+                &rco, &r[1], &r[2], &rci, &cl_ax[0], &cl_ax[1], &cl_ax[2], &cl_ax[3],
+            ],
         );
         match cfg.get("unroll") {
             1 => s.unroll(&cl, &r[2]),
@@ -141,8 +136,11 @@ pub fn apply_conv2d_schedule(
         }
         if cfg.get("use_shared") == 1 {
             let src = op.pad.clone().unwrap_or_else(|| op.data.clone());
-            let threads =
-                [(ThreadTag::ThreadIdxZ, t_oc), (ThreadTag::ThreadIdxY, t_oh), (ThreadTag::ThreadIdxX, t_ow)];
+            let threads = [
+                (ThreadTag::ThreadIdxZ, t_oc),
+                (ThreadTag::ThreadIdxY, t_oh),
+                (ThreadTag::ThreadIdxX, t_ow),
+            ];
             let ds = s.cache_read(&src, MemScope::Shared, &[&cl]);
             s.compute_at(&ds, &cl, &rco);
             cooperative_load(s, &ds, &threads);
@@ -159,7 +157,9 @@ pub fn apply_conv2d_schedule(
             let (rco, rci) = s.split(out, &r[0], cfg.get("tile_rc"));
             s.reorder(
                 out,
-                &[&ax[0], &oco, &ax[2], &owo, &rco, &r[1], &r[2], &rci, &oci, &owi],
+                &[
+                    &ax[0], &oco, &ax[2], &owo, &rco, &r[1], &r[2], &rci, &oci, &owi,
+                ],
             );
             if cfg.get("unroll") == 1 {
                 s.unroll(out, &rci);
@@ -184,7 +184,11 @@ pub fn apply_conv2d_schedule(
 fn validate(func: &LoweredFunc, target: &Target) -> Result<(), TeError> {
     let an = analyze(func);
     if let Target::Gpu(g) = target {
-        let shared = an.alloc_bytes.get(&MemScope::Shared).copied().unwrap_or(0.0);
+        let shared = an
+            .alloc_bytes
+            .get(&MemScope::Shared)
+            .copied()
+            .unwrap_or(0.0);
         if shared > g.shared_bytes_per_sm as f64 {
             return Err(TeError(format!("shared memory overflow: {shared} bytes")));
         }
@@ -201,7 +205,7 @@ pub fn conv2d_task(w: Conv2dWorkload, dtype: tvm_ir::DType, target: Target) -> T
     let t2 = target.clone();
     let builder = move |cfg: &ConfigEntity| -> Result<LoweredFunc, TeError> {
         let op = conv2d(&w, dtype);
-        let mut s = create_schedule(&[op.out.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&op.out));
         apply_conv2d_schedule(&mut s, &op, &t2, cfg);
         let f = lower(&s, &[op.data, op.weight, op.out], &w.describe())?;
         validate(&f, &t2)?;
@@ -248,7 +252,7 @@ pub fn depthwise_task(
     let t2 = target.clone();
     let builder = move |cfg: &ConfigEntity| -> Result<LoweredFunc, TeError> {
         let op = depthwise_conv2d(&w, dtype);
-        let mut s = create_schedule(&[op.out.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&op.out));
         apply_depthwise_schedule(&mut s, &op, &t2, cfg);
         let f = lower(&s, &[op.data, op.weight, op.out], &w.describe())?;
         validate(&f, &t2)?;
@@ -276,8 +280,7 @@ pub fn apply_depthwise_schedule(
     let out = &op.out;
     if target.is_gpu() {
         let ax = out.op.axes();
-        let (t_oc, t_oh, t_ow) =
-            (cfg.get("tile_oc"), cfg.get("tile_oh"), cfg.get("tile_ow"));
+        let (t_oc, t_oh, t_ow) = (cfg.get("tile_oc"), cfg.get("tile_oh"), cfg.get("tile_ow"));
         let (oco, oci) = s.split(out, &ax[1], t_oc);
         let (oho, ohi) = s.split(out, &ax[2], t_oh);
         let (owo, owi) = s.split(out, &ax[3], t_ow);
@@ -379,7 +382,7 @@ pub fn dense_task(w: DenseWorkload, target: Target) -> TuningTask {
     let t2 = target.clone();
     let builder = move |cfg: &ConfigEntity| -> Result<LoweredFunc, TeError> {
         let (d, wt, out) = dense(&w);
-        let mut s = create_schedule(&[out.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&out));
         apply_dense_schedule(&mut s, &d, &wt, &out, &t2, cfg);
         let f = lower(&s, &[d, wt, out], &format!("dense_{}x{}x{}", w.m, w.n, w.k))?;
         validate(&f, &t2)?;
@@ -416,13 +419,26 @@ mod tests {
     use tvm_sim::{arm_a53, estimate, titanx};
 
     fn wl() -> Conv2dWorkload {
-        Conv2dWorkload { batch: 1, size: 14, in_c: 16, out_c: 32, kernel: 3, stride: 1, pad: 1 }
+        Conv2dWorkload {
+            batch: 1,
+            size: 14,
+            in_c: 16,
+            out_c: 32,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        }
     }
 
     fn conv_ref(w: &Conv2dWorkload, data: &[f32], wts: &[f32]) -> Vec<f32> {
         let o = w.out_size() as usize;
-        let (ic, size, k, st, pad) =
-            (w.in_c as usize, w.size as usize, w.kernel as usize, w.stride as usize, w.pad as i64);
+        let (ic, size, k, st, pad) = (
+            w.in_c as usize,
+            w.size as usize,
+            w.kernel as usize,
+            w.stride as usize,
+            w.pad,
+        );
         let mut out = vec![0.0f32; w.out_c as usize * o * o];
         for oc in 0..w.out_c as usize {
             for oy in 0..o {
@@ -435,8 +451,7 @@ mod tests {
                                 let ix = (ox * st + dx) as i64 - pad;
                                 if (0..size as i64).contains(&iy) && (0..size as i64).contains(&ix)
                                 {
-                                    acc += data
-                                        [c * size * size + iy as usize * size + ix as usize]
+                                    acc += data[c * size * size + iy as usize * size + ix as usize]
                                         as f64
                                         * wts[oc * ic * k * k + c * k * k + dy * k + dx] as f64;
                                 }
@@ -452,15 +467,18 @@ mod tests {
 
     fn check_task_config(task: &TuningTask, w: &Conv2dWorkload, cfg: &ConfigEntity) {
         let f = (task.builder)(cfg).unwrap_or_else(|e| panic!("{e} for {}", cfg.summary()));
-        let data: Vec<f32> =
-            (0..w.in_c * w.size * w.size).map(|i| ((i * 7 % 23) as f32) * 0.1 - 1.0).collect();
+        let data: Vec<f32> = (0..w.in_c * w.size * w.size)
+            .map(|i| ((i * 7 % 23) as f32) * 0.1 - 1.0)
+            .collect();
         let wts: Vec<f32> = (0..w.out_c * w.in_c * w.kernel * w.kernel)
             .map(|i| ((i * 5 % 17) as f32) * 0.1 - 0.8)
             .collect();
         let want = conv_ref(w, &data, &wts);
         let o = w.out_size() as usize;
         let mut bufs = vec![data, wts, vec![0.0; w.out_c as usize * o * o]];
-        Interp::new().run_f32(&f, &mut bufs).unwrap_or_else(|e| panic!("{e}\n{}", f.body));
+        Interp::new()
+            .run_f32(&f, &mut bufs)
+            .unwrap_or_else(|e| panic!("{e}\n{}", f.body));
         for (i, (g, wv)) in bufs[2].iter().zip(&want).enumerate() {
             assert!(
                 (g - wv).abs() <= 1e-3 * wv.abs().max(1.0),
@@ -482,7 +500,15 @@ mod tests {
 
     #[test]
     fn gpu_conv_schedules_are_correct_across_configs() {
-        let w = Conv2dWorkload { batch: 1, size: 8, in_c: 8, out_c: 16, kernel: 3, stride: 1, pad: 1 };
+        let w = Conv2dWorkload {
+            batch: 1,
+            size: 8,
+            in_c: 8,
+            out_c: 16,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
         let task = conv2d_task(w, DType::float32(), titanx());
         let mut checked = 0;
         for idx in [0u64, 7, 23, 117, 431] {
@@ -497,7 +523,15 @@ mod tests {
 
     #[test]
     fn shared_memory_variant_lowers_with_barriers() {
-        let w = Conv2dWorkload { batch: 1, size: 8, in_c: 16, out_c: 16, kernel: 3, stride: 1, pad: 1 };
+        let w = Conv2dWorkload {
+            batch: 1,
+            size: 8,
+            in_c: 16,
+            out_c: 16,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
         let task = conv2d_task(w, DType::float32(), titanx());
         // Find a config with use_shared=1 that validates.
         let mut found = false;
@@ -547,12 +581,19 @@ mod tests {
 
     #[test]
     fn dense_schedule_correct() {
-        let w = DenseWorkload { m: 8, n: 16, k: 32, dtype: DType::float32() };
+        let w = DenseWorkload {
+            m: 8,
+            n: 16,
+            k: 32,
+            dtype: DType::float32(),
+        };
         let task = dense_task(w, arm_a53());
         let cfg = default_config(&task.space);
         let f = (task.builder)(&cfg).expect("builds");
         let data: Vec<f32> = (0..w.m * w.k).map(|i| (i % 11) as f32 * 0.2).collect();
-        let wts: Vec<f32> = (0..w.n * w.k).map(|i| (i % 13) as f32 * 0.1 - 0.5).collect();
+        let wts: Vec<f32> = (0..w.n * w.k)
+            .map(|i| (i % 13) as f32 * 0.1 - 0.5)
+            .collect();
         let mut want = vec![0.0f32; (w.m * w.n) as usize];
         for m in 0..w.m as usize {
             for n in 0..w.n as usize {
@@ -564,7 +605,9 @@ mod tests {
             }
         }
         let mut bufs = vec![data, wts, vec![0.0; (w.m * w.n) as usize]];
-        Interp::new().run_f32(&f, &mut bufs).unwrap_or_else(|e| panic!("{e}\n{}", f.body));
+        Interp::new()
+            .run_f32(&f, &mut bufs)
+            .unwrap_or_else(|e| panic!("{e}\n{}", f.body));
         for (g, wv) in bufs[2].iter().zip(&want) {
             assert!((g - wv).abs() < 1e-3);
         }
@@ -572,15 +615,30 @@ mod tests {
 
     #[test]
     fn depthwise_gpu_schedule_correct() {
-        let w = DepthwiseConv2dWorkload { batch: 1, size: 8, channels: 16, kernel: 3, stride: 1, pad: 1 };
+        let w = DepthwiseConv2dWorkload {
+            batch: 1,
+            size: 8,
+            channels: 16,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
         let task = depthwise_task(w, DType::float32(), titanx());
         let cfg = default_config(&task.space);
         let f = (task.builder)(&cfg).expect("builds");
-        let data: Vec<f32> = (0..w.channels * w.size * w.size).map(|i| (i % 9) as f32).collect();
+        let data: Vec<f32> = (0..w.channels * w.size * w.size)
+            .map(|i| (i % 9) as f32)
+            .collect();
         let wts: Vec<f32> = (0..w.channels * 9).map(|i| (i % 5) as f32 * 0.3).collect();
         let o = w.out_size() as usize;
-        let mut bufs = vec![data.clone(), wts.clone(), vec![0.0; w.channels as usize * o * o]];
-        Interp::new().run_f32(&f, &mut bufs).unwrap_or_else(|e| panic!("{e}\n{}", f.body));
+        let mut bufs = vec![
+            data.clone(),
+            wts.clone(),
+            vec![0.0; w.channels as usize * o * o],
+        ];
+        Interp::new()
+            .run_f32(&f, &mut bufs)
+            .unwrap_or_else(|e| panic!("{e}\n{}", f.body));
         // Spot-check one interior element.
         let (c, oy, ox) = (3usize, 4usize, 4usize);
         let mut acc = 0.0f32;

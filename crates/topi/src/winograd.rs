@@ -11,12 +11,12 @@
 
 use std::rc::Rc;
 
+use tvm_autotune::{ConfigEntity, ConfigSpace, TuningTask};
 use tvm_ir::{DType, Expr, LoweredFunc};
 use tvm_sim::Target;
 use tvm_te::{
     compute, create_schedule, lower, placeholder, reduce_axis, sum, Schedule, TeError, Tensor,
 };
-use tvm_autotune::{ConfigEntity, ConfigSpace, TuningTask};
 
 use crate::workloads::Conv2dWorkload;
 
@@ -90,7 +90,11 @@ pub struct WinogradOp {
 /// Declares the F(2x2, 3x3) Winograd convolution for a 3x3 / stride-1
 /// workload.
 pub fn winograd_conv2d(w: &Conv2dWorkload, dtype: DType) -> WinogradOp {
-    assert_eq!((w.kernel, w.stride), (3, 1), "winograd F(2,3) needs 3x3 stride-1");
+    assert_eq!(
+        (w.kernel, w.stride),
+        (3, 1),
+        "winograd F(2,3) needs 3x3 stride-1"
+    );
     assert_eq!(w.batch, 1, "batch 1 (inference)");
     let o = w.out_size();
     assert_eq!(o % 2, 0, "output size must be even for 2x2 tiles");
@@ -109,15 +113,15 @@ pub fn winograd_conv2d(w: &Conv2dWorkload, dtype: DType) -> WinogradOp {
     let padc = pad.clone();
     let btc = bt.clone();
     let v = compute(&[4, 4, ic, tiles], "wino_V", move |idx| {
-        let (eps, nu, c, p) = (idx[0].clone(), idx[1].clone(), idx[2].clone(), idx[3].clone());
+        let (eps, nu, c, p) = (
+            idx[0].clone(),
+            idx[1].clone(),
+            idx[2].clone(),
+            idx[3].clone(),
+        );
         let ty = p.clone() / tiles_w;
         let tx = p % tiles_w;
-        let d = padc.at(&[
-            Expr::int(0),
-            c,
-            ty * 2 + ri.expr(),
-            tx * 2 + rj.expr(),
-        ]);
+        let d = padc.at(&[Expr::int(0), c, ty * 2 + ri.expr(), tx * 2 + rj.expr()]);
         sum(
             btc.at(&[eps, ri.expr()]) * btc.at(&[nu, rj.expr()]) * d,
             &[ri.clone(), rj.clone()],
@@ -128,10 +132,15 @@ pub fn winograd_conv2d(w: &Conv2dWorkload, dtype: DType) -> WinogradOp {
     let rc = reduce_axis(ic, "wc");
     let (vc, wtc) = (v.clone(), weight_t.clone());
     let m = compute(&[4, 4, oc, tiles], "wino_M", move |idx| {
-        let (eps, nu, k, p) = (idx[0].clone(), idx[1].clone(), idx[2].clone(), idx[3].clone());
+        let (eps, nu, k, p) = (
+            idx[0].clone(),
+            idx[1].clone(),
+            idx[2].clone(),
+            idx[3].clone(),
+        );
         sum(
             wtc.at(&[eps.clone(), nu.clone(), k, rc.expr()]) * vc.at(&[eps, nu, rc.expr(), p]),
-            &[rc.clone()],
+            std::slice::from_ref(&rc),
         )
     });
 
@@ -151,7 +160,15 @@ pub fn winograd_conv2d(w: &Conv2dWorkload, dtype: DType) -> WinogradOp {
         )
     });
 
-    WinogradOp { data, weight_t, pad, v, m, out, tiles_w }
+    WinogradOp {
+        data,
+        weight_t,
+        pad,
+        v,
+        m,
+        out,
+        tiles_w,
+    }
 }
 
 /// Host-side weight pre-transform: `U = G g G^T`, laid out `[4, 4, oc, ic]`.
@@ -190,7 +207,10 @@ pub fn apply_winograd_schedule(
     target: &Target,
     cfg: &ConfigEntity,
 ) {
-    assert!(!target.is_gpu(), "winograd scheduling is CPU-only here (see docs)");
+    assert!(
+        !target.is_gpu(),
+        "winograd scheduling is CPU-only here (see docs)"
+    );
     s.compute_inline(&op.pad);
     // Constant matrices fold away.
     for stage in s.stages.clone() {
@@ -238,7 +258,7 @@ pub fn winograd_task(w: Conv2dWorkload, dtype: DType, target: Target) -> TuningT
     let t2 = target.clone();
     let builder = move |cfg: &ConfigEntity| -> Result<LoweredFunc, TeError> {
         let op = winograd_conv2d(&w, dtype);
-        let mut s = create_schedule(&[op.out.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&op.out));
         apply_winograd_schedule(&mut s, &op, &t2, cfg);
         lower(
             &s,
@@ -262,7 +282,15 @@ mod tests {
     use tvm_sim::{arm_a53, titanx};
 
     fn wl() -> Conv2dWorkload {
-        Conv2dWorkload { batch: 1, size: 8, in_c: 4, out_c: 6, kernel: 3, stride: 1, pad: 1 }
+        Conv2dWorkload {
+            batch: 1,
+            size: 8,
+            in_c: 4,
+            out_c: 6,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        }
     }
 
     fn direct_ref(w: &Conv2dWorkload, data: &[f32], wts: &[f32]) -> Vec<f32> {
@@ -280,9 +308,8 @@ mod tests {
                                 let ix = x as i64 + dx as i64 - 1;
                                 if (0..size as i64).contains(&iy) && (0..size as i64).contains(&ix)
                                 {
-                                    acc += data[c * size * size
-                                        + iy as usize * size
-                                        + ix as usize] as f64
+                                    acc += data[c * size * size + iy as usize * size + ix as usize]
+                                        as f64
                                         * wts[((k * ic + c) * 3 + dy) * 3 + dx] as f64;
                                 }
                             }
@@ -300,16 +327,19 @@ mod tests {
         let task = winograd_task(w, DType::float32(), target.clone());
         let cfg = task.space.get(cfg_idx);
         let f = (task.builder)(&cfg).unwrap_or_else(|e| panic!("{e}"));
-        let data: Vec<f32> =
-            (0..w.in_c * w.size * w.size).map(|i| ((i * 11 % 17) as f32) * 0.2 - 1.5).collect();
-        let wts: Vec<f32> =
-            (0..w.out_c * w.in_c * 9).map(|i| ((i * 7 % 13) as f32) * 0.25 - 1.0).collect();
+        let data: Vec<f32> = (0..w.in_c * w.size * w.size)
+            .map(|i| ((i * 11 % 17) as f32) * 0.2 - 1.5)
+            .collect();
+        let wts: Vec<f32> = (0..w.out_c * w.in_c * 9)
+            .map(|i| ((i * 7 % 13) as f32) * 0.25 - 1.0)
+            .collect();
         let want = direct_ref(&w, &data, &wts);
-        let wt_host =
-            transform_weights_host(&wts, w.out_c as usize, w.in_c as usize);
+        let wt_host = transform_weights_host(&wts, w.out_c as usize, w.in_c as usize);
         let o = w.out_size() as usize;
         let mut bufs = vec![data, wt_host, vec![0.0; w.out_c as usize * o * o]];
-        Interp::new().run_f32(&f, &mut bufs).unwrap_or_else(|e| panic!("{e}\n{}", f.body));
+        Interp::new()
+            .run_f32(&f, &mut bufs)
+            .unwrap_or_else(|e| panic!("{e}\n{}", f.body));
         for (i, (g, wv)) in bufs[2].iter().zip(&want).enumerate() {
             assert!(
                 (g - wv).abs() <= 1e-3 * wv.abs().max(1.0),
@@ -342,14 +372,22 @@ mod tests {
         let wts = vec![1.0f32; 9];
         let u = transform_weights_host(&wts, 1, 1);
         assert!((u[0] - 1.0).abs() < 1e-6); // U[0,0]
-        assert!((u[(1 * 4 + 1) * 1] - 2.25).abs() < 1e-6); // U[1,1]
+        assert!((u[4 + 1] - 2.25).abs() < 1e-6); // U[1,1]
     }
 
     #[test]
     fn winograd_reduces_multiplications() {
         // The transform-domain product does 16/(9*2.25)... count the
         // simulated flops of the M stage vs the direct conv at equal shape.
-        let w = Conv2dWorkload { batch: 1, size: 28, in_c: 64, out_c: 64, kernel: 3, stride: 1, pad: 1 };
+        let w = Conv2dWorkload {
+            batch: 1,
+            size: 28,
+            in_c: 64,
+            out_c: 64,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
         let task = winograd_task(w, DType::float32(), arm_a53());
         let f = (task.builder)(&task.space.get(0)).expect("builds");
         let wino = tvm_sim::analyze(&f).flops;

@@ -80,16 +80,15 @@ impl DepthwiseConv2dWorkload {
     /// FLOPs.
     pub fn flops(&self) -> f64 {
         let o = self.out_size() as f64;
-        2.0 * self.batch as f64
-            * self.channels as f64
-            * o
-            * o
-            * (self.kernel * self.kernel) as f64
+        2.0 * self.batch as f64 * self.channels as f64 * o * o * (self.kernel * self.kernel) as f64
     }
 
     /// Short name like `d3`.
     pub fn describe(&self) -> String {
-        format!("dwconv2d_{}x{}_c{}_k{}s{}", self.size, self.size, self.channels, self.kernel, self.stride)
+        format!(
+            "dwconv2d_{}x{}_c{}_k{}s{}",
+            self.size, self.size, self.channels, self.kernel, self.stride
+        )
     }
 }
 
@@ -114,43 +113,58 @@ impl DenseWorkload {
 }
 
 fn c(size: i64, in_c: i64, out_c: i64, kernel: i64, stride: i64) -> Conv2dWorkload {
-    Conv2dWorkload { batch: 1, size, in_c, out_c, kernel, stride, pad: kernel / 2 }
+    Conv2dWorkload {
+        batch: 1,
+        size,
+        in_c,
+        out_c,
+        kernel,
+        stride,
+        pad: kernel / 2,
+    }
 }
 
 fn d(size: i64, channels: i64, kernel: i64, stride: i64) -> DepthwiseConv2dWorkload {
-    DepthwiseConv2dWorkload { batch: 1, size, channels, kernel, stride, pad: kernel / 2 }
+    DepthwiseConv2dWorkload {
+        batch: 1,
+        size,
+        channels,
+        kernel,
+        stride,
+        pad: kernel / 2,
+    }
 }
 
 /// Table 2 (top): all conv2d operators in ResNet-18, C1..C12.
 pub fn resnet18_convs() -> Vec<Conv2dWorkload> {
     vec![
-        c(224, 3, 64, 7, 2),    // C1
-        c(56, 64, 64, 3, 1),    // C2
-        c(56, 64, 64, 1, 1),    // C3
-        c(56, 64, 128, 3, 2),   // C4
-        c(56, 64, 128, 1, 2),   // C5
-        c(28, 128, 128, 3, 1),  // C6
-        c(28, 128, 256, 3, 2),  // C7
-        c(28, 128, 256, 1, 2),  // C8
-        c(14, 256, 256, 3, 1),  // C9
-        c(14, 256, 512, 3, 2),  // C10
-        c(14, 256, 512, 1, 2),  // C11
-        c(7, 512, 512, 3, 1),   // C12
+        c(224, 3, 64, 7, 2),   // C1
+        c(56, 64, 64, 3, 1),   // C2
+        c(56, 64, 64, 1, 1),   // C3
+        c(56, 64, 128, 3, 2),  // C4
+        c(56, 64, 128, 1, 2),  // C5
+        c(28, 128, 128, 3, 1), // C6
+        c(28, 128, 256, 3, 2), // C7
+        c(28, 128, 256, 1, 2), // C8
+        c(14, 256, 256, 3, 1), // C9
+        c(14, 256, 512, 3, 2), // C10
+        c(14, 256, 512, 1, 2), // C11
+        c(7, 512, 512, 3, 1),  // C12
     ]
 }
 
 /// Table 2 (bottom): all depthwise conv2d operators in MobileNet, D1..D9.
 pub fn mobilenet_dwconvs() -> Vec<DepthwiseConv2dWorkload> {
     vec![
-        d(112, 32, 3, 1),  // D1
-        d(112, 64, 3, 2),  // D2
-        d(56, 128, 3, 1),  // D3
-        d(56, 128, 3, 2),  // D4
-        d(28, 256, 3, 1),  // D5
-        d(28, 256, 3, 2),  // D6
-        d(14, 512, 3, 1),  // D7
-        d(14, 512, 3, 2),  // D8
-        d(7, 1024, 3, 1),  // D9
+        d(112, 32, 3, 1), // D1
+        d(112, 64, 3, 2), // D2
+        d(56, 128, 3, 1), // D3
+        d(56, 128, 3, 2), // D4
+        d(28, 256, 3, 1), // D5
+        d(28, 256, 3, 2), // D6
+        d(14, 512, 3, 1), // D7
+        d(14, 512, 3, 2), // D8
+        d(7, 1024, 3, 1), // D9
     ]
 }
 
@@ -158,9 +172,33 @@ pub fn mobilenet_dwconvs() -> Vec<DepthwiseConv2dWorkload> {
 /// plus the 8x8 stride 4 input layer).
 pub fn dqn_convs() -> Vec<Conv2dWorkload> {
     vec![
-        Conv2dWorkload { batch: 1, size: 84, in_c: 4, out_c: 32, kernel: 8, stride: 4, pad: 0 },
-        Conv2dWorkload { batch: 1, size: 20, in_c: 32, out_c: 64, kernel: 4, stride: 2, pad: 0 },
-        Conv2dWorkload { batch: 1, size: 9, in_c: 64, out_c: 64, kernel: 3, stride: 1, pad: 0 },
+        Conv2dWorkload {
+            batch: 1,
+            size: 84,
+            in_c: 4,
+            out_c: 32,
+            kernel: 8,
+            stride: 4,
+            pad: 0,
+        },
+        Conv2dWorkload {
+            batch: 1,
+            size: 20,
+            in_c: 32,
+            out_c: 64,
+            kernel: 4,
+            stride: 2,
+            pad: 0,
+        },
+        Conv2dWorkload {
+            batch: 1,
+            size: 9,
+            in_c: 64,
+            out_c: 64,
+            kernel: 3,
+            stride: 1,
+            pad: 0,
+        },
     ]
 }
 
@@ -177,7 +215,10 @@ mod tests {
     #[test]
     fn c1_matches_paper_row() {
         let c1 = resnet18_convs()[0];
-        assert_eq!((c1.size, c1.in_c, c1.out_c, c1.kernel, c1.stride), (224, 3, 64, 7, 2));
+        assert_eq!(
+            (c1.size, c1.in_c, c1.out_c, c1.kernel, c1.stride),
+            (224, 3, 64, 7, 2)
+        );
         // SAME padding halves spatial size under stride 2.
         assert_eq!(c1.out_size(), 112);
     }
@@ -185,7 +226,10 @@ mod tests {
     #[test]
     fn d9_matches_paper_row() {
         let d9 = mobilenet_dwconvs()[8];
-        assert_eq!((d9.size, d9.channels, d9.kernel, d9.stride), (7, 1024, 3, 1));
+        assert_eq!(
+            (d9.size, d9.channels, d9.kernel, d9.stride),
+            (7, 1024, 3, 1)
+        );
         assert_eq!(d9.out_size(), 7);
     }
 

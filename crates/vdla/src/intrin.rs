@@ -19,12 +19,16 @@ pub fn gemm_intrin(m: i64, n: i64, k: i64, dtype: DType) -> TensorIntrin {
     let a = placeholder(&[m, k], dtype, "vdla_a");
     let w = placeholder(&[n, k], dtype, "vdla_w");
     let kk = reduce_axis(k, "vdla_k");
-    let acc_dtype = if dtype.is_float() { dtype } else { DType::int32() };
+    let acc_dtype = if dtype.is_float() {
+        dtype
+    } else {
+        DType::int32()
+    };
     let y = compute(&[m, n], "vdla_y", |i| {
         sum(
             a.at(&[i[0].clone(), kk.expr()]).cast(acc_dtype)
                 * w.at(&[i[1].clone(), kk.expr()]).cast(acc_dtype),
-            &[kk.clone()],
+            std::slice::from_ref(&kk),
         )
     });
     let macs = m * n * k;

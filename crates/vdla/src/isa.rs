@@ -85,8 +85,7 @@ pub fn trace(func: &LoweredFunc) -> Result<Vec<VdlaInstr>, IsaError> {
 }
 
 fn eval(e: &Expr, env: &HashMap<VarId, i64>) -> Result<i64, IsaError> {
-    let subst: HashMap<VarId, Expr> =
-        env.iter().map(|(k, v)| (*k, Expr::int(*v))).collect();
+    let subst: HashMap<VarId, Expr> = env.iter().map(|(k, v)| (*k, Expr::int(*v))).collect();
     tvm_ir::simplify(&tvm_ir::substitute(e, &subst))
         .as_int()
         .ok_or_else(|| IsaError(format!("non-constant expression in trace: {e}")))
@@ -97,9 +96,12 @@ fn dma_bytes(s: &Stmt, scopes: &HashMap<VarId, MemScope>) -> (u64, bool) {
     // Returns (bytes, is_store_to_dram).
     fn inner(s: &Stmt, mult: u64, scopes: &HashMap<VarId, MemScope>, acc: &mut (u64, bool)) {
         match &*s.0 {
-            StmtNode::For { extent, body, .. } => {
-                inner(body, mult * extent.as_int().unwrap_or(1).max(0) as u64, scopes, acc)
-            }
+            StmtNode::For { extent, body, .. } => inner(
+                body,
+                mult * extent.as_int().unwrap_or(1).max(0) as u64,
+                scopes,
+                acc,
+            ),
             StmtNode::Seq(items) => {
                 for it in items {
                     inner(it, mult, scopes, acc);
@@ -108,8 +110,10 @@ fn dma_bytes(s: &Stmt, scopes: &HashMap<VarId, MemScope>) -> (u64, bool) {
             StmtNode::IfThenElse { then_case, .. } => inner(then_case, mult, scopes, acc),
             StmtNode::Store { buffer, .. } => {
                 acc.0 += mult * buffer.dtype().bytes() as u64;
-                let scope =
-                    scopes.get(&buffer.id()).copied().unwrap_or(MemScope::Global);
+                let scope = scopes
+                    .get(&buffer.id())
+                    .copied()
+                    .unwrap_or(MemScope::Global);
                 if scope == MemScope::Global {
                     acc.1 = true;
                 }
@@ -145,7 +149,13 @@ fn walk(
             walk(body, scopes, env, out)
         }
         StmtNode::Allocate { body, .. } => walk(body, scopes, env, out),
-        StmtNode::For { var, min, extent, body, .. } => {
+        StmtNode::For {
+            var,
+            min,
+            extent,
+            body,
+            ..
+        } => {
             let lo = eval(min, env)?;
             let n = eval(extent, env)?;
             for i in lo..lo + n {
@@ -161,7 +171,11 @@ fn walk(
             }
             Ok(())
         }
-        StmtNode::IfThenElse { cond, then_case, else_case } => {
+        StmtNode::IfThenElse {
+            cond,
+            then_case,
+            else_case,
+        } => {
             if eval(cond, env)? != 0 {
                 walk(then_case, scopes, env, out)
             } else if let Some(e) = else_case {
@@ -194,24 +208,33 @@ fn walk(
         StmtNode::Store { buffer, .. } => {
             // Fallback: plain element store on the accelerator counts as an
             // ALU op (or a DMA word if it targets DRAM).
-            let scope = scopes.get(&buffer.id()).copied().unwrap_or(MemScope::Global);
+            let scope = scopes
+                .get(&buffer.id())
+                .copied()
+                .unwrap_or(MemScope::Global);
             match scope {
                 MemScope::Global => out.push(VdlaInstr::Store {
                     bytes: buffer.dtype().bytes() as u64,
                 }),
-                MemScope::InpBuffer | MemScope::WgtBuffer => {
-                    out.push(VdlaInstr::Load { bytes: buffer.dtype().bytes() as u64 })
-                }
+                MemScope::InpBuffer | MemScope::WgtBuffer => out.push(VdlaInstr::Load {
+                    bytes: buffer.dtype().bytes() as u64,
+                }),
                 _ => out.push(VdlaInstr::Alu { ops: 1 }),
             }
             Ok(())
         }
         StmtNode::PushDep { from, to } => {
-            out.push(VdlaInstr::Push { from: *from, to: *to });
+            out.push(VdlaInstr::Push {
+                from: *from,
+                to: *to,
+            });
             Ok(())
         }
         StmtNode::PopDep { by, from } => {
-            out.push(VdlaInstr::Pop { by: *by, from: *from });
+            out.push(VdlaInstr::Pop {
+                by: *by,
+                from: *from,
+            });
             Ok(())
         }
         StmtNode::Barrier => Ok(()),
@@ -228,7 +251,12 @@ mod tests {
         let src = Var::new("A", DType::int8());
         let dst = Var::new("AL", DType::int8());
         let i = Var::int("i");
-        let copy = Stmt::for_(&i, 0, 64, Stmt::store(&dst, i.to_expr(), Expr::load(&src, i.to_expr())));
+        let copy = Stmt::for_(
+            &i,
+            0,
+            64,
+            Stmt::store(&dst, i.to_expr(), Expr::load(&src, i.to_expr())),
+        );
         let dma = Stmt::attr("pragma.dma_copy", Expr::int(64), copy);
         let k = Var::int("k");
         let gemm = Stmt::evaluate(Expr::hw_call(
@@ -236,13 +264,7 @@ mod tests {
             vec![dst.to_expr(), Expr::int(256)],
             DType::int32(),
         ));
-        let body = Stmt::loop_(
-            &k,
-            0,
-            3,
-            ForKind::Serial,
-            Stmt::seq(vec![dma, gemm]),
-        );
+        let body = Stmt::loop_(&k, 0, 3, ForKind::Serial, Stmt::seq(vec![dma, gemm]));
         let prog = Stmt::allocate(&dst, DType::int8(), 64, MemScope::InpBuffer, body);
         let f = LoweredFunc {
             name: "t".into(),

@@ -22,14 +22,17 @@ fn decl() -> (Tensor, Tensor, Tensor) {
     let b = placeholder(&[N, K], DType::float32(), "B");
     let kk = reduce_axis(K, "k");
     let c = compute(&[M, N], "C", |i| {
-        sum(a.at(&[i[0].clone(), kk.expr()]) * b.at(&[i[1].clone(), kk.expr()]), &[kk.clone()])
+        sum(
+            a.at(&[i[0].clone(), kk.expr()]) * b.at(&[i[1].clone(), kk.expr()]),
+            std::slice::from_ref(&kk),
+        )
     });
     (a, b, c)
 }
 
 fn vdla_matmul(vthread: bool) -> LoweredFunc {
     let (a, b, c) = decl();
-    let mut s = create_schedule(&[c.clone()]);
+    let mut s = create_schedule(std::slice::from_ref(&c));
     let cl = s.cache_write(&c, MemScope::AccBuffer);
     let ax = c.op.axes();
     let (yo, xo, yi, _xi) = s.tile(&c, &ax[0], &ax[1], T, T);
@@ -57,7 +60,9 @@ fn vdla_matmul(vthread: bool) -> LoweredFunc {
 }
 
 fn seq_data(n: usize, scale: f32, offset: f32) -> Vec<f32> {
-    (0..n).map(|i| ((i * 23 % 97) as f32) * scale + offset).collect()
+    (0..n)
+        .map(|i| ((i * 23 % 97) as f32) * scale + offset)
+        .collect()
 }
 
 fn reference() -> (Vec<f32>, Vec<f32>, Vec<f32>) {
@@ -81,9 +86,13 @@ fn check_functional(f: &LoweredFunc) {
     let mut it = Interp::new();
     register_interp(&mut it);
     let mut bufs = vec![a, b, vec![0.0f32; (M * N) as usize]];
-    it.run_f32(f, &mut bufs).unwrap_or_else(|e| panic!("{e}\n{}", f.body));
+    it.run_f32(f, &mut bufs)
+        .unwrap_or_else(|e| panic!("{e}\n{}", f.body));
     for (i, (g, w)) in bufs[2].iter().zip(&want).enumerate() {
-        assert!((g - w).abs() <= 1e-2 * w.abs().max(1.0), "at {i}: got {g} want {w}");
+        assert!(
+            (g - w).abs() <= 1e-2 * w.abs().max(1.0),
+            "at {i}: got {g} want {w}"
+        );
     }
 }
 
@@ -101,17 +110,32 @@ fn functional_correctness_with_vthread() {
 fn trace_contains_expected_instruction_mix() {
     let f = vdla_matmul(true);
     let stream = trace(&f).expect("trace");
-    let loads = stream.iter().filter(|i| matches!(i, VdlaInstr::Load { .. })).count();
-    let gemms = stream.iter().filter(|i| matches!(i, VdlaInstr::Gemm { .. })).count();
-    let stores = stream.iter().filter(|i| matches!(i, VdlaInstr::Store { .. })).count();
+    let loads = stream
+        .iter()
+        .filter(|i| matches!(i, VdlaInstr::Load { .. }))
+        .count();
+    let gemms = stream
+        .iter()
+        .filter(|i| matches!(i, VdlaInstr::Gemm { .. }))
+        .count();
+    let stores = stream
+        .iter()
+        .filter(|i| matches!(i, VdlaInstr::Store { .. }))
+        .count();
     // 2x2 output tiles x 4 k-tiles x 2 operands = 32 loads; 16 gemms;
     // 4 tile store-backs.
     assert_eq!(gemms, ((M / T) * (N / T) * (K / T)) as usize, "{stream:?}");
     assert_eq!(loads, 2 * gemms);
     assert_eq!(stores, ((M / T) * (N / T)) as usize);
     // Tokens must be present and balanced.
-    let pushes = stream.iter().filter(|i| matches!(i, VdlaInstr::Push { .. })).count();
-    let pops = stream.iter().filter(|i| matches!(i, VdlaInstr::Pop { .. })).count();
+    let pushes = stream
+        .iter()
+        .filter(|i| matches!(i, VdlaInstr::Push { .. }))
+        .count();
+    let pops = stream
+        .iter()
+        .filter(|i| matches!(i, VdlaInstr::Pop { .. }))
+        .count();
     assert!(pushes > 0);
     assert_eq!(pushes, pops);
 }
@@ -120,7 +144,10 @@ fn trace_contains_expected_instruction_mix() {
 fn latency_hiding_improves_utilization() {
     // A bandwidth-rich configuration makes DMA latency (not bandwidth) the
     // exposed cost, which is exactly what virtual-thread pipelining hides.
-    let spec = VdlaSpec { dram_bw_bytes_per_cycle: 64.0, ..VdlaSpec::default() };
+    let spec = VdlaSpec {
+        dram_bw_bytes_per_cycle: 64.0,
+        ..VdlaSpec::default()
+    };
     let base = tvm_vdla::run_timed_monolithic(&vdla_matmul(false), &spec).expect("runs");
     let hidden = run_timed(&vdla_matmul(true), &spec).expect("pipeline runs");
     // Same work either way.
@@ -146,9 +173,17 @@ fn latency_hiding_improves_utilization() {
 fn dae_beats_monolithic_even_without_vthreads() {
     // Token-synchronized DAE allows one-tile lookahead even with a single
     // buffer copy; the monolithic pipeline allows none.
-    let spec = VdlaSpec { dram_bw_bytes_per_cycle: 64.0, ..VdlaSpec::default() };
+    let spec = VdlaSpec {
+        dram_bw_bytes_per_cycle: 64.0,
+        ..VdlaSpec::default()
+    };
     let f = vdla_matmul(false);
     let mono = tvm_vdla::run_timed_monolithic(&f, &spec).expect("runs");
     let dae = run_timed(&f, &spec).expect("runs");
-    assert!(dae.cycles <= mono.cycles, "dae {} vs mono {}", dae.cycles, mono.cycles);
+    assert!(
+        dae.cycles <= mono.cycles,
+        "dae {} vs mono {}",
+        dae.cycles,
+        mono.cycles
+    );
 }

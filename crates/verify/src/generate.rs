@@ -1,0 +1,404 @@
+//! Random-but-valid schedule generation.
+//!
+//! The generator draws from the same primitive vocabulary the tuner's
+//! schedule templates use (`split` / `reorder` / `vectorize` / `unroll` /
+//! `parallel` / `bind` / `compute_at` / `compute_inline` / `cache_read` /
+//! `cache_write`) and applies each choice to a scratch schedule as it goes,
+//! so leaf indices in the emitted trace always refer to real loop axes.
+//! Validity constraints (cache_write first, attach leaves never split
+//! afterwards, no parallel over stages with attached producers) are
+//! enforced by construction; *semantic* correctness is exactly what the
+//! differential oracle checks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use tvm_te::{create_schedule, IterKind, Schedule, Tensor};
+
+use crate::apply::apply_one;
+use crate::trace::Primitive;
+use crate::workload::{Built, WorkloadKind};
+
+struct Gen {
+    sched: Schedule,
+    trace: Vec<Primitive>,
+    rng: StdRng,
+    /// Stages that have producers attached inside them (their loop
+    /// structure is frozen and `parallel` is off-limits: the attached
+    /// reduction state must stay thread-private).
+    frozen: Vec<String>,
+    inlined: Vec<String>,
+}
+
+impl Gen {
+    fn emit(&mut self, p: Primitive) {
+        apply_one(&mut self.sched, &p)
+            .unwrap_or_else(|e| panic!("generator produced invalid primitive {p}: {e}"));
+        self.trace.push(p);
+    }
+
+    fn coin(&mut self, p: f64) -> bool {
+        self.rng.next_f64() < p
+    }
+
+    fn factor(&mut self) -> i64 {
+        // Mostly small factors, sometimes non-divisible ones to exercise
+        // tail guards.
+        self.rng.random_range(1i64..9)
+    }
+
+    fn leaf_count(&self, stage: &str) -> usize {
+        self.sched
+            .stages
+            .iter()
+            .find(|s| s.tensor.name() == stage)
+            .map(|s| s.leaf_iters.len())
+            .unwrap_or(0)
+    }
+
+    fn leaf_kinds(&self, stage: &str) -> Vec<IterKind> {
+        self.sched
+            .stages
+            .iter()
+            .find(|s| s.tensor.name() == stage)
+            .map(|s| s.leaf_iters.iter().map(|l| l.kind).collect())
+            .unwrap_or_default()
+    }
+
+    /// Splits a few random leaves of `stage`.
+    fn random_splits(&mut self, stage: &str, max_splits: usize) {
+        for _ in 0..max_splits {
+            if !self.coin(0.7) {
+                continue;
+            }
+            let n = self.leaf_count(stage);
+            if n == 0 || n >= 8 {
+                break;
+            }
+            let leaf = self.rng.random_range(0..n);
+            let factor = self.factor();
+            self.emit(Primitive::Split {
+                stage: stage.into(),
+                leaf,
+                factor,
+            });
+        }
+    }
+
+    /// Shuffles all leaves of `stage` with a random permutation, keeping
+    /// reduce-vs-data grouping choices to the oracle.
+    fn random_reorder(&mut self, stage: &str) {
+        let n = self.leaf_count(stage);
+        if n < 2 {
+            return;
+        }
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.rng.random_range(0..i + 1);
+            perm.swap(i, j);
+        }
+        if perm.iter().enumerate().all(|(i, &p)| i == p) {
+            return;
+        }
+        self.emit(Primitive::Reorder {
+            stage: stage.into(),
+            perm,
+        });
+    }
+
+    /// Annotates `stage`: either CPU-style (parallel outer, vectorize
+    /// innermost data leaf, unroll somewhere) or GPU-style thread binds.
+    ///
+    /// `allow_bind` must only be set for the workload's *output* stage. In
+    /// this lowering model every statement executes on every thread, so a
+    /// thread bind partitions the bound stage's writes per-thread; any
+    /// unbound consumer would then read slices the current thread never
+    /// wrote (the classic read-another-thread's-local-memory bug — the
+    /// fuzzer finds it within a handful of seeds if this is relaxed).
+    fn random_annotations(&mut self, stage: &str, allow_parallel: bool, allow_bind: bool) {
+        let kinds = self.leaf_kinds(stage);
+        let n = kinds.len();
+        if n == 0 {
+            return;
+        }
+        if allow_bind
+            && self.coin(0.25)
+            && n >= 2
+            && kinds[0] != IterKind::Reduce
+            && kinds[1] != IterKind::Reduce
+        {
+            // GPU flavor: bind the two outermost data leaves once each.
+            self.emit(Primitive::Bind {
+                stage: stage.into(),
+                leaf: 0,
+                tag: "blockIdx.x".into(),
+            });
+            self.emit(Primitive::Bind {
+                stage: stage.into(),
+                leaf: 1,
+                tag: "threadIdx.x".into(),
+            });
+        } else {
+            if allow_parallel
+                && !self.frozen.contains(&stage.to_string())
+                && kinds[0] != IterKind::Reduce
+                && self.coin(0.35)
+            {
+                self.emit(Primitive::Parallel {
+                    stage: stage.into(),
+                    leaf: 0,
+                });
+            }
+            if kinds[n - 1] != IterKind::Reduce && self.coin(0.4) {
+                self.emit(Primitive::Vectorize {
+                    stage: stage.into(),
+                    leaf: n - 1,
+                });
+            }
+        }
+        if self.coin(0.35) {
+            let leaf = self.rng.random_range(0..n);
+            self.emit(Primitive::Unroll {
+                stage: stage.into(),
+                leaf,
+            });
+        }
+    }
+}
+
+/// Generates a random valid trace for one freshly built workload.
+///
+/// The `built` DAG is consumed as scratch state (cache primitives rewrite
+/// op bodies in place); callers must re-[`build`] for the actual runs.
+pub fn generate(kind: WorkloadKind, built: &Built, seed: u64) -> Vec<Primitive> {
+    let sched = create_schedule(std::slice::from_ref(&built.output));
+    let mut g = Gen {
+        sched,
+        trace: Vec::new(),
+        rng: StdRng::seed_from_u64(seed ^ 0x5EED_5EED_5EED_5EED),
+        frozen: Vec::new(),
+        inlined: Vec::new(),
+    };
+    match kind {
+        WorkloadKind::Matmul => gen_reduction(&mut g, "C", &[]),
+        WorkloadKind::Conv2d => gen_reduction(&mut g, "conv", &["data_pad"]),
+        WorkloadKind::Fused => gen_fused(&mut g, built),
+    }
+    g.trace
+}
+
+/// Schedules a single-reduction workload (matmul / conv2d), optionally
+/// preceded by pad stages that may be inlined or left as root stages.
+fn gen_reduction(g: &mut Gen, out: &str, pads: &[&str]) {
+    for pad in pads {
+        if g.coin(0.75) {
+            g.emit(Primitive::ComputeInline {
+                stage: (*pad).into(),
+            });
+            g.inlined.push((*pad).to_string());
+        }
+    }
+    // Optional cache_write: the reduction moves into `{out}.local` and the
+    // original stage becomes a copy-out that we tile and attach into.
+    let work: String = if g.coin(0.33) {
+        g.emit(Primitive::CacheWrite {
+            tensor: out.into(),
+            scope: "local".into(),
+        });
+        let cache = format!("{out}.local");
+        // Tile the copy-out stage, then attach the cache under one of its
+        // outer loops. Its loop structure is frozen afterwards (the attach
+        // leaf must survive), as is `parallel` over it.
+        g.random_splits(out, 2);
+        g.random_reorder(out);
+        let n = g.leaf_count(out);
+        let leaf = g.rng.random_range(0..n);
+        g.emit(Primitive::ComputeAt {
+            producer: cache.clone(),
+            consumer: out.into(),
+            leaf,
+        });
+        g.frozen.push(out.to_string());
+        cache
+    } else {
+        out.to_string()
+    };
+    // Optional cache_read of an input into the working stage.
+    if g.coin(0.3) {
+        let inputs = stage_input_names(&g.sched, &work, &g.inlined);
+        if !inputs.is_empty() {
+            let pick = g.rng.random_range(0..inputs.len());
+            let tensor = inputs[pick].clone();
+            g.emit(Primitive::CacheRead {
+                tensor,
+                scope: "local".into(),
+                readers: vec![work.clone()],
+            });
+            // Leave the cache stage at root: attaching it would freeze the
+            // working stage before its own transforms are drawn.
+        }
+    }
+    g.random_splits(&work, 3);
+    g.random_reorder(&work);
+    if work == out {
+        g.random_annotations(&work, true, true);
+    } else {
+        // The cache stage never binds (its consumer reads the whole
+        // per-thread buffer); the copy-out *is* the output, so it may.
+        g.random_annotations(&work, false, false);
+        g.random_annotations(out, false, true);
+    }
+    // Optionally give non-inlined pads simple transforms too. Never bind:
+    // a pad is a producer, and its consumers read its full domain.
+    for pad in pads {
+        if !g.inlined.contains(&(*pad).to_string()) && g.coin(0.5) {
+            g.random_splits(pad, 1);
+            g.random_annotations(pad, true, false);
+        }
+    }
+}
+
+/// Schedules the injective chain: random inlining, per-stage loop
+/// transforms, and compute_at between adjacent surviving stages.
+fn gen_fused(g: &mut Gen, built: &Built) {
+    let chain: Vec<String> = g
+        .sched
+        .stages
+        .iter()
+        .map(|s| s.tensor.name().to_string())
+        .collect();
+    let out = built.output.name().to_string();
+    // Decide the inline set first.
+    for name in &chain {
+        if *name != out && !built.multi_consumer.contains(name) && g.coin(0.4) {
+            g.emit(Primitive::ComputeInline {
+                stage: name.clone(),
+            });
+            g.inlined.push(name.clone());
+        }
+    }
+    let alive: Vec<String> = chain
+        .iter()
+        .filter(|n| !g.inlined.contains(n))
+        .cloned()
+        .collect();
+    // Loop transforms per surviving stage: optional axis fuse, splits,
+    // annotations.
+    for name in &alive {
+        if g.coin(0.4) && g.leaf_count(name) >= 2 {
+            g.emit(Primitive::Fuse {
+                stage: name.clone(),
+                pos: 0,
+            });
+        }
+        g.random_splits(name, 2);
+        g.random_reorder(name);
+    }
+    // Optionally nest each producer into its (single) consumer: adjacent
+    // alive pairs in topological order.
+    for pair in alive.windows(2) {
+        let (prod, cons) = (&pair[0], &pair[1]);
+        if *prod == out || g.frozen.contains(cons) {
+            continue;
+        }
+        // Only sound when `cons` is the sole consumer of `prod`, which
+        // holds along this chain when every stage between them is inlined.
+        if consumes(&g.sched, cons, prod) && g.coin(0.35) {
+            let n = g.leaf_count(cons);
+            let leaf = g.rng.random_range(0..n.clamp(1, 2));
+            g.emit(Primitive::ComputeAt {
+                producer: prod.clone(),
+                consumer: cons.clone(),
+                leaf,
+            });
+            g.frozen.push(cons.clone());
+        }
+    }
+    for name in &alive {
+        let allow_parallel = !g.frozen.contains(name);
+        g.random_annotations(name, allow_parallel, *name == out);
+    }
+}
+
+/// Input tensor names of a stage (placeholders and producer stages), minus
+/// inlined stages (their buffers no longer exist).
+fn stage_input_names(s: &Schedule, stage: &str, inlined: &[String]) -> Vec<String> {
+    let Some(st) = s.stages.iter().find(|st| st.tensor.name() == stage) else {
+        return vec![];
+    };
+    let mut names: Vec<String> = st
+        .tensor
+        .op
+        .input_tensors()
+        .iter()
+        .map(Tensor::name)
+        .map(str::to_string)
+        .filter(|n| !inlined.contains(n))
+        .collect();
+    names.dedup();
+    names
+}
+
+/// True when `consumer` directly reads `producer`.
+fn consumes(s: &Schedule, consumer: &str, producer: &str) -> bool {
+    s.stages
+        .iter()
+        .find(|st| st.tensor.name() == consumer)
+        .map(|st| {
+            st.tensor
+                .op
+                .input_tensors()
+                .iter()
+                .any(|t| t.name() == producer)
+        })
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{build, ALL_WORKLOADS};
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        for kind in ALL_WORKLOADS {
+            let t1 = generate(kind, &build(kind), 7);
+            let t2 = generate(kind, &build(kind), 7);
+            assert_eq!(t1, t2, "{kind}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let traces: Vec<_> = (0..20)
+            .map(|s| generate(WorkloadKind::Matmul, &build(WorkloadKind::Matmul), s))
+            .collect();
+        let distinct: std::collections::HashSet<String> =
+            traces.iter().map(|t| format!("{t:?}")).collect();
+        assert!(
+            distinct.len() >= 15,
+            "only {} distinct traces in 20 seeds",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn traces_cover_the_primitive_vocabulary() {
+        // Across a few hundred seeds every primitive kind should appear.
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..300 {
+            for kind in ALL_WORKLOADS {
+                for p in generate(kind, &build(kind), seed) {
+                    seen.insert(std::mem::discriminant(&p));
+                }
+            }
+            if seen.len() >= 11 {
+                break;
+            }
+        }
+        assert!(
+            seen.len() >= 10,
+            "only {} primitive kinds exercised",
+            seen.len()
+        );
+    }
+}

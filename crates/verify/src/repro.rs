@@ -1,0 +1,174 @@
+//! Self-contained reproducer files.
+//!
+//! A reproducer records everything needed to replay a failure: the
+//! workload class, the input seed, the full failing trace, its shrunk
+//! form, and the failure text. `verify-fuzz --replay <file>` re-runs it.
+
+use std::path::{Path, PathBuf};
+
+use tvm_json::Value;
+
+use crate::diff::{run_case, Outcome};
+use crate::trace::Primitive;
+use crate::workload::WorkloadKind;
+
+/// One recorded failure, as stored in `results/repro/`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Repro {
+    /// Workload class.
+    pub workload: WorkloadKind,
+    /// Input / generation seed of the failing case.
+    pub seed: u64,
+    /// Failure description (`mismatch at i: ...`).
+    pub failure: String,
+    /// The original generated trace.
+    pub primitives: Vec<Primitive>,
+    /// Minimal failing subsequence (replayed by default).
+    pub shrunk: Vec<Primitive>,
+}
+
+impl Repro {
+    /// JSON document form.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("workload", Value::from(self.workload.name())),
+            ("seed", Value::from(self.seed)),
+            ("failure", Value::from(self.failure.clone())),
+            (
+                "primitives",
+                Value::Array(self.primitives.iter().map(Primitive::to_json).collect()),
+            ),
+            (
+                "shrunk",
+                Value::Array(self.shrunk.iter().map(Primitive::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a reproducer document.
+    pub fn from_json(text: &str) -> Result<Repro, String> {
+        let v = tvm_json::from_str(text).map_err(|e| e.to_string())?;
+        let workload = v
+            .get("workload")
+            .and_then(Value::as_str)
+            .and_then(WorkloadKind::parse)
+            .ok_or("bad or missing `workload`")?;
+        let seed = v
+            .get("seed")
+            .and_then(Value::as_i64)
+            .ok_or("missing `seed`")? as u64;
+        let failure = v
+            .get("failure")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        let prims = |key: &str| -> Result<Vec<Primitive>, String> {
+            v.get(key)
+                .and_then(Value::as_array)
+                .map(|a| a.iter().map(Primitive::from_json).collect())
+                .unwrap_or_else(|| Ok(vec![]))
+        };
+        Ok(Repro {
+            workload,
+            seed,
+            failure,
+            primitives: prims("primitives")?,
+            shrunk: prims("shrunk")?,
+        })
+    }
+
+    /// The trace to replay: the shrunk form when present.
+    pub fn replay_trace(&self) -> &[Primitive] {
+        if self.shrunk.is_empty() {
+            &self.primitives
+        } else {
+            &self.shrunk
+        }
+    }
+
+    /// Replays the recorded case through the differential oracle.
+    pub fn replay(&self) -> Outcome {
+        run_case(self.workload, self.seed, self.replay_trace())
+    }
+
+    /// Writes the reproducer under `dir`, returning the path.
+    pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}_{}.json", self.workload.name(), self.seed));
+        std::fs::write(&path, format!("{}\n", self.to_json()))?;
+        Ok(path)
+    }
+
+    /// Loads a reproducer file.
+    pub fn load(path: &Path) -> Result<Repro, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        Repro::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Repro {
+        Repro {
+            workload: WorkloadKind::Matmul,
+            seed: 99,
+            failure: "mismatch at 3: got 1, want 2".into(),
+            primitives: vec![
+                Primitive::Split {
+                    stage: "C".into(),
+                    leaf: 0,
+                    factor: 4,
+                },
+                Primitive::Vectorize {
+                    stage: "C".into(),
+                    leaf: 1,
+                },
+            ],
+            shrunk: vec![Primitive::Vectorize {
+                stage: "C".into(),
+                leaf: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let r = sample();
+        let dir = std::env::temp_dir().join("tvm_verify_repro_test");
+        let path = r.save(&dir).expect("saves");
+        let back = Repro::load(&path).expect("loads");
+        assert_eq!(r, back);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn replay_prefers_the_shrunk_trace() {
+        let r = sample();
+        assert_eq!(r.replay_trace(), &r.shrunk[..]);
+        let full = Repro {
+            shrunk: vec![],
+            ..sample()
+        };
+        assert_eq!(full.replay_trace(), &full.primitives[..]);
+    }
+
+    #[test]
+    fn replay_runs_the_recorded_case() {
+        // A valid (passing) trace replays to Pass — the mechanism is the
+        // same for real failures.
+        let r = Repro {
+            workload: WorkloadKind::Matmul,
+            seed: 3,
+            failure: String::new(),
+            primitives: vec![Primitive::Split {
+                stage: "C".into(),
+                leaf: 0,
+                factor: 5,
+            }],
+            shrunk: vec![],
+        };
+        assert_eq!(r.replay(), Outcome::Pass);
+    }
+}

@@ -1,0 +1,96 @@
+//! Trace minimization: greedy delta-debugging over the primitive list.
+//!
+//! Shrinking first tries dropping contiguous chunks (halving the chunk
+//! size), then single primitives, until a fixpoint: every remaining
+//! primitive is necessary to reproduce the failure. Candidates that no
+//! longer apply cleanly simply fail the predicate and are kept.
+
+use crate::trace::Primitive;
+
+/// Maximum predicate evaluations per shrink, a safety valve for slow
+/// oracles.
+const MAX_EVALS: usize = 400;
+
+/// Minimizes `trace` while `fails` keeps returning `true`.
+///
+/// `fails` must be true for `trace` itself; the result is a subsequence of
+/// `trace` on which `fails` still holds and from which no single primitive
+/// can be removed without losing the failure (within the evaluation
+/// budget).
+pub fn shrink(trace: &[Primitive], mut fails: impl FnMut(&[Primitive]) -> bool) -> Vec<Primitive> {
+    let mut cur: Vec<Primitive> = trace.to_vec();
+    let mut evals = 0usize;
+    let mut chunk = (cur.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        while chunk >= 1 {
+            let mut i = 0;
+            while i < cur.len() && evals < MAX_EVALS {
+                let end = (i + chunk).min(cur.len());
+                let mut cand = Vec::with_capacity(cur.len() - (end - i));
+                cand.extend_from_slice(&cur[..i]);
+                cand.extend_from_slice(&cur[end..]);
+                evals += 1;
+                if fails(&cand) {
+                    cur = cand;
+                    progressed = true;
+                    continue; // same i, next chunk now occupies it
+                }
+                i += chunk;
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        if !progressed || evals >= MAX_EVALS {
+            return cur;
+        }
+        chunk = (cur.len() / 2).max(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(stage: &str, leaf: usize) -> Primitive {
+        Primitive::Split {
+            stage: stage.into(),
+            leaf,
+            factor: 2,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let trace: Vec<Primitive> = (0..10).map(|i| p("C", i)).collect();
+        let culprit = p("C", 7);
+        let shrunk = shrink(&trace, |t| t.contains(&culprit));
+        assert_eq!(shrunk, vec![culprit]);
+    }
+
+    #[test]
+    fn shrinks_to_a_necessary_pair() {
+        let trace: Vec<Primitive> = (0..12).map(|i| p("C", i)).collect();
+        let (a, b) = (p("C", 2), p("C", 9));
+        let shrunk = shrink(&trace, |t| t.contains(&a) && t.contains(&b));
+        assert_eq!(shrunk, vec![a, b]);
+    }
+
+    #[test]
+    fn keeps_everything_when_all_needed() {
+        let trace: Vec<Primitive> = (0..4).map(|i| p("C", i)).collect();
+        let want = trace.clone();
+        let shrunk = shrink(&trace, |t| t.len() == want.len());
+        assert_eq!(shrunk, want);
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let trace: Vec<Primitive> = (0..8).map(|i| p("C", i)).collect();
+        let keep = [p("C", 1), p("C", 4), p("C", 6)];
+        let shrunk = shrink(&trace, |t| keep.iter().all(|k| t.contains(k)));
+        assert_eq!(shrunk, keep.to_vec());
+    }
+}

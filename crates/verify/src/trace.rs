@@ -1,0 +1,420 @@
+//! Replayable schedule traces.
+//!
+//! A [`Primitive`] names a schedule transformation positionally: stages by
+//! tensor name, loop axes by index into the stage's current `leaf_iters`.
+//! Because every workload builder produces the same stage names and axis
+//! order on every build, a trace replays deterministically on a fresh
+//! expression DAG — which is what makes shrinking and reproducer files
+//! possible without serializing the DAG itself.
+
+use tvm_ir::{MemScope, ThreadTag};
+use tvm_json::Value;
+
+/// One schedule transformation, in replayable positional form.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Primitive {
+    /// Split leaf `leaf` of `stage` by `factor`.
+    Split {
+        /// Stage (tensor) name.
+        stage: String,
+        /// Index into the stage's current leaves.
+        leaf: usize,
+        /// Split factor (inner extent).
+        factor: i64,
+    },
+    /// Fuse adjacent leaves `pos` and `pos + 1` of `stage`.
+    Fuse {
+        /// Stage name.
+        stage: String,
+        /// Position of the outer leaf.
+        pos: usize,
+    },
+    /// Reorder all leaves of `stage` by the given permutation: new leaf `i`
+    /// is old leaf `perm[i]`.
+    Reorder {
+        /// Stage name.
+        stage: String,
+        /// Permutation of `0..leaf_count`.
+        perm: Vec<usize>,
+    },
+    /// Vectorize a leaf.
+    Vectorize {
+        /// Stage name.
+        stage: String,
+        /// Leaf index.
+        leaf: usize,
+    },
+    /// Unroll a leaf.
+    Unroll {
+        /// Stage name.
+        stage: String,
+        /// Leaf index.
+        leaf: usize,
+    },
+    /// Parallelize a leaf.
+    Parallel {
+        /// Stage name.
+        stage: String,
+        /// Leaf index.
+        leaf: usize,
+    },
+    /// Bind a leaf to a GPU thread axis.
+    Bind {
+        /// Stage name.
+        stage: String,
+        /// Leaf index.
+        leaf: usize,
+        /// Thread tag name (`blockIdx.x`, `threadIdx.x`, ...).
+        tag: String,
+    },
+    /// Nest `producer` inside `consumer` at the consumer's leaf `leaf`.
+    ComputeAt {
+        /// Producer stage name.
+        producer: String,
+        /// Consumer stage name.
+        consumer: String,
+        /// Leaf index into the consumer.
+        leaf: usize,
+    },
+    /// Inline a stage into its consumers.
+    ComputeInline {
+        /// Stage name.
+        stage: String,
+    },
+    /// Cache a tensor in `scope` for the given readers
+    /// (creates stage `{tensor}.{scope}`).
+    CacheRead {
+        /// Source tensor name (placeholder or stage output).
+        tensor: String,
+        /// Cache memory scope name (`shared`, `local`).
+        scope: String,
+        /// Reader stage names.
+        readers: Vec<String>,
+    },
+    /// Move a stage's computation into a cache stage in `scope`
+    /// (creates stage `{tensor}.{scope}`; must be the first primitive
+    /// touching the stage).
+    CacheWrite {
+        /// Target stage name.
+        tensor: String,
+        /// Cache memory scope name.
+        scope: String,
+    },
+}
+
+/// Parses a memory-scope name used in traces.
+pub fn parse_scope(name: &str) -> Option<MemScope> {
+    match name {
+        "global" => Some(MemScope::Global),
+        "shared" => Some(MemScope::Shared),
+        "local" => Some(MemScope::Local),
+        _ => None,
+    }
+}
+
+/// Parses a thread-tag name used in traces.
+pub fn parse_thread_tag(name: &str) -> Option<ThreadTag> {
+    match name {
+        "blockIdx.x" => Some(ThreadTag::BlockIdxX),
+        "blockIdx.y" => Some(ThreadTag::BlockIdxY),
+        "blockIdx.z" => Some(ThreadTag::BlockIdxZ),
+        "threadIdx.x" => Some(ThreadTag::ThreadIdxX),
+        "threadIdx.y" => Some(ThreadTag::ThreadIdxY),
+        "threadIdx.z" => Some(ThreadTag::ThreadIdxZ),
+        _ => None,
+    }
+}
+
+fn str_vec(vs: &[String]) -> Value {
+    Value::Array(vs.iter().map(|s| Value::from(s.clone())).collect())
+}
+
+impl Primitive {
+    /// JSON form for reproducer files.
+    pub fn to_json(&self) -> Value {
+        match self {
+            Primitive::Split {
+                stage,
+                leaf,
+                factor,
+            } => Value::object([
+                ("op", Value::from("split")),
+                ("stage", Value::from(stage.clone())),
+                ("leaf", Value::from(*leaf as i64)),
+                ("factor", Value::from(*factor)),
+            ]),
+            Primitive::Fuse { stage, pos } => Value::object([
+                ("op", Value::from("fuse")),
+                ("stage", Value::from(stage.clone())),
+                ("pos", Value::from(*pos as i64)),
+            ]),
+            Primitive::Reorder { stage, perm } => Value::object([
+                ("op", Value::from("reorder")),
+                ("stage", Value::from(stage.clone())),
+                (
+                    "perm",
+                    Value::Array(perm.iter().map(|&p| Value::from(p as i64)).collect()),
+                ),
+            ]),
+            Primitive::Vectorize { stage, leaf } => Value::object([
+                ("op", Value::from("vectorize")),
+                ("stage", Value::from(stage.clone())),
+                ("leaf", Value::from(*leaf as i64)),
+            ]),
+            Primitive::Unroll { stage, leaf } => Value::object([
+                ("op", Value::from("unroll")),
+                ("stage", Value::from(stage.clone())),
+                ("leaf", Value::from(*leaf as i64)),
+            ]),
+            Primitive::Parallel { stage, leaf } => Value::object([
+                ("op", Value::from("parallel")),
+                ("stage", Value::from(stage.clone())),
+                ("leaf", Value::from(*leaf as i64)),
+            ]),
+            Primitive::Bind { stage, leaf, tag } => Value::object([
+                ("op", Value::from("bind")),
+                ("stage", Value::from(stage.clone())),
+                ("leaf", Value::from(*leaf as i64)),
+                ("tag", Value::from(tag.clone())),
+            ]),
+            Primitive::ComputeAt {
+                producer,
+                consumer,
+                leaf,
+            } => Value::object([
+                ("op", Value::from("compute_at")),
+                ("producer", Value::from(producer.clone())),
+                ("consumer", Value::from(consumer.clone())),
+                ("leaf", Value::from(*leaf as i64)),
+            ]),
+            Primitive::ComputeInline { stage } => Value::object([
+                ("op", Value::from("compute_inline")),
+                ("stage", Value::from(stage.clone())),
+            ]),
+            Primitive::CacheRead {
+                tensor,
+                scope,
+                readers,
+            } => Value::object([
+                ("op", Value::from("cache_read")),
+                ("tensor", Value::from(tensor.clone())),
+                ("scope", Value::from(scope.clone())),
+                ("readers", str_vec(readers)),
+            ]),
+            Primitive::CacheWrite { tensor, scope } => Value::object([
+                ("op", Value::from("cache_write")),
+                ("tensor", Value::from(tensor.clone())),
+                ("scope", Value::from(scope.clone())),
+            ]),
+        }
+    }
+
+    /// Parses the JSON form back.
+    pub fn from_json(v: &Value) -> Result<Primitive, String> {
+        let op = v
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or("primitive missing `op`")?;
+        let s = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("`{op}` missing string field `{k}`"))
+        };
+        let n = |k: &str| -> Result<usize, String> {
+            v.get(k)
+                .and_then(Value::as_i64)
+                .and_then(|x| usize::try_from(x).ok())
+                .ok_or_else(|| format!("`{op}` missing index field `{k}`"))
+        };
+        Ok(match op {
+            "split" => Primitive::Split {
+                stage: s("stage")?,
+                leaf: n("leaf")?,
+                factor: v
+                    .get("factor")
+                    .and_then(Value::as_i64)
+                    .ok_or("`split` missing `factor`")?,
+            },
+            "fuse" => Primitive::Fuse {
+                stage: s("stage")?,
+                pos: n("pos")?,
+            },
+            "reorder" => Primitive::Reorder {
+                stage: s("stage")?,
+                perm: v
+                    .get("perm")
+                    .and_then(Value::as_array)
+                    .ok_or("`reorder` missing `perm`")?
+                    .iter()
+                    .map(|x| {
+                        x.as_i64()
+                            .and_then(|i| usize::try_from(i).ok())
+                            .ok_or_else(|| "bad perm entry".to_string())
+                    })
+                    .collect::<Result<_, _>>()?,
+            },
+            "vectorize" => Primitive::Vectorize {
+                stage: s("stage")?,
+                leaf: n("leaf")?,
+            },
+            "unroll" => Primitive::Unroll {
+                stage: s("stage")?,
+                leaf: n("leaf")?,
+            },
+            "parallel" => Primitive::Parallel {
+                stage: s("stage")?,
+                leaf: n("leaf")?,
+            },
+            "bind" => Primitive::Bind {
+                stage: s("stage")?,
+                leaf: n("leaf")?,
+                tag: s("tag")?,
+            },
+            "compute_at" => Primitive::ComputeAt {
+                producer: s("producer")?,
+                consumer: s("consumer")?,
+                leaf: n("leaf")?,
+            },
+            "compute_inline" => Primitive::ComputeInline { stage: s("stage")? },
+            "cache_read" => Primitive::CacheRead {
+                tensor: s("tensor")?,
+                scope: s("scope")?,
+                readers: v
+                    .get("readers")
+                    .and_then(Value::as_array)
+                    .ok_or("`cache_read` missing `readers`")?
+                    .iter()
+                    .map(|x| {
+                        x.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| "bad reader".to_string())
+                    })
+                    .collect::<Result<_, _>>()?,
+            },
+            "cache_write" => Primitive::CacheWrite {
+                tensor: s("tensor")?,
+                scope: s("scope")?,
+            },
+            other => return Err(format!("unknown primitive `{other}`")),
+        })
+    }
+}
+
+impl std::fmt::Display for Primitive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Primitive::Split {
+                stage,
+                leaf,
+                factor,
+            } => {
+                write!(f, "split({stage}, leaf {leaf}, factor {factor})")
+            }
+            Primitive::Fuse { stage, pos } => {
+                write!(f, "fuse({stage}, leaves {pos}..={})", pos + 1)
+            }
+            Primitive::Reorder { stage, perm } => write!(f, "reorder({stage}, {perm:?})"),
+            Primitive::Vectorize { stage, leaf } => write!(f, "vectorize({stage}, leaf {leaf})"),
+            Primitive::Unroll { stage, leaf } => write!(f, "unroll({stage}, leaf {leaf})"),
+            Primitive::Parallel { stage, leaf } => write!(f, "parallel({stage}, leaf {leaf})"),
+            Primitive::Bind { stage, leaf, tag } => {
+                write!(f, "bind({stage}, leaf {leaf}, {tag})")
+            }
+            Primitive::ComputeAt {
+                producer,
+                consumer,
+                leaf,
+            } => {
+                write!(f, "compute_at({producer} -> {consumer}, leaf {leaf})")
+            }
+            Primitive::ComputeInline { stage } => write!(f, "compute_inline({stage})"),
+            Primitive::CacheRead {
+                tensor,
+                scope,
+                readers,
+            } => {
+                write!(f, "cache_read({tensor}, {scope}, readers {readers:?})")
+            }
+            Primitive::CacheWrite { tensor, scope } => {
+                write!(f, "cache_write({tensor}, {scope})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_every_variant() {
+        let prims = vec![
+            Primitive::Split {
+                stage: "C".into(),
+                leaf: 1,
+                factor: 4,
+            },
+            Primitive::Fuse {
+                stage: "C".into(),
+                pos: 0,
+            },
+            Primitive::Reorder {
+                stage: "C".into(),
+                perm: vec![2, 0, 1],
+            },
+            Primitive::Vectorize {
+                stage: "C".into(),
+                leaf: 3,
+            },
+            Primitive::Unroll {
+                stage: "C".into(),
+                leaf: 2,
+            },
+            Primitive::Parallel {
+                stage: "C".into(),
+                leaf: 0,
+            },
+            Primitive::Bind {
+                stage: "C".into(),
+                leaf: 0,
+                tag: "blockIdx.x".into(),
+            },
+            Primitive::ComputeAt {
+                producer: "C.local".into(),
+                consumer: "C".into(),
+                leaf: 1,
+            },
+            Primitive::ComputeInline {
+                stage: "data_pad".into(),
+            },
+            Primitive::CacheRead {
+                tensor: "A".into(),
+                scope: "local".into(),
+                readers: vec!["C".into()],
+            },
+            Primitive::CacheWrite {
+                tensor: "C".into(),
+                scope: "local".into(),
+            },
+        ];
+        for p in prims {
+            let text = p.to_json().to_string();
+            let back =
+                Primitive::from_json(&tvm_json::from_str(&text).expect("parses")).expect("decodes");
+            assert_eq!(p, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn scope_and_tag_names_round_trip() {
+        for s in ["global", "shared", "local"] {
+            assert_eq!(parse_scope(s).expect("scope").name(), s);
+        }
+        for t in ["blockIdx.x", "threadIdx.y", "threadIdx.z"] {
+            assert_eq!(parse_thread_tag(t).expect("tag").name(), t);
+        }
+        assert!(parse_scope("quantum").is_none());
+        assert!(parse_thread_tag("warpIdx.w").is_none());
+    }
+}

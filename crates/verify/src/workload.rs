@@ -1,0 +1,184 @@
+//! Fuzzing workloads: small tensor-expression programs with enough
+//! structural variety (pure reduction, padded convolution, injective chain)
+//! to exercise every schedule primitive, yet small enough that the
+//! interpreter runs them in milliseconds.
+//!
+//! Every call to [`build`] constructs a *fresh* expression DAG with
+//! identical stage names and axis order, which is what lets a positional
+//! [`crate::Primitive`] trace replay deterministically.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tvm_ir::{DType, Expr};
+use tvm_te::{compute, placeholder, reduce_axis, sum, Tensor};
+use tvm_topi::nn::conv2d;
+use tvm_topi::Conv2dWorkload;
+
+/// The workload classes the fuzzer draws schedules over.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WorkloadKind {
+    /// Dense matmul `C[y, x] = sum_k A[y, k] * B[k, x]` with
+    /// non-power-of-two extents.
+    Matmul,
+    /// Direct NCHW convolution with a zero-padding producer stage.
+    Conv2d,
+    /// A chain of element-wise stages (scale, clip, residual add).
+    Fused,
+}
+
+/// All workload classes, in fuzzing rotation order.
+pub const ALL_WORKLOADS: [WorkloadKind; 3] = [
+    WorkloadKind::Matmul,
+    WorkloadKind::Conv2d,
+    WorkloadKind::Fused,
+];
+
+impl WorkloadKind {
+    /// Stable name used in CLI flags and reproducer files.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Matmul => "matmul",
+            WorkloadKind::Conv2d => "conv2d",
+            WorkloadKind::Fused => "fused",
+        }
+    }
+
+    /// Parses a CLI / reproducer name.
+    pub fn parse(s: &str) -> Option<WorkloadKind> {
+        match s {
+            "matmul" => Some(WorkloadKind::Matmul),
+            "conv2d" => Some(WorkloadKind::Conv2d),
+            "fused" => Some(WorkloadKind::Fused),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A freshly built workload DAG ready for scheduling.
+pub struct Built {
+    /// Lowering arguments: input placeholders then the output tensor.
+    pub args: Vec<Tensor>,
+    /// The output tensor (last element of `args`).
+    pub output: Tensor,
+    /// Stages whose values reach the output through more than one consumer;
+    /// `compute_at` into a single consumer would be unsound for these.
+    pub multi_consumer: Vec<String>,
+}
+
+/// Builds a fresh DAG for a workload class.
+pub fn build(kind: WorkloadKind) -> Built {
+    match kind {
+        WorkloadKind::Matmul => {
+            let (m, n, k) = (12i64, 10, 14);
+            let a = placeholder(&[m, k], DType::float32(), "A");
+            let b = placeholder(&[k, n], DType::float32(), "B");
+            let kk = reduce_axis(k, "k");
+            let c = compute(&[m, n], "C", |i| {
+                sum(
+                    a.at(&[i[0].clone(), kk.expr()]) * b.at(&[kk.expr(), i[1].clone()]),
+                    std::slice::from_ref(&kk),
+                )
+            });
+            Built {
+                args: vec![a, b, c.clone()],
+                output: c,
+                multi_consumer: vec![],
+            }
+        }
+        WorkloadKind::Conv2d => {
+            let w = Conv2dWorkload {
+                batch: 1,
+                size: 6,
+                in_c: 4,
+                out_c: 4,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+            };
+            let op = conv2d(&w, DType::float32());
+            Built {
+                args: vec![op.data, op.weight, op.out.clone()],
+                output: op.out,
+                multi_consumer: vec![],
+            }
+        }
+        WorkloadKind::Fused => {
+            // scale -> clip -> residual add against the raw input: a
+            // straight single-consumer chain of injective stages.
+            let (h, w) = (6i64, 16);
+            let a = placeholder(&[h, w], DType::float32(), "A");
+            let a2 = a.clone();
+            let scale = compute(&[h, w], "scale", move |i| a2.at(i) * 3 + 1);
+            let s2 = scale.clone();
+            let clip = compute(&[h, w], "clip", move |i| {
+                s2.at(i).max(Expr::zero(DType::float32()))
+            });
+            let (c2, a3) = (clip.clone(), a.clone());
+            let out = compute(&[h, w], "residual", move |i| c2.at(i) + a3.at(i));
+            Built {
+                args: vec![a, out.clone()],
+                output: out,
+                multi_consumer: vec![],
+            }
+        }
+    }
+}
+
+/// Deterministic input buffers for a workload: seeded uniform values for
+/// every input, zeros for the output.
+pub fn input_buffers(built: &Built, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB0F5_EED5_0F32_1234);
+    let mut bufs: Vec<Vec<f32>> = Vec::with_capacity(built.args.len());
+    for (i, t) in built.args.iter().enumerate() {
+        let n = t.numel() as usize;
+        if i + 1 == built.args.len() {
+            bufs.push(vec![0.0; n]);
+        } else {
+            bufs.push((0..n).map(|_| rng.random_range(-2.0f32..2.0)).collect());
+        }
+    }
+    bufs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_are_nominally_identical() {
+        for kind in ALL_WORKLOADS {
+            let w1 = build(kind);
+            let w2 = build(kind);
+            assert_eq!(w1.args.len(), w2.args.len());
+            for (a, b) in w1.args.iter().zip(&w2.args) {
+                assert_eq!(a.name(), b.name());
+                assert_eq!(a.shape(), b.shape());
+            }
+        }
+    }
+
+    #[test]
+    fn input_buffers_are_seed_deterministic() {
+        let w = build(WorkloadKind::Matmul);
+        let b1 = input_buffers(&w, 42);
+        let b2 = input_buffers(&w, 42);
+        let b3 = input_buffers(&w, 43);
+        assert_eq!(b1, b2);
+        assert_ne!(b1[0], b3[0]);
+        assert!(b1.last().expect("output").iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn kind_names_parse_back() {
+        for kind in ALL_WORKLOADS {
+            assert_eq!(WorkloadKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(WorkloadKind::parse("winograd"), None);
+    }
+}

@@ -6,9 +6,7 @@
 //! Run with: `cargo run --release --example deploy_resnet_vdla`
 
 use tvm_ir::{DType, Interp, MemScope};
-use tvm_te::{
-    compute, create_schedule, lower_with, placeholder, reduce_axis, sum, LowerOptions,
-};
+use tvm_te::{compute, create_schedule, lower_with, placeholder, reduce_axis, sum, LowerOptions};
 use tvm_vdla::{gemm_intrin, register_interp, run_timed, run_timed_monolithic, VdlaSpec};
 
 fn main() {
@@ -18,10 +16,13 @@ fn main() {
     let b = placeholder(&[n, k], DType::float32(), "B");
     let kk = reduce_axis(k, "k");
     let c = compute(&[m, n], "C", |i| {
-        sum(a.at(&[i[0].clone(), kk.expr()]) * b.at(&[i[1].clone(), kk.expr()]), &[kk.clone()])
+        sum(
+            a.at(&[i[0].clone(), kk.expr()]) * b.at(&[i[1].clone(), kk.expr()]),
+            std::slice::from_ref(&kk),
+        )
     });
 
-    let mut s = create_schedule(&[c.clone()]);
+    let mut s = create_schedule(std::slice::from_ref(&c));
     let cl = s.cache_write(&c, MemScope::AccBuffer);
     let ax = c.op.axes();
     let (_yo, xo, yi, _xi) = s.tile(&c, &ax[0], &ax[1], t, t);
@@ -43,8 +44,13 @@ fn main() {
     s.pragma(&bl, &leaf, "dma_copy");
     s.tensorize(&cl, &clax[0], gemm_intrin(t, t, t, DType::float32()));
 
-    let f = lower_with(&s, &[a, b, c], "vdla_gemm", &LowerOptions { dae_sync: true })
-        .expect("lowers");
+    let f = lower_with(
+        &s,
+        &[a, b, c],
+        "vdla_gemm",
+        &LowerOptions { dae_sync: true },
+    )
+    .expect("lowers");
     println!("generated DAE program with explicit dependence tokens:\n");
     for line in f.body.to_string().lines().take(18) {
         println!("  {line}");
@@ -71,7 +77,10 @@ fn main() {
     println!("functional check vs reference: max abs error {max_err:.2e}");
 
     // Pipeline timing: monolithic vs decoupled access-execute.
-    let spec = VdlaSpec { dram_bw_bytes_per_cycle: 64.0, ..VdlaSpec::default() };
+    let spec = VdlaSpec {
+        dram_bw_bytes_per_cycle: 64.0,
+        ..VdlaSpec::default()
+    };
     let mono = run_timed_monolithic(&f, &spec).expect("simulates");
     let dae = run_timed(&f, &spec).expect("simulates");
     println!(

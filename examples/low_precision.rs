@@ -22,7 +22,11 @@ fn main() {
         stride: 1,
         pad: 0,
     };
-    let w = BitserialWorkload { conv, a_bits: 2, w_bits: 1 };
+    let w = BitserialWorkload {
+        conv,
+        a_bits: 2,
+        w_bits: 1,
+    };
     println!(
         "bit-serial conv: {} ({} binary ops, {} packed blocks)",
         conv.describe(),
@@ -34,8 +38,9 @@ fn main() {
     let acts: Vec<f32> = (0..conv.in_c * conv.size * conv.size)
         .map(|i| ((i * 7) % 4) as f32)
         .collect();
-    let wts: Vec<f32> =
-        (0..conv.out_c * conv.in_c * 9).map(|i| ((i * 3) % 2) as f32).collect();
+    let wts: Vec<f32> = (0..conv.out_c * conv.in_c * 9)
+        .map(|i| ((i * 3) % 2) as f32)
+        .collect();
     let packed_a = pack_activations(&acts, conv.in_c as usize, conv.size as usize, 2);
     let packed_w = pack_weights(&wts, conv.out_c as usize, conv.in_c as usize, 3);
 
@@ -72,9 +77,12 @@ fn main() {
                 x.at(&[r.expr(), i[1].clone()]),
                 wv.at(&[i[0].clone(), r.expr()]),
             );
-            sum(tvm_ir::Expr::call("popcount", vec![anded], DType::int32()), &[r.clone()])
+            sum(
+                tvm_ir::Expr::call("popcount", vec![anded], DType::int32()),
+                std::slice::from_ref(&r),
+            )
         });
-        let mut s = create_schedule(&[y.clone()]);
+        let mut s = create_schedule(std::slice::from_ref(&y));
         if tensorize {
             let ax = y.op.axes();
             s.tensorize(&y, &ax[1], bitserial_dot_intrin(blocks, pixels));
@@ -84,8 +92,12 @@ fn main() {
     let plain_f = build(false);
     let micro_f = build(true);
     // Functional agreement.
-    let xs: Vec<i64> = (0..blocks * pixels).map(|i| (i * 2654435761) & 0xffff_ffff).collect();
-    let wsv: Vec<i64> = (0..rows * blocks).map(|i| (i * 40503) & 0xffff_ffff).collect();
+    let xs: Vec<i64> = (0..blocks * pixels)
+        .map(|i| (i * 2654435761) & 0xffff_ffff)
+        .collect();
+    let wsv: Vec<i64> = (0..rows * blocks)
+        .map(|i| (i * 40503) & 0xffff_ffff)
+        .collect();
     let run = |f: &tvm_ir::LoweredFunc| {
         let mut it = Interp::new();
         register_bitserial_interp(&mut it);
@@ -99,7 +111,10 @@ fn main() {
     assert_eq!(run(&plain_f), run(&micro_f), "tensorized kernel must agree");
     let plain = estimate_with(&plain_f, &target, &Default::default());
     let micro = estimate_with(&micro_f, &target, &bitserial_sim_options(blocks, pixels));
-    println!("generic GEMV lowering:              {:.4} ms", plain.millis());
+    println!(
+        "generic GEMV lowering:              {:.4} ms",
+        plain.millis()
+    );
     println!(
         "tensorized bit-serial micro-kernel: {:.4} ms ({:.2}x speedup)",
         micro.millis(),

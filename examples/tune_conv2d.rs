@@ -19,7 +19,10 @@ fn main() {
         topi::conv2d_space(&workload, &target).size()
     );
 
-    let opts = TuneOptions { n_trials: 64, ..Default::default() };
+    let opts = TuneOptions {
+        n_trials: 64,
+        ..Default::default()
+    };
     for (name, kind) in [
         ("ML-based (GBT rank + sim. annealing)", TunerKind::GbtRank),
         ("genetic algorithm", TunerKind::Genetic),
@@ -31,7 +34,11 @@ fn main() {
             "{name:<40} best {:.4} ms after {} trials (cfg: {})",
             result.best_ms,
             result.history.len(),
-            result.best_config.as_ref().map(|c| c.summary()).unwrap_or_default()
+            result
+                .best_config
+                .as_ref()
+                .map(|c| c.summary())
+                .unwrap_or_default()
         );
         if kind == TunerKind::GbtRank {
             // Persist the log, as the paper's distributed tuner does.

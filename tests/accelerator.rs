@@ -37,8 +37,14 @@ fn dae_tokens_balance_for_all_resnet_layers() {
     for w in tvm_topi::resnet18_convs().iter().skip(1) {
         let f = conv_as_vdla_gemm(w, 2);
         let stream = trace(&f).expect("traces");
-        let pushes = stream.iter().filter(|i| matches!(i, VdlaInstr::Push { .. })).count();
-        let pops = stream.iter().filter(|i| matches!(i, VdlaInstr::Pop { .. })).count();
+        let pushes = stream
+            .iter()
+            .filter(|i| matches!(i, VdlaInstr::Push { .. }))
+            .count();
+        let pops = stream
+            .iter()
+            .filter(|i| matches!(i, VdlaInstr::Pop { .. }))
+            .count();
         assert_eq!(pushes, pops, "{}", w.describe());
         // DAE must never be slower than the monolithic pipeline.
         let spec = VdlaSpec::default();

@@ -11,11 +11,27 @@ use tvm_topi as topi;
 fn small_cnn() -> tvm_graph::Graph {
     let mut g = tvm_graph::Graph::new();
     let x = g.input(&[1, 3, 16, 16], "data");
-    let w1 = topi::Conv2dWorkload { batch: 1, size: 16, in_c: 3, out_c: 8, kernel: 3, stride: 1, pad: 1 };
+    let w1 = topi::Conv2dWorkload {
+        batch: 1,
+        size: 16,
+        in_c: 3,
+        out_c: 8,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+    };
     let c1 = g.conv2d(x, w1, "c1");
     let b1 = g.batch_norm(c1, "b1");
     let r1 = g.relu(b1, "r1");
-    let w2 = topi::Conv2dWorkload { batch: 1, size: 16, in_c: 8, out_c: 8, kernel: 3, stride: 1, pad: 1 };
+    let w2 = topi::Conv2dWorkload {
+        batch: 1,
+        size: 16,
+        in_c: 8,
+        out_c: 8,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+    };
     let c2 = g.conv2d(r1, w2, "c2");
     let res = g.add_op(c2, r1, "res");
     let out = g.relu(res, "out");
@@ -28,8 +44,15 @@ fn reference_forward(ex: &GraphExecutor, input: &NDArray) -> Vec<f32> {
     // Re-run through an unfused CPU build — an independently scheduled
     // second compilation acting as the oracle.
     let g = small_cnn();
-    let module = tvm::build(&g, &arm_a53(), &BuildOptions { no_fusion: true, db: None })
-        .expect("builds");
+    let module = tvm::build(
+        &g,
+        &arm_a53(),
+        &BuildOptions {
+            no_fusion: true,
+            db: None,
+        },
+    )
+    .expect("builds");
     let mut ex2 = GraphExecutor::new(module);
     // Copy the params from the first executor by name (both use the same
     // deterministic seeding, but copy anyway to be explicit).
@@ -68,8 +91,15 @@ fn fusion_reduces_kernel_count_and_time() {
     let g = small_cnn();
     let t = titanx();
     let fused = tvm::build(&g, &t, &BuildOptions::default()).expect("builds");
-    let unfused =
-        tvm::build(&g, &t, &BuildOptions { no_fusion: true, db: None }).expect("builds");
+    let unfused = tvm::build(
+        &g,
+        &t,
+        &BuildOptions {
+            no_fusion: true,
+            db: None,
+        },
+    )
+    .expect("builds");
     assert!(fused.kernels.len() < unfused.kernels.len());
     assert!(
         fused.total_ms() < unfused.total_ms(),
@@ -81,11 +111,22 @@ fn fusion_reduces_kernel_count_and_time() {
 
 #[test]
 fn tuning_beats_default_schedule() {
-    let w = topi::Conv2dWorkload { batch: 1, size: 14, in_c: 32, out_c: 32, kernel: 3, stride: 1, pad: 1 };
+    let w = topi::Conv2dWorkload {
+        batch: 1,
+        size: 14,
+        in_c: 32,
+        out_c: 32,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+    };
     let task = topi::conv2d_task(w, DType::float32(), titanx());
     let cfg = topi::default_config(&task.space);
     let default_ms = task.measure(&cfg).expect("valid default").1;
-    let opts = TuneOptions { n_trials: 32, ..Default::default() };
+    let opts = TuneOptions {
+        n_trials: 32,
+        ..Default::default()
+    };
     let r = tune(&task, &opts, TunerKind::GbtRank);
     assert!(
         r.best_ms <= default_ms,
@@ -98,9 +139,20 @@ fn tuning_beats_default_schedule() {
 #[test]
 fn ml_tuner_is_more_sample_efficient_than_random() {
     // The Fig. 12 shape on a fast workload: compare best-after-N curves.
-    let w = topi::Conv2dWorkload { batch: 1, size: 14, in_c: 32, out_c: 64, kernel: 3, stride: 2, pad: 1 };
+    let w = topi::Conv2dWorkload {
+        batch: 1,
+        size: 14,
+        in_c: 32,
+        out_c: 64,
+        kernel: 3,
+        stride: 2,
+        pad: 1,
+    };
     let mk = || topi::conv2d_task(w, DType::float32(), titanx());
-    let opts = TuneOptions { n_trials: 48, ..Default::default() };
+    let opts = TuneOptions {
+        n_trials: 48,
+        ..Default::default()
+    };
     let ml = tune(&mk(), &opts, TunerKind::GbtRank);
     let rnd = tune(&mk(), &opts, TunerKind::Random);
     // After the full budget the ML tuner is at least as good.
@@ -120,7 +172,10 @@ fn dqn_beats_vendor_model_on_unconventional_convs() {
     let w = topi::dqn_convs()[1];
     let vendor = topi::vendor_conv2d_ms(topi::Library::CuDnn, &w, DType::float32(), &t);
     let task = topi::conv2d_task(w, DType::float32(), t);
-    let opts = TuneOptions { n_trials: 48, ..Default::default() };
+    let opts = TuneOptions {
+        n_trials: 48,
+        ..Default::default()
+    };
     let tuned = tune(&task, &opts, TunerKind::GbtRank).best_ms;
     assert!(
         vendor / tuned > 1.5,

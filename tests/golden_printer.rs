@@ -1,0 +1,94 @@
+//! Golden tests for the lowered-IR printer: fixed schedules of the two
+//! flagship kernels must print exactly the checked-in text. These pin both
+//! the lowering (loop structure, bounds, guards) and the printer syntax.
+//!
+//! When an intentional change shifts the output, regenerate with
+//!
+//! ```text
+//! TVM_REGEN_GOLDEN=1 cargo test --test golden_printer
+//! ```
+//!
+//! and review the `.expected` diff like any other code change.
+
+use std::path::Path;
+
+use tvm_ir::DType;
+use tvm_te::{compute, create_schedule, lower, placeholder, reduce_axis, sum};
+use tvm_topi::{batch_norm, conv2d, relu, Conv2dWorkload};
+
+fn check_golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("TVM_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\nrun with TVM_REGEN_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual.trim_end(),
+        expected.trim_end(),
+        "\nlowered IR for `{name}` changed; if intentional, regenerate with \
+         TVM_REGEN_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn tiled_gemm_prints_stably() {
+    let (m, n, k) = (16i64, 16, 16);
+    let a = placeholder(&[m, k], DType::float32(), "A");
+    let b = placeholder(&[k, n], DType::float32(), "B");
+    let kk = reduce_axis(k, "k");
+    let c = compute(&[m, n], "C", |i| {
+        sum(
+            a.at(&[i[0].clone(), kk.expr()]) * b.at(&[kk.expr(), i[1].clone()]),
+            std::slice::from_ref(&kk),
+        )
+    });
+    let mut s = create_schedule(std::slice::from_ref(&c));
+    let ax = c.op.axes();
+    let (yo, yi) = s.split(&c, &ax[0], 4);
+    let (xo, xi) = s.split(&c, &ax[1], 4);
+    s.reorder(&c, &[&yo, &xo, &yi, &xi]);
+    s.vectorize(&c, &xi);
+    let f = lower(&s, &[a, b, c.clone()], "tiled_gemm").expect("lowers");
+    check_golden("tiled_gemm.expected", &f.body.to_string());
+}
+
+#[test]
+fn fused_conv_bn_relu_prints_stably() {
+    let w = Conv2dWorkload {
+        batch: 1,
+        size: 8,
+        in_c: 4,
+        out_c: 4,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let op = conv2d(&w, DType::float32());
+    let scale = placeholder(&[w.out_c], DType::float32(), "scale");
+    let shift = placeholder(&[w.out_c], DType::float32(), "shift");
+    let bn = batch_norm(&op.out, &scale, &shift);
+    let out = relu(&bn);
+    let mut s = create_schedule(std::slice::from_ref(&out));
+    // The §3 fusion schedule: pad and bn are injective, so they inline
+    // into their consumers; conv stays the materialized master stage.
+    s.compute_inline(op.pad.as_ref().expect("padded conv"));
+    s.compute_inline(&bn);
+    let args = vec![
+        op.data.clone(),
+        op.weight.clone(),
+        scale,
+        shift,
+        out.clone(),
+    ];
+    let f = lower(&s, &args, "conv_bn_relu").expect("lowers");
+    check_golden("conv_bn_relu.expected", &f.body.to_string());
+}

@@ -1,0 +1,106 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! Implements the macro/API surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `benchmark_group`,
+//! `bench_function`, `sample_size` — backed by simple wall-clock timing with
+//! median-of-samples reporting. No statistical analysis, plots, or baselines.
+
+use std::time::Instant;
+
+/// Top-level bench context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== {name}");
+        BenchmarkGroup {
+            _name: name,
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named group sharing a sample-size setting.
+pub struct BenchmarkGroup {
+    _name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times one closure-driven benchmark and prints its median.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        // One warm-up plus the configured samples.
+        for _ in 0..=self.sample_size {
+            f(&mut b);
+        }
+        if b.samples.len() > 1 {
+            b.samples.remove(0); // drop warm-up
+        }
+        b.samples.sort_by(|a, x| a.total_cmp(x));
+        let median = b.samples.get(b.samples.len() / 2).copied().unwrap_or(0.0);
+        println!(
+            "  {name:<40} median {:>12.3} ms  ({} samples)",
+            median,
+            b.samples.len()
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here).
+    pub fn finish(&mut self) {}
+}
+
+/// Per-benchmark timer handle.
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times one execution of `f` and records it as a sample.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.samples.push(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(out);
+    }
+}
+
+/// Re-export for benches that import it from criterion.
+pub use std::hint::black_box;
+
+/// Bundles bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,479 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this crate implements the
+//! subset of the proptest API the workspace's property tests use: the
+//! [`proptest!`] macro, range / tuple / vec / mapped strategies, `any::<T>()`,
+//! [`prop_oneof!`], recursive strategies, and a deterministic runner.
+//!
+//! Differences from upstream: generation is fully deterministic per case
+//! index (no env-dependent seeding), and failing cases are reported by their
+//! case number rather than shrunk — with deterministic seeds a failure always
+//! reproduces, so the failing input can be printed by re-running that case.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, ProptestConfig, Strategy,
+    };
+}
+
+/// Deterministic SplitMix64 stream used by all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds a generator from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5851_F42D_4C95_7F2D,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value below `n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generated value; `current` returns it. Upstream shrinks through this
+/// type — here it is just a carrier.
+pub struct ValueTree<T>(T);
+
+impl<T: Clone> ValueTree<T> {
+    /// The generated value.
+    pub fn current(&self) -> T {
+        self.0.clone()
+    }
+}
+
+/// Deterministic strategy runner.
+pub struct TestRunner {
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Runner with a fixed, platform-independent seed.
+    pub fn deterministic() -> Self {
+        TestRunner {
+            rng: TestRng::from_seed(0x7465_7374),
+        }
+    }
+}
+
+/// Upstream module path compatibility (`proptest::test_runner::TestRunner`).
+pub mod test_runner {
+    pub use crate::{TestRunner, ValueTree};
+}
+
+/// A source of random values of one type.
+pub trait Strategy: Clone {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Applies a function to each generated value.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> U + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf, and `expand` wraps an
+    /// inner strategy into a deeper one, applied up to `levels` times.
+    fn prop_recursive<F>(
+        self,
+        levels: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> BoxedStrategy<Self::Value>,
+    {
+        let base = self.boxed();
+        let mut cur = base.clone();
+        for _ in 0..levels.max(1) {
+            let deeper = expand(cur);
+            cur = BoxedStrategy::union(vec![base.clone(), deeper]);
+        }
+        cur
+    }
+
+    /// Generates one value through a runner, proptest-style.
+    #[allow(clippy::result_unit_err)]
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<ValueTree<Self::Value>, ()> {
+        Ok(ValueTree(self.generate(&mut runner.rng)))
+    }
+}
+
+/// Type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+impl<T: 'static> BoxedStrategy<T> {
+    /// Uniform choice among alternatives.
+    ///
+    /// # Panics
+    /// Panics when `options` is empty.
+    pub fn union(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!options.is_empty(), "union of zero strategies");
+        BoxedStrategy(Rc::new(move |rng| {
+            let i = rng.below(options.len() as u64) as usize;
+            options[i].generate(rng)
+        }))
+    }
+}
+
+/// Mapped strategy (see [`Strategy::prop_map`]).
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + Clone,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values across a wide magnitude span.
+
+        rng.unit_f64() * 2e6 - 1e6
+    }
+}
+
+/// Strategy for any value of an [`Arbitrary`] type.
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — every value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Length specification: a fixed `usize` or a `Range<usize>`.
+        pub trait IntoSizeRange {
+            /// Inclusive lower / exclusive upper length bounds.
+            fn bounds(self) -> (usize, usize);
+        }
+
+        impl IntoSizeRange for usize {
+            fn bounds(self) -> (usize, usize) {
+                (self, self + 1)
+            }
+        }
+
+        impl IntoSizeRange for std::ops::Range<usize> {
+            fn bounds(self) -> (usize, usize) {
+                (self.start, self.end.max(self.start + 1))
+            }
+        }
+
+        /// Vector-of-elements strategy.
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            lo: usize,
+            hi: usize,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.hi - self.lo).max(1) as u64;
+                let n = self.lo + rng.below(span) as usize;
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+
+        /// Vectors of values from `elem`, with length drawn from `size`.
+        pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            let (lo, hi) = size.bounds();
+            VecStrategy { elem, lo, hi }
+        }
+    }
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::BoxedStrategy::union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Property assertion; plain `assert!` under deterministic generation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supported grammar (the subset upstream tests use):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(a in 0i64..10, b in any::<bool>()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for __case in 0..config.cases {
+                    // Stable per-case seed; the function name keys the stream
+                    // so sibling properties see different data.
+                    let mut __seed = 0xcbf2_9ce4_8422_2325u64 ^ (__case as u64);
+                    for b in stringify!($name).bytes() {
+                        __seed = (__seed ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+                    }
+                    let mut __rng = $crate::TestRng::from_seed(__seed);
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)*
+                    let run = || $body;
+                    run();
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in -5i64..5, b in 0u8..3, f in 0.0f64..1.0) {
+            prop_assert!((-5..5).contains(&a));
+            prop_assert!(b < 3);
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(v in prop::collection::vec(0i64..4, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|x| (0..4).contains(x)));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(x in prop_oneof![(0i64..3).prop_map(|v| v * 10), 100i64..103]) {
+            prop_assert!([0, 10, 20, 100, 101, 102].contains(&x));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        let leaf = (0i64..10).prop_map(|v| vec![v]).boxed();
+        let nested = leaf.prop_recursive(4, 64, 2, |inner| {
+            (inner.clone(), inner)
+                .prop_map(|(mut a, b)| {
+                    a.extend(b);
+                    a
+                })
+                .boxed()
+        });
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..50 {
+            let v = nested
+                .new_tree(&mut runner)
+                .map(|t| t.current())
+                .expect("generates");
+            assert!(!v.is_empty());
+        }
+    }
+
+    use super::{Strategy, TestRunner};
+}
