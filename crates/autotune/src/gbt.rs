@@ -9,6 +9,14 @@
 //!   only the *relative order* of candidates matters to the explorer, so
 //!   the model is trained to order configurations rather than predict
 //!   absolute times.
+//!
+//! Fitting runs on rayon workers — the exact-greedy split search scans
+//! features in parallel, and the O(n²) pairwise rank gradient is computed
+//! in fixed-size row chunks. All reductions use a fixed grouping that does
+//! not depend on the worker count, so a fit is bit-for-bit identical at
+//! any worker count.
+
+use rayon::prelude::*;
 
 /// Training objective.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -123,16 +131,18 @@ fn fit_tree(
         nodes.push(Node::Leaf(mean));
         return nodes.len() - 1;
     }
-    // Exact greedy split: scan each feature's sorted values.
+    // Exact greedy split: scan each feature's sorted values. Features are
+    // independent, so they are searched on the rayon workers; the winner is
+    // folded in feature order (first feature wins ties), which reproduces
+    // the serial scan exactly at any worker count.
     let n_features = xs[0].len();
     let total_sum: f64 = idx.iter().map(|&i| targets[i]).sum();
     let total_cnt = idx.len() as f64;
     let base_score = total_sum * total_sum / total_cnt;
-    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
-    #[allow(clippy::needless_range_loop)] // `f` indexes column `f` of every sample row
-    for f in 0..n_features {
+    let search = |f: usize| -> Option<(f64, usize, f64)> {
         let mut order: Vec<usize> = idx.to_vec();
         order.sort_by(|&a, &b| xs[a][f].total_cmp(&xs[b][f]));
+        let mut best: Option<(f64, usize, f64)> = None;
         let mut left_sum = 0.0;
         let mut left_cnt = 0.0;
         for w in 0..order.len() - 1 {
@@ -150,6 +160,19 @@ fn fit_tree(
             if best.map(|(g, _, _)| gain > g).unwrap_or(gain > 1e-12) {
                 best = Some((gain, f, (xa + xb) * 0.5));
             }
+        }
+        best
+    };
+    // Parallelism only pays once the per-feature sort+scan is non-trivial.
+    let per_feature: Vec<Option<(f64, usize, f64)>> = if idx.len() >= 64 {
+        (0..n_features).into_par_iter().map(search).collect()
+    } else {
+        (0..n_features).map(search).collect()
+    };
+    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+    for found in per_feature.into_iter().flatten() {
+        if best.map(|(g, _, _)| found.0 > g).unwrap_or(true) {
+            best = Some(found);
         }
     }
     match best {
@@ -203,17 +226,36 @@ pub fn fit(xs: &[Vec<f64>], ys: &[f64], params: &GbtParams) -> Gbt {
         let grad: Vec<f64> = match params.objective {
             Objective::Regression => (0..n).map(|i| ys[i] - preds[i]).collect(),
             Objective::Rank => {
-                let mut g = vec![0.0; n];
-                // Pairwise RankNet lambdas over a bounded sample of pairs.
-                for i in 0..n {
-                    for j in (i + 1)..n {
-                        if ys[i] == ys[j] {
-                            continue;
+                // Pairwise RankNet lambdas. The O(n²) pair scan is chunked
+                // by row into fixed-size blocks computed on the rayon
+                // workers; partials are folded in chunk order so the float
+                // accumulation grouping — and hence the fit — is identical
+                // at any worker count.
+                const ROW_CHUNK: usize = 32;
+                let starts: Vec<usize> = (0..n).step_by(ROW_CHUNK).collect();
+                let preds_ref = &preds;
+                let partials: Vec<Vec<f64>> = starts
+                    .into_par_iter()
+                    .map(|start| {
+                        let mut g = vec![0.0; n];
+                        for i in start..(start + ROW_CHUNK).min(n) {
+                            for j in (i + 1)..n {
+                                if ys[i] == ys[j] {
+                                    continue;
+                                }
+                                let (hi, lo) = if ys[i] > ys[j] { (i, j) } else { (j, i) };
+                                let lambda = sigmoid(-(preds_ref[hi] - preds_ref[lo]));
+                                g[hi] += lambda;
+                                g[lo] -= lambda;
+                            }
                         }
-                        let (hi, lo) = if ys[i] > ys[j] { (i, j) } else { (j, i) };
-                        let lambda = sigmoid(-(preds[hi] - preds[lo]));
-                        g[hi] += lambda;
-                        g[lo] -= lambda;
+                        g
+                    })
+                    .collect();
+                let mut g = vec![0.0; n];
+                for p in &partials {
+                    for (acc, v) in g.iter_mut().zip(p) {
+                        *acc += *v;
                     }
                 }
                 let scale = 1.0 / (n as f64).max(1.0);
@@ -224,8 +266,15 @@ pub fn fit(xs: &[Vec<f64>], ys: &[f64], params: &GbtParams) -> Gbt {
         let mut nodes = Vec::new();
         fit_tree(xs, &grad, &all_idx, 0, params, &mut nodes);
         let tree = Tree { nodes };
-        for (i, p) in preds.iter_mut().enumerate() {
-            *p += params.learning_rate * tree.predict(&xs[i]);
+        // Per-sample prediction updates are independent: map on the workers,
+        // apply in order.
+        let deltas: Vec<f64> = if n >= 64 {
+            xs.par_iter().map(|x| tree.predict(x)).collect()
+        } else {
+            xs.iter().map(|x| tree.predict(x)).collect()
+        };
+        for (p, d) in preds.iter_mut().zip(deltas) {
+            *p += params.learning_rate * d;
         }
         model.trees.push((params.learning_rate, tree));
     }

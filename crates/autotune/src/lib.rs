@@ -24,8 +24,10 @@ pub mod tuner;
 
 pub use config::{ConfigEntity, ConfigSpace, Knob};
 pub use db::{Database, DbRecord};
-pub use features::{extract, extract_analysis, FEATURE_LEN};
+pub use features::{extract, extract_analysis, FeatureCache, FEATURE_LEN};
 pub use gbt::{fit, pairwise_accuracy, Gbt, GbtParams, Objective};
 pub use mlp::{fit_mlp, Mlp, MlpParams};
 pub use pool::{RpcMsg, Tracker};
-pub use tuner::{tune, TrialRecord, TuneOptions, TuneResult, TunerKind, TuningTask};
+pub use tuner::{
+    tune, TemplateBuilder, TrialRecord, TuneOptions, TuneResult, TuneStats, TunerKind, TuningTask,
+};

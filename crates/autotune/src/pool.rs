@@ -4,9 +4,17 @@
 //! request a device of a given type, upload a cross-compiled module, run
 //! it and fetch profiling results. This module reproduces that control
 //! flow against simulated devices — requests queue, devices are granted
-//! per-type round-robin, and per-device utilization is accounted — without
+//! least-busy-first, and per-device utilization is accounted — without
 //! a network (see DESIGN.md's substitution table).
+//!
+//! [`Tracker::run_batch`] dispatches a whole batch of uploads across the
+//! fleet concurrently (the paper's parallel measurement on a device
+//! cluster): device assignment is decided serially so the transcript is
+//! deterministic, the simulator evaluations run on rayon workers, and the
+//! results/accounting are committed in job order — the transcript and
+//! per-device stats are bit-for-bit identical at any worker count.
 
+use rayon::prelude::*;
 use tvm_ir::LoweredFunc;
 use tvm_sim::{estimate_with, SimOptions, Target};
 
@@ -66,21 +74,39 @@ impl Tracker {
         self.sim_opts = opts;
     }
 
-    /// Requests a device whose target name matches; round-robin across
-    /// matching devices (fine-grained sharing between jobs).
+    /// Picks the matching device with the smallest effective load;
+    /// `extra_ms` adds per-device in-flight work not yet committed to
+    /// `busy_ms` (used by batch dispatch). Ties go round-robin: the first
+    /// minimum at-or-after the rotating cursor wins.
+    fn pick(&self, target_name: &str, extra_ms: &[f64]) -> Option<usize> {
+        let n = self.devices.len();
+        let mut best: Option<(usize, f64)> = None;
+        for off in 0..n {
+            let id = (self.next_rr + off) % n;
+            if self.devices[id].target.name() != target_name {
+                continue;
+            }
+            let load = self.devices[id].busy_ms + extra_ms.get(id).copied().unwrap_or(0.0);
+            if best.map(|(_, b)| load < b).unwrap_or(true) {
+                best = Some((id, load));
+            }
+        }
+        best.map(|(id, _)| id)
+    }
+
+    /// Requests a device whose target name matches; the least-busy
+    /// matching device is granted (so a fast device absorbs more of the
+    /// fleet's work than a slow one), with round-robin as the tie-break
+    /// between equally-loaded devices.
     pub fn request(&mut self, target_name: &str) -> Option<usize> {
         self.log
             .push(RpcMsg::RequestDevice(target_name.to_string()));
-        let n = self.devices.len();
-        for off in 0..n {
-            let id = (self.next_rr + off) % n;
-            if self.devices[id].target.name() == target_name {
-                self.next_rr = (id + 1) % n;
-                self.log.push(RpcMsg::DeviceGranted(id));
-                return Some(id);
-            }
+        let picked = self.pick(target_name, &[]);
+        if let Some(id) = picked {
+            self.next_rr = (id + 1) % self.devices.len();
+            self.log.push(RpcMsg::DeviceGranted(id));
         }
-        None
+        picked
     }
 
     /// Uploads a module and runs it, returning measured milliseconds.
@@ -95,6 +121,77 @@ impl Tracker {
         ms
     }
 
+    /// Dispatches a batch of modules across the fleet concurrently and
+    /// returns each job's measured milliseconds in job order (`None` when
+    /// no device matches).
+    ///
+    /// Assignment is serial and deterministic: each job is granted the
+    /// matching device with the least (committed + in-flight) load, where
+    /// in-flight work is estimated at the fleet's historical mean cost per
+    /// run. The actual evaluations then run on the rayon workers, and the
+    /// transcript (upload / run / perf / release per job) plus per-device
+    /// accounting are committed serially in job order afterwards.
+    pub fn run_batch(&mut self, target_name: &str, funcs: &[&LoweredFunc]) -> Vec<Option<f64>> {
+        // Estimated cost of one in-flight job, for load-balancing the
+        // assignment before real timings exist.
+        let (total_runs, total_busy) = self
+            .devices
+            .iter()
+            .fold((0u64, 0.0f64), |(r, b), d| (r + d.runs, b + d.busy_ms));
+        let est = if total_runs > 0 {
+            total_busy / total_runs as f64
+        } else {
+            1.0
+        };
+        // Phase 1 (serial): request + grant per job, tracking in-flight load.
+        let mut pending = vec![0.0f64; self.devices.len()];
+        let grants: Vec<Option<usize>> = funcs
+            .iter()
+            .map(|_| {
+                self.log
+                    .push(RpcMsg::RequestDevice(target_name.to_string()));
+                let picked = self.pick(target_name, &pending);
+                if let Some(id) = picked {
+                    pending[id] += est;
+                    self.next_rr = (id + 1) % self.devices.len();
+                    self.log.push(RpcMsg::DeviceGranted(id));
+                }
+                picked
+            })
+            .collect();
+        // Phase 2 (parallel): evaluate every granted job on the workers.
+        let jobs: Vec<(usize, usize)> = grants
+            .iter()
+            .enumerate()
+            .filter_map(|(j, g)| g.map(|id| (j, id)))
+            .collect();
+        let devices = &self.devices;
+        let sim_opts = &self.sim_opts;
+        let timed: Vec<(usize, f64)> = jobs
+            .par_iter()
+            .map(|&(j, id)| {
+                (
+                    j,
+                    estimate_with(funcs[j], &devices[id].target, sim_opts).millis(),
+                )
+            })
+            .collect();
+        // Phase 3 (serial, job order): commit transcript and accounting.
+        let mut out: Vec<Option<f64>> = vec![None; funcs.len()];
+        for (j, ms) in timed {
+            let id = grants[j].expect("timed jobs were granted");
+            self.log.push(RpcMsg::Upload(id, funcs[j].name.clone()));
+            self.log.push(RpcMsg::Run(id));
+            let d = &mut self.devices[id];
+            d.busy_ms += ms;
+            d.runs += 1;
+            self.log.push(RpcMsg::Perf(id, ms));
+            self.log.push(RpcMsg::Release(id));
+            out[j] = Some(ms);
+        }
+        out
+    }
+
     /// Releases a device back to the pool.
     pub fn release(&mut self, device: usize) {
         self.log.push(RpcMsg::Release(device));
@@ -103,6 +200,14 @@ impl Tracker {
     /// Per-device (runs, busy-ms) accounting.
     pub fn stats(&self) -> Vec<(u64, f64)> {
         self.devices.iter().map(|d| (d.runs, d.busy_ms)).collect()
+    }
+
+    /// Simulated makespan of the work dispatched so far: the busiest
+    /// device's total busy time. With a fleet of N equal devices and
+    /// balanced dispatch this is ~1/N of the serial measurement time —
+    /// the §5.4 scaling the device pool exists to provide.
+    pub fn makespan_ms(&self) -> f64 {
+        self.devices.iter().map(|d| d.busy_ms).fold(0.0, f64::max)
     }
 }
 
@@ -113,15 +218,21 @@ mod tests {
     use tvm_sim::arm_a53;
     use tvm_te::{compute, create_schedule, lower, placeholder};
 
-    fn small_func() -> LoweredFunc {
-        let a = placeholder(&[64], DType::float32(), "A");
-        let b = compute(&[64], "B", |i| a.at(&[i[0].clone()]) + 1);
+    fn sized_func(n: i64, name: &str) -> LoweredFunc {
+        let a = placeholder(&[n], DType::float32(), "A");
+        let b = compute(&[n], "B", |i| a.at(&[i[0].clone()]) + 1);
         let s = create_schedule(std::slice::from_ref(&b));
-        lower(&s, &[a, b], "inc").expect("lowers")
+        lower(&s, &[a, b], name).expect("lowers")
+    }
+
+    fn small_func() -> LoweredFunc {
+        sized_func(64, "inc")
     }
 
     #[test]
     fn round_robin_shares_devices() {
+        // Equal devices, equal jobs: least-busy with the round-robin
+        // tie-break still splits the work evenly.
         let mut t = Tracker::new(vec![arm_a53(), arm_a53()]);
         let f = small_func();
         for _ in 0..4 {
@@ -132,6 +243,29 @@ mod tests {
         let stats = t.stats();
         assert_eq!(stats[0].0, 2);
         assert_eq!(stats[1].0, 2);
+    }
+
+    #[test]
+    fn least_busy_device_preferred() {
+        // Pre-load device 0 with a large job; subsequent small jobs must
+        // all land on the idle device 1 until the load evens out.
+        let mut t = Tracker::new(vec![arm_a53(), arm_a53()]);
+        let big = sized_func(65536, "big");
+        let small = small_func();
+        let d = t.request("a53-sim").expect("granted");
+        assert_eq!(d, 0);
+        t.run(d, &big);
+        t.release(d);
+        for _ in 0..3 {
+            let d = t.request("a53-sim").expect("granted");
+            assert_eq!(d, 1, "idle device must absorb the load");
+            t.run(d, &small);
+            t.release(d);
+        }
+        let stats = t.stats();
+        assert_eq!(stats[0].0, 1);
+        assert_eq!(stats[1].0, 3);
+        assert!(stats[0].1 > stats[1].1, "device 0 still the busiest");
     }
 
     #[test]
@@ -152,5 +286,60 @@ mod tests {
         assert!(matches!(t.log[1], RpcMsg::DeviceGranted(0)));
         assert!(matches!(t.log[4], RpcMsg::Perf(0, ms) if ms > 0.0));
         assert!(matches!(t.log[5], RpcMsg::Release(0)));
+    }
+
+    #[test]
+    fn batch_spreads_over_fleet_and_matches_serial_runs() {
+        let funcs: Vec<LoweredFunc> = (0..6)
+            .map(|i| sized_func(64 * (i + 1), &format!("f{i}")))
+            .collect();
+        let refs: Vec<&LoweredFunc> = funcs.iter().collect();
+        let mut batch = Tracker::new(vec![arm_a53(), arm_a53(), arm_a53()]);
+        let ms = batch.run_batch("a53-sim", &refs);
+        assert!(ms.iter().all(|m| m.is_some()));
+        // Same timings as the serial protocol.
+        let mut serial = Tracker::new(vec![arm_a53()]);
+        for (f, m) in refs.iter().zip(&ms) {
+            let d = serial.request("a53-sim").expect("granted");
+            assert_eq!(serial.run(d, f), m.expect("measured"));
+            serial.release(d);
+        }
+        // Every device did work, and the fleet makespan beats one device.
+        let stats = batch.stats();
+        assert!(stats.iter().all(|&(runs, _)| runs > 0), "{stats:?}");
+        let serial_total: f64 = ms.iter().map(|m| m.expect("ms")).sum();
+        assert!(batch.makespan_ms() < serial_total);
+    }
+
+    #[test]
+    fn batch_transcript_is_deterministic_across_worker_counts() {
+        let funcs: Vec<LoweredFunc> = (0..5)
+            .map(|i| sized_func(128 * (i + 2), &format!("g{i}")))
+            .collect();
+        let refs: Vec<&LoweredFunc> = funcs.iter().collect();
+        let run_with = |threads: usize| -> (Vec<RpcMsg>, Vec<(u64, f64)>) {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool")
+                .install(|| {
+                    let mut t = Tracker::new(vec![arm_a53(), arm_a53()]);
+                    t.run_batch("a53-sim", &refs);
+                    let stats = t.stats();
+                    (t.log, stats)
+                })
+        };
+        let (log1, stats1) = run_with(1);
+        let (log4, stats4) = run_with(4);
+        assert_eq!(log1, log4);
+        assert_eq!(stats1, stats4);
+    }
+
+    #[test]
+    fn batch_with_no_matching_device_yields_none() {
+        let funcs = [small_func()];
+        let refs: Vec<&LoweredFunc> = funcs.iter().collect();
+        let mut t = Tracker::new(vec![arm_a53()]);
+        assert_eq!(t.run_batch("titanx-sim", &refs), vec![None]);
     }
 }

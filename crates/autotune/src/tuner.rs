@@ -11,23 +11,35 @@
 //!
 //! Measurement ("run on real hardware") is a full architectural-simulator
 //! evaluation per DESIGN.md.
+//!
+//! The whole loop — lower → simulate → feature-extract → anneal — runs on
+//! rayon workers, and every (lowering, feature vector, simulated cost) is
+//! memoized per run keyed by config index, so duplicate configs proposed
+//! by the explorers are never re-lowered or re-simulated. The run is
+//! bit-for-bit deterministic for a fixed seed at any worker count: batches
+//! are proposed serially, measured in parallel, and recorded in proposal
+//! order, and each annealing chain owns its own seeded RNG.
 
-use std::collections::HashSet;
-use std::rc::Rc;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, RngExt, SeedableRng};
+use rayon::prelude::*;
 
 use tvm_ir::LoweredFunc;
 use tvm_sim::{estimate_with, SimOptions, Target};
 use tvm_te::TeError;
 
 use crate::config::{ConfigEntity, ConfigSpace};
-use crate::features::extract;
+use crate::features::FeatureCache;
 use crate::gbt::{fit, Gbt, GbtParams, Objective};
 
-/// Template callback: lowers one configuration, or rejects it with an error.
-pub type TemplateBuilder = Rc<dyn Fn(&ConfigEntity) -> Result<LoweredFunc, TeError>>;
+/// Template callback: lowers one configuration, or rejects it with an
+/// error. `Send + Sync` so measurement workers can lower configs
+/// concurrently (§5.4's parallel measurement).
+pub type TemplateBuilder = Arc<dyn Fn(&ConfigEntity) -> Result<LoweredFunc, TeError> + Send + Sync>;
 
 /// A tunable kernel: a config space plus a builder producing a lowered
 /// function for each configuration.
@@ -54,6 +66,14 @@ impl TuningTask {
         Some((f, ms))
     }
 }
+
+// Lowering a config from any worker thread requires the task (and hence
+// the IR the builder produces) to be shareable.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TuningTask>();
+    assert_send_sync::<LoweredFunc>();
+};
 
 /// Which optimizer drives exploration.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -112,6 +132,18 @@ pub struct TrialRecord {
     pub cost_ms: f64,
 }
 
+/// Work counters of one tuning run (cache effectiveness / throughput).
+#[derive(Clone, Debug, Default)]
+pub struct TuneStats {
+    /// Template-builder invocations (lowerings actually performed).
+    pub lowerings: usize,
+    /// Simulator evaluations actually performed.
+    pub simulations: usize,
+    /// Config lookups served (measurements + explorer scorings); lookups
+    /// minus lowerings = memo-cache hits.
+    pub lookups: usize,
+}
+
 /// Result of a tuning run.
 #[derive(Clone, Debug)]
 pub struct TuneResult {
@@ -123,6 +155,8 @@ pub struct TuneResult {
     pub best_config: Option<ConfigEntity>,
     /// `best_curve[i]` = best cost after trial `i+1` (Fig. 12 y-axis data).
     pub best_curve: Vec<f64>,
+    /// Lower/simulate/lookup counters for this run.
+    pub stats: TuneStats,
 }
 
 impl TuneResult {
@@ -135,16 +169,109 @@ impl TuneResult {
     }
 }
 
+// ------------------------------------------------------------ memo cache
+
+/// A memoized lowering: the function plus its feature vector; `None` for
+/// invalid configs (builder error).
+type Lowered = Option<(Arc<LoweredFunc>, Arc<Vec<f64>>)>;
+
+/// Per-config memo slot: the lowering (with features) and the simulated
+/// cost are each computed exactly once per tuning run, even when several
+/// workers race on the same config.
+#[derive(Default)]
+struct CacheSlot {
+    lowered: OnceLock<Lowered>,
+    /// Simulated cost; `INFINITY` for invalid configs.
+    cost: OnceLock<f64>,
+}
+
+/// Measurement/lowering memoization for one tuning run (keyed by config
+/// index): duplicate configs proposed by SA or the genetic explorer reuse
+/// the first lowering, feature vector and simulated cost.
+struct MeasureCache<'a> {
+    task: &'a TuningTask,
+    slots: Mutex<HashMap<u64, Arc<CacheSlot>>>,
+    features: FeatureCache,
+    lowerings: AtomicUsize,
+    simulations: AtomicUsize,
+    lookups: AtomicUsize,
+}
+
+impl<'a> MeasureCache<'a> {
+    fn new(task: &'a TuningTask) -> Self {
+        MeasureCache {
+            task,
+            slots: Mutex::new(HashMap::new()),
+            features: FeatureCache::new(),
+            lowerings: AtomicUsize::new(0),
+            simulations: AtomicUsize::new(0),
+            lookups: AtomicUsize::new(0),
+        }
+    }
+
+    fn slot(&self, idx: u64) -> Arc<CacheSlot> {
+        let mut map = self.slots.lock().expect("cache lock");
+        map.entry(idx).or_default().clone()
+    }
+
+    /// Lowered function + feature vector for a config; memoized.
+    fn lowered(&self, idx: u64) -> Lowered {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let slot = self.slot(idx);
+        slot.lowered
+            .get_or_init(|| {
+                self.lowerings.fetch_add(1, Ordering::Relaxed);
+                let cfg = self.task.space.get(idx);
+                let func = (self.task.builder)(&cfg).ok()?;
+                let func = Arc::new(func);
+                let feats = self.features.get_or_extract(idx, &func);
+                Some((func, feats))
+            })
+            .clone()
+    }
+
+    /// Simulated cost (and features when valid) for a config; memoized.
+    fn measure(&self, idx: u64) -> (f64, Option<Arc<Vec<f64>>>) {
+        let lowered = self.lowered(idx);
+        let slot = self.slot(idx);
+        let cost = *slot.cost.get_or_init(|| match &lowered {
+            None => f64::INFINITY,
+            Some((func, _)) => {
+                self.simulations.fetch_add(1, Ordering::Relaxed);
+                estimate_with(func, &self.task.target, &self.task.sim_opts).millis()
+            }
+        });
+        (cost, lowered.map(|(_, feats)| feats))
+    }
+
+    fn stats(&self) -> TuneStats {
+        TuneStats {
+            lowerings: self.lowerings.load(Ordering::Relaxed),
+            simulations: self.simulations.load(Ordering::Relaxed),
+            lookups: self.lookups.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Measures a proposed batch on the rayon workers; results come back in
+/// proposal order, so the recorded history is thread-count independent.
+fn measure_batch(cache: &MeasureCache, batch: &[u64]) -> Vec<(f64, Option<Arc<Vec<f64>>>)> {
+    batch.par_iter().map(|&idx| cache.measure(idx)).collect()
+}
+
 /// Runs the optimizer on a task.
 pub fn tune(task: &TuningTask, opts: &TuneOptions, kind: TunerKind) -> TuneResult {
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    match kind {
-        TunerKind::Random => tune_random(task, opts, &mut rng),
-        TunerKind::Genetic => tune_genetic(task, opts, &mut rng),
-        TunerKind::GbtRank => tune_ml(task, opts, Objective::Rank, &mut rng),
-        TunerKind::GbtReg => tune_ml(task, opts, Objective::Regression, &mut rng),
-        TunerKind::Predefined => tune_predefined(task, opts, &mut rng),
-    }
+    let cache = MeasureCache::new(task);
+    let mut result = match kind {
+        TunerKind::Random => tune_random(task, &cache, opts, &mut rng),
+        TunerKind::Genetic => tune_genetic(task, &cache, opts, &mut rng),
+        TunerKind::GbtRank => tune_ml(task, &cache, opts, Objective::Rank, &mut rng),
+        TunerKind::GbtReg => tune_ml(task, &cache, opts, Objective::Regression, &mut rng),
+        TunerKind::Predefined => tune_predefined(task, &cache, opts, &mut rng),
+    };
+    result.stats = cache.stats();
+    result
 }
 
 /// Static heuristic score (higher = predicted faster): rewards SIMD-able
@@ -187,36 +314,39 @@ fn predefined_score(func: &tvm_ir::LoweredFunc) -> f64 {
         - overhead
 }
 
-fn tune_predefined(task: &TuningTask, opts: &TuneOptions, rng: &mut StdRng) -> TuneResult {
+fn tune_predefined(
+    task: &TuningTask,
+    cache: &MeasureCache,
+    opts: &TuneOptions,
+    rng: &mut StdRng,
+) -> TuneResult {
     // Score a sizeable random sample with the static model, then measure
-    // only the predicted-best configurations.
+    // only the predicted-best configurations. Sampling is serial (RNG),
+    // lowering + scoring run on the workers.
     let mut h = History::new();
     let sample = (opts.n_trials * 8).max(64);
-    let mut scored: Vec<(u64, f64)> = Vec::new();
-    for _ in 0..sample {
-        let idx = task.space.random_index(rng);
-        let cfg = task.space.get(idx);
-        if let Ok(f) = (task.builder)(&cfg) {
-            scored.push((idx, predefined_score(&f)));
-        }
-    }
+    let sample_idx: Vec<u64> = (0..sample).map(|_| task.space.random_index(rng)).collect();
+    let mut scored: Vec<(u64, f64)> = sample_idx
+        .par_iter()
+        .map(|&idx| cache.lowered(idx).map(|(f, _)| (idx, predefined_score(&f))))
+        .collect::<Vec<Option<(u64, f64)>>>()
+        .into_iter()
+        .flatten()
+        .collect();
     scored.sort_by(|a, b| b.1.total_cmp(&a.1));
     scored.dedup_by_key(|(i, _)| *i);
-    for (idx, _) in scored.into_iter().take(opts.n_trials) {
-        let cfg = task.space.get(idx);
-        let cost = task
-            .measure(&cfg)
-            .map(|(_, ms)| ms)
-            .unwrap_or(f64::INFINITY);
-        h.push(&cfg, cost);
+    let picked: Vec<u64> = scored
+        .into_iter()
+        .take(opts.n_trials)
+        .map(|(i, _)| i)
+        .collect();
+    for (&idx, (cost, _)) in picked.iter().zip(measure_batch(cache, &picked)) {
+        h.push(&task.space.get(idx), cost);
     }
     while h.records.len() < opts.n_trials {
-        let cfg = task.space.get(task.space.random_index(rng));
-        let cost = task
-            .measure(&cfg)
-            .map(|(_, ms)| ms)
-            .unwrap_or(f64::INFINITY);
-        h.push(&cfg, cost);
+        let idx = task.space.random_index(rng);
+        let (cost, _) = cache.measure(idx);
+        h.push(&task.space.get(idx), cost);
     }
     h.finish()
 }
@@ -257,45 +387,58 @@ impl History {
             best_ms: self.best_ms,
             best_config: self.best_config,
             best_curve: self.best_curve,
+            stats: TuneStats::default(),
         }
     }
 }
 
-fn tune_random(task: &TuningTask, opts: &TuneOptions, rng: &mut StdRng) -> TuneResult {
+fn tune_random(
+    task: &TuningTask,
+    cache: &MeasureCache,
+    opts: &TuneOptions,
+    rng: &mut StdRng,
+) -> TuneResult {
     let mut h = History::new();
     let mut visited = HashSet::new();
     while h.records.len() < opts.n_trials {
-        let idx = task.space.random_index(rng);
-        if task.space.size() > opts.n_trials as u64 && !visited.insert(idx) {
-            continue;
+        // Propose a batch serially (RNG), measure it in parallel.
+        let want = opts.batch.min(opts.n_trials - h.records.len()).max(1);
+        let mut batch = Vec::with_capacity(want);
+        while batch.len() < want {
+            let idx = task.space.random_index(rng);
+            if task.space.size() > opts.n_trials as u64 && !visited.insert(idx) {
+                continue;
+            }
+            batch.push(idx);
         }
-        let cfg = task.space.get(idx);
-        let cost = task
-            .measure(&cfg)
-            .map(|(_, ms)| ms)
-            .unwrap_or(f64::INFINITY);
-        h.push(&cfg, cost);
+        for (&idx, (cost, _)) in batch.iter().zip(measure_batch(cache, &batch)) {
+            h.push(&task.space.get(idx), cost);
+        }
     }
     h.finish()
 }
 
-fn tune_genetic(task: &TuningTask, opts: &TuneOptions, rng: &mut StdRng) -> TuneResult {
+fn tune_genetic(
+    task: &TuningTask,
+    cache: &MeasureCache,
+    opts: &TuneOptions,
+    rng: &mut StdRng,
+) -> TuneResult {
     let mut h = History::new();
     let pop_size = opts.batch.max(8);
-    // Initial population.
+    // Initial population, measured as one parallel batch.
+    let init: Vec<u64> = (0..pop_size.min(opts.n_trials))
+        .map(|_| task.space.random_index(rng))
+        .collect();
     let mut pop: Vec<(u64, f64)> = Vec::new();
-    while pop.len() < pop_size && h.records.len() < opts.n_trials {
-        let idx = task.space.random_index(rng);
-        let cfg = task.space.get(idx);
-        let cost = task
-            .measure(&cfg)
-            .map(|(_, ms)| ms)
-            .unwrap_or(f64::INFINITY);
-        h.push(&cfg, cost);
+    for (&idx, (cost, _)) in init.iter().zip(measure_batch(cache, &init)) {
+        h.push(&task.space.get(idx), cost);
         pop.push((idx, cost));
     }
     while h.records.len() < opts.n_trials {
-        // Tournament selection + digit crossover + mutation.
+        // One generation: select/cross/mutate a batch of children from the
+        // current population (serial, RNG-driven), measure them in
+        // parallel, then fold the results back into the population.
         let parent = |rng: &mut StdRng, pop: &[(u64, f64)]| -> u64 {
             let a = &pop[rng.random_range(0..pop.len())];
             let b = &pop[rng.random_range(0..pop.len())];
@@ -305,29 +448,31 @@ fn tune_genetic(task: &TuningTask, opts: &TuneOptions, rng: &mut StdRng) -> Tune
                 b.0
             }
         };
-        let pa = parent(rng, &pop);
-        let pb = parent(rng, &pop);
-        let child = crossover(&task.space, pa, pb, rng);
-        let child = if rng.random_range(0.0..1.0) < 0.3 {
-            task.space.neighbor(child, rng)
-        } else {
-            child
-        };
-        let cfg = task.space.get(child);
-        let cost = task
-            .measure(&cfg)
-            .map(|(_, ms)| ms)
-            .unwrap_or(f64::INFINITY);
-        h.push(&cfg, cost);
-        // Replace the worst member.
-        if let Some(worst) = pop
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
-            .map(|(i, _)| i)
-        {
-            if cost < pop[worst].1 {
-                pop[worst] = (child, cost);
+        let want = opts.batch.min(opts.n_trials - h.records.len()).max(1);
+        let children: Vec<u64> = (0..want)
+            .map(|_| {
+                let pa = parent(rng, &pop);
+                let pb = parent(rng, &pop);
+                let child = crossover(&task.space, pa, pb, rng);
+                if rng.random_range(0.0..1.0) < 0.3 {
+                    task.space.neighbor(child, rng)
+                } else {
+                    child
+                }
+            })
+            .collect();
+        for (&child, (cost, _)) in children.iter().zip(measure_batch(cache, &children)) {
+            h.push(&task.space.get(child), cost);
+            // Replace the worst member.
+            if let Some(worst) = pop
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+                .map(|(i, _)| i)
+            {
+                if cost < pop[worst].1 {
+                    pop[worst] = (child, cost);
+                }
             }
         }
     }
@@ -357,6 +502,7 @@ fn crossover(space: &ConfigSpace, a: u64, b: u64, rng: &mut StdRng) -> u64 {
 
 fn tune_ml(
     task: &TuningTask,
+    cache: &MeasureCache,
     opts: &TuneOptions,
     objective: Objective,
     rng: &mut StdRng,
@@ -365,12 +511,19 @@ fn tune_ml(
     let mut visited: HashSet<u64> = HashSet::new();
     let mut xs: Vec<Vec<f64>> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();
+    // Best measured configs so far; annealing restarts exploit these basins.
+    let mut elites: Vec<(u64, f64)> = Vec::new();
     // Exploration state persists across model updates (§5.3).
     let mut chains: Vec<u64> = (0..opts.sa_chains)
         .map(|_| task.space.random_index(rng))
         .collect();
+    // Rounds since the best cost last improved; widens exploration when the
+    // search plateaus (tree predictions tie over large flat regions of the
+    // space, and a purely greedy batch would keep harvesting one basin).
+    let mut stagnant = 0usize;
     while h.records.len() < opts.n_trials {
-        let batch: Vec<u64> = if xs.len() < opts.batch {
+        let prev_best = h.best_ms;
+        let mut batch: Vec<u64> = if xs.len() < opts.batch {
             // No training data yet: random candidates (§5.3).
             let mut b = Vec::new();
             while b.len() < opts.batch {
@@ -387,23 +540,42 @@ fn tune_ml(
                 ..GbtParams::default()
             };
             let model = fit(&xs, &ys, &params);
-            propose_sa(task, &model, &mut chains, &visited, opts, rng)
+            propose_sa(
+                task,
+                cache,
+                &model,
+                &mut chains,
+                &elites,
+                &visited,
+                stagnant,
+                opts,
+                rng,
+            )
         };
-        for idx in batch {
-            if h.records.len() >= opts.n_trials {
-                break;
-            }
+        batch.truncate(opts.n_trials - h.records.len());
+        for &idx in &batch {
             visited.insert(idx);
+        }
+        for (&idx, (cost, feats)) in batch.iter().zip(measure_batch(cache, &batch)) {
             let cfg = task.space.get(idx);
-            match task.measure(&cfg) {
-                Some((func, ms)) => {
-                    xs.push(extract(&func));
-                    ys.push(-(ms.max(1e-9)).ln());
-                    h.push(&cfg, ms);
+            match feats {
+                Some(feats) if cost.is_finite() => {
+                    xs.push(feats.as_ref().clone());
+                    ys.push(-(cost.max(1e-9)).ln());
+                    h.push(&cfg, cost);
+                    elites.push((idx, cost));
                 }
-                None => h.push(&cfg, f64::INFINITY),
+                _ => h.push(&cfg, f64::INFINITY),
             }
         }
+        elites.sort_by(|a, b| a.1.total_cmp(&b.1));
+        elites.dedup_by_key(|(i, _)| *i);
+        elites.truncate(8);
+        stagnant = if h.best_ms < prev_best {
+            0
+        } else {
+            stagnant + 1
+        };
     }
     h.finish()
 }
@@ -411,71 +583,144 @@ fn tune_ml(
 /// Parallel simulated annealing over the space, scored by the cost model;
 /// returns the best-predicted unvisited batch with a reserved fraction of
 /// epsilon-greedy random slots (so a biased early model cannot trap the
-/// search in one basin).
+/// search in one basin). Each chain anneals on its own rayon worker with
+/// its own RNG (seeded serially from the master RNG), and candidates are
+/// merged in chain order — the proposal is thread-count independent.
+#[allow(clippy::too_many_arguments)] // explorer state threaded through one round
 fn propose_sa(
     task: &TuningTask,
+    cache: &MeasureCache,
     model: &Gbt,
     chains: &mut [u64],
+    elites: &[(u64, f64)],
     visited: &HashSet<u64>,
+    stagnant: usize,
     opts: &TuneOptions,
     rng: &mut StdRng,
 ) -> Vec<u64> {
-    let score = |idx: u64| -> f64 {
-        let cfg = task.space.get(idx);
-        match (task.builder)(&cfg) {
-            Ok(f) => model.predict(&extract(&f)),
-            Err(_) => f64::NEG_INFINITY,
-        }
-    };
-    // Restart half the chains from fresh random points each round; persisting
-    // every chain across model updates lets one early bad basin capture the
-    // whole explorer.
+    // Restart half the chains each round; persisting every chain across
+    // model updates lets one early bad basin capture the whole explorer.
+    // Restarts alternate between the best *measured* configs (exploit
+    // known-good basins) and fresh random points (keep exploring).
+    let mut elite_cursor = 0usize;
     for (i, c) in chains.iter_mut().enumerate() {
         if i % 2 == 1 {
-            *c = task.space.random_index(rng);
+            *c = if i % 4 == 1 && !elites.is_empty() {
+                let pick = elites[elite_cursor % elites.len()].0;
+                elite_cursor += 1;
+                pick
+            } else {
+                task.space.random_index(rng)
+            };
         }
     }
+    let jobs: Vec<(u64, u64)> = chains.iter().map(|&c| (c, rng.next_u64())).collect();
+    let runs: Vec<(u64, Vec<(u64, f64)>)> = jobs
+        .into_par_iter()
+        .map(|(start, seed)| anneal_chain(task, cache, model, start, seed, opts))
+        .collect();
     let mut cand: Vec<(u64, f64)> = Vec::new();
-    let mut scores: Vec<f64> = chains.iter().map(|&c| score(c)).collect();
-    let mut temp = 1.0f64;
-    let cooling = 0.9f64;
-    for _ in 0..opts.sa_steps {
-        for (c, s) in chains.iter_mut().zip(scores.iter_mut()) {
-            let nb = task.space.neighbor(*c, rng);
-            let ns = score(nb);
-            let accept = ns > *s || rng.random_range(0.0..1.0) < ((ns - *s) / temp).exp();
-            if accept && ns.is_finite() {
-                *c = nb;
-                *s = ns;
-                if !visited.contains(&nb) {
-                    cand.push((nb, ns));
-                }
-            }
-        }
-        temp *= cooling;
-    }
-    // Also consider current chain heads.
-    for (&c, &s) in chains.iter().zip(scores.iter()) {
-        if !visited.contains(&c) && s.is_finite() {
-            cand.push((c, s));
-        }
+    for ((head, chain_cands), slot) in runs.into_iter().zip(chains.iter_mut()) {
+        *slot = head;
+        cand.extend(
+            chain_cands
+                .into_iter()
+                .filter(|(i, _)| !visited.contains(i)),
+        );
     }
     cand.sort_by(|a, b| b.1.total_cmp(&a.1));
-    cand.dedup_by_key(|(i, _)| *i);
+    // Exact dedup: tree predictions are piecewise constant, so distinct
+    // configs frequently tie on score and duplicates of one index need not
+    // be adjacent after the sort — adjacent-only dedup would let one config
+    // eat several trial slots.
+    let mut seen: HashSet<u64> = HashSet::new();
     // Epsilon-greedy batch: most slots go to the model's best proposals, the
-    // tail is pure random exploration.
-    let explore = (opts.batch / 4).max(1);
-    let exploit = opts.batch.saturating_sub(explore);
-    let mut out: Vec<u64> = cand.into_iter().map(|(i, _)| i).take(exploit).collect();
+    // tail is pure random exploration. The random tail widens while the
+    // search is stagnant — predicted-best proposals keep landing in the
+    // plateau the best already sits on, and random picks are what escape it.
+    let explore = ((opts.batch / 4).max(1) * (1 + stagnant.min(3))).min(opts.batch / 2);
+    let exploit = opts.batch.saturating_sub(explore.max(1));
+    // Cap picks per distinct predicted score: tree predictions plateau, and
+    // a batch drawn from one plateau is nearly redundant — spread the
+    // exploit slots across score levels instead.
+    let mut out: Vec<u64> = Vec::new();
+    let mut per_score: HashMap<u64, usize> = HashMap::new();
+    for &(i, s) in &cand {
+        if out.len() >= exploit {
+            break;
+        }
+        let level = per_score.entry(s.to_bits()).or_insert(0);
+        if *level < 1 && seen.insert(i) {
+            *level += 1;
+            out.push(i);
+        }
+    }
+    // Backfill from the remaining candidates if the cap left slots empty.
+    for (i, _) in cand {
+        if out.len() >= exploit {
+            break;
+        }
+        if seen.insert(i) {
+            out.push(i);
+        }
+    }
     // Fill the exploration slots (and any exploit shortfall) with random
     // unvisited picks.
     let mut attempts = 0;
     while out.len() < opts.batch {
         let idx = task.space.random_index(rng);
         attempts += 1;
-        if !visited.contains(&idx) || task.space.size() <= opts.n_trials as u64 || attempts > 64 {
+        if (!visited.contains(&idx) && seen.insert(idx))
+            || task.space.size() <= opts.n_trials as u64
+            || attempts > 64
+        {
             out.push(idx);
         }
     }
     out
+}
+
+/// One annealing chain: walks `sa_steps` neighbors under a geometric
+/// cooling schedule, scoring via the memoized lowering cache. Returns the
+/// final chain head and every accepted state (with its predicted score).
+fn anneal_chain(
+    task: &TuningTask,
+    cache: &MeasureCache,
+    model: &Gbt,
+    start: u64,
+    seed: u64,
+    opts: &TuneOptions,
+) -> (u64, Vec<(u64, f64)>) {
+    let score = |idx: u64| -> f64 {
+        match cache.lowered(idx) {
+            Some((_, feats)) => model.predict(&feats),
+            None => f64::NEG_INFINITY,
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = start;
+    let mut s = score(c);
+    let mut cand: Vec<(u64, f64)> = Vec::new();
+    let mut temp = 1.0f64;
+    let cooling = 0.9f64;
+    for _ in 0..opts.sa_steps {
+        let nb = task.space.neighbor(c, &mut rng);
+        let ns = score(nb);
+        // Every scored state is a candidate — the model already paid for
+        // the prediction, so rejected moves still inform the proposal.
+        if ns.is_finite() {
+            cand.push((nb, ns));
+        }
+        let accept = ns > s || rng.random_range(0.0..1.0) < ((ns - s) / temp).exp();
+        if accept && ns.is_finite() {
+            c = nb;
+            s = ns;
+        }
+        temp *= cooling;
+    }
+    // Also consider the final chain head.
+    if s.is_finite() {
+        cand.push((c, s));
+    }
+    (c, cand)
 }

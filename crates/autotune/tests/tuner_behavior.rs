@@ -1,7 +1,7 @@
 //! Behavioral tests of the automated optimizer on a synthetic task whose
 //! true cost surface is known exactly.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use tvm_autotune::{tune, ConfigEntity, ConfigSpace, Database, TuneOptions, TunerKind, TuningTask};
 use tvm_ir::DType;
@@ -36,7 +36,7 @@ fn synthetic_task() -> TuningTask {
     TuningTask {
         name: "synthetic_copy".into(),
         space,
-        builder: Rc::new(builder),
+        builder: Arc::new(builder),
         target: arm_a53(),
         sim_opts: Default::default(),
     }

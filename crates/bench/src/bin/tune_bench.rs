@@ -1,0 +1,228 @@
+//! Tuning-throughput benchmark: wall-clock and device-pool scaling of the
+//! parallel autotuner on the Fig. 12 workloads (matmul + conv2d C7).
+//!
+//! For each worker count the same tuning run is repeated under a rayon
+//! pool of that size; the run must produce a bit-for-bit identical trial
+//! history and best cost at every worker count (the parallel-tuning
+//! determinism contract) and the process exits non-zero if it does not.
+//! Measurement scaling is then reported two ways:
+//!
+//! * **wall-clock** trials/sec of the host doing lowering + simulation +
+//!   model fitting — honest numbers for however many cores the host
+//!   actually has (CI containers often pin this to one);
+//! * **device-pool** throughput from replaying the measured configs
+//!   through [`Tracker::run_batch`] on fleets of 1/2/4 simulated devices
+//!   — the §5.4 scaling mechanism, computed from the tracker's exact
+//!   per-device busy-time accounting and therefore host-independent.
+//!
+//! Writes `results/BENCH_tuning.json`. `--quick` shrinks the budget and
+//! thread set for CI.
+
+use std::time::Instant;
+
+use tvm_autotune::{pool::Tracker, tune, TuneOptions, TuneResult, TunerKind, TuningTask};
+use tvm_ir::DType;
+use tvm_json::Value;
+use tvm_sim::titanx;
+use tvm_topi::{self as topi, DenseWorkload};
+
+struct RunRow {
+    threads: usize,
+    wall_s: f64,
+    best_ms: f64,
+    history: Vec<(u64, f64)>,
+}
+
+fn tune_at(threads: usize, task: &TuningTask, opts: &TuneOptions) -> (TuneResult, f64) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+    let start = Instant::now();
+    let r = pool.install(|| tune(task, opts, TunerKind::GbtRank));
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// Replays the run's distinct measured configs through the device pool on a
+/// fleet of `n_devices`, returning the fleet makespan in simulated ms.
+fn pool_makespan(task: &TuningTask, history: &[(u64, f64)], n_devices: usize) -> f64 {
+    let mut seen = std::collections::HashSet::new();
+    let funcs: Vec<_> = history
+        .iter()
+        .filter(|(idx, cost)| cost.is_finite() && seen.insert(*idx))
+        .filter_map(|(idx, _)| (task.builder)(&task.space.get(*idx)).ok())
+        .collect();
+    let refs: Vec<&tvm_ir::LoweredFunc> = funcs.iter().collect();
+    let mut tracker = Tracker::new((0..n_devices).map(|_| task.target.clone()).collect());
+    tracker.set_sim_options(task.sim_opts.clone());
+    tracker.run_batch(task.target.name(), &refs);
+    tracker.makespan_ms()
+}
+
+fn bench_workload(
+    name: &str,
+    task: &TuningTask,
+    opts: &TuneOptions,
+    threads: &[usize],
+    exit_ok: &mut bool,
+) -> Value {
+    println!(
+        "== {name}: {} trials, threads {threads:?} ==",
+        opts.n_trials
+    );
+    let mut rows: Vec<RunRow> = Vec::new();
+    for &t in threads {
+        let (r, wall_s) = tune_at(t, task, opts);
+        println!(
+            "  threads {t}: {:.2}s wall, {:.1} trials/s, best {:.4} ms, {:?}",
+            wall_s,
+            r.history.len() as f64 / wall_s,
+            r.best_ms,
+            r.stats
+        );
+        rows.push(RunRow {
+            threads: t,
+            wall_s,
+            best_ms: r.best_ms,
+            history: r
+                .history
+                .iter()
+                .map(|h| (h.config_index, h.cost_ms))
+                .collect(),
+        });
+    }
+    let base = &rows[0];
+    let mut parity = true;
+    for row in &rows[1..] {
+        if row.history != base.history || row.best_ms != base.best_ms {
+            parity = false;
+            *exit_ok = false;
+            eprintln!(
+                "PARITY FAILURE on {name}: {} threads diverges from {} threads \
+                 (best {:.6} vs {:.6})",
+                row.threads, base.threads, row.best_ms, base.best_ms
+            );
+        }
+    }
+    // Device-pool scaling on the measured configs (host-independent).
+    let fleets = [1usize, 2, 4];
+    let makespans: Vec<f64> = fleets
+        .iter()
+        .map(|&n| pool_makespan(task, &base.history, n))
+        .collect();
+    let pool_speedup_4 = makespans[0] / makespans[2];
+    println!(
+        "  device pool: makespan {:.3}/{:.3}/{:.3} ms on 1/2/4 devices ({:.2}x at 4)",
+        makespans[0], makespans[1], makespans[2], pool_speedup_4
+    );
+    if pool_speedup_4 < 2.0 {
+        *exit_ok = false;
+        eprintln!("POOL SCALING FAILURE on {name}: {pool_speedup_4:.2}x at 4 devices (< 2x)");
+    }
+    Value::object([
+        ("workload", Value::Str(name.into())),
+        ("trials", Value::Int(opts.n_trials as i64)),
+        ("parity_ok", Value::Bool(parity)),
+        ("best_ms", Value::Float(base.best_ms)),
+        (
+            "runs",
+            Value::Array(
+                rows.iter()
+                    .map(|r| {
+                        Value::object([
+                            ("threads", Value::Int(r.threads as i64)),
+                            ("wall_s", Value::Float(r.wall_s)),
+                            (
+                                "trials_per_sec",
+                                Value::Float(r.history.len() as f64 / r.wall_s),
+                            ),
+                            ("best_ms", Value::Float(r.best_ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "device_pool",
+            Value::Array(
+                fleets
+                    .iter()
+                    .zip(&makespans)
+                    .map(|(&n, &ms)| {
+                        Value::object([
+                            ("devices", Value::Int(n as i64)),
+                            ("makespan_ms", Value::Float(ms)),
+                            (
+                                "trials_per_sec",
+                                Value::Float(1000.0 * base.history.len() as f64 / ms),
+                            ),
+                            ("speedup", Value::Float(makespans[0] / ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("pool_speedup_4x", Value::Float(pool_speedup_4)),
+    ])
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let threads: Vec<usize> = if quick { vec![1, 2] } else { vec![1, 2, 4] };
+    let opts = TuneOptions {
+        n_trials: if quick { 32 } else { 64 },
+        batch: 8,
+        sa_steps: if quick { 10 } else { 40 },
+        sa_chains: if quick { 8 } else { 16 },
+        seed: 42,
+    };
+    let mut ok = true;
+    let target = titanx();
+    let dense = topi::dense_task(
+        DenseWorkload {
+            m: 64,
+            n: 512,
+            k: 512,
+            dtype: DType::float32(),
+        },
+        target.clone(),
+    );
+    let mut workloads = vec![bench_workload(
+        "dense_64x512x512",
+        &dense,
+        &opts,
+        &threads,
+        &mut ok,
+    )];
+    if !quick {
+        let conv = topi::conv2d_task(topi::resnet18_convs()[6], DType::float32(), target);
+        workloads.push(bench_workload(
+            "resnet18_C7_conv2d",
+            &conv,
+            &opts,
+            &threads,
+            &mut ok,
+        ));
+    }
+    let doc = Value::object([
+        ("bench", Value::Str("tuning_throughput".into())),
+        ("quick", Value::Bool(quick)),
+        (
+            "threads",
+            Value::Array(threads.iter().map(|&t| Value::Int(t as i64)).collect()),
+        ),
+        ("seed", Value::Int(opts.seed as i64)),
+        ("parity_ok", Value::Bool(ok)),
+        ("workloads", Value::Array(workloads)),
+    ]);
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write(
+        "results/BENCH_tuning.json",
+        tvm_json::to_string(&doc) + "\n",
+    )
+    .expect("write results/BENCH_tuning.json");
+    println!("wrote results/BENCH_tuning.json (parity_ok = {ok})");
+    if !ok {
+        std::process::exit(1);
+    }
+}

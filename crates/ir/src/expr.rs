@@ -7,8 +7,8 @@
 
 use std::fmt;
 use std::ops;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crate::dtype::{DType, TypeCode};
 
@@ -35,13 +35,13 @@ pub struct VarNode {
 ///
 /// Cloning is cheap; two clones compare equal iff they share an id.
 #[derive(Clone, Debug)]
-pub struct Var(pub Rc<VarNode>);
+pub struct Var(pub Arc<VarNode>);
 
 impl Var {
     /// Creates a fresh variable with a unique id.
     pub fn new(name: impl Into<String>, dtype: DType) -> Self {
         let id = VarId(NEXT_VAR_ID.fetch_add(1, Ordering::Relaxed));
-        Var(Rc::new(VarNode {
+        Var(Arc::new(VarNode {
             name: name.into(),
             dtype,
             id,
@@ -70,7 +70,7 @@ impl Var {
 
     /// Wraps the variable into an expression.
     pub fn to_expr(&self) -> Expr {
-        Expr(Rc::new(ExprNode::Var(self.clone())))
+        Expr(Arc::new(ExprNode::Var(self.clone())))
     }
 }
 
@@ -216,12 +216,12 @@ pub enum ExprNode {
 
 /// A reference-counted, immutable expression.
 #[derive(Clone, Debug)]
-pub struct Expr(pub Rc<ExprNode>);
+pub struct Expr(pub Arc<ExprNode>);
 
 impl Expr {
     /// Wraps a node.
     pub fn new(node: ExprNode) -> Self {
-        Expr(Rc::new(node))
+        Expr(Arc::new(node))
     }
 
     /// `int32` immediate.

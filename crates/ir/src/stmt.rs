@@ -3,7 +3,7 @@
 //! access-execute (DAE) accelerator pipeline of §4.4.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::dtype::DType;
 use crate::expr::{Expr, Var};
@@ -198,12 +198,12 @@ pub enum StmtNode {
 
 /// A reference-counted, immutable statement.
 #[derive(Clone, Debug)]
-pub struct Stmt(pub Rc<StmtNode>);
+pub struct Stmt(pub Arc<StmtNode>);
 
 impl Stmt {
     /// Wraps a node.
     pub fn new(node: StmtNode) -> Self {
-        Stmt(Rc::new(node))
+        Stmt(Arc::new(node))
     }
 
     /// Unpredicated flat store.

@@ -18,11 +18,10 @@
 //! assert_eq!(c.shape(), &[64, 64]);
 //! ```
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, LazyLock, RwLock};
 
 use tvm_ir::expr::{CallKind, ExprNode};
 use tvm_ir::{DType, Expr, Range, Var};
@@ -211,19 +210,33 @@ pub fn min_reduce(source: Expr, axes: &[IterVar]) -> ComputeBody {
 }
 
 /// Operation kinds.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub enum OpKind {
     /// External input of a given shape.
     Placeholder,
     /// Computed tensor. The body is interior-mutable because `cache_read` /
     /// `cache_write` rewrite dataflow in place while tensors keep referring
-    /// to the same operation identity.
+    /// to the same operation identity; the lock (rather than a `RefCell`)
+    /// lets parallel tuning workers lower independent schedules of shared
+    /// operations concurrently.
     Compute {
         /// Data axes, one per output dimension.
         axes: Vec<IterVar>,
         /// Element formula.
-        body: RefCell<ComputeBody>,
+        body: RwLock<ComputeBody>,
     },
+}
+
+impl Clone for OpKind {
+    fn clone(&self) -> Self {
+        match self {
+            OpKind::Placeholder => OpKind::Placeholder,
+            OpKind::Compute { axes, body } => OpKind::Compute {
+                axes: axes.clone(),
+                body: RwLock::new(body.read().expect("body lock").clone()),
+            },
+        }
+    }
 }
 
 /// Interior of an operation.
@@ -241,8 +254,9 @@ pub struct OpNode {
     pub kind: OpKind,
 }
 
-/// Reference-counted operation.
-pub type OpRef = Rc<OpNode>;
+/// Reference-counted operation. Atomically counted so tensors, schedules
+/// and lowered functions can be shared across tuning worker threads.
+pub type OpRef = Arc<OpNode>;
 
 impl OpNode {
     /// Data axes for compute ops; empty for placeholders.
@@ -257,7 +271,7 @@ impl OpNode {
     pub fn reduce_axes(&self) -> Vec<IterVar> {
         match &self.kind {
             OpKind::Placeholder => Vec::new(),
-            OpKind::Compute { body, .. } => match &*body.borrow() {
+            OpKind::Compute { body, .. } => match &*body.read().expect("body lock") {
                 ComputeBody::Plain(_) => Vec::new(),
                 ComputeBody::Reduce { axes, .. } => axes.clone(),
             },
@@ -268,7 +282,7 @@ impl OpNode {
     pub fn body(&self) -> Option<ComputeBody> {
         match &self.kind {
             OpKind::Placeholder => None,
-            OpKind::Compute { body, .. } => Some(body.borrow().clone()),
+            OpKind::Compute { body, .. } => Some(body.read().expect("body lock").clone()),
         }
     }
 
@@ -276,7 +290,7 @@ impl OpNode {
     pub fn set_body(&self, new_body: ComputeBody) {
         match &self.kind {
             OpKind::Placeholder => panic!("cannot set body of a placeholder"),
-            OpKind::Compute { body, .. } => *body.borrow_mut() = new_body,
+            OpKind::Compute { body, .. } => *body.write().expect("body lock") = new_body,
         }
     }
 
@@ -376,19 +390,27 @@ pub fn parse_read_key(name: &str) -> Option<OpId> {
         .map(OpId)
 }
 
-thread_local! {
-    static TENSOR_REGISTRY: RefCell<HashMap<OpId, Tensor>> = RefCell::new(HashMap::new());
-}
+/// Process-wide registry mapping op ids to tensors. Global (not
+/// thread-local) so a tensor graph built on one thread can be lowered from
+/// any tuning worker; op ids are globally unique, so entries never collide.
+static TENSOR_REGISTRY: LazyLock<RwLock<HashMap<OpId, Tensor>>> =
+    LazyLock::new(|| RwLock::new(HashMap::new()));
 
 fn register_tensor(t: &Tensor) {
-    TENSOR_REGISTRY.with(|r| {
-        r.borrow_mut().entry(t.op_id()).or_insert_with(|| t.clone());
-    });
+    TENSOR_REGISTRY
+        .write()
+        .expect("tensor registry lock")
+        .entry(t.op_id())
+        .or_insert_with(|| t.clone());
 }
 
 /// Resolves an op id registered by [`Tensor::at`].
 pub fn resolve_tensor(id: OpId) -> Option<Tensor> {
-    TENSOR_REGISTRY.with(|r| r.borrow().get(&id).cloned())
+    TENSOR_REGISTRY
+        .read()
+        .expect("tensor registry lock")
+        .get(&id)
+        .cloned()
 }
 
 /// Walks an expression calling `f` for every tensor read `(tensor, indices)`.
@@ -415,7 +437,7 @@ pub fn collect_reads(e: &Expr, f: &mut dyn FnMut(Tensor, &[Expr])) {
 /// Declares an external input tensor.
 pub fn placeholder(shape: &[i64], dtype: DType, name: impl Into<String>) -> Tensor {
     let name = name.into();
-    let op = Rc::new(OpNode {
+    let op = Arc::new(OpNode {
         id: OpId(NEXT_OP_ID.fetch_add(1, Ordering::Relaxed)),
         name,
         shape: shape.to_vec(),
@@ -449,14 +471,14 @@ pub fn compute<B: Into<ComputeBody>>(
     let idx: Vec<Expr> = axes.iter().map(|a| a.expr()).collect();
     let body: ComputeBody = f(&idx).into();
     let dtype = body.dtype();
-    let op = Rc::new(OpNode {
+    let op = Arc::new(OpNode {
         id: OpId(NEXT_OP_ID.fetch_add(1, Ordering::Relaxed)),
         name,
         shape: shape.to_vec(),
         dtype,
         kind: OpKind::Compute {
             axes,
-            body: RefCell::new(body),
+            body: RwLock::new(body),
         },
     });
     let t = Tensor { op };
@@ -473,14 +495,14 @@ pub fn compute_with_axes(
     body: ComputeBody,
 ) -> Tensor {
     let dtype = body.dtype();
-    let op = Rc::new(OpNode {
+    let op = Arc::new(OpNode {
         id: OpId(NEXT_OP_ID.fetch_add(1, Ordering::Relaxed)),
         name: name.into(),
         shape: shape.to_vec(),
         dtype,
         kind: OpKind::Compute {
             axes,
-            body: RefCell::new(body),
+            body: RwLock::new(body),
         },
     });
     let t = Tensor { op };

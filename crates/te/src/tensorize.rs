@@ -8,7 +8,7 @@
 //! `decl_tensor_intrin(y.op, gemm_intrin_lower)` example).
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use tvm_ir::{DType, Expr, Stmt, Var};
 
@@ -49,8 +49,9 @@ pub struct TensorIntrinImpl {
 }
 
 /// Lowering-rule signature: receives the input slices (in body read order)
-/// and the output slice.
-pub type LowerFn = dyn Fn(&[BufferSlice], &BufferSlice) -> TensorIntrinImpl;
+/// and the output slice. `Send + Sync` so declared intrinsics can be
+/// shared with tuning workers lowering configs concurrently.
+pub type LowerFn = dyn Fn(&[BufferSlice], &BufferSlice) -> TensorIntrinImpl + Send + Sync;
 
 /// Interior of a declared tensor intrinsic.
 pub struct TensorIntrinNode {
@@ -65,16 +66,16 @@ pub struct TensorIntrinNode {
 
 /// A declared, sharable tensor intrinsic.
 #[derive(Clone)]
-pub struct TensorIntrin(pub Rc<TensorIntrinNode>);
+pub struct TensorIntrin(pub Arc<TensorIntrinNode>);
 
 impl TensorIntrin {
     /// Declares a tensor intrinsic — `t.decl_tensor_intrin` in the paper.
     pub fn new(
         name: impl Into<String>,
         decl: Tensor,
-        lower: impl Fn(&[BufferSlice], &BufferSlice) -> TensorIntrinImpl + 'static,
+        lower: impl Fn(&[BufferSlice], &BufferSlice) -> TensorIntrinImpl + Send + Sync + 'static,
     ) -> Self {
-        TensorIntrin(Rc::new(TensorIntrinNode {
+        TensorIntrin(Arc::new(TensorIntrinNode {
             name: name.into(),
             decl,
             lower: Box::new(lower),

@@ -7,7 +7,7 @@
 //! value. An ARM-style bit-serial dot-product micro-kernel is exposed as a
 //! tensor intrinsic (§4.3's "handcrafted micro-kernels" use case).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use tvm_autotune::{ConfigEntity, ConfigSpace, TuningTask};
 use tvm_ir::{DType, Expr, Interp, LoweredFunc, Stmt, Value};
@@ -229,7 +229,7 @@ pub fn bitserial_task(w: BitserialWorkload, target: Target, threaded: bool) -> T
     TuningTask {
         name: format!("bitserial_{}@{}", w.conv.describe(), target.name()),
         space,
-        builder: Rc::new(builder),
+        builder: Arc::new(builder),
         target,
         sim_opts: Default::default(),
     }

@@ -2,7 +2,7 @@
 //! specification API"), for CPU and GPU targets, plus the tuning-task
 //! constructors the optimizer consumes.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use tvm_autotune::{ConfigEntity, ConfigSpace, TuningTask};
 use tvm_ir::{LoweredFunc, MemScope, ThreadTag};
@@ -214,7 +214,7 @@ pub fn conv2d_task(w: Conv2dWorkload, dtype: tvm_ir::DType, target: Target) -> T
     TuningTask {
         name: format!("{}@{}", w.describe(), target.name()),
         space,
-        builder: Rc::new(builder),
+        builder: Arc::new(builder),
         target,
         sim_opts: Default::default(),
     }
@@ -261,7 +261,7 @@ pub fn depthwise_task(
     TuningTask {
         name: format!("{}@{}", w.describe(), target.name()),
         space,
-        builder: Rc::new(builder),
+        builder: Arc::new(builder),
         target,
         sim_opts: Default::default(),
     }
@@ -391,7 +391,7 @@ pub fn dense_task(w: DenseWorkload, target: Target) -> TuningTask {
     TuningTask {
         name: format!("dense_{}x{}x{}@{}", w.m, w.n, w.k, target.name()),
         space,
-        builder: Rc::new(builder),
+        builder: Arc::new(builder),
         target,
         sim_opts: Default::default(),
     }

@@ -9,7 +9,7 @@
 //! multiplication count 2.25x. Weights are transformed once at deployment
 //! ("weight pre-transformed"), inputs per tile at runtime.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use tvm_autotune::{ConfigEntity, ConfigSpace, TuningTask};
 use tvm_ir::{DType, Expr, LoweredFunc};
@@ -269,7 +269,7 @@ pub fn winograd_task(w: Conv2dWorkload, dtype: DType, target: Target) -> TuningT
     TuningTask {
         name: format!("wino_{}@{}", w.describe(), target.name()),
         space,
-        builder: Rc::new(builder),
+        builder: Arc::new(builder),
         target,
         sim_opts: Default::default(),
     }

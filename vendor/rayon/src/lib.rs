@@ -1,0 +1,378 @@
+//! Vendored stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of the rayon API it actually uses: `par_iter`/`into_par_iter`
+//! with `map`/`for_each`/`collect`, `join`, `scope`, and a
+//! `ThreadPoolBuilder` whose `install` scopes the worker count.
+//!
+//! Work is executed on `std::thread::scope` threads in contiguous chunks,
+//! one chunk per worker, and results are returned **in input order** — so
+//! a computation whose per-item work is independent produces bit-identical
+//! output at every thread count. The worker count comes from (highest
+//! priority first) the innermost `ThreadPool::install`, the
+//! `RAYON_NUM_THREADS` environment variable, then
+//! `std::thread::available_parallelism`.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`]; inherited
+    /// by the workers a parallel call spawns.
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads a parallel call will use.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_THREADS.with(|t| t.get()) {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n >= 1 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A scoped worker-count configuration (rayon's thread pool, minus the
+/// persistent threads: this stand-in spawns per call).
+pub struct ThreadPool {
+    n: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count as the ambient worker count.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|t| t.replace(Some(self.n)));
+        let out = f();
+        POOL_THREADS.with(|t| t.set(prev));
+        out
+    }
+
+    /// The configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.n
+    }
+}
+
+/// Builder for [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    n: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count (0 = automatic, like rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.n = Some(n);
+        self
+    }
+
+    /// Builds the pool. Infallible here; the `Result` mirrors rayon's API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.n {
+            None | Some(0) => current_num_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { n })
+    }
+}
+
+/// Pool construction error (never produced by the stand-in).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let n = current_num_threads();
+    std::thread::scope(|s| {
+        let hb = s.spawn(move || {
+            POOL_THREADS.with(|t| t.set(Some(n)));
+            b()
+        });
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// A fork-join scope; `spawn` runs closures on scoped threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    n: usize,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task into the scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let n = self.n;
+        let inner = self.inner;
+        inner.spawn(move || {
+            POOL_THREADS.with(|t| t.set(Some(n)));
+            f(&Scope { inner, n });
+        });
+    }
+}
+
+/// Creates a fork-join scope and waits for all spawned tasks.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let n = current_num_threads();
+    std::thread::scope(|s| f(&Scope { inner: s, n }))
+}
+
+/// The core parallel map: applies `f` to every item, returning results in
+/// input order. Items are split into one contiguous chunk per worker.
+fn par_map_vec<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let len = items.len();
+    let workers = current_num_threads().min(len.max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut out: Vec<Option<U>> = std::iter::repeat_with(|| None).take(len).collect();
+    let chunk = len.div_ceil(workers);
+    let fref = &f;
+    std::thread::scope(|s| {
+        for (ic, oc) in slots.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(move || {
+                POOL_THREADS.with(|t| t.set(Some(workers)));
+                for (i, o) in ic.iter_mut().zip(oc.iter_mut()) {
+                    *o = Some(fref(i.take().expect("item present")));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("worker filled slot"))
+        .collect()
+}
+
+/// A parallel iterator over owned items (eagerly materialized).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each item through `f`.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        par_map_vec(self.items, f);
+    }
+
+    /// Collects the items (rayon parity; items are already materialized).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync> ParMap<T, F> {
+    /// Evaluates the map in parallel and collects results in input order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        par_map_vec(self.items, self.f).into_iter().collect()
+    }
+
+    /// Runs the map for its side effects.
+    pub fn for_each_item(self) {
+        par_map_vec(self.items, self.f);
+    }
+}
+
+/// Conversion into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+range_into_par_iter!(usize, u64, u32, i64, i32);
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Parallel iterator over `&self`'s items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The rayon prelude: the traits needed for `par_iter` / `into_par_iter`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000u64).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn order_is_identical_across_thread_counts() {
+        let run = |n: usize| -> Vec<f64> {
+            ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .expect("pool")
+                .install(|| {
+                    (0..257usize)
+                        .into_par_iter()
+                        .map(|i| (i as f64).sqrt().sin())
+                        .collect()
+                })
+        };
+        assert_eq!(run(1), run(4));
+        assert_eq!(run(1), run(7));
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().expect("ok");
+        assert_eq!(pool.install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn install_propagates_to_workers() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().expect("ok");
+        let counts: Vec<usize> = pool.install(|| {
+            (0..8usize)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        assert!(counts.iter().all(|&c| c == 2), "{counts:?}");
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn scope_runs_spawned_tasks() {
+        let flags: Vec<std::sync::atomic::AtomicBool> = (0..4)
+            .map(|_| std::sync::atomic::AtomicBool::new(false))
+            .collect();
+        scope(|s| {
+            for f in &flags {
+                s.spawn(move |_| f.store(true, std::sync::atomic::Ordering::SeqCst));
+            }
+        });
+        assert!(flags
+            .iter()
+            .all(|f| f.load(std::sync::atomic::Ordering::SeqCst)));
+    }
+
+    // std::thread::scope re-raises worker panics as "a scoped thread
+    // panicked"; the substring check covers both payloads.
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn worker_panic_propagates() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().expect("ok");
+        pool.install(|| {
+            let _: Vec<u32> = (0..4usize)
+                .into_par_iter()
+                .map(|i| {
+                    if i == 3 {
+                        panic!("worker panicked");
+                    }
+                    i as u32
+                })
+                .collect();
+        });
+    }
+}
