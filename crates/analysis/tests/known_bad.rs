@@ -1,0 +1,115 @@
+//! Golden-file tests: three known-bad programs whose diagnostics are
+//! pinned, plus the invariant that their renders are stable across runs
+//! (diagnostics name variables by display name, never by id).
+//!
+//! Regenerate after an intentional diagnostic change with
+//!
+//! ```text
+//! TVM_REGEN_GOLDEN=1 cargo test -p tvm-analysis --test known_bad
+//! ```
+//!
+//! and review the `.expected` diff like any other code change.
+
+use std::path::Path;
+
+use tvm_analysis::{analyze_stmt, AnalysisOptions};
+use tvm_ir::{DType, Expr, ForKind, MemScope, Stmt, StmtNode, ThreadTag, Var};
+
+fn check_golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("TVM_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\nrun with TVM_REGEN_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual.trim_end(),
+        expected.trim_end(),
+        "\ndiagnostics for `{name}` changed; if intentional, regenerate with \
+         TVM_REGEN_GOLDEN=1 and review the diff"
+    );
+}
+
+/// `for i in 0..16: A[i+1] = 0` with `|A| = 16` — classic off-by-one.
+#[test]
+fn oob_store_is_refuted() {
+    let a = Var::new("A", DType::float32());
+    let i = Var::int("i");
+    let body = Stmt::for_(&i, 0, 16, Stmt::store(&a, i.to_expr() + 1, Expr::f32(0.0)));
+    let report = analyze_stmt(&body, &[a], &[16], &AnalysisOptions::all());
+    assert!(report.has_errors());
+    assert_eq!(report.bounds_refuted, 1);
+    check_golden("oob_store.expected", &report.render());
+}
+
+/// A cooperative shared-memory fill read back without a barrier: every
+/// thread writes `S[tx]` then reads its neighbor's slot. Both the race
+/// pass (cross-iteration read/write overlap) and the sync pass (fill not
+/// published) must flag it.
+#[test]
+fn unsynced_shared_race_is_flagged() {
+    let s = Var::new("S", DType::float32());
+    let a = Var::new("A", DType::float32());
+    let o = Var::new("O", DType::float32());
+    let tx = Var::int("tx");
+    let body = Stmt::allocate(
+        &s,
+        DType::float32(),
+        4,
+        MemScope::Shared,
+        Stmt::loop_(
+            &tx,
+            0,
+            4,
+            ForKind::ThreadBinding(ThreadTag::ThreadIdxX),
+            Stmt::seq(vec![
+                Stmt::store(&s, tx.to_expr(), Expr::load(&a, tx.to_expr())),
+                Stmt::store(&o, tx.to_expr(), Expr::load(&s, (tx.clone() + 1) % 4)),
+            ]),
+        ),
+    );
+    let report = analyze_stmt(&body, &[a, o], &[4, 4], &AnalysisOptions::all());
+    assert!(report.has_errors());
+    let passes: Vec<&str> = report.errors().map(|d| d.pass).collect();
+    assert!(passes.contains(&"race"), "{passes:?}");
+    assert!(passes.contains(&"sync"), "{passes:?}");
+    check_golden("unsynced_shared_race.expected", &report.render());
+}
+
+/// A store indexed by a variable no enclosing construct binds.
+#[test]
+fn use_before_def_is_flagged() {
+    let out = Var::new("out", DType::float32());
+    let i = Var::int("i");
+    let j = Var::int("j");
+    let body = Stmt::for_(&i, 0, 4, Stmt::store(&out, j.to_expr(), Expr::f32(1.0)));
+    let report = analyze_stmt(&body, &[out], &[4], &AnalysisOptions::all());
+    assert!(report.has_errors());
+    assert!(report.errors().any(|d| d.pass == "ssa"));
+    check_golden("use_before_def.expected", &report.render());
+}
+
+/// A barrier that only half the threads reach.
+#[test]
+fn divergent_barrier_is_flagged() {
+    let tx = Var::int("tx");
+    let body = Stmt::loop_(
+        &tx,
+        0,
+        4,
+        ForKind::ThreadBinding(ThreadTag::ThreadIdxX),
+        Stmt::if_then(tx.to_expr().lt(Expr::int(2)), Stmt::new(StmtNode::Barrier)),
+    );
+    let report = analyze_stmt(&body, &[], &[], &AnalysisOptions::all());
+    assert!(report.has_errors());
+    assert!(report.errors().any(|d| d.pass == "sync"));
+    check_golden("divergent_barrier.expected", &report.render());
+}

@@ -185,25 +185,68 @@ pub fn lower_with(
         }
     }
 
+    let params: Vec<Var> = args
+        .iter()
+        .map(|t| em.buffers[&t.op_id()].clone())
+        .collect();
+    let param_extents: Vec<usize> = args.iter().map(|t| t.numel() as usize).collect();
+
+    validate_stage("emit", name, &body, &params, &param_extents)?;
     let body = hoist_shared_allocs(&body);
+    validate_stage("hoist_shared_allocs", name, &body, &params, &param_extents)?;
     let body = if opts.dae_sync {
         crate::vthread::lower_dae(&body)
     } else {
         crate::vthread::lower_vthreads(&body)
     };
+    validate_stage("lower_vthreads", name, &body, &params, &param_extents)?;
     let body = tvm_ir::simplify_stmt(&body);
+    validate_stage("simplify", name, &body, &params, &param_extents)?;
 
-    let params: Vec<Var> = args
-        .iter()
-        .map(|t| em.buffers[&t.op_id()].clone())
-        .collect();
     Ok(LoweredFunc {
         name: name.to_string(),
         param_dtypes: args.iter().map(|t| t.dtype()).collect(),
-        param_extents: args.iter().map(|t| t.numel() as usize).collect(),
+        param_extents,
         params,
         body,
     })
+}
+
+/// Runs the static verifier (`tvm-analysis`, ssa + bounds + sync) on the
+/// intermediate body after each lowering stage, turning any error finding
+/// into a `TeError` that names the offending pass. Enabled in debug
+/// builds; override with `TVM_VALIDATE_LOWER=1` / `=0`.
+fn validate_stage(
+    stage: &str,
+    func: &str,
+    body: &Stmt,
+    params: &[Var],
+    param_extents: &[usize],
+) -> Result<(), TeError> {
+    if !validation_enabled() {
+        return Ok(());
+    }
+    let report = tvm_analysis::analyze_stmt(
+        body,
+        params,
+        param_extents,
+        &tvm_analysis::AnalysisOptions::lowering_hook(),
+    );
+    if report.has_errors() {
+        let msgs: Vec<String> = report.errors().map(|d| d.to_string()).collect();
+        return err(format!(
+            "IR validation failed after `{stage}` while lowering `{func}`: {}",
+            msgs.join("; ")
+        ));
+    }
+    Ok(())
+}
+
+fn validation_enabled() -> bool {
+    match std::env::var("TVM_VALIDATE_LOWER") {
+        Ok(v) => v != "0",
+        Err(_) => cfg!(debug_assertions),
+    }
 }
 
 /// Applies `compute_inline` substitution, returning effective bodies for

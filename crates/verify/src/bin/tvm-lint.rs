@@ -1,0 +1,94 @@
+//! `tvm-lint` — static verification of every topi workload/schedule
+//! pairing.
+//!
+//! ```text
+//! tvm-lint [--samples N] [--filter SUBSTR] [--verbose]
+//! ```
+//!
+//! Lowers each operator template (conv2d, depthwise, dense, Winograd) on
+//! each target at the default configuration plus `--samples` evenly
+//! spaced points of its schedule space, and runs the `tvm-analysis`
+//! passes (scope / bounds / race / sync) on the result. One line per
+//! pairing; structured diagnostics for any finding. Exit code is
+//! non-zero iff any pairing has an error-severity finding.
+
+use std::process::ExitCode;
+
+use tvm_verify::lint::{lint_task, topi_tasks};
+
+const USAGE: &str = "usage: tvm-lint [--samples N] [--filter SUBSTR] [--verbose]";
+
+fn main() -> ExitCode {
+    let mut samples = 4u64;
+    let mut filter: Option<String> = None;
+    let mut verbose = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--samples" => {
+                samples = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| exit_usage())
+            }
+            "--filter" => filter = Some(it.next().unwrap_or_else(|| exit_usage())),
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                exit_usage()
+            }
+        }
+    }
+
+    let mut pairings = 0usize;
+    let mut clean = 0usize;
+    let mut errors = 0usize;
+    for task in topi_tasks() {
+        if filter.as_ref().is_some_and(|f| !task.name.contains(f)) {
+            continue;
+        }
+        for r in lint_task(&task, samples) {
+            pairings += 1;
+            let n_errors = r.report.errors().count();
+            let status = if n_errors > 0 {
+                errors += 1;
+                "ERROR"
+            } else if r.report.diagnostics.is_empty() {
+                clean += 1;
+                "ok"
+            } else {
+                clean += 1;
+                "warn"
+            };
+            println!(
+                "{status:5} {} [{}] bounds {}/{} proven, {} refuted, {} unknown",
+                r.task,
+                r.config,
+                r.report.bounds_proven,
+                r.report.bounds_checked,
+                r.report.bounds_refuted,
+                r.report.bounds_unknown,
+            );
+            if n_errors > 0 || verbose {
+                for d in &r.report.diagnostics {
+                    println!("      {d}");
+                }
+            }
+        }
+    }
+    println!("{pairings} pairings linted: {clean} clean, {errors} with errors");
+    if errors > 0 || pairings == 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn exit_usage() -> ! {
+    eprintln!("{USAGE}");
+    std::process::exit(2)
+}

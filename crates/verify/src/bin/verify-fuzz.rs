@@ -2,14 +2,16 @@
 //!
 //! ```text
 //! verify-fuzz [--budget N] [--seed S] [--workload matmul|conv2d|fused|all]
-//!             [--repro-dir DIR] [--props N] [--replay FILE]
+//!             [--repro-dir DIR] [--props N] [--replay FILE] [--static-oracle]
 //! ```
 //!
 //! Draws `--budget` random schedules per run, checks each against the
 //! interpreter oracle, shrinks any failure and writes a reproducer to
 //! `--repro-dir` (default `results/repro/`). `--replay FILE` re-runs a
 //! written reproducer and reports whether the failure still reproduces.
-//! Exit code is non-zero when any check fails.
+//! `--static-oracle` additionally runs the `tvm-analysis` verifier on
+//! every passing case and treats analyzer/interpreter disagreements as
+//! failures. Exit code is non-zero when any check fails.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,9 +27,10 @@ struct Args {
     repro_dir: PathBuf,
     props: usize,
     replay: Option<PathBuf>,
+    static_oracle: bool,
 }
 
-const USAGE: &str = "usage: verify-fuzz [--budget N] [--seed S] [--workload matmul|conv2d|fused|all]\n                   [--repro-dir DIR] [--props N] [--replay FILE]";
+const USAGE: &str = "usage: verify-fuzz [--budget N] [--seed S] [--workload matmul|conv2d|fused|all]\n                   [--repro-dir DIR] [--props N] [--replay FILE] [--static-oracle]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -42,6 +45,7 @@ fn parse_args() -> Args {
         repro_dir: PathBuf::from("results/repro"),
         props: 64,
         replay: None,
+        static_oracle: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -74,6 +78,7 @@ fn parse_args() -> Args {
                 args.props = value("--props").parse().unwrap_or_else(|_| usage());
             }
             "--replay" => args.replay = Some(PathBuf::from(value("--replay"))),
+            "--static-oracle" => args.static_oracle = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0)
@@ -132,13 +137,15 @@ fn main() -> ExitCode {
         budget: args.budget,
         workloads: args.workloads.clone(),
         repro_dir: Some(args.repro_dir.clone()),
+        static_oracle: args.static_oracle,
     });
     println!(
-        "  {} cases, {} passed, {} invalid, {} distinct traces, {} failures",
+        "  {} cases, {} passed, {} invalid, {} distinct traces, {} static-checked, {} failures",
         report.cases,
         report.passed,
         report.invalid,
         report.distinct_traces,
+        report.static_checked,
         report.failures.len()
     );
     for f in &report.failures {

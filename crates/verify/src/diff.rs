@@ -75,7 +75,7 @@ impl std::fmt::Display for Outcome {
 /// default hook would spam stderr.
 static HOOK_GUARD: Mutex<()> = Mutex::new(());
 
-fn quietly<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+pub(crate) fn quietly<T>(f: impl FnOnce() -> T) -> Result<T, String> {
     let _guard = HOOK_GUARD.lock().unwrap_or_else(|e| e.into_inner());
     let prev = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));

@@ -32,9 +32,11 @@
 pub mod apply;
 pub mod diff;
 pub mod generate;
+pub mod lint;
 pub mod props;
 pub mod repro;
 pub mod shrink;
+pub mod static_oracle;
 pub mod trace;
 pub mod workload;
 
@@ -44,9 +46,11 @@ use std::path::PathBuf;
 pub use apply::{apply_one, apply_trace};
 pub use diff::{run_case, run_naive, Outcome, TOLERANCE};
 pub use generate::generate;
+pub use lint::{lint_topi, LintResult};
 pub use props::{check_plan_memory, check_simplify};
 pub use repro::Repro;
 pub use shrink::shrink;
+pub use static_oracle::check_static;
 pub use trace::Primitive;
 pub use workload::{build, input_buffers, WorkloadKind, ALL_WORKLOADS};
 
@@ -61,6 +65,9 @@ pub struct FuzzOptions {
     pub workloads: Vec<WorkloadKind>,
     /// Where to write reproducer files for failures (`None` disables).
     pub repro_dir: Option<PathBuf>,
+    /// Also run the static analyzer on every interpreter-passing case and
+    /// report analyzer/interpreter disagreements as failures.
+    pub static_oracle: bool,
 }
 
 impl Default for FuzzOptions {
@@ -70,6 +77,7 @@ impl Default for FuzzOptions {
             budget: 64,
             workloads: ALL_WORKLOADS.to_vec(),
             repro_dir: None,
+            static_oracle: false,
         }
     }
 }
@@ -103,6 +111,8 @@ pub struct FuzzReport {
     pub invalid: usize,
     /// Number of distinct primitive traces drawn.
     pub distinct_traces: usize,
+    /// Interpreter-passing cases also checked by the static oracle.
+    pub static_checked: usize,
     /// All failures, shrunk and (optionally) persisted.
     pub failures: Vec<CaseFailure>,
 }
@@ -125,7 +135,39 @@ pub fn fuzz(opts: &FuzzOptions) -> FuzzReport {
         report.cases += 1;
         let outcome = run_case(kind, seed, &trace);
         match outcome {
-            Outcome::Pass => report.passed += 1,
+            Outcome::Pass => {
+                report.passed += 1;
+                if opts.static_oracle {
+                    report.static_checked += 1;
+                    if let Some(findings) = check_static(kind, &trace) {
+                        // The interpreter says the program is correct but
+                        // the analyzer flags it: shrink the disagreement.
+                        let shrunk = shrink(&trace, |cand| {
+                            run_case(kind, seed, cand) == Outcome::Pass
+                                && check_static(kind, cand).is_some()
+                        });
+                        let mut failure = CaseFailure {
+                            workload: kind,
+                            seed,
+                            failure: format!("static/interpreter disagreement: {findings}"),
+                            trace,
+                            shrunk,
+                            repro_path: None,
+                        };
+                        if let Some(dir) = &opts.repro_dir {
+                            let repro = Repro {
+                                workload: kind,
+                                seed,
+                                failure: failure.failure.clone(),
+                                primitives: failure.trace.clone(),
+                                shrunk: failure.shrunk.clone(),
+                            };
+                            failure.repro_path = repro.save(dir).ok();
+                        }
+                        report.failures.push(failure);
+                    }
+                }
+            }
             Outcome::Invalid(_) => report.invalid += 1,
             ref failing => {
                 let kind_str = failing.failure_kind().expect("failure");

@@ -1,0 +1,133 @@
+//! `tvm-lint`: static analysis over every topi workload/schedule family.
+//!
+//! For each operator template (direct conv2d, depthwise conv2d, dense,
+//! Winograd conv2d) on each target (ARM CPU, GPU), a deterministic set of
+//! schedule configurations — the untuned default plus evenly spaced
+//! samples of the declared space — is lowered and run through all four
+//! `tvm-analysis` passes. Builder-rejected configurations (the template's
+//! own validity predicate) are skipped, matching what the autotuner
+//! explores.
+//!
+//! The sweep is the lint suite's "known-good corpus": every pairing must
+//! come back with **zero refuted bounds and zero races**, and CI runs it
+//! on every push.
+
+use tvm_analysis::{analyze_func, AnalysisReport};
+use tvm_autotune::TuningTask;
+use tvm_ir::DType;
+use tvm_sim::{arm_a53, titanx};
+use tvm_topi::{
+    conv2d_task, default_config, dense_task, depthwise_task, dqn_convs, mobilenet_dwconvs,
+    resnet18_convs, winograd_task, DenseWorkload,
+};
+
+/// Analysis outcome for one (task, config) pairing.
+#[derive(Clone, Debug)]
+pub struct LintResult {
+    /// Task name (workload @ target).
+    pub task: String,
+    /// Configuration summary (knob assignments).
+    pub config: String,
+    /// Full analysis report for the lowered function.
+    pub report: AnalysisReport,
+    /// Configs the template builder rejected for this task before this
+    /// one was reached (diagnostic context only; rejection is normal).
+    pub skipped_configs: usize,
+}
+
+/// Evenly spaced configuration indices: the default config plus
+/// `samples` points across the space.
+fn config_indices(size: u64, samples: u64) -> Vec<u64> {
+    let mut idx: Vec<u64> = (0..samples)
+        .map(|k| (size.saturating_sub(1)) * k / samples.max(1))
+        .collect();
+    idx.dedup();
+    idx
+}
+
+/// Lints one task at the default config plus `samples` deterministic
+/// space samples; invalid configs (builder errors) are skipped.
+pub fn lint_task(task: &TuningTask, samples: u64) -> Vec<LintResult> {
+    let mut results = Vec::new();
+    let mut skipped = 0usize;
+    let default = default_config(&task.space);
+    let mut entities = vec![default];
+    for idx in config_indices(task.space.size(), samples) {
+        entities.push(task.space.get(idx));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for cfg in entities {
+        if !seen.insert(cfg.index) {
+            continue;
+        }
+        match (task.builder)(&cfg) {
+            Ok(f) => results.push(LintResult {
+                task: task.name.clone(),
+                config: cfg.summary(),
+                report: analyze_func(&f),
+                skipped_configs: skipped,
+            }),
+            Err(_) => skipped += 1,
+        }
+    }
+    results
+}
+
+/// The standard sweep: every operator family on both targets.
+pub fn topi_tasks() -> Vec<TuningTask> {
+    let mut tasks = Vec::new();
+    for target in [arm_a53(), titanx()] {
+        // C1 (large spatial, few channels) and C7 (small spatial, many
+        // channels) bracket the ResNet-18 conv shapes; DQN's stride-4
+        // first layer exercises non-unit strides.
+        let convs = resnet18_convs();
+        tasks.push(conv2d_task(convs[0], DType::float32(), target.clone()));
+        tasks.push(conv2d_task(convs[6], DType::float32(), target.clone()));
+        tasks.push(conv2d_task(
+            dqn_convs()[0],
+            DType::float32(),
+            target.clone(),
+        ));
+        tasks.push(depthwise_task(
+            mobilenet_dwconvs()[0],
+            DType::float32(),
+            target.clone(),
+        ));
+        tasks.push(dense_task(
+            DenseWorkload {
+                m: 64,
+                n: 512,
+                k: 512,
+                dtype: DType::float32(),
+            },
+            target.clone(),
+        ));
+        // Winograd scheduling is CPU-only in this codebase.
+        if !target.is_gpu() {
+            tasks.push(winograd_task(convs[1], DType::float32(), target.clone()));
+        }
+    }
+    tasks
+}
+
+/// Runs the full topi lint sweep. `samples` extra configs per task.
+pub fn lint_topi(samples: u64) -> Vec<LintResult> {
+    let mut all = Vec::new();
+    for task in topi_tasks() {
+        all.extend(lint_task(&task, samples));
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_indices_are_deterministic_and_in_range() {
+        let idx = config_indices(1000, 4);
+        assert_eq!(idx, config_indices(1000, 4));
+        assert!(idx.iter().all(|&i| i < 1000));
+        assert_eq!(config_indices(1, 4), vec![0]);
+    }
+}

@@ -1,0 +1,53 @@
+//! The static oracle: cross-checks `tvm-analysis` against the
+//! interpreter.
+//!
+//! The differential fuzzer already establishes that a scheduled program
+//! *computes the right values*. The static analyzer independently claims
+//! that lowered programs are *well-formed* — in scope, in bounds,
+//! race-free, properly synchronized. Running both on the same random
+//! schedules checks the two against each other:
+//!
+//! * a case the interpreter passes but the analyzer flags is an analysis
+//!   **false positive** (or an interpreter blind spot — e.g. a data race
+//!   the sequential interpreter cannot observe);
+//! * a crash or mismatch the analyzer *missed* shows up as an ordinary
+//!   differential failure and needs no extra plumbing here.
+//!
+//! Disagreements are shrunk with the same trace minimizer as
+//! miscompilations, so an analysis bug arrives as a few-primitive
+//! reproducer.
+
+use tvm_te::{create_schedule, lower};
+
+use crate::apply::apply_trace;
+use crate::diff::quietly;
+use crate::trace::Primitive;
+use crate::workload::{build, WorkloadKind};
+
+/// Lowers `trace` on a fresh DAG and runs all four analysis passes.
+/// Returns `Some(rendered errors)` when the analyzer flags the program,
+/// `None` when it is clean or the trace does not lower (no claim).
+pub fn check_static(kind: WorkloadKind, trace: &[Primitive]) -> Option<String> {
+    let result = quietly(|| -> Option<String> {
+        let w = build(kind);
+        let mut s = create_schedule(std::slice::from_ref(&w.output));
+        apply_trace(&mut s, trace).ok()?;
+        let f = match lower(&s, &w.args, &format!("{kind}_static")) {
+            Ok(f) => f,
+            // In debug builds the lowering hook rejects flagged programs
+            // before we can inspect them; that rejection *is* an
+            // analysis claim.
+            Err(e) if e.0.starts_with("IR validation failed") => return Some(e.0),
+            Err(_) => return None,
+        };
+        let report = tvm_analysis::analyze_func(&f);
+        if report.has_errors() {
+            let msgs: Vec<String> = report.errors().map(|d| d.to_string()).collect();
+            Some(msgs.join("; "))
+        } else {
+            None
+        }
+    });
+    // A panic during apply/lower means the trace was invalid: no claim.
+    result.ok().flatten()
+}

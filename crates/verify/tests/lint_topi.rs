@@ -1,0 +1,35 @@
+//! The lint suite's clean-pass guarantee: every topi workload/schedule
+//! pairing in the standard sweep analyzes with zero error-severity
+//! findings — no refuted bounds, no races, no sync violations, no scope
+//! errors. CI runs the full sweep via `tvm-lint`; this test keeps the
+//! guarantee inside `cargo test` with a smaller per-task sample count.
+
+use tvm_verify::lint::{lint_task, topi_tasks};
+
+#[test]
+fn topi_sweep_is_clean() {
+    let mut pairings = 0;
+    for task in topi_tasks() {
+        for r in lint_task(&task, 1) {
+            pairings += 1;
+            let errors: Vec<String> = r.report.errors().map(|d| d.to_string()).collect();
+            assert!(
+                errors.is_empty(),
+                "{} [{}] flagged:\n{}",
+                r.task,
+                r.config,
+                errors.join("\n")
+            );
+            assert_eq!(
+                r.report.bounds_refuted, 0,
+                "{} [{}] has refuted bounds",
+                r.task, r.config
+            );
+        }
+    }
+    // Every task must contribute at least its default config.
+    assert!(
+        pairings >= topi_tasks().len(),
+        "sweep too small: {pairings}"
+    );
+}

@@ -14,6 +14,7 @@ fn fuzz_tier_fifty_plus_schedules_match_the_oracle() {
         budget: 60,
         workloads: ALL_WORKLOADS.to_vec(),
         repro_dir: None,
+        static_oracle: false,
     });
     assert_eq!(report.cases, 60);
     assert_eq!(
@@ -39,6 +40,40 @@ fn fuzz_tier_fifty_plus_schedules_match_the_oracle() {
             .join("\n")
     );
     assert_eq!(report.passed, 60);
+}
+
+#[test]
+fn static_oracle_agrees_with_the_interpreter() {
+    // Cross-check the static analyzer against the interpreter on a modest
+    // pinned budget: any case the interpreter passes but the analyzer
+    // flags (or that the lowering validation hook rejects) is a failure
+    // with a shrunk reproducer. The full ≥200-case campaign runs in CI
+    // via `verify-fuzz --static-oracle`.
+    let report = fuzz(&FuzzOptions {
+        seed: 0xC0FFEE,
+        budget: 48,
+        workloads: ALL_WORKLOADS.to_vec(),
+        repro_dir: None,
+        static_oracle: true,
+    });
+    assert_eq!(report.cases, 48);
+    assert_eq!(
+        report.static_checked, report.passed,
+        "every interpreter-passing case must be statically checked"
+    );
+    assert!(
+        report.failures.is_empty(),
+        "static/interpreter disagreements:\n{}",
+        report
+            .failures
+            .iter()
+            .map(|f| format!(
+                "  {} seed {}: {} — shrunk to {:?}",
+                f.workload, f.seed, f.failure, f.shrunk
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 }
 
 #[test]
