@@ -1,60 +1,270 @@
-//! Tuning-log database (Fig. 11's "log" / "database" box): JSON-lines
-//! records of measured configurations, keyed by task name, mirroring
-//! upstream TVM's autotvm log format.
+//! Tuning-log database (Fig. 11's "log" / "database" box) and its
+//! crash-safe journal.
+//!
+//! Records are JSON lines keyed by task name, mirroring upstream TVM's
+//! autotvm log format, extended for durability:
+//!
+//! * every record carries a **CRC32 checksum** over a canonical encoding
+//!   of its payload, so torn writes and bit rot are detected;
+//! * every trial carries its **1-based trial number** within its task,
+//!   so replayed/duplicated records are detected;
+//! * [`Database::load`] never aborts on corrupt input: it recovers the
+//!   valid records and a [`RecoveryReport`] says exactly what was
+//!   dropped (truncated tail, garbage bytes, checksum mismatches,
+//!   duplicates);
+//! * [`Journal`] is the append-only write path: each record is flushed
+//!   at a line boundary, opening a journal truncates a torn tail back to
+//!   the last valid record, and [`Journal::compact`] rewrites the file
+//!   atomically (temp file + rename).
+//!
+//! A tuning run journaled through [`crate::tuner::tune_with`] can
+//! therefore be killed at any record boundary and resumed to the
+//! identical final best configuration.
 
-use std::io::{BufRead, Write};
-use std::path::Path;
+use std::collections::HashMap;
+use std::io::{Read, Seek, Write};
+use std::path::{Path, PathBuf};
 
 use tvm_json::Value;
 
 use crate::config::ConfigEntity;
 use crate::tuner::TuneResult;
 
+/// CRC32 (IEEE polynomial, bitwise) — the record checksum.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
 /// One persisted measurement.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DbRecord {
     /// Task name (workload + target).
     pub task: String,
+    /// 1-based trial number within the task (0 in legacy logs).
+    pub trial: u64,
     /// Config index within the task's space.
     pub config_index: u64,
     /// Human-readable knob values.
     pub config: String,
-    /// Measured milliseconds.
+    /// Measured milliseconds (`f64::INFINITY` for invalid configs).
     pub cost_ms: f64,
 }
 
+/// Canonical payload encoding the checksum covers. The cost uses its
+/// exact bit pattern so the check is byte-stable across serialization.
+fn trial_canonical(
+    task: &str,
+    trial: u64,
+    config_index: u64,
+    config: &str,
+    cost_ms: f64,
+) -> String {
+    format!(
+        "trial|{trial}|{task}|{config_index}|{config}|{:016x}",
+        cost_ms.to_bits()
+    )
+}
+
+fn meta_canonical(task: &str, seed: u64) -> String {
+    format!("meta|{task}|{seed}")
+}
+
+/// JSON for a possibly non-finite cost (JSON itself has no `inf`).
+fn cost_to_value(cost_ms: f64) -> Value {
+    if cost_ms.is_finite() {
+        Value::Float(cost_ms)
+    } else if cost_ms == f64::INFINITY {
+        Value::Str("inf".into())
+    } else if cost_ms == f64::NEG_INFINITY {
+        Value::Str("-inf".into())
+    } else {
+        Value::Str("nan".into())
+    }
+}
+
+fn cost_from_value(v: &Value) -> Option<f64> {
+    if let Some(f) = v.as_f64() {
+        return Some(f);
+    }
+    match v.as_str() {
+        Some("inf") => Some(f64::INFINITY),
+        Some("-inf") => Some(f64::NEG_INFINITY),
+        Some("nan") => Some(f64::NAN),
+        _ => None,
+    }
+}
+
+/// Why a journal line was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LineError {
+    /// Not valid JSON, or missing/ill-typed fields.
+    Malformed(String),
+    /// Parsed fine but the stored checksum disagrees with the payload.
+    Checksum,
+}
+
+/// One parsed journal line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JournalLine {
+    /// Blank (kept, carries no data).
+    Blank,
+    /// Run metadata: task + tuner seed.
+    Meta {
+        /// Task name.
+        task: String,
+        /// Tuner RNG seed the journaled run used.
+        seed: u64,
+    },
+    /// A measured trial.
+    Trial(DbRecord),
+}
+
+impl JournalLine {
+    /// Parses and checksum-verifies one journal line.
+    pub fn parse(line: &str) -> Result<JournalLine, LineError> {
+        if line.trim().is_empty() {
+            return Ok(JournalLine::Blank);
+        }
+        let v = tvm_json::from_str(line).map_err(|e| LineError::Malformed(e.to_string()))?;
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| LineError::Malformed(format!("missing field `{k}`")))
+        };
+        let stored_crc = match v.get("crc") {
+            Some(c) => Some(
+                c.as_i64()
+                    .ok_or_else(|| LineError::Malformed("crc must be an integer".into()))?
+                    as u32,
+            ),
+            None => None,
+        };
+        if v.get("kind").and_then(|k| k.as_str()) == Some("meta") {
+            let task = field("task")?
+                .as_str()
+                .ok_or_else(|| LineError::Malformed("task must be a string".into()))?
+                .to_string();
+            let seed = field("seed")?
+                .as_i64()
+                .ok_or_else(|| LineError::Malformed("seed must be an integer".into()))?
+                as u64;
+            if let Some(crc) = stored_crc {
+                if crc != crc32(meta_canonical(&task, seed).as_bytes()) {
+                    return Err(LineError::Checksum);
+                }
+            }
+            return Ok(JournalLine::Meta { task, seed });
+        }
+        let task = field("task")?
+            .as_str()
+            .ok_or_else(|| LineError::Malformed("task must be a string".into()))?
+            .to_string();
+        let trial = match v.get("trial") {
+            Some(t) => t
+                .as_i64()
+                .ok_or_else(|| LineError::Malformed("trial must be an integer".into()))?
+                as u64,
+            None => 0, // legacy record without trial numbering
+        };
+        let config_index = field("config_index")?
+            .as_i64()
+            .ok_or_else(|| LineError::Malformed("config_index must be an integer".into()))?
+            as u64;
+        let config = field("config")?
+            .as_str()
+            .ok_or_else(|| LineError::Malformed("config must be a string".into()))?
+            .to_string();
+        let cost_ms = cost_from_value(field("cost_ms")?)
+            .ok_or_else(|| LineError::Malformed("cost_ms must be a number".into()))?;
+        if let Some(crc) = stored_crc {
+            if crc
+                != crc32(trial_canonical(&task, trial, config_index, &config, cost_ms).as_bytes())
+            {
+                return Err(LineError::Checksum);
+            }
+        }
+        Ok(JournalLine::Trial(DbRecord {
+            task,
+            trial,
+            config_index,
+            config,
+            cost_ms,
+        }))
+    }
+}
+
 impl DbRecord {
-    /// Compact JSON form (one log line).
+    /// Compact JSON form (one checksummed log line).
     pub fn to_json(&self) -> String {
+        let crc = crc32(
+            trial_canonical(
+                &self.task,
+                self.trial,
+                self.config_index,
+                &self.config,
+                self.cost_ms,
+            )
+            .as_bytes(),
+        );
         Value::object([
             ("task", Value::from(self.task.clone())),
+            ("trial", Value::from(self.trial)),
             ("config_index", Value::from(self.config_index)),
             ("config", Value::from(self.config.clone())),
-            ("cost_ms", Value::from(self.cost_ms)),
+            ("cost_ms", cost_to_value(self.cost_ms)),
+            ("crc", Value::Int(crc as i64)),
         ])
         .to_string()
     }
 
-    /// Parses one log line.
+    /// Parses one log line (legacy API; see [`JournalLine::parse`]).
     pub fn from_json(line: &str) -> Result<DbRecord, String> {
-        let v = tvm_json::from_str(line).map_err(|e| e.to_string())?;
-        let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field `{k}`"));
-        Ok(DbRecord {
-            task: field("task")?
-                .as_str()
-                .ok_or("task must be a string")?
-                .to_string(),
-            config_index: field("config_index")?
-                .as_i64()
-                .ok_or("config_index must be an integer")? as u64,
-            config: field("config")?
-                .as_str()
-                .ok_or("config must be a string")?
-                .to_string(),
-            cost_ms: field("cost_ms")?
-                .as_f64()
-                .ok_or("cost_ms must be a number")?,
-        })
+        match JournalLine::parse(line) {
+            Ok(JournalLine::Trial(r)) => Ok(r),
+            Ok(JournalLine::Meta { .. }) => Err("meta record, not a trial".into()),
+            Ok(JournalLine::Blank) => Err("blank line".into()),
+            Err(LineError::Checksum) => Err("checksum mismatch".into()),
+            Err(LineError::Malformed(e)) => Err(e),
+        }
+    }
+}
+
+/// What `load` recovered and what it had to drop.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Valid records kept.
+    pub kept: usize,
+    /// Partial final line dropped (torn append).
+    pub dropped_truncated: usize,
+    /// Unparseable interior lines dropped.
+    pub dropped_corrupt: usize,
+    /// Lines whose checksum disagreed with their payload.
+    pub dropped_checksum: usize,
+    /// Records whose (task, trial) pair was already present.
+    pub dropped_duplicates: usize,
+    /// Human-readable notes, one per dropped line.
+    pub notes: Vec<String>,
+}
+
+impl RecoveryReport {
+    /// Total dropped lines.
+    pub fn dropped(&self) -> usize {
+        self.dropped_truncated
+            + self.dropped_corrupt
+            + self.dropped_checksum
+            + self.dropped_duplicates
+    }
+
+    /// True when nothing was dropped.
+    pub fn clean(&self) -> bool {
+        self.dropped() == 0
     }
 }
 
@@ -71,10 +281,21 @@ impl Database {
         Database::default()
     }
 
-    /// Appends one record.
+    fn next_trial(&self, task: &str) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.task == task)
+            .map(|r| r.trial)
+            .max()
+            .unwrap_or(0)
+            + 1
+    }
+
+    /// Appends one record (trial number assigned automatically).
     pub fn add(&mut self, task: &str, cfg: &ConfigEntity, cost_ms: f64) {
         self.records.push(DbRecord {
             task: task.to_string(),
+            trial: self.next_trial(task),
             config_index: cfg.index,
             config: cfg.summary(),
             cost_ms,
@@ -91,37 +312,287 @@ impl Database {
         }
     }
 
-    /// Best record for a task, if any.
+    /// Best (finite) record for a task, if any.
     pub fn best(&self, task: &str) -> Option<&DbRecord> {
         self.records
             .iter()
-            .filter(|r| r.task == task)
+            .filter(|r| r.task == task && r.cost_ms.is_finite())
             .min_by(|a, b| a.cost_ms.total_cmp(&b.cost_ms))
     }
 
-    /// Serializes as JSON lines.
+    /// Serializes as checksummed JSON lines, atomically (temp + rename):
+    /// a crash mid-save leaves either the old file or the new one, never
+    /// a half-written mix.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        let mut f = std::fs::File::create(path)?;
-        for r in &self.records {
-            writeln!(f, "{}", r.to_json())?;
+        let tmp = tmp_path(path);
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            for r in &self.records {
+                writeln!(f, "{}", r.to_json())?;
+            }
+            f.sync_all()?;
         }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads JSON lines, recovering from corruption (see
+    /// [`Database::load_with_report`] for the drop accounting).
+    pub fn load(path: &Path) -> std::io::Result<Database> {
+        Ok(Self::load_with_report(path)?.0)
+    }
+
+    /// Loads JSON lines; corrupt, torn, checksum-failing and duplicate
+    /// lines are dropped (not fatal) and itemized in the report.
+    pub fn load_with_report(path: &Path) -> std::io::Result<(Database, RecoveryReport)> {
+        let scan = scan_journal(path)?;
+        Ok((scan.db, scan.report))
+    }
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Everything one pass over a journal file yields.
+struct JournalScan {
+    db: Database,
+    metas: Vec<(String, u64)>,
+    report: RecoveryReport,
+    /// Byte offset after the last valid line; the file tail beyond it is
+    /// entirely invalid (torn) when `tail_torn` is set.
+    valid_end: u64,
+    tail_torn: bool,
+}
+
+fn scan_journal(path: &Path) -> std::io::Result<JournalScan> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    let mut db = Database::new();
+    let mut metas: Vec<(String, u64)> = Vec::new();
+    let mut report = RecoveryReport::default();
+    let mut seen: HashMap<(String, u64), ()> = HashMap::new();
+    // Per-task running count for legacy records without trial numbers.
+    let mut legacy_counts: HashMap<String, u64> = HashMap::new();
+    let mut valid_end = 0u64;
+    let mut tail_torn = false;
+    let mut offset = 0usize;
+    let mut lineno = 0usize;
+    while offset < bytes.len() {
+        lineno += 1;
+        let nl = bytes[offset..].iter().position(|&b| b == b'\n');
+        let (end, complete) = match nl {
+            Some(i) => (offset + i + 1, true),
+            None => (bytes.len(), false),
+        };
+        let raw = &bytes[offset..end];
+        let text = String::from_utf8_lossy(raw);
+        let line = text.trim_end_matches('\n');
+        let mut good = false;
+        match JournalLine::parse(line) {
+            Ok(JournalLine::Blank) => good = true,
+            Ok(JournalLine::Meta { task, seed }) => {
+                good = true;
+                if !metas.iter().any(|(t, _)| *t == task) {
+                    metas.push((task, seed));
+                }
+            }
+            Ok(JournalLine::Trial(mut rec)) => {
+                if rec.trial == 0 {
+                    let c = legacy_counts.entry(rec.task.clone()).or_insert(0);
+                    *c += 1;
+                    rec.trial = *c;
+                }
+                if seen.insert((rec.task.clone(), rec.trial), ()).is_some() {
+                    report.dropped_duplicates += 1;
+                    report.notes.push(format!(
+                        "line {lineno}: duplicate record (task `{}`, trial {})",
+                        rec.task, rec.trial
+                    ));
+                    // A format-valid duplicate still extends the valid
+                    // prefix (compaction removes it; truncation must not).
+                    good = true;
+                } else {
+                    good = true;
+                    report.kept += 1;
+                    db.records.push(rec);
+                }
+            }
+            Err(LineError::Checksum) => {
+                report.dropped_checksum += 1;
+                report
+                    .notes
+                    .push(format!("line {lineno}: checksum mismatch"));
+            }
+            Err(LineError::Malformed(e)) => {
+                if !complete {
+                    report.dropped_truncated += 1;
+                    report
+                        .notes
+                        .push(format!("line {lineno}: truncated final line ({e})"));
+                } else {
+                    report.dropped_corrupt += 1;
+                    report.notes.push(format!("line {lineno}: {e}"));
+                }
+            }
+        }
+        if good {
+            if tail_torn {
+                // Valid data after an invalid run: the damage was
+                // interior, not a torn tail.
+                tail_torn = false;
+            }
+            valid_end = end as u64;
+        } else {
+            tail_torn = true;
+        }
+        offset = end;
+    }
+    // Count kept records that were dup-checked but not "kept" above: the
+    // `kept` counter tracks stored trials; metas/blanks are not records.
+    Ok(JournalScan {
+        db,
+        metas,
+        report,
+        valid_end,
+        tail_torn,
+    })
+}
+
+/// Append-only crash-safe tuning journal.
+///
+/// Line format: one checksummed JSON record per line (see [`DbRecord`]),
+/// plus `{"kind":"meta",...}` run-metadata lines. Appends flush at line
+/// boundaries; recovery on open truncates a torn tail back to the last
+/// valid record; compaction rewrites atomically via temp-file + rename.
+pub struct Journal {
+    path: PathBuf,
+    file: std::fs::File,
+    /// Recovered + appended records.
+    pub db: Database,
+    metas: Vec<(String, u64)>,
+}
+
+impl Journal {
+    /// Creates a fresh (truncated) journal.
+    pub fn create(path: &Path) -> std::io::Result<Journal> {
+        let file = std::fs::File::create(path)?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file,
+            db: Database::new(),
+            metas: Vec::new(),
+        })
+    }
+
+    /// Opens (or creates) a journal, recovering valid records and
+    /// truncating any torn tail so subsequent appends land on a clean
+    /// record boundary.
+    pub fn open(path: &Path) -> std::io::Result<(Journal, RecoveryReport)> {
+        if !path.exists() {
+            return Ok((Self::create(path)?, RecoveryReport::default()));
+        }
+        let scan = scan_journal(path)?;
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)?;
+        if scan.tail_torn {
+            file.set_len(scan.valid_end)?;
+        }
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok((
+            Journal {
+                path: path.to_path_buf(),
+                file,
+                db: scan.db,
+                metas: scan.metas,
+            },
+            scan.report,
+        ))
+    }
+
+    /// Journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and flushes it to the OS at a line boundary.
+    pub fn append(&mut self, rec: DbRecord) -> std::io::Result<()> {
+        writeln!(self.file, "{}", rec.to_json())?;
+        self.file.flush()?;
+        self.db.records.push(rec);
         Ok(())
     }
 
-    /// Loads JSON lines.
-    pub fn load(path: &Path) -> std::io::Result<Database> {
-        let f = std::fs::File::open(path)?;
-        let mut db = Database::new();
-        for line in std::io::BufReader::new(f).lines() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            let rec = DbRecord::from_json(&line)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-            db.records.push(rec);
+    /// Records run metadata for a task (first writer wins).
+    pub fn append_meta(&mut self, task: &str, seed: u64) -> std::io::Result<()> {
+        if self.meta_seed(task).is_some() {
+            return Ok(());
         }
-        Ok(db)
+        let crc = crc32(meta_canonical(task, seed).as_bytes());
+        let line = Value::object([
+            ("kind", Value::Str("meta".into())),
+            ("task", Value::from(task.to_string())),
+            ("seed", Value::from(seed)),
+            ("crc", Value::Int(crc as i64)),
+        ])
+        .to_string();
+        writeln!(self.file, "{line}")?;
+        self.file.flush()?;
+        self.metas.push((task.to_string(), seed));
+        Ok(())
+    }
+
+    /// The journaled tuner seed for a task, if any.
+    pub fn meta_seed(&self, task: &str) -> Option<u64> {
+        self.metas.iter().find(|(t, _)| t == task).map(|&(_, s)| s)
+    }
+
+    /// Trials recorded for a task, in trial order.
+    pub fn trials_for(&self, task: &str) -> Vec<&DbRecord> {
+        let mut v: Vec<&DbRecord> = self.db.records.iter().filter(|r| r.task == task).collect();
+        v.sort_by_key(|r| r.trial);
+        v
+    }
+
+    /// Forces journal contents to stable storage.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Rewrites the journal atomically with only valid, deduplicated
+    /// content (metas first, then records in order). A crash during
+    /// compaction leaves the old journal intact.
+    pub fn compact(&mut self) -> std::io::Result<()> {
+        let tmp = tmp_path(&self.path);
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            for (task, seed) in &self.metas {
+                let crc = crc32(meta_canonical(task, *seed).as_bytes());
+                let line = Value::object([
+                    ("kind", Value::Str("meta".into())),
+                    ("task", Value::from(task.clone())),
+                    ("seed", Value::from(*seed)),
+                    ("crc", Value::Int(crc as i64)),
+                ])
+                .to_string();
+                writeln!(f, "{line}")?;
+            }
+            for r in &self.db.records {
+                writeln!(f, "{}", r.to_json())?;
+            }
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)?;
+        file.seek(std::io::SeekFrom::End(0))?;
+        self.file = file;
+        Ok(())
     }
 }
 
@@ -155,6 +626,61 @@ mod tests {
         assert_eq!(loaded.records.len(), 1);
         assert_eq!(loaded.records[0].cost_ms, 2.25);
         assert_eq!(loaded.records[0].config, "k=8");
+        assert_eq!(loaded.records[0].trial, 1);
         let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn trial_numbers_count_per_task() {
+        let mut space = ConfigSpace::new();
+        space.define_knob("k", &[4, 8]);
+        let mut db = Database::new();
+        db.add("a", &space.get(0), 1.0);
+        db.add("b", &space.get(0), 1.0);
+        db.add("a", &space.get(1), 2.0);
+        let trials: Vec<u64> = db.records.iter().map(|r| r.trial).collect();
+        assert_eq!(trials, vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn infinite_costs_round_trip() {
+        let rec = DbRecord {
+            task: "t".into(),
+            trial: 1,
+            config_index: 3,
+            config: "k=1".into(),
+            cost_ms: f64::INFINITY,
+        };
+        let line = rec.to_json();
+        let back = DbRecord::from_json(&line).expect("parses");
+        assert_eq!(back.cost_ms, f64::INFINITY);
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn checksum_detects_payload_tampering() {
+        let rec = DbRecord {
+            task: "t".into(),
+            trial: 1,
+            config_index: 3,
+            config: "k=1".into(),
+            cost_ms: 2.5,
+        };
+        let line = rec.to_json();
+        assert!(DbRecord::from_json(&line).is_ok());
+        let tampered = line.replace("2.5", "9.5");
+        assert_eq!(
+            JournalLine::parse(&tampered),
+            Err(LineError::Checksum),
+            "{tampered}"
+        );
+    }
+
+    #[test]
+    fn legacy_lines_without_checksum_still_load() {
+        let legacy = r#"{"task": "t", "config_index": 2, "config": "k=8", "cost_ms": 1.5}"#;
+        let rec = DbRecord::from_json(legacy).expect("legacy parse");
+        assert_eq!(rec.cost_ms, 1.5);
+        assert_eq!(rec.trial, 0, "legacy records carry no trial number");
     }
 }

@@ -10,9 +10,11 @@
 //! * [`tuner`] — parallel simulated-annealing explorer guided by the cost
 //!   model, plus the random-search and genetic-algorithm baselines of
 //!   Fig. 12 (§5.3);
-//! * [`pool`] — the RPC device-pool protocol against simulated devices
-//!   (§5.4);
-//! * [`db`] — JSON-lines tuning logs.
+//! * [`pool`] — the RPC device-pool protocol against simulated devices,
+//!   with fault-tolerant scheduling (timeouts, retries, quarantine,
+//!   replica verification) under injected chaos (§5.4);
+//! * [`db`] — JSON-lines tuning logs backed by a crash-safe,
+//!   checksummed append-only journal.
 
 pub mod config;
 pub mod db;
@@ -23,11 +25,12 @@ pub mod pool;
 pub mod tuner;
 
 pub use config::{ConfigEntity, ConfigSpace, Knob};
-pub use db::{Database, DbRecord};
+pub use db::{Database, DbRecord, Journal, RecoveryReport};
 pub use features::{extract, extract_analysis, FeatureCache, FEATURE_LEN};
 pub use gbt::{fit, pairwise_accuracy, Gbt, GbtParams, Objective};
 pub use mlp::{fit_mlp, Mlp, MlpParams};
-pub use pool::{RpcMsg, Tracker};
+pub use pool::{DeviceHealth, JobOutcome, MeasureError, PoolStats, RetryPolicy, RpcMsg, Tracker};
 pub use tuner::{
-    tune, TemplateBuilder, TrialRecord, TuneOptions, TuneResult, TuneStats, TunerKind, TuningTask,
+    tune, tune_with, TemplateBuilder, TrialRecord, TuneOptions, TuneResult, TuneStats, TunerKind,
+    TuningTask,
 };

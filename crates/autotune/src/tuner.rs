@@ -33,8 +33,10 @@ use tvm_sim::{estimate_with, SimOptions, Target};
 use tvm_te::TeError;
 
 use crate::config::{ConfigEntity, ConfigSpace};
+use crate::db::{DbRecord, Journal};
 use crate::features::FeatureCache;
 use crate::gbt::{fit, Gbt, GbtParams, Objective};
+use crate::pool::{DeviceHealth, PoolStats, Tracker};
 
 /// Template callback: lowers one configuration, or rejects it with an
 /// error. `Send + Sync` so measurement workers can lower configs
@@ -142,6 +144,11 @@ pub struct TuneStats {
     /// Config lookups served (measurements + explorer scorings); lookups
     /// minus lowerings = memo-cache hits.
     pub lookups: usize,
+    /// Retry/quarantine/fault counters from the device pool (zeros when
+    /// the run measured without a pool).
+    pub pool: PoolStats,
+    /// Per-device health at the end of the run (empty without a pool).
+    pub device_health: Vec<DeviceHealth>,
 }
 
 /// Result of a tuning run.
@@ -195,6 +202,11 @@ struct MeasureCache<'a> {
     lowerings: AtomicUsize,
     simulations: AtomicUsize,
     lookups: AtomicUsize,
+    /// When set, measurements dispatch through the fault-tolerant device
+    /// pool instead of a direct simulator call. Only the serial batch
+    /// path locks it, so contention is nil; the mutex exists to keep the
+    /// cache `Sync` for the annealing workers.
+    pool: Option<Mutex<&'a mut Tracker>>,
 }
 
 impl<'a> MeasureCache<'a> {
@@ -206,7 +218,16 @@ impl<'a> MeasureCache<'a> {
             lowerings: AtomicUsize::new(0),
             simulations: AtomicUsize::new(0),
             lookups: AtomicUsize::new(0),
+            pool: None,
         }
+    }
+
+    /// Pre-loads the measured cost of a config (journal replay on
+    /// resume); first writer wins, so replay never overwrites a live
+    /// measurement.
+    fn preload_cost(&self, idx: u64, cost: f64) {
+        let slot = self.slot(idx);
+        let _ = slot.cost.get_or_init(|| cost);
     }
 
     fn slot(&self, idx: u64) -> Arc<CacheSlot> {
@@ -249,29 +270,172 @@ impl<'a> MeasureCache<'a> {
             lowerings: self.lowerings.load(Ordering::Relaxed),
             simulations: self.simulations.load(Ordering::Relaxed),
             lookups: self.lookups.load(Ordering::Relaxed),
+            ..TuneStats::default()
         }
     }
 }
 
 /// Measures a proposed batch on the rayon workers; results come back in
 /// proposal order, so the recorded history is thread-count independent.
+///
+/// With a device pool attached, unmeasured configs are dispatched as one
+/// batch through [`Tracker::run_batch_detailed`] — retries, quarantine
+/// and replica verification included — and permanently failed jobs (all
+/// devices dead, retries exhausted) record as `INFINITY` rather than
+/// aborting the run.
 fn measure_batch(cache: &MeasureCache, batch: &[u64]) -> Vec<(f64, Option<Arc<Vec<f64>>>)> {
-    batch.par_iter().map(|&idx| cache.measure(idx)).collect()
+    let Some(pool) = &cache.pool else {
+        return batch.par_iter().map(|&idx| cache.measure(idx)).collect();
+    };
+    // Lower (and feature-extract) everything in parallel; memoized.
+    let lowered: Vec<Lowered> = batch.par_iter().map(|&idx| cache.lowered(idx)).collect();
+    // Queue each distinct not-yet-measured valid config once, in batch
+    // order (the pool's dispatch order is part of the deterministic
+    // transcript).
+    let mut queued: HashSet<u64> = HashSet::new();
+    let mut jobs: Vec<u64> = Vec::new();
+    let mut funcs: Vec<Arc<LoweredFunc>> = Vec::new();
+    for (&idx, low) in batch.iter().zip(&lowered) {
+        let slot = cache.slot(idx);
+        if slot.cost.get().is_some() || !queued.insert(idx) {
+            continue;
+        }
+        match low {
+            Some((f, _)) => {
+                jobs.push(idx);
+                funcs.push(Arc::clone(f));
+            }
+            None => {
+                let _ = slot.cost.get_or_init(|| f64::INFINITY);
+            }
+        }
+    }
+    if !jobs.is_empty() {
+        let refs: Vec<&LoweredFunc> = funcs.iter().map(|f| f.as_ref()).collect();
+        let outcomes = {
+            let mut tracker = pool.lock().expect("pool lock");
+            tracker.run_batch_detailed(cache.task.target.name(), &refs)
+        };
+        for (&idx, outcome) in jobs.iter().zip(&outcomes) {
+            let cost = *outcome.ms.as_ref().unwrap_or(&f64::INFINITY);
+            let slot = cache.slot(idx);
+            let _ = slot.cost.get_or_init(|| {
+                cache.simulations.fetch_add(1, Ordering::Relaxed);
+                cost
+            });
+        }
+    }
+    batch
+        .iter()
+        .zip(lowered)
+        .map(|(&idx, low)| {
+            let cost = *cache
+                .slot(idx)
+                .cost
+                .get()
+                .expect("batch config measured or preloaded");
+            (cost, low.map(|(_, feats)| feats))
+        })
+        .collect()
 }
 
-/// Runs the optimizer on a task.
+/// Runs the optimizer on a task (direct simulator measurement, no pool,
+/// no journal).
 pub fn tune(task: &TuningTask, opts: &TuneOptions, kind: TunerKind) -> TuneResult {
+    tune_with(task, opts, kind, None, None).expect("tuning without a journal cannot fail on io")
+}
+
+/// Runs the optimizer with optional fault-tolerant measurement and
+/// crash-safe journaling.
+///
+/// * `pool` — dispatch measurements through a health-aware device
+///   [`Tracker`] (retries, quarantine, replica verification); its
+///   retry/fault counters and per-device health land in
+///   [`TuneStats::pool`] / [`TuneStats::device_health`].
+/// * `journal` — append every trial to a crash-safe [`Journal`] as it
+///   completes. When the journal already holds trials for this task
+///   (a previous run was killed), their costs are replayed into the
+///   measurement cache and the run resumes: the deterministic explorer
+///   re-derives the same proposals, replayed trials cost nothing, and
+///   only new trials are measured and appended. Errors if the journal
+///   was written under a different seed (resuming it would silently
+///   diverge).
+///
+/// The result is bit-for-bit identical to the equivalent uninterrupted
+/// [`tune`] run at any worker count, as long as every pooled job
+/// eventually succeeds (the fault-tolerance guarantee the chaos tier
+/// asserts).
+pub fn tune_with(
+    task: &TuningTask,
+    opts: &TuneOptions,
+    kind: TunerKind,
+    pool: Option<&mut Tracker>,
+    journal: Option<&mut Journal>,
+) -> std::io::Result<TuneResult> {
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    let cache = MeasureCache::new(task);
+    let mut cache = MeasureCache::new(task);
+    let pool_before: Option<PoolStats> = pool.as_ref().map(|t| t.pool_stats().clone());
+    cache.pool = pool.map(Mutex::new);
+
+    // Declared before `h`: the journal sink inside `h` borrows this cell,
+    // so it must outlive the history.
+    let journal_err: std::cell::RefCell<Option<std::io::Error>> = std::cell::RefCell::new(None);
+    let mut h = History::new();
+    if let Some(j) = journal {
+        if let Some(seed) = j.meta_seed(&task.name) {
+            if seed != opts.seed {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "journal for task `{}` was written with seed {seed}, not {}",
+                        task.name, opts.seed
+                    ),
+                ));
+            }
+        }
+        j.append_meta(&task.name, opts.seed)?;
+        let prior = j.trials_for(&task.name);
+        h.skip = prior.len();
+        for rec in prior {
+            cache.preload_cost(rec.config_index, rec.cost_ms);
+        }
+        let name = task.name.clone();
+        let err = &journal_err;
+        h.sink = Some(Box::new(move |trial, cfg: &ConfigEntity, cost| {
+            if err.borrow().is_some() {
+                return;
+            }
+            let rec = DbRecord {
+                task: name.clone(),
+                trial: trial as u64,
+                config_index: cfg.index,
+                config: cfg.summary(),
+                cost_ms: cost,
+            };
+            if let Err(e) = j.append(rec) {
+                *err.borrow_mut() = Some(e);
+            }
+        }));
+    }
+
     let mut result = match kind {
-        TunerKind::Random => tune_random(task, &cache, opts, &mut rng),
-        TunerKind::Genetic => tune_genetic(task, &cache, opts, &mut rng),
-        TunerKind::GbtRank => tune_ml(task, &cache, opts, Objective::Rank, &mut rng),
-        TunerKind::GbtReg => tune_ml(task, &cache, opts, Objective::Regression, &mut rng),
-        TunerKind::Predefined => tune_predefined(task, &cache, opts, &mut rng),
+        TunerKind::Random => tune_random(task, &cache, opts, &mut rng, h),
+        TunerKind::Genetic => tune_genetic(task, &cache, opts, &mut rng, h),
+        TunerKind::GbtRank => tune_ml(task, &cache, opts, Objective::Rank, &mut rng, h),
+        TunerKind::GbtReg => tune_ml(task, &cache, opts, Objective::Regression, &mut rng, h),
+        TunerKind::Predefined => tune_predefined(task, &cache, opts, &mut rng, h),
     };
+    if let Some(e) = journal_err.borrow_mut().take() {
+        return Err(e);
+    }
     result.stats = cache.stats();
-    result
+    if let Some(m) = cache.pool.take() {
+        let tracker: &mut Tracker = m.into_inner().expect("pool lock");
+        let before = pool_before.unwrap_or_default();
+        result.stats.pool = tracker.pool_stats().minus(&before);
+        result.stats.device_health = tracker.health();
+    }
+    Ok(result)
 }
 
 /// Static heuristic score (higher = predicted faster): rewards SIMD-able
@@ -319,11 +483,11 @@ fn tune_predefined(
     cache: &MeasureCache,
     opts: &TuneOptions,
     rng: &mut StdRng,
+    mut h: History<'_>,
 ) -> TuneResult {
     // Score a sizeable random sample with the static model, then measure
     // only the predicted-best configurations. Sampling is serial (RNG),
     // lowering + scoring run on the workers.
-    let mut h = History::new();
     let sample = (opts.n_trials * 8).max(64);
     let sample_idx: Vec<u64> = (0..sample).map(|_| task.space.random_index(rng)).collect();
     let mut scored: Vec<(u64, f64)> = sample_idx
@@ -345,26 +509,37 @@ fn tune_predefined(
     }
     while h.records.len() < opts.n_trials {
         let idx = task.space.random_index(rng);
-        let (cost, _) = cache.measure(idx);
+        let (cost, _) = measure_batch(cache, &[idx])[0].clone();
         h.push(&task.space.get(idx), cost);
     }
     h.finish()
 }
 
-struct History {
+/// Per-trial observer: `(trial, config, cost)` for every trial past the
+/// journal-replay prefix. Used to append to the crash-safe journal as
+/// trials complete (not at the end of the run).
+type TrialSink<'s> = Box<dyn FnMut(usize, &ConfigEntity, f64) + 's>;
+
+struct History<'s> {
     records: Vec<TrialRecord>,
     best_ms: f64,
     best_config: Option<ConfigEntity>,
     best_curve: Vec<f64>,
+    /// Trials already journaled by a previous (killed) run; the sink is
+    /// not called for them, so resume never duplicates journal lines.
+    skip: usize,
+    sink: Option<TrialSink<'s>>,
 }
 
-impl History {
+impl<'s> History<'s> {
     fn new() -> Self {
         History {
             records: Vec::new(),
             best_ms: f64::INFINITY,
             best_config: None,
             best_curve: Vec::new(),
+            skip: 0,
+            sink: None,
         }
     }
 
@@ -379,6 +554,12 @@ impl History {
             cost_ms: cost,
         });
         self.best_curve.push(self.best_ms);
+        let trial = self.records.len();
+        if trial > self.skip {
+            if let Some(sink) = &mut self.sink {
+                sink(trial, cfg, cost);
+            }
+        }
     }
 
     fn finish(self) -> TuneResult {
@@ -397,8 +578,8 @@ fn tune_random(
     cache: &MeasureCache,
     opts: &TuneOptions,
     rng: &mut StdRng,
+    mut h: History<'_>,
 ) -> TuneResult {
-    let mut h = History::new();
     let mut visited = HashSet::new();
     while h.records.len() < opts.n_trials {
         // Propose a batch serially (RNG), measure it in parallel.
@@ -423,8 +604,8 @@ fn tune_genetic(
     cache: &MeasureCache,
     opts: &TuneOptions,
     rng: &mut StdRng,
+    mut h: History<'_>,
 ) -> TuneResult {
-    let mut h = History::new();
     let pop_size = opts.batch.max(8);
     // Initial population, measured as one parallel batch.
     let init: Vec<u64> = (0..pop_size.min(opts.n_trials))
@@ -506,8 +687,8 @@ fn tune_ml(
     opts: &TuneOptions,
     objective: Objective,
     rng: &mut StdRng,
+    mut h: History<'_>,
 ) -> TuneResult {
-    let mut h = History::new();
     let mut visited: HashSet<u64> = HashSet::new();
     let mut xs: Vec<Vec<f64>> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();

@@ -1,0 +1,314 @@
+//! Chaos tier: full tuning sessions under adversarial fault plans.
+//!
+//! The contract under test: with a fault-tolerant retry policy, a tuning
+//! run whose devices crash, hang, flake and lie about timings still
+//! (a) terminates, (b) loses no job, (c) converges to the *same best
+//! config and cost* as the fault-free run, and (d) stays bit-for-bit
+//! deterministic at any worker count. A run killed mid-flight resumes
+//! from its journal to the identical final result.
+
+use std::sync::Arc;
+
+use tvm_autotune::{
+    tune, tune_with, ConfigEntity, ConfigSpace, Journal, RetryPolicy, Tracker, TuneOptions,
+    TuneResult, TunerKind, TuningTask,
+};
+use tvm_ir::DType;
+use tvm_sim::{arm_a53, Fault, FaultPlan, FaultRates};
+use tvm_te::{compute, create_schedule, lower, placeholder, TeError};
+
+/// A tunable 2-D copy task (includes invalid "poison" configs so the
+/// fault machinery composes with builder rejections).
+fn chaos_task() -> TuningTask {
+    let mut space = ConfigSpace::new();
+    space.define_split("tile", 256, 64);
+    space.define_knob("vec", &[0, 1]);
+    space.define_knob("poison", &[0, 0, 0, 1]);
+    let builder = move |cfg: &ConfigEntity| -> Result<tvm_ir::LoweredFunc, TeError> {
+        if cfg.get("poison") == 1 {
+            return Err(TeError("invalid configuration".into()));
+        }
+        let n = 256i64;
+        let a = placeholder(&[n, n], DType::float32(), "A");
+        let a2 = a.clone();
+        let b = compute(&[n, n], "B", move |i| {
+            a2.at(&[i[1].clone(), i[0].clone()]) + 1
+        });
+        let mut s = create_schedule(std::slice::from_ref(&b));
+        let ax = b.op.axes();
+        let (_, wi) = s.split(&b, &ax[1], cfg.get("tile"));
+        if cfg.get("vec") == 1 {
+            s.vectorize(&b, &wi);
+        }
+        lower(&s, &[a, b], "copy_t")
+    };
+    TuningTask {
+        name: "chaos_copy".into(),
+        space,
+        builder: Arc::new(builder),
+        target: arm_a53(),
+        sim_opts: Default::default(),
+    }
+}
+
+fn fleet(n: usize) -> Tracker {
+    Tracker::new(vec![arm_a53(); n])
+}
+
+fn opts() -> TuneOptions {
+    TuneOptions {
+        n_trials: 24,
+        seed: 9,
+        ..Default::default()
+    }
+}
+
+fn history_of(r: &TuneResult) -> Vec<(u64, f64)> {
+    r.history
+        .iter()
+        .map(|t| (t.config_index, t.cost_ms))
+        .collect()
+}
+
+fn in_pool<F: FnOnce() -> T + Send, T: Send>(threads: usize, f: F) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool")
+        .install(f)
+}
+
+#[test]
+fn pooled_fault_free_measurement_matches_direct() {
+    let task = chaos_task();
+    let o = opts();
+    let direct = tune(&task, &o, TunerKind::GbtRank);
+    let mut tracker = fleet(4);
+    let pooled = tune_with(&task, &o, TunerKind::GbtRank, Some(&mut tracker), None).expect("tunes");
+    assert_eq!(history_of(&direct), history_of(&pooled));
+    assert_eq!(direct.best_ms, pooled.best_ms);
+    assert_eq!(
+        direct.best_config.as_ref().map(|c| c.index),
+        pooled.best_config.as_ref().map(|c| c.index)
+    );
+    assert_eq!(pooled.stats.pool.failed_jobs, 0);
+    assert_eq!(pooled.stats.device_health.len(), 4);
+    assert!(pooled.stats.device_health.iter().all(|h| !h.dead));
+}
+
+#[test]
+fn chaos_run_identical_across_1_2_and_8_workers() {
+    let o = opts();
+    let rates = FaultRates {
+        crash: 0.0,
+        hang: 0.05,
+        transient: 0.10,
+        noise: 0.05,
+        noise_factor: 8.0,
+    };
+    let run = |threads: usize| -> (Vec<(u64, f64)>, f64, Option<u64>, tvm_autotune::PoolStats) {
+        in_pool(threads, || {
+            let task = chaos_task();
+            let mut tracker = fleet(4);
+            tracker.set_fault_plan(FaultPlan::seeded(77, rates));
+            tracker.set_retry_policy(RetryPolicy::fault_tolerant());
+            let r =
+                tune_with(&task, &o, TunerKind::GbtRank, Some(&mut tracker), None).expect("tunes");
+            (
+                history_of(&r),
+                r.best_ms,
+                r.best_config.map(|c| c.index),
+                r.stats.pool.clone(),
+            )
+        })
+    };
+    let r1 = run(1);
+    let r2 = run(2);
+    let r8 = run(8);
+    assert_eq!(r1, r2, "1 vs 2 workers");
+    assert_eq!(r1, r8, "1 vs 8 workers");
+    assert!(
+        r1.3.retries > 0 || r1.3.remeasured_jobs > 0,
+        "the chaos plan must actually bite: {:?}",
+        r1.3
+    );
+}
+
+#[test]
+fn all_but_one_device_dead_still_converges_to_fault_free_best() {
+    let task = chaos_task();
+    let o = opts();
+    let clean = tune(&task, &o, TunerKind::GbtRank);
+
+    let mut tracker = fleet(4);
+    let mut plan = FaultPlan::none();
+    // Devices 1-3 die on their first dispatch; device 0 soldiers on.
+    plan.kill_from(1, 0).kill_from(2, 0).kill_from(3, 0);
+    tracker.set_fault_plan(plan);
+    tracker.set_retry_policy(RetryPolicy::fault_tolerant());
+    let r = tune_with(&task, &o, TunerKind::GbtRank, Some(&mut tracker), None).expect("tunes");
+
+    assert_eq!(r.history.len(), o.n_trials, "no job lost");
+    assert_eq!(history_of(&clean), history_of(&r));
+    assert_eq!(clean.best_ms, r.best_ms);
+    assert_eq!(
+        clean.best_config.as_ref().map(|c| c.index),
+        r.best_config.as_ref().map(|c| c.index)
+    );
+    // The quarantine/retry log surfaces in TuneStats.
+    assert!(r.stats.pool.crash_faults >= 3, "{:?}", r.stats.pool);
+    assert!(r.stats.pool.retries >= 3, "{:?}", r.stats.pool);
+    assert_eq!(r.stats.pool.failed_jobs, 0, "{:?}", r.stats.pool);
+    let dead = r.stats.device_health.iter().filter(|h| h.dead).count();
+    assert_eq!(dead, 3, "{:?}", r.stats.device_health);
+    assert!(!r.stats.device_health[0].dead);
+}
+
+#[test]
+fn noisy_timing_is_rejected_by_replica_verification() {
+    let task = chaos_task();
+    let o = opts();
+    let clean = tune(&task, &o, TunerKind::GbtRank);
+
+    let mut tracker = fleet(4);
+    let mut plan = FaultPlan::none();
+    // Device 0's first two answers are 8x outliers; everything else is
+    // honest, so median-of-k recovers the exact clean latency.
+    plan.inject(0, 0, Fault::Noise(8.0))
+        .inject(0, 1, Fault::Noise(8.0));
+    tracker.set_fault_plan(plan);
+    tracker.set_retry_policy(RetryPolicy::fault_tolerant());
+    let r = tune_with(&task, &o, TunerKind::GbtRank, Some(&mut tracker), None).expect("tunes");
+
+    assert_eq!(history_of(&clean), history_of(&r), "outliers filtered");
+    assert_eq!(clean.best_ms, r.best_ms);
+    assert!(
+        r.stats.pool.remeasured_jobs >= 1,
+        "disagreeing replicas escalate to median-of-k: {:?}",
+        r.stats.pool
+    );
+}
+
+#[test]
+fn killed_run_resumes_from_journal_to_identical_best() {
+    let task = chaos_task();
+    let o = opts();
+    let baseline = tune(&task, &o, TunerKind::GbtRank);
+    let dir = std::env::temp_dir();
+
+    // Full journaled run (the reference journal).
+    let full_path = dir.join("tvm_rs_chaos_full.jsonl");
+    let _ = std::fs::remove_file(&full_path);
+    let mut j = Journal::create(&full_path).expect("create");
+    let r = tune_with(&task, &o, TunerKind::GbtRank, None, Some(&mut j)).expect("tunes");
+    assert_eq!(history_of(&baseline), history_of(&r));
+    drop(j);
+    let full = std::fs::read_to_string(&full_path).expect("read");
+    let lines: Vec<&str> = full.lines().collect();
+    assert_eq!(lines.len(), 1 + o.n_trials, "meta + one line per trial");
+
+    // Kill the run at several points: a clean record boundary, and a torn
+    // write mid-record. Each must resume to the identical final result.
+    let boundary_prefix: String = lines[..8].join("\n") + "\n";
+    let torn_prefix: String = {
+        let mut s = lines[..12].join("\n") + "\n";
+        s.push_str(&lines[12][..lines[12].len() / 2]); // torn final record
+        s
+    };
+    for (name, prefix) in [("boundary", boundary_prefix), ("torn", torn_prefix)] {
+        let path = dir.join(format!("tvm_rs_chaos_kill_{name}.jsonl"));
+        std::fs::write(&path, &prefix).expect("write");
+        let (mut j, report) = Journal::open(&path).expect("open");
+        if name == "torn" {
+            assert_eq!(report.dropped_truncated, 1, "{name}: {report:?}");
+        } else {
+            assert!(report.clean(), "{name}: {report:?}");
+        }
+        let resumed =
+            tune_with(&task, &o, TunerKind::GbtRank, None, Some(&mut j)).expect("resumes");
+        assert_eq!(
+            history_of(&baseline),
+            history_of(&resumed),
+            "{name}: resumed history"
+        );
+        assert_eq!(baseline.best_ms, resumed.best_ms, "{name}");
+        assert_eq!(
+            baseline.best_config.as_ref().map(|c| c.index),
+            resumed.best_config.as_ref().map(|c| c.index),
+            "{name}"
+        );
+        drop(j);
+        // The journal healed: complete, no duplicate trials.
+        let (j2, rep2) = Journal::open(&path).expect("reopen");
+        assert!(rep2.clean(), "{name}: {rep2:?}");
+        assert_eq!(j2.trials_for(&task.name).len(), o.n_trials, "{name}");
+        let _ = std::fs::remove_file(&path);
+    }
+    let _ = std::fs::remove_file(&full_path);
+}
+
+#[test]
+fn killed_chaos_run_resumes_to_identical_best() {
+    // Kill + resume while devices are crashing and flaking: the journal
+    // replay plus deterministic retries still land on the same answer.
+    let task = chaos_task();
+    let o = opts();
+    let chaos = |tracker: &mut Tracker| {
+        let mut plan = FaultPlan::none();
+        plan.kill_from(3, 0).inject(0, 0, Fault::Transient);
+        tracker.set_fault_plan(plan);
+        tracker.set_retry_policy(RetryPolicy::fault_tolerant());
+    };
+
+    let mut t0 = fleet(4);
+    chaos(&mut t0);
+    let uninterrupted =
+        tune_with(&task, &o, TunerKind::GbtRank, Some(&mut t0), None).expect("tunes");
+
+    let path = std::env::temp_dir().join("tvm_rs_chaos_resume.jsonl");
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut j = Journal::create(&path).expect("create");
+        let mut t1 = fleet(4);
+        chaos(&mut t1);
+        let r =
+            tune_with(&task, &o, TunerKind::GbtRank, Some(&mut t1), Some(&mut j)).expect("tunes");
+        assert_eq!(history_of(&uninterrupted), history_of(&r));
+    }
+    // Keep only the meta line + first 9 trials: the "kill".
+    let full = std::fs::read_to_string(&path).expect("read");
+    let prefix: String = full.lines().take(10).collect::<Vec<_>>().join("\n") + "\n";
+    std::fs::write(&path, prefix).expect("truncate");
+
+    let (mut j, report) = Journal::open(&path).expect("open");
+    assert!(report.clean(), "{report:?}");
+    let mut t2 = fleet(4);
+    chaos(&mut t2);
+    let resumed =
+        tune_with(&task, &o, TunerKind::GbtRank, Some(&mut t2), Some(&mut j)).expect("resumes");
+    assert_eq!(uninterrupted.best_ms, resumed.best_ms);
+    assert_eq!(
+        uninterrupted.best_config.as_ref().map(|c| c.index),
+        resumed.best_config.as_ref().map(|c| c.index)
+    );
+    assert_eq!(history_of(&uninterrupted), history_of(&resumed));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resuming_under_a_different_seed_is_refused() {
+    let task = chaos_task();
+    let o = opts();
+    let path = std::env::temp_dir().join("tvm_rs_chaos_seed.jsonl");
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut j = Journal::create(&path).expect("create");
+        tune_with(&task, &o, TunerKind::GbtRank, None, Some(&mut j)).expect("tunes");
+    }
+    let (mut j, _) = Journal::open(&path).expect("open");
+    let other = TuneOptions { seed: 10, ..o };
+    let err = tune_with(&task, &other, TunerKind::GbtRank, None, Some(&mut j))
+        .expect_err("seed mismatch must not silently diverge");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let _ = std::fs::remove_file(&path);
+}

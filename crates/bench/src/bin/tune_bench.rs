@@ -17,13 +17,22 @@
 //!
 //! Writes `results/BENCH_tuning.json`. `--quick` shrinks the budget and
 //! thread set for CI.
+//!
+//! `--robustness` instead benchmarks the fault-tolerance layer: the same
+//! tuning run is repeated on a 4-device pool under escalating chaos
+//! (fault-free, flaky fleet, three dead devices) and must converge to the
+//! identical best config every time; the fleet-makespan overhead of
+//! retries/timeouts/re-measurement is recorded to
+//! `results/BENCH_robustness.json`.
 
 use std::time::Instant;
 
-use tvm_autotune::{pool::Tracker, tune, TuneOptions, TuneResult, TunerKind, TuningTask};
+use tvm_autotune::{
+    pool::Tracker, tune, tune_with, RetryPolicy, TuneOptions, TuneResult, TunerKind, TuningTask,
+};
 use tvm_ir::DType;
 use tvm_json::Value;
-use tvm_sim::titanx;
+use tvm_sim::{titanx, FaultPlan, FaultRates};
 use tvm_topi::{self as topi, DenseWorkload};
 
 struct RunRow {
@@ -166,8 +175,171 @@ fn bench_workload(
     ])
 }
 
+/// One chaos scenario for the robustness benchmark.
+struct Scenario {
+    name: &'static str,
+    plan: FaultPlan,
+}
+
+fn robustness_scenarios() -> Vec<Scenario> {
+    let mut three_dead = FaultPlan::none();
+    three_dead.kill_from(1, 0).kill_from(2, 0).kill_from(3, 0);
+    vec![
+        Scenario {
+            name: "fault_free",
+            plan: FaultPlan::none(),
+        },
+        Scenario {
+            name: "flaky_fleet",
+            plan: FaultPlan::seeded(
+                1234,
+                FaultRates {
+                    crash: 0.0,
+                    hang: 0.05,
+                    transient: 0.10,
+                    noise: 0.05,
+                    noise_factor: 8.0,
+                },
+            ),
+        },
+        Scenario {
+            name: "three_devices_dead",
+            plan: three_dead,
+        },
+    ]
+}
+
+/// Fault-tolerance overhead benchmark: identical tuning run on a 4-device
+/// pool under escalating chaos; convergence must be bit-for-bit invariant
+/// and the makespan overhead is the price of the retries.
+fn bench_robustness(quick: bool) -> bool {
+    let opts = TuneOptions {
+        n_trials: if quick { 32 } else { 64 },
+        batch: 8,
+        sa_steps: if quick { 10 } else { 40 },
+        sa_chains: if quick { 8 } else { 16 },
+        seed: 42,
+    };
+    let target = titanx();
+    let task = topi::dense_task(
+        DenseWorkload {
+            m: 64,
+            n: 512,
+            k: 512,
+            dtype: DType::float32(),
+        },
+        target,
+    );
+    println!(
+        "== robustness: dense_64x512x512, {} trials, 4 devices ==",
+        opts.n_trials
+    );
+    let mut ok = true;
+    // Fault-free reference: (trial history, best cost, fleet makespan).
+    type Baseline = (Vec<(u64, f64)>, f64, f64);
+    let mut baseline: Option<Baseline> = None;
+    let mut rows: Vec<Value> = Vec::new();
+    for sc in robustness_scenarios() {
+        let mut tracker = Tracker::new(vec![task.target.clone(); 4]);
+        tracker.set_sim_options(task.sim_opts.clone());
+        tracker.set_fault_plan(sc.plan);
+        // Timeout budget sized to the workload (sub-ms kernels): hangs
+        // charge ~50ms of device time instead of the 10s default, so the
+        // overhead column reflects scheduling cost rather than one
+        // enormous timeout constant.
+        tracker.set_retry_policy(RetryPolicy {
+            timeout_ms: 50.0,
+            ..RetryPolicy::fault_tolerant()
+        });
+        let start = Instant::now();
+        let r =
+            tune_with(&task, &opts, TunerKind::GbtRank, Some(&mut tracker), None).expect("tunes");
+        let wall_s = start.elapsed().as_secs_f64();
+        let makespan = tracker.makespan_ms();
+        let history: Vec<(u64, f64)> = r
+            .history
+            .iter()
+            .map(|h| (h.config_index, h.cost_ms))
+            .collect();
+        let mut parity = true;
+        let overhead = match &baseline {
+            None => {
+                baseline = Some((history.clone(), r.best_ms, makespan));
+                1.0
+            }
+            Some((base_hist, base_best, base_makespan)) => {
+                if history != *base_hist || r.best_ms != *base_best {
+                    parity = false;
+                    ok = false;
+                    eprintln!(
+                        "ROBUSTNESS PARITY FAILURE on {}: best {:.6} vs fault-free {:.6}",
+                        sc.name, r.best_ms, base_best
+                    );
+                }
+                makespan / base_makespan
+            }
+        };
+        if r.stats.pool.failed_jobs > 0 {
+            ok = false;
+            eprintln!(
+                "ROBUSTNESS JOB LOSS on {}: {} jobs failed permanently",
+                sc.name, r.stats.pool.failed_jobs
+            );
+        }
+        let p = &r.stats.pool;
+        let dead = r.stats.device_health.iter().filter(|h| h.dead).count();
+        println!(
+            "  {:<20} best {:.4} ms, makespan {:.1} ms ({overhead:.2}x), \
+             {} retries / {} timeouts / {} quarantines, {dead} dead",
+            sc.name, r.best_ms, makespan, p.retries, p.timeouts, p.quarantines
+        );
+        rows.push(Value::object([
+            ("scenario", Value::Str(sc.name.into())),
+            ("parity_ok", Value::Bool(parity)),
+            ("best_ms", Value::Float(r.best_ms)),
+            ("wall_s", Value::Float(wall_s)),
+            ("makespan_ms", Value::Float(makespan)),
+            ("overhead_x", Value::Float(overhead)),
+            ("attempts", Value::Int(p.attempts as i64)),
+            ("retries", Value::Int(p.retries as i64)),
+            ("timeouts", Value::Int(p.timeouts as i64)),
+            ("transient_errors", Value::Int(p.transient_errors as i64)),
+            ("crash_faults", Value::Int(p.crash_faults as i64)),
+            ("quarantines", Value::Int(p.quarantines as i64)),
+            ("readmissions", Value::Int(p.readmissions as i64)),
+            ("remeasured_jobs", Value::Int(p.remeasured_jobs as i64)),
+            ("failed_jobs", Value::Int(p.failed_jobs as i64)),
+            ("backoff_ms", Value::Float(p.backoff_ms)),
+            ("dead_devices", Value::Int(dead as i64)),
+        ]));
+    }
+    let doc = Value::object([
+        ("bench", Value::Str("fault_tolerance".into())),
+        ("quick", Value::Bool(quick)),
+        ("devices", Value::Int(4)),
+        ("trials", Value::Int(opts.n_trials as i64)),
+        ("seed", Value::Int(opts.seed as i64)),
+        ("parity_ok", Value::Bool(ok)),
+        ("scenarios", Value::Array(rows)),
+    ]);
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write(
+        "results/BENCH_robustness.json",
+        tvm_json::to_string(&doc) + "\n",
+    )
+    .expect("write results/BENCH_robustness.json");
+    println!("wrote results/BENCH_robustness.json (parity_ok = {ok})");
+    ok
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    if std::env::args().any(|a| a == "--robustness") {
+        if !bench_robustness(quick) {
+            std::process::exit(1);
+        }
+        return;
+    }
     let threads: Vec<usize> = if quick { vec![1, 2] } else { vec![1, 2, 4] };
     let opts = TuneOptions {
         n_trials: if quick { 32 } else { 64 },

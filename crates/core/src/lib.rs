@@ -14,10 +14,10 @@
 //! let module = tvm::compiler::build(&graph, &target, &Default::default()).unwrap();
 //! // Deploy.
 //! let mut m = GraphExecutor::new(module);
-//! m.set_input("data", NDArray::zeros(&[1, 4, 84, 84]));
+//! m.set_input("data", NDArray::zeros(&[1, 4, 84, 84])).unwrap();
 //! let ms = m.run().unwrap();
 //! assert!(ms > 0.0);
-//! assert_eq!(m.get_output(0).shape, vec![1, 18]);
+//! assert_eq!(m.get_output(0).unwrap().shape, vec![1, 18]);
 //! ```
 
 pub mod compiler;

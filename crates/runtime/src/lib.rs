@@ -12,6 +12,70 @@ use std::collections::HashMap;
 use tvm_graph::{Graph, MemoryPlan, NodeId, OpType};
 use tvm_ir::{Interp, LoweredFunc};
 
+/// Typed executor failures: malformed bindings and interpreter faults are
+/// recoverable `Err`s, not process aborts — a serving layer can reject one
+/// bad request and keep the executor alive.
+#[derive(Clone, Debug)]
+pub enum RuntimeError {
+    /// `set_input` named no input node.
+    UnknownInput(String),
+    /// `set_param` named no parameter node.
+    UnknownParam(String),
+    /// A bound tensor's shape disagrees with the graph node's shape.
+    ShapeMismatch {
+        /// Node name.
+        name: String,
+        /// Shape declared by the graph.
+        expected: Vec<i64>,
+        /// Shape of the tensor supplied.
+        got: Vec<i64>,
+    },
+    /// `run` found an unbound input.
+    MissingInput(String),
+    /// `get_output` index out of range.
+    BadOutputIndex {
+        /// Index requested.
+        index: usize,
+        /// Number of graph outputs.
+        outputs: usize,
+    },
+    /// `get_output` before a successful `run`.
+    NotRun(String),
+    /// The reference interpreter faulted while executing a kernel.
+    Interp(tvm_ir::InterpError),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::UnknownInput(n) => write!(f, "no input named `{n}`"),
+            RuntimeError::UnknownParam(n) => write!(f, "no param named `{n}`"),
+            RuntimeError::ShapeMismatch {
+                name,
+                expected,
+                got,
+            } => write!(
+                f,
+                "`{name}` shape mismatch: graph declares {expected:?}, tensor has {got:?}"
+            ),
+            RuntimeError::MissingInput(n) => write!(f, "missing value for `{n}` (unset input?)"),
+            RuntimeError::BadOutputIndex { index, outputs } => {
+                write!(f, "output index {index} out of range ({outputs} outputs)")
+            }
+            RuntimeError::NotRun(n) => write!(f, "output `{n}` not computed: run() first"),
+            RuntimeError::Interp(e) => write!(f, "interpreter fault: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<tvm_ir::InterpError> for RuntimeError {
+    fn from(e: tvm_ir::InterpError) -> Self {
+        RuntimeError::Interp(e)
+    }
+}
+
 /// A dense host tensor (f32).
 #[derive(Clone, Debug, PartialEq)]
 pub struct NDArray {
@@ -148,39 +212,56 @@ impl GraphExecutor {
         &self.module
     }
 
-    /// Binds an input by node name.
-    pub fn set_input(&mut self, name: &str, value: NDArray) {
+    /// Binds an input by node name; rejects unknown names and shape
+    /// mismatches.
+    pub fn set_input(&mut self, name: &str, value: NDArray) -> Result<(), RuntimeError> {
         let id = self
             .module
             .graph
             .nodes
             .iter()
             .find(|n| n.name == name && matches!(n.op, OpType::Input))
-            .unwrap_or_else(|| panic!("no input named `{name}`"))
+            .ok_or_else(|| RuntimeError::UnknownInput(name.to_string()))?
             .id;
-        assert_eq!(
-            self.module.graph.node(id).shape,
-            value.shape,
-            "input `{name}` shape mismatch"
-        );
+        let expected = &self.module.graph.node(id).shape;
+        if *expected != value.shape {
+            return Err(RuntimeError::ShapeMismatch {
+                name: name.to_string(),
+                expected: expected.clone(),
+                got: value.shape,
+            });
+        }
         self.values.insert(id, value);
+        Ok(())
     }
 
-    /// Overrides a parameter by name.
-    pub fn set_param(&mut self, name: &str, value: NDArray) {
+    /// Overrides a parameter by name; rejects unknown names and shape
+    /// mismatches.
+    pub fn set_param(&mut self, name: &str, value: NDArray) -> Result<(), RuntimeError> {
         let id = self
             .module
             .graph
             .nodes
             .iter()
             .find(|n| n.name == name && matches!(n.op, OpType::Param))
-            .unwrap_or_else(|| panic!("no param named `{name}`"))
+            .ok_or_else(|| RuntimeError::UnknownParam(name.to_string()))?
             .id;
+        let expected = &self.module.graph.node(id).shape;
+        if *expected != value.shape {
+            return Err(RuntimeError::ShapeMismatch {
+                name: name.to_string(),
+                expected: expected.clone(),
+                got: value.shape,
+            });
+        }
         self.values.insert(id, value);
+        Ok(())
     }
 
-    /// Executes the graph; returns the simulated time in ms.
-    pub fn run(&mut self) -> Result<f64, tvm_ir::InterpError> {
+    /// Executes the graph; returns the simulated time in ms. Unbound
+    /// inputs and interpreter faults come back as [`RuntimeError`]s and
+    /// leave the executor usable (bind the input and run again).
+    pub fn run(&mut self) -> Result<f64, RuntimeError> {
         let mut total = 0.0;
         for gi in 0..self.module.kernels.len() {
             let k = &self.module.kernels[gi];
@@ -191,12 +272,9 @@ impl GraphExecutor {
                     let shape = &self.module.graph.node(arg).shape;
                     bufs.push(vec![0.0; shape.iter().product::<i64>() as usize]);
                 } else {
-                    let v = self.values.get(&arg).unwrap_or_else(|| {
-                        panic!(
-                            "missing value for `{}` (unset input?)",
-                            self.module.graph.node(arg).name
-                        )
-                    });
+                    let v = self.values.get(&arg).ok_or_else(|| {
+                        RuntimeError::MissingInput(self.module.graph.node(arg).name.clone())
+                    })?;
                     bufs.push(v.data.clone());
                 }
             }
@@ -215,10 +293,18 @@ impl GraphExecutor {
         Ok(total)
     }
 
-    /// Fetches the i-th graph output.
-    pub fn get_output(&self, i: usize) -> &NDArray {
+    /// Fetches the i-th graph output (after a successful [`run`]).
+    ///
+    /// [`run`]: GraphExecutor::run
+    pub fn get_output(&self, i: usize) -> Result<&NDArray, RuntimeError> {
+        let outputs = self.module.graph.outputs.len();
+        if i >= outputs {
+            return Err(RuntimeError::BadOutputIndex { index: i, outputs });
+        }
         let id = self.module.graph.outputs[i];
-        self.values.get(&id).expect("run() before get_output()")
+        self.values
+            .get(&id)
+            .ok_or_else(|| RuntimeError::NotRun(self.module.graph.node(id).name.clone()))
     }
 }
 
@@ -239,7 +325,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "shape mismatch")]
     fn input_shape_checked() {
         // A minimal module with one input and no kernels.
         let mut g = Graph::new();
@@ -254,6 +339,19 @@ mod tests {
             target_name: "test".into(),
         };
         let mut ex = GraphExecutor::new(module);
-        ex.set_input("data", NDArray::zeros(&[2, 4]));
+        match ex.set_input("data", NDArray::zeros(&[2, 4])) {
+            Err(RuntimeError::ShapeMismatch {
+                name,
+                expected,
+                got,
+            }) => {
+                assert_eq!(name, "data");
+                assert_eq!(expected, vec![1, 4]);
+                assert_eq!(got, vec![2, 4]);
+            }
+            other => panic!("expected shape mismatch, got {other:?}"),
+        }
+        // The executor survives the rejection: a correct bind still works.
+        ex.set_input("data", NDArray::zeros(&[1, 4])).expect("ok");
     }
 }

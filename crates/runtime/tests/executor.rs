@@ -4,7 +4,7 @@
 
 use tvm_graph::{fuse, plan_memory, Graph, OpType};
 use tvm_ir::{DType, Expr, LoweredFunc, Stmt, Var};
-use tvm_runtime::{CompiledGroup, GraphExecutor, Module, NDArray};
+use tvm_runtime::{CompiledGroup, GraphExecutor, Module, NDArray, RuntimeError};
 
 /// Hand-lowers `out[i] = in[i] * k + c` as a kernel.
 fn affine_kernel(n: i64, k: f32, c: f32, name: &str) -> LoweredFunc {
@@ -70,10 +70,14 @@ fn two_stage_module() -> (Module, tvm_graph::NodeId) {
 fn kernels_chain_through_intermediates() {
     let (module, _out) = two_stage_module();
     let mut ex = GraphExecutor::new(module);
-    ex.set_input("data", NDArray::new(&[1, 4], vec![0.0, 1.0, 2.0, 3.0]));
+    ex.set_input("data", NDArray::new(&[1, 4], vec![0.0, 1.0, 2.0, 3.0]))
+        .expect("bind");
     let ms = ex.run().expect("runs");
     assert!((ms - 0.75).abs() < 1e-12, "kernel times accumulate: {ms}");
-    assert_eq!(ex.get_output(0).data, vec![3.0, 9.0, 15.0, 21.0]);
+    assert_eq!(
+        ex.get_output(0).expect("output").data,
+        vec![3.0, 9.0, 15.0, 21.0]
+    );
     assert_eq!(ex.last_run_ms, ms);
 }
 
@@ -81,12 +85,14 @@ fn kernels_chain_through_intermediates() {
 fn rerun_with_new_input_updates_output() {
     let (module, _) = two_stage_module();
     let mut ex = GraphExecutor::new(module);
-    ex.set_input("data", NDArray::new(&[1, 4], vec![1.0; 4]));
+    ex.set_input("data", NDArray::new(&[1, 4], vec![1.0; 4]))
+        .expect("bind");
     ex.run().expect("runs");
-    assert_eq!(ex.get_output(0).data, vec![9.0; 4]);
-    ex.set_input("data", NDArray::new(&[1, 4], vec![0.0; 4]));
+    assert_eq!(ex.get_output(0).expect("output").data, vec![9.0; 4]);
+    ex.set_input("data", NDArray::new(&[1, 4], vec![0.0; 4]))
+        .expect("bind");
     ex.run().expect("runs");
-    assert_eq!(ex.get_output(0).data, vec![3.0; 4]);
+    assert_eq!(ex.get_output(0).expect("output").data, vec![3.0; 4]);
 }
 
 #[test]
@@ -99,11 +105,30 @@ fn module_describe_lists_kernels() {
 }
 
 #[test]
-#[should_panic(expected = "no input named")]
-fn unknown_input_name_panics() {
+fn unknown_names_and_bad_output_are_typed_errors() {
     let (module, _) = two_stage_module();
     let mut ex = GraphExecutor::new(module);
-    ex.set_input("bogus", NDArray::zeros(&[1, 4]));
+    assert!(matches!(
+        ex.set_input("bogus", NDArray::zeros(&[1, 4])),
+        Err(RuntimeError::UnknownInput(n)) if n == "bogus"
+    ));
+    assert!(matches!(
+        ex.set_param("bogus", NDArray::zeros(&[1, 4])),
+        Err(RuntimeError::UnknownParam(n)) if n == "bogus"
+    ));
+    // Output requested before any run: typed error, not a panic.
+    assert!(matches!(ex.get_output(0), Err(RuntimeError::NotRun(_))));
+    assert!(matches!(
+        ex.get_output(7),
+        Err(RuntimeError::BadOutputIndex {
+            index: 7,
+            outputs: 1
+        })
+    ));
+    // Running with the input still unbound is recoverable too.
+    assert!(matches!(ex.run(), Err(RuntimeError::MissingInput(n)) if n == "data"));
+    ex.set_input("data", NDArray::zeros(&[1, 4])).expect("bind");
+    ex.run().expect("runs after the input is bound");
 }
 
 #[test]
@@ -149,8 +174,17 @@ fn params_are_seeded_and_overridable() {
         target_name: "test".into(),
     };
     let mut ex = GraphExecutor::new(module);
-    ex.set_input("data", NDArray::new(&[1, 2], vec![10.0, 20.0]));
-    ex.set_param("w", NDArray::new(&[1, 2], vec![1.0, 2.0]));
+    ex.set_input("data", NDArray::new(&[1, 2], vec![10.0, 20.0]))
+        .expect("bind");
+    ex.set_param("w", NDArray::new(&[1, 2], vec![1.0, 2.0]))
+        .expect("bind");
+    assert!(
+        matches!(
+            ex.set_param("w", NDArray::zeros(&[2, 2])),
+            Err(RuntimeError::ShapeMismatch { .. })
+        ),
+        "param shapes are checked too"
+    );
     ex.run().expect("runs");
-    assert_eq!(ex.get_output(0).data, vec![11.0, 22.0]);
+    assert_eq!(ex.get_output(0).expect("output").data, vec![11.0, 22.0]);
 }

@@ -1,0 +1,241 @@
+//! Deterministic fault injection for simulated devices.
+//!
+//! Real tuning fleets (the paper's §5.4 RPC pool, and its companion work
+//! on learned tensor-program optimization) see device crashes, hangs,
+//! flaky transport and noisy timers as routine events. A [`FaultPlan`]
+//! reproduces that adversity *deterministically*: every fault is a pure
+//! function of `(device, attempt)` — either an explicit injection or a
+//! seeded hash — so a chaos run replays bit-for-bit at any worker count.
+//!
+//! The plan itself is passive: it only answers "what happens to attempt
+//! `a` on device `d`?". The device-pool scheduler interprets the answer
+//! (charging timeouts, quarantining devices, retrying jobs elsewhere).
+
+use std::collections::HashMap;
+
+/// One injected device fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Fault {
+    /// The device dies: this attempt fails and the device never answers
+    /// again (the scheduler marks it dead).
+    Crash,
+    /// The run never completes; the harness observes a timeout after its
+    /// per-attempt budget elapses.
+    Hang,
+    /// The attempt fails with a retryable transport/runtime error.
+    Transient,
+    /// The attempt completes but the reported latency is multiplied by
+    /// the factor (timer noise / thermal outlier).
+    Noise(f64),
+}
+
+impl Fault {
+    /// Short stable label (logs and stats).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fault::Crash => "crash",
+            Fault::Hang => "hang",
+            Fault::Transient => "transient",
+            Fault::Noise(_) => "noise",
+        }
+    }
+}
+
+/// Per-attempt probabilities for seeded random fault generation. All in
+/// `[0, 1]`; evaluated in order crash, hang, transient, noise against one
+/// uniform draw, so the sum should stay at or below 1.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultRates {
+    /// Probability that an attempt permanently kills the device.
+    pub crash: f64,
+    /// Probability of a hang (timeout).
+    pub hang: f64,
+    /// Probability of a retryable transient error.
+    pub transient: f64,
+    /// Probability of a noisy (scaled) latency.
+    pub noise: f64,
+    /// Latency multiplier applied by noise faults.
+    pub noise_factor: f64,
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        FaultRates {
+            crash: 0.0,
+            hang: 0.02,
+            transient: 0.05,
+            noise: 0.05,
+            noise_factor: 8.0,
+        }
+    }
+}
+
+/// A deterministic schedule of device faults.
+///
+/// Faults come from two layers, checked in order:
+///
+/// 1. **Explicit injections** — exact `(device, attempt)` pairs, plus
+///    "device `d` crashes from attempt `a` onward";
+/// 2. **Seeded random faults** — a hash of `(seed, device, attempt)`
+///    compared against [`FaultRates`].
+///
+/// `attempt` is the device's own dispatch counter (0-based), assigned
+/// serially by the scheduler, which is what makes the whole chaos run
+/// independent of measurement parallelism.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    table: HashMap<(usize, u64), Fault>,
+    crash_from: HashMap<usize, u64>,
+    seeded: Option<(u64, FaultRates)>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, ever.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan drawing random faults from `rates`, keyed by `seed`.
+    pub fn seeded(seed: u64, rates: FaultRates) -> FaultPlan {
+        FaultPlan {
+            seeded: Some((seed, rates)),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Injects one fault at an exact `(device, attempt)` pair.
+    pub fn inject(&mut self, device: usize, attempt: u64, fault: Fault) -> &mut Self {
+        self.table.insert((device, attempt), fault);
+        self
+    }
+
+    /// Kills `device` permanently from `attempt` onward.
+    pub fn kill_from(&mut self, device: usize, attempt: u64) -> &mut Self {
+        self.crash_from.insert(device, attempt);
+        self
+    }
+
+    /// True when the plan can never produce a fault.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty() && self.crash_from.is_empty() && self.seeded.is_none()
+    }
+
+    /// The fault (if any) striking attempt `attempt` on `device`.
+    pub fn fault_at(&self, device: usize, attempt: u64) -> Option<Fault> {
+        if let Some(&from) = self.crash_from.get(&device) {
+            if attempt >= from {
+                return Some(Fault::Crash);
+            }
+        }
+        if let Some(&f) = self.table.get(&(device, attempt)) {
+            return Some(f);
+        }
+        if let Some((seed, rates)) = &self.seeded {
+            let u = unit_hash(*seed, device as u64, attempt);
+            let mut acc = rates.crash;
+            if u < acc {
+                return Some(Fault::Crash);
+            }
+            acc += rates.hang;
+            if u < acc {
+                return Some(Fault::Hang);
+            }
+            acc += rates.transient;
+            if u < acc {
+                return Some(Fault::Transient);
+            }
+            acc += rates.noise;
+            if u < acc {
+                return Some(Fault::Noise(rates.noise_factor));
+            }
+        }
+        None
+    }
+}
+
+/// SplitMix64-style avalanche of `(seed, device, attempt)` into `[0, 1)`.
+fn unit_hash(seed: u64, device: u64, attempt: u64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(device.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(attempt.wrapping_mul(0x94D0_49BB_1331_11EB))
+        .wrapping_add(0x2545_F491_4F6C_DD1D);
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_faults() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        for d in 0..4 {
+            for a in 0..64 {
+                assert_eq!(p.fault_at(d, a), None);
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_injections_hit_exact_pairs() {
+        let mut p = FaultPlan::none();
+        p.inject(1, 3, Fault::Transient)
+            .inject(0, 0, Fault::Noise(4.0));
+        assert_eq!(p.fault_at(1, 3), Some(Fault::Transient));
+        assert_eq!(p.fault_at(0, 0), Some(Fault::Noise(4.0)));
+        assert_eq!(p.fault_at(1, 4), None);
+        assert_eq!(p.fault_at(2, 3), None);
+    }
+
+    #[test]
+    fn kill_from_is_permanent() {
+        let mut p = FaultPlan::none();
+        p.kill_from(2, 5);
+        assert_eq!(p.fault_at(2, 4), None);
+        assert_eq!(p.fault_at(2, 5), Some(Fault::Crash));
+        assert_eq!(p.fault_at(2, 500), Some(Fault::Crash));
+        assert_eq!(p.fault_at(1, 5), None);
+    }
+
+    #[test]
+    fn seeded_faults_are_deterministic_and_seed_sensitive() {
+        let rates = FaultRates {
+            transient: 0.3,
+            ..FaultRates::default()
+        };
+        let a = FaultPlan::seeded(7, rates);
+        let b = FaultPlan::seeded(7, rates);
+        let c = FaultPlan::seeded(8, rates);
+        let sample = |p: &FaultPlan| -> Vec<Option<Fault>> {
+            (0..256).map(|i| p.fault_at(i % 4, i as u64)).collect()
+        };
+        assert_eq!(sample(&a), sample(&b));
+        assert_ne!(sample(&a), sample(&c));
+        // With these rates some attempts must fault and some must not.
+        assert!(sample(&a).iter().any(|f| f.is_some()));
+        assert!(sample(&a).iter().any(|f| f.is_none()));
+    }
+
+    #[test]
+    fn seeded_rates_roughly_observed() {
+        let rates = FaultRates {
+            crash: 0.0,
+            hang: 0.0,
+            transient: 0.25,
+            noise: 0.0,
+            noise_factor: 1.0,
+        };
+        let p = FaultPlan::seeded(42, rates);
+        let n = 4000;
+        let hits = (0..n).filter(|&a| p.fault_at(0, a).is_some()).count();
+        let frac = hits as f64 / n as f64;
+        assert!((0.2..0.3).contains(&frac), "observed rate {frac}");
+    }
+}

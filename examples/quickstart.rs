@@ -41,9 +41,10 @@ fn main() {
     // 3. Deploy: bind inputs, run, fetch outputs. Values are computed by
     //    the reference interpreter; time comes from the target simulator.
     let mut m = GraphExecutor::new(module);
-    m.set_input("data", NDArray::seeded(&[1, 3, 32, 32], 99));
+    m.set_input("data", NDArray::seeded(&[1, 3, 32, 32], 99))
+        .expect("binds");
     let ms = m.run().expect("runs");
-    let out = m.get_output(0);
+    let out = m.get_output(0).expect("output");
     println!("ran in {ms:.4} simulated ms; output shape {:?}", out.shape);
     let sum: f32 = out.data.iter().sum();
     println!("softmax row sums to {sum:.4}");

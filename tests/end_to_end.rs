@@ -57,9 +57,9 @@ fn reference_forward(ex: &GraphExecutor, input: &NDArray) -> Vec<f32> {
     // Copy the params from the first executor by name (both use the same
     // deterministic seeding, but copy anyway to be explicit).
     let _ = ex;
-    ex2.set_input("data", input.clone());
+    ex2.set_input("data", input.clone()).expect("binds");
     ex2.run().expect("runs");
-    ex2.get_output(0).data.clone()
+    ex2.get_output(0).expect("output").data.clone()
 }
 
 #[test]
@@ -69,9 +69,9 @@ fn fused_and_unfused_builds_agree_numerically() {
         let module = tvm::build(&g, &target, &BuildOptions::default()).expect("builds");
         let mut ex = GraphExecutor::new(module);
         let input = NDArray::seeded(&[1, 3, 16, 16], 5);
-        ex.set_input("data", input.clone());
+        ex.set_input("data", input.clone()).expect("binds");
         ex.run().expect("runs");
-        let got = ex.get_output(0).data.clone();
+        let got = ex.get_output(0).expect("output").data.clone();
         let want = reference_forward(&ex, &input);
         assert_eq!(got.len(), want.len());
         for (i, (a, b)) in got.iter().zip(&want).enumerate() {
@@ -198,10 +198,11 @@ fn frontend_to_deployment_round_trip() {
     let g = from_json(json).expect("imports");
     let module = tvm::build(&g, &arm_a53(), &Default::default()).expect("builds");
     let mut ex = GraphExecutor::new(module);
-    ex.set_input("data", NDArray::seeded(&[1, 4, 8, 8], 3));
+    ex.set_input("data", NDArray::seeded(&[1, 4, 8, 8], 3))
+        .expect("binds");
     let ms = ex.run().expect("runs");
     assert!(ms > 0.0);
-    let out = ex.get_output(0);
+    let out = ex.get_output(0).expect("output");
     let sum: f32 = out.data.iter().sum();
     assert!((sum - 1.0).abs() < 1e-3, "softmax sums to {sum}");
 }
