@@ -181,9 +181,9 @@ mod tests {
         let mut s = create_schedule(std::slice::from_ref(&c));
         if tile > 1 {
             let ax = c.op.axes();
-            let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], tile, tile);
-            s.reorder(&c, &[&yo, &xo, &yi, &xi]);
-            s.vectorize(&c, &xi);
+            let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], tile, tile).unwrap();
+            s.reorder(&c, &[&yo, &xo, &yi, &xi]).unwrap();
+            s.vectorize(&c, &xi).unwrap();
         }
         lower(&s, &[a, b, c], "mm").expect("lowers")
     }

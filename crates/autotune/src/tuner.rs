@@ -284,6 +284,7 @@ impl<'a> MeasureCache<'a> {
 /// devices dead, retries exhausted) record as `INFINITY` rather than
 /// aborting the run.
 fn measure_batch(cache: &MeasureCache, batch: &[u64]) -> Vec<(f64, Option<Arc<Vec<f64>>>)> {
+    let _span = tvm_obs::span_with("measure", &[("batch", &batch.len().to_string())]);
     let Some(pool) = &cache.pool else {
         return batch.par_iter().map(|&idx| cache.measure(idx)).collect();
     };
@@ -372,6 +373,10 @@ pub fn tune_with(
     pool: Option<&mut Tracker>,
     journal: Option<&mut Journal>,
 ) -> std::io::Result<TuneResult> {
+    let _tune_span = tvm_obs::span_with(
+        "tune",
+        &[("task", &task.name), ("tuner", &format!("{kind:?}"))],
+    );
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut cache = MeasureCache::new(task);
     let pool_before: Option<PoolStats> = pool.as_ref().map(|t| t.pool_stats().clone());
@@ -435,7 +440,40 @@ pub fn tune_with(
         result.stats.pool = tracker.pool_stats().minus(&before);
         result.stats.device_health = tracker.health();
     }
+    publish_stats(&task.name, &result);
     Ok(result)
+}
+
+/// Folds one run's [`TuneStats`] into the global `tvm-obs` registry:
+/// work counters accumulate across runs, per-device health lands as
+/// gauges keyed by task. No-ops when observability is disabled.
+fn publish_stats(task: &str, result: &TuneResult) {
+    if !tvm_obs::enabled() {
+        return;
+    }
+    let s = &result.stats;
+    tvm_obs::counter_add("autotune.trials", result.history.len() as u64);
+    tvm_obs::counter_add("autotune.lowerings", s.lowerings as u64);
+    tvm_obs::counter_add("autotune.simulations", s.simulations as u64);
+    tvm_obs::counter_add("autotune.lookups", s.lookups as u64);
+    tvm_obs::counter_add(
+        "autotune.cache_hits",
+        s.lookups.saturating_sub(s.lowerings) as u64,
+    );
+    tvm_obs::counter_add("autotune.pool.attempts", s.pool.attempts as u64);
+    tvm_obs::counter_add("autotune.pool.retries", s.pool.retries as u64);
+    tvm_obs::counter_add("autotune.pool.timeouts", s.pool.timeouts as u64);
+    tvm_obs::counter_add("autotune.pool.quarantines", s.pool.quarantines as u64);
+    tvm_obs::counter_add("autotune.pool.failed_jobs", s.pool.failed_jobs as u64);
+    tvm_obs::gauge_set(&format!("autotune.{task}.best_ms"), result.best_ms);
+    for (i, d) in result.stats.device_health.iter().enumerate() {
+        let rate = if d.attempts > 0 {
+            (d.attempts - d.failures) as f64 / d.attempts as f64
+        } else {
+            1.0
+        };
+        tvm_obs::gauge_set(&format!("autotune.{task}.device{i}.success_rate"), rate);
+    }
 }
 
 /// Static heuristic score (higher = predicted faster): rewards SIMD-able
@@ -720,7 +758,11 @@ fn tune_ml(
                 objective,
                 ..GbtParams::default()
             };
-            let model = fit(&xs, &ys, &params);
+            let model = {
+                let _fit_span = tvm_obs::span_with("fit", &[("samples", &xs.len().to_string())]);
+                fit(&xs, &ys, &params)
+            };
+            let _sa_span = tvm_obs::span("propose_sa");
             propose_sa(
                 task,
                 cache,

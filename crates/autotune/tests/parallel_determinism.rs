@@ -22,7 +22,7 @@ fn counting_task(counter: Arc<AtomicUsize>) -> TuningTask {
     let builder = move |cfg: &ConfigEntity| -> Result<tvm_ir::LoweredFunc, TeError> {
         counter.fetch_add(1, Ordering::SeqCst);
         if cfg.get("poison") == 1 {
-            return Err(TeError("invalid configuration".into()));
+            return Err(TeError::msg("invalid configuration"));
         }
         let n = 256i64;
         let a = placeholder(&[n, n], DType::float32(), "A");
@@ -32,9 +32,9 @@ fn counting_task(counter: Arc<AtomicUsize>) -> TuningTask {
         });
         let mut s = create_schedule(std::slice::from_ref(&b));
         let ax = b.op.axes();
-        let (_, wi) = s.split(&b, &ax[1], cfg.get("tile"));
+        let (_, wi) = s.split(&b, &ax[1], cfg.get("tile")).unwrap();
         if cfg.get("vec") == 1 {
-            s.vectorize(&b, &wi);
+            s.vectorize(&b, &wi).unwrap();
         }
         lower(&s, &[a, b], "copy_t")
     };

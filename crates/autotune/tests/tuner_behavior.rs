@@ -17,7 +17,7 @@ fn synthetic_task() -> TuningTask {
     space.define_knob("poison", &[0, 0, 0, 1]);
     let builder = move |cfg: &ConfigEntity| -> Result<tvm_ir::LoweredFunc, TeError> {
         if cfg.get("poison") == 1 {
-            return Err(TeError("invalid configuration".into()));
+            return Err(TeError::msg("invalid configuration"));
         }
         let n = 256i64;
         let a = placeholder(&[n, n], DType::float32(), "A");
@@ -27,9 +27,9 @@ fn synthetic_task() -> TuningTask {
         });
         let mut s = create_schedule(std::slice::from_ref(&b));
         let ax = b.op.axes();
-        let (_, wi) = s.split(&b, &ax[1], cfg.get("tile"));
+        let (_, wi) = s.split(&b, &ax[1], cfg.get("tile")).unwrap();
         if cfg.get("vec") == 1 {
-            s.vectorize(&b, &wi);
+            s.vectorize(&b, &wi).unwrap();
         }
         lower(&s, &[a, b], "copy_t")
     };

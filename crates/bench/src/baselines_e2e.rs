@@ -79,7 +79,9 @@ fn single_op_ms(g: &Graph, id: tvm_graph::NodeId, target: &Target) -> f64 {
         _ => return 0.0,
     };
     let mut s = create_schedule(std::slice::from_ref(&out));
-    topi::schedule_injective(&mut s, &out, target);
+    if topi::schedule_injective(&mut s, &out, target).is_err() {
+        return 0.0;
+    }
     let mut args = inputs;
     args.push(out);
     match lower(&s, &args, node.op.name()) {

@@ -7,6 +7,7 @@
 
 pub mod baselines_e2e;
 pub mod figures;
+pub mod profiling;
 pub mod vdla_gemm;
 
 /// Prints a table of rows with a header.

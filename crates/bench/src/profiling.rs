@@ -1,0 +1,85 @@
+//! Shared workload and helpers for the `tvm-prof` profiling harness and
+//! its golden test: a small deterministic CNN compiled end-to-end, run
+//! under the graph executor's per-op profiler with compile-pass tracing
+//! enabled.
+
+use tvm::BuildOptions;
+use tvm_graph::Graph;
+use tvm_runtime::{GraphExecutor, Module, NDArray};
+use tvm_sim::{estimate, Target};
+use tvm_topi::Conv2dWorkload;
+
+/// The profiled workload: conv → bn → relu → conv → residual add → relu.
+/// `quick` shrinks the spatial size so CI finishes in seconds.
+pub fn demo_graph(quick: bool) -> Graph {
+    let size = if quick { 16 } else { 32 };
+    let ch = if quick { 8 } else { 16 };
+    let mut g = Graph::new();
+    let x = g.input(&[1, 3, size, size], "data");
+    let w1 = Conv2dWorkload {
+        batch: 1,
+        size,
+        in_c: 3,
+        out_c: ch,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let c1 = g.conv2d(x, w1, "c1");
+    let b1 = g.batch_norm(c1, "b1");
+    let r1 = g.relu(b1, "r1");
+    let w2 = Conv2dWorkload {
+        batch: 1,
+        size,
+        in_c: ch,
+        out_c: ch,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let c2 = g.conv2d(r1, w2, "c2");
+    let res = g.add_op(c2, r1, "res");
+    let out = g.relu(res, "out");
+    g.outputs.push(out);
+    g
+}
+
+/// Compiles the demo graph for `target`.
+pub fn build_demo(target: &Target, quick: bool) -> Module {
+    let g = demo_graph(quick);
+    tvm::build(&g, target, &BuildOptions::default()).expect("demo graph builds")
+}
+
+/// The deterministic input tensor for the demo graph.
+pub fn demo_input(quick: bool) -> NDArray {
+    let size = if quick { 16 } else { 32 };
+    NDArray::seeded(&[1, 3, size, size], 42)
+}
+
+/// Binds the input and runs once; returns the flat output values.
+pub fn run_once(ex: &mut GraphExecutor, quick: bool) -> Vec<f32> {
+    ex.set_input("data", demo_input(quick)).expect("binds");
+    ex.run().expect("runs");
+    ex.get_output(0).expect("output").data.clone()
+}
+
+/// Sum of simulated cycles over a module's kernels, recomputed from the
+/// lowered functions — the independent end-to-end figure the profiler's
+/// per-op records must agree with.
+pub fn sim_cycles(module: &Module, target: &Target) -> f64 {
+    module
+        .kernels
+        .iter()
+        .map(|k| estimate(&k.func, target).cycles)
+        .sum()
+}
+
+/// Builds, profiles one run, and returns the per-op breakdown table — the
+/// deterministic artifact the golden test pins.
+pub fn demo_table(target: &Target, quick: bool) -> String {
+    let module = build_demo(target, quick);
+    let mut ex = GraphExecutor::new(module);
+    ex.enable_profiling();
+    run_once(&mut ex, quick);
+    ex.profiler().expect("profiling enabled").table()
+}

@@ -36,36 +36,37 @@ pub fn vdla_gemm_func(m: i64, n: i64, k: i64, t: i64, vthreads: i64) -> LoweredF
         )
     });
     let mut s = create_schedule(std::slice::from_ref(&c));
-    let cl = s.cache_write(&c, MemScope::AccBuffer);
+    let cl = s.cache_write(&c, MemScope::AccBuffer).unwrap();
     let ax = c.op.axes();
-    let (_yo, xo, yi, _xi) = s.tile(&c, &ax[0], &ax[1], ts, ts);
+    let (_yo, xo, yi, _xi) = s.tile(&c, &ax[0], &ax[1], ts, ts).unwrap();
     let attach_leaf = if vthreads > 1 && (n / ts) % vthreads == 0 {
-        let (_xoo, xov) = s.split(&c, &xo, vthreads);
-        s.vthread(&c, &xov);
+        let (_xoo, xov) = s.split(&c, &xo, vthreads).unwrap();
+        s.vthread(&c, &xov).unwrap();
         xov
     } else {
         xo
     };
-    s.pragma(&c, &yi, "dma_copy");
-    s.compute_at(&cl, &c, &attach_leaf);
+    s.pragma(&c, &yi, "dma_copy").unwrap();
+    s.compute_at(&cl, &c, &attach_leaf).unwrap();
     // SRAM-level reduction tiling: stage ts x ts operand tiles on chip.
     let clr = cl.op.reduce_axes();
-    let (ks, kin) = s.split(&cl, &clr[0], ts);
+    let (ks, kin) = s.split(&cl, &clr[0], ts).unwrap();
     let clax = cl.op.axes();
     // GEMM-core level: 16x16x16 tensorized tiles within the SRAM tile.
-    let (y1, y2) = s.split(&cl, &clax[0], t);
-    let (x1, x2) = s.split(&cl, &clax[1], t);
-    let (k1, k2) = s.split(&cl, &kin, t);
-    s.reorder(&cl, &[&ks, &y1, &x1, &k1, &y2, &x2, &k2]);
-    let al = s.cache_read(&a, MemScope::InpBuffer, &[&cl]);
-    let bl = s.cache_read(&b, MemScope::WgtBuffer, &[&cl]);
-    s.compute_at(&al, &cl, &ks);
-    s.compute_at(&bl, &cl, &ks);
-    let al_leaf = s.stage(&al).leaf_iters[0].clone();
-    s.pragma(&al, &al_leaf, "dma_copy");
-    let bl_leaf = s.stage(&bl).leaf_iters[0].clone();
-    s.pragma(&bl, &bl_leaf, "dma_copy");
-    s.tensorize(&cl, &y2, gemm_intrin(t, t, t, dt));
+    let (y1, y2) = s.split(&cl, &clax[0], t).unwrap();
+    let (x1, x2) = s.split(&cl, &clax[1], t).unwrap();
+    let (k1, k2) = s.split(&cl, &kin, t).unwrap();
+    s.reorder(&cl, &[&ks, &y1, &x1, &k1, &y2, &x2, &k2])
+        .unwrap();
+    let al = s.cache_read(&a, MemScope::InpBuffer, &[&cl]).unwrap();
+    let bl = s.cache_read(&b, MemScope::WgtBuffer, &[&cl]).unwrap();
+    s.compute_at(&al, &cl, &ks).unwrap();
+    s.compute_at(&bl, &cl, &ks).unwrap();
+    let al_leaf = s.stage(&al).unwrap().leaf_iters[0].clone();
+    s.pragma(&al, &al_leaf, "dma_copy").unwrap();
+    let bl_leaf = s.stage(&bl).unwrap().leaf_iters[0].clone();
+    s.pragma(&bl, &bl_leaf, "dma_copy").unwrap();
+    s.tensorize(&cl, &y2, gemm_intrin(t, t, t, dt)).unwrap();
     lower_with(
         &s,
         &[a, b, c],

@@ -194,14 +194,14 @@ fn schedule_group(
     target: &Target,
     db: Option<&Database>,
     strategy: FuseStrategy,
-) {
+) -> Result<(), TeError> {
     // Inline padding stages and all injective members except the output.
     for p in &gb.pads {
-        s.compute_inline(p);
+        s.compute_inline(p)?;
     }
     for &m in &group.nodes {
         if m != group.output && m != group.master && g.node(m).op.pattern() == Pattern::Injective {
-            s.compute_inline(&gb.tensors[&m]);
+            s.compute_inline(&gb.tensors[&m])?;
         }
     }
     let master_t = gb.tensors[&group.master].clone();
@@ -215,7 +215,7 @@ fn schedule_group(
         // the same kernel (the intermediate stays function-local).
         let master_out = master_t.clone();
         if group.master != group.output {
-            topi::schedule_injective(s, &out_t, target);
+            topi::schedule_injective(s, &out_t, target)?;
         }
         match &g.node(group.master).op {
             OpType::Conv2d(w) => {
@@ -227,7 +227,7 @@ fn schedule_group(
                     pad: None, // already inlined above
                     out: master_out,
                 };
-                topi::apply_conv2d_schedule(s, &op, target, &cfg);
+                topi::apply_conv2d_schedule(s, &op, target, &cfg)?;
             }
             OpType::DepthwiseConv2d(w) => {
                 let task = topi::depthwise_task(*w, master_out.dtype(), target.clone());
@@ -238,26 +238,26 @@ fn schedule_group(
                     pad: None,
                     out: master_out,
                 };
-                topi::apply_depthwise_schedule(s, &op, target, &cfg);
+                topi::apply_depthwise_schedule(s, &op, target, &cfg)?;
             }
             OpType::Dense(w) => {
                 let task = topi::dense_task(*w, target.clone());
                 let cfg = tuned_config(db, &task);
                 let data = gb.tensors[&g.node(group.master).inputs[0]].clone();
                 let weight = gb.tensors[&g.node(group.master).inputs[1]].clone();
-                topi::apply_dense_schedule(s, &data, &weight, &master_out, target, &cfg);
+                topi::apply_dense_schedule(s, &data, &weight, &master_out, target, &cfg)?;
             }
             _ if group.master != group.output => {
                 // No template for this master: the injective tail already
                 // got the kernel's loop structure above.
             }
-            _ => topi::schedule_injective(s, &out_t, target),
+            _ => topi::schedule_injective(s, &out_t, target)?,
         }
     } else if master_is_complex {
         // Fused complex + element-wise tail: give the *output* the loop
         // structure and nest the master inside its innermost parallel
         // loop, so the intermediate lives in registers/local memory.
-        s.set_scope(&master_t, MemScope::Local);
+        s.set_scope(&master_t, MemScope::Local)?;
         let axes = out_t.op.axes();
         if target.is_gpu() {
             use tvm_ir::ThreadTag::*;
@@ -270,64 +270,65 @@ fn schedule_group(
                 let t_c = 4.min(out_t.shape()[1]);
                 let t_y = 4.min(out_t.shape()[2]);
                 let t_x = 8.min(out_t.shape()[3]);
-                let (bz, tz) = s.split(&out_t, &axes[1], t_c);
-                let (by, ty) = s.split(&out_t, &axes[2], t_y);
-                let (bx, tx) = s.split(&out_t, &axes[3], t_x);
-                s.reorder(&out_t, &[&axes[0], &bz, &by, &bx, &tz, &ty, &tx]);
-                s.bind(&out_t, &bz, BlockIdxZ);
-                s.bind(&out_t, &by, BlockIdxY);
-                s.bind(&out_t, &bx, BlockIdxX);
-                s.bind(&out_t, &tz, ThreadIdxZ);
-                s.bind(&out_t, &ty, ThreadIdxY);
-                s.bind(&out_t, &tx, ThreadIdxX);
-                s.compute_at(&master_t, &out_t, &tx);
+                let (bz, tz) = s.split(&out_t, &axes[1], t_c)?;
+                let (by, ty) = s.split(&out_t, &axes[2], t_y)?;
+                let (bx, tx) = s.split(&out_t, &axes[3], t_x)?;
+                s.reorder(&out_t, &[&axes[0], &bz, &by, &bx, &tz, &ty, &tx])?;
+                s.bind(&out_t, &bz, BlockIdxZ)?;
+                s.bind(&out_t, &by, BlockIdxY)?;
+                s.bind(&out_t, &bx, BlockIdxX)?;
+                s.bind(&out_t, &tz, ThreadIdxZ)?;
+                s.bind(&out_t, &ty, ThreadIdxY)?;
+                s.bind(&out_t, &tx, ThreadIdxX)?;
+                s.compute_at(&master_t, &out_t, &tx)?;
                 if !reduce.is_empty() {
                     let f = reduce[0].const_extent().unwrap_or(1).clamp(1, 8);
-                    let (rco, _rci) = s.split(&master_t, &reduce[0], f);
+                    let (rco, _rci) = s.split(&master_t, &reduce[0], f)?;
                     let threads = [(ThreadIdxZ, t_c), (ThreadIdxY, t_y), (ThreadIdxX, t_x)];
                     for inp in shared_inputs.iter().take(2) {
-                        let cs = s.cache_read(inp, MemScope::Shared, &[&master_t]);
-                        s.compute_at(&cs, &master_t, &rco);
-                        topi::cooperative_load(&mut *s, &cs, &threads);
+                        let cs = s.cache_read(inp, MemScope::Shared, &[&master_t])?;
+                        s.compute_at(&cs, &master_t, &rco)?;
+                        topi::cooperative_load(&mut *s, &cs, &threads)?;
                     }
                 }
             } else {
                 let last = axes.len() - 1;
                 let t_x = 32.min(out_t.shape()[last]);
-                let (bx, tx) = s.split(&out_t, &axes[last], t_x);
-                s.reorder(&out_t, &[&axes[0], &bx, &tx]);
-                s.bind(&out_t, &axes[0], BlockIdxY);
-                s.bind(&out_t, &bx, BlockIdxX);
-                s.bind(&out_t, &tx, ThreadIdxX);
-                s.compute_at(&master_t, &out_t, &tx);
+                let (bx, tx) = s.split(&out_t, &axes[last], t_x)?;
+                s.reorder(&out_t, &[&axes[0], &bx, &tx])?;
+                s.bind(&out_t, &axes[0], BlockIdxY)?;
+                s.bind(&out_t, &bx, BlockIdxX)?;
+                s.bind(&out_t, &tx, ThreadIdxX)?;
+                s.compute_at(&master_t, &out_t, &tx)?;
                 if !reduce.is_empty() {
                     let f = reduce[0].const_extent().unwrap_or(1).clamp(1, 16);
-                    let (rco, _rci) = s.split(&master_t, &reduce[0], f);
+                    let (rco, _rci) = s.split(&master_t, &reduce[0], f)?;
                     let threads = [(ThreadIdxX, t_x)];
                     for inp in shared_inputs.iter().take(2) {
-                        let cs = s.cache_read(inp, MemScope::Shared, &[&master_t]);
-                        s.compute_at(&cs, &master_t, &rco);
-                        topi::cooperative_load(&mut *s, &cs, &threads);
+                        let cs = s.cache_read(inp, MemScope::Shared, &[&master_t])?;
+                        s.compute_at(&cs, &master_t, &rco)?;
+                        topi::cooperative_load(&mut *s, &cs, &threads)?;
                     }
                 }
             }
         } else if axes.len() == 4 {
             let last = axes.len() - 1;
-            let (wo, wi) = s.split(&out_t, &axes[last], 8.min(out_t.shape()[last]));
-            s.vectorize(&out_t, &wi);
-            s.parallel(&out_t, &axes[1]);
-            s.compute_at(&master_t, &out_t, &axes[2]);
+            let (wo, wi) = s.split(&out_t, &axes[last], 8.min(out_t.shape()[last]))?;
+            s.vectorize(&out_t, &wi)?;
+            s.parallel(&out_t, &axes[1])?;
+            s.compute_at(&master_t, &out_t, &axes[2])?;
             let _ = wo;
         } else {
             let last = axes.len() - 1;
-            let (_, wi) = s.split(&out_t, &axes[last], 8.min(out_t.shape()[last]));
-            s.vectorize(&out_t, &wi);
-            s.compute_at(&master_t, &out_t, &axes[0]);
+            let (_, wi) = s.split(&out_t, &axes[last], 8.min(out_t.shape()[last]))?;
+            s.vectorize(&out_t, &wi)?;
+            s.compute_at(&master_t, &out_t, &axes[0])?;
         }
     } else {
         // Injective/reduction group.
-        topi::schedule_injective(s, &out_t, target);
+        topi::schedule_injective(s, &out_t, target)?;
     }
+    Ok(())
 }
 
 fn build_group_with(
@@ -348,17 +349,22 @@ fn build_group_with(
     }
     let out_t = gb.tensors[&group.output].clone();
     let mut s = create_schedule(std::slice::from_ref(&out_t));
-    schedule_group(&mut s, g, group, &gb, target, opts.db, strategy);
+    schedule_group(&mut s, g, group, &gb, target, opts.db, strategy)?;
     let mut arg_tensors: Vec<Tensor> = gb.inputs.iter().map(|(_, t)| t.clone()).collect();
     arg_tensors.push(out_t);
     let mut args: Vec<NodeId> = gb.inputs.iter().map(|(id, _)| *id).collect();
     args.push(group.output);
     let func = lower(&s, &arg_tensors, name)?;
-    let est_ms = estimate(func_ref(&func), target).millis();
+    let cost = estimate(func_ref(&func), target);
     Ok(CompiledGroup {
+        est_ms: cost.millis(),
+        cost: tvm_runtime::GroupCost {
+            cycles: cost.cycles,
+            flops: cost.flops,
+            dram_bytes: cost.dram_bytes,
+        },
         func,
         args,
-        est_ms,
         name: name.to_string(),
     })
 }

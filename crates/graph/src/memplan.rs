@@ -11,14 +11,16 @@ pub struct MemoryPlan {
     /// Storage slot id for each node (usize::MAX for params/inputs and
     /// nodes internal to a group, which never materialize).
     pub storage_of: Vec<usize>,
-    /// Size in elements of each storage slot.
+    /// Size in bytes of each storage slot. Byte-sized slots are safe to
+    /// reuse across groups with different dtypes: a slot fits a tensor
+    /// iff it holds at least `numel * dtype.bytes()` bytes.
     pub slot_sizes: Vec<usize>,
 }
 
 impl MemoryPlan {
-    /// Total planned bytes (4 bytes/element).
+    /// Total planned bytes.
     pub fn total_bytes(&self) -> usize {
-        self.slot_sizes.iter().sum::<usize>() * 4
+        self.slot_sizes.iter().sum::<usize>()
     }
 
     /// Bytes without any reuse (one buffer per materialized tensor).
@@ -26,7 +28,10 @@ impl MemoryPlan {
         fused
             .groups
             .iter()
-            .map(|grp| g.node(grp.output).shape.iter().product::<i64>() as usize * 4)
+            .map(|grp| {
+                let node = g.node(grp.output);
+                node.shape.iter().product::<i64>() as usize * node.dtype.bytes()
+            })
             .sum()
     }
 }
@@ -57,7 +62,8 @@ pub fn plan_memory(g: &Graph, fused: &FusedGraph) -> MemoryPlan {
     let mut slot_sizes: Vec<usize> = Vec::new();
     let mut slot_free_at: Vec<usize> = Vec::new(); // group index when slot frees
     for (gi, grp) in fused.groups.iter().enumerate() {
-        let size = g.node(grp.output).shape.iter().product::<i64>() as usize;
+        let out = g.node(grp.output);
+        let size = out.shape.iter().product::<i64>() as usize * out.dtype.bytes();
         // Greedy: reuse the smallest free slot that fits.
         let mut best: Option<usize> = None;
         for (si, &free_at) in slot_free_at.iter().enumerate() {
@@ -167,6 +173,83 @@ mod tests {
         for grp in &fused.groups {
             assert_ne!(plan.storage_of[grp.output.0], usize::MAX);
         }
+    }
+
+    #[test]
+    fn slot_sizes_are_dtype_aware() {
+        use crate::ir::OpType;
+        use tvm_ir::DType;
+        // Same element count, three dtypes: planned bytes must reflect
+        // each dtype's width, not a hard-coded 4 bytes/element.
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 4, 4], "data"); // f32
+        let q = g.add_typed(
+            OpType::Relu,
+            vec![x],
+            vec![1, 4, 4, 4],
+            DType::int8(),
+            "quant",
+        );
+        let h = g.add_typed(
+            OpType::Relu,
+            vec![q],
+            vec![1, 4, 4, 4],
+            DType::float16(),
+            "half",
+        );
+        let f = g.add_typed(
+            OpType::Relu,
+            vec![h],
+            vec![1, 4, 4, 4],
+            DType::float32(),
+            "full",
+        );
+        g.outputs.push(f);
+        let fused = fuse(&g, false);
+        let plan = plan_memory(&g, &fused);
+        let numel = 64usize;
+        // Naive accounting: one buffer per output at its own width.
+        assert_eq!(plan.naive_bytes(&g, &fused), numel * (1 + 2 + 4));
+        // Every slot's byte size matches some output's numel * dtype width;
+        // in particular the f32 output cannot squeeze into the i8 slot.
+        assert!(plan.slot_sizes.iter().all(|&s| s % numel == 0));
+        assert!(plan.total_bytes() >= numel * 4, "{:?}", plan.slot_sizes);
+    }
+
+    #[test]
+    fn planned_bytes_match_liveness_replay_peak() {
+        // Replay the schedule with a reference allocator: allocate each
+        // group output at its group index, free it after its last use.
+        // The plan's total must cover the observed peak (it is exact for
+        // the greedy planner when no slot is oversized).
+        let g = chain_graph(6);
+        let fused = fuse(&g, true);
+        let plan = plan_memory(&g, &fused);
+
+        let consumers = g.consumers();
+        let n_groups = fused.groups.len();
+        let mut peak = 0usize;
+        let mut live: Vec<(usize, usize)> = Vec::new(); // (last_use, bytes)
+        for (gi, grp) in fused.groups.iter().enumerate() {
+            live.retain(|&(last, _)| last >= gi);
+            let node = g.node(grp.output);
+            let bytes = node.shape.iter().product::<i64>() as usize * node.dtype.bytes();
+            let mut last = gi;
+            for &c in &consumers[grp.output.0] {
+                let cg = fused.group_of[c.0];
+                if cg != usize::MAX {
+                    last = last.max(cg);
+                }
+            }
+            if g.outputs.contains(&grp.output) {
+                last = n_groups;
+            }
+            live.push((last, bytes));
+            peak = peak.max(live.iter().map(|&(_, b)| b).sum());
+        }
+        assert!(plan.total_bytes() >= peak);
+        // For the uniform f32 chain the greedy plan is exactly the peak.
+        assert_eq!(plan.total_bytes(), peak, "{:?}", plan.slot_sizes);
     }
 
     #[test]

@@ -108,7 +108,8 @@ proptest! {
         for (i, gi) in fused.groups.iter().enumerate() {
             let si = plan.storage_of[gi.output.0];
             prop_assert_ne!(si, usize::MAX);
-            let size = g.node(gi.output).shape.iter().product::<i64>() as usize;
+            let node = g.node(gi.output);
+            let size = node.shape.iter().product::<i64>() as usize * node.dtype.bytes();
             prop_assert!(plan.slot_sizes[si] >= size);
             for (j, gj) in fused.groups.iter().enumerate().skip(i + 1) {
                 let sj = plan.storage_of[gj.output.0];

@@ -41,6 +41,8 @@ pub enum RuntimeError {
     },
     /// `get_output` before a successful `run`.
     NotRun(String),
+    /// A kernel's argument list is malformed (e.g. no output binding).
+    MalformedKernel(String),
     /// The reference interpreter faulted while executing a kernel.
     Interp(tvm_ir::InterpError),
 }
@@ -63,6 +65,9 @@ impl std::fmt::Display for RuntimeError {
                 write!(f, "output index {index} out of range ({outputs} outputs)")
             }
             RuntimeError::NotRun(n) => write!(f, "output `{n}` not computed: run() first"),
+            RuntimeError::MalformedKernel(n) => {
+                write!(f, "kernel `{n}` has a malformed argument list")
+            }
             RuntimeError::Interp(e) => write!(f, "interpreter fault: {e:?}"),
         }
     }
@@ -128,6 +133,18 @@ impl NDArray {
     }
 }
 
+/// Simulator cost figures carried from compile time into the runtime, as
+/// plain numbers so the runtime stays independent of `tvm-sim`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GroupCost {
+    /// Simulated device cycles.
+    pub cycles: f64,
+    /// Floating-point operations executed.
+    pub flops: f64,
+    /// Bytes moved to/from simulated DRAM.
+    pub dram_bytes: f64,
+}
+
 /// One compiled fused kernel.
 pub struct CompiledGroup {
     /// The lowered function.
@@ -137,6 +154,8 @@ pub struct CompiledGroup {
     pub args: Vec<NodeId>,
     /// Simulated execution time on the module's target.
     pub est_ms: f64,
+    /// Detailed simulator cost (zeros when the builder does not model it).
+    pub cost: GroupCost,
     /// Display name.
     pub name: String,
 }
@@ -175,6 +194,91 @@ impl Module {
     }
 }
 
+/// One kernel launch as observed by the [`Profiler`].
+#[derive(Clone, Debug)]
+pub struct OpRecord {
+    /// Kernel display name.
+    pub name: String,
+    /// Simulated time for this launch.
+    pub est_ms: f64,
+    /// Simulated device cycles.
+    pub cycles: f64,
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Simulated DRAM traffic in bytes.
+    pub dram_bytes: f64,
+    /// Bytes read from bound input/intermediate tensors.
+    pub input_bytes: usize,
+    /// Bytes written to the output tensor.
+    pub output_bytes: usize,
+    /// Storage slot the output lands in, if the plan materializes it.
+    pub slot: Option<usize>,
+}
+
+/// Static-plan reuse statistics (how much memory slot sharing saved).
+#[derive(Clone, Debug, Default)]
+pub struct SlotStats {
+    /// Number of distinct storage slots in the plan.
+    pub slots: usize,
+    /// Total planned bytes (with reuse).
+    pub planned_bytes: usize,
+    /// Bytes if every materialized tensor got its own buffer.
+    pub unshared_bytes: usize,
+    /// Tensors the plan materializes (excludes inputs/params/internal).
+    pub materialized: usize,
+}
+
+/// Per-op runtime profiler. Created by
+/// [`GraphExecutor::enable_profiling`]; when absent, [`GraphExecutor::run`]
+/// takes no profiling branches beyond one `Option` check per kernel.
+#[derive(Default)]
+pub struct Profiler {
+    /// One record per kernel launch, in execution order (reset each run).
+    pub ops: Vec<OpRecord>,
+    /// Completed `run` calls since profiling was enabled.
+    pub runs: usize,
+    /// Memory-plan reuse statistics (static; computed once).
+    pub slot_stats: SlotStats,
+}
+
+impl Profiler {
+    /// Sum of simulated cycles over the last run's kernels.
+    pub fn total_cycles(&self) -> f64 {
+        self.ops.iter().map(|o| o.cycles).sum()
+    }
+
+    /// Sum of simulated milliseconds over the last run's kernels.
+    pub fn total_ms(&self) -> f64 {
+        self.ops.iter().map(|o| o.est_ms).sum()
+    }
+
+    /// Fixed-width per-op breakdown table (deterministic fields only, so
+    /// it is safe to golden-test).
+    pub fn table(&self) -> String {
+        let mut s = format!(
+            "{:<44} {:>10} {:>14} {:>12} {:>12} {:>10} {:>5}\n",
+            "op", "est_ms", "cycles", "flops", "dram_bytes", "out_bytes", "slot"
+        );
+        for o in &self.ops {
+            let slot = o.slot.map_or("-".to_string(), |x| x.to_string());
+            s.push_str(&format!(
+                "{:<44} {:>10.4} {:>14.0} {:>12.0} {:>12.0} {:>10} {:>5}\n",
+                o.name, o.est_ms, o.cycles, o.flops, o.dram_bytes, o.output_bytes, slot
+            ));
+        }
+        s.push_str(&format!(
+            "total: {:.4} ms, {:.0} cycles over {} ops; plan: {} slots, {} B planned vs {} B unshared\n",
+            self.total_ms(),
+            self.total_cycles(),
+            self.ops.len(),
+            self.slot_stats.slots,
+            self.slot_stats.planned_bytes,
+            self.slot_stats.unshared_bytes,
+        ));
+        s
+    }
+}
+
 /// Pre-run hook that registers hardware-intrinsic functional models.
 pub type InterpSetup = Box<dyn Fn(&mut Interp)>;
 
@@ -186,6 +290,7 @@ pub struct GraphExecutor {
     pub last_run_ms: f64,
     /// Hook to register hardware-intrinsic functional models before runs.
     pub interp_setup: Option<InterpSetup>,
+    profiler: Option<Profiler>,
 }
 
 impl GraphExecutor {
@@ -204,12 +309,49 @@ impl GraphExecutor {
             values,
             last_run_ms: 0.0,
             interp_setup: None,
+            profiler: None,
         }
     }
 
     /// Module accessor.
     pub fn module(&self) -> &Module {
         &self.module
+    }
+
+    /// Turns on per-op profiling. Subsequent [`run`](GraphExecutor::run)
+    /// calls record an [`OpRecord`] per kernel and emit `tvm-obs` spans;
+    /// results are unchanged.
+    pub fn enable_profiling(&mut self) {
+        let plan = &self.module.plan;
+        let g = &self.module.graph;
+        let mut unshared = 0usize;
+        let mut materialized = 0usize;
+        for node in &g.nodes {
+            if plan
+                .storage_of
+                .get(node.id.0)
+                .is_some_and(|&s| s != usize::MAX)
+            {
+                materialized += 1;
+                unshared += node.shape.iter().product::<i64>() as usize * node.dtype.bytes();
+            }
+        }
+        self.profiler = Some(Profiler {
+            ops: Vec::new(),
+            runs: 0,
+            slot_stats: SlotStats {
+                slots: plan.slot_sizes.len(),
+                planned_bytes: plan.total_bytes(),
+                unshared_bytes: unshared,
+                materialized,
+            },
+        });
+    }
+
+    /// The profiler, if [`enable_profiling`](GraphExecutor::enable_profiling)
+    /// was called.
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
     }
 
     /// Binds an input by node name; rejects unknown names and shape
@@ -263,9 +405,17 @@ impl GraphExecutor {
     /// leave the executor usable (bind the input and run again).
     pub fn run(&mut self) -> Result<f64, RuntimeError> {
         let mut total = 0.0;
+        if let Some(p) = self.profiler.as_mut() {
+            p.ops.clear();
+        }
         for gi in 0..self.module.kernels.len() {
             let k = &self.module.kernels[gi];
+            let out_id = *k
+                .args
+                .last()
+                .ok_or_else(|| RuntimeError::MalformedKernel(k.name.clone()))?;
             let mut bufs: Vec<Vec<f32>> = Vec::with_capacity(k.args.len());
+            let mut input_bytes = 0usize;
             for (ai, &arg) in k.args.iter().enumerate() {
                 let is_output = ai + 1 == k.args.len();
                 if is_output {
@@ -275,6 +425,7 @@ impl GraphExecutor {
                     let v = self.values.get(&arg).ok_or_else(|| {
                         RuntimeError::MissingInput(self.module.graph.node(arg).name.clone())
                     })?;
+                    input_bytes += v.data.len() * std::mem::size_of::<f32>();
                     bufs.push(v.data.clone());
                 }
             }
@@ -282,12 +433,46 @@ impl GraphExecutor {
             if let Some(setup) = &self.interp_setup {
                 setup(&mut it);
             }
-            it.run_f32(&k.func, &mut bufs)?;
-            let out_id = *k.args.last().expect("kernel has args");
+            {
+                let _op_span = if self.profiler.is_some() {
+                    Some(tvm_obs::span_with("run_op", &[("kernel", &k.name)]))
+                } else {
+                    None
+                };
+                it.run_f32(&k.func, &mut bufs)?;
+            }
             let out_shape = self.module.graph.node(out_id).shape.clone();
-            let out = bufs.pop().expect("output buffer");
+            let out = bufs
+                .pop()
+                .ok_or_else(|| RuntimeError::MalformedKernel(k.name.clone()))?;
+            if let Some(p) = self.profiler.as_mut() {
+                let out_node = self.module.graph.node(out_id);
+                let slot = self
+                    .module
+                    .plan
+                    .storage_of
+                    .get(out_id.0)
+                    .copied()
+                    .filter(|&s| s != usize::MAX);
+                let out_bytes = out.len() * out_node.dtype.bytes();
+                p.ops.push(OpRecord {
+                    name: k.name.clone(),
+                    est_ms: k.est_ms,
+                    cycles: k.cost.cycles,
+                    flops: k.cost.flops,
+                    dram_bytes: k.cost.dram_bytes,
+                    input_bytes,
+                    output_bytes: out_bytes,
+                    slot,
+                });
+                tvm_obs::counter_add("runtime.kernel_launches", 1);
+                tvm_obs::counter_add("runtime.output_bytes", out_bytes as u64);
+            }
             self.values.insert(out_id, NDArray::new(&out_shape, out));
             total += self.module.kernels[gi].est_ms;
+        }
+        if let Some(p) = self.profiler.as_mut() {
+            p.runs += 1;
         }
         self.last_run_ms = total;
         Ok(total)

@@ -46,12 +46,22 @@ fn two_stage_module() -> (Module, tvm_graph::NodeId) {
             func: affine_kernel(4, 2.0, 1.0, "k1"),
             args: vec![x, a],
             est_ms: 0.5,
+            cost: tvm_runtime::GroupCost {
+                cycles: 500.0,
+                flops: 8.0,
+                dram_bytes: 32.0,
+            },
             name: "k1".into(),
         },
         CompiledGroup {
             func: affine_kernel(4, 3.0, 0.0, "k2"),
             args: vec![a, b],
             est_ms: 0.25,
+            cost: tvm_runtime::GroupCost {
+                cycles: 250.0,
+                flops: 4.0,
+                dram_bytes: 16.0,
+            },
             name: "k2".into(),
         },
     ];
@@ -93,6 +103,55 @@ fn rerun_with_new_input_updates_output() {
         .expect("bind");
     ex.run().expect("runs");
     assert_eq!(ex.get_output(0).expect("output").data, vec![3.0; 4]);
+}
+
+#[test]
+fn profiler_records_per_op_and_changes_nothing() {
+    // Reference run without profiling.
+    let (module, _) = two_stage_module();
+    let mut plain = GraphExecutor::new(module);
+    plain
+        .set_input("data", NDArray::new(&[1, 4], vec![0.0, 1.0, 2.0, 3.0]))
+        .expect("bind");
+    let plain_ms = plain.run().expect("runs");
+    let plain_out = plain.get_output(0).expect("output").data.clone();
+
+    let (module, _) = two_stage_module();
+    let mut ex = GraphExecutor::new(module);
+    assert!(ex.profiler().is_none(), "off by default");
+    ex.enable_profiling();
+    ex.set_input("data", NDArray::new(&[1, 4], vec![0.0, 1.0, 2.0, 3.0]))
+        .expect("bind");
+    let ms = ex.run().expect("runs");
+    // Bit-for-bit identical results with profiling on.
+    assert_eq!(ex.get_output(0).expect("output").data, plain_out);
+    assert_eq!(ms, plain_ms);
+
+    let prof = ex.profiler().expect("enabled");
+    assert_eq!(prof.runs, 1);
+    assert_eq!(prof.ops.len(), 2);
+    assert_eq!(prof.ops[0].name, "k1");
+    assert_eq!(prof.ops[1].name, "k2");
+    assert_eq!(prof.ops[0].cycles, 500.0);
+    assert_eq!(prof.ops[1].cycles, 250.0);
+    assert!((prof.total_cycles() - 750.0).abs() < 1e-9);
+    assert!((prof.total_ms() - 0.75).abs() < 1e-12);
+    // f32 tensors of 4 elements: 16 bytes each.
+    assert_eq!(prof.ops[0].output_bytes, 16);
+    assert_eq!(prof.ops[1].input_bytes, 16);
+    // Plan stats are populated.
+    assert!(prof.slot_stats.planned_bytes > 0);
+    assert!(prof.slot_stats.unshared_bytes >= prof.slot_stats.planned_bytes);
+    // The table lists both kernels and the totals line.
+    let table = prof.table();
+    assert!(table.contains("k1") && table.contains("k2"), "{table}");
+    assert!(table.contains("total:"), "{table}");
+
+    // Records reset per run, run counter accumulates.
+    ex.run().expect("runs again");
+    let prof = ex.profiler().expect("enabled");
+    assert_eq!(prof.runs, 2);
+    assert_eq!(prof.ops.len(), 2);
 }
 
 #[test]
@@ -168,6 +227,7 @@ fn params_are_seeded_and_overridable() {
             func,
             args: vec![x, p, s],
             est_ms: 0.1,
+            cost: Default::default(),
             name: "add".into(),
         }],
         plan,

@@ -444,9 +444,9 @@ mod tests {
         if let Some(t) = tile {
             let ax = c.op.axes();
             let r = c.op.reduce_axes();
-            let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], t, t);
-            let (ko, ki) = s.split(&c, &r[0], t);
-            s.reorder(&c, &[&yo, &xo, &ko, &yi, &xi, &ki]);
+            let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], t, t).unwrap();
+            let (ko, ki) = s.split(&c, &r[0], t).unwrap();
+            s.reorder(&c, &[&yo, &xo, &ko, &yi, &xi, &ki]).unwrap();
         }
         lower(&s, &[a, b, c], "mm").expect("lowers")
     }

@@ -325,11 +325,11 @@ mod tests {
         let mut s2 = create_schedule(std::slice::from_ref(&c2));
         let ax = c2.op.axes();
         let r = c2.op.reduce_axes();
-        let (yo, xo, yi, xi) = s2.tile(&c2, &ax[0], &ax[1], 32, 32);
-        let (ko, ki) = s2.split(&c2, &r[0], 32);
-        s2.reorder(&c2, &[&yo, &xo, &ko, &yi, &ki, &xi]);
-        s2.vectorize(&c2, &xi);
-        s2.parallel(&c2, &yo);
+        let (yo, xo, yi, xi) = s2.tile(&c2, &ax[0], &ax[1], 32, 32).unwrap();
+        let (ko, ki) = s2.split(&c2, &r[0], 32).unwrap();
+        s2.reorder(&c2, &[&yo, &xo, &ko, &yi, &ki, &xi]).unwrap();
+        s2.vectorize(&c2, &xi).unwrap();
+        s2.parallel(&c2, &yo).unwrap();
         let tiled = lower(&s2, &[a2, b2, c2], "tiled").expect("lowers");
 
         let t = arm_a53();
@@ -350,14 +350,14 @@ mod tests {
         let b = compute(&[n, n], "B", |i| a.at(&[i[0].clone(), i[1].clone()]) * 2);
         let mut s = create_schedule(std::slice::from_ref(&b));
         let ax = b.op.axes();
-        s.vectorize(&b, &ax[1]); // unit stride: good
+        s.vectorize(&b, &ax[1]).unwrap(); // unit stride: good
         let good = lower(&s, &[a.clone(), b.clone()], "v_good").expect("lowers");
 
         let a2 = placeholder(&[n, n], DType::float32(), "A");
         let b2 = compute(&[n, n], "B", |i| a2.at(&[i[0].clone(), i[1].clone()]) * 2);
         let mut s2 = create_schedule(std::slice::from_ref(&b2));
         let ax2 = b2.op.axes();
-        s2.reorder(&b2, &[&ax2[1], &ax2[0]]);
+        s2.reorder(&b2, &[&ax2[1], &ax2[0]]).unwrap();
         let bad = lower(&s2, &[a2, b2], "strided").expect("lowers");
 
         let t = arm_a53();
@@ -370,19 +370,19 @@ mod tests {
         let (a, b, c) = matmul(n);
         let mut s = create_schedule(std::slice::from_ref(&c));
         let ax = c.op.axes();
-        let (by, bx, ty, tx) = s.tile(&c, &ax[0], &ax[1], 16, 16);
-        s.bind(&c, &by, ThreadTag::BlockIdxY);
-        s.bind(&c, &bx, ThreadTag::BlockIdxX);
-        s.bind(&c, &ty, ThreadTag::ThreadIdxY);
-        s.bind(&c, &tx, ThreadTag::ThreadIdxX);
+        let (by, bx, ty, tx) = s.tile(&c, &ax[0], &ax[1], 16, 16).unwrap();
+        s.bind(&c, &by, ThreadTag::BlockIdxY).unwrap();
+        s.bind(&c, &bx, ThreadTag::BlockIdxX).unwrap();
+        s.bind(&c, &ty, ThreadTag::ThreadIdxY).unwrap();
+        s.bind(&c, &tx, ThreadTag::ThreadIdxX).unwrap();
         let wide = lower(&s, &[a.clone(), b.clone(), c.clone()], "wide").expect("lowers");
 
         let (a2, b2, c2) = matmul(n);
         let mut s2 = create_schedule(std::slice::from_ref(&c2));
         let ax2 = c2.op.axes();
-        let (bx2, tx2) = s2.split(&c2, &ax2[0], 4);
-        s2.bind(&c2, &bx2, ThreadTag::BlockIdxX);
-        s2.bind(&c2, &tx2, ThreadTag::ThreadIdxX);
+        let (bx2, tx2) = s2.split(&c2, &ax2[0], 4).unwrap();
+        s2.bind(&c2, &bx2, ThreadTag::BlockIdxX).unwrap();
+        s2.bind(&c2, &tx2, ThreadTag::ThreadIdxX).unwrap();
         let narrow = lower(&s2, &[a2, b2, c2], "narrow").expect("lowers");
 
         let t = titanx();

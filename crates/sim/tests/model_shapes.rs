@@ -21,10 +21,10 @@ fn copy2d(n: i64, transposed_read: bool) -> (Tensor, Tensor) {
 
 fn gpu_flat_schedule(s: &mut Schedule, out: &Tensor) {
     let ax = out.op.axes();
-    let fused = s.fuse(out, &ax[0], &ax[1]);
-    let (bx, tx) = s.split(out, &fused, 256);
-    s.bind(out, &bx, ThreadTag::BlockIdxX);
-    s.bind(out, &tx, ThreadTag::ThreadIdxX);
+    let fused = s.fuse(out, &ax[0], &ax[1]).unwrap();
+    let (bx, tx) = s.split(out, &fused, 256).unwrap();
+    s.bind(out, &bx, ThreadTag::BlockIdxX).unwrap();
+    s.bind(out, &tx, ThreadTag::ThreadIdxX).unwrap();
 }
 
 #[test]
@@ -55,10 +55,10 @@ fn gpu_occupancy_penalizes_tiny_grids() {
         let (a, b) = copy2d(n, false);
         let mut s = create_schedule(std::slice::from_ref(&b));
         let ax = b.op.axes();
-        let fused = s.fuse(&b, &ax[0], &ax[1]);
-        let (bx, tx) = s.split(&b, &fused, threads);
-        s.bind(&b, &bx, ThreadTag::BlockIdxX);
-        s.bind(&b, &tx, ThreadTag::ThreadIdxX);
+        let fused = s.fuse(&b, &ax[0], &ax[1]).unwrap();
+        let (bx, tx) = s.split(&b, &fused, threads).unwrap();
+        s.bind(&b, &bx, ThreadTag::BlockIdxX).unwrap();
+        s.bind(&b, &tx, ThreadTag::ThreadIdxX).unwrap();
         let f = lower(&s, &[a, b], "copy").expect("lowers");
         costs.push(estimate(&f, &t).cycles);
     }
@@ -106,12 +106,12 @@ fn cpu_parallel_and_vectorize_help() {
         let (a, b) = copy2d(n, false);
         let mut s = create_schedule(std::slice::from_ref(&b));
         let ax = b.op.axes();
-        let (_, wi) = s.split(&b, &ax[1], 8);
+        let (_, wi) = s.split(&b, &ax[1], 8).unwrap();
         if vec {
-            s.vectorize(&b, &wi);
+            s.vectorize(&b, &wi).unwrap();
         }
         if par {
-            s.parallel(&b, &ax[0]);
+            s.parallel(&b, &ax[0]).unwrap();
         }
         let f = lower(&s, &[a, b], "copy").expect("lowers");
         estimate(&f, &t).cycles
@@ -136,9 +136,9 @@ fn cpu_unroll_removes_loop_overhead() {
         });
         let mut s = create_schedule(std::slice::from_ref(&c));
         let r = c.op.reduce_axes();
-        let (_, ki) = s.split(&c, &r[0], 8);
+        let (_, ki) = s.split(&c, &r[0], 8).unwrap();
         if unroll {
-            s.unroll(&c, &ki);
+            s.unroll(&c, &ki).unwrap();
         }
         let f = lower(&s, &[a, c], "rowsum").expect("lowers");
         estimate(&f, &t).cycles

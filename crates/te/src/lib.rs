@@ -14,7 +14,7 @@
 //! let b = compute(&[4], "B", |i| a.at(&[i[0].clone()]) * 2);
 //! let mut s = create_schedule(&[b.clone()]);
 //! let axes = b.op.axes();
-//! let (_o, _i) = s.split(&b, &axes[0], 2);
+//! let (_o, _i) = s.split(&b, &axes[0], 2).expect("valid split");
 //! let f = lower(&s, &[a, b], "double").expect("lowers");
 //! let mut bufs = vec![vec![1.0f32, 2.0, 3.0, 4.0], vec![0.0; 4]];
 //! Interp::new().run_f32(&f, &mut bufs).expect("runs");
@@ -29,7 +29,9 @@ pub mod tensorize;
 pub mod vthread;
 
 pub use lower::{lower, lower_with, LowerOptions, TeError};
-pub use schedule::{create_schedule, Attach, IterAttr, IterRelation, LoopAnn, Schedule, Stage};
+pub use schedule::{
+    create_schedule, Attach, IterAttr, IterRelation, LoopAnn, Schedule, ScheduleError, Stage,
+};
 pub use tensor::{
     compute, compute_with_axes, max_reduce, min_reduce, placeholder, reduce_axis, sum, Combiner,
     ComputeBody, IterKind, IterVar, OpId, OpKind, OpNode, OpRef, Tensor,

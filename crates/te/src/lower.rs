@@ -31,19 +31,73 @@ use crate::schedule::{Attach, IterRelation, LoopAnn, Schedule, Stage};
 use crate::tensor::{collect_reads, ComputeBody, IterKind, IterVar, OpId, Tensor};
 use crate::tensorize::BufferSlice;
 
-/// Lowering error.
+/// Lowering / schedule-application error.
 #[derive(Debug, Clone)]
-pub struct TeError(pub String);
+pub enum TeError {
+    /// Free-form lowering failure.
+    Msg(String),
+    /// A schedule primitive failed (bad itervar, unscheduled tensor, ...).
+    Schedule(crate::schedule::ScheduleError),
+    /// A `compute_at` producer whose consumer never received inferred
+    /// bounds. The common cause is attaching to a stage that was itself
+    /// inlined away (`consumer_inlined`); the fix is to attach to the
+    /// surviving stage the consumer was inlined into.
+    ComputeAtUnbounded {
+        /// The attached producer stage.
+        producer: String,
+        /// The consumer it was attached to.
+        consumer: String,
+        /// True when the consumer stage is marked `compute_inline`.
+        consumer_inlined: bool,
+    },
+}
+
+impl TeError {
+    /// Free-form error constructor.
+    pub fn msg(m: impl Into<String>) -> TeError {
+        TeError::Msg(m.into())
+    }
+}
 
 impl fmt::Display for TeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lowering error: {}", self.0)
+        match self {
+            TeError::Msg(m) => write!(f, "lowering error: {m}"),
+            TeError::Schedule(e) => write!(f, "lowering error: {e}"),
+            TeError::ComputeAtUnbounded {
+                producer,
+                consumer,
+                consumer_inlined,
+            } => {
+                write!(
+                    f,
+                    "lowering error: compute_at consumer `{consumer}` of `{producer}` \
+                     was never bounded"
+                )?;
+                if *consumer_inlined {
+                    write!(
+                        f,
+                        ": `{consumer}` is inlined, so it has no loops to attach to \
+                         (attach `{producer}` to the stage `{consumer}` was inlined into, \
+                         or drop the compute_inline)"
+                    )
+                } else {
+                    write!(f, " (is the attachment circular?)")
+                }
+            }
+        }
     }
 }
 impl std::error::Error for TeError {}
 
+impl From<crate::schedule::ScheduleError> for TeError {
+    fn from(e: crate::schedule::ScheduleError) -> TeError {
+        TeError::Schedule(e)
+    }
+}
+
 fn err<T>(msg: impl Into<String>) -> Result<T, TeError> {
-    Err(TeError(msg.into()))
+    Err(TeError::Msg(msg.into()))
 }
 
 /// Options for [`lower_with`].
@@ -83,8 +137,18 @@ pub fn lower_with(
     name: &str,
     opts: &LowerOptions,
 ) -> Result<LoweredFunc, TeError> {
-    let bodies = effective_bodies(sched);
-    let data = infer_bounds(sched, &bodies)?;
+    // Pass-level tracing: children of this span are the lowering stages
+    // plus the per-stage validation hooks (a no-op when the global obs
+    // registry is disabled).
+    let _lower_span = tvm_obs::span_with("lower", &[("kernel", name)]);
+    let bodies = {
+        let _s = tvm_obs::span("effective_bodies");
+        effective_bodies(sched)
+    };
+    let data = {
+        let _s = tvm_obs::span("infer_bounds");
+        infer_bounds(sched, &bodies)?
+    };
 
     // Buffer variables: params first (stable across calls), then internals.
     let mut buffers: HashMap<OpId, Var> = HashMap::new();
@@ -146,12 +210,16 @@ pub fn lower_with(
     };
 
     // Emit root stages in order, wrapping non-param roots in allocations.
+    let emit_span = tvm_obs::span("emit");
     let mut pieces: Vec<(OpId, Stmt)> = Vec::new();
     for stage in &sched.stages {
         if matches!(stage.attach, Attach::Root) {
+            let mut s = tvm_obs::span("emit_stage");
+            s.arg("stage", stage.tensor.name());
             pieces.push((stage.op_id(), em.emit_stage(stage.op_id())?));
         }
     }
+    drop(emit_span);
     let param_ids: HashSet<OpId> = args.iter().map(|t| t.op_id()).collect();
     let mut body = Stmt::nop();
     for (op, nest) in pieces.into_iter().rev() {
@@ -192,15 +260,28 @@ pub fn lower_with(
     let param_extents: Vec<usize> = args.iter().map(|t| t.numel() as usize).collect();
 
     validate_stage("emit", name, &body, &params, &param_extents)?;
-    let body = hoist_shared_allocs(&body);
+    let body = {
+        let _s = tvm_obs::span("hoist_shared_allocs");
+        hoist_shared_allocs(&body)
+    };
     validate_stage("hoist_shared_allocs", name, &body, &params, &param_extents)?;
-    let body = if opts.dae_sync {
-        crate::vthread::lower_dae(&body)
-    } else {
-        crate::vthread::lower_vthreads(&body)
+    let body = {
+        let _s = tvm_obs::span(if opts.dae_sync {
+            "lower_dae"
+        } else {
+            "lower_vthreads"
+        });
+        if opts.dae_sync {
+            crate::vthread::lower_dae(&body)
+        } else {
+            crate::vthread::lower_vthreads(&body)
+        }
     };
     validate_stage("lower_vthreads", name, &body, &params, &param_extents)?;
-    let body = tvm_ir::simplify_stmt(&body);
+    let body = {
+        let _s = tvm_obs::span("simplify");
+        tvm_ir::simplify_stmt(&body)
+    };
     validate_stage("simplify", name, &body, &params, &param_extents)?;
 
     Ok(LoweredFunc {
@@ -226,6 +307,7 @@ fn validate_stage(
     if !validation_enabled() {
         return Ok(());
     }
+    let _s = tvm_obs::span_with("validate", &[("after", stage)]);
     let report = tvm_analysis::analyze_stmt(
         body,
         params,
@@ -312,14 +394,15 @@ fn infer_bounds(
             Attach::Root | Attach::Inline => full_realize(shape),
             Attach::At { consumer, iter } => {
                 let cons_stage = sched.stage_by_op(*consumer).ok_or_else(|| {
-                    TeError(format!("unknown consumer for `{}`", stage.tensor.name()))
+                    TeError::msg(format!("unknown consumer for `{}`", stage.tensor.name()))
                 })?;
-                let cons_data = out.get(consumer).ok_or_else(|| {
-                    TeError(format!(
-                        "compute_at consumer of `{}` not yet bounded (attach to an inlined stage?)",
-                        stage.tensor.name()
-                    ))
-                })?;
+                let cons_data = out
+                    .get(consumer)
+                    .ok_or_else(|| TeError::ComputeAtUnbounded {
+                        producer: stage.tensor.name().to_string(),
+                        consumer: cons_stage.tensor.name().to_string(),
+                        consumer_inlined: matches!(cons_stage.attach, Attach::Inline),
+                    })?;
                 compute_region(stage, cons_stage, cons_data, iter, bodies, &thread_extents)?
             }
         };
@@ -335,7 +418,7 @@ fn infer_bounds(
         if let Some(ComputeBody::Reduce { axes, .. }) = bodies.get(&stage.op_id()) {
             for r in axes {
                 let e = r.const_extent().ok_or_else(|| {
-                    TeError(format!(
+                    TeError::msg(format!(
                         "reduce axis `{}` has no constant extent",
                         r.var.name()
                     ))
@@ -406,7 +489,7 @@ fn compute_region(
         .iter()
         .position(|l| l.var == *attach_iter)
         .ok_or_else(|| {
-            TeError(format!(
+            TeError::msg(format!(
                 "attach iter `{}` is not a leaf of `{}`",
                 attach_iter.name(),
                 cons_stage.tensor.name()
@@ -450,16 +533,15 @@ fn compute_region(
         }
     }
     let body = bodies.get(&cons_stage.op_id()).ok_or_else(|| {
-        TeError(format!(
+        TeError::msg(format!(
             "consumer `{}` has no body",
             cons_stage.tensor.name()
         ))
     })?;
     let mut regions: Vec<(Vec<Expr>, Vec<i64>)> = Vec::new();
     let target = stage.op_id();
-    let failure: Option<TeError> = None;
     collect_reads(body.source_expr(), &mut |t, idx| {
-        if t.op_id() != target || failure.is_some() {
+        if t.op_id() != target {
             return;
         }
         let mut mins = Vec::with_capacity(idx.len());
@@ -520,10 +602,7 @@ fn compute_region(
             }
         }
         regions.push((mins, exts));
-    });
-    if let Some(e) = failure {
-        return Err(e);
-    }
+    })?;
     if regions.is_empty() {
         // Consumer does not read this op directly (multi-level attachment
         // chains read through other stages): be conservative.
@@ -624,7 +703,7 @@ fn resolve_iters(
                 factor,
             } => {
                 let ep = *extents.get(&parent.id()).ok_or_else(|| {
-                    TeError(format!(
+                    TeError::msg(format!(
                         "split parent `{}` has unknown extent",
                         parent.name()
                     ))
@@ -646,10 +725,10 @@ fn resolve_iters(
                 fused,
             } => {
                 let eo = *extents.get(&outer.id()).ok_or_else(|| {
-                    TeError(format!("fuse outer `{}` has unknown extent", outer.name()))
+                    TeError::msg(format!("fuse outer `{}` has unknown extent", outer.name()))
                 })?;
                 let ei = *extents.get(&inner.id()).ok_or_else(|| {
-                    TeError(format!("fuse inner `{}` has unknown extent", inner.name()))
+                    TeError::msg(format!("fuse inner `{}` has unknown extent", inner.name()))
                 })?;
                 extents.insert(fused.var.id(), eo * ei);
                 let kind = kinds.get(&outer.id()).copied().unwrap_or(IterKind::Data);
@@ -731,9 +810,9 @@ fn expand_var(
                 inner,
                 fused,
             } => {
-                let ei = *extents
-                    .get(&inner.id())
-                    .ok_or_else(|| TeError(format!("fuse inner `{}` unresolved", inner.name())))?;
+                let ei = *extents.get(&inner.id()).ok_or_else(|| {
+                    TeError::msg(format!("fuse inner `{}` unresolved", inner.name()))
+                })?;
                 if outer.id() == var.id() {
                     let f = expand_var(&fused.var, stage, extents, seen)?;
                     seen.remove(&var.id());
@@ -828,11 +907,11 @@ impl Emitter<'_> {
         let buf = self
             .buffers
             .get(&id)
-            .ok_or_else(|| TeError(format!("no buffer for read of op {id:?}")))?;
+            .ok_or_else(|| TeError::msg(format!("no buffer for read of op {id:?}")))?;
         let sd = self
             .data
             .get(&id)
-            .ok_or_else(|| TeError(format!("no bounds for read of op {id:?}")))?;
+            .ok_or_else(|| TeError::msg(format!("no bounds for read of op {id:?}")))?;
         let strides = row_major_strides(&sd.realize_ext);
         let mut flat = Expr::int(0);
         for (d, e) in idx.iter().enumerate() {
@@ -846,12 +925,12 @@ impl Emitter<'_> {
         let stage = self
             .sched
             .stage_by_op(op)
-            .ok_or_else(|| TeError("missing stage".into()))?;
+            .ok_or_else(|| TeError::msg("missing stage"))?;
         let sd = &self.data[&op];
         let body = self
             .bodies
             .get(&op)
-            .ok_or_else(|| TeError(format!("stage `{}` has no body", stage.tensor.name())))?;
+            .ok_or_else(|| TeError::msg(format!("stage `{}` has no body", stage.tensor.name())))?;
         let leaves = stage.leaf_iters.clone();
         let self_buf = self.buffers[&op].clone();
         let strides = self.strides_of(op);
@@ -932,7 +1011,7 @@ impl Emitter<'_> {
                 leaves
                     .iter()
                     .position(|l| l.var.id() == *vid)
-                    .ok_or_else(|| TeError("tensorize target is not a leaf".into()))?,
+                    .ok_or_else(|| TeError::msg("tensorize target is not a leaf"))?,
             ),
             None => None,
         };
@@ -1020,11 +1099,7 @@ impl Emitter<'_> {
                 };
                 // Input slices, in body read order.
                 let mut inputs: Vec<BufferSlice> = Vec::new();
-                let read_err: Option<TeError> = None;
                 collect_reads(body.source_expr(), &mut |t, idx| {
-                    if read_err.is_some() {
-                        return;
-                    }
                     let id = t.op_id();
                     let tsd = &self.data[&id];
                     let tstr = row_major_strides(&tsd.realize_ext);
@@ -1042,10 +1117,7 @@ impl Emitter<'_> {
                         shape: tsd.realize_ext.clone(),
                         dtype: t.dtype(),
                     });
-                });
-                if let Some(e) = read_err {
-                    return Err(e);
-                }
+                })?;
                 let imp = (intrin.0.lower)(&inputs, &output);
                 // When the whole reduction sits inside the tensorized
                 // region, the reset belongs at the tensorize position.
@@ -1091,7 +1163,7 @@ impl Emitter<'_> {
         let ext = *sd
             .extents
             .get(&leaf.var.id())
-            .ok_or_else(|| TeError(format!("no extent for leaf `{}`", leaf.var.name())))?;
+            .ok_or_else(|| TeError::msg(format!("no extent for leaf `{}`", leaf.var.name())))?;
 
         let mut inner = self.emit_from(plan, idx + 1)?;
 
@@ -1139,10 +1211,9 @@ impl Emitter<'_> {
             // end of lowering (all statements in a kernel execute on every
             // thread, as on real hardware). A stage binding fewer
             // iterations than the canonical extent runs under a guard.
-            let (tv, text) =
-                self.thread_vars.get(&tag).cloned().ok_or_else(|| {
-                    TeError(format!("thread axis {} not pre-scanned", tag.name()))
-                })?;
+            let (tv, text) = self.thread_vars.get(&tag).cloned().ok_or_else(|| {
+                TeError::msg(format!("thread axis {} not pre-scanned", tag.name()))
+            })?;
             let mut m = HashMap::new();
             m.insert(leaf.var.id(), tv.to_expr());
             let unified = tvm_ir::substitute_stmt(&inner, &m);

@@ -8,11 +8,128 @@
 //! (`crate::lower`) turns the final schedule into a low-level loop program.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use tvm_ir::{Expr, MemScope, ThreadTag, Var, VarId};
 
 use crate::tensor::{compute_with_axes, ComputeBody, IterVar, OpId, Tensor};
 use crate::tensorize::TensorIntrin;
+
+/// Typed error raised by schedule primitives instead of panicking: a bad
+/// primitive application (wrong itervar, non-adjacent fuse, inlining an
+/// output, ...) is a user input error, not a compiler invariant violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The itervar is not a leaf of the stage (wrong tensor, or the var was
+    /// already split/fused away).
+    NotALeaf {
+        /// Offending itervar name.
+        iter: String,
+        /// Stage the caller addressed.
+        stage: String,
+    },
+    /// The tensor's operation has no stage in this schedule.
+    NotScheduled {
+        /// The unscheduled tensor's name.
+        tensor: String,
+    },
+    /// `split` with factor < 1.
+    BadSplitFactor {
+        /// The rejected factor.
+        factor: i64,
+        /// Stage being split.
+        stage: String,
+    },
+    /// `fuse` on two leaves that are not adjacent in the current order.
+    NotAdjacent {
+        /// Requested outer leaf.
+        outer: String,
+        /// Requested inner leaf.
+        inner: String,
+        /// Stage being fused.
+        stage: String,
+    },
+    /// `compute_inline` on an output stage.
+    InlineOutput {
+        /// The output stage.
+        stage: String,
+    },
+    /// `compute_inline` on a reduction stage.
+    InlineReduction {
+        /// The reduction stage.
+        stage: String,
+    },
+    /// A caching primitive addressed a stage with no compute body
+    /// (a placeholder).
+    NoBody {
+        /// The primitive that failed.
+        primitive: &'static str,
+        /// The body-less stage/tensor.
+        stage: String,
+    },
+    /// `cache_read` with an empty reader list.
+    NoReaders {
+        /// Tensor being cached.
+        tensor: String,
+    },
+    /// `cache_write` applied after other primitives already transformed the
+    /// stage (its reduce axes can no longer be moved).
+    CacheWriteNotFirst {
+        /// The already-transformed stage.
+        stage: String,
+    },
+    /// An expression reads a tensor missing from the global registry.
+    UnregisteredRead {
+        /// The unresolvable read key.
+        name: String,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NotALeaf { iter, stage } => {
+                write!(f, "itervar `{iter}` is not a leaf of stage `{stage}`")
+            }
+            ScheduleError::NotScheduled { tensor } => {
+                write!(f, "tensor `{tensor}` is not scheduled here")
+            }
+            ScheduleError::BadSplitFactor { factor, stage } => {
+                write!(f, "split factor must be >= 1, got {factor} on `{stage}`")
+            }
+            ScheduleError::NotAdjacent {
+                outer,
+                inner,
+                stage,
+            } => write!(
+                f,
+                "fuse of `{outer}` and `{inner}` on `{stage}` requires adjacent \
+                 leaves (reorder first)"
+            ),
+            ScheduleError::InlineOutput { stage } => {
+                write!(f, "cannot inline output stage `{stage}`")
+            }
+            ScheduleError::InlineReduction { stage } => {
+                write!(f, "cannot inline reduction stage `{stage}`")
+            }
+            ScheduleError::NoBody { primitive, stage } => {
+                write!(f, "{primitive} target `{stage}` has no body")
+            }
+            ScheduleError::NoReaders { tensor } => {
+                write!(f, "cache_read of `{tensor}` requires at least one reader")
+            }
+            ScheduleError::CacheWriteNotFirst { stage } => write!(
+                f,
+                "cache_write must be applied before other schedule primitives on `{stage}`"
+            ),
+            ScheduleError::UnregisteredRead { name } => {
+                write!(f, "unregistered tensor read {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
 
 /// Loop annotation applied by annotation primitives.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -123,16 +240,13 @@ impl Stage {
     }
 
     /// Position of an itervar among the leaves.
-    fn leaf_pos(&self, iv: &IterVar) -> usize {
+    fn leaf_pos(&self, iv: &IterVar) -> Result<usize, ScheduleError> {
         self.leaf_iters
             .iter()
             .position(|l| l.var == iv.var)
-            .unwrap_or_else(|| {
-                panic!(
-                    "itervar `{}` is not a leaf of stage `{}`",
-                    iv.var.name(),
-                    self.tensor.name()
-                )
+            .ok_or_else(|| ScheduleError::NotALeaf {
+                iter: iv.var.name().to_string(),
+                stage: self.tensor.name().to_string(),
             })
     }
 
@@ -188,22 +302,24 @@ pub fn create_schedule(outputs: &[Tensor]) -> Schedule {
 
 impl Schedule {
     /// The stage scheduling `t`'s operation.
-    pub fn stage(&self, t: &Tensor) -> &Stage {
-        &self.stages[self.stage_index(t)]
+    pub fn stage(&self, t: &Tensor) -> Result<&Stage, ScheduleError> {
+        Ok(&self.stages[self.stage_index(t)?])
     }
 
     /// Mutable stage access.
-    pub fn stage_mut(&mut self, t: &Tensor) -> &mut Stage {
-        let i = self.stage_index(t);
-        &mut self.stages[i]
+    pub fn stage_mut(&mut self, t: &Tensor) -> Result<&mut Stage, ScheduleError> {
+        let i = self.stage_index(t)?;
+        Ok(&mut self.stages[i])
     }
 
     /// Stage index of a tensor's op.
-    pub fn stage_index(&self, t: &Tensor) -> usize {
-        *self
-            .stage_of
+    pub fn stage_index(&self, t: &Tensor) -> Result<usize, ScheduleError> {
+        self.stage_of
             .get(&t.op_id())
-            .unwrap_or_else(|| panic!("tensor `{}` is not scheduled here", t.name()))
+            .copied()
+            .ok_or_else(|| ScheduleError::NotScheduled {
+                tensor: t.name().to_string(),
+            })
     }
 
     /// Stage lookup by op id.
@@ -212,10 +328,20 @@ impl Schedule {
     }
 
     /// Splits a leaf itervar by `factor`, returning `(outer, inner)`.
-    pub fn split(&mut self, t: &Tensor, iv: &IterVar, factor: i64) -> (IterVar, IterVar) {
-        assert!(factor >= 1, "split factor must be >= 1, got {factor}");
-        let stage = self.stage_mut(t);
-        let pos = stage.leaf_pos(iv);
+    pub fn split(
+        &mut self,
+        t: &Tensor,
+        iv: &IterVar,
+        factor: i64,
+    ) -> Result<(IterVar, IterVar), ScheduleError> {
+        if factor < 1 {
+            return Err(ScheduleError::BadSplitFactor {
+                factor,
+                stage: t.name().to_string(),
+            });
+        }
+        let stage = self.stage_mut(t)?;
+        let pos = stage.leaf_pos(iv)?;
         let outer = IterVar {
             kind: iv.kind,
             ..IterVar::derived(format!("{}.o", iv.var.name()))
@@ -233,11 +359,12 @@ impl Schedule {
         stage
             .leaf_iters
             .splice(pos..=pos, [outer.clone(), inner.clone()]);
-        (outer, inner)
+        Ok((outer, inner))
     }
 
     /// Tiles two leaf itervars — `s[C].tile(y, x, fy, fx)` — returning
     /// `(yo, xo, yi, xi)` and reordering the leaves accordingly.
+    #[allow(clippy::type_complexity)]
     pub fn tile(
         &mut self,
         t: &Tensor,
@@ -245,19 +372,30 @@ impl Schedule {
         x: &IterVar,
         fy: i64,
         fx: i64,
-    ) -> (IterVar, IterVar, IterVar, IterVar) {
-        let (yo, yi) = self.split(t, y, fy);
-        let (xo, xi) = self.split(t, x, fx);
-        self.reorder(t, &[&yo, &xo, &yi, &xi]);
-        (yo, xo, yi, xi)
+    ) -> Result<(IterVar, IterVar, IterVar, IterVar), ScheduleError> {
+        let (yo, yi) = self.split(t, y, fy)?;
+        let (xo, xi) = self.split(t, x, fx)?;
+        self.reorder(t, &[&yo, &xo, &yi, &xi])?;
+        Ok((yo, xo, yi, xi))
     }
 
     /// Fuses two adjacent leaf itervars into one.
-    pub fn fuse(&mut self, t: &Tensor, outer: &IterVar, inner: &IterVar) -> IterVar {
-        let stage = self.stage_mut(t);
-        let po = stage.leaf_pos(outer);
-        let pi = stage.leaf_pos(inner);
-        assert_eq!(pi, po + 1, "fuse requires adjacent leaves (reorder first)");
+    pub fn fuse(
+        &mut self,
+        t: &Tensor,
+        outer: &IterVar,
+        inner: &IterVar,
+    ) -> Result<IterVar, ScheduleError> {
+        let stage = self.stage_mut(t)?;
+        let po = stage.leaf_pos(outer)?;
+        let pi = stage.leaf_pos(inner)?;
+        if pi != po + 1 {
+            return Err(ScheduleError::NotAdjacent {
+                outer: outer.var.name().to_string(),
+                inner: inner.var.name().to_string(),
+                stage: stage.tensor.name().to_string(),
+            });
+        }
         let kind = outer.kind;
         let fused = IterVar {
             kind,
@@ -269,109 +407,141 @@ impl Schedule {
             fused: fused.clone(),
         });
         stage.leaf_iters.splice(po..=pi, [fused.clone()]);
-        fused
+        Ok(fused)
     }
 
     /// Reorders the listed leaves into the given relative order (leaves not
     /// listed keep their positions).
-    pub fn reorder(&mut self, t: &Tensor, order: &[&IterVar]) {
-        let stage = self.stage_mut(t);
-        let positions: Vec<usize> = order.iter().map(|iv| stage.leaf_pos(iv)).collect();
+    pub fn reorder(&mut self, t: &Tensor, order: &[&IterVar]) -> Result<(), ScheduleError> {
+        let stage = self.stage_mut(t)?;
+        let positions: Vec<usize> = order
+            .iter()
+            .map(|iv| stage.leaf_pos(iv))
+            .collect::<Result<_, _>>()?;
         let mut sorted = positions.clone();
         sorted.sort_unstable();
         for (slot, iv) in sorted.iter().zip(order.iter()) {
             stage.leaf_iters[*slot] = (*iv).clone();
         }
+        Ok(())
     }
 
     /// Binds a leaf itervar to a GPU thread axis.
-    pub fn bind(&mut self, t: &Tensor, iv: &IterVar, tag: ThreadTag) {
-        let stage = self.stage_mut(t);
-        stage.leaf_pos(iv); // validate
+    pub fn bind(&mut self, t: &Tensor, iv: &IterVar, tag: ThreadTag) -> Result<(), ScheduleError> {
+        let stage = self.stage_mut(t)?;
+        stage.leaf_pos(iv)?; // validate
         stage.attr_mut(iv).thread = Some(tag);
+        Ok(())
     }
 
     /// Marks a leaf itervar for SIMD vectorization.
-    pub fn vectorize(&mut self, t: &Tensor, iv: &IterVar) {
-        self.annotate(t, iv, LoopAnn::Vectorize);
+    pub fn vectorize(&mut self, t: &Tensor, iv: &IterVar) -> Result<(), ScheduleError> {
+        self.annotate(t, iv, LoopAnn::Vectorize)
     }
 
     /// Marks a leaf itervar for unrolling.
-    pub fn unroll(&mut self, t: &Tensor, iv: &IterVar) {
-        self.annotate(t, iv, LoopAnn::Unroll);
+    pub fn unroll(&mut self, t: &Tensor, iv: &IterVar) -> Result<(), ScheduleError> {
+        self.annotate(t, iv, LoopAnn::Unroll)
     }
 
     /// Marks a leaf itervar for CPU multi-core parallelism.
-    pub fn parallel(&mut self, t: &Tensor, iv: &IterVar) {
-        self.annotate(t, iv, LoopAnn::Parallel);
+    pub fn parallel(&mut self, t: &Tensor, iv: &IterVar) -> Result<(), ScheduleError> {
+        self.annotate(t, iv, LoopAnn::Parallel)
     }
 
     /// Marks a leaf itervar as a virtual thread (§4.4).
-    pub fn vthread(&mut self, t: &Tensor, iv: &IterVar) {
-        self.annotate(t, iv, LoopAnn::VThread);
+    pub fn vthread(&mut self, t: &Tensor, iv: &IterVar) -> Result<(), ScheduleError> {
+        self.annotate(t, iv, LoopAnn::VThread)
     }
 
-    fn annotate(&mut self, t: &Tensor, iv: &IterVar, ann: LoopAnn) {
-        let stage = self.stage_mut(t);
-        stage.leaf_pos(iv); // validate
+    fn annotate(&mut self, t: &Tensor, iv: &IterVar, ann: LoopAnn) -> Result<(), ScheduleError> {
+        let stage = self.stage_mut(t)?;
+        stage.leaf_pos(iv)?; // validate
         stage.attr_mut(iv).ann = Some(ann);
+        Ok(())
     }
 
     /// Attaches a back-end pragma to a leaf itervar (e.g. `dma_copy`).
-    pub fn pragma(&mut self, t: &Tensor, iv: &IterVar, key: impl Into<String>) {
-        let stage = self.stage_mut(t);
-        stage.leaf_pos(iv); // validate
+    pub fn pragma(
+        &mut self,
+        t: &Tensor,
+        iv: &IterVar,
+        key: impl Into<String>,
+    ) -> Result<(), ScheduleError> {
+        let stage = self.stage_mut(t)?;
+        stage.leaf_pos(iv)?; // validate
         stage.attr_mut(iv).pragma = Some(key.into());
+        Ok(())
     }
 
     /// Nests `producer`'s computation inside `consumer`'s loop over `iv`.
-    pub fn compute_at(&mut self, producer: &Tensor, consumer: &Tensor, iv: &IterVar) {
+    pub fn compute_at(
+        &mut self,
+        producer: &Tensor,
+        consumer: &Tensor,
+        iv: &IterVar,
+    ) -> Result<(), ScheduleError> {
         let cons_id = consumer.op_id();
         // Validate that `iv` is a leaf of the consumer.
-        self.stage(consumer)
-            .leaf_iters
-            .iter()
-            .position(|l| l.var == iv.var)
-            .unwrap_or_else(|| {
-                panic!(
-                    "compute_at target `{}` is not a leaf of `{}`",
-                    iv.var.name(),
-                    consumer.name()
-                )
-            });
-        let stage = self.stage_mut(producer);
+        self.stage(consumer)?.leaf_pos(iv)?;
+        let stage = self.stage_mut(producer)?;
         stage.attach = Attach::At {
             consumer: cons_id,
             iter: iv.var.clone(),
         };
+        Ok(())
     }
 
     /// Inlines an injective stage into all of its consumers.
-    pub fn compute_inline(&mut self, t: &Tensor) {
-        let stage = self.stage_mut(t);
-        assert!(
-            !stage.is_output,
-            "cannot inline output stage `{}`",
-            t.name()
-        );
-        assert!(
-            matches!(t.op.body(), Some(ComputeBody::Plain(_))),
-            "cannot inline reduction stage `{}`",
-            t.name()
-        );
+    pub fn compute_inline(&mut self, t: &Tensor) -> Result<(), ScheduleError> {
+        let stage = self.stage_mut(t)?;
+        if stage.is_output {
+            return Err(ScheduleError::InlineOutput {
+                stage: t.name().to_string(),
+            });
+        }
+        if !matches!(t.op.body(), Some(ComputeBody::Plain(_))) {
+            return Err(ScheduleError::InlineReduction {
+                stage: t.name().to_string(),
+            });
+        }
         stage.attach = Attach::Inline;
+        Ok(())
     }
 
     /// Sets the memory scope of a stage's buffer.
-    pub fn set_scope(&mut self, t: &Tensor, scope: MemScope) {
-        self.stage_mut(t).scope = scope;
+    pub fn set_scope(&mut self, t: &Tensor, scope: MemScope) -> Result<(), ScheduleError> {
+        self.stage_mut(t)?.scope = scope;
+        Ok(())
     }
 
     /// Creates a cached copy of `t` in `scope` and redirects `readers` to
     /// consume the cache — the `cache_read` primitive that enables
     /// cooperative shared-memory fetching (§4.2) and accelerator DMA
     /// staging.
-    pub fn cache_read(&mut self, t: &Tensor, scope: MemScope, readers: &[&Tensor]) -> Tensor {
+    pub fn cache_read(
+        &mut self,
+        t: &Tensor,
+        scope: MemScope,
+        readers: &[&Tensor],
+    ) -> Result<Tensor, ScheduleError> {
+        if readers.is_empty() {
+            return Err(ScheduleError::NoReaders {
+                tensor: t.name().to_string(),
+            });
+        }
+        // Validate up front (before mutating any reader body) so a failed
+        // call leaves the schedule untouched.
+        let mut insert_at = usize::MAX;
+        for reader in readers {
+            if reader.op.body().is_none() {
+                return Err(ScheduleError::NoBody {
+                    primitive: "cache_read reader",
+                    stage: reader.name().to_string(),
+                });
+            }
+            insert_at = insert_at.min(self.stage_index(reader)?);
+        }
         let axes: Vec<IterVar> = t
             .shape()
             .iter()
@@ -386,25 +556,20 @@ impl Schedule {
             axes,
             body,
         );
-        // Redirect reader bodies.
+        // Redirect reader bodies (validated non-placeholder above).
         for reader in readers {
-            let body = reader
-                .op
-                .body()
-                .unwrap_or_else(|| panic!("cache_read reader `{}` has no body", reader.name()));
+            let body = reader.op.body().ok_or_else(|| ScheduleError::NoBody {
+                primitive: "cache_read reader",
+                stage: reader.name().to_string(),
+            })?;
             let new_body = crate::rewrite::replace_reads(&body, t.op_id(), &cached);
-            reader.op.set_body(new_body);
+            reader.op.set_body(new_body)?;
         }
         // Insert the cache stage immediately before the earliest reader.
-        let insert_at = readers
-            .iter()
-            .map(|r| self.stage_index(r))
-            .min()
-            .expect("cache_read requires at least one reader");
         let mut stage = Stage::new(cached.clone(), false);
         stage.scope = scope;
         self.insert_stage(insert_at, stage);
-        cached
+        Ok(cached)
     }
 
     /// Moves `t`'s computation into a new stage writing to `scope`, leaving
@@ -413,10 +578,18 @@ impl Schedule {
     ///
     /// Must be applied before other primitives touch `t`'s stage: the
     /// reduction axes move to the returned cache stage.
-    pub fn cache_write(&mut self, t: &Tensor, scope: MemScope) -> Tensor {
-        let body =
-            t.op.body()
-                .unwrap_or_else(|| panic!("cache_write target `{}` has no body", t.name()));
+    pub fn cache_write(&mut self, t: &Tensor, scope: MemScope) -> Result<Tensor, ScheduleError> {
+        let body = t.op.body().ok_or_else(|| ScheduleError::NoBody {
+            primitive: "cache_write",
+            stage: t.name().to_string(),
+        })?;
+        // Validate placement before mutating the op body below.
+        let orig_index = self.stage_index(t)?;
+        if !self.stages[orig_index].relations.is_empty() {
+            return Err(ScheduleError::CacheWriteNotFirst {
+                stage: t.name().to_string(),
+            });
+        }
         let old_axes = t.op.axes();
         let new_axes: Vec<IterVar> = t
             .shape()
@@ -437,30 +610,27 @@ impl Schedule {
         );
         // The original op becomes an identity copy of the cache.
         let idx: Vec<Expr> = old_axes.iter().map(|a| a.expr()).collect();
-        t.op.set_body(ComputeBody::Plain(cached.at(&idx)));
+        t.op.set_body(ComputeBody::Plain(cached.at(&idx)))?;
         // Reset the original stage's loop state: its reduce axes are gone.
-        let orig_index = self.stage_index(t);
-        {
-            let stage = &mut self.stages[orig_index];
-            assert!(
-                stage.relations.is_empty(),
-                "cache_write must be applied before other schedule primitives on `{}`",
-                t.name()
-            );
-            stage.leaf_iters = t.op.axes();
-        }
+        self.stages[orig_index].leaf_iters = t.op.axes();
         let mut stage = Stage::new(cached.clone(), false);
         stage.scope = scope;
         self.insert_stage(orig_index, stage);
-        cached
+        Ok(cached)
     }
 
     /// Replaces the loop nest from leaf `iv` inwards with a declared
     /// hardware intrinsic (§4.3).
-    pub fn tensorize(&mut self, t: &Tensor, iv: &IterVar, intrin: TensorIntrin) {
-        let stage = self.stage_mut(t);
-        stage.leaf_pos(iv); // validate
+    pub fn tensorize(
+        &mut self,
+        t: &Tensor,
+        iv: &IterVar,
+        intrin: TensorIntrin,
+    ) -> Result<(), ScheduleError> {
+        let stage = self.stage_mut(t)?;
+        stage.leaf_pos(iv)?; // validate
         stage.tensorize_at = Some((iv.var.id(), intrin));
+        Ok(())
     }
 
     fn insert_stage(&mut self, index: usize, stage: Stage) {
@@ -510,9 +680,9 @@ mod tests {
         let (_, _, c) = matmul(16);
         let mut s = create_schedule(std::slice::from_ref(&c));
         let axes = c.op.axes();
-        assert_eq!(s.stage(&c).leaf_iters.len(), 3); // y, x, k
-        let (yo, yi) = s.split(&c, &axes[0], 4);
-        let leaves = &s.stage(&c).leaf_iters;
+        assert_eq!(s.stage(&c).unwrap().leaf_iters.len(), 3); // y, x, k
+        let (yo, yi) = s.split(&c, &axes[0], 4).unwrap();
+        let leaves = &s.stage(&c).unwrap().leaf_iters;
         assert_eq!(leaves.len(), 4);
         assert_eq!(leaves[0].var, yo.var);
         assert_eq!(leaves[1].var, yi.var);
@@ -523,8 +693,14 @@ mod tests {
         let (_, _, c) = matmul(16);
         let mut s = create_schedule(std::slice::from_ref(&c));
         let axes = c.op.axes();
-        let (yo, xo, yi, xi) = s.tile(&c, &axes[0], &axes[1], 4, 4);
-        let names: Vec<VarId> = s.stage(&c).leaf_iters.iter().map(|l| l.var.id()).collect();
+        let (yo, xo, yi, xi) = s.tile(&c, &axes[0], &axes[1], 4, 4).unwrap();
+        let names: Vec<VarId> = s
+            .stage(&c)
+            .unwrap()
+            .leaf_iters
+            .iter()
+            .map(|l| l.var.id())
+            .collect();
         assert_eq!(
             names[..4],
             [yo.var.id(), xo.var.id(), yi.var.id(), xi.var.id()]
@@ -536,8 +712,8 @@ mod tests {
         let (_, _, c) = matmul(16);
         let mut s = create_schedule(std::slice::from_ref(&c));
         let axes = c.op.axes();
-        let f = s.fuse(&c, &axes[0], &axes[1]);
-        let leaves = &s.stage(&c).leaf_iters;
+        let f = s.fuse(&c, &axes[0], &axes[1]).unwrap();
+        let leaves = &s.stage(&c).unwrap().leaf_iters;
         assert_eq!(leaves.len(), 2); // fused, k
         assert_eq!(leaves[0].var, f.var);
     }
@@ -546,35 +722,71 @@ mod tests {
     fn cache_write_moves_reduction() {
         let (_, _, c) = matmul(16);
         let mut s = create_schedule(std::slice::from_ref(&c));
-        let cl = s.cache_write(&c, MemScope::Local);
+        let cl = s.cache_write(&c, MemScope::Local).unwrap();
         assert_eq!(s.stages.len(), 2);
         assert_eq!(s.stages[0].tensor.op_id(), cl.op_id());
         assert_eq!(s.stages[0].scope, MemScope::Local);
         // Original op is now an identity read of the cache.
         assert!(matches!(c.op.body().expect("body"), ComputeBody::Plain(_)));
-        assert_eq!(s.stage(&c).leaf_iters.len(), 2); // reduce axis moved
-        assert_eq!(s.stage(&cl).leaf_iters.len(), 3);
+        assert_eq!(s.stage(&c).unwrap().leaf_iters.len(), 2); // reduce axis moved
+        assert_eq!(s.stage(&cl).unwrap().leaf_iters.len(), 3);
     }
 
     #[test]
     fn cache_read_redirects_readers() {
         let (a, _, c) = matmul(16);
         let mut s = create_schedule(std::slice::from_ref(&c));
-        let ashared = s.cache_read(&a, MemScope::Shared, &[&c]);
+        let ashared = s.cache_read(&a, MemScope::Shared, &[&c]).unwrap();
         let inputs = c.op.input_tensors();
         assert!(inputs.iter().any(|t| t.op_id() == ashared.op_id()));
         assert!(!inputs.iter().any(|t| t.op_id() == a.op_id()));
-        assert_eq!(s.stage(&ashared).scope, MemScope::Shared);
+        assert_eq!(s.stage(&ashared).unwrap().scope, MemScope::Shared);
         // Cache stage precedes the consumer.
-        assert!(s.stage_index(&ashared) < s.stage_index(&c));
+        assert!(s.stage_index(&ashared).unwrap() < s.stage_index(&c).unwrap());
     }
 
     #[test]
-    #[should_panic(expected = "not a leaf")]
-    fn split_nonexistent_leaf_panics() {
+    fn split_nonexistent_leaf_errors() {
         let (_, _, c) = matmul(16);
         let mut s = create_schedule(std::slice::from_ref(&c));
         let bogus = IterVar::data(4, "bogus");
-        s.split(&c, &bogus, 2);
+        let err = s.split(&c, &bogus, 2).unwrap_err();
+        assert!(matches!(err, ScheduleError::NotALeaf { .. }), "{err}");
+        assert!(err.to_string().contains("not a leaf"), "{err}");
+    }
+
+    #[test]
+    fn bad_primitive_applications_error() {
+        let (a, _, c) = matmul(16);
+        let mut s = create_schedule(std::slice::from_ref(&c));
+        let axes = c.op.axes();
+        assert!(matches!(
+            s.split(&c, &axes[0], 0),
+            Err(ScheduleError::BadSplitFactor { .. })
+        ));
+        // Fusing y with k (not adjacent to y) is rejected.
+        let k = &s.stage(&c).unwrap().leaf_iters[2].clone();
+        assert!(matches!(
+            s.fuse(&c, &axes[0], k),
+            Err(ScheduleError::NotAdjacent { .. })
+        ));
+        assert!(matches!(
+            s.compute_inline(&c),
+            Err(ScheduleError::InlineOutput { .. })
+        ));
+        assert!(matches!(
+            s.cache_read(&a, MemScope::Shared, &[]),
+            Err(ScheduleError::NoReaders { .. })
+        ));
+        assert!(matches!(
+            s.cache_write(&a, MemScope::Local),
+            Err(ScheduleError::NoBody { .. })
+        ));
+        // An unscheduled tensor is reported by name.
+        let stray = placeholder(&[4], DType::float32(), "stray");
+        assert!(matches!(
+            s.stage_index(&stray),
+            Err(ScheduleError::NotScheduled { .. })
+        ));
     }
 }

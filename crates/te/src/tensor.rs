@@ -286,21 +286,30 @@ impl OpNode {
         }
     }
 
-    /// Replaces the body (dataflow rewriting).
-    pub fn set_body(&self, new_body: ComputeBody) {
+    /// Replaces the body (dataflow rewriting). Placeholders have no body to
+    /// replace; addressing one is a caller error, not a compiler invariant.
+    pub fn set_body(&self, new_body: ComputeBody) -> Result<(), crate::schedule::ScheduleError> {
         match &self.kind {
-            OpKind::Placeholder => panic!("cannot set body of a placeholder"),
-            OpKind::Compute { body, .. } => *body.write().expect("body lock") = new_body,
+            OpKind::Placeholder => Err(crate::schedule::ScheduleError::NoBody {
+                primitive: "set_body",
+                stage: self.name.clone(),
+            }),
+            OpKind::Compute { body, .. } => {
+                *body.write().expect("body lock") = new_body;
+                Ok(())
+            }
         }
     }
 
-    /// Input tensors read by the current body, in first-read order.
+    /// Input tensors read by the current body, in first-read order. Reads of
+    /// tensors missing from the registry are skipped here; use
+    /// [`collect_reads`] directly to surface them as errors.
     pub fn input_tensors(&self) -> Vec<Tensor> {
         match self.body() {
             None => Vec::new(),
             Some(b) => {
                 let mut out: Vec<Tensor> = Vec::new();
-                collect_reads(b.source_expr(), &mut |t, _| {
+                let _ = collect_reads(b.source_expr(), &mut |t, _| {
                     if !out.iter().any(|x| x.op_id() == t.op_id()) {
                         out.push(t);
                     }
@@ -414,24 +423,38 @@ pub fn resolve_tensor(id: OpId) -> Option<Tensor> {
 }
 
 /// Walks an expression calling `f` for every tensor read `(tensor, indices)`.
-pub fn collect_reads(e: &Expr, f: &mut dyn FnMut(Tensor, &[Expr])) {
+/// Returns [`ScheduleError::UnregisteredRead`] if a read key cannot be
+/// resolved in the global registry (the walk still visits every other read).
+pub fn collect_reads(
+    e: &Expr,
+    f: &mut dyn FnMut(Tensor, &[Expr]),
+) -> Result<(), crate::schedule::ScheduleError> {
     use tvm_ir::Visitor;
     struct V<'a> {
         f: &'a mut dyn FnMut(Tensor, &[Expr]),
+        missing: Option<String>,
     }
     impl Visitor for V<'_> {
         fn visit_expr(&mut self, e: &Expr) {
             if let ExprNode::Call { name, args, .. } = &*e.0 {
                 if let Some(id) = parse_read_key(name) {
-                    let t = resolve_tensor(id)
-                        .unwrap_or_else(|| panic!("unregistered tensor read {name}"));
-                    (self.f)(t, args);
+                    match resolve_tensor(id) {
+                        Some(t) => (self.f)(t, args),
+                        None => {
+                            self.missing.get_or_insert_with(|| name.clone());
+                        }
+                    }
                 }
             }
             self.walk_expr(e);
         }
     }
-    V { f }.visit_expr(e);
+    let mut v = V { f, missing: None };
+    v.visit_expr(e);
+    match v.missing {
+        Some(name) => Err(crate::schedule::ScheduleError::UnregisteredRead { name }),
+        None => Ok(()),
+    }
 }
 
 /// Declares an external input tensor.

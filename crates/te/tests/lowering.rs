@@ -76,9 +76,9 @@ fn tiled_matmul_perfect() {
     let mut s = create_schedule(std::slice::from_ref(&c));
     let ax = c.op.axes();
     let r = c.op.reduce_axes();
-    let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4);
-    let (ko, ki) = s.split(&c, &r[0], 4);
-    s.reorder(&c, &[&yo, &xo, &ko, &yi, &xi, &ki]);
+    let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4).unwrap();
+    let (ko, ki) = s.split(&c, &r[0], 4).unwrap();
+    s.reorder(&c, &[&yo, &xo, &ko, &yi, &xi, &ki]).unwrap();
     let f = lower(&s, &[a, b, c], "mm_tiled").expect("lowers");
     check_matmul(&f, 16, 16, 16);
 }
@@ -90,9 +90,9 @@ fn tiled_matmul_imperfect_split_guards() {
     let mut s = create_schedule(std::slice::from_ref(&c));
     let ax = c.op.axes();
     let r = c.op.reduce_axes();
-    let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4);
-    let (ko, ki) = s.split(&c, &r[0], 3);
-    s.reorder(&c, &[&yo, &xo, &ko, &yi, &xi, &ki]);
+    let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4).unwrap();
+    let (ko, ki) = s.split(&c, &r[0], 3).unwrap();
+    s.reorder(&c, &[&yo, &xo, &ko, &yi, &xi, &ki]).unwrap();
     let f = lower(&s, &[a, b, c], "mm_guard").expect("lowers");
     check_matmul(&f, 10, 6, 7);
 }
@@ -102,12 +102,12 @@ fn fused_and_annotated_matmul() {
     let (a, b, c) = matmul_decl(8, 8, 8);
     let mut s = create_schedule(std::slice::from_ref(&c));
     let ax = c.op.axes();
-    let fused = s.fuse(&c, &ax[0], &ax[1]);
-    let (fo, fi) = s.split(&c, &fused, 16);
-    s.parallel(&c, &fo);
-    s.vectorize(&c, &fi);
+    let fused = s.fuse(&c, &ax[0], &ax[1]).unwrap();
+    let (fo, fi) = s.split(&c, &fused, 16).unwrap();
+    s.parallel(&c, &fo).unwrap();
+    s.vectorize(&c, &fi).unwrap();
     let r = c.op.reduce_axes();
-    s.unroll(&c, &r[0]);
+    s.unroll(&c, &r[0]).unwrap();
     let f = lower(&s, &[a, b, c], "mm_fused").expect("lowers");
     check_matmul(&f, 8, 8, 8);
 }
@@ -120,8 +120,8 @@ fn compute_at_producer_region() {
     let c = compute(&[32], "C", |i| b.at(&[i[0].clone()]) + 1);
     let mut s = create_schedule(std::slice::from_ref(&c));
     let cx = c.op.axes();
-    let (xo, _xi) = s.split(&c, &cx[0], 4);
-    s.compute_at(&b, &c, &xo);
+    let (xo, _xi) = s.split(&c, &cx[0], 4).unwrap();
+    s.compute_at(&b, &c, &xo).unwrap();
     let f = lower(&s, &[a.clone(), c.clone()], "fused_tile").expect("lowers");
     // The intermediate B buffer must be 4 elements, not 32.
     let text = f.body.to_string();
@@ -146,9 +146,9 @@ fn compute_at_under_fused_split_loop_crossing_rows() {
     let c = compute(&[6, 16], "C", |i| b.at(&[i[0].clone(), i[1].clone()]) + 1);
     let mut s = create_schedule(std::slice::from_ref(&c));
     let cx = c.op.axes();
-    let f0 = s.fuse(&c, &cx[0], &cx[1]);
-    let (fo, _fi) = s.split(&c, &f0, 3);
-    s.compute_at(&b, &c, &fo);
+    let f0 = s.fuse(&c, &cx[0], &cx[1]).unwrap();
+    let (fo, _fi) = s.split(&c, &f0, 3).unwrap();
+    s.compute_at(&b, &c, &fo).unwrap();
     let f = lower(&s, &[a.clone(), c.clone()], "fused_split_attach").expect("lowers");
     let input = seq_data(96, 0.5, -1.0);
     let want: Vec<f32> = input.iter().map(|v| v * 2.0 + 1.0).collect();
@@ -163,7 +163,7 @@ fn compute_inline_removes_buffer() {
     let b = compute(&[16], "B", |i| a.at(&[i[0].clone()]) * 2);
     let c = compute(&[16], "C", |i| b.at(&[i[0].clone()]) + 1);
     let mut s = create_schedule(std::slice::from_ref(&c));
-    s.compute_inline(&b);
+    s.compute_inline(&b).unwrap();
     let f = lower(&s, &[a.clone(), c.clone()], "inlined").expect("lowers");
     let text = f.body.to_string();
     assert!(
@@ -181,11 +181,11 @@ fn compute_inline_removes_buffer() {
 fn cache_write_local_accumulator() {
     let (a, b, c) = matmul_decl(8, 8, 8);
     let mut s = create_schedule(std::slice::from_ref(&c));
-    let cl = s.cache_write(&c, MemScope::Local);
+    let cl = s.cache_write(&c, MemScope::Local).unwrap();
     let ax = c.op.axes();
-    let (yo, xo, _yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4);
+    let (yo, xo, _yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4).unwrap();
     let _ = (yo, xi);
-    s.compute_at(&cl, &c, &xo);
+    s.compute_at(&cl, &c, &xo).unwrap();
     let f = lower(&s, &[a, b, c], "mm_cache_write").expect("lowers");
     check_matmul(&f, 8, 8, 8);
 }
@@ -195,11 +195,11 @@ fn gpu_matmul_with_thread_binding() {
     let (a, b, c) = matmul_decl(16, 16, 16);
     let mut s = create_schedule(std::slice::from_ref(&c));
     let ax = c.op.axes();
-    let (by, bx, ty, tx) = s.tile(&c, &ax[0], &ax[1], 4, 4);
-    s.bind(&c, &by, ThreadTag::BlockIdxY);
-    s.bind(&c, &bx, ThreadTag::BlockIdxX);
-    s.bind(&c, &ty, ThreadTag::ThreadIdxY);
-    s.bind(&c, &tx, ThreadTag::ThreadIdxX);
+    let (by, bx, ty, tx) = s.tile(&c, &ax[0], &ax[1], 4, 4).unwrap();
+    s.bind(&c, &by, ThreadTag::BlockIdxY).unwrap();
+    s.bind(&c, &bx, ThreadTag::BlockIdxX).unwrap();
+    s.bind(&c, &ty, ThreadTag::ThreadIdxY).unwrap();
+    s.bind(&c, &tx, ThreadTag::ThreadIdxX).unwrap();
     let f = lower(&s, &[a, b, c], "mm_gpu").expect("lowers");
     assert_eq!(f.grid_size(), 16);
     assert_eq!(f.block_size(), 16);
@@ -213,34 +213,34 @@ fn gpu_cooperative_shared_memory_matmul() {
     let (m, n, k) = (16, 16, 16);
     let (a, b, c) = matmul_decl(m, n, k);
     let mut s = create_schedule(std::slice::from_ref(&c));
-    let cl = s.cache_write(&c, MemScope::Local);
+    let cl = s.cache_write(&c, MemScope::Local).unwrap();
     let ax = c.op.axes();
-    let (by, bx, yb, xb) = s.tile(&c, &ax[0], &ax[1], 8, 8);
-    let (ty, yi) = s.split(&c, &yb, 2);
-    let (tx, xi) = s.split(&c, &xb, 2);
-    s.reorder(&c, &[&by, &bx, &ty, &tx, &yi, &xi]);
-    s.bind(&c, &by, ThreadTag::BlockIdxY);
-    s.bind(&c, &bx, ThreadTag::BlockIdxX);
-    s.bind(&c, &ty, ThreadTag::ThreadIdxY);
-    s.bind(&c, &tx, ThreadTag::ThreadIdxX);
-    s.compute_at(&cl, &c, &tx);
+    let (by, bx, yb, xb) = s.tile(&c, &ax[0], &ax[1], 8, 8).unwrap();
+    let (ty, yi) = s.split(&c, &yb, 2).unwrap();
+    let (tx, xi) = s.split(&c, &xb, 2).unwrap();
+    s.reorder(&c, &[&by, &bx, &ty, &tx, &yi, &xi]).unwrap();
+    s.bind(&c, &by, ThreadTag::BlockIdxY).unwrap();
+    s.bind(&c, &bx, ThreadTag::BlockIdxX).unwrap();
+    s.bind(&c, &ty, ThreadTag::ThreadIdxY).unwrap();
+    s.bind(&c, &tx, ThreadTag::ThreadIdxX).unwrap();
+    s.compute_at(&cl, &c, &tx).unwrap();
     // Schedule the cache stage: split its reduction for staged loads.
     let clr = cl.op.reduce_axes();
-    let (ko, _ki) = s.split(&cl, &clr[0], 4);
-    let asb = s.cache_read(&a, MemScope::Shared, &[&cl]);
-    let bsb = s.cache_read(&b, MemScope::Shared, &[&cl]);
-    s.compute_at(&asb, &cl, &ko);
-    s.compute_at(&bsb, &cl, &ko);
+    let (ko, _ki) = s.split(&cl, &clr[0], 4).unwrap();
+    let asb = s.cache_read(&a, MemScope::Shared, &[&cl]).unwrap();
+    let bsb = s.cache_read(&b, MemScope::Shared, &[&cl]).unwrap();
+    s.compute_at(&asb, &cl, &ko).unwrap();
+    s.compute_at(&bsb, &cl, &ko).unwrap();
     // Cooperative load: fuse the tile loops and distribute across the
     // 4x4 thread block.
     for stage_t in [&asb, &bsb] {
         let sax = stage_t.op.axes();
-        let fused = s.fuse(stage_t, &sax[0], &sax[1]);
-        let (o, r) = s.split(stage_t, &fused, 16);
-        let (ty2, tx2) = s.split(stage_t, &r, 4);
+        let fused = s.fuse(stage_t, &sax[0], &sax[1]).unwrap();
+        let (o, r) = s.split(stage_t, &fused, 16).unwrap();
+        let (ty2, tx2) = s.split(stage_t, &r, 4).unwrap();
         let _ = o;
-        s.bind(stage_t, &ty2, ThreadTag::ThreadIdxY);
-        s.bind(stage_t, &tx2, ThreadTag::ThreadIdxX);
+        s.bind(stage_t, &ty2, ThreadTag::ThreadIdxY).unwrap();
+        s.bind(stage_t, &tx2, ThreadTag::ThreadIdxX).unwrap();
     }
     let f = lower(&s, &[a, b, c], "mm_coop").expect("lowers");
     let text = f.body.to_string();
@@ -258,7 +258,7 @@ fn max_pool_style_reduction() {
     });
     let mut s = create_schedule(std::slice::from_ref(&m));
     let rx = m.op.reduce_axes();
-    let (_ro, _ri) = s.split(&m, &rx[0], 4);
+    let (_ro, _ri) = s.split(&m, &rx[0], 4).unwrap();
     let f = lower(&s, &[a.clone(), m.clone()], "rowmax").expect("lowers");
     let data = seq_data(64, 1.0, -20.0);
     let mut want = vec![f32::NEG_INFINITY; 4];
@@ -281,9 +281,9 @@ fn tensorize_gemm_tile() {
     let mut s = create_schedule(std::slice::from_ref(&c));
     let ax = c.op.axes();
     let r = c.op.reduce_axes();
-    let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4);
-    let (ko, ki) = s.split(&c, &r[0], 4);
-    s.reorder(&c, &[&yo, &xo, &ko, &yi, &xi, &ki]);
+    let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4).unwrap();
+    let (ko, ki) = s.split(&c, &r[0], 4).unwrap();
+    s.reorder(&c, &[&yo, &xo, &ko, &yi, &xi, &ki]).unwrap();
 
     // Declare the intrinsic behavior (4x4x4 gemm tile).
     let wd = placeholder(&[4, 4], DType::float32(), "w");
@@ -321,7 +321,7 @@ fn tensorize_gemm_tile() {
             DType::int32(),
         )),
     });
-    s.tensorize(&c, &yi, intrin);
+    s.tensorize(&c, &yi, intrin).unwrap();
     let f = lower(&s, &[a, b, c], "mm_tensorized").expect("lowers");
     let text = f.body.to_string();
     assert!(text.contains("mock.gemm4x4_acc"), "{text}");
@@ -403,7 +403,7 @@ fn padded_conv1d_via_inlined_pad() {
         )
     });
     let mut s = create_schedule(std::slice::from_ref(&c));
-    s.compute_inline(&pad);
+    s.compute_inline(&pad).unwrap();
     let f = lower(&s, &[a.clone(), w.clone(), c.clone()], "conv1d").expect("lowers");
     let av = seq_data(n as usize, 1.0, 0.0);
     let wv = vec![0.5f32, 1.0, -0.25];

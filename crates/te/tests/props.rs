@@ -47,32 +47,32 @@ proptest! {
         });
         let mut s = create_schedule(std::slice::from_ref(&c));
         let target = if cache {
-            let cl = s.cache_write(&c, MemScope::Local);
+            let cl = s.cache_write(&c, MemScope::Local).unwrap();
             let ax = c.op.axes();
-            let (_yo, xo, _yi, _xi) = s.tile(&c, &ax[0], &ax[1], ty, tx);
-            s.compute_at(&cl, &c, &xo);
+            let (_yo, xo, _yi, _xi) = s.tile(&c, &ax[0], &ax[1], ty, tx).unwrap();
+            s.compute_at(&cl, &c, &xo).unwrap();
             cl
         } else {
             c.clone()
         };
         let ax = target.op.axes();
         let r = target.op.reduce_axes();
-        let (yo, yi) = s.split(&target, &ax[0], ty);
-        let (xo, xi) = s.split(&target, &ax[1], tx);
-        let (ko, ki) = s.split(&target, &r[0], tk);
+        let (yo, yi) = s.split(&target, &ax[0], ty).unwrap();
+        let (xo, xi) = s.split(&target, &ax[1], tx).unwrap();
+        let (ko, ki) = s.split(&target, &r[0], tk).unwrap();
         match order {
-            0 => s.reorder(&target, &[&yo, &xo, &ko, &yi, &xi, &ki]),
-            1 => s.reorder(&target, &[&yo, &xo, &ko, &ki, &yi, &xi]),
-            _ => s.reorder(&target, &[&xo, &yo, &ko, &yi, &ki, &xi]),
+            0 => s.reorder(&target, &[&yo, &xo, &ko, &yi, &xi, &ki]).unwrap(),
+            1 => s.reorder(&target, &[&yo, &xo, &ko, &ki, &yi, &xi]).unwrap(),
+            _ => s.reorder(&target, &[&xo, &yo, &ko, &yi, &ki, &xi]).unwrap(),
         }
         if vectorize {
-            s.vectorize(&target, &xi);
+            s.vectorize(&target, &xi).unwrap();
         }
         if unroll {
-            s.unroll(&target, &ki);
+            s.unroll(&target, &ki).unwrap();
         }
         if parallel && !cache {
-            s.parallel(&target, &yo);
+            s.parallel(&target, &yo).unwrap();
         }
         let f = lower(&s, &[a, b, c], "mm_prop").expect("lowers");
         let av: Vec<f32> = (0..m * k).map(|i| ((i * 31 % 19) as f32) * 0.3 - 2.0).collect();
@@ -102,15 +102,15 @@ proptest! {
         let mut s = create_schedule(std::slice::from_ref(&b));
         let ax = b.op.axes();
         if fuse_axes {
-            let f = s.fuse(&b, &ax[0], &ax[1]);
-            let (_o, i) = s.split(&b, &f, factor);
+            let f = s.fuse(&b, &ax[0], &ax[1]).unwrap();
+            let (_o, i) = s.split(&b, &f, factor).unwrap();
             if vectorize {
-                s.vectorize(&b, &i);
+                s.vectorize(&b, &i).unwrap();
             }
         } else {
-            let (_o, i) = s.split(&b, &ax[1], factor);
+            let (_o, i) = s.split(&b, &ax[1], factor).unwrap();
             if vectorize {
-                s.vectorize(&b, &i);
+                s.vectorize(&b, &i).unwrap();
             }
         }
         let f = lower(&s, &[a, b], "ew_prop").expect("lowers");

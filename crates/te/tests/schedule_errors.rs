@@ -4,7 +4,8 @@
 
 use tvm_ir::{DType, Interp, MemScope, ThreadTag};
 use tvm_te::{
-    compute, create_schedule, lower, placeholder, reduce_axis, sum, TensorIntrin, TensorIntrinImpl,
+    compute, create_schedule, lower, placeholder, reduce_axis, sum, ScheduleError, TensorIntrin,
+    TensorIntrinImpl,
 };
 
 fn mm(n: i64) -> (tvm_te::Tensor, tvm_te::Tensor, tvm_te::Tensor) {
@@ -26,9 +27,9 @@ fn tensorize_shape_mismatch_is_an_error() {
     let mut s = create_schedule(std::slice::from_ref(&c));
     let ax = c.op.axes();
     let r = c.op.reduce_axes();
-    let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4);
-    let (ko, ki) = s.split(&c, &r[0], 4);
-    s.reorder(&c, &[&yo, &xo, &ko, &yi, &xi, &ki]);
+    let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4).unwrap();
+    let (ko, ki) = s.split(&c, &r[0], 4).unwrap();
+    s.reorder(&c, &[&yo, &xo, &ko, &yi, &xi, &ki]).unwrap();
     // Declare an 8x8x8 intrinsic but tensorize a 4x4x4 region.
     let wd = placeholder(&[8, 8], DType::float32(), "w");
     let xd = placeholder(&[8, 8], DType::float32(), "x");
@@ -43,7 +44,7 @@ fn tensorize_shape_mismatch_is_an_error() {
         reset: None,
         body: tvm_ir::Stmt::nop(),
     });
-    s.tensorize(&c, &yi, intrin);
+    s.tensorize(&c, &yi, intrin).unwrap();
     let err = lower(&s, &[a, b, c], "bad").expect_err("must fail");
     assert!(err.to_string().contains("tensorize mismatch"), "{err}");
 }
@@ -54,9 +55,9 @@ fn tensorize_rejects_imperfect_tiles() {
     let mut s = create_schedule(std::slice::from_ref(&c));
     let ax = c.op.axes();
     let r = c.op.reduce_axes();
-    let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4);
-    let (ko, ki) = s.split(&c, &r[0], 5);
-    s.reorder(&c, &[&yo, &xo, &ko, &yi, &xi, &ki]);
+    let (yo, xo, yi, xi) = s.tile(&c, &ax[0], &ax[1], 4, 4).unwrap();
+    let (ko, ki) = s.split(&c, &r[0], 5).unwrap();
+    s.reorder(&c, &[&yo, &xo, &ko, &yi, &xi, &ki]).unwrap();
     let wd = placeholder(&[4, 4], DType::float32(), "w");
     let xd = placeholder(&[4, 4], DType::float32(), "x");
     let kd = reduce_axis(5, "k");
@@ -70,43 +71,88 @@ fn tensorize_rejects_imperfect_tiles() {
         reset: None,
         body: tvm_ir::Stmt::nop(),
     });
-    s.tensorize(&c, &yi, intrin);
+    s.tensorize(&c, &yi, intrin).unwrap();
     let err = lower(&s, &[a, b, c], "bad").expect_err("must fail");
     assert!(err.to_string().contains("non-perfect split"), "{err}");
 }
 
 #[test]
-#[should_panic(expected = "cannot inline reduction")]
-fn inlining_a_reduction_panics() {
+fn inlining_a_reduction_errors() {
     let (_a, _b, c) = mm(8);
     let c2 = c.clone();
     let d = compute(&[8, 8], "D", move |i| {
         c2.at(&[i[0].clone(), i[1].clone()]) + 1
     });
     let mut s = create_schedule(&[d]);
-    s.compute_inline(&c);
+    let err = s.compute_inline(&c).unwrap_err();
+    assert!(
+        matches!(err, ScheduleError::InlineReduction { .. }),
+        "{err}"
+    );
+    assert!(err.to_string().contains("cannot inline reduction"), "{err}");
 }
 
 #[test]
-#[should_panic(expected = "cannot inline output")]
-fn inlining_the_output_panics() {
+fn inlining_the_output_errors() {
     let (_a, _b, c) = mm(8);
     let c2 = c.clone();
     let d = compute(&[8, 8], "D", move |i| {
         c2.at(&[i[0].clone(), i[1].clone()]) + 1
     });
     let mut s = create_schedule(std::slice::from_ref(&d));
-    s.compute_inline(&d);
+    let err = s.compute_inline(&d).unwrap_err();
+    assert!(matches!(err, ScheduleError::InlineOutput { .. }), "{err}");
+    assert!(err.to_string().contains("cannot inline output"), "{err}");
 }
 
 #[test]
-#[should_panic(expected = "cache_write must be applied before")]
-fn cache_write_after_split_panics() {
+fn cache_write_after_split_errors() {
     let (_a, _b, c) = mm(8);
     let mut s = create_schedule(std::slice::from_ref(&c));
     let ax = c.op.axes();
-    let _ = s.split(&c, &ax[0], 2);
-    let _ = s.cache_write(&c, MemScope::Local);
+    let _ = s.split(&c, &ax[0], 2).unwrap();
+    let err = s.cache_write(&c, MemScope::Local).unwrap_err();
+    assert!(
+        matches!(err, ScheduleError::CacheWriteNotFirst { .. }),
+        "{err}"
+    );
+    assert!(
+        err.to_string()
+            .contains("cache_write must be applied before"),
+        "{err}"
+    );
+}
+
+#[test]
+fn compute_at_inlined_consumer_is_diagnosed() {
+    // B is inlined into C, then A's cache stage attaches to B: the lowering
+    // error must name both stages and point at the inlining.
+    let a = placeholder(&[8], DType::float32(), "A");
+    let a2 = a.clone();
+    let b = compute(&[8], "B", move |i| a2.at(&[i[0].clone()]) * 2);
+    let b2 = b.clone();
+    let c = compute(&[8], "C", move |i| b2.at(&[i[0].clone()]) + 1);
+    let mut s = create_schedule(std::slice::from_ref(&c));
+    let al = s.cache_read(&a, MemScope::Local, &[&b]).unwrap();
+    let b_axis = b.op.axes()[0].clone();
+    s.compute_at(&al, &b, &b_axis).unwrap();
+    s.compute_inline(&b).unwrap();
+    let err = lower(&s, &[a, c], "bad").expect_err("must fail");
+    match &err {
+        tvm_te::TeError::ComputeAtUnbounded {
+            producer,
+            consumer,
+            consumer_inlined,
+        } => {
+            assert_eq!(consumer, "B");
+            assert!(producer.contains("A"), "{producer}");
+            assert!(*consumer_inlined);
+        }
+        other => panic!("expected ComputeAtUnbounded, got {other:?}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("inlined"), "{msg}");
+    assert!(msg.contains("`B`"), "{msg}");
 }
 
 #[test]
@@ -122,14 +168,14 @@ fn smaller_thread_binding_is_guarded_not_rejected() {
     let c = compute(&[n], "C", move |i| b2.at(&[i[0].clone()]) + 1);
     let mut s = create_schedule(std::slice::from_ref(&c));
     let cx = c.op.axes();
-    let (bx, tx) = s.split(&c, &cx[0], 8);
-    s.bind(&c, &bx, ThreadTag::BlockIdxX);
-    s.bind(&c, &tx, ThreadTag::ThreadIdxX);
-    s.compute_at(&b, &c, &bx);
-    s.set_scope(&b, MemScope::Shared);
+    let (bx, tx) = s.split(&c, &cx[0], 8).unwrap();
+    s.bind(&c, &bx, ThreadTag::BlockIdxX).unwrap();
+    s.bind(&c, &tx, ThreadTag::ThreadIdxX).unwrap();
+    s.compute_at(&b, &c, &bx).unwrap();
+    s.set_scope(&b, MemScope::Shared).unwrap();
     let bx2 = b.op.axes();
-    let (_o, i4) = s.split(&b, &bx2[0], 4);
-    s.bind(&b, &i4, ThreadTag::ThreadIdxX);
+    let (_o, i4) = s.split(&b, &bx2[0], 4).unwrap();
+    s.bind(&b, &i4, ThreadTag::ThreadIdxX).unwrap();
     let f = lower(&s, &[a, c], "guarded").expect("lowers");
     assert!(
         f.body.to_string().contains("if (threadIdx.x < 4)"),
@@ -149,12 +195,12 @@ fn dma_pragma_wraps_the_copy_nest() {
     let a2 = a.clone();
     let b = compute(&[n], "B", move |i| a2.at(&[i[0].clone()]) + 5);
     let mut s = create_schedule(std::slice::from_ref(&b));
-    let al = s.cache_read(&a, MemScope::InpBuffer, &[&b]);
+    let al = s.cache_read(&a, MemScope::InpBuffer, &[&b]).unwrap();
     let bx = b.op.axes();
-    let (xo, _xi) = s.split(&b, &bx[0], 8);
-    s.compute_at(&al, &b, &xo);
-    let leaf = s.stage(&al).leaf_iters[0].clone();
-    s.pragma(&al, &leaf, "dma_copy");
+    let (xo, _xi) = s.split(&b, &bx[0], 8).unwrap();
+    s.compute_at(&al, &b, &xo).unwrap();
+    let leaf = s.stage(&al).unwrap().leaf_iters[0].clone();
+    s.pragma(&al, &leaf, "dma_copy").unwrap();
     let f = lower(&s, &[a, b], "dma").expect("lowers");
     assert!(f.body.to_string().contains("pragma.dma_copy"), "{}", f.body);
     // And it still computes correctly.

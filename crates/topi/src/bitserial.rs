@@ -202,23 +202,23 @@ pub fn bitserial_task(w: BitserialWorkload, target: Target, threaded: bool) -> T
         let (a, wt, out) = bitserial_conv2d(&w);
         let mut s = create_schedule(std::slice::from_ref(&out));
         let ax = out.op.axes(); // oc, oh, ow
-        let (oco, oci) = s.split(&out, &ax[0], cfg.get("tile_oc"));
-        let (owo, owi) = s.split(&out, &ax[2], cfg.get("tile_ow"));
+        let (oco, oci) = s.split(&out, &ax[0], cfg.get("tile_oc"))?;
+        let (owo, owi) = s.split(&out, &ax[2], cfg.get("tile_ow"))?;
         let r = out.op.reduce_axes();
         s.reorder(
             &out,
             &[
                 &oco, &ax[1], &owo, &r[0], &r[1], &r[2], &r[3], &r[4], &oci, &owi,
             ],
-        );
+        )?;
         if cfg.get("vec") == 1 {
-            s.vectorize(&out, &owi);
+            s.vectorize(&out, &owi)?;
         }
         if cfg.get("par") == 1 {
-            s.parallel(&out, &oco);
+            s.parallel(&out, &oco)?;
         }
         if cfg.get("unroll") == 1 {
-            s.unroll(&out, &r[4]);
+            s.unroll(&out, &r[4])?;
         }
         lower(
             &s,

@@ -412,7 +412,7 @@ mod tests {
         let out = args.last().expect("output arg").clone();
         let mut s = create_schedule(&[out]);
         for p in inline_pads {
-            s.compute_inline(p);
+            s.compute_inline(p).unwrap();
         }
         let f = lower(&s, args, "op").expect("lowers");
         Interp::new()
@@ -512,7 +512,7 @@ mod tests {
         let stages: Vec<Tensor> = s.stages.iter().map(|st| st.tensor.clone()).collect();
         for t in &stages {
             if t.name() == "sm_exp" {
-                s.compute_inline(t);
+                s.compute_inline(t).unwrap();
             }
         }
         let f = lower(&s, &[x, sm], "softmax").expect("lowers");

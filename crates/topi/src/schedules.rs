@@ -14,51 +14,57 @@ use crate::workloads::{Conv2dWorkload, DenseWorkload, DepthwiseConv2dWorkload};
 
 /// Schedules an injective (element-wise) operator: parallel outer loop +
 /// vectorized inner on CPU; flat thread mapping on GPU.
-pub fn schedule_injective(s: &mut Schedule, out: &Tensor, target: &Target) {
+pub fn schedule_injective(s: &mut Schedule, out: &Tensor, target: &Target) -> Result<(), TeError> {
     let axes = out.op.axes();
     if axes.is_empty() {
-        return;
+        return Ok(());
     }
     let mut fused = axes[0].clone();
     for a in &axes[1..] {
-        fused = s.fuse(out, &fused, a);
+        fused = s.fuse(out, &fused, a)?;
     }
     let total: i64 = out.shape().iter().product();
     if target.is_gpu() {
         let threads = 256.min(total.max(1));
-        let (bx, tx) = s.split(out, &fused, threads);
-        s.bind(out, &bx, ThreadTag::BlockIdxX);
-        s.bind(out, &tx, ThreadTag::ThreadIdxX);
+        let (bx, tx) = s.split(out, &fused, threads)?;
+        s.bind(out, &bx, ThreadTag::BlockIdxX)?;
+        s.bind(out, &tx, ThreadTag::ThreadIdxX)?;
     } else {
         let inner = 8.min(total.max(1));
-        let (o, i) = s.split(out, &fused, inner);
+        let (o, i) = s.split(out, &fused, inner)?;
         if total >= 4096 {
-            s.parallel(out, &o);
+            s.parallel(out, &o)?;
         }
-        s.vectorize(out, &i);
+        s.vectorize(out, &i)?;
     }
+    Ok(())
 }
 
 /// Distributes a cache stage's copy loops across the thread block — the
 /// cooperative-fetch pattern of §4.2.
-pub fn cooperative_load(s: &mut Schedule, t: &Tensor, threads: &[(ThreadTag, i64)]) {
+pub fn cooperative_load(
+    s: &mut Schedule,
+    t: &Tensor,
+    threads: &[(ThreadTag, i64)],
+) -> Result<(), TeError> {
     let axes = t.op.axes();
     let mut fused = axes[0].clone();
     for a in &axes[1..] {
-        fused = s.fuse(t, &fused, a);
+        fused = s.fuse(t, &fused, a)?;
     }
     let total: i64 = threads.iter().map(|(_, e)| *e).product();
-    let (_serial, mut rest) = s.split(t, &fused, total);
+    let (_serial, mut rest) = s.split(t, &fused, total)?;
     // Peel thread axes innermost-first.
     let mut bound: Vec<(ThreadTag, IterVar)> = Vec::new();
     for (tag, ext) in threads.iter().rev() {
-        let (outer, inner) = s.split(t, &rest, *ext);
+        let (outer, inner) = s.split(t, &rest, *ext)?;
         bound.push((*tag, inner));
         rest = outer;
     }
     for (tag, iv) in bound {
-        s.bind(t, &iv, tag);
+        s.bind(t, &iv, tag)?;
     }
+    Ok(())
 }
 
 /// The conv2d schedule space for a target.
@@ -89,48 +95,53 @@ pub fn conv2d_space(w: &Conv2dWorkload, target: &Target) -> ConfigSpace {
 
 /// Applies a conv2d schedule configuration; shared by dense/depthwise via
 /// the same knob names.
-pub fn apply_conv2d_schedule(s: &mut Schedule, op: &Conv2dOp, target: &Target, cfg: &ConfigEntity) {
+pub fn apply_conv2d_schedule(
+    s: &mut Schedule,
+    op: &Conv2dOp,
+    target: &Target,
+    cfg: &ConfigEntity,
+) -> Result<(), TeError> {
     if let Some(p) = &op.pad {
-        s.compute_inline(p);
+        s.compute_inline(p)?;
     }
     let out = &op.out;
     if target.is_gpu() {
-        let cl = s.cache_write(out, MemScope::Local);
+        let cl = s.cache_write(out, MemScope::Local)?;
         let ax = out.op.axes(); // n, oc, oh, ow
         let (t_oc, t_oh, t_ow) = (cfg.get("tile_oc"), cfg.get("tile_oh"), cfg.get("tile_ow"));
         let (s_oh, s_ow) = (cfg.get("step_oh"), cfg.get("step_ow"));
-        let (oco, oci) = s.split(out, &ax[1], t_oc);
+        let (oco, oci) = s.split(out, &ax[1], t_oc)?;
         // Three-level spatial tiling: block / thread / per-thread register
         // steps (each thread produces s_oh x s_ow outputs).
-        let (oho, hrest) = s.split(out, &ax[2], t_oh * s_oh);
-        let (ohm, ohi) = s.split(out, &hrest, t_oh);
-        let (owo, wrest) = s.split(out, &ax[3], t_ow * s_ow);
-        let (owm, owi) = s.split(out, &wrest, t_ow);
+        let (oho, hrest) = s.split(out, &ax[2], t_oh * s_oh)?;
+        let (ohm, ohi) = s.split(out, &hrest, t_oh)?;
+        let (owo, wrest) = s.split(out, &ax[3], t_ow * s_ow)?;
+        let (owm, owi) = s.split(out, &wrest, t_ow)?;
         s.reorder(
             out,
             &[&ax[0], &oco, &oho, &owo, &oci, &ohi, &owi, &ohm, &owm],
-        );
-        s.bind(out, &oco, ThreadTag::BlockIdxZ);
-        s.bind(out, &oho, ThreadTag::BlockIdxY);
-        s.bind(out, &owo, ThreadTag::BlockIdxX);
-        s.bind(out, &oci, ThreadTag::ThreadIdxZ);
-        s.bind(out, &ohi, ThreadTag::ThreadIdxY);
-        s.bind(out, &owi, ThreadTag::ThreadIdxX);
-        s.compute_at(&cl, out, &owi);
+        )?;
+        s.bind(out, &oco, ThreadTag::BlockIdxZ)?;
+        s.bind(out, &oho, ThreadTag::BlockIdxY)?;
+        s.bind(out, &owo, ThreadTag::BlockIdxX)?;
+        s.bind(out, &oci, ThreadTag::ThreadIdxZ)?;
+        s.bind(out, &ohi, ThreadTag::ThreadIdxY)?;
+        s.bind(out, &owi, ThreadTag::ThreadIdxX)?;
+        s.compute_at(&cl, out, &owi)?;
         let r = cl.op.reduce_axes(); // rc, rh, rw
-        let (rco, rci) = s.split(&cl, &r[0], cfg.get("tile_rc"));
+        let (rco, rci) = s.split(&cl, &r[0], cfg.get("tile_rc"))?;
         let cl_ax = cl.op.axes();
         s.reorder(
             &cl,
             &[
                 &rco, &r[1], &r[2], &rci, &cl_ax[0], &cl_ax[1], &cl_ax[2], &cl_ax[3],
             ],
-        );
+        )?;
         match cfg.get("unroll") {
-            1 => s.unroll(&cl, &r[2]),
+            1 => s.unroll(&cl, &r[2])?,
             2 => {
-                s.unroll(&cl, &r[2]);
-                s.unroll(&cl, &rci);
+                s.unroll(&cl, &r[2])?;
+                s.unroll(&cl, &rci)?;
             }
             _ => {}
         }
@@ -141,43 +152,44 @@ pub fn apply_conv2d_schedule(s: &mut Schedule, op: &Conv2dOp, target: &Target, c
                 (ThreadTag::ThreadIdxY, t_oh),
                 (ThreadTag::ThreadIdxX, t_ow),
             ];
-            let ds = s.cache_read(&src, MemScope::Shared, &[&cl]);
-            s.compute_at(&ds, &cl, &rco);
-            cooperative_load(s, &ds, &threads);
-            let ws = s.cache_read(&op.weight, MemScope::Shared, &[&cl]);
-            s.compute_at(&ws, &cl, &rco);
-            cooperative_load(s, &ws, &threads);
+            let ds = s.cache_read(&src, MemScope::Shared, &[&cl])?;
+            s.compute_at(&ds, &cl, &rco)?;
+            cooperative_load(s, &ds, &threads)?;
+            let ws = s.cache_read(&op.weight, MemScope::Shared, &[&cl])?;
+            s.compute_at(&ws, &cl, &rco)?;
+            cooperative_load(s, &ws, &threads)?;
         }
     } else {
         let ax = out.op.axes();
-        let (oco, oci) = s.split(out, &ax[1], cfg.get("tile_oc"));
-        let (owo, owi) = s.split(out, &ax[3], cfg.get("tile_ow"));
+        let (oco, oci) = s.split(out, &ax[1], cfg.get("tile_oc"))?;
+        let (owo, owi) = s.split(out, &ax[3], cfg.get("tile_ow"))?;
         let r = out.op.reduce_axes();
         if r.len() == 3 {
-            let (rco, rci) = s.split(out, &r[0], cfg.get("tile_rc"));
+            let (rco, rci) = s.split(out, &r[0], cfg.get("tile_rc"))?;
             s.reorder(
                 out,
                 &[
                     &ax[0], &oco, &ax[2], &owo, &rco, &r[1], &r[2], &rci, &oci, &owi,
                 ],
-            );
+            )?;
             if cfg.get("unroll") == 1 {
-                s.unroll(out, &rci);
+                s.unroll(out, &rci)?;
             }
         } else {
             // Depthwise: reduce axes are rh, rw only.
-            s.reorder(out, &[&ax[0], &oco, &ax[2], &owo, &r[0], &r[1], &oci, &owi]);
+            s.reorder(out, &[&ax[0], &oco, &ax[2], &owo, &r[0], &r[1], &oci, &owi])?;
             if cfg.get("unroll") == 1 {
-                s.unroll(out, &r[1]);
+                s.unroll(out, &r[1])?;
             }
         }
         if cfg.get("vec") == 1 {
-            s.vectorize(out, &owi);
+            s.vectorize(out, &owi)?;
         }
         if cfg.get("par") == 1 {
-            s.parallel(out, &oco);
+            s.parallel(out, &oco)?;
         }
     }
+    Ok(())
 }
 
 /// Post-lowering validity checks that stand in for hardware limits.
@@ -190,10 +202,15 @@ fn validate(func: &LoweredFunc, target: &Target) -> Result<(), TeError> {
             .copied()
             .unwrap_or(0.0);
         if shared > g.shared_bytes_per_sm as f64 {
-            return Err(TeError(format!("shared memory overflow: {shared} bytes")));
+            return Err(TeError::msg(format!(
+                "shared memory overflow: {shared} bytes"
+            )));
         }
         if an.block_threads() > 1024 {
-            return Err(TeError(format!("too many threads: {}", an.block_threads())));
+            return Err(TeError::msg(format!(
+                "too many threads: {}",
+                an.block_threads()
+            )));
         }
     }
     Ok(())
@@ -206,7 +223,7 @@ pub fn conv2d_task(w: Conv2dWorkload, dtype: tvm_ir::DType, target: Target) -> T
     let builder = move |cfg: &ConfigEntity| -> Result<LoweredFunc, TeError> {
         let op = conv2d(&w, dtype);
         let mut s = create_schedule(std::slice::from_ref(&op.out));
-        apply_conv2d_schedule(&mut s, &op, &t2, cfg);
+        apply_conv2d_schedule(&mut s, &op, &t2, cfg)?;
         let f = lower(&s, &[op.data, op.weight, op.out], &w.describe())?;
         validate(&f, &t2)?;
         Ok(f)
@@ -253,7 +270,7 @@ pub fn depthwise_task(
     let builder = move |cfg: &ConfigEntity| -> Result<LoweredFunc, TeError> {
         let op = depthwise_conv2d(&w, dtype);
         let mut s = create_schedule(std::slice::from_ref(&op.out));
-        apply_depthwise_schedule(&mut s, &op, &t2, cfg);
+        apply_depthwise_schedule(&mut s, &op, &t2, cfg)?;
         let f = lower(&s, &[op.data, op.weight, op.out], &w.describe())?;
         validate(&f, &t2)?;
         Ok(f)
@@ -273,31 +290,32 @@ pub fn apply_depthwise_schedule(
     op: &Conv2dOp,
     target: &Target,
     cfg: &ConfigEntity,
-) {
+) -> Result<(), TeError> {
     if let Some(p) = &op.pad {
-        s.compute_inline(p);
+        s.compute_inline(p)?;
     }
     let out = &op.out;
     if target.is_gpu() {
         let ax = out.op.axes();
         let (t_oc, t_oh, t_ow) = (cfg.get("tile_oc"), cfg.get("tile_oh"), cfg.get("tile_ow"));
-        let (oco, oci) = s.split(out, &ax[1], t_oc);
-        let (oho, ohi) = s.split(out, &ax[2], t_oh);
-        let (owo, owi) = s.split(out, &ax[3], t_ow);
-        s.reorder(out, &[&ax[0], &oco, &oho, &owo, &oci, &ohi, &owi]);
-        s.bind(out, &oco, ThreadTag::BlockIdxZ);
-        s.bind(out, &oho, ThreadTag::BlockIdxY);
-        s.bind(out, &owo, ThreadTag::BlockIdxX);
-        s.bind(out, &oci, ThreadTag::ThreadIdxZ);
-        s.bind(out, &ohi, ThreadTag::ThreadIdxY);
-        s.bind(out, &owi, ThreadTag::ThreadIdxX);
+        let (oco, oci) = s.split(out, &ax[1], t_oc)?;
+        let (oho, ohi) = s.split(out, &ax[2], t_oh)?;
+        let (owo, owi) = s.split(out, &ax[3], t_ow)?;
+        s.reorder(out, &[&ax[0], &oco, &oho, &owo, &oci, &ohi, &owi])?;
+        s.bind(out, &oco, ThreadTag::BlockIdxZ)?;
+        s.bind(out, &oho, ThreadTag::BlockIdxY)?;
+        s.bind(out, &owo, ThreadTag::BlockIdxX)?;
+        s.bind(out, &oci, ThreadTag::ThreadIdxZ)?;
+        s.bind(out, &ohi, ThreadTag::ThreadIdxY)?;
+        s.bind(out, &owi, ThreadTag::ThreadIdxX)?;
         let r = out.op.reduce_axes();
         if cfg.get("unroll") == 1 && !r.is_empty() {
-            s.unroll(out, &r[r.len() - 1]);
+            s.unroll(out, &r[r.len() - 1])?;
         }
     } else {
-        apply_conv2d_schedule(s, op, target, cfg);
+        apply_conv2d_schedule(s, op, target, cfg)?;
     }
+    Ok(())
 }
 
 /// The dense (matmul) schedule space.
@@ -328,52 +346,53 @@ pub fn apply_dense_schedule(
     out: &Tensor,
     target: &Target,
     cfg: &ConfigEntity,
-) {
+) -> Result<(), TeError> {
     if target.is_gpu() {
-        let cl = s.cache_write(out, MemScope::Local);
+        let cl = s.cache_write(out, MemScope::Local)?;
         let ax = out.op.axes();
         let (t_m, t_n) = (cfg.get("tile_m"), cfg.get("tile_n"));
-        let (mo, mi) = s.split(out, &ax[0], t_m);
-        let (no, ni) = s.split(out, &ax[1], t_n);
-        s.reorder(out, &[&mo, &no, &mi, &ni]);
-        s.bind(out, &mo, ThreadTag::BlockIdxY);
-        s.bind(out, &no, ThreadTag::BlockIdxX);
-        s.bind(out, &mi, ThreadTag::ThreadIdxY);
-        s.bind(out, &ni, ThreadTag::ThreadIdxX);
-        s.compute_at(&cl, out, &ni);
+        let (mo, mi) = s.split(out, &ax[0], t_m)?;
+        let (no, ni) = s.split(out, &ax[1], t_n)?;
+        s.reorder(out, &[&mo, &no, &mi, &ni])?;
+        s.bind(out, &mo, ThreadTag::BlockIdxY)?;
+        s.bind(out, &no, ThreadTag::BlockIdxX)?;
+        s.bind(out, &mi, ThreadTag::ThreadIdxY)?;
+        s.bind(out, &ni, ThreadTag::ThreadIdxX)?;
+        s.compute_at(&cl, out, &ni)?;
         let r = cl.op.reduce_axes();
-        let (ko, ki) = s.split(&cl, &r[0], cfg.get("tile_k"));
+        let (ko, ki) = s.split(&cl, &r[0], cfg.get("tile_k"))?;
         let cl_ax = cl.op.axes();
-        s.reorder(&cl, &[&ko, &ki, &cl_ax[0], &cl_ax[1]]);
+        s.reorder(&cl, &[&ko, &ki, &cl_ax[0], &cl_ax[1]])?;
         if cfg.get("unroll") == 1 {
-            s.unroll(&cl, &ki);
+            s.unroll(&cl, &ki)?;
         }
         if cfg.get("use_shared") == 1 {
             let threads = [(ThreadTag::ThreadIdxY, t_m), (ThreadTag::ThreadIdxX, t_n)];
-            let ds = s.cache_read(data, MemScope::Shared, &[&cl]);
-            s.compute_at(&ds, &cl, &ko);
-            cooperative_load(s, &ds, &threads);
-            let ws = s.cache_read(weight, MemScope::Shared, &[&cl]);
-            s.compute_at(&ws, &cl, &ko);
-            cooperative_load(s, &ws, &threads);
+            let ds = s.cache_read(data, MemScope::Shared, &[&cl])?;
+            s.compute_at(&ds, &cl, &ko)?;
+            cooperative_load(s, &ds, &threads)?;
+            let ws = s.cache_read(weight, MemScope::Shared, &[&cl])?;
+            s.compute_at(&ws, &cl, &ko)?;
+            cooperative_load(s, &ws, &threads)?;
         }
     } else {
         let ax = out.op.axes();
         let r = out.op.reduce_axes();
-        let (mo, mi) = s.split(out, &ax[0], cfg.get("tile_m"));
-        let (no, ni) = s.split(out, &ax[1], cfg.get("tile_n"));
-        let (ko, ki) = s.split(out, &r[0], cfg.get("tile_k"));
-        s.reorder(out, &[&mo, &no, &ko, &mi, &ki, &ni]);
+        let (mo, mi) = s.split(out, &ax[0], cfg.get("tile_m"))?;
+        let (no, ni) = s.split(out, &ax[1], cfg.get("tile_n"))?;
+        let (ko, ki) = s.split(out, &r[0], cfg.get("tile_k"))?;
+        s.reorder(out, &[&mo, &no, &ko, &mi, &ki, &ni])?;
         if cfg.get("vec") == 1 {
-            s.vectorize(out, &ni);
+            s.vectorize(out, &ni)?;
         }
         if cfg.get("par") == 1 {
-            s.parallel(out, &mo);
+            s.parallel(out, &mo)?;
         }
         if cfg.get("unroll") == 1 {
-            s.unroll(out, &ki);
+            s.unroll(out, &ki)?;
         }
     }
+    Ok(())
 }
 
 /// Builds the tuning task for a dense workload.
@@ -383,7 +402,7 @@ pub fn dense_task(w: DenseWorkload, target: Target) -> TuningTask {
     let builder = move |cfg: &ConfigEntity| -> Result<LoweredFunc, TeError> {
         let (d, wt, out) = dense(&w);
         let mut s = create_schedule(std::slice::from_ref(&out));
-        apply_dense_schedule(&mut s, &d, &wt, &out, &t2, cfg);
+        apply_dense_schedule(&mut s, &d, &wt, &out, &t2, cfg)?;
         let f = lower(&s, &[d, wt, out], &format!("dense_{}x{}x{}", w.m, w.n, w.k))?;
         validate(&f, &t2)?;
         Ok(f)

@@ -206,37 +206,39 @@ pub fn apply_winograd_schedule(
     op: &WinogradOp,
     target: &Target,
     cfg: &ConfigEntity,
-) {
-    assert!(
-        !target.is_gpu(),
-        "winograd scheduling is CPU-only here (see docs)"
-    );
-    s.compute_inline(&op.pad);
+) -> Result<(), TeError> {
+    if target.is_gpu() {
+        return Err(TeError::msg(
+            "winograd scheduling is CPU-only here (see docs)",
+        ));
+    }
+    s.compute_inline(&op.pad)?;
     // Constant matrices fold away.
     for stage in s.stages.clone() {
         let name = stage.tensor.name().to_string();
         if name == "Bt" || name == "At" {
-            s.compute_inline(&stage.tensor);
+            s.compute_inline(&stage.tensor)?;
         }
     }
     let m = &op.m;
     let ax = m.op.axes(); // eps, nu, oc, p
     let (t_oc, t_p) = (cfg.get("tile_oc"), cfg.get("tile_p"));
-    let (oco, oci) = s.split(m, &ax[2], t_oc);
-    let (po, pi) = s.split(m, &ax[3], t_p);
+    let (oco, oci) = s.split(m, &ax[2], t_oc)?;
+    let (po, pi) = s.split(m, &ax[3], t_p)?;
     let r = m.op.reduce_axes();
-    let (rco, rci) = s.split(m, &r[0], cfg.get("tile_rc"));
-    s.reorder(m, &[&ax[0], &ax[1], &oco, &po, &rco, &rci, &oci, &pi]);
+    let (rco, rci) = s.split(m, &r[0], cfg.get("tile_rc"))?;
+    s.reorder(m, &[&ax[0], &ax[1], &oco, &po, &rco, &rci, &oci, &pi])?;
     if cfg.get("vec") == 1 {
-        s.vectorize(m, &pi);
+        s.vectorize(m, &pi)?;
     }
     if cfg.get("par") == 1 {
-        s.parallel(m, &oco);
+        s.parallel(m, &oco)?;
     }
     // V and the inverse transform get generic schedules in their own right.
-    crate::schedules::schedule_injective(s, &op.out, target);
+    crate::schedules::schedule_injective(s, &op.out, target)?;
     let vax = op.v.op.axes();
-    s.parallel(&op.v, &vax[2]);
+    s.parallel(&op.v, &vax[2])?;
+    Ok(())
 }
 
 /// The Winograd schedule space.
@@ -259,7 +261,7 @@ pub fn winograd_task(w: Conv2dWorkload, dtype: DType, target: Target) -> TuningT
     let builder = move |cfg: &ConfigEntity| -> Result<LoweredFunc, TeError> {
         let op = winograd_conv2d(&w, dtype);
         let mut s = create_schedule(std::slice::from_ref(&op.out));
-        apply_winograd_schedule(&mut s, &op, &t2, cfg);
+        apply_winograd_schedule(&mut s, &op, &t2, cfg)?;
         lower(
             &s,
             &[op.data.clone(), op.weight_t.clone(), op.out.clone()],

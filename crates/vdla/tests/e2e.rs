@@ -33,28 +33,29 @@ fn decl() -> (Tensor, Tensor, Tensor) {
 fn vdla_matmul(vthread: bool) -> LoweredFunc {
     let (a, b, c) = decl();
     let mut s = create_schedule(std::slice::from_ref(&c));
-    let cl = s.cache_write(&c, MemScope::AccBuffer);
+    let cl = s.cache_write(&c, MemScope::AccBuffer).unwrap();
     let ax = c.op.axes();
-    let (yo, xo, yi, _xi) = s.tile(&c, &ax[0], &ax[1], T, T);
+    let (yo, xo, yi, _xi) = s.tile(&c, &ax[0], &ax[1], T, T).unwrap();
     let _ = yo;
     if vthread {
-        s.vthread(&c, &xo);
+        s.vthread(&c, &xo).unwrap();
     }
-    s.pragma(&c, &yi, "dma_copy");
-    s.compute_at(&cl, &c, &xo);
+    s.pragma(&c, &yi, "dma_copy").unwrap();
+    s.compute_at(&cl, &c, &xo).unwrap();
     let clr = cl.op.reduce_axes();
-    let (ko, ki) = s.split(&cl, &clr[0], T);
+    let (ko, ki) = s.split(&cl, &clr[0], T).unwrap();
     let clax = cl.op.axes();
-    s.reorder(&cl, &[&ko, &clax[0], &clax[1], &ki]);
-    let al = s.cache_read(&a, MemScope::InpBuffer, &[&cl]);
-    let bl = s.cache_read(&b, MemScope::WgtBuffer, &[&cl]);
-    s.compute_at(&al, &cl, &ko);
-    s.compute_at(&bl, &cl, &ko);
-    let al_leaf = s.stage(&al).leaf_iters[0].clone();
-    s.pragma(&al, &al_leaf, "dma_copy");
-    let bl_leaf = s.stage(&bl).leaf_iters[0].clone();
-    s.pragma(&bl, &bl_leaf, "dma_copy");
-    s.tensorize(&cl, &clax[0], gemm_intrin(T, T, T, DType::float32()));
+    s.reorder(&cl, &[&ko, &clax[0], &clax[1], &ki]).unwrap();
+    let al = s.cache_read(&a, MemScope::InpBuffer, &[&cl]).unwrap();
+    let bl = s.cache_read(&b, MemScope::WgtBuffer, &[&cl]).unwrap();
+    s.compute_at(&al, &cl, &ko).unwrap();
+    s.compute_at(&bl, &cl, &ko).unwrap();
+    let al_leaf = s.stage(&al).unwrap().leaf_iters[0].clone();
+    s.pragma(&al, &al_leaf, "dma_copy").unwrap();
+    let bl_leaf = s.stage(&bl).unwrap().leaf_iters[0].clone();
+    s.pragma(&bl, &bl_leaf, "dma_copy").unwrap();
+    s.tensorize(&cl, &clax[0], gemm_intrin(T, T, T, DType::float32()))
+        .unwrap();
     lower_with(&s, &[a, b, c], "vdla_mm", &LowerOptions { dae_sync: true })
         .unwrap_or_else(|e| panic!("{e}"))
 }

@@ -35,7 +35,7 @@ fn any_tensor(s: &Schedule, name: &str) -> Result<Tensor, String> {
 }
 
 fn leaf(s: &Schedule, t: &Tensor, index: usize) -> Result<tvm_te::IterVar, String> {
-    let leaves = &s.stage(t).leaf_iters;
+    let leaves = &s.stage(t).map_err(|e| e.to_string())?.leaf_iters;
     leaves.get(index).cloned().ok_or_else(|| {
         format!(
             "leaf {index} out of range for `{}` ({} leaves)",
@@ -58,7 +58,7 @@ pub fn apply_one(s: &mut Schedule, p: &Primitive) -> Result<(), String> {
             }
             let t = stage_tensor(s, stage)?;
             let iv = leaf(s, &t, *li)?;
-            s.split(&t, &iv, *factor);
+            s.split(&t, &iv, *factor).map_err(|e| e.to_string())?;
         }
         Primitive::Fuse { stage, pos } => {
             let t = stage_tensor(s, stage)?;
@@ -67,11 +67,11 @@ pub fn apply_one(s: &mut Schedule, p: &Primitive) -> Result<(), String> {
             if (outer.kind == IterKind::Reduce) != (inner.kind == IterKind::Reduce) {
                 return Err("cannot fuse a reduce leaf with a data leaf".into());
             }
-            s.fuse(&t, &outer, &inner);
+            s.fuse(&t, &outer, &inner).map_err(|e| e.to_string())?;
         }
         Primitive::Reorder { stage, perm } => {
             let t = stage_tensor(s, stage)?;
-            let leaves = s.stage(&t).leaf_iters.clone();
+            let leaves = s.stage(&t).map_err(|e| e.to_string())?.leaf_iters.clone();
             let mut seen = vec![false; leaves.len()];
             if perm.len() != leaves.len() {
                 return Err(format!(
@@ -87,7 +87,7 @@ pub fn apply_one(s: &mut Schedule, p: &Primitive) -> Result<(), String> {
                 seen[ix] = true;
             }
             let order: Vec<&tvm_te::IterVar> = perm.iter().map(|&ix| &leaves[ix]).collect();
-            s.reorder(&t, &order);
+            s.reorder(&t, &order).map_err(|e| e.to_string())?;
         }
         Primitive::Vectorize { stage, leaf: li } => {
             let t = stage_tensor(s, stage)?;
@@ -95,12 +95,12 @@ pub fn apply_one(s: &mut Schedule, p: &Primitive) -> Result<(), String> {
             if iv.kind == IterKind::Reduce {
                 return Err("vectorizing a reduction leaf".into());
             }
-            s.vectorize(&t, &iv);
+            s.vectorize(&t, &iv).map_err(|e| e.to_string())?;
         }
         Primitive::Unroll { stage, leaf: li } => {
             let t = stage_tensor(s, stage)?;
             let iv = leaf(s, &t, *li)?;
-            s.unroll(&t, &iv);
+            s.unroll(&t, &iv).map_err(|e| e.to_string())?;
         }
         Primitive::Parallel { stage, leaf: li } => {
             let t = stage_tensor(s, stage)?;
@@ -108,7 +108,7 @@ pub fn apply_one(s: &mut Schedule, p: &Primitive) -> Result<(), String> {
             if iv.kind == IterKind::Reduce {
                 return Err("parallelizing a reduction leaf".into());
             }
-            s.parallel(&t, &iv);
+            s.parallel(&t, &iv).map_err(|e| e.to_string())?;
         }
         Primitive::Bind {
             stage,
@@ -118,7 +118,7 @@ pub fn apply_one(s: &mut Schedule, p: &Primitive) -> Result<(), String> {
             let t = stage_tensor(s, stage)?;
             let iv = leaf(s, &t, *li)?;
             let tag = parse_thread_tag(tag).ok_or_else(|| format!("unknown thread tag `{tag}`"))?;
-            s.bind(&t, &iv, tag);
+            s.bind(&t, &iv, tag).map_err(|e| e.to_string())?;
         }
         Primitive::ComputeAt {
             producer,
@@ -131,18 +131,18 @@ pub fn apply_one(s: &mut Schedule, p: &Primitive) -> Result<(), String> {
                 return Err("compute_at of a stage into itself".into());
             }
             let iv = leaf(s, &cons, *li)?;
-            s.compute_at(&prod, &cons, &iv);
+            s.compute_at(&prod, &cons, &iv).map_err(|e| e.to_string())?;
         }
         Primitive::ComputeInline { stage } => {
             let t = stage_tensor(s, stage)?;
-            let st = s.stage(&t);
+            let st = s.stage(&t).map_err(|e| e.to_string())?;
             if st.is_output {
                 return Err(format!("cannot inline output stage `{stage}`"));
             }
             if !matches!(t.op.body(), Some(ComputeBody::Plain(_))) {
                 return Err(format!("cannot inline reduction stage `{stage}`"));
             }
-            s.compute_inline(&t);
+            s.compute_inline(&t).map_err(|e| e.to_string())?;
         }
         Primitive::CacheRead {
             tensor,
@@ -167,13 +167,13 @@ pub fn apply_one(s: &mut Schedule, p: &Primitive) -> Result<(), String> {
                 }
             }
             let refs: Vec<&Tensor> = readers.iter().collect();
-            s.cache_read(&t, scope, &refs);
+            s.cache_read(&t, scope, &refs).map_err(|e| e.to_string())?;
         }
         Primitive::CacheWrite { tensor, scope } => {
             let t = stage_tensor(s, tensor)?;
             let scope = parse_scope(scope).ok_or_else(|| format!("unknown scope `{scope}`"))?;
             {
-                let st = s.stage(&t);
+                let st = s.stage(&t).map_err(|e| e.to_string())?;
                 if !st.relations.is_empty() {
                     return Err(format!("cache_write on already-scheduled stage `{tensor}`"));
                 }
@@ -181,7 +181,7 @@ pub fn apply_one(s: &mut Schedule, p: &Primitive) -> Result<(), String> {
             if t.op.body().is_none() {
                 return Err(format!("cache_write target `{tensor}` has no body"));
             }
-            s.cache_write(&t, scope);
+            s.cache_write(&t, scope).map_err(|e| e.to_string())?;
         }
     }
     Ok(())
@@ -224,7 +224,7 @@ mod tests {
             ],
         )
         .expect("applies");
-        assert_eq!(s.stage(&w.output).leaf_iters.len(), 4);
+        assert_eq!(s.stage(&w.output).unwrap().leaf_iters.len(), 4);
     }
 
     #[test]

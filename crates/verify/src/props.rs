@@ -156,10 +156,11 @@ pub fn check_plan_memory(seed: u64, cases: usize) -> Result<(), String> {
             if si == usize::MAX {
                 return Err(format!("case {case}: group {i} got no storage slot"));
             }
-            let size = g.node(gi.output).shape.iter().product::<i64>() as usize;
+            let node = g.node(gi.output);
+            let size = node.shape.iter().product::<i64>() as usize * node.dtype.bytes();
             if plan.slot_sizes[si] < size {
                 return Err(format!(
-                    "case {case}: slot {si} of size {} smaller than tensor ({size})",
+                    "case {case}: slot {si} of {} bytes smaller than tensor ({size} bytes)",
                     plan.slot_sizes[si]
                 ));
             }

@@ -37,7 +37,7 @@ pub fn check_static(kind: WorkloadKind, trace: &[Primitive]) -> Option<String> {
             // In debug builds the lowering hook rejects flagged programs
             // before we can inspect them; that rejection *is* an
             // analysis claim.
-            Err(e) if e.0.starts_with("IR validation failed") => return Some(e.0),
+            Err(e) if e.to_string().contains("IR validation failed") => return Some(e.to_string()),
             Err(_) => return None,
         };
         let report = tvm_analysis::analyze_func(&f);

@@ -23,26 +23,27 @@ fn main() {
     });
 
     let mut s = create_schedule(std::slice::from_ref(&c));
-    let cl = s.cache_write(&c, MemScope::AccBuffer);
+    let cl = s.cache_write(&c, MemScope::AccBuffer).unwrap();
     let ax = c.op.axes();
-    let (_yo, xo, yi, _xi) = s.tile(&c, &ax[0], &ax[1], t, t);
-    let (_xoo, xov) = s.split(&c, &xo, 2);
-    s.vthread(&c, &xov); // two tiles in flight: latency hiding
-    s.pragma(&c, &yi, "dma_copy");
-    s.compute_at(&cl, &c, &xov);
+    let (_yo, xo, yi, _xi) = s.tile(&c, &ax[0], &ax[1], t, t).unwrap();
+    let (_xoo, xov) = s.split(&c, &xo, 2).unwrap();
+    s.vthread(&c, &xov).unwrap(); // two tiles in flight: latency hiding
+    s.pragma(&c, &yi, "dma_copy").unwrap();
+    s.compute_at(&cl, &c, &xov).unwrap();
     let clr = cl.op.reduce_axes();
-    let (ko, _ki) = s.split(&cl, &clr[0], t);
+    let (ko, _ki) = s.split(&cl, &clr[0], t).unwrap();
     let clax = cl.op.axes();
-    s.reorder(&cl, &[&ko, &clax[0], &clax[1], &_ki]);
-    let al = s.cache_read(&a, MemScope::InpBuffer, &[&cl]);
-    let bl = s.cache_read(&b, MemScope::WgtBuffer, &[&cl]);
-    s.compute_at(&al, &cl, &ko);
-    s.compute_at(&bl, &cl, &ko);
-    let leaf = s.stage(&al).leaf_iters[0].clone();
-    s.pragma(&al, &leaf, "dma_copy");
-    let leaf = s.stage(&bl).leaf_iters[0].clone();
-    s.pragma(&bl, &leaf, "dma_copy");
-    s.tensorize(&cl, &clax[0], gemm_intrin(t, t, t, DType::float32()));
+    s.reorder(&cl, &[&ko, &clax[0], &clax[1], &_ki]).unwrap();
+    let al = s.cache_read(&a, MemScope::InpBuffer, &[&cl]).unwrap();
+    let bl = s.cache_read(&b, MemScope::WgtBuffer, &[&cl]).unwrap();
+    s.compute_at(&al, &cl, &ko).unwrap();
+    s.compute_at(&bl, &cl, &ko).unwrap();
+    let leaf = s.stage(&al).unwrap().leaf_iters[0].clone();
+    s.pragma(&al, &leaf, "dma_copy").unwrap();
+    let leaf = s.stage(&bl).unwrap().leaf_iters[0].clone();
+    s.pragma(&bl, &leaf, "dma_copy").unwrap();
+    s.tensorize(&cl, &clax[0], gemm_intrin(t, t, t, DType::float32()))
+        .unwrap();
 
     let f = lower_with(
         &s,

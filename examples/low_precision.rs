@@ -85,7 +85,8 @@ fn main() {
         let mut s = create_schedule(std::slice::from_ref(&y));
         if tensorize {
             let ax = y.op.axes();
-            s.tensorize(&y, &ax[1], bitserial_dot_intrin(blocks, pixels));
+            s.tensorize(&y, &ax[1], bitserial_dot_intrin(blocks, pixels))
+                .unwrap();
         }
         lower(&s, &[x, wv, y], "bitserial_gemv").expect("lowers")
     };

@@ -53,10 +53,10 @@ fn tiled_gemm_prints_stably() {
     });
     let mut s = create_schedule(std::slice::from_ref(&c));
     let ax = c.op.axes();
-    let (yo, yi) = s.split(&c, &ax[0], 4);
-    let (xo, xi) = s.split(&c, &ax[1], 4);
-    s.reorder(&c, &[&yo, &xo, &yi, &xi]);
-    s.vectorize(&c, &xi);
+    let (yo, yi) = s.split(&c, &ax[0], 4).unwrap();
+    let (xo, xi) = s.split(&c, &ax[1], 4).unwrap();
+    s.reorder(&c, &[&yo, &xo, &yi, &xi]).unwrap();
+    s.vectorize(&c, &xi).unwrap();
     let f = lower(&s, &[a, b, c.clone()], "tiled_gemm").expect("lowers");
     check_golden("tiled_gemm.expected", &f.body.to_string());
 }
@@ -80,8 +80,9 @@ fn fused_conv_bn_relu_prints_stably() {
     let mut s = create_schedule(std::slice::from_ref(&out));
     // The §3 fusion schedule: pad and bn are injective, so they inline
     // into their consumers; conv stays the materialized master stage.
-    s.compute_inline(op.pad.as_ref().expect("padded conv"));
-    s.compute_inline(&bn);
+    s.compute_inline(op.pad.as_ref().expect("padded conv"))
+        .unwrap();
+    s.compute_inline(&bn).unwrap();
     let args = vec![
         op.data.clone(),
         op.weight.clone(),

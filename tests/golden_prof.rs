@@ -1,0 +1,38 @@
+//! Golden test for the `tvm-prof` per-op breakdown: the profiled demo
+//! CNN must produce exactly the checked-in table. Every column is
+//! deterministic — kernel names from fusion, costs from the simulator,
+//! sizes and slots from the memory plan — so any drift is a real change
+//! to fusion, costing, or planning.
+//!
+//! Regenerate intentionally with
+//!
+//! ```text
+//! TVM_REGEN_GOLDEN=1 cargo test --test golden_prof
+//! ```
+
+use std::path::Path;
+
+use tvm_bench::profiling::demo_table;
+use tvm_sim::titanx;
+
+#[test]
+fn per_op_breakdown_is_stable() {
+    let actual = demo_table(&titanx(), true);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/prof_table.expected");
+    if std::env::var_os("TVM_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\nrun with TVM_REGEN_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual.trim_end(),
+        expected.trim_end(),
+        "\nper-op profile for the demo graph changed; if intentional, \
+         regenerate with TVM_REGEN_GOLDEN=1 and review the diff"
+    );
+}
