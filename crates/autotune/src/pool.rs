@@ -129,6 +129,20 @@ pub enum MeasureError {
     },
 }
 
+impl std::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasureError::NoDevice => write!(f, "no device of the requested type"),
+            MeasureError::AllDevicesDead => write!(f, "every matching device is dead"),
+            MeasureError::RetriesExhausted { attempts } => {
+                write!(f, "retry budget exhausted after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
 /// Outcome of one batched job.
 #[derive(Clone, Debug)]
 pub struct JobOutcome {
@@ -311,6 +325,15 @@ impl Tracker {
     /// Cumulative fault-handling counters.
     pub fn pool_stats(&self) -> &PoolStats {
         &self.stats
+    }
+
+    /// How many devices are currently usable (not dead, not quarantined).
+    /// The serving scheduler sizes its dispatch lanes from this.
+    pub fn usable_count(&self) -> usize {
+        self.devices
+            .iter()
+            .filter(|d| matches!(d.state, DevState::Healthy | DevState::Probation))
+            .count()
     }
 
     /// Per-device health snapshot.

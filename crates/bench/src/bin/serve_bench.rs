@@ -1,0 +1,251 @@
+//! `tvm-serve-bench` — seeded open-loop serving benchmark.
+//!
+//! Measures the service's capacity, then drives it at several offered
+//! loads (under-load, saturation, overload) with chaos faults enabled,
+//! mixed tenants/models, and a burst window. Writes
+//! `results/BENCH_serving.json` with per-level p50/p99 latency, goodput,
+//! and shed rate.
+//!
+//! Flags: `--quick` shrinks traces for the CI smoke step; `--seed N`
+//! reseeds the whole experiment.
+
+use tvm_json::Value;
+use tvm_serve::{
+    generate, AdmissionConfig, BatchPolicy, Model, ResponseRecord, Service, ServiceConfig,
+    ServiceStats, TenantConfig, TenantTraffic, TrafficSpec,
+};
+use tvm_sim::{FaultPlan, FaultRates};
+
+struct Args {
+    quick: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        seed: 20240808,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--seed" => {
+                args.seed = it.next().and_then(|s| s.parse().ok()).expect("--seed N");
+            }
+            other => {
+                eprintln!("unknown flag {other} (known: --quick, --seed N)");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn chaos_rates() -> FaultRates {
+    FaultRates {
+        crash: 0.001,
+        hang: 0.04,
+        transient: 0.06,
+        noise: 0.10,
+        noise_factor: 2.5,
+    }
+}
+
+fn service_config(seed: u64, chaos: bool) -> ServiceConfig {
+    ServiceConfig {
+        tenants: vec![
+            TenantConfig::new("mobile").weight(2).queue_cap(128),
+            TenantConfig::new("batchjob").weight(1).queue_cap(128),
+        ],
+        admission: AdmissionConfig {
+            max_outstanding: 384,
+        },
+        batch: BatchPolicy {
+            max_batch: 8,
+            max_delay_ms: 2.0,
+        },
+        devices: 3,
+        faults: if chaos {
+            FaultPlan::seeded(seed ^ 0xC4A0, chaos_rates())
+        } else {
+            FaultPlan::none()
+        },
+        ..ServiceConfig::default()
+    }
+}
+
+/// Offered traffic at `rps` total, split across both tenants and models,
+/// with a mid-trace burst on the mobile tenant.
+fn spec(seed: u64, rps: f64, horizon_ms: f64) -> TrafficSpec {
+    TrafficSpec {
+        seed,
+        horizon_ms,
+        tenants: vec![
+            TenantTraffic {
+                tenant: "mobile".into(),
+                rate_rps: rps * 0.6,
+                models: vec![Model::Mlp, Model::TinyCnn],
+                bursts: vec![tvm_serve::BurstSpec {
+                    start_ms: horizon_ms * 0.4,
+                    end_ms: horizon_ms * 0.5,
+                    factor: 3.0,
+                }],
+            },
+            TenantTraffic {
+                tenant: "batchjob".into(),
+                rate_rps: rps * 0.4,
+                models: vec![Model::Mlp],
+                bursts: vec![],
+            },
+        ],
+    }
+}
+
+/// Saturation search: raise the offered rate geometrically (fault-free)
+/// until admission control sheds, and call the goodput at that rate the
+/// service's capacity.
+fn measure_capacity(seed: u64, budget_requests: f64) -> f64 {
+    let mut rate = 2000.0f64;
+    loop {
+        let horizon = (budget_requests / rate * 1000.0).clamp(5.0, 500.0);
+        let trace = generate(&spec(seed, rate, horizon));
+        let mut svc = Service::new(service_config(seed, false)).expect("service");
+        let (_, stats) = svc.run(trace);
+        if stats.shed > 0 && stats.completed > 0 {
+            return stats.completed as f64 * 1000.0 / stats.horizon_ms.max(1e-9);
+        }
+        rate *= 4.0;
+        assert!(rate < 1e12, "serving capacity search never saturated");
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn level_json(
+    label: &str,
+    factor: f64,
+    offered_rps: f64,
+    total: usize,
+    responses: &[ResponseRecord],
+    stats: &ServiceStats,
+) -> Value {
+    let mut lat: Vec<f64> = responses
+        .iter()
+        .filter(|r| r.outcome.is_ok())
+        .map(|r| r.latency_ms())
+        .collect();
+    lat.sort_by(f64::total_cmp);
+    let goodput_rps = stats.completed as f64 * 1000.0 / stats.horizon_ms.max(1e-9);
+    let shed_rate = stats.shed as f64 / (total as f64).max(1.0);
+    let mean_batch = stats.batch_size_sum as f64 / (stats.batches as f64).max(1.0);
+    Value::object([
+        ("level", Value::from(label)),
+        ("offered_factor", Value::from(factor)),
+        ("offered_rps", Value::from(offered_rps)),
+        ("requests", Value::from(total as u64)),
+        ("completed", Value::from(stats.completed)),
+        ("shed", Value::from(stats.shed)),
+        ("failed", Value::from(stats.failed)),
+        ("goodput_rps", Value::from(goodput_rps)),
+        ("shed_rate", Value::from(shed_rate)),
+        ("p50_ms", Value::from(percentile(&lat, 0.50))),
+        ("p99_ms", Value::from(percentile(&lat, 0.99))),
+        ("mean_batch", Value::from(mean_batch)),
+        ("batches", Value::from(stats.batches)),
+        (
+            "pool",
+            Value::object([
+                ("attempts", Value::from(stats.pool.attempts as u64)),
+                ("retries", Value::from(stats.pool.retries as u64)),
+                ("timeouts", Value::from(stats.pool.timeouts as u64)),
+                (
+                    "transient_errors",
+                    Value::from(stats.pool.transient_errors as u64),
+                ),
+                ("crash_faults", Value::from(stats.pool.crash_faults as u64)),
+                ("quarantines", Value::from(stats.pool.quarantines as u64)),
+                ("readmissions", Value::from(stats.pool.readmissions as u64)),
+            ]),
+        ),
+        (
+            "cache",
+            Value::object([
+                ("hits", Value::from(stats.cache.hits)),
+                ("cold_builds", Value::from(stats.cache.cold_builds)),
+                ("warm_builds", Value::from(stats.cache.warm_builds)),
+            ]),
+        ),
+    ])
+}
+
+fn main() {
+    let args = parse_args();
+    let _sp = tvm_obs::span("serve_bench");
+    let budget = if args.quick { 800.0 } else { 4000.0 };
+
+    println!("measuring serving capacity (seed {})...", args.seed);
+    let capacity = measure_capacity(args.seed, budget);
+    println!("  capacity ≈ {capacity:.0} req/s (virtual)");
+
+    // Three offered-load levels; 2.0x is overload by construction.
+    let levels = [
+        ("underload", 0.5f64),
+        ("saturation", 1.0),
+        ("overload", 2.0),
+    ];
+    let mut rows = Vec::new();
+    for (label, factor) in levels {
+        let offered = capacity * factor;
+        let horizon = (budget / offered * 1000.0).clamp(5.0, 2000.0);
+        let trace = generate(&spec(args.seed + 1, offered, horizon));
+        let total = trace.len();
+        let mut svc = Service::new(service_config(args.seed, true)).expect("service");
+        let (responses, stats) = svc.run(trace);
+        let mut lat: Vec<f64> = responses
+            .iter()
+            .filter(|r| r.outcome.is_ok())
+            .map(|r| r.latency_ms())
+            .collect();
+        lat.sort_by(f64::total_cmp);
+        println!(
+            "  {label:<10} offered {offered:>9.0} rps | goodput {:>9.0} rps | shed {:>5.1}% | p50 {:.3} ms | p99 {:.3} ms",
+            stats.completed as f64 * 1000.0 / stats.horizon_ms.max(1e-9),
+            100.0 * stats.shed as f64 / (total as f64).max(1.0),
+            percentile(&lat, 0.50),
+            percentile(&lat, 0.99),
+        );
+        rows.push(level_json(
+            label, factor, offered, total, &responses, &stats,
+        ));
+    }
+
+    let chaos = chaos_rates();
+    let doc = Value::object([
+        ("bench", Value::from("serving")),
+        ("seed", Value::from(args.seed)),
+        ("quick", Value::from(args.quick)),
+        ("capacity_rps", Value::from(capacity)),
+        (
+            "chaos",
+            Value::object([
+                ("crash", Value::from(chaos.crash)),
+                ("hang", Value::from(chaos.hang)),
+                ("transient", Value::from(chaos.transient)),
+                ("noise", Value::from(chaos.noise)),
+                ("noise_factor", Value::from(chaos.noise_factor)),
+            ]),
+        ),
+        ("levels", Value::from(rows)),
+    ]);
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_serving.json", doc.to_string() + "\n")
+        .expect("write results/BENCH_serving.json");
+    println!("wrote results/BENCH_serving.json");
+}

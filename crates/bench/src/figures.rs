@@ -117,6 +117,7 @@ pub fn fig04_fusion() -> Vec<FusionRow> {
             &BuildOptions {
                 no_fusion: true,
                 db: None,
+                decisions: None,
             },
         )
         .expect("builds");
@@ -323,6 +324,7 @@ fn e2e_row(
         &BuildOptions {
             no_fusion: false,
             db: Some(&db),
+            decisions: None,
         },
     )
     .expect("builds");
@@ -332,6 +334,7 @@ fn e2e_row(
         &BuildOptions {
             no_fusion: true,
             db: Some(&db),
+            decisions: None,
         },
     )
     .expect("builds");
@@ -601,6 +604,7 @@ pub fn fig21_offload(input_size: i64, trials: usize) -> Vec<OffloadRow> {
         &BuildOptions {
             no_fusion: false,
             db: Some(&db),
+            decisions: None,
         },
     )
     .expect("builds");

@@ -26,23 +26,66 @@ pub struct BuildOptions<'a> {
     pub no_fusion: bool,
     /// Tuning-log database consulted for operator configurations.
     pub db: Option<&'a Database>,
+    /// Forced per-group schedule strategies (index-aligned with the fused
+    /// groups). A serving-layer artifact cache journals the decisions a
+    /// build made so a restart can replay them: each group builds exactly
+    /// once along the recorded path instead of enumerating and
+    /// cost-comparing candidates. Missing entries fall back to the normal
+    /// candidate search.
+    pub decisions: Option<&'a [GroupDecision]>,
+}
+
+/// The schedule strategy a fused group was built with — the part of a
+/// compile that is *searched* rather than derived, and therefore the part
+/// worth journaling in a build cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GroupDecision {
+    /// Master nested inside the element-wise output's loops.
+    Attach,
+    /// Master kept at root under its operator template.
+    TemplateRoot,
+}
+
+/// What a build decided, group by group (replayable via
+/// [`BuildOptions::decisions`]).
+#[derive(Clone, Debug, Default)]
+pub struct BuildReport {
+    /// Strategy chosen for each fused group, in group order.
+    pub decisions: Vec<GroupDecision>,
 }
 
 /// Compiles a graph for a target — `t.compiler.build(graph, target, params)`
 /// in the paper's end-user example.
 pub fn build(graph: &Graph, target: &Target, opts: &BuildOptions) -> Result<Module, TeError> {
+    build_with_report(graph, target, opts).map(|(m, _)| m)
+}
+
+/// [`build`], also returning the per-group schedule decisions so callers
+/// (the serving artifact cache) can journal and later replay them.
+pub fn build_with_report(
+    graph: &Graph,
+    target: &Target,
+    opts: &BuildOptions,
+) -> Result<(Module, BuildReport), TeError> {
     let fused = fuse(graph, !opts.no_fusion);
     let plan = plan_memory(graph, &fused);
     let mut kernels = Vec::with_capacity(fused.groups.len());
-    for group in &fused.groups {
-        kernels.push(build_group(graph, &fused, group, target, opts)?);
+    let mut report = BuildReport::default();
+    for (gi, group) in fused.groups.iter().enumerate() {
+        let forced = opts.decisions.and_then(|d| d.get(gi)).copied();
+        let (kernel, decision) = build_group(graph, &fused, group, target, opts, forced)?;
+        kernels.push(kernel);
+        report.decisions.push(decision);
     }
-    Ok(Module {
-        graph: graph.clone(),
-        kernels,
-        plan,
-        target_name: target.name().to_string(),
-    })
+    Ok((
+        Module {
+            graph: graph.clone(),
+            kernels,
+            plan,
+            target_name: target.name().to_string(),
+        },
+        report,
+    ))
 }
 
 struct GroupBuild {
@@ -373,13 +416,21 @@ fn func_ref(f: &tvm_ir::LoweredFunc) -> &tvm_ir::LoweredFunc {
     f
 }
 
+fn strategy_of(d: GroupDecision) -> FuseStrategy {
+    match d {
+        GroupDecision::Attach => FuseStrategy::Attach,
+        GroupDecision::TemplateRoot => FuseStrategy::TemplateRoot,
+    }
+}
+
 fn build_group(
     g: &Graph,
     _fused: &FusedGraph,
     group: &Group,
     target: &Target,
     opts: &BuildOptions,
-) -> Result<CompiledGroup, TeError> {
+    forced: Option<GroupDecision>,
+) -> Result<(CompiledGroup, GroupDecision), TeError> {
     let name = format!(
         "fused_{}",
         group
@@ -393,16 +444,28 @@ fn build_group(
     if master_is_complex && group.master != group.output {
         // Two candidate strategies for fused complex groups; keep the one
         // the cost model prefers (a compiler decision the simulator makes
-        // cheap to evaluate).
+        // cheap to evaluate). A forced decision (artifact-cache replay)
+        // builds only the recorded candidate.
+        if let Some(d) = forced {
+            return build_group_with(g, group, target, opts, strategy_of(d), &name)
+                .map(|cg| (cg, d));
+        }
         let a = build_group_with(g, group, target, opts, FuseStrategy::Attach, &name);
         let b = build_group_with(g, group, target, opts, FuseStrategy::TemplateRoot, &name);
         match (a, b) {
-            (Ok(x), Ok(y)) => Ok(if x.est_ms <= y.est_ms { x } else { y }),
-            (Ok(x), Err(_)) => Ok(x),
-            (Err(_), Ok(y)) => Ok(y),
+            (Ok(x), Ok(y)) => Ok(if x.est_ms <= y.est_ms {
+                (x, GroupDecision::Attach)
+            } else {
+                (y, GroupDecision::TemplateRoot)
+            }),
+            (Ok(x), Err(_)) => Ok((x, GroupDecision::Attach)),
+            (Err(_), Ok(y)) => Ok((y, GroupDecision::TemplateRoot)),
             (Err(e), Err(_)) => Err(e),
         }
     } else {
+        // Single-path groups always schedule via Attach; record it so a
+        // replayed decision list stays index-aligned with the groups.
         build_group_with(g, group, target, opts, FuseStrategy::Attach, &name)
+            .map(|cg| (cg, GroupDecision::Attach))
     }
 }

@@ -121,16 +121,20 @@ pub fn fuse(g: &Graph, enabled: bool) -> FusedGraph {
             });
         }
     }
-    // Masters: highest-rank member.
+    // Masters: highest-rank member. Groups are non-empty by construction;
+    // an empty one (defensive: a malformed graph fed in by a caller) keeps
+    // its existing master instead of panicking the compile.
     for grp in &mut groups {
         let best = grp
             .nodes
             .iter()
             .copied()
-            .max_by_key(|&id| master_rank(g.node(id).op.pattern()))
-            .expect("non-empty group");
-        if master_rank(g.node(best).op.pattern()) > master_rank(g.node(grp.master).op.pattern()) {
-            grp.master = best;
+            .max_by_key(|&id| master_rank(g.node(id).op.pattern()));
+        if let Some(best) = best {
+            if master_rank(g.node(best).op.pattern()) > master_rank(g.node(grp.master).op.pattern())
+            {
+                grp.master = best;
+            }
         }
     }
     FusedGraph { groups, group_of }

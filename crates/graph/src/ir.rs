@@ -173,9 +173,17 @@ impl Graph {
         Graph::default()
     }
 
-    /// Node accessor.
+    /// Node accessor. Panics on an out-of-range id; request-facing code
+    /// (the runtime, the serving layer) should prefer [`Graph::get`].
     pub fn node(&self, id: NodeId) -> &Node {
         &self.nodes[id.0]
+    }
+
+    /// Checked node accessor: `None` for ids outside the graph (a stale or
+    /// corrupt module reference), so callers can surface a typed error
+    /// instead of panicking mid-request.
+    pub fn get(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.0)
     }
 
     /// Adds a node with explicit shape.

@@ -170,6 +170,13 @@ impl Registry {
         *st.counters.entry(name.to_string()).or_insert(0) += delta;
     }
 
+    /// Reads a single counter (0 if never incremented or recording is
+    /// disabled) without cloning the whole counter map.
+    pub fn counter_get(&self, name: &str) -> u64 {
+        let st = self.state.lock().expect("obs state");
+        st.counters.get(name).copied().unwrap_or(0)
+    }
+
     /// Sets a named gauge to a value (last write wins).
     pub fn gauge_set(&self, name: &str, value: f64) {
         if !self.enabled() {
@@ -462,6 +469,12 @@ pub fn span_with(name: &str, args: &[(&str, &str)]) -> Span<'static> {
 #[inline]
 pub fn counter_add(name: &str, delta: u64) {
     Registry::global().counter_add(name, delta);
+}
+
+/// Reads a counter from the global registry.
+#[inline]
+pub fn counter_get(name: &str) -> u64 {
+    Registry::global().counter_get(name)
 }
 
 /// Sets a gauge on the global registry.

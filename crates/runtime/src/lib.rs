@@ -8,6 +8,7 @@
 //! target simulator estimated at compile time) — see DESIGN.md.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use tvm_graph::{Graph, MemoryPlan, NodeId, OpType};
 use tvm_ir::{Interp, LoweredFunc};
@@ -43,6 +44,21 @@ pub enum RuntimeError {
     NotRun(String),
     /// A kernel's argument list is malformed (e.g. no output binding).
     MalformedKernel(String),
+    /// A kernel referenced a node id outside the graph (stale or corrupt
+    /// module).
+    BadNodeRef {
+        /// Kernel whose argument list holds the reference.
+        kernel: String,
+        /// The out-of-range node index.
+        node: usize,
+    },
+    /// A tensor payload's length disagrees with its declared shape.
+    DataMismatch {
+        /// Elements the shape implies.
+        expected: usize,
+        /// Elements supplied.
+        got: usize,
+    },
     /// The reference interpreter faulted while executing a kernel.
     Interp(tvm_ir::InterpError),
 }
@@ -67,6 +83,15 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::NotRun(n) => write!(f, "output `{n}` not computed: run() first"),
             RuntimeError::MalformedKernel(n) => {
                 write!(f, "kernel `{n}` has a malformed argument list")
+            }
+            RuntimeError::BadNodeRef { kernel, node } => {
+                write!(
+                    f,
+                    "kernel `{kernel}` references node {node} outside the graph"
+                )
+            }
+            RuntimeError::DataMismatch { expected, got } => {
+                write!(f, "payload has {got} elements, shape implies {expected}")
             }
             RuntimeError::Interp(e) => write!(f, "interpreter fault: {e:?}"),
         }
@@ -99,13 +124,30 @@ impl NDArray {
         }
     }
 
-    /// Tensor from contents.
+    /// Tensor from contents. Panics on a shape/length mismatch; request
+    /// paths should use [`NDArray::try_new`].
     pub fn new(shape: &[i64], data: Vec<f32>) -> NDArray {
-        assert_eq!(shape.iter().product::<i64>() as usize, data.len());
-        NDArray {
+        Self::try_new(shape, data).expect("shape/data length mismatch")
+    }
+
+    /// Tensor from contents, rejecting length mismatches and negative
+    /// dimensions with a typed error instead of panicking — the request
+    /// ingestion path of a serving layer.
+    pub fn try_new(shape: &[i64], data: Vec<f32>) -> Result<NDArray, RuntimeError> {
+        let expected = numel_of(shape).ok_or(RuntimeError::DataMismatch {
+            expected: usize::MAX,
+            got: data.len(),
+        })?;
+        if expected != data.len() {
+            return Err(RuntimeError::DataMismatch {
+                expected,
+                got: data.len(),
+            });
+        }
+        Ok(NDArray {
             shape: shape.to_vec(),
             data,
-        }
+        })
     }
 
     /// Deterministic pseudo-random tensor (for parameter initialization in
@@ -131,6 +173,15 @@ impl NDArray {
     pub fn numel(&self) -> usize {
         self.data.len()
     }
+}
+
+/// Element count a shape implies; `None` when a dimension is negative
+/// (a corrupt shape must not turn into a giant allocation).
+fn numel_of(shape: &[i64]) -> Option<usize> {
+    if shape.iter().any(|&d| d < 0) {
+        return None;
+    }
+    Some(shape.iter().product::<i64>() as usize)
 }
 
 /// Simulator cost figures carried from compile time into the runtime, as
@@ -283,8 +334,12 @@ impl Profiler {
 pub type InterpSetup = Box<dyn Fn(&mut Interp)>;
 
 /// The graph executor: `runtime.create(graph, lib, ctx)` in §2.
+///
+/// The module is held behind an [`Arc`] so a serving layer can share one
+/// compiled artifact across many concurrent batched executors without
+/// recompiling or cloning kernels — see [`GraphExecutor::from_arc`].
 pub struct GraphExecutor {
-    module: Module,
+    module: Arc<Module>,
     values: HashMap<NodeId, NDArray>,
     /// Simulated time of the last `run`.
     pub last_run_ms: f64,
@@ -298,6 +353,12 @@ impl GraphExecutor {
     /// deterministic pseudo-random values (override via
     /// [`GraphExecutor::set_param`]).
     pub fn new(module: Module) -> GraphExecutor {
+        Self::from_arc(Arc::new(module))
+    }
+
+    /// Creates an executor over a shared compiled module (the serving
+    /// cache hands the same `Arc` to every batch executor).
+    pub fn from_arc(module: Arc<Module>) -> GraphExecutor {
         let mut values = HashMap::new();
         for node in &module.graph.nodes {
             if matches!(node.op, OpType::Param) {
@@ -418,13 +479,21 @@ impl GraphExecutor {
             let mut input_bytes = 0usize;
             for (ai, &arg) in k.args.iter().enumerate() {
                 let is_output = ai + 1 == k.args.len();
+                let node = self.module.graph.get(arg).ok_or(RuntimeError::BadNodeRef {
+                    kernel: k.name.clone(),
+                    node: arg.0,
+                })?;
                 if is_output {
-                    let shape = &self.module.graph.node(arg).shape;
-                    bufs.push(vec![0.0; shape.iter().product::<i64>() as usize]);
-                } else {
-                    let v = self.values.get(&arg).ok_or_else(|| {
-                        RuntimeError::MissingInput(self.module.graph.node(arg).name.clone())
+                    let n = numel_of(&node.shape).ok_or(RuntimeError::BadNodeRef {
+                        kernel: k.name.clone(),
+                        node: arg.0,
                     })?;
+                    bufs.push(vec![0.0; n]);
+                } else {
+                    let v = self
+                        .values
+                        .get(&arg)
+                        .ok_or_else(|| RuntimeError::MissingInput(node.name.clone()))?;
                     input_bytes += v.data.len() * std::mem::size_of::<f32>();
                     bufs.push(v.data.clone());
                 }
@@ -441,7 +510,16 @@ impl GraphExecutor {
                 };
                 it.run_f32(&k.func, &mut bufs)?;
             }
-            let out_shape = self.module.graph.node(out_id).shape.clone();
+            let out_shape = self
+                .module
+                .graph
+                .get(out_id)
+                .ok_or(RuntimeError::BadNodeRef {
+                    kernel: k.name.clone(),
+                    node: out_id.0,
+                })?
+                .shape
+                .clone();
             let out = bufs
                 .pop()
                 .ok_or_else(|| RuntimeError::MalformedKernel(k.name.clone()))?;
@@ -487,9 +565,15 @@ impl GraphExecutor {
             return Err(RuntimeError::BadOutputIndex { index: i, outputs });
         }
         let id = self.module.graph.outputs[i];
-        self.values
-            .get(&id)
-            .ok_or_else(|| RuntimeError::NotRun(self.module.graph.node(id).name.clone()))
+        self.values.get(&id).ok_or_else(|| {
+            let name = self
+                .module
+                .graph
+                .get(id)
+                .map(|n| n.name.clone())
+                .unwrap_or_else(|| format!("node#{}", id.0));
+            RuntimeError::NotRun(name)
+        })
     }
 }
 

@@ -1,0 +1,117 @@
+//! Dynamic batching: the coalescing policy and the row-stacking /
+//! row-slicing helpers.
+//!
+//! Requests for the same model coalesce into one batched execution. The
+//! batch is padded with zero rows up to a power-of-two *bucket* so the
+//! artifact cache compiles each model at a handful of batch sizes instead
+//! of one per observed batch length. Every per-row computation in the
+//! serving zoo is independent of the other rows and accumulates in a
+//! row-invariant order, so stacking rows, executing once, and slicing the
+//! output is bit-identical to executing each row alone — the equivalence
+//! property test pins this down.
+
+use crate::model::Model;
+use crate::service::Request;
+use crate::ServeError;
+use tvm_runtime::NDArray;
+
+/// When a forming batch is released to a dispatch lane.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPolicy {
+    /// Largest number of requests coalesced into one execution.
+    pub max_batch: usize,
+    /// Longest a request may wait for co-batchable traffic (virtual ms)
+    /// before the batch is flushed partially full.
+    pub max_delay_ms: f64,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> BatchPolicy {
+        BatchPolicy {
+            max_batch: 8,
+            max_delay_ms: 2.0,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// No coalescing: every request executes alone, immediately.
+    pub fn unbatched() -> BatchPolicy {
+        BatchPolicy {
+            max_batch: 1,
+            max_delay_ms: 0.0,
+        }
+    }
+}
+
+/// The compile bucket for a batch of `n` requests: the next power of two
+/// (so at most `log2(max_batch) + 1` distinct modules exist per model).
+pub fn bucket_for(n: usize) -> i64 {
+    debug_assert!(n > 0);
+    (n.max(1).next_power_of_two()) as i64
+}
+
+/// Stacks request payloads into one padded batch input of shape
+/// `model.input_shape(bucket)`; rows beyond the batch are zero.
+pub fn stack_rows(model: Model, bucket: i64, reqs: &[Request]) -> Result<NDArray, ServeError> {
+    let row = model.row_len();
+    let mut data = vec![0.0f32; row * bucket as usize];
+    for (i, r) in reqs.iter().enumerate() {
+        if r.payload.len() != row {
+            return Err(ServeError::Runtime(
+                tvm_runtime::RuntimeError::DataMismatch {
+                    expected: row,
+                    got: r.payload.len(),
+                },
+            ));
+        }
+        data[i * row..(i + 1) * row].copy_from_slice(&r.payload);
+    }
+    NDArray::try_new(&model.input_shape(bucket), data).map_err(ServeError::Runtime)
+}
+
+/// Slices the first `n` output rows back out of a batched output.
+pub fn slice_rows(model: Model, out: &NDArray, n: usize) -> Result<Vec<Vec<f32>>, ServeError> {
+    let row = model.out_row_len();
+    if out.data.len() < n * row {
+        return Err(ServeError::Runtime(
+            tvm_runtime::RuntimeError::DataMismatch {
+                expected: n * row,
+                got: out.data.len(),
+            },
+        ));
+    }
+    Ok((0..n)
+        .map(|i| out.data[i * row..(i + 1) * row].to_vec())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(bucket_for(1), 1);
+        assert_eq!(bucket_for(2), 2);
+        assert_eq!(bucket_for(3), 4);
+        assert_eq!(bucket_for(5), 8);
+        assert_eq!(bucket_for(8), 8);
+    }
+
+    #[test]
+    fn stack_pads_with_zero_rows() {
+        let m = Model::Mlp;
+        let reqs = vec![Request {
+            id: 0,
+            tenant: "t".into(),
+            model: m,
+            payload: vec![1.5; m.row_len()],
+            arrival_ms: 0.0,
+        }];
+        let arr = stack_rows(m, 4, &reqs).unwrap();
+        assert_eq!(arr.shape, vec![4, 64]);
+        assert!(arr.data[..64].iter().all(|&v| v == 1.5));
+        assert!(arr.data[64..].iter().all(|&v| v == 0.0));
+    }
+}

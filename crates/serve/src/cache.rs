@@ -1,0 +1,246 @@
+//! Compiled-artifact cache with a crash-safe journal.
+//!
+//! Serving compiles each model once per (batch bucket, target, schedule
+//! hash) and keeps the [`Module`] in memory behind an [`Arc`] so every
+//! batch shares it. What survives a restart is the *decision log*: the
+//! per-group schedule strategies the compiler searched over, journaled in
+//! the PR 4 append-only checksummed format (torn tails truncated,
+//! duplicates deduped, compaction atomic). A warm start replays the
+//! recorded decisions — each group builds exactly once along the recorded
+//! path instead of enumerating and cost-comparing candidates — and a
+//! module fingerprint check guards against a stale journal: on mismatch
+//! the entry is rebuilt cold and re-journaled under a higher trial number
+//! (the loader takes the highest trial per key, so newest wins).
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use tvm::compiler::{build_with_report, BuildOptions, GroupDecision};
+use tvm::target::Target;
+use tvm_autotune::db::crc32;
+use tvm_autotune::{Database, DbRecord, Journal, RecoveryReport};
+use tvm_graph::Graph;
+use tvm_runtime::Module;
+
+use crate::{Model, ServeError};
+
+/// Cache traffic counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Served from the in-memory module map.
+    pub hits: u64,
+    /// Full dual-candidate compiles (no usable journal entry).
+    pub cold_builds: u64,
+    /// Single-path compiles replayed from journaled decisions.
+    pub warm_builds: u64,
+    /// Journal entries whose fingerprint no longer matched the rebuild.
+    pub fingerprint_mismatches: u64,
+}
+
+/// Hash of the tuning state a compile depends on: the best config index
+/// per task in the database. Two databases that would steer the compiler
+/// identically hash identically; no database hashes to 0.
+pub fn schedule_hash(db: Option<&Database>) -> u32 {
+    let Some(db) = db else { return 0 };
+    let mut tasks: Vec<&str> = db.records.iter().map(|r| r.task.as_str()).collect();
+    tasks.sort_unstable();
+    tasks.dedup();
+    let mut canon = String::new();
+    for t in tasks {
+        if let Some(best) = db.best(t) {
+            canon.push_str(t);
+            canon.push('=');
+            canon.push_str(&best.config_index.to_string());
+            canon.push('\n');
+        }
+    }
+    crc32(canon.as_bytes())
+}
+
+fn encode_decisions(ds: &[GroupDecision]) -> String {
+    ds.iter()
+        .map(|d| match d {
+            GroupDecision::Attach => 'A',
+            GroupDecision::TemplateRoot => 'T',
+        })
+        .collect()
+}
+
+fn decode_decisions(s: &str) -> Option<Vec<GroupDecision>> {
+    s.chars()
+        .map(|c| match c {
+            'A' => Some(GroupDecision::Attach),
+            'T' => Some(GroupDecision::TemplateRoot),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Deterministic fingerprint of a compiled module: kernel names, their
+/// simulated costs, the decision string, and the target. Identical
+/// compiles fingerprint identically; a schedule change does not.
+fn fingerprint(module: &Module, decisions: &[GroupDecision]) -> u32 {
+    let mut canon = String::new();
+    canon.push_str(&module.target_name);
+    canon.push('|');
+    canon.push_str(&encode_decisions(decisions));
+    for k in &module.kernels {
+        canon.push('|');
+        canon.push_str(&k.name);
+        canon.push(':');
+        canon.push_str(&format!("{:.9e}", k.est_ms));
+    }
+    crc32(canon.as_bytes())
+}
+
+/// The compiled-artifact cache: in-memory `Arc<Module>` map plus an
+/// optional on-disk decision journal.
+pub struct ArtifactCache {
+    journal: Option<Journal>,
+    modules: HashMap<String, Arc<Module>>,
+    stats: CacheStats,
+    recovery: RecoveryReport,
+}
+
+impl ArtifactCache {
+    /// A purely in-memory cache (no persistence).
+    pub fn in_memory() -> ArtifactCache {
+        ArtifactCache {
+            journal: None,
+            modules: HashMap::new(),
+            stats: CacheStats::default(),
+            recovery: RecoveryReport::default(),
+        }
+    }
+
+    /// Opens (or creates) a journal-backed cache. Recovery statistics for
+    /// the existing journal — torn tails truncated, corrupt or duplicate
+    /// lines dropped — are available via [`ArtifactCache::recovery`].
+    pub fn open(path: &Path) -> Result<ArtifactCache, ServeError> {
+        let (journal, recovery) =
+            Journal::open(path).map_err(|e| ServeError::CacheIo(e.to_string()))?;
+        Ok(ArtifactCache {
+            journal: Some(journal),
+            modules: HashMap::new(),
+            stats: CacheStats::default(),
+            recovery,
+        })
+    }
+
+    /// What journal recovery found on open.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Cache traffic so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The cache key for a compile: model, batch bucket, target, and the
+    /// hash of the tuning state the compile consults.
+    pub fn key(model: Model, bucket: i64, target: &Target, sched: u32) -> String {
+        format!(
+            "serve/{}/b{}/{}/s{:08x}",
+            model.name(),
+            bucket,
+            target.name(),
+            sched
+        )
+    }
+
+    /// Returns the compiled module for `model` at batch bucket `bucket`,
+    /// building it if needed. Build order of preference: in-memory hit →
+    /// journaled-decision replay (fingerprint-verified) → cold
+    /// dual-candidate search (journaled for next time).
+    pub fn get_or_build(
+        &mut self,
+        model: Model,
+        bucket: i64,
+        target: &Target,
+        db: Option<&Database>,
+    ) -> Result<Arc<Module>, ServeError> {
+        let sched = schedule_hash(db);
+        let key = Self::key(model, bucket, target, sched);
+        if let Some(m) = self.modules.get(&key) {
+            self.stats.hits += 1;
+            tvm_obs::counter_add("serve.cache.hits", 1);
+            return Ok(Arc::clone(m));
+        }
+        let _sp = tvm_obs::span_with("serve.cache.build", &[("key", key.as_str())]);
+        let graph = model.build_graph(bucket);
+        let recorded = self.journal.as_ref().and_then(|j| {
+            j.trials_for(&key)
+                .last()
+                .map(|r| (r.config.clone(), r.config_index, r.trial))
+        });
+
+        // Warm path: replay the journaled per-group decisions.
+        if let Some((config, fp_recorded, _trial)) = &recorded {
+            if let Some(decisions) = decode_decisions(config) {
+                let opts = BuildOptions {
+                    db,
+                    decisions: Some(&decisions),
+                    ..BuildOptions::default()
+                };
+                if let Ok((module, report)) = build_with_report(&graph, target, &opts) {
+                    let fp = fingerprint(&module, &report.decisions);
+                    if u64::from(fp) == *fp_recorded {
+                        self.stats.warm_builds += 1;
+                        tvm_obs::counter_add("serve.cache.warm_builds", 1);
+                        let m = Arc::new(module);
+                        self.modules.insert(key, Arc::clone(&m));
+                        return Ok(m);
+                    }
+                    self.stats.fingerprint_mismatches += 1;
+                    tvm_obs::counter_add("serve.cache.fingerprint_mismatches", 1);
+                }
+            }
+        }
+
+        // Cold path: full candidate search, then journal the decisions.
+        let opts = BuildOptions {
+            db,
+            ..BuildOptions::default()
+        };
+        let (module, report) =
+            build_with_report(&graph, target, &opts).map_err(|e| ServeError::CompileFailed {
+                model: model.name().to_string(),
+                detail: e.to_string(),
+            })?;
+        self.stats.cold_builds += 1;
+        tvm_obs::counter_add("serve.cache.cold_builds", 1);
+        let fp = fingerprint(&module, &report.decisions);
+        if let Some(j) = self.journal.as_mut() {
+            let trial = j.trials_for(&key).last().map(|r| r.trial).unwrap_or(0) + 1;
+            let rec = DbRecord {
+                task: key.clone(),
+                trial,
+                config_index: u64::from(fp),
+                config: encode_decisions(&report.decisions),
+                cost_ms: module.total_ms(),
+            };
+            j.append(rec)
+                .map_err(|e| ServeError::CacheIo(e.to_string()))?;
+        }
+        let m = Arc::new(module);
+        self.modules.insert(key, Arc::clone(&m));
+        Ok(m)
+    }
+
+    /// Forces the journal to stable storage (crash-safety tests cut power
+    /// right after this returns).
+    pub fn sync(&mut self) -> Result<(), ServeError> {
+        if let Some(j) = self.journal.as_mut() {
+            j.sync().map_err(|e| ServeError::CacheIo(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Compiles nothing; purely exposes how a graph would be keyed (used
+    /// by tests to pre-warm or inspect the journal).
+    pub fn build_graph_for(model: Model, bucket: i64) -> Graph {
+        model.build_graph(bucket)
+    }
+}

@@ -1,0 +1,148 @@
+//! `tvm-serve` — multi-tenant inference serving on top of the graph
+//! runtime: the layer the paper stops short of, and the ROADMAP's
+//! "serving heavy traffic from millions of users" gap.
+//!
+//! The service is a deterministic discrete-event simulation over a
+//! virtual-millisecond clock, matching the repo-wide idiom (decisions are
+//! serial; device-level execution is delegated to the fault-tolerant
+//! [`tvm_autotune::pool::Tracker`]): requests flow through
+//!
+//! ```text
+//! admission → per-tenant queues → DRR dispatch → dynamic batcher
+//!          → artifact cache (journaled compiles) → scheduler lanes
+//!          → Tracker (retries/quarantine) → GraphExecutor → responses
+//! ```
+//!
+//! Invariants the test suite enforces:
+//! - **Bit-exact batching**: a batched execution returns exactly the bits
+//!   one-at-a-time execution would, for every coalescing policy.
+//! - **Typed failure, never corruption**: every non-OK outcome is a
+//!   [`ServeError`]; chaos faults shift latency and shed rate, never bits.
+//! - **Weighted fairness**: a saturating tenant cannot starve a polite
+//!   one past its configured share.
+//! - **Crash-safe warm starts**: the compiled-artifact journal recovers
+//!   from torn tails and replays schedule decisions instead of
+//!   re-searching them.
+
+pub mod batch;
+pub mod cache;
+pub mod model;
+pub mod service;
+pub mod tenancy;
+pub mod traffic;
+
+pub use batch::{bucket_for, BatchPolicy};
+pub use cache::{schedule_hash, ArtifactCache, CacheStats};
+pub use model::{Model, ALL_MODELS};
+pub use service::{Request, ResponseRecord, ServeOutcome, Service, ServiceConfig, ServiceStats};
+pub use tenancy::{AdmissionConfig, TenantConfig};
+pub use traffic::{generate, BurstSpec, TenantTraffic, TrafficSpec};
+
+use tvm_runtime::RuntimeError;
+
+/// Every way a request can fail. Serving never panics on a request path
+/// and never returns corrupted data: a request either completes with the
+/// exact bits a standalone execution would produce, or it gets one of
+/// these.
+#[derive(Clone, Debug)]
+pub enum ServeError {
+    /// The request names a model the registry does not know.
+    UnknownModel(String),
+    /// The request names a tenant the service was not configured with.
+    UnknownTenant(String),
+    /// The tenant's bounded queue is full (per-tenant backpressure).
+    QueueFull {
+        /// Tenant whose queue overflowed.
+        tenant: String,
+        /// The configured queue capacity.
+        cap: usize,
+    },
+    /// The global outstanding-request limit was hit (load shedding).
+    Overloaded {
+        /// Requests currently admitted but not yet completed.
+        outstanding: usize,
+        /// The configured global cap.
+        cap: usize,
+    },
+    /// Compilation of the model at the required batch bucket failed.
+    CompileFailed {
+        /// Model registry name.
+        model: String,
+        /// Compiler error text.
+        detail: String,
+    },
+    /// The device pool exhausted its retry budget executing the batch.
+    DeviceFailure {
+        /// Kernel that failed.
+        kernel: String,
+        /// Measurement error text.
+        detail: String,
+    },
+    /// Every device in the pool is dead; nothing can be served.
+    NoUsableDevices,
+    /// The functional execution itself reported a typed runtime error.
+    Runtime(RuntimeError),
+    /// The artifact journal could not be read or written.
+    CacheIo(String),
+}
+
+impl ServeError {
+    /// Short stable tag for counters and bench JSON.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::UnknownModel(_) => "unknown_model",
+            ServeError::UnknownTenant(_) => "unknown_tenant",
+            ServeError::QueueFull { .. } => "queue_full",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::CompileFailed { .. } => "compile_failed",
+            ServeError::DeviceFailure { .. } => "device_failure",
+            ServeError::NoUsableDevices => "no_usable_devices",
+            ServeError::Runtime(_) => "runtime",
+            ServeError::CacheIo(_) => "cache_io",
+        }
+    }
+
+    /// True for the two admission-control rejections (shed load), as
+    /// opposed to execution-side failures.
+    pub fn is_shed(&self) -> bool {
+        matches!(
+            self,
+            ServeError::QueueFull { .. } | ServeError::Overloaded { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownModel(m) => write!(f, "unknown model `{m}`"),
+            ServeError::UnknownTenant(t) => write!(f, "unknown tenant `{t}`"),
+            ServeError::QueueFull { tenant, cap } => {
+                write!(f, "tenant `{tenant}` queue full (cap {cap})")
+            }
+            ServeError::Overloaded { outstanding, cap } => {
+                write!(
+                    f,
+                    "service overloaded ({outstanding} outstanding, cap {cap})"
+                )
+            }
+            ServeError::CompileFailed { model, detail } => {
+                write!(f, "compiling `{model}` failed: {detail}")
+            }
+            ServeError::DeviceFailure { kernel, detail } => {
+                write!(f, "device failure running `{kernel}`: {detail}")
+            }
+            ServeError::NoUsableDevices => write!(f, "all devices dead"),
+            ServeError::Runtime(e) => write!(f, "runtime error: {e}"),
+            ServeError::CacheIo(e) => write!(f, "artifact journal I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<RuntimeError> for ServeError {
+    fn from(e: RuntimeError) -> ServeError {
+        ServeError::Runtime(e)
+    }
+}

@@ -1,0 +1,635 @@
+//! The serving engine: a deterministic virtual-time event loop gluing
+//! admission, fair dispatch, dynamic batching, the artifact cache, and
+//! the fault-tolerant device pool together.
+//!
+//! Time is virtual milliseconds (the same clock the device simulator
+//! uses), so a whole overload experiment runs in microseconds of wall
+//! time and two runs with the same seed are bit-identical regardless of
+//! thread count: every scheduling decision happens on the single event
+//! loop, and the only parallel code (inside the tracker and executor) is
+//! pure and order-preserving.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use tvm::target::{arm_a53, Target};
+use tvm_autotune::db::crc32;
+use tvm_autotune::{Database, RetryPolicy, Tracker};
+use tvm_runtime::GraphExecutor;
+use tvm_sim::FaultPlan;
+
+use crate::batch::{bucket_for, slice_rows, stack_rows, BatchPolicy};
+use crate::cache::{ArtifactCache, CacheStats};
+use crate::model::{Model, ALL_MODELS};
+use crate::tenancy::{AdmissionConfig, TenantConfig, TenantQueues};
+use crate::ServeError;
+
+/// One inference request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Caller-chosen id, echoed in the response.
+    pub id: u64,
+    /// Routing key into the tenant set.
+    pub tenant: String,
+    /// Which model to run.
+    pub model: Model,
+    /// One input row (`model.row_len()` elements).
+    pub payload: Vec<f32>,
+    /// Arrival time on the virtual clock.
+    pub arrival_ms: f64,
+}
+
+/// How a request ended.
+#[derive(Clone, Debug)]
+pub enum ServeOutcome {
+    /// Completed; `digest` is a CRC-32 over the output row's bits.
+    Ok {
+        /// Checksum of the exact output bits.
+        digest: u32,
+        /// The output row itself (kept only when
+        /// [`ServiceConfig::keep_outputs`] is set).
+        output: Option<Vec<f32>>,
+    },
+    /// Rejected or failed with a typed error — never silent corruption.
+    Rejected(ServeError),
+}
+
+impl ServeOutcome {
+    /// True for completed requests.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ServeOutcome::Ok { .. })
+    }
+}
+
+/// The service's record of one request's fate.
+#[derive(Clone, Debug)]
+pub struct ResponseRecord {
+    /// Request id.
+    pub id: u64,
+    /// Tenant the request belonged to.
+    pub tenant: String,
+    /// Model requested.
+    pub model: Model,
+    /// Arrival time.
+    pub arrival_ms: f64,
+    /// Completion (or rejection) time.
+    pub done_ms: f64,
+    /// How many requests shared the execution (0 for rejections).
+    pub batch_size: usize,
+    /// The compile bucket the batch ran at (0 for rejections).
+    pub bucket: i64,
+    /// Outcome.
+    pub outcome: ServeOutcome,
+}
+
+impl ResponseRecord {
+    /// Queue + batching + execution latency.
+    pub fn latency_ms(&self) -> f64 {
+        self.done_ms - self.arrival_ms
+    }
+}
+
+/// Per-tenant outcome counts.
+#[derive(Clone, Debug, Default)]
+pub struct TenantStats {
+    /// Tenant name.
+    pub name: String,
+    /// Requests completed.
+    pub ok: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests failed during execution.
+    pub err: u64,
+    /// Worst queue wait a dispatched request saw.
+    pub max_wait_ms: f64,
+}
+
+/// Aggregate statistics for one [`Service::run`].
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests failed during execution (typed errors).
+    pub failed: u64,
+    /// Batched executions dispatched.
+    pub batches: u64,
+    /// Sum of batch sizes (mean batch = `batch_size_sum / batches`).
+    pub batch_size_sum: u64,
+    /// Virtual time of the last committed response.
+    pub horizon_ms: f64,
+    /// Artifact-cache traffic.
+    pub cache: CacheStats,
+    /// Device-pool fault counters.
+    pub pool: tvm_autotune::PoolStats,
+    /// Per-tenant breakdown, in tenant order.
+    pub per_tenant: Vec<TenantStats>,
+}
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// The tenant set (dispatch order).
+    pub tenants: Vec<TenantConfig>,
+    /// Global admission limits.
+    pub admission: AdmissionConfig,
+    /// Dynamic-batching policy.
+    pub batch: BatchPolicy,
+    /// Simulated devices in the pool (dispatch lanes).
+    pub devices: usize,
+    /// Retry/quarantine policy for the pool.
+    pub retry: RetryPolicy,
+    /// Chaos plan injected into the pool.
+    pub faults: FaultPlan,
+    /// Tuning database steering compiles (owned; serving outlives tuning).
+    pub db: Option<Database>,
+    /// Keep output rows in responses (tests); digests are always kept.
+    pub keep_outputs: bool,
+    /// Journal path for the artifact cache; `None` = in-memory only.
+    pub cache_path: Option<PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            tenants: vec![TenantConfig::new("default")],
+            admission: AdmissionConfig::default(),
+            batch: BatchPolicy::default(),
+            devices: 2,
+            retry: serving_retry_policy(),
+            faults: FaultPlan::none(),
+            db: None,
+            keep_outputs: false,
+            cache_path: None,
+        }
+    }
+}
+
+/// A retry policy with serving-scale budgets: millisecond timeouts,
+/// fast backoff, an eager circuit breaker, and short probation so the
+/// pool recovers within one burst.
+pub fn serving_retry_policy() -> RetryPolicy {
+    RetryPolicy {
+        timeout_ms: 5.0,
+        max_attempts: 3,
+        backoff_base_ms: 0.25,
+        quarantine_after: 2,
+        probation_dispatches: 6,
+        replicas: 1,
+        ..RetryPolicy::default()
+    }
+}
+
+struct InFlight {
+    done_at: f64,
+    lane: usize,
+    records: Vec<ResponseRecord>,
+}
+
+/// The inference service.
+pub struct Service {
+    cfg: ServiceConfig,
+    target: Target,
+    tracker: Tracker,
+    queues: TenantQueues,
+    cache: ArtifactCache,
+    lanes: Vec<f64>,
+    in_flight: Vec<InFlight>,
+    now_ms: f64,
+    outstanding: usize,
+    all_dead: bool,
+    stats: ServiceStats,
+}
+
+impl Service {
+    /// Builds a service (opening or creating the artifact journal when
+    /// configured).
+    pub fn new(cfg: ServiceConfig) -> Result<Service, ServeError> {
+        let target = arm_a53();
+        let devices = cfg.devices.max(1);
+        let mut tracker = Tracker::new(vec![target.clone(); devices]);
+        tracker.set_retry_policy(cfg.retry.clone());
+        tracker.set_fault_plan(cfg.faults.clone());
+        let cache = match &cfg.cache_path {
+            Some(p) => ArtifactCache::open(p)?,
+            None => ArtifactCache::in_memory(),
+        };
+        let queues = TenantQueues::new(&cfg.tenants);
+        let per_tenant = cfg
+            .tenants
+            .iter()
+            .map(|t| TenantStats {
+                name: t.name.clone(),
+                ..TenantStats::default()
+            })
+            .collect();
+        Ok(Service {
+            lanes: vec![0.0; devices],
+            target,
+            tracker,
+            queues,
+            cache,
+            in_flight: Vec::new(),
+            now_ms: 0.0,
+            outstanding: 0,
+            all_dead: false,
+            stats: ServiceStats {
+                per_tenant,
+                ..ServiceStats::default()
+            },
+            cfg,
+        })
+    }
+
+    /// The artifact cache (journal recovery report, stats).
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// Runs a full trace of requests to completion and returns every
+    /// response plus aggregate statistics. Deterministic: same trace and
+    /// config, same responses, at any thread count.
+    pub fn run(&mut self, mut requests: Vec<Request>) -> (Vec<ResponseRecord>, ServiceStats) {
+        let _sp = tvm_obs::span("serve.run");
+        requests.sort_by(|a, b| a.arrival_ms.total_cmp(&b.arrival_ms).then(a.id.cmp(&b.id)));
+        let mut arrivals: VecDeque<Request> = requests.into();
+        let mut responses: Vec<ResponseRecord> = Vec::new();
+
+        while !arrivals.is_empty() || !self.in_flight.is_empty() || self.queues.queued() > 0 {
+            let next = self.next_event_time(&arrivals);
+            let Some(next) = next else {
+                // No event can make progress (pool fully dead): drain.
+                self.drain_dead(&mut responses);
+                break;
+            };
+            if next > self.now_ms {
+                self.now_ms = next;
+            }
+            self.commit_completions(&mut responses);
+            self.admit_arrivals(&mut arrivals, &mut responses);
+            if self.all_dead {
+                self.drain_dead(&mut responses);
+                if arrivals.is_empty() {
+                    break;
+                }
+                continue;
+            }
+            self.fill_lanes(&mut responses);
+        }
+        // Anything still in flight completes.
+        while !self.in_flight.is_empty() {
+            if let Some(t) = self.next_completion() {
+                self.now_ms = self.now_ms.max(t);
+            }
+            self.commit_completions(&mut responses);
+        }
+
+        responses.sort_by(|a, b| a.done_ms.total_cmp(&b.done_ms).then(a.id.cmp(&b.id)));
+        self.stats.horizon_ms = responses.iter().map(|r| r.done_ms).fold(0.0, f64::max);
+        self.stats.cache = self.cache.stats();
+        self.stats.pool = self.tracker.pool_stats().clone();
+        for (t, ts) in self.stats.per_tenant.iter_mut().enumerate() {
+            ts.max_wait_ms = self.queues.max_wait_ms(t);
+        }
+        tvm_obs::gauge_set("serve.horizon_ms", self.stats.horizon_ms);
+        (responses, self.stats.clone())
+    }
+
+    fn next_completion(&self) -> Option<f64> {
+        self.in_flight
+            .iter()
+            .map(|f| f.done_at)
+            .min_by(f64::total_cmp)
+    }
+
+    /// The earliest time anything can happen: a completion, an arrival,
+    /// or — when a lane is free — a batch flush deadline.
+    fn next_event_time(&self, arrivals: &VecDeque<Request>) -> Option<f64> {
+        let mut next = f64::INFINITY;
+        if let Some(t) = self.next_completion() {
+            next = next.min(t);
+        }
+        if let Some(r) = arrivals.front() {
+            next = next.min(r.arrival_ms);
+        }
+        if self.lane_free() {
+            for m in ALL_MODELS {
+                let queued = self.queues.queued_for(m);
+                if queued == 0 {
+                    continue;
+                }
+                if queued >= self.cfg.batch.max_batch {
+                    next = next.min(self.now_ms);
+                } else if let Some(oldest) = self.queues.oldest_arrival_for(m) {
+                    next = next.min((oldest + self.cfg.batch.max_delay_ms).max(self.now_ms));
+                }
+            }
+        }
+        next.is_finite().then_some(next)
+    }
+
+    fn lane_free(&self) -> bool {
+        self.lanes.iter().any(|&f| f <= self.now_ms)
+    }
+
+    fn free_lane(&self) -> Option<usize> {
+        (0..self.lanes.len()).find(|&i| self.lanes[i] <= self.now_ms)
+    }
+
+    fn commit_completions(&mut self, responses: &mut Vec<ResponseRecord>) {
+        // Deterministic commit order: by completion time, then lane.
+        self.in_flight
+            .sort_by(|a, b| a.done_at.total_cmp(&b.done_at).then(a.lane.cmp(&b.lane)));
+        while let Some(f) = self.in_flight.first() {
+            if f.done_at > self.now_ms {
+                break;
+            }
+            let f = self.in_flight.remove(0);
+            for rec in f.records {
+                self.note_outcome(&rec);
+                self.outstanding = self.outstanding.saturating_sub(1);
+                responses.push(rec);
+            }
+        }
+    }
+
+    fn note_outcome(&mut self, rec: &ResponseRecord) {
+        let t = self.queues.index_of(&rec.tenant);
+        match &rec.outcome {
+            ServeOutcome::Ok { .. } => {
+                self.stats.completed += 1;
+                if let Some(t) = t {
+                    self.stats.per_tenant[t].ok += 1;
+                }
+                tvm_obs::counter_add("serve.completed", 1);
+            }
+            ServeOutcome::Rejected(e) if e.is_shed() => {
+                self.stats.shed += 1;
+                if let Some(t) = t {
+                    self.stats.per_tenant[t].shed += 1;
+                }
+                tvm_obs::counter_add("serve.shed", 1);
+            }
+            ServeOutcome::Rejected(_) => {
+                self.stats.failed += 1;
+                if let Some(t) = t {
+                    self.stats.per_tenant[t].err += 1;
+                }
+                tvm_obs::counter_add("serve.failed", 1);
+            }
+        }
+    }
+
+    fn reject(&mut self, req: Request, err: ServeError, responses: &mut Vec<ResponseRecord>) {
+        let rec = ResponseRecord {
+            id: req.id,
+            tenant: req.tenant,
+            model: req.model,
+            arrival_ms: req.arrival_ms,
+            done_ms: self.now_ms,
+            batch_size: 0,
+            bucket: 0,
+            outcome: ServeOutcome::Rejected(err),
+        };
+        self.note_outcome(&rec);
+        responses.push(rec);
+    }
+
+    fn admit_arrivals(
+        &mut self,
+        arrivals: &mut VecDeque<Request>,
+        responses: &mut Vec<ResponseRecord>,
+    ) {
+        while arrivals
+            .front()
+            .is_some_and(|r| r.arrival_ms <= self.now_ms)
+        {
+            let Some(req) = arrivals.pop_front() else {
+                break;
+            };
+            let _sp = tvm_obs::span("serve.admit");
+            if self.all_dead {
+                self.reject(req, ServeError::NoUsableDevices, responses);
+                continue;
+            }
+            let Some(tenant) = self.queues.index_of(&req.tenant) else {
+                let t = req.tenant.clone();
+                self.reject(req, ServeError::UnknownTenant(t), responses);
+                continue;
+            };
+            if req.payload.len() != req.model.row_len() {
+                let e = ServeError::Runtime(tvm_runtime::RuntimeError::DataMismatch {
+                    expected: req.model.row_len(),
+                    got: req.payload.len(),
+                });
+                self.reject(req, e, responses);
+                continue;
+            }
+            let cap = self.cfg.admission.max_outstanding;
+            if self.outstanding >= cap {
+                tvm_obs::counter_add("serve.shed.overloaded", 1);
+                self.reject(
+                    req,
+                    ServeError::Overloaded {
+                        outstanding: self.outstanding,
+                        cap,
+                    },
+                    responses,
+                );
+                continue;
+            }
+            match self.queues.enqueue(tenant, req) {
+                Ok(()) => self.outstanding += 1,
+                Err(shed) => {
+                    let (req, e) = *shed;
+                    self.reject(req, e, responses);
+                }
+            }
+        }
+    }
+
+    fn fill_lanes(&mut self, responses: &mut Vec<ResponseRecord>) {
+        loop {
+            if !self.lane_free() {
+                return;
+            }
+            // Flushable model with the oldest waiting request first;
+            // registry order breaks ties.
+            let mut pick: Option<(f64, Model)> = None;
+            for m in ALL_MODELS {
+                let queued = self.queues.queued_for(m);
+                if queued == 0 {
+                    continue;
+                }
+                let oldest = self.queues.oldest_arrival_for(m).unwrap_or(self.now_ms);
+                let due = queued >= self.cfg.batch.max_batch
+                    || self.now_ms >= oldest + self.cfg.batch.max_delay_ms;
+                if due && pick.is_none_or(|(t, _)| oldest < t) {
+                    pick = Some((oldest, m));
+                }
+            }
+            let Some((_, model)) = pick else { return };
+            self.flush(model, responses);
+            if self.all_dead {
+                return;
+            }
+        }
+    }
+
+    fn flush(&mut self, model: Model, responses: &mut Vec<ResponseRecord>) {
+        let want = self.cfg.batch.max_batch.min(self.queues.queued_for(model));
+        let reqs = self.queues.dispatch_model(model, want.max(1), self.now_ms);
+        if reqs.is_empty() {
+            return;
+        }
+        let _sp = tvm_obs::span_with("serve.flush", &[("model", model.name())]);
+        tvm_obs::counter_add("serve.batches", 1);
+        self.stats.batches += 1;
+        self.stats.batch_size_sum += reqs.len() as u64;
+        let bucket = bucket_for(reqs.len());
+
+        let module =
+            match self
+                .cache
+                .get_or_build(model, bucket, &self.target, self.cfg.db.as_ref())
+            {
+                Ok(m) => m,
+                Err(e) => {
+                    for r in reqs {
+                        self.outstanding = self.outstanding.saturating_sub(1);
+                        self.reject(r, e.clone(), responses);
+                    }
+                    return;
+                }
+            };
+
+        // Timing + fault handling: each kernel is one job on the pool.
+        let service_ms = {
+            let _sp = tvm_obs::span("serve.execute.pool");
+            let funcs: Vec<&tvm_ir::LoweredFunc> = module.kernels.iter().map(|k| &k.func).collect();
+            let outcomes = self.tracker.run_batch_detailed(self.target.name(), &funcs);
+            let mut total = 0.0;
+            let mut failure: Option<ServeError> = None;
+            for (k, o) in module.kernels.iter().zip(&outcomes) {
+                total += o.backoff_ms;
+                match &o.ms {
+                    Ok(ms) => total += ms,
+                    Err(e) => {
+                        total += self.cfg.retry.timeout_ms * o.attempts as f64;
+                        if failure.is_none() {
+                            failure = Some(ServeError::DeviceFailure {
+                                kernel: k.name.clone(),
+                                detail: e.to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+            if self.tracker.health().iter().all(|h| h.dead) {
+                self.all_dead = true;
+            }
+            if let Some(e) = failure {
+                let done = self.now_ms + total;
+                let records = reqs
+                    .iter()
+                    .map(|r| ResponseRecord {
+                        id: r.id,
+                        tenant: r.tenant.clone(),
+                        model: r.model,
+                        arrival_ms: r.arrival_ms,
+                        done_ms: done,
+                        batch_size: reqs.len(),
+                        bucket,
+                        outcome: ServeOutcome::Rejected(e.clone()),
+                    })
+                    .collect();
+                self.occupy_lane(done, records);
+                return;
+            }
+            total
+        };
+
+        // Functional execution: pure, fault-free, bit-exact.
+        let result = self.execute_batch(&module, model, bucket, &reqs);
+        let done = self.now_ms + service_ms;
+        let records: Vec<ResponseRecord> = match result {
+            Ok(rows) => reqs
+                .iter()
+                .zip(rows)
+                .map(|(r, row)| {
+                    let digest = row_digest(&row);
+                    ResponseRecord {
+                        id: r.id,
+                        tenant: r.tenant.clone(),
+                        model: r.model,
+                        arrival_ms: r.arrival_ms,
+                        done_ms: done,
+                        batch_size: reqs.len(),
+                        bucket,
+                        outcome: ServeOutcome::Ok {
+                            digest,
+                            output: self.cfg.keep_outputs.then_some(row),
+                        },
+                    }
+                })
+                .collect(),
+            Err(e) => reqs
+                .iter()
+                .map(|r| ResponseRecord {
+                    id: r.id,
+                    tenant: r.tenant.clone(),
+                    model: r.model,
+                    arrival_ms: r.arrival_ms,
+                    done_ms: done,
+                    batch_size: reqs.len(),
+                    bucket,
+                    outcome: ServeOutcome::Rejected(e.clone()),
+                })
+                .collect(),
+        };
+        self.occupy_lane(done, records);
+    }
+
+    fn execute_batch(
+        &self,
+        module: &Arc<tvm_runtime::Module>,
+        model: Model,
+        bucket: i64,
+        reqs: &[Request],
+    ) -> Result<Vec<Vec<f32>>, ServeError> {
+        let _sp = tvm_obs::span("serve.execute.functional");
+        let mut ex = GraphExecutor::from_arc(Arc::clone(module));
+        ex.set_input(model.input_name(), stack_rows(model, bucket, reqs)?)?;
+        ex.run()?;
+        let out = ex.get_output(0)?;
+        slice_rows(model, out, reqs.len())
+    }
+
+    fn occupy_lane(&mut self, done_at: f64, records: Vec<ResponseRecord>) {
+        let lane = self.free_lane().unwrap_or(0);
+        self.lanes[lane] = done_at;
+        self.in_flight.push(InFlight {
+            done_at,
+            lane,
+            records,
+        });
+    }
+
+    fn drain_dead(&mut self, responses: &mut Vec<ResponseRecord>) {
+        for req in self.queues.drain() {
+            self.outstanding = self.outstanding.saturating_sub(1);
+            self.reject(req, ServeError::NoUsableDevices, responses);
+        }
+    }
+}
+
+/// CRC-32 over an output row's exact bit pattern.
+pub fn row_digest(row: &[f32]) -> u32 {
+    let mut bytes = Vec::with_capacity(row.len() * 4);
+    for v in row {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    crc32(&bytes)
+}

@@ -1,0 +1,279 @@
+//! Multi-tenancy: bounded per-tenant queues, weighted fair dispatch, and
+//! admission control.
+//!
+//! Fairness is deficit-weighted round-robin (DRR): each tenant carries a
+//! deficit counter topped up by its weight every round; dispatching one
+//! request costs one unit. A tenant that floods its queue only overflows
+//! *its own* bounded queue (typed [`QueueFull`](crate::ServeError::QueueFull)
+//! rejections) and can never pull more than its weighted share of dispatch
+//! slots while other tenants have work queued — the starvation bound the
+//! fairness suite asserts.
+
+use std::collections::VecDeque;
+
+use crate::service::Request;
+use crate::ServeError;
+
+/// Static configuration of one tenant.
+#[derive(Clone, Debug)]
+pub struct TenantConfig {
+    /// Tenant name (request routing key).
+    pub name: String,
+    /// DRR weight: relative share of dispatch slots under contention.
+    pub weight: u32,
+    /// Bounded queue capacity; arrivals beyond it are shed.
+    pub queue_cap: usize,
+}
+
+impl TenantConfig {
+    /// A tenant with the given name, weight 1, and a queue of 64.
+    pub fn new(name: &str) -> TenantConfig {
+        TenantConfig {
+            name: name.to_string(),
+            weight: 1,
+            queue_cap: 64,
+        }
+    }
+
+    /// Sets the DRR weight.
+    pub fn weight(mut self, w: u32) -> TenantConfig {
+        self.weight = w.max(1);
+        self
+    }
+
+    /// Sets the bounded queue capacity.
+    pub fn queue_cap(mut self, cap: usize) -> TenantConfig {
+        self.queue_cap = cap.max(1);
+        self
+    }
+}
+
+/// Global admission limits.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Maximum requests admitted but not yet completed (queued + forming
+    /// + in flight) before arrivals are shed with `Overloaded`.
+    pub max_outstanding: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            max_outstanding: 256,
+        }
+    }
+}
+
+/// Per-tenant queue state plus the DRR scheduler.
+pub struct TenantQueues {
+    configs: Vec<TenantConfig>,
+    queues: Vec<VecDeque<Request>>,
+    deficits: Vec<u64>,
+    /// Longest time any dispatched request of each tenant waited in its
+    /// queue (virtual ms) — the starvation metric.
+    max_wait_ms: Vec<f64>,
+}
+
+impl TenantQueues {
+    /// Builds queues for a fixed tenant set (dispatch order = given order).
+    pub fn new(configs: &[TenantConfig]) -> TenantQueues {
+        TenantQueues {
+            queues: configs.iter().map(|_| VecDeque::new()).collect(),
+            deficits: vec![0; configs.len()],
+            max_wait_ms: vec![0.0; configs.len()],
+            configs: configs.to_vec(),
+        }
+    }
+
+    /// Index of a tenant by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.configs.iter().position(|c| c.name == name)
+    }
+
+    /// The tenant configs, in dispatch order.
+    pub fn configs(&self) -> &[TenantConfig] {
+        &self.configs
+    }
+
+    /// Requests currently queued across all tenants.
+    pub fn queued(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Worst queue wait a dispatched request of `tenant` has seen so far.
+    pub fn max_wait_ms(&self, tenant: usize) -> f64 {
+        self.max_wait_ms.get(tenant).copied().unwrap_or(0.0)
+    }
+
+    /// Admits a request into its tenant's bounded queue, or sheds it —
+    /// the request rides back with the typed error so the caller can
+    /// record the rejection.
+    #[allow(clippy::type_complexity)]
+    pub fn enqueue(
+        &mut self,
+        tenant: usize,
+        req: Request,
+    ) -> Result<(), Box<(Request, ServeError)>> {
+        let cap = self.configs[tenant].queue_cap;
+        if self.queues[tenant].len() >= cap {
+            tvm_obs::counter_add("serve.shed.queue_full", 1);
+            let e = ServeError::QueueFull {
+                tenant: self.configs[tenant].name.clone(),
+                cap,
+            };
+            return Err(Box::new((req, e)));
+        }
+        self.queues[tenant].push_back(req);
+        Ok(())
+    }
+
+    /// Requests queued for one model across all tenants.
+    pub fn queued_for(&self, model: crate::Model) -> usize {
+        self.queues
+            .iter()
+            .map(|q| q.iter().filter(|r| r.model == model).count())
+            .sum()
+    }
+
+    /// Earliest arrival among queued requests for one model (drives the
+    /// max-delay flush deadline).
+    pub fn oldest_arrival_for(&self, model: crate::Model) -> Option<f64> {
+        self.queues
+            .iter()
+            .flat_map(|q| q.iter())
+            .filter(|r| r.model == model)
+            .map(|r| r.arrival_ms)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Pulls up to `want` requests by DRR, preferring earlier-configured
+    /// tenants only within a round. Returns the dispatched requests in
+    /// dispatch order. `now_ms` stamps the wait metric.
+    pub fn dispatch(&mut self, want: usize, now_ms: f64) -> Vec<Request> {
+        self.dispatch_filtered(None, want, now_ms)
+    }
+
+    /// DRR dispatch restricted to one model's requests (the batcher
+    /// coalesces per model). Within a tenant's FIFO queue the first
+    /// matching request is taken; non-matching requests keep their place.
+    pub fn dispatch_model(
+        &mut self,
+        model: crate::Model,
+        want: usize,
+        now_ms: f64,
+    ) -> Vec<Request> {
+        self.dispatch_filtered(Some(model), want, now_ms)
+    }
+
+    fn dispatch_filtered(
+        &mut self,
+        model: Option<crate::Model>,
+        want: usize,
+        now_ms: f64,
+    ) -> Vec<Request> {
+        let mut out = Vec::new();
+        if want == 0 {
+            return out;
+        }
+        let eligible = |q: &VecDeque<Request>| match model {
+            None => !q.is_empty(),
+            Some(m) => q.iter().any(|r| r.model == m),
+        };
+        // Keep rounds going while there is both demand and budget. Each
+        // round tops deficits up by the weight; a tenant's queue drains at
+        // most `deficit` requests per round.
+        while out.len() < want && self.queues.iter().any(&eligible) {
+            for t in 0..self.configs.len() {
+                if !eligible(&self.queues[t]) {
+                    // Tenants with no eligible work don't bank credit
+                    // (classic DRR reset).
+                    self.deficits[t] = 0;
+                    continue;
+                }
+                self.deficits[t] += u64::from(self.configs[t].weight);
+                while self.deficits[t] > 0 && out.len() < want {
+                    let pos = match model {
+                        None => {
+                            if self.queues[t].is_empty() {
+                                None
+                            } else {
+                                Some(0)
+                            }
+                        }
+                        Some(m) => self.queues[t].iter().position(|r| r.model == m),
+                    };
+                    let Some(pos) = pos else { break };
+                    let Some(req) = self.queues[t].remove(pos) else {
+                        break;
+                    };
+                    self.deficits[t] -= 1;
+                    let waited = (now_ms - req.arrival_ms).max(0.0);
+                    if waited > self.max_wait_ms[t] {
+                        self.max_wait_ms[t] = waited;
+                    }
+                    out.push(req);
+                }
+                if out.len() >= want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Drains every queued request (service shutdown / all devices dead),
+    /// in tenant order.
+    pub fn drain(&mut self) -> Vec<Request> {
+        let mut out = Vec::new();
+        for q in &mut self.queues {
+            out.extend(q.drain(..));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Model;
+
+    fn req(id: u64, tenant: usize) -> Request {
+        Request {
+            id,
+            tenant: tenant.to_string(),
+            model: Model::Mlp,
+            payload: vec![0.0; Model::Mlp.row_len()],
+            arrival_ms: 0.0,
+        }
+    }
+
+    #[test]
+    fn drr_respects_weights_under_contention() {
+        let cfgs = [
+            TenantConfig::new("0").weight(3).queue_cap(100),
+            TenantConfig::new("1").weight(1).queue_cap(100),
+        ];
+        let mut q = TenantQueues::new(&cfgs);
+        for i in 0..40 {
+            q.enqueue(0, req(i, 0)).unwrap();
+            q.enqueue(1, req(100 + i, 1)).unwrap();
+        }
+        let got = q.dispatch(16, 0.0);
+        let t0 = got.iter().filter(|r| r.tenant == "0").count();
+        let t1 = got.iter().filter(|r| r.tenant == "1").count();
+        assert_eq!(t0 + t1, 16);
+        assert_eq!(t0, 12);
+        assert_eq!(t1, 4);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_with_typed_error() {
+        let cfgs = [TenantConfig::new("a").queue_cap(2)];
+        let mut q = TenantQueues::new(&cfgs);
+        q.enqueue(0, req(0, 0)).unwrap();
+        q.enqueue(0, req(1, 0)).unwrap();
+        let (back, e) = *q.enqueue(0, req(2, 0)).unwrap_err();
+        assert_eq!(back.id, 2);
+        assert_eq!(e.kind(), "queue_full");
+    }
+}

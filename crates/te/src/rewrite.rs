@@ -199,7 +199,9 @@ mod tests {
         // C's body must now read A directly.
         let inputs: Vec<OpId> = {
             let mut out = Vec::new();
-            crate::tensor::collect_reads(inlined.source_expr(), &mut |t, _| out.push(t.op_id()));
+            let _ = crate::tensor::collect_reads(inlined.source_expr(), &mut |t, _| {
+                out.push(t.op_id())
+            });
             out
         };
         assert_eq!(inputs, vec![a.op_id()]);

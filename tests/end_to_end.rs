@@ -50,6 +50,7 @@ fn reference_forward(ex: &GraphExecutor, input: &NDArray) -> Vec<f32> {
         &BuildOptions {
             no_fusion: true,
             db: None,
+            decisions: None,
         },
     )
     .expect("builds");
@@ -97,6 +98,7 @@ fn fusion_reduces_kernel_count_and_time() {
         &BuildOptions {
             no_fusion: true,
             db: None,
+            decisions: None,
         },
     )
     .expect("builds");
