@@ -16,7 +16,51 @@
 //! not depend on the worker count, so a fit is bit-for-bit identical at
 //! any worker count.
 
+use std::sync::Mutex;
+use std::time::Instant;
+
 use rayon::prelude::*;
+
+/// Wall-clock profile of one [`fit_profiled`] call: every rayon-parallel
+/// region (per-feature split searches, rank-gradient row chunks,
+/// per-sample prediction updates) records its duration and item count, in
+/// execution order. Regions are barriers — the boosting loop is
+/// sequential between them — so throughput tooling can replay a fit
+/// against a hypothetical worker count. Purely observational: recording a
+/// profile never changes the fitted model.
+#[derive(Default)]
+pub struct FitProfile {
+    regions: Mutex<Vec<(f64, usize)>>,
+}
+
+impl FitProfile {
+    fn record(&self, dur_s: f64, items: usize) {
+        if items > 0 {
+            self.regions
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((dur_s, items));
+        }
+    }
+
+    /// The recorded `(duration_seconds, parallel_items)` regions.
+    pub fn take(&self) -> Vec<(f64, usize)> {
+        std::mem::take(&mut self.regions.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+/// Times one parallel region when a profile is attached.
+fn region<R>(profile: Option<&FitProfile>, items: usize, run: impl FnOnce() -> R) -> R {
+    match profile {
+        None => run(),
+        Some(p) => {
+            let start = Instant::now();
+            let r = run();
+            p.record(start.elapsed().as_secs_f64(), items);
+            r
+        }
+    }
+}
 
 /// Training objective.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -125,6 +169,7 @@ fn fit_tree(
     depth: usize,
     params: &GbtParams,
     nodes: &mut Vec<Node>,
+    profile: Option<&FitProfile>,
 ) -> usize {
     let mean: f64 = idx.iter().map(|&i| targets[i]).sum::<f64>() / idx.len().max(1) as f64;
     if depth >= params.max_depth || idx.len() < params.min_samples_split {
@@ -141,7 +186,10 @@ fn fit_tree(
     let base_score = total_sum * total_sum / total_cnt;
     let search = |f: usize| -> Option<(f64, usize, f64)> {
         let mut order: Vec<usize> = idx.to_vec();
-        order.sort_by(|&a, &b| xs[a][f].total_cmp(&xs[b][f]));
+        // Unstable sort is safe: elements tied on the feature value all land
+        // on one side of every candidate threshold (the scan skips equal
+        // neighbors), so their relative order cannot change any split.
+        order.sort_unstable_by(|&a, &b| xs[a][f].total_cmp(&xs[b][f]));
         let mut best: Option<(f64, usize, f64)> = None;
         let mut left_sum = 0.0;
         let mut left_cnt = 0.0;
@@ -163,9 +211,13 @@ fn fit_tree(
         }
         best
     };
-    // Parallelism only pays once the per-feature sort+scan is non-trivial.
+    // Parallelism only pays once the per-feature sort+scan is non-trivial;
+    // below the threshold the fork-join overhead exceeds the work, so the
+    // serial scan is both faster and the honest account of the region.
     let per_feature: Vec<Option<(f64, usize, f64)>> = if idx.len() >= 64 {
-        (0..n_features).into_par_iter().map(search).collect()
+        region(profile, n_features, || {
+            (0..n_features).into_par_iter().map(search).collect()
+        })
     } else {
         (0..n_features).map(search).collect()
     };
@@ -189,8 +241,8 @@ fn fit_tree(
             }
             let slot = nodes.len();
             nodes.push(Node::Leaf(0.0)); // placeholder
-            let left = fit_tree(xs, targets, &li, depth + 1, params, nodes);
-            let right = fit_tree(xs, targets, &ri, depth + 1, params, nodes);
+            let left = fit_tree(xs, targets, &li, depth + 1, params, nodes, profile);
+            let right = fit_tree(xs, targets, &ri, depth + 1, params, nodes, profile);
             nodes[slot] = Node::Split {
                 feature,
                 threshold,
@@ -209,19 +261,56 @@ fn sigmoid(x: f64) -> f64 {
 /// Fits an ensemble on `(features, score)` pairs; higher scores are better
 /// configurations (the tuner passes `-log(cost)`).
 pub fn fit(xs: &[Vec<f64>], ys: &[f64], params: &GbtParams) -> Gbt {
+    fit_profiled(xs, ys, params, None)
+}
+
+/// [`fit`] with an optional wall-clock profile of the parallel regions.
+/// The profile is observational only: the fitted model is bit-for-bit the
+/// same with or without it, at any worker count.
+pub fn fit_profiled(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    params: &GbtParams,
+    profile: Option<&FitProfile>,
+) -> Gbt {
+    let mut model = Gbt::default();
+    fit_more(&mut model, xs, ys, params, params.n_trees, profile);
+    model
+}
+
+/// Warm-start boosting: extends an already-fitted ensemble with
+/// `add_trees` new rounds on (possibly grown) training data. Existing
+/// trees are kept; the new trees fit the residuals of the whole ensemble
+/// on the current data. An online tuner that grows its history a batch at
+/// a time pays only the marginal rounds instead of refitting from scratch
+/// — `fit(xs, ys, p)` is exactly `fit_more` on an empty model with
+/// `p.n_trees` rounds. Deterministic at any worker count, like [`fit`].
+pub fn fit_more(
+    model: &mut Gbt,
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    params: &GbtParams,
+    add_trees: usize,
+    profile: Option<&FitProfile>,
+) {
     assert_eq!(xs.len(), ys.len());
     if xs.is_empty() {
-        return Gbt::default();
+        return;
     }
     let n = xs.len();
-    let base = ys.iter().sum::<f64>() / n as f64;
-    let mut preds = vec![base; n];
-    let mut model = Gbt {
-        trees: Vec::new(),
-        base,
+    if model.trees.is_empty() {
+        model.base = ys.iter().sum::<f64>() / n as f64;
+    }
+    // Current ensemble predictions over the (possibly grown) dataset.
+    let mut preds: Vec<f64> = if n >= 64 {
+        region(profile, n, || {
+            xs.par_iter().map(|x| model.predict(x)).collect()
+        })
+    } else {
+        xs.iter().map(|x| model.predict(x)).collect()
     };
     let all_idx: Vec<usize> = (0..n).collect();
-    for _ in 0..params.n_trees {
+    for _ in 0..add_trees {
         // Negative gradient of the objective at current predictions.
         let grad: Vec<f64> = match params.objective {
             Objective::Regression => (0..n).map(|i| ys[i] - preds[i]).collect(),
@@ -234,24 +323,28 @@ pub fn fit(xs: &[Vec<f64>], ys: &[f64], params: &GbtParams) -> Gbt {
                 const ROW_CHUNK: usize = 32;
                 let starts: Vec<usize> = (0..n).step_by(ROW_CHUNK).collect();
                 let preds_ref = &preds;
-                let partials: Vec<Vec<f64>> = starts
-                    .into_par_iter()
-                    .map(|start| {
-                        let mut g = vec![0.0; n];
-                        for i in start..(start + ROW_CHUNK).min(n) {
-                            for j in (i + 1)..n {
-                                if ys[i] == ys[j] {
-                                    continue;
-                                }
-                                let (hi, lo) = if ys[i] > ys[j] { (i, j) } else { (j, i) };
-                                let lambda = sigmoid(-(preds_ref[hi] - preds_ref[lo]));
-                                g[hi] += lambda;
-                                g[lo] -= lambda;
+                let chunk = |start: usize| -> Vec<f64> {
+                    let mut g = vec![0.0; n];
+                    for i in start..(start + ROW_CHUNK).min(n) {
+                        for j in (i + 1)..n {
+                            if ys[i] == ys[j] {
+                                continue;
                             }
+                            let (hi, lo) = if ys[i] > ys[j] { (i, j) } else { (j, i) };
+                            let lambda = sigmoid(-(preds_ref[hi] - preds_ref[lo]));
+                            g[hi] += lambda;
+                            g[lo] -= lambda;
                         }
-                        g
+                    }
+                    g
+                };
+                let partials: Vec<Vec<f64>> = if starts.len() > 1 {
+                    region(profile, starts.len(), || {
+                        starts.clone().into_par_iter().map(chunk).collect()
                     })
-                    .collect();
+                } else {
+                    starts.iter().map(|&s| chunk(s)).collect()
+                };
                 let mut g = vec![0.0; n];
                 for p in &partials {
                     for (acc, v) in g.iter_mut().zip(p) {
@@ -264,12 +357,17 @@ pub fn fit(xs: &[Vec<f64>], ys: &[f64], params: &GbtParams) -> Gbt {
             }
         };
         let mut nodes = Vec::new();
-        fit_tree(xs, &grad, &all_idx, 0, params, &mut nodes);
+        {
+            let _s = tvm_obs::span("fit_tree");
+            fit_tree(xs, &grad, &all_idx, 0, params, &mut nodes, profile);
+        }
         let tree = Tree { nodes };
         // Per-sample prediction updates are independent: map on the workers,
         // apply in order.
         let deltas: Vec<f64> = if n >= 64 {
-            xs.par_iter().map(|x| tree.predict(x)).collect()
+            region(profile, n, || {
+                xs.par_iter().map(|x| tree.predict(x)).collect()
+            })
         } else {
             xs.iter().map(|x| tree.predict(x)).collect()
         };
@@ -278,7 +376,6 @@ pub fn fit(xs: &[Vec<f64>], ys: &[f64], params: &GbtParams) -> Gbt {
         }
         model.trees.push((params.learning_rate, tree));
     }
-    model
 }
 
 /// Fraction of pairs ordered correctly by the model (rank quality metric).

@@ -27,10 +27,12 @@ pub mod tuner;
 pub use config::{ConfigEntity, ConfigSpace, Knob};
 pub use db::{Database, DbRecord, Journal, RecoveryReport};
 pub use features::{extract, extract_analysis, FeatureCache, FEATURE_LEN};
-pub use gbt::{fit, pairwise_accuracy, Gbt, GbtParams, Objective};
+pub use gbt::{
+    fit, fit_more, fit_profiled, pairwise_accuracy, FitProfile, Gbt, GbtParams, Objective,
+};
 pub use mlp::{fit_mlp, Mlp, MlpParams};
 pub use pool::{DeviceHealth, JobOutcome, MeasureError, PoolStats, RetryPolicy, RpcMsg, Tracker};
 pub use tuner::{
     tune, tune_with, TemplateBuilder, TrialRecord, TuneOptions, TuneResult, TuneStats, TunerKind,
-    TuningTask,
+    TuningTask, WorkLog, WorkPhase,
 };

@@ -21,8 +21,9 @@
 //! order, and each annealing chain owns its own seeded RNG.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
@@ -35,7 +36,7 @@ use tvm_te::TeError;
 use crate::config::{ConfigEntity, ConfigSpace};
 use crate::db::{DbRecord, Journal};
 use crate::features::FeatureCache;
-use crate::gbt::{fit, Gbt, GbtParams, Objective};
+use crate::gbt::{fit_more, FitProfile, Gbt, GbtParams, Objective};
 use crate::pool::{DeviceHealth, PoolStats, Tracker};
 
 /// Template callback: lowers one configuration, or rejects it with an
@@ -144,11 +145,50 @@ pub struct TuneStats {
     /// Config lookups served (measurements + explorer scorings); lookups
     /// minus lowerings = memo-cache hits.
     pub lookups: usize,
+    /// Incremental-lowering plan-cache hits during this run (delta of the
+    /// process-wide [`tvm_te::lower_stats`] counters; concurrent runs in
+    /// one process each see the sum of all activity in their window).
+    pub plan_hits: u64,
+    /// Plan-cache misses (full plans built) during this run.
+    pub plan_misses: u64,
+    /// Interned int immediates served from the IR pool during this run
+    /// (delta of [`tvm_ir::intern_stats`]).
+    pub intern_hits: u64,
+    /// Int immediates allocated outside the intern pool during this run.
+    pub intern_misses: u64,
+    /// Contended lock acquisitions observed during this run (measurement
+    /// memo cache + plan caches).
+    pub lock_waits: u64,
+    /// Nanoseconds spent waiting on those contended locks.
+    pub lock_wait_ns: u64,
     /// Retry/quarantine/fault counters from the device pool (zeros when
     /// the run measured without a pool).
     pub pool: PoolStats,
     /// Per-device health at the end of the run (empty without a pool).
     pub device_health: Vec<DeviceHealth>,
+}
+
+/// One parallelizable phase of tuner work: the per-item wall-clock
+/// durations of a batch whose items ran (or could run) concurrently.
+/// Recorded in execution order so throughput tooling can replay the run
+/// against a hypothetical number of worker lanes.
+#[derive(Clone, Debug)]
+pub struct WorkPhase {
+    /// What the items were: `"measure"` (lower + simulate), `"lower"`
+    /// (pool path), `"anneal"` (one SA chain per item), or `"fit"` (one
+    /// parallel region inside a cost-model fit).
+    pub label: &'static str,
+    /// Per-item durations in seconds, in proposal order.
+    pub durs_s: Vec<f64>,
+}
+
+/// Ordered log of the parallelizable work a tuning run performed.
+/// Everything not covered by a phase (proposal merging, boosting-loop
+/// bookkeeping, journaling) is inherently serial.
+#[derive(Clone, Debug, Default)]
+pub struct WorkLog {
+    /// Phases in execution order.
+    pub phases: Vec<WorkPhase>,
 }
 
 /// Result of a tuning run.
@@ -164,6 +204,8 @@ pub struct TuneResult {
     pub best_curve: Vec<f64>,
     /// Lower/simulate/lookup counters for this run.
     pub stats: TuneStats,
+    /// Per-phase parallel work durations (see [`WorkLog`]).
+    pub work: WorkLog,
 }
 
 impl TuneResult {
@@ -202,6 +244,11 @@ struct MeasureCache<'a> {
     lowerings: AtomicUsize,
     simulations: AtomicUsize,
     lookups: AtomicUsize,
+    /// Contended acquisitions of the slot-map lock, and the total wait.
+    lock_waits: AtomicU64,
+    lock_wait_ns: AtomicU64,
+    /// Per-phase parallel work durations, harvested into the result.
+    work: Mutex<WorkLog>,
     /// When set, measurements dispatch through the fault-tolerant device
     /// pool instead of a direct simulator call. Only the serial batch
     /// path locks it, so contention is nil; the mutex exists to keep the
@@ -218,6 +265,9 @@ impl<'a> MeasureCache<'a> {
             lowerings: AtomicUsize::new(0),
             simulations: AtomicUsize::new(0),
             lookups: AtomicUsize::new(0),
+            lock_waits: AtomicU64::new(0),
+            lock_wait_ns: AtomicU64::new(0),
+            work: Mutex::new(WorkLog::default()),
             pool: None,
         }
     }
@@ -230,8 +280,36 @@ impl<'a> MeasureCache<'a> {
         let _ = slot.cost.get_or_init(|| cost);
     }
 
+    /// Locks the slot map, recording the wait when contended. Poisoned
+    /// locks are recovered: the map only holds `Arc`s to per-slot
+    /// `OnceLock`s, so a panicking peer cannot leave it torn.
+    fn lock_slots(&self) -> MutexGuard<'_, HashMap<u64, Arc<CacheSlot>>> {
+        if let Ok(g) = self.slots.try_lock() {
+            return g;
+        }
+        let start = Instant::now();
+        let g = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let ns = start.elapsed().as_nanos() as u64;
+        self.lock_waits.fetch_add(1, Ordering::Relaxed);
+        self.lock_wait_ns.fetch_add(ns, Ordering::Relaxed);
+        tvm_obs::lock_wait("measure_cache", ns);
+        g
+    }
+
+    /// Records one parallelizable phase's per-item durations.
+    fn record_phase(&self, label: &'static str, durs_s: Vec<f64>) {
+        if durs_s.is_empty() {
+            return;
+        }
+        self.work
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .phases
+            .push(WorkPhase { label, durs_s });
+    }
+
     fn slot(&self, idx: u64) -> Arc<CacheSlot> {
-        let mut map = self.slots.lock().expect("cache lock");
+        let mut map = self.lock_slots();
         map.entry(idx).or_default().clone()
     }
 
@@ -270,9 +348,26 @@ impl<'a> MeasureCache<'a> {
             lowerings: self.lowerings.load(Ordering::Relaxed),
             simulations: self.simulations.load(Ordering::Relaxed),
             lookups: self.lookups.load(Ordering::Relaxed),
+            lock_waits: self.lock_waits.load(Ordering::Relaxed),
+            lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
             ..TuneStats::default()
         }
     }
+}
+
+/// Maps `f` over `items` on the rayon workers, returning results in input
+/// order alongside each item's wall-clock duration — the raw material of
+/// a [`WorkPhase`].
+fn timed_par_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> (Vec<U>, Vec<f64>) {
+    let timed: Vec<(U, f64)> = items
+        .into_par_iter()
+        .map(|item| {
+            let start = Instant::now();
+            let r = f(item);
+            (r, start.elapsed().as_secs_f64())
+        })
+        .collect();
+    timed.into_iter().unzip()
 }
 
 /// Measures a proposed batch on the rayon workers; results come back in
@@ -286,10 +381,14 @@ impl<'a> MeasureCache<'a> {
 fn measure_batch(cache: &MeasureCache, batch: &[u64]) -> Vec<(f64, Option<Arc<Vec<f64>>>)> {
     let _span = tvm_obs::span_with("measure", &[("batch", &batch.len().to_string())]);
     let Some(pool) = &cache.pool else {
-        return batch.par_iter().map(|&idx| cache.measure(idx)).collect();
+        let (results, durs) = timed_par_map(batch.to_vec(), |idx| cache.measure(idx));
+        cache.record_phase("measure", durs);
+        return results;
     };
     // Lower (and feature-extract) everything in parallel; memoized.
-    let lowered: Vec<Lowered> = batch.par_iter().map(|&idx| cache.lowered(idx)).collect();
+    let (lowered, durs): (Vec<Lowered>, Vec<f64>) =
+        timed_par_map(batch.to_vec(), |idx| cache.lowered(idx));
+    cache.record_phase("lower", durs);
     // Queue each distinct not-yet-measured valid config once, in batch
     // order (the pool's dispatch order is part of the deterministic
     // transcript).
@@ -381,6 +480,10 @@ pub fn tune_with(
     let mut cache = MeasureCache::new(task);
     let pool_before: Option<PoolStats> = pool.as_ref().map(|t| t.pool_stats().clone());
     cache.pool = pool.map(Mutex::new);
+    // Process-wide counters: deltas over the run attribute plan-cache and
+    // intern-pool behavior to this run's stats.
+    let lower_before = tvm_te::lower_stats();
+    let intern_before = tvm_ir::intern_stats();
 
     // Declared before `h`: the journal sink inside `h` borrows this cell,
     // so it must outlive the history.
@@ -434,6 +537,22 @@ pub fn tune_with(
         return Err(e);
     }
     result.stats = cache.stats();
+    let lower_after = tvm_te::lower_stats();
+    let (ih_before, im_before) = intern_before;
+    let (ih_after, im_after) = tvm_ir::intern_stats();
+    result.stats.plan_hits = lower_after.plan_hits.saturating_sub(lower_before.plan_hits);
+    result.stats.plan_misses = lower_after
+        .plan_misses
+        .saturating_sub(lower_before.plan_misses);
+    result.stats.intern_hits = ih_after.saturating_sub(ih_before);
+    result.stats.intern_misses = im_after.saturating_sub(im_before);
+    result.stats.lock_waits += lower_after
+        .lock_waits
+        .saturating_sub(lower_before.lock_waits);
+    result.stats.lock_wait_ns += lower_after
+        .lock_wait_ns
+        .saturating_sub(lower_before.lock_wait_ns);
+    result.work = std::mem::take(cache.work.get_mut().unwrap_or_else(|e| e.into_inner()));
     if let Some(m) = cache.pool.take() {
         let tracker: &mut Tracker = m.into_inner().expect("pool lock");
         let before = pool_before.unwrap_or_default();
@@ -460,6 +579,12 @@ fn publish_stats(task: &str, result: &TuneResult) {
         "autotune.cache_hits",
         s.lookups.saturating_sub(s.lowerings) as u64,
     );
+    tvm_obs::counter_add("autotune.plan_hits", s.plan_hits);
+    tvm_obs::counter_add("autotune.plan_misses", s.plan_misses);
+    tvm_obs::counter_add("autotune.intern_hits", s.intern_hits);
+    tvm_obs::counter_add("autotune.intern_misses", s.intern_misses);
+    tvm_obs::counter_add("autotune.lock_waits", s.lock_waits);
+    tvm_obs::counter_add("autotune.lock_wait_ns", s.lock_wait_ns);
     tvm_obs::counter_add("autotune.pool.attempts", s.pool.attempts as u64);
     tvm_obs::counter_add("autotune.pool.retries", s.pool.retries as u64);
     tvm_obs::counter_add("autotune.pool.timeouts", s.pool.timeouts as u64);
@@ -607,6 +732,7 @@ impl<'s> History<'s> {
             best_config: self.best_config,
             best_curve: self.best_curve,
             stats: TuneStats::default(),
+            work: WorkLog::default(),
         }
     }
 }
@@ -730,6 +856,13 @@ fn tune_ml(
     let mut visited: HashSet<u64> = HashSet::new();
     let mut xs: Vec<Vec<f64>> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();
+    // Online cost model, extended warm-start each round: every batch of
+    // new measurements adds `TREES_PER_ROUND` boosting rounds on the
+    // grown history instead of refitting the whole ensemble, so the
+    // serial fit stays off the measurement loop's critical path.
+    const TREES_PER_ROUND: usize = 4;
+    let mut model = Gbt::default();
+    let mut trained = 0usize;
     // Best measured configs so far; annealing restarts exploit these basins.
     let mut elites: Vec<(u64, f64)> = Vec::new();
     // Exploration state persists across model updates (§5.3).
@@ -758,10 +891,19 @@ fn tune_ml(
                 objective,
                 ..GbtParams::default()
             };
-            let model = {
+            if xs.len() > trained {
                 let _fit_span = tvm_obs::span_with("fit", &[("samples", &xs.len().to_string())]);
-                fit(&xs, &ys, &params)
-            };
+                let prof = FitProfile::default();
+                fit_more(&mut model, &xs, &ys, &params, TREES_PER_ROUND, Some(&prof));
+                trained = xs.len();
+                // Each parallel region inside the fit (per-feature split
+                // searches, rank-gradient chunks, prediction updates) is
+                // one replayable phase; item durations within a region are
+                // uniform to first order, so the total is split evenly.
+                for (dur_s, items) in prof.take() {
+                    cache.record_phase("fit", vec![dur_s / items as f64; items]);
+                }
+            }
             let _sa_span = tvm_obs::span("propose_sa");
             propose_sa(
                 task,
@@ -838,10 +980,10 @@ fn propose_sa(
         }
     }
     let jobs: Vec<(u64, u64)> = chains.iter().map(|&c| (c, rng.next_u64())).collect();
-    let runs: Vec<(u64, Vec<(u64, f64)>)> = jobs
-        .into_par_iter()
-        .map(|(start, seed)| anneal_chain(task, cache, model, start, seed, opts))
-        .collect();
+    let (runs, durs) = timed_par_map(jobs, |(start, seed)| {
+        anneal_chain(task, cache, model, start, seed, opts)
+    });
+    cache.record_phase("anneal", durs);
     let mut cand: Vec<(u64, f64)> = Vec::new();
     for ((head, chain_cands), slot) in runs.into_iter().zip(chains.iter_mut()) {
         *slot = head;

@@ -87,6 +87,49 @@ fn history_identical_across_worker_counts() {
 }
 
 #[test]
+fn tuning_runs_are_isolated_within_a_process() {
+    // Two tuning runs in one process must not observe each other's tensors:
+    // with the old global tensor registry, the DAG built by an interleaved
+    // run could alias op ids from the first run and perturb its lowering.
+    // Here the same seeded task is tuned before and after a polluting run
+    // on a different workload; the histories must match bit for bit.
+    let opts = TuneOptions {
+        n_trials: 24,
+        seed: 7,
+        ..Default::default()
+    };
+    let before = tune(
+        &counting_task(Arc::new(AtomicUsize::new(0))),
+        &opts,
+        TunerKind::GbtRank,
+    );
+    // Polluting run: different seed, different trajectory, builds hundreds
+    // of tensors whose ids would collide under a process-global registry.
+    let pollute_opts = TuneOptions {
+        n_trials: 24,
+        seed: 99,
+        ..Default::default()
+    };
+    let polluter = tune(
+        &counting_task(Arc::new(AtomicUsize::new(0))),
+        &pollute_opts,
+        TunerKind::GbtRank,
+    );
+    assert!(polluter.history.len() == 24);
+    let after = tune(
+        &counting_task(Arc::new(AtomicUsize::new(0))),
+        &opts,
+        TunerKind::GbtRank,
+    );
+    assert_eq!(
+        history_of(&before),
+        history_of(&after),
+        "a prior tuning run leaked state into a later one"
+    );
+    assert_eq!(before.best_ms, after.best_ms);
+}
+
+#[test]
 fn duplicate_configs_lower_exactly_once() {
     // 48 trials on a 28-point space: every config is proposed (and many
     // re-proposed), yet each distinct config index reaches the builder

@@ -7,8 +7,8 @@
 
 use std::fmt;
 use std::ops;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, LazyLock};
 
 use crate::dtype::{DType, TypeCode};
 
@@ -218,14 +218,49 @@ pub enum ExprNode {
 #[derive(Clone, Debug)]
 pub struct Expr(pub Arc<ExprNode>);
 
+/// Range of `int32` immediates kept in the global intern pool. Lowering
+/// builds loop bounds, strides, tile extents and guard constants from this
+/// range overwhelmingly often, so [`Expr::int`] serves them as `Arc` clones
+/// of pre-built nodes instead of fresh allocations.
+const INTERN_MIN: i64 = -8;
+const INTERN_MAX: i64 = 512;
+
+static INT_POOL: LazyLock<Vec<Expr>> = LazyLock::new(|| {
+    (INTERN_MIN..=INTERN_MAX)
+        .map(|value| {
+            Expr(Arc::new(ExprNode::IntImm {
+                value,
+                dtype: DType::int32(),
+            }))
+        })
+        .collect()
+});
+
+static INTERN_HITS: AtomicU64 = AtomicU64::new(0);
+static INTERN_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// `(hits, misses)` of the integer-immediate intern pool since process
+/// start. A hit is an `Expr::int`-family request served without allocating.
+pub fn intern_stats() -> (u64, u64) {
+    (
+        INTERN_HITS.load(Ordering::Relaxed),
+        INTERN_MISSES.load(Ordering::Relaxed),
+    )
+}
+
 impl Expr {
     /// Wraps a node.
     pub fn new(node: ExprNode) -> Self {
         Expr(Arc::new(node))
     }
 
-    /// `int32` immediate.
+    /// `int32` immediate. Small values come from a global intern pool.
     pub fn int(value: i64) -> Self {
+        if (INTERN_MIN..=INTERN_MAX).contains(&value) {
+            INTERN_HITS.fetch_add(1, Ordering::Relaxed);
+            return INT_POOL[(value - INTERN_MIN) as usize].clone();
+        }
+        INTERN_MISSES.fetch_add(1, Ordering::Relaxed);
         Expr::new(ExprNode::IntImm {
             value,
             dtype: DType::int32(),
@@ -235,6 +270,9 @@ impl Expr {
     /// Immediate of an arbitrary integer type.
     pub fn int_of(value: i64, dtype: DType) -> Self {
         debug_assert!(dtype.is_int());
+        if dtype == DType::int32() {
+            return Expr::int(value);
+        }
         Expr::new(ExprNode::IntImm { value, dtype })
     }
 
@@ -264,6 +302,8 @@ impl Expr {
     pub fn zero(dtype: DType) -> Self {
         if dtype.is_float() {
             Expr::new(ExprNode::FloatImm { value: 0.0, dtype })
+        } else if dtype == DType::int32() {
+            Expr::int(0)
         } else {
             Expr::new(ExprNode::IntImm { value: 0, dtype })
         }
@@ -273,6 +313,8 @@ impl Expr {
     pub fn one(dtype: DType) -> Self {
         if dtype.is_float() {
             Expr::new(ExprNode::FloatImm { value: 1.0, dtype })
+        } else if dtype == DType::int32() {
+            Expr::int(1)
         } else {
             Expr::new(ExprNode::IntImm { value: 1, dtype })
         }

@@ -28,7 +28,7 @@ pub mod stmt;
 pub mod visit;
 
 pub use dtype::{DType, TypeCode};
-pub use expr::{BinOp, CallKind, CmpOp, Expr, ExprNode, Range, Var, VarId};
+pub use expr::{intern_stats, BinOp, CallKind, CmpOp, Expr, ExprNode, Range, Var, VarId};
 pub use interp::{Buffer, Interp, InterpError, MemState, Value};
 pub use interval::{eval_interval, floor_div, floor_mod, prove_cmp, Interval};
 pub use simplify::{simplify, simplify_stmt, simplify_with, Simplifier};

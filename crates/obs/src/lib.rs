@@ -494,6 +494,18 @@ pub fn set_enabled(on: bool) {
     Registry::global().set_enabled(on);
 }
 
+/// Records one lock acquisition that had to wait: bumps
+/// `lock_waits.{name}` and `lock_wait_ns.{name}`. No-op (and allocation
+/// free) when the registry is disabled or the wait was zero.
+#[inline]
+pub fn lock_wait(name: &str, wait_ns: u64) {
+    if wait_ns == 0 || !Registry::global().enabled() {
+        return;
+    }
+    counter_add(&format!("lock_waits.{name}"), 1);
+    counter_add(&format!("lock_wait_ns.{name}"), wait_ns);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,12 +28,16 @@ pub mod tensor;
 pub mod tensorize;
 pub mod vthread;
 
-pub use lower::{lower, lower_with, LowerOptions, TeError};
+pub use lower::{
+    emit_planned, lower, lower_stats, lower_with, plan_schedule, LowerOptions, LowerPlan,
+    LowerStats, PlanCache, TeError,
+};
 pub use schedule::{
     create_schedule, Attach, IterAttr, IterRelation, LoopAnn, Schedule, ScheduleError, Stage,
 };
 pub use tensor::{
-    compute, compute_with_axes, max_reduce, min_reduce, placeholder, reduce_axis, sum, Combiner,
-    ComputeBody, IterKind, IterVar, OpId, OpKind, OpNode, OpRef, Tensor,
+    collect_reads, compute, compute_with_axes, max_reduce, min_reduce, placeholder, reduce_axis,
+    sum, Combiner, ComputeBody, ComputeSpec, IterKind, IterVar, OpId, OpKind, OpNode, OpRef,
+    Tensor,
 };
 pub use tensorize::{BufferSlice, TensorIntrin, TensorIntrinImpl, TensorIntrinNode};

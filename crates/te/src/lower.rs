@@ -22,6 +22,9 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 use tvm_ir::expr::ExprNode;
 use tvm_ir::stmt::StmtNode;
@@ -108,6 +111,123 @@ pub struct LowerOptions {
     pub dae_sync: bool,
 }
 
+// Process-wide lowering counters, surfaced through [`lower_stats`] so the
+// tuner can attribute where candidate-evaluation time goes (full emissions
+// vs. incremental plan reuse, and how often workers queue on the plan
+// cache lock).
+static LOWERINGS: AtomicU64 = AtomicU64::new(0);
+static PLAN_HITS: AtomicU64 = AtomicU64::new(0);
+static PLAN_MISSES: AtomicU64 = AtomicU64::new(0);
+static PLAN_LOCK_WAITS: AtomicU64 = AtomicU64::new(0);
+static PLAN_LOCK_WAIT_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide lowering counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LowerStats {
+    /// Full schedule emissions ([`emit_planned`] calls, including those
+    /// reached through [`lower`] / [`lower_with`]).
+    pub lowerings: u64,
+    /// [`PlanCache`] lookups served from a cached [`LowerPlan`].
+    pub plan_hits: u64,
+    /// [`PlanCache`] lookups that had to build a fresh plan.
+    pub plan_misses: u64,
+    /// Contended acquisitions of a [`PlanCache`] lock.
+    pub lock_waits: u64,
+    /// Total nanoseconds spent waiting on contended [`PlanCache`] locks.
+    pub lock_wait_ns: u64,
+}
+
+/// Returns the current process-wide lowering counters.
+pub fn lower_stats() -> LowerStats {
+    LowerStats {
+        lowerings: LOWERINGS.load(Ordering::Relaxed),
+        plan_hits: PLAN_HITS.load(Ordering::Relaxed),
+        plan_misses: PLAN_MISSES.load(Ordering::Relaxed),
+        lock_waits: PLAN_LOCK_WAITS.load(Ordering::Relaxed),
+        lock_wait_ns: PLAN_LOCK_WAIT_NS.load(Ordering::Relaxed),
+    }
+}
+
+/// Locks `m`, recording the wait when the lock was contended. Poisoned
+/// locks are recovered rather than propagated: the cache only holds
+/// immutable `Arc`s, so a panicking peer cannot leave it torn.
+fn lock_timed<'m, T>(m: &'m Mutex<T>, name: &str) -> MutexGuard<'m, T> {
+    if let Ok(g) = m.try_lock() {
+        return g;
+    }
+    let start = Instant::now();
+    let g = m.lock().unwrap_or_else(|e| e.into_inner());
+    let ns = start.elapsed().as_nanos() as u64;
+    PLAN_LOCK_WAITS.fetch_add(1, Ordering::Relaxed);
+    PLAN_LOCK_WAIT_NS.fetch_add(ns, Ordering::Relaxed);
+    tvm_obs::lock_wait(name, ns);
+    g
+}
+
+/// A bounded, thread-safe memo table for incremental lowering.
+///
+/// Keyed by whatever digest the caller derives from the *structural* part
+/// of a schedule configuration (splits, reorders, bindings, attachments);
+/// annotation-only knobs (vectorize/unroll/parallel) do not change the
+/// plan, so simulated-annealing neighbors that only toggle them reuse the
+/// cached bound inference and dataflow analysis. Misses build outside the
+/// lock — concurrent duplicate builds are harmless (first insert wins).
+pub struct PlanCache<T> {
+    map: Mutex<HashMap<u64, Arc<T>>>,
+    cap: usize,
+}
+
+impl<T> Default for PlanCache<T> {
+    fn default() -> Self {
+        // Sized above the largest template search space's structural-key
+        // count (conv2d ≈ 1.5k): an undersized cache thrashes through the
+        // clear-at-capacity eviction and re-plans every schedule.
+        PlanCache::new(8192)
+    }
+}
+
+impl<T> PlanCache<T> {
+    /// Creates a cache holding at most `cap` entries; at capacity the map
+    /// is cleared (cheap, deterministic-output-safe: a cleared entry is
+    /// simply rebuilt).
+    pub fn new(cap: usize) -> Self {
+        PlanCache {
+            map: Mutex::new(HashMap::new()),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Returns the cached value for `key`, building it with `build` on a
+    /// miss. The build runs outside the lock.
+    pub fn get_or_build<E>(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<T, E>,
+    ) -> Result<Arc<T>, E> {
+        if let Some(hit) = lock_timed(&self.map, "plan_cache").get(&key).cloned() {
+            PLAN_HITS.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build()?);
+        let mut map = lock_timed(&self.map, "plan_cache");
+        if map.len() >= self.cap {
+            map.clear();
+        }
+        Ok(Arc::clone(map.entry(key).or_insert(built)))
+    }
+
+    /// Number of currently cached plans.
+    pub fn len(&self) -> usize {
+        lock_timed(&self.map, "plan_cache").len()
+    }
+
+    /// True when no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Per-stage results of bound inference.
 #[derive(Clone, Debug)]
 struct StageData {
@@ -130,7 +250,7 @@ pub fn lower(sched: &Schedule, args: &[Tensor], name: &str) -> Result<LoweredFun
     lower_with(sched, args, name, &LowerOptions::default())
 }
 
-/// Lowers a schedule with explicit options.
+/// Lowers a schedule with explicit options: plan, then emit.
 pub fn lower_with(
     sched: &Schedule,
     args: &[Tensor],
@@ -141,6 +261,27 @@ pub fn lower_with(
     // plus the per-stage validation hooks (a no-op when the global obs
     // registry is disabled).
     let _lower_span = tvm_obs::span_with("lower", &[("kernel", name)]);
+    let plan = plan_schedule(sched)?;
+    emit_planned(sched, &plan, args, name, opts)
+}
+
+/// The annotation-independent half of lowering: effective bodies after
+/// inlining, inferred bounds, the attachment map and the canonical thread
+/// variables. A plan depends only on the *structure* of a schedule
+/// (splits, fuses, reorders, thread bindings, attachments, scopes), not on
+/// loop annotations (vectorize/unroll/parallel/pragma), so it can be
+/// cached and re-emitted for every annotation variant of the same
+/// structural configuration — see [`PlanCache`].
+pub struct LowerPlan {
+    bodies: HashMap<OpId, ComputeBody>,
+    data: HashMap<OpId, StageData>,
+    attach_map: HashMap<(OpId, VarId), Vec<OpId>>,
+    thread_vars: HashMap<ThreadTag, (Var, i64)>,
+}
+
+/// Runs the analysis half of lowering (inlining, bound inference,
+/// attachment/thread pre-scans) without emitting code.
+pub fn plan_schedule(sched: &Schedule) -> Result<LowerPlan, TeError> {
     let bodies = {
         let _s = tvm_obs::span("effective_bodies");
         effective_bodies(sched)
@@ -149,21 +290,6 @@ pub fn lower_with(
         let _s = tvm_obs::span("infer_bounds");
         infer_bounds(sched, &bodies)?
     };
-
-    // Buffer variables: params first (stable across calls), then internals.
-    let mut buffers: HashMap<OpId, Var> = HashMap::new();
-    for t in args {
-        buffers.insert(t.op_id(), Var::new(t.name(), t.dtype()));
-    }
-    for id in data.keys() {
-        if !buffers.contains_key(id) {
-            if let Some(stage) = sched.stage_by_op(*id) {
-                buffers.insert(*id, Var::new(stage.tensor.name(), stage.tensor.dtype()));
-            } else if let Some(t) = crate::tensor::resolve_tensor(*id) {
-                buffers.insert(*id, Var::new(t.name(), t.dtype()));
-            }
-        }
-    }
 
     // Attachment map.
     let mut attach_map: HashMap<(OpId, VarId), Vec<OpId>> = HashMap::new();
@@ -200,13 +326,47 @@ pub fn lower_with(
         }
     }
 
-    let mut em = Emitter {
-        sched,
-        bodies: &bodies,
-        data: &data,
-        buffers,
+    Ok(LowerPlan {
+        bodies,
+        data,
         attach_map,
         thread_vars,
+    })
+}
+
+/// Emits a lowered function from a pre-computed [`LowerPlan`]. `sched`
+/// must be the schedule the plan was computed from, or a clone of it that
+/// differs only in loop annotations (the clone shares itervar identities,
+/// which is what keeps the plan's variable maps valid).
+pub fn emit_planned(
+    sched: &Schedule,
+    plan: &LowerPlan,
+    args: &[Tensor],
+    name: &str,
+    opts: &LowerOptions,
+) -> Result<LoweredFunc, TeError> {
+    LOWERINGS.fetch_add(1, Ordering::Relaxed);
+    let data = &plan.data;
+
+    // Buffer variables: params first (stable across calls), then internals.
+    let mut buffers: HashMap<OpId, Var> = HashMap::new();
+    for t in args {
+        buffers.insert(t.op_id(), Var::new(t.name(), t.dtype()));
+    }
+    for id in data.keys() {
+        if !buffers.contains_key(id) {
+            if let Some(stage) = sched.stage_by_op(*id) {
+                buffers.insert(*id, Var::new(stage.tensor.name(), stage.tensor.dtype()));
+            } else if let Some(t) = sched.tensor(*id) {
+                buffers.insert(*id, Var::new(t.name(), t.dtype()));
+            }
+        }
+    }
+
+    let mut em = Emitter {
+        sched,
+        plan,
+        buffers,
     };
 
     // Emit root stages in order, wrapping non-param roots in allocations.
@@ -248,7 +408,7 @@ pub fn lower_with(
         ThreadTag::BlockIdxY,
         ThreadTag::BlockIdxZ,
     ] {
-        if let Some((v, ext)) = em.thread_vars.get(&tag) {
+        if let Some((v, ext)) = em.plan.thread_vars.get(&tag) {
             body = Stmt::loop_(v, 0, *ext, ForKind::ThreadBinding(tag), body);
         }
     }
@@ -336,8 +496,8 @@ fn validation_enabled() -> bool {
 fn effective_bodies(sched: &Schedule) -> HashMap<OpId, ComputeBody> {
     let mut bodies: HashMap<OpId, ComputeBody> = HashMap::new();
     for stage in &sched.stages {
-        if let Some(b) = stage.tensor.op.body() {
-            bodies.insert(stage.op_id(), b);
+        if let Some(spec) = sched.spec(stage.op_id()) {
+            bodies.insert(stage.op_id(), spec.body.clone());
         }
     }
     // Topological order: inline producers into everything downstream.
@@ -403,7 +563,15 @@ fn infer_bounds(
                         consumer: cons_stage.tensor.name().to_string(),
                         consumer_inlined: matches!(cons_stage.attach, Attach::Inline),
                     })?;
-                compute_region(stage, cons_stage, cons_data, iter, bodies, &thread_extents)?
+                compute_region(
+                    sched,
+                    stage,
+                    cons_stage,
+                    cons_data,
+                    iter,
+                    bodies,
+                    &thread_extents,
+                )?
             }
         };
         // Root iter extents: data axes take realize extents, reduce axes
@@ -453,7 +621,7 @@ fn infer_bounds(
     }
     // Placeholders realize their full shape.
     for stage in &sched.stages {
-        for inp in stage.tensor.op.input_tensors() {
+        for inp in sched.input_tensors_of(stage.op_id()) {
             let id = inp.op_id();
             if sched.stage_by_op(id).is_none() && !out.contains_key(&id) {
                 let (mins, exts) = full_realize(inp.shape());
@@ -476,6 +644,7 @@ fn infer_bounds(
 /// Computes the realize region of `stage` when attached inside `cons_stage`
 /// under leaf `attach_iter`.
 fn compute_region(
+    sched: &Schedule,
     stage: &Stage,
     cons_stage: &Stage,
     cons_data: &StageData,
@@ -540,7 +709,8 @@ fn compute_region(
     })?;
     let mut regions: Vec<(Vec<Expr>, Vec<i64>)> = Vec::new();
     let target = stage.op_id();
-    collect_reads(body.source_expr(), &mut |t, idx| {
+    let lookup = |id: OpId| sched.tensor(id).cloned();
+    collect_reads(body.source_expr(), &lookup, &mut |t, idx| {
         if t.op_id() != target {
             return;
         }
@@ -833,11 +1003,8 @@ fn expand_var(
 
 struct Emitter<'a> {
     sched: &'a Schedule,
-    bodies: &'a HashMap<OpId, ComputeBody>,
-    data: &'a HashMap<OpId, StageData>,
+    plan: &'a LowerPlan,
     buffers: HashMap<OpId, Var>,
-    attach_map: HashMap<(OpId, VarId), Vec<OpId>>,
-    thread_vars: HashMap<ThreadTag, (Var, i64)>,
 }
 
 struct Plan {
@@ -852,7 +1019,7 @@ struct Plan {
 
 impl Emitter<'_> {
     fn strides_of(&self, op: OpId) -> Vec<i64> {
-        let exts = &self.data[&op].realize_ext;
+        let exts = &self.plan.data[&op].realize_ext;
         row_major_strides(exts)
     }
 
@@ -909,6 +1076,7 @@ impl Emitter<'_> {
             .get(&id)
             .ok_or_else(|| TeError::msg(format!("no buffer for read of op {id:?}")))?;
         let sd = self
+            .plan
             .data
             .get(&id)
             .ok_or_else(|| TeError::msg(format!("no bounds for read of op {id:?}")))?;
@@ -926,11 +1094,11 @@ impl Emitter<'_> {
             .sched
             .stage_by_op(op)
             .ok_or_else(|| TeError::msg("missing stage"))?;
-        let sd = &self.data[&op];
-        let body = self
-            .bodies
-            .get(&op)
-            .ok_or_else(|| TeError::msg(format!("stage `{}` has no body", stage.tensor.name())))?;
+        let sd = &self.plan.data[&op];
+        let body =
+            self.plan.bodies.get(&op).ok_or_else(|| {
+                TeError::msg(format!("stage `{}` has no body", stage.tensor.name()))
+            })?;
         let leaves = stage.leaf_iters.clone();
         let self_buf = self.buffers[&op].clone();
         let strides = self.strides_of(op);
@@ -1099,9 +1267,10 @@ impl Emitter<'_> {
                 };
                 // Input slices, in body read order.
                 let mut inputs: Vec<BufferSlice> = Vec::new();
-                collect_reads(body.source_expr(), &mut |t, idx| {
+                let lookup = |id: OpId| self.sched.tensor(id).cloned();
+                collect_reads(body.source_expr(), &lookup, &mut |t, idx| {
                     let id = t.op_id();
-                    let tsd = &self.data[&id];
+                    let tsd = &self.plan.data[&id];
                     let tstr = row_major_strides(&tsd.realize_ext);
                     let mut flat = Expr::int(0);
                     for (d, e) in idx.iter().enumerate() {
@@ -1158,7 +1327,7 @@ impl Emitter<'_> {
             return Ok(plan.body_stmt.clone());
         }
         let stage = self.sched.stage_by_op(plan.op).expect("stage exists");
-        let sd = &self.data[&plan.op];
+        let sd = &self.plan.data[&plan.op];
         let leaf = plan.leaves[idx].clone();
         let ext = *sd
             .extents
@@ -1171,7 +1340,7 @@ impl Emitter<'_> {
         // allocations are hoisted above one flat sequence so downstream
         // passes (DAE token injection) see the producer groups and the
         // consumer as siblings.
-        if let Some(list) = self.attach_map.get(&(plan.op, leaf.var.id())).cloned() {
+        if let Some(list) = self.plan.attach_map.get(&(plan.op, leaf.var.id())).cloned() {
             let mut items: Vec<Stmt> = Vec::new();
             let mut allocs: Vec<(Var, DType, i64, MemScope)> = Vec::new();
             for p in list {
@@ -1179,7 +1348,11 @@ impl Emitter<'_> {
                 let scope = p_stage.scope;
                 let dtype = p_stage.tensor.dtype();
                 let buf = self.buffers[&p].clone();
-                let extent: i64 = self.data[&p].realize_ext.iter().product::<i64>().max(1);
+                let extent: i64 = self.plan.data[&p]
+                    .realize_ext
+                    .iter()
+                    .product::<i64>()
+                    .max(1);
                 let nest = self.emit_stage(p)?;
                 if scope == MemScope::Shared {
                     // WAR: previous iteration's readers must finish before
@@ -1211,7 +1384,7 @@ impl Emitter<'_> {
             // end of lowering (all statements in a kernel execute on every
             // thread, as on real hardware). A stage binding fewer
             // iterations than the canonical extent runs under a guard.
-            let (tv, text) = self.thread_vars.get(&tag).cloned().ok_or_else(|| {
+            let (tv, text) = self.plan.thread_vars.get(&tag).cloned().ok_or_else(|| {
                 TeError::msg(format!("thread axis {} not pre-scanned", tag.name()))
             })?;
             let mut m = HashMap::new();

@@ -197,9 +197,10 @@ mod tests {
         };
         let inlined = inline_reads(&c.op.body().expect("body"), b.op_id(), &b_axes, &b_body);
         // C's body must now read A directly.
+        let lookup = |id: OpId| (id == a.op_id()).then(|| a.clone());
         let inputs: Vec<OpId> = {
             let mut out = Vec::new();
-            let _ = crate::tensor::collect_reads(inlined.source_expr(), &mut |t, _| {
+            let _ = crate::tensor::collect_reads(inlined.source_expr(), &lookup, &mut |t, _| {
                 out.push(t.op_id())
             });
             out

@@ -9,10 +9,11 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use tvm_ir::{Expr, MemScope, ThreadTag, Var, VarId};
 
-use crate::tensor::{compute_with_axes, ComputeBody, IterVar, OpId, Tensor};
+use crate::tensor::{compute_with_axes, ComputeBody, ComputeSpec, IterVar, OpId, Tensor};
 use crate::tensorize::TensorIntrin;
 
 /// Typed error raised by schedule primitives instead of panicking: a bad
@@ -78,7 +79,8 @@ pub enum ScheduleError {
         /// The already-transformed stage.
         stage: String,
     },
-    /// An expression reads a tensor missing from the global registry.
+    /// An expression reads a tensor that cannot be resolved in the
+    /// schedule's tensor context.
     UnregisteredRead {
         /// The unresolvable read key.
         name: String,
@@ -257,6 +259,13 @@ impl Stage {
 }
 
 /// A schedule over a tensor-expression DAG.
+///
+/// Besides the per-op [`Stage`]s, a schedule owns its *tensor context*
+/// (every tensor reachable from the outputs, plus cache tensors created by
+/// `cache_read`/`cache_write`) and per-op *spec overrides*. Schedule-time
+/// dataflow rewrites land in the overrides instead of mutating the shared,
+/// immutable ops, so many schedules over one operation graph — including
+/// concurrent ones on tuning workers — never interfere.
 #[derive(Clone, Debug)]
 pub struct Schedule {
     /// Stages in topological order (producers before consumers).
@@ -264,27 +273,32 @@ pub struct Schedule {
     /// Function outputs.
     pub outputs: Vec<Tensor>,
     stage_of: HashMap<OpId, usize>,
+    /// Every tensor this schedule can resolve a read of, keyed by op id.
+    tensors: HashMap<OpId, Tensor>,
+    /// Rewritten compute specs (`cache_read`/`cache_write`), keyed by op id;
+    /// ops without an entry use their own spec.
+    overrides: HashMap<OpId, Arc<ComputeSpec>>,
 }
 
 /// Creates a schedule for the given output tensors — `t.create_schedule` in
 /// the paper's API.
 pub fn create_schedule(outputs: &[Tensor]) -> Schedule {
     let mut order: Vec<Tensor> = Vec::new();
-    let mut visited: Vec<OpId> = Vec::new();
-    fn dfs(t: &Tensor, order: &mut Vec<Tensor>, visited: &mut Vec<OpId>) {
-        if visited.contains(&t.op_id()) {
+    let mut tensors: HashMap<OpId, Tensor> = HashMap::new();
+    fn dfs(t: &Tensor, order: &mut Vec<Tensor>, tensors: &mut HashMap<OpId, Tensor>) {
+        if tensors.contains_key(&t.op_id()) {
             return;
         }
-        visited.push(t.op_id());
+        tensors.insert(t.op_id(), t.clone());
         for inp in t.op.input_tensors() {
-            dfs(&inp, order, visited);
+            dfs(&inp, order, tensors);
         }
         if t.op.body().is_some() {
             order.push(t.clone());
         }
     }
     for t in outputs {
-        dfs(t, &mut order, &mut visited);
+        dfs(t, &mut order, &mut tensors);
     }
     let mut stages = Vec::with_capacity(order.len());
     let mut stage_of = HashMap::new();
@@ -297,10 +311,33 @@ pub fn create_schedule(outputs: &[Tensor]) -> Schedule {
         stages,
         outputs: outputs.to_vec(),
         stage_of,
+        tensors,
+        overrides: HashMap::new(),
     }
 }
 
 impl Schedule {
+    /// Resolves an op id to its tensor within this schedule's context.
+    pub fn tensor(&self, id: OpId) -> Option<&Tensor> {
+        self.tensors.get(&id)
+    }
+
+    /// The compute spec in effect for op `id` under this schedule: the
+    /// override installed by `cache_read`/`cache_write` if any, else the
+    /// op's own immutable spec. `None` for placeholders and unknown ops.
+    pub fn spec(&self, id: OpId) -> Option<Arc<ComputeSpec>> {
+        if let Some(s) = self.overrides.get(&id) {
+            return Some(Arc::clone(s));
+        }
+        self.tensors.get(&id).and_then(|t| t.op.spec().cloned())
+    }
+
+    /// Input tensors op `id` reads *under this schedule* (first-read
+    /// order), reflecting any `cache_read`/`cache_write` redirections.
+    pub fn input_tensors_of(&self, id: OpId) -> Vec<Tensor> {
+        self.spec(id).map_or_else(Vec::new, |s| s.reads.clone())
+    }
+
     /// The stage scheduling `t`'s operation.
     pub fn stage(&self, t: &Tensor) -> Result<&Stage, ScheduleError> {
         Ok(&self.stages[self.stage_index(t)?])
@@ -494,13 +531,20 @@ impl Schedule {
 
     /// Inlines an injective stage into all of its consumers.
     pub fn compute_inline(&mut self, t: &Tensor) -> Result<(), ScheduleError> {
+        let is_plain = matches!(
+            self.spec(t.op_id()).as_deref(),
+            Some(ComputeSpec {
+                body: ComputeBody::Plain(_),
+                ..
+            })
+        );
         let stage = self.stage_mut(t)?;
         if stage.is_output {
             return Err(ScheduleError::InlineOutput {
                 stage: t.name().to_string(),
             });
         }
-        if !matches!(t.op.body(), Some(ComputeBody::Plain(_))) {
+        if !is_plain {
             return Err(ScheduleError::InlineReduction {
                 stage: t.name().to_string(),
             });
@@ -530,11 +574,11 @@ impl Schedule {
                 tensor: t.name().to_string(),
             });
         }
-        // Validate up front (before mutating any reader body) so a failed
+        // Validate up front (before installing any override) so a failed
         // call leaves the schedule untouched.
         let mut insert_at = usize::MAX;
         for reader in readers {
-            if reader.op.body().is_none() {
+            if self.spec(reader.op_id()).is_none() {
                 return Err(ScheduleError::NoBody {
                     primitive: "cache_read reader",
                     stage: reader.name().to_string(),
@@ -555,16 +599,26 @@ impl Schedule {
             format!("{}.{}", t.name(), scope.name()),
             axes,
             body,
+            std::slice::from_ref(t),
         );
-        // Redirect reader bodies (validated non-placeholder above).
+        // Redirect reader specs (validated non-placeholder above) via
+        // overrides — the ops themselves stay untouched.
         for reader in readers {
-            let body = reader.op.body().ok_or_else(|| ScheduleError::NoBody {
-                primitive: "cache_read reader",
-                stage: reader.name().to_string(),
-            })?;
-            let new_body = crate::rewrite::replace_reads(&body, t.op_id(), &cached);
-            reader.op.set_body(new_body)?;
+            let spec = self
+                .spec(reader.op_id())
+                .ok_or_else(|| ScheduleError::NoBody {
+                    primitive: "cache_read reader",
+                    stage: reader.name().to_string(),
+                })?;
+            let new_body = crate::rewrite::replace_reads(&spec.body, t.op_id(), &cached);
+            let mut known: Vec<Tensor> = spec.reads.clone();
+            known.push(cached.clone());
+            let new_spec = ComputeSpec::gather(new_body, &|id| {
+                known.iter().find(|x| x.op_id() == id).cloned()
+            });
+            self.overrides.insert(reader.op_id(), Arc::new(new_spec));
         }
+        self.tensors.insert(cached.op_id(), cached.clone());
         // Insert the cache stage immediately before the earliest reader.
         let mut stage = Stage::new(cached.clone(), false);
         stage.scope = scope;
@@ -579,11 +633,11 @@ impl Schedule {
     /// Must be applied before other primitives touch `t`'s stage: the
     /// reduction axes move to the returned cache stage.
     pub fn cache_write(&mut self, t: &Tensor, scope: MemScope) -> Result<Tensor, ScheduleError> {
-        let body = t.op.body().ok_or_else(|| ScheduleError::NoBody {
+        let spec = self.spec(t.op_id()).ok_or_else(|| ScheduleError::NoBody {
             primitive: "cache_write",
             stage: t.name().to_string(),
         })?;
-        // Validate placement before mutating the op body below.
+        // Validate placement before installing any override below.
         let orig_index = self.stage_index(t)?;
         if !self.stages[orig_index].relations.is_empty() {
             return Err(ScheduleError::CacheWriteNotFirst {
@@ -601,16 +655,22 @@ impl Schedule {
         for (old, new) in old_axes.iter().zip(&new_axes) {
             sub.insert(old.var.id(), new.expr());
         }
-        let new_body = crate::rewrite::substitute_body(&body, &sub);
+        let new_body = crate::rewrite::substitute_body(&spec.body, &sub);
         let cached = compute_with_axes(
             t.shape(),
             format!("{}.{}", t.name(), scope.name()),
             new_axes,
             new_body,
+            &spec.reads,
         );
-        // The original op becomes an identity copy of the cache.
+        // The original op becomes an identity copy of the cache — as an
+        // override, so the shared op itself is untouched.
         let idx: Vec<Expr> = old_axes.iter().map(|a| a.expr()).collect();
-        t.op.set_body(ComputeBody::Plain(cached.at(&idx)))?;
+        let copy_spec = ComputeSpec::gather(ComputeBody::Plain(cached.at(&idx)), &|id| {
+            (id == cached.op_id()).then(|| cached.clone())
+        });
+        self.overrides.insert(t.op_id(), Arc::new(copy_spec));
+        self.tensors.insert(cached.op_id(), cached.clone());
         // Reset the original stage's loop state: its reduce axes are gone.
         self.stages[orig_index].leaf_iters = t.op.axes();
         let mut stage = Stage::new(cached.clone(), false);
@@ -726,8 +786,16 @@ mod tests {
         assert_eq!(s.stages.len(), 2);
         assert_eq!(s.stages[0].tensor.op_id(), cl.op_id());
         assert_eq!(s.stages[0].scope, MemScope::Local);
-        // Original op is now an identity read of the cache.
-        assert!(matches!(c.op.body().expect("body"), ComputeBody::Plain(_)));
+        // Under this schedule the original op is an identity read of the
+        // cache; the op itself is untouched (shared across schedules).
+        assert!(matches!(
+            s.spec(c.op_id()).expect("spec").body,
+            ComputeBody::Plain(_)
+        ));
+        assert!(matches!(
+            c.op.body().expect("body"),
+            ComputeBody::Reduce { .. }
+        ));
         assert_eq!(s.stage(&c).unwrap().leaf_iters.len(), 2); // reduce axis moved
         assert_eq!(s.stage(&cl).unwrap().leaf_iters.len(), 3);
     }
@@ -737,9 +805,12 @@ mod tests {
         let (a, _, c) = matmul(16);
         let mut s = create_schedule(std::slice::from_ref(&c));
         let ashared = s.cache_read(&a, MemScope::Shared, &[&c]).unwrap();
-        let inputs = c.op.input_tensors();
+        let inputs = s.input_tensors_of(c.op_id());
         assert!(inputs.iter().any(|t| t.op_id() == ashared.op_id()));
         assert!(!inputs.iter().any(|t| t.op_id() == a.op_id()));
+        // The op's declared dataflow is untouched.
+        let declared = c.op.input_tensors();
+        assert!(declared.iter().any(|t| t.op_id() == a.op_id()));
         assert_eq!(s.stage(&ashared).unwrap().scope, MemScope::Shared);
         // Cache stage precedes the consumer.
         assert!(s.stage_index(&ashared).unwrap() < s.stage_index(&c).unwrap());

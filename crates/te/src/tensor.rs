@@ -18,10 +18,11 @@
 //! assert_eq!(c.shape(), &[64, 64]);
 //! ```
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, LazyLock, RwLock};
+use std::sync::Arc;
 
 use tvm_ir::expr::{CallKind, ExprNode};
 use tvm_ir::{DType, Expr, Range, Var};
@@ -209,34 +210,64 @@ pub fn min_reduce(source: Expr, axes: &[IterVar]) -> ComputeBody {
     }
 }
 
+/// An immutable compute specification: the element formula plus the
+/// resolved input tensors it reads, in first-read order.
+///
+/// Ops never change after construction. Schedule-time dataflow rewrites
+/// (`cache_read` / `cache_write`) produce *override* specs stored on the
+/// [`Schedule`](crate::Schedule) instead of mutating the op, so tuning
+/// workers can lower independent schedules of a shared operation graph
+/// concurrently without any locks (the former `RwLock<ComputeBody>` and its
+/// lock-poison panics are gone entirely).
+#[derive(Clone, Debug)]
+pub struct ComputeSpec {
+    /// Element formula.
+    pub body: ComputeBody,
+    /// Tensors read by `body`, in first-read order, deduplicated by op id.
+    pub reads: Vec<Tensor>,
+}
+
+impl ComputeSpec {
+    /// Builds a spec by resolving `body`'s read keys through `lookup`,
+    /// best-effort: unresolvable reads are skipped here and surface as
+    /// [`UnregisteredRead`](crate::ScheduleError::UnregisteredRead) when the
+    /// schedule or lowering actually needs them.
+    pub fn gather(body: ComputeBody, lookup: &dyn Fn(OpId) -> Option<Tensor>) -> Self {
+        let mut reads: Vec<Tensor> = Vec::new();
+        let _ = collect_reads(body.source_expr(), lookup, &mut |t, _| {
+            if !reads.iter().any(|x| x.op_id() == t.op_id()) {
+                reads.push(t);
+            }
+        });
+        ComputeSpec { body, reads }
+    }
+
+    /// Reduce axes of the body (empty for plain bodies).
+    pub fn reduce_axes(&self) -> &[IterVar] {
+        match &self.body {
+            ComputeBody::Plain(_) => &[],
+            ComputeBody::Reduce { axes, .. } => axes,
+        }
+    }
+
+    /// The input tensor with op id `id`, if this spec reads it.
+    pub fn read(&self, id: OpId) -> Option<&Tensor> {
+        self.reads.iter().find(|t| t.op_id() == id)
+    }
+}
+
 /// Operation kinds.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum OpKind {
     /// External input of a given shape.
     Placeholder,
-    /// Computed tensor. The body is interior-mutable because `cache_read` /
-    /// `cache_write` rewrite dataflow in place while tensors keep referring
-    /// to the same operation identity; the lock (rather than a `RefCell`)
-    /// lets parallel tuning workers lower independent schedules of shared
-    /// operations concurrently.
+    /// Computed tensor with an immutable element formula.
     Compute {
         /// Data axes, one per output dimension.
         axes: Vec<IterVar>,
-        /// Element formula.
-        body: RwLock<ComputeBody>,
+        /// Element formula + resolved reads; shared, never mutated.
+        spec: Arc<ComputeSpec>,
     },
-}
-
-impl Clone for OpKind {
-    fn clone(&self) -> Self {
-        match self {
-            OpKind::Placeholder => OpKind::Placeholder,
-            OpKind::Compute { axes, body } => OpKind::Compute {
-                axes: axes.clone(),
-                body: RwLock::new(body.read().expect("body lock").clone()),
-            },
-        }
-    }
 }
 
 /// Interior of an operation.
@@ -267,56 +298,33 @@ impl OpNode {
         }
     }
 
-    /// Reduce axes of a compute op's current body.
-    pub fn reduce_axes(&self) -> Vec<IterVar> {
-        match &self.kind {
-            OpKind::Placeholder => Vec::new(),
-            OpKind::Compute { body, .. } => match &*body.read().expect("body lock") {
-                ComputeBody::Plain(_) => Vec::new(),
-                ComputeBody::Reduce { axes, .. } => axes.clone(),
-            },
-        }
-    }
-
-    /// Current body clone (compute ops only).
-    pub fn body(&self) -> Option<ComputeBody> {
+    /// The compute spec, shared and immutable (compute ops only). Note
+    /// that schedules may carry an *override* spec for this op — query
+    /// [`Schedule::spec`](crate::Schedule::spec) when lowering.
+    pub fn spec(&self) -> Option<&Arc<ComputeSpec>> {
         match &self.kind {
             OpKind::Placeholder => None,
-            OpKind::Compute { body, .. } => Some(body.read().expect("body lock").clone()),
+            OpKind::Compute { spec, .. } => Some(spec),
         }
     }
 
-    /// Replaces the body (dataflow rewriting). Placeholders have no body to
-    /// replace; addressing one is a caller error, not a compiler invariant.
-    pub fn set_body(&self, new_body: ComputeBody) -> Result<(), crate::schedule::ScheduleError> {
-        match &self.kind {
-            OpKind::Placeholder => Err(crate::schedule::ScheduleError::NoBody {
-                primitive: "set_body",
-                stage: self.name.clone(),
-            }),
-            OpKind::Compute { body, .. } => {
-                *body.write().expect("body lock") = new_body;
-                Ok(())
-            }
-        }
+    /// Reduce axes of a compute op's body, lock-free.
+    pub fn reduce_axes(&self) -> Vec<IterVar> {
+        self.spec()
+            .map_or_else(Vec::new, |s| s.reduce_axes().to_vec())
     }
 
-    /// Input tensors read by the current body, in first-read order. Reads of
-    /// tensors missing from the registry are skipped here; use
-    /// [`collect_reads`] directly to surface them as errors.
+    /// Body clone (compute ops only), lock-free.
+    pub fn body(&self) -> Option<ComputeBody> {
+        self.spec().map(|s| s.body.clone())
+    }
+
+    /// Input tensors read by the body as declared, in first-read order.
+    /// Schedule rewrites (`cache_read` / `cache_write`) do not change this;
+    /// query [`Schedule::input_tensors_of`](crate::Schedule::input_tensors_of)
+    /// for the rewritten dataflow.
     pub fn input_tensors(&self) -> Vec<Tensor> {
-        match self.body() {
-            None => Vec::new(),
-            Some(b) => {
-                let mut out: Vec<Tensor> = Vec::new();
-                let _ = collect_reads(b.source_expr(), &mut |t, _| {
-                    if !out.iter().any(|x| x.op_id() == t.op_id()) {
-                        out.push(t);
-                    }
-                });
-                out
-            }
-        }
+        self.spec().map_or_else(Vec::new, |s| s.reads.clone())
     }
 }
 
@@ -359,7 +367,8 @@ impl Tensor {
     }
 
     /// Symbolic element read `self[indices]`, for use inside `compute`
-    /// bodies. Registers the tensor so the scheduler can recover dataflow.
+    /// bodies. Notes the tensor in this thread's construction context so
+    /// [`compute`] can recover dataflow when the body closure returns.
     pub fn at(&self, indices: &[Expr]) -> Expr {
         assert_eq!(
             indices.len(),
@@ -369,7 +378,11 @@ impl Tensor {
             self.ndim(),
             indices.len()
         );
-        register_tensor(self);
+        CONSTRUCTION_CTX.with(|ctx| {
+            ctx.borrow_mut()
+                .entry(self.op_id())
+                .or_insert_with(|| self.clone());
+        });
         Expr::new(ExprNode::Call {
             dtype: self.dtype(),
             name: read_key(self.op_id()),
@@ -399,38 +412,35 @@ pub fn parse_read_key(name: &str) -> Option<OpId> {
         .map(OpId)
 }
 
-/// Process-wide registry mapping op ids to tensors. Global (not
-/// thread-local) so a tensor graph built on one thread can be lowered from
-/// any tuning worker; op ids are globally unique, so entries never collide.
-static TENSOR_REGISTRY: LazyLock<RwLock<HashMap<OpId, Tensor>>> =
-    LazyLock::new(|| RwLock::new(HashMap::new()));
-
-fn register_tensor(t: &Tensor) {
-    TENSOR_REGISTRY
-        .write()
-        .expect("tensor registry lock")
-        .entry(t.op_id())
-        .or_insert_with(|| t.clone());
+thread_local! {
+    /// Tensors read via [`Tensor::at`] on this thread, so [`compute`] can
+    /// resolve its body's read keys without touching any shared state
+    /// (the former process-wide `TENSOR_REGISTRY` RwLock serialized every
+    /// concurrent lowering). Entries are tiny (an id plus an `Arc`) and
+    /// graph construction is rare after task setup, so the map is never
+    /// pruned; two tuning runs on different threads — or sequential runs
+    /// holding only their own schedules — can no longer observe each
+    /// other's tensors.
+    static CONSTRUCTION_CTX: RefCell<HashMap<OpId, Tensor>> = RefCell::new(HashMap::new());
 }
 
-/// Resolves an op id registered by [`Tensor::at`].
-pub fn resolve_tensor(id: OpId) -> Option<Tensor> {
-    TENSOR_REGISTRY
-        .read()
-        .expect("tensor registry lock")
-        .get(&id)
-        .cloned()
+/// Resolves an op id noted by [`Tensor::at`] on the *current* thread.
+fn construction_lookup(id: OpId) -> Option<Tensor> {
+    CONSTRUCTION_CTX.with(|ctx| ctx.borrow().get(&id).cloned())
 }
 
-/// Walks an expression calling `f` for every tensor read `(tensor, indices)`.
-/// Returns [`ScheduleError::UnregisteredRead`] if a read key cannot be
-/// resolved in the global registry (the walk still visits every other read).
+/// Walks an expression calling `f` for every tensor read `(tensor, indices)`,
+/// resolving read keys through `lookup`. Returns
+/// [`ScheduleError::UnregisteredRead`](crate::ScheduleError::UnregisteredRead)
+/// if a read key cannot be resolved (the walk still visits every other read).
 pub fn collect_reads(
     e: &Expr,
+    lookup: &dyn Fn(OpId) -> Option<Tensor>,
     f: &mut dyn FnMut(Tensor, &[Expr]),
 ) -> Result<(), crate::schedule::ScheduleError> {
     use tvm_ir::Visitor;
     struct V<'a> {
+        lookup: &'a dyn Fn(OpId) -> Option<Tensor>,
         f: &'a mut dyn FnMut(Tensor, &[Expr]),
         missing: Option<String>,
     }
@@ -438,7 +448,7 @@ pub fn collect_reads(
         fn visit_expr(&mut self, e: &Expr) {
             if let ExprNode::Call { name, args, .. } = &*e.0 {
                 if let Some(id) = parse_read_key(name) {
-                    match resolve_tensor(id) {
+                    match (self.lookup)(id) {
                         Some(t) => (self.f)(t, args),
                         None => {
                             self.missing.get_or_insert_with(|| name.clone());
@@ -449,7 +459,11 @@ pub fn collect_reads(
             self.walk_expr(e);
         }
     }
-    let mut v = V { f, missing: None };
+    let mut v = V {
+        lookup,
+        f,
+        missing: None,
+    };
     v.visit_expr(e);
     match v.missing {
         Some(name) => Err(crate::schedule::ScheduleError::UnregisteredRead { name }),
@@ -467,9 +481,7 @@ pub fn placeholder(shape: &[i64], dtype: DType, name: impl Into<String>) -> Tens
         dtype,
         kind: OpKind::Placeholder,
     });
-    let t = Tensor { op };
-    register_tensor(&t);
-    t
+    Tensor { op }
 }
 
 /// Declares a computed tensor: `f` receives one index expression per output
@@ -493,7 +505,11 @@ pub fn compute<B: Into<ComputeBody>>(
         .collect();
     let idx: Vec<Expr> = axes.iter().map(|a| a.expr()).collect();
     let body: ComputeBody = f(&idx).into();
-    let dtype = body.dtype();
+    // The closure just ran on this thread, so every tensor its body reads
+    // has passed through `Tensor::at` here — resolve them now, while the
+    // construction context is guaranteed to hold them.
+    let spec = ComputeSpec::gather(body, &construction_lookup);
+    let dtype = spec.body.dtype();
     let op = Arc::new(OpNode {
         id: OpId(NEXT_OP_ID.fetch_add(1, Ordering::Relaxed)),
         name,
@@ -501,23 +517,32 @@ pub fn compute<B: Into<ComputeBody>>(
         dtype,
         kind: OpKind::Compute {
             axes,
-            body: RwLock::new(body),
+            spec: Arc::new(spec),
         },
     });
-    let t = Tensor { op };
-    register_tensor(&t);
-    t
+    Tensor { op }
 }
 
 /// Declares a computed tensor with explicit data axes (used by the
 /// scheduler's cache stages, which need fresh axes for a copied body).
+/// `extra_reads` resolves read keys that did not pass through this thread's
+/// construction context — e.g. a body copied from an op built elsewhere.
 pub fn compute_with_axes(
     shape: &[i64],
     name: impl Into<String>,
     axes: Vec<IterVar>,
     body: ComputeBody,
+    extra_reads: &[Tensor],
 ) -> Tensor {
-    let dtype = body.dtype();
+    let lookup = |id: OpId| {
+        extra_reads
+            .iter()
+            .find(|t| t.op_id() == id)
+            .cloned()
+            .or_else(|| construction_lookup(id))
+    };
+    let spec = ComputeSpec::gather(body, &lookup);
+    let dtype = spec.body.dtype();
     let op = Arc::new(OpNode {
         id: OpId(NEXT_OP_ID.fetch_add(1, Ordering::Relaxed)),
         name: name.into(),
@@ -525,12 +550,10 @@ pub fn compute_with_axes(
         dtype,
         kind: OpKind::Compute {
             axes,
-            body: RwLock::new(body),
+            spec: Arc::new(spec),
         },
     });
-    let t = Tensor { op };
-    register_tensor(&t);
-    t
+    Tensor { op }
 }
 
 #[cfg(test)]

@@ -1,0 +1,89 @@
+//! Concurrency contract of the tensor-expression layer after the global
+//! tensor registry's removal: independent lowerings never observe each
+//! other's tensors, and lowering the same workloads from 8 threads at
+//! once yields bit-identical programs to lowering them serially.
+
+use tvm_ir::DType;
+use tvm_te::{compute, create_schedule, lower, placeholder, reduce_axis, sum};
+
+/// Builds, schedules and lowers one of eight distinct workloads from
+/// scratch — its own DAG, its own schedule — and returns a canonical
+/// rendering of the lowered function.
+fn lower_workload(i: usize) -> String {
+    let m = 16 + 4 * i as i64;
+    let n = 32 - 2 * i as i64;
+    let k = 8 + i as i64;
+    let a = placeholder(&[m, k], DType::float32(), "A");
+    let b = placeholder(&[k, n], DType::float32(), "B");
+    let kk = reduce_axis(k, "k");
+    let c = compute(&[m, n], "C", |ix| {
+        sum(
+            a.at(&[ix[0].clone(), kk.expr()]) * b.at(&[kk.expr(), ix[1].clone()]),
+            std::slice::from_ref(&kk),
+        )
+    });
+    let mut s = create_schedule(std::slice::from_ref(&c));
+    let ax = c.op.axes();
+    let (_, xi) = s.split(&c, &ax[1], 2 + (i as i64 % 3)).expect("split");
+    if i.is_multiple_of(2) {
+        s.vectorize(&c, &xi).expect("vectorize");
+    }
+    if i.is_multiple_of(3) {
+        s.parallel(&c, &ax[0]).expect("parallel");
+    }
+    let f = lower(&s, &[a, b, c], &format!("mm_{i}")).expect("lowers");
+    format!(
+        "{} {:?} {:?}\n{}",
+        f.name, f.param_dtypes, f.param_extents, f.body
+    )
+}
+
+/// 8 threads × 8 distinct workloads, lowered concurrently, must produce
+/// exactly the programs the same builders produce serially. This is the
+/// regression test for the construction-context / schedule-owned tensor
+/// maps: any cross-thread leakage of tensors or compute specs would
+/// change a body.
+#[test]
+fn concurrent_lowering_matches_serial() {
+    let serial: Vec<String> = (0..8).map(lower_workload).collect();
+    let handles: Vec<_> = (0..8)
+        .map(|i| std::thread::spawn(move || (i, lower_workload(i))))
+        .collect();
+    for h in handles {
+        let (i, body) = h.join().expect("no panic in lowering thread");
+        assert_eq!(
+            body, serial[i],
+            "workload {i} lowered under concurrency diverges from serial"
+        );
+    }
+}
+
+/// Two DAGs built one after the other in the same thread: each schedule
+/// only resolves the tensors of its own DAG. Under the old process-global
+/// registry every schedule could see every tensor ever created.
+#[test]
+fn schedules_only_see_their_own_dag() {
+    let a = placeholder(&[8], DType::float32(), "A");
+    let b = compute(&[8], "B", |i| a.at(&[i[0].clone()]) * 2);
+    let sa = create_schedule(std::slice::from_ref(&b));
+
+    let c = placeholder(&[8], DType::float32(), "C");
+    let d = compute(&[8], "D", |i| c.at(&[i[0].clone()]) + 1);
+    let sb = create_schedule(std::slice::from_ref(&d));
+
+    assert!(sa.tensor(b.op_id()).is_some());
+    assert!(sa.tensor(a.op_id()).is_some());
+    assert!(sb.tensor(d.op_id()).is_some());
+    assert!(
+        sa.tensor(d.op_id()).is_none(),
+        "schedule A observes a tensor from DAG B"
+    );
+    assert!(
+        sa.tensor(c.op_id()).is_none(),
+        "schedule A observes a placeholder from DAG B"
+    );
+    assert!(
+        sb.tensor(b.op_id()).is_none(),
+        "schedule B observes a tensor from DAG A"
+    );
+}

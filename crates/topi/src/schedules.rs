@@ -2,12 +2,16 @@
 //! specification API"), for CPU and GPU targets, plus the tuning-task
 //! constructors the optimizer consumes.
 
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use tvm_autotune::{ConfigEntity, ConfigSpace, TuningTask};
 use tvm_ir::{LoweredFunc, MemScope, ThreadTag};
 use tvm_sim::{analyze, Target};
-use tvm_te::{create_schedule, lower, IterVar, Schedule, TeError, Tensor};
+use tvm_te::{
+    create_schedule, emit_planned, plan_schedule, IterVar, LowerOptions, LowerPlan, PlanCache,
+    Schedule, TeError, Tensor,
+};
 
 use crate::nn::{conv2d, dense, depthwise_conv2d, Conv2dOp};
 use crate::workloads::{Conv2dWorkload, DenseWorkload, DepthwiseConv2dWorkload};
@@ -67,6 +71,88 @@ pub fn cooperative_load(
     Ok(())
 }
 
+/// Knobs that only annotate loops (vectorize / parallel / unroll) without
+/// changing loop structure, bounds or dataflow. Configurations differing
+/// only in these share one [`LowerPlan`] — the incremental-lowering cache
+/// is keyed on everything else.
+const ANNOTATION_KNOBS: [&str; 3] = ["vec", "par", "unroll"];
+
+/// Digest of the structural (non-annotation) part of a configuration,
+/// used as the [`PlanCache`] key. Per-task caches mean collisions across
+/// templates are impossible; within a task the knob list is fixed, so
+/// hashing (name, value) pairs in declaration order is a stable identity.
+fn structural_key(cfg: &ConfigEntity) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for (name, v) in &cfg.values {
+        if !ANNOTATION_KNOBS.contains(&name.as_str()) {
+            name.hash(&mut h);
+            v.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// Where a template's annotation knobs land: which loops `unroll`, `vec`
+/// and `par` mark, captured while applying the structural schedule so the
+/// annotations can be re-applied to a cloned schedule on a plan-cache hit.
+#[derive(Clone)]
+pub struct AnnPoints {
+    /// `unroll = k` unrolls the first `k` entries.
+    unroll: Vec<(Tensor, IterVar)>,
+    vec: Option<(Tensor, IterVar)>,
+    par: Option<(Tensor, IterVar)>,
+}
+
+impl AnnPoints {
+    fn none() -> AnnPoints {
+        AnnPoints {
+            unroll: Vec::new(),
+            vec: None,
+            par: None,
+        }
+    }
+}
+
+/// Applies the annotation-only knobs of `cfg` at the recorded points.
+/// Missing knobs (e.g. no `vec` on GPU spaces) read as 0.
+pub fn apply_annotations(
+    s: &mut Schedule,
+    cfg: &ConfigEntity,
+    points: &AnnPoints,
+) -> Result<(), TeError> {
+    let knob = |name: &str| {
+        cfg.values
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    let n = knob("unroll").clamp(0, points.unroll.len() as i64) as usize;
+    for (t, iv) in &points.unroll[..n] {
+        s.unroll(t, iv)?;
+    }
+    if knob("vec") == 1 {
+        if let Some((t, iv)) = &points.vec {
+            s.vectorize(t, iv)?;
+        }
+    }
+    if knob("par") == 1 {
+        if let Some((t, iv)) = &points.par {
+            s.parallel(t, iv)?;
+        }
+    }
+    Ok(())
+}
+
+/// A structurally-scheduled template cached per structural key: the
+/// schedule (pre-annotation), its lowering plan, and the annotation
+/// points. Emitting a candidate from this is a clone + annotate +
+/// [`emit_planned`] — no re-inlining or bound inference.
+struct PlannedTemplate {
+    sched: Schedule,
+    plan: LowerPlan,
+    points: AnnPoints,
+}
+
 /// The conv2d schedule space for a target.
 pub fn conv2d_space(w: &Conv2dWorkload, target: &Target) -> ConfigSpace {
     let mut space = ConfigSpace::new();
@@ -101,6 +187,20 @@ pub fn apply_conv2d_schedule(
     target: &Target,
     cfg: &ConfigEntity,
 ) -> Result<(), TeError> {
+    let points = apply_conv2d_structural(s, op, target, cfg)?;
+    apply_annotations(s, cfg, &points)
+}
+
+/// The structural half of the conv2d template: everything except the
+/// annotation knobs, whose target loops are returned for later
+/// application.
+fn apply_conv2d_structural(
+    s: &mut Schedule,
+    op: &Conv2dOp,
+    target: &Target,
+    cfg: &ConfigEntity,
+) -> Result<AnnPoints, TeError> {
+    let mut points = AnnPoints::none();
     if let Some(p) = &op.pad {
         s.compute_inline(p)?;
     }
@@ -137,14 +237,7 @@ pub fn apply_conv2d_schedule(
                 &rco, &r[1], &r[2], &rci, &cl_ax[0], &cl_ax[1], &cl_ax[2], &cl_ax[3],
             ],
         )?;
-        match cfg.get("unroll") {
-            1 => s.unroll(&cl, &r[2])?,
-            2 => {
-                s.unroll(&cl, &r[2])?;
-                s.unroll(&cl, &rci)?;
-            }
-            _ => {}
-        }
+        points.unroll = vec![(cl.clone(), r[2].clone()), (cl.clone(), rci.clone())];
         if cfg.get("use_shared") == 1 {
             let src = op.pad.clone().unwrap_or_else(|| op.data.clone());
             let threads = [
@@ -172,24 +265,16 @@ pub fn apply_conv2d_schedule(
                     &ax[0], &oco, &ax[2], &owo, &rco, &r[1], &r[2], &rci, &oci, &owi,
                 ],
             )?;
-            if cfg.get("unroll") == 1 {
-                s.unroll(out, &rci)?;
-            }
+            points.unroll = vec![(out.clone(), rci)];
         } else {
             // Depthwise: reduce axes are rh, rw only.
             s.reorder(out, &[&ax[0], &oco, &ax[2], &owo, &r[0], &r[1], &oci, &owi])?;
-            if cfg.get("unroll") == 1 {
-                s.unroll(out, &r[1])?;
-            }
+            points.unroll = vec![(out.clone(), r[1].clone())];
         }
-        if cfg.get("vec") == 1 {
-            s.vectorize(out, &owi)?;
-        }
-        if cfg.get("par") == 1 {
-            s.parallel(out, &oco)?;
-        }
+        points.vec = Some((out.clone(), owi));
+        points.par = Some((out.clone(), oco));
     }
-    Ok(())
+    Ok(points)
 }
 
 /// Post-lowering validity checks that stand in for hardware limits.
@@ -220,11 +305,35 @@ fn validate(func: &LoweredFunc, target: &Target) -> Result<(), TeError> {
 pub fn conv2d_task(w: Conv2dWorkload, dtype: tvm_ir::DType, target: Target) -> TuningTask {
     let space = conv2d_space(&w, &target);
     let t2 = target.clone();
+    // Ops are immutable, so one declaration DAG serves every candidate;
+    // per-config rewrites (cache_read/cache_write/inline) live in each
+    // schedule's own context and never touch the shared ops.
+    let op = conv2d(&w, dtype);
+    let cache: PlanCache<PlannedTemplate> = PlanCache::default();
     let builder = move |cfg: &ConfigEntity| -> Result<LoweredFunc, TeError> {
-        let op = conv2d(&w, dtype);
-        let mut s = create_schedule(std::slice::from_ref(&op.out));
-        apply_conv2d_schedule(&mut s, &op, &t2, cfg)?;
-        let f = lower(&s, &[op.data, op.weight, op.out], &w.describe())?;
+        let planned = cache.get_or_build(
+            structural_key(cfg),
+            || -> Result<PlannedTemplate, TeError> {
+                let mut s = create_schedule(std::slice::from_ref(&op.out));
+                let points = apply_conv2d_structural(&mut s, &op, &t2, cfg)?;
+                let plan = plan_schedule(&s)?;
+                Ok(PlannedTemplate {
+                    sched: s,
+                    plan,
+                    points,
+                })
+            },
+        )?;
+        let mut s = planned.sched.clone();
+        apply_annotations(&mut s, cfg, &planned.points)?;
+        let args = [op.data.clone(), op.weight.clone(), op.out.clone()];
+        let f = emit_planned(
+            &s,
+            &planned.plan,
+            &args,
+            &w.describe(),
+            &LowerOptions::default(),
+        )?;
         validate(&f, &t2)?;
         Ok(f)
     };
@@ -267,11 +376,32 @@ pub fn depthwise_task(
 ) -> TuningTask {
     let space = depthwise_space(&w, &target);
     let t2 = target.clone();
+    let op = depthwise_conv2d(&w, dtype);
+    let cache: PlanCache<PlannedTemplate> = PlanCache::default();
     let builder = move |cfg: &ConfigEntity| -> Result<LoweredFunc, TeError> {
-        let op = depthwise_conv2d(&w, dtype);
-        let mut s = create_schedule(std::slice::from_ref(&op.out));
-        apply_depthwise_schedule(&mut s, &op, &t2, cfg)?;
-        let f = lower(&s, &[op.data, op.weight, op.out], &w.describe())?;
+        let planned = cache.get_or_build(
+            structural_key(cfg),
+            || -> Result<PlannedTemplate, TeError> {
+                let mut s = create_schedule(std::slice::from_ref(&op.out));
+                let points = apply_depthwise_structural(&mut s, &op, &t2, cfg)?;
+                let plan = plan_schedule(&s)?;
+                Ok(PlannedTemplate {
+                    sched: s,
+                    plan,
+                    points,
+                })
+            },
+        )?;
+        let mut s = planned.sched.clone();
+        apply_annotations(&mut s, cfg, &planned.points)?;
+        let args = [op.data.clone(), op.weight.clone(), op.out.clone()];
+        let f = emit_planned(
+            &s,
+            &planned.plan,
+            &args,
+            &w.describe(),
+            &LowerOptions::default(),
+        )?;
         validate(&f, &t2)?;
         Ok(f)
     };
@@ -291,31 +421,42 @@ pub fn apply_depthwise_schedule(
     target: &Target,
     cfg: &ConfigEntity,
 ) -> Result<(), TeError> {
+    let points = apply_depthwise_structural(s, op, target, cfg)?;
+    apply_annotations(s, cfg, &points)
+}
+
+/// The structural half of the depthwise-conv template.
+fn apply_depthwise_structural(
+    s: &mut Schedule,
+    op: &Conv2dOp,
+    target: &Target,
+    cfg: &ConfigEntity,
+) -> Result<AnnPoints, TeError> {
+    if !target.is_gpu() {
+        return apply_conv2d_structural(s, op, target, cfg);
+    }
+    let mut points = AnnPoints::none();
     if let Some(p) = &op.pad {
         s.compute_inline(p)?;
     }
     let out = &op.out;
-    if target.is_gpu() {
-        let ax = out.op.axes();
-        let (t_oc, t_oh, t_ow) = (cfg.get("tile_oc"), cfg.get("tile_oh"), cfg.get("tile_ow"));
-        let (oco, oci) = s.split(out, &ax[1], t_oc)?;
-        let (oho, ohi) = s.split(out, &ax[2], t_oh)?;
-        let (owo, owi) = s.split(out, &ax[3], t_ow)?;
-        s.reorder(out, &[&ax[0], &oco, &oho, &owo, &oci, &ohi, &owi])?;
-        s.bind(out, &oco, ThreadTag::BlockIdxZ)?;
-        s.bind(out, &oho, ThreadTag::BlockIdxY)?;
-        s.bind(out, &owo, ThreadTag::BlockIdxX)?;
-        s.bind(out, &oci, ThreadTag::ThreadIdxZ)?;
-        s.bind(out, &ohi, ThreadTag::ThreadIdxY)?;
-        s.bind(out, &owi, ThreadTag::ThreadIdxX)?;
-        let r = out.op.reduce_axes();
-        if cfg.get("unroll") == 1 && !r.is_empty() {
-            s.unroll(out, &r[r.len() - 1])?;
-        }
-    } else {
-        apply_conv2d_schedule(s, op, target, cfg)?;
+    let ax = out.op.axes();
+    let (t_oc, t_oh, t_ow) = (cfg.get("tile_oc"), cfg.get("tile_oh"), cfg.get("tile_ow"));
+    let (oco, oci) = s.split(out, &ax[1], t_oc)?;
+    let (oho, ohi) = s.split(out, &ax[2], t_oh)?;
+    let (owo, owi) = s.split(out, &ax[3], t_ow)?;
+    s.reorder(out, &[&ax[0], &oco, &oho, &owo, &oci, &ohi, &owi])?;
+    s.bind(out, &oco, ThreadTag::BlockIdxZ)?;
+    s.bind(out, &oho, ThreadTag::BlockIdxY)?;
+    s.bind(out, &owo, ThreadTag::BlockIdxX)?;
+    s.bind(out, &oci, ThreadTag::ThreadIdxZ)?;
+    s.bind(out, &ohi, ThreadTag::ThreadIdxY)?;
+    s.bind(out, &owi, ThreadTag::ThreadIdxX)?;
+    let r = out.op.reduce_axes();
+    if let Some(last) = r.last() {
+        points.unroll = vec![(out.clone(), last.clone())];
     }
-    Ok(())
+    Ok(points)
 }
 
 /// The dense (matmul) schedule space.
@@ -347,6 +488,20 @@ pub fn apply_dense_schedule(
     target: &Target,
     cfg: &ConfigEntity,
 ) -> Result<(), TeError> {
+    let points = apply_dense_structural(s, data, weight, out, target, cfg)?;
+    apply_annotations(s, cfg, &points)
+}
+
+/// The structural half of the dense template.
+fn apply_dense_structural(
+    s: &mut Schedule,
+    data: &Tensor,
+    weight: &Tensor,
+    out: &Tensor,
+    target: &Target,
+    cfg: &ConfigEntity,
+) -> Result<AnnPoints, TeError> {
+    let mut points = AnnPoints::none();
     if target.is_gpu() {
         let cl = s.cache_write(out, MemScope::Local)?;
         let ax = out.op.axes();
@@ -363,9 +518,7 @@ pub fn apply_dense_schedule(
         let (ko, ki) = s.split(&cl, &r[0], cfg.get("tile_k"))?;
         let cl_ax = cl.op.axes();
         s.reorder(&cl, &[&ko, &ki, &cl_ax[0], &cl_ax[1]])?;
-        if cfg.get("unroll") == 1 {
-            s.unroll(&cl, &ki)?;
-        }
+        points.unroll = vec![(cl.clone(), ki)];
         if cfg.get("use_shared") == 1 {
             let threads = [(ThreadTag::ThreadIdxY, t_m), (ThreadTag::ThreadIdxX, t_n)];
             let ds = s.cache_read(data, MemScope::Shared, &[&cl])?;
@@ -382,28 +535,38 @@ pub fn apply_dense_schedule(
         let (no, ni) = s.split(out, &ax[1], cfg.get("tile_n"))?;
         let (ko, ki) = s.split(out, &r[0], cfg.get("tile_k"))?;
         s.reorder(out, &[&mo, &no, &ko, &mi, &ki, &ni])?;
-        if cfg.get("vec") == 1 {
-            s.vectorize(out, &ni)?;
-        }
-        if cfg.get("par") == 1 {
-            s.parallel(out, &mo)?;
-        }
-        if cfg.get("unroll") == 1 {
-            s.unroll(out, &ki)?;
-        }
+        points.unroll = vec![(out.clone(), ki)];
+        points.vec = Some((out.clone(), ni));
+        points.par = Some((out.clone(), mo));
     }
-    Ok(())
+    Ok(points)
 }
 
 /// Builds the tuning task for a dense workload.
 pub fn dense_task(w: DenseWorkload, target: Target) -> TuningTask {
     let space = dense_space(&w, &target);
     let t2 = target.clone();
+    let (d, wt, out) = dense(&w);
+    let cache: PlanCache<PlannedTemplate> = PlanCache::default();
     let builder = move |cfg: &ConfigEntity| -> Result<LoweredFunc, TeError> {
-        let (d, wt, out) = dense(&w);
-        let mut s = create_schedule(std::slice::from_ref(&out));
-        apply_dense_schedule(&mut s, &d, &wt, &out, &t2, cfg)?;
-        let f = lower(&s, &[d, wt, out], &format!("dense_{}x{}x{}", w.m, w.n, w.k))?;
+        let planned = cache.get_or_build(
+            structural_key(cfg),
+            || -> Result<PlannedTemplate, TeError> {
+                let mut s = create_schedule(std::slice::from_ref(&out));
+                let points = apply_dense_structural(&mut s, &d, &wt, &out, &t2, cfg)?;
+                let plan = plan_schedule(&s)?;
+                Ok(PlannedTemplate {
+                    sched: s,
+                    plan,
+                    points,
+                })
+            },
+        )?;
+        let mut s = planned.sched.clone();
+        apply_annotations(&mut s, cfg, &planned.points)?;
+        let args = [d.clone(), wt.clone(), out.clone()];
+        let name = format!("dense_{}x{}x{}", w.m, w.n, w.k);
+        let f = emit_planned(&s, &planned.plan, &args, &name, &LowerOptions::default())?;
         validate(&f, &t2)?;
         Ok(f)
     };
