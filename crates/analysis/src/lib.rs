@@ -28,6 +28,13 @@
 //! refutations and races) a witness string. Messages only ever name
 //! variables and buffers by their display name, so diagnostic output is
 //! stable across runs and suitable for golden-file tests.
+//!
+//! The *graph layer* has a sibling suite in `tvm_graph::verify` (it
+//! cannot live here — `tvm-graph` sits above `tvm-te`, which depends on
+//! this crate). Those passes (`memplan`, `fusion`, `slot-contract`)
+//! reuse this crate's [`Diagnostic`] type and the [`bounds`] machinery,
+//! so diagnostics from both layers render, sort and golden-test
+//! identically.
 
 pub mod affine;
 pub mod bounds;
@@ -72,6 +79,28 @@ pub struct Diagnostic {
     /// Concrete witness (bounds refutations) or offending index
     /// expressions (races), when available.
     pub witness: Option<String>,
+}
+
+impl Diagnostic {
+    /// Error-severity finding, optionally carrying a concrete witness.
+    pub fn error(pass: &'static str, message: impl Into<String>, witness: Option<String>) -> Self {
+        Diagnostic {
+            pass,
+            severity: Severity::Error,
+            message: message.into(),
+            witness,
+        }
+    }
+
+    /// Warning-severity finding.
+    pub fn warning(pass: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            pass,
+            severity: Severity::Warning,
+            message: message.into(),
+            witness: None,
+        }
+    }
 }
 
 impl fmt::Display for Diagnostic {

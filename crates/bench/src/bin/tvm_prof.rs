@@ -48,6 +48,23 @@ fn main() {
         target.name()
     );
 
+    // 0. The module the profiler is about to time must pass the
+    // graph-layer static verifiers (memory-plan safety, fusion legality,
+    // cross-layer slot contracts).
+    let verdict = module.verify();
+    if verdict.has_errors() {
+        println!(
+            "FAIL: graph verification rejected the module:\n{}",
+            verdict.render()
+        );
+        ok = false;
+    } else {
+        println!(
+            "ok: graph verification clean ({} groups, {} slot-contract checks proven)",
+            verdict.groups_checked, verdict.contracts_proven
+        );
+    }
+
     // Profiled executor.
     let mut prof_ex = GraphExecutor::new(module);
     prof_ex.enable_profiling();

@@ -77,15 +77,40 @@ pub fn build_with_report(
         kernels.push(kernel);
         report.decisions.push(decision);
     }
-    Ok((
-        Module {
-            graph: graph.clone(),
-            kernels,
-            plan,
-            target_name: target.name().to_string(),
-        },
-        report,
-    ))
+    let module = Module {
+        graph: graph.clone(),
+        fused,
+        kernels,
+        plan,
+        target_name: target.name().to_string(),
+    };
+    validate_graph(&module)?;
+    Ok((module, report))
+}
+
+/// Runs the graph-layer static verifiers (`tvm_graph::verify`: memory-plan
+/// safety, fusion legality, cross-layer slot contracts) on every freshly
+/// built module, turning error findings into a `TeError`. Enabled in debug
+/// builds; override with `TVM_VALIDATE_GRAPH=1` / `=0` — the graph-level
+/// twin of `te::lower`'s `TVM_VALIDATE_LOWER` hook.
+fn validate_graph(module: &Module) -> Result<(), TeError> {
+    let enabled = match std::env::var("TVM_VALIDATE_GRAPH") {
+        Ok(v) => v != "0",
+        Err(_) => cfg!(debug_assertions),
+    };
+    if !enabled {
+        return Ok(());
+    }
+    let report = module.verify();
+    if report.has_errors() {
+        let msgs: Vec<String> = report.errors().map(|d| d.to_string()).collect();
+        return Err(TeError::msg(format!(
+            "graph validation failed after building for `{}`: {}",
+            module.target_name,
+            msgs.join("; ")
+        )));
+    }
+    Ok(())
 }
 
 struct GroupBuild {

@@ -6,8 +6,10 @@ pub mod fusion;
 pub mod ir;
 pub mod layout;
 pub mod memplan;
+pub mod verify;
 
 pub use fusion::{fuse, FusedGraph, Group};
 pub use ir::{Graph, Node, NodeId, OpType, Pattern};
 pub use layout::{cpu_preference, transform_layouts};
 pub use memplan::{constant_foldable, plan_memory, MemoryPlan};
+pub use verify::{verify_build, verify_graph, GraphReport, KernelView};

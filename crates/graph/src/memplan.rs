@@ -15,12 +15,46 @@ pub struct MemoryPlan {
     /// reuse across groups with different dtypes: a slot fits a tensor
     /// iff it holds at least `numel * dtype.bytes()` bytes.
     pub slot_sizes: Vec<usize>,
+    /// Required base alignment of each slot in bytes: the maximum lane
+    /// width over every tensor the slot ever holds. A slot born for an
+    /// i8 tensor that is later reassigned to an f32 tensor must be
+    /// 4-byte aligned, not 1-byte aligned — an allocator that lays slots
+    /// out contiguously by size alone would hand the f32 occupant an
+    /// unaligned base address.
+    pub slot_aligns: Vec<usize>,
 }
 
 impl MemoryPlan {
     /// Total planned bytes.
     pub fn total_bytes(&self) -> usize {
         self.slot_sizes.iter().sum::<usize>()
+    }
+
+    /// Byte offset of each slot when the slots are packed into one arena
+    /// in slot order, honoring each slot's required base alignment (the
+    /// arena base itself is assumed maximally aligned).
+    pub fn slot_offsets(&self) -> Vec<usize> {
+        let mut offsets = Vec::with_capacity(self.slot_sizes.len());
+        let mut cursor = 0usize;
+        for (size, align) in self.slot_sizes.iter().zip(&self.slot_aligns) {
+            let align = (*align).max(1);
+            cursor = cursor.div_ceil(align) * align;
+            offsets.push(cursor);
+            cursor += size;
+        }
+        offsets
+    }
+
+    /// Total arena bytes when slots are packed with [`slot_offsets`]
+    /// (>= [`total_bytes`] by at most the alignment padding).
+    ///
+    /// [`slot_offsets`]: MemoryPlan::slot_offsets
+    /// [`total_bytes`]: MemoryPlan::total_bytes
+    pub fn arena_bytes(&self) -> usize {
+        match self.slot_offsets().last() {
+            Some(&last) => last + self.slot_sizes.last().copied().unwrap_or(0),
+            None => 0,
+        }
     }
 
     /// Bytes without any reuse (one buffer per materialized tensor).
@@ -60,10 +94,12 @@ pub fn plan_memory(g: &Graph, fused: &FusedGraph) -> MemoryPlan {
 
     let mut storage_of = vec![usize::MAX; g.nodes.len()];
     let mut slot_sizes: Vec<usize> = Vec::new();
+    let mut slot_aligns: Vec<usize> = Vec::new();
     let mut slot_free_at: Vec<usize> = Vec::new(); // group index when slot frees
     for (gi, grp) in fused.groups.iter().enumerate() {
         let out = g.node(grp.output);
         let size = out.shape.iter().product::<i64>() as usize * out.dtype.bytes();
+        let align = out.dtype.lane_bytes().max(1);
         // Greedy: reuse the smallest free slot that fits.
         let mut best: Option<usize> = None;
         for (si, &free_at) in slot_free_at.iter().enumerate() {
@@ -75,9 +111,16 @@ pub fn plan_memory(g: &Graph, fused: &FusedGraph) -> MemoryPlan {
             }
         }
         let slot = match best {
-            Some(si) => si,
+            Some(si) => {
+                // Mixed-dtype reuse: a slot adopted by a wider dtype must
+                // carry the widest occupant's alignment so its base stays
+                // legal for every tensor it ever holds.
+                slot_aligns[si] = slot_aligns[si].max(align);
+                si
+            }
             None => {
                 slot_sizes.push(size);
+                slot_aligns.push(align);
                 slot_free_at.push(0);
                 slot_sizes.len() - 1
             }
@@ -88,6 +131,7 @@ pub fn plan_memory(g: &Graph, fused: &FusedGraph) -> MemoryPlan {
     MemoryPlan {
         storage_of,
         slot_sizes,
+        slot_aligns,
     }
 }
 
@@ -250,6 +294,62 @@ mod tests {
         assert!(plan.total_bytes() >= peak);
         // For the uniform f32 chain the greedy plan is exactly the peak.
         assert_eq!(plan.total_bytes(), peak, "{:?}", plan.slot_sizes);
+    }
+
+    #[test]
+    fn mixed_dtype_reuse_carries_max_alignment() {
+        use crate::ir::OpType;
+        use tvm_ir::DType;
+        // An i8 tensor claims a slot first; an f32 tensor of the same byte
+        // size reuses it later. The slot must end up 4-byte aligned.
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 4, 4], "data");
+        // 64 i8 elements = 64 bytes, live only into the next op.
+        let q = g.add_typed(
+            OpType::Relu,
+            vec![x],
+            vec![1, 4, 4, 4],
+            DType::int8(),
+            "quant",
+        );
+        // 64 i8 -> 16 f32 elements = 64 bytes: exact-size reuse candidate.
+        let f = g.add_typed(
+            OpType::Reshape,
+            vec![q],
+            vec![1, 16],
+            DType::float32(),
+            "dequant",
+        );
+        let r = g.add_typed(OpType::Relu, vec![f], vec![1, 16], DType::float32(), "act");
+        g.outputs.push(r);
+        let fused = fuse(&g, false);
+        let plan = plan_memory(&g, &fused);
+        // q (i8) is dead once f is computed, so r (f32, same byte size)
+        // reuses q's slot.
+        let i8_slot = plan.storage_of[q.0];
+        let f32_slot = plan.storage_of[r.0];
+        assert_eq!(i8_slot, f32_slot, "{:?}", plan.storage_of);
+        // The shared slot's alignment reflects the widest occupant.
+        assert_eq!(plan.slot_aligns[i8_slot], 4, "{:?}", plan.slot_aligns);
+        // Packed offsets honor each slot's alignment.
+        for (si, off) in plan.slot_offsets().iter().enumerate() {
+            assert_eq!(off % plan.slot_aligns[si].max(1), 0);
+        }
+        assert!(plan.arena_bytes() >= plan.total_bytes() - plan.slot_sizes.len() * 4);
+    }
+
+    #[test]
+    fn slot_offsets_insert_alignment_padding() {
+        // Hand-built plan: a 3-byte 1-aligned slot followed by a 4-aligned
+        // slot forces 1 byte of padding in the packed arena.
+        let plan = MemoryPlan {
+            storage_of: vec![],
+            slot_sizes: vec![3, 8],
+            slot_aligns: vec![1, 4],
+        };
+        assert_eq!(plan.slot_offsets(), vec![0, 4]);
+        assert_eq!(plan.arena_bytes(), 12);
+        assert_eq!(plan.total_bytes(), 11);
     }
 
     #[test]

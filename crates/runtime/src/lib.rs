@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use tvm_graph::{Graph, MemoryPlan, NodeId, OpType};
+use tvm_graph::{FusedGraph, Graph, GraphReport, KernelView, MemoryPlan, NodeId, OpType};
 use tvm_ir::{Interp, LoweredFunc};
 
 /// Typed executor failures: malformed bindings and interpreter faults are
@@ -216,6 +216,10 @@ pub struct CompiledGroup {
 pub struct Module {
     /// The optimized graph.
     pub graph: Graph,
+    /// The fusion grouping the kernels were generated from (kernel `i`
+    /// implements group `i`) — kept so the graph-layer verifiers can check
+    /// the module without re-deriving fusion.
+    pub fused: FusedGraph,
     /// Compiled kernels in execution order.
     pub kernels: Vec<CompiledGroup>,
     /// Static memory plan.
@@ -228,6 +232,25 @@ impl Module {
     /// Total simulated end-to-end time.
     pub fn total_ms(&self) -> f64 {
         self.kernels.iter().map(|k| k.est_ms).sum()
+    }
+
+    /// Runs the graph-layer static verifiers over this module: memory-plan
+    /// safety (recomputed liveness + interference), fusion legality, and
+    /// the cross-layer slot contracts proving each kernel's touch set fits
+    /// the planner's allocation. Used by the debug-build/`TVM_VALIDATE_GRAPH`
+    /// hook, `tvm-lint --graph`, and the serving artifact cache when it
+    /// replays journaled build decisions.
+    pub fn verify(&self) -> GraphReport {
+        let views: Vec<KernelView<'_>> = self
+            .kernels
+            .iter()
+            .map(|k| KernelView {
+                name: &k.name,
+                func: &k.func,
+                args: &k.args,
+            })
+            .collect();
+        tvm_graph::verify_build(&self.graph, &self.fused, &self.plan, &views)
     }
 
     /// Human-readable per-kernel breakdown.
@@ -603,6 +626,7 @@ mod tests {
         let plan = tvm_graph::plan_memory(&g, &fused);
         let module = Module {
             graph: g,
+            fused,
             kernels: vec![],
             plan,
             target_name: "test".into(),

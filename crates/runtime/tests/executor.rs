@@ -68,6 +68,7 @@ fn two_stage_module() -> (Module, tvm_graph::NodeId) {
     (
         Module {
             graph: g,
+            fused,
             kernels,
             plan,
             target_name: "test".into(),
@@ -223,6 +224,7 @@ fn params_are_seeded_and_overridable() {
     };
     let module = Module {
         graph: g,
+        fused,
         kernels: vec![CompiledGroup {
             func,
             args: vec![x, p, s],

@@ -36,6 +36,8 @@ pub struct CacheStats {
     pub warm_builds: u64,
     /// Journal entries whose fingerprint no longer matched the rebuild.
     pub fingerprint_mismatches: u64,
+    /// Warm replays rejected by the graph-layer static verifiers.
+    pub verify_rejects: u64,
 }
 
 /// Hash of the tuning state a compile depends on: the best config index
@@ -187,14 +189,28 @@ impl ArtifactCache {
                 if let Ok((module, report)) = build_with_report(&graph, target, &opts) {
                     let fp = fingerprint(&module, &report.decisions);
                     if u64::from(fp) == *fp_recorded {
-                        self.stats.warm_builds += 1;
-                        tvm_obs::counter_add("serve.cache.warm_builds", 1);
-                        let m = Arc::new(module);
-                        self.modules.insert(key, Arc::clone(&m));
-                        return Ok(m);
+                        // A replayed decision list skips the candidate
+                        // search, so the rebuilt module gets the full
+                        // graph-layer verification (memory-plan safety,
+                        // fusion legality, slot contracts) before it is
+                        // allowed to serve — a stale or corrupt journal
+                        // must degrade to a cold build, never to a module
+                        // with an unsound plan.
+                        let verdict = module.verify();
+                        if verdict.has_errors() {
+                            self.stats.verify_rejects += 1;
+                            tvm_obs::counter_add("serve.cache.verify_rejects", 1);
+                        } else {
+                            self.stats.warm_builds += 1;
+                            tvm_obs::counter_add("serve.cache.warm_builds", 1);
+                            let m = Arc::new(module);
+                            self.modules.insert(key, Arc::clone(&m));
+                            return Ok(m);
+                        }
+                    } else {
+                        self.stats.fingerprint_mismatches += 1;
+                        tvm_obs::counter_add("serve.cache.fingerprint_mismatches", 1);
                     }
-                    self.stats.fingerprint_mismatches += 1;
-                    tvm_obs::counter_add("serve.cache.fingerprint_mismatches", 1);
                 }
             }
         }

@@ -735,16 +735,17 @@ fn compute_region(
             }
             // Width: inner vars ranged, everything else pinned to 0.
             let mut bounds: HashMap<VarId, Interval> = HashMap::new();
-            let mut relaxed: Vec<VarId> = Vec::new();
+            let mut ranged_hi: Vec<(VarId, i64)> = Vec::new();
             for v in tvm_ir::collect_vars(&e) {
                 let iv = if inner.contains(&v.id()) {
                     let ext = cons_data.extents.get(&v.id()).copied().unwrap_or(1);
+                    ranged_hi.push((v.id(), (ext - 1).max(0)));
                     Interval::new(0, (ext - 1).max(0))
                 } else if stage.scope == MemScope::Shared && thread_extents.contains_key(&v.id()) {
                     // Transitive thread relaxation: thread variables that
                     // reach this index through the attachment chain range
                     // over the whole block for shared producers.
-                    relaxed.push(v.id());
+                    ranged_hi.push((v.id(), (thread_extents[&v.id()] - 1).max(0)));
                     Interval::new(0, (thread_extents[&v.id()] - 1).max(0))
                 } else {
                     Interval::point(0)
@@ -754,13 +755,26 @@ fn compute_region(
             match tvm_ir::eval_interval(&e, &bounds) {
                 Some(iv) => {
                     let width = iv.extent().min(shape[d]);
-                    // Min: substitute inner (and relaxed) vars by 0.
-                    let mut zero_sub: HashMap<VarId, Expr> =
-                        inner.iter().map(|id| (*id, Expr::int(0))).collect();
-                    for id in &relaxed {
-                        zero_sub.insert(*id, Expr::int(0));
+                    // Min: substitute each ranged var by whichever loop
+                    // endpoint minimizes the index. Indices that *decrease*
+                    // in a reduction var — conv2d_transpose's mirrored
+                    // weight access `k - 1 - r` — take their minimum at the
+                    // var's upper end; always substituting 0 mis-offsets
+                    // the realize region by the whole flip.
+                    let mut min_sub: HashMap<VarId, Expr> = HashMap::new();
+                    for &(vid, hi) in &ranged_hi {
+                        let at = |x: i64| {
+                            let mut b = bounds.clone();
+                            b.insert(vid, Interval::point(x));
+                            tvm_ir::eval_interval(&e, &b).map(|i| i.min)
+                        };
+                        let pick = match (at(0), at(hi)) {
+                            (Some(lo0), Some(lo1)) if lo1 < lo0 => hi,
+                            _ => 0,
+                        };
+                        min_sub.insert(vid, Expr::int(pick));
                     }
-                    let min_e = tvm_ir::simplify(&tvm_ir::substitute(&e, &zero_sub));
+                    let min_e = tvm_ir::simplify(&tvm_ir::substitute(&e, &min_sub));
                     mins.push(min_e);
                     exts.push(width);
                 }

@@ -1,27 +1,39 @@
-//! `tvm-lint` — static verification of every topi workload/schedule
-//! pairing.
+//! `tvm-lint` — static verification sweeps.
 //!
 //! ```text
-//! tvm-lint [--samples N] [--filter SUBSTR] [--verbose]
+//! tvm-lint [--samples N] [--filter SUBSTR] [--verbose] [--graph] [--json FILE]
 //! ```
 //!
-//! Lowers each operator template (conv2d, depthwise, dense, Winograd) on
-//! each target at the default configuration plus `--samples` evenly
-//! spaced points of its schedule space, and runs the `tvm-analysis`
-//! passes (scope / bounds / race / sync) on the result. One line per
-//! pairing; structured diagnostics for any finding. Exit code is
-//! non-zero iff any pairing has an error-severity finding.
+//! Default mode lowers each operator template (conv2d, depthwise, dense,
+//! Winograd) on each target at the default configuration plus `--samples`
+//! evenly spaced points of its schedule space, and runs the
+//! `tvm-analysis` passes (scope / bounds / race / sync) on the result.
+//!
+//! `--graph` switches to the graph-layer sweep: every model in
+//! `crates/models` is compiled end-to-end (both targets, fusion on and
+//! off) and verified with the `tvm_graph::verify` suite — memory-plan
+//! safety, fusion legality, and cross-layer slot contracts.
+//!
+//! `--json FILE` additionally writes the per-pairing results as a JSON
+//! artifact (CI uploads it). One line per pairing on stdout; structured
+//! diagnostics for any finding. Exit code is non-zero iff any pairing has
+//! an error-severity finding.
 
 use std::process::ExitCode;
 
+use tvm_json::Value;
+use tvm_verify::graph_lint::graph_lint_filtered;
 use tvm_verify::lint::{lint_task, topi_tasks};
 
-const USAGE: &str = "usage: tvm-lint [--samples N] [--filter SUBSTR] [--verbose]";
+const USAGE: &str =
+    "usage: tvm-lint [--samples N] [--filter SUBSTR] [--verbose] [--graph] [--json FILE]";
 
 fn main() -> ExitCode {
     let mut samples = 4u64;
     let mut filter: Option<String> = None;
     let mut verbose = false;
+    let mut graph = false;
+    let mut json_path: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -33,6 +45,8 @@ fn main() -> ExitCode {
             }
             "--filter" => filter = Some(it.next().unwrap_or_else(|| exit_usage())),
             "--verbose" | "-v" => verbose = true,
+            "--graph" => graph = true,
+            "--json" => json_path = Some(it.next().unwrap_or_else(|| exit_usage())),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -44,11 +58,50 @@ fn main() -> ExitCode {
         }
     }
 
+    let (pairings, clean, errors, rows) = if graph {
+        run_graph_sweep(filter.as_deref(), verbose)
+    } else {
+        run_loop_sweep(samples, filter.as_deref(), verbose)
+    };
+
+    if let Some(path) = json_path {
+        let doc = Value::object([
+            ("mode", Value::from(if graph { "graph" } else { "loop-ir" })),
+            ("pairings", Value::from(pairings as i64)),
+            ("clean", Value::from(clean as i64)),
+            ("errors", Value::from(errors as i64)),
+            ("results", Value::Array(rows)),
+        ]);
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&path, tvm_json::to_string(&doc) + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    println!("{pairings} pairings linted: {clean} clean, {errors} with errors");
+    if errors > 0 || pairings == 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The loop-IR sweep (the PR 3 corpus): topi workload/schedule pairings.
+fn run_loop_sweep(
+    samples: u64,
+    filter: Option<&str>,
+    verbose: bool,
+) -> (usize, usize, usize, Vec<Value>) {
     let mut pairings = 0usize;
     let mut clean = 0usize;
     let mut errors = 0usize;
+    let mut rows = Vec::new();
     for task in topi_tasks() {
-        if filter.as_ref().is_some_and(|f| !task.name.contains(f)) {
+        if filter.is_some_and(|f| !task.name.contains(f)) {
             continue;
         }
         for r in lint_task(&task, samples) {
@@ -78,14 +131,109 @@ fn main() -> ExitCode {
                     println!("      {d}");
                 }
             }
+            rows.push(Value::object([
+                ("task", Value::from(r.task.as_str())),
+                ("config", Value::from(r.config.as_str())),
+                ("status", Value::from(status)),
+                ("errors", Value::from(n_errors as i64)),
+                (
+                    "bounds_checked",
+                    Value::from(r.report.bounds_checked as i64),
+                ),
+                ("bounds_proven", Value::from(r.report.bounds_proven as i64)),
+                (
+                    "bounds_refuted",
+                    Value::from(r.report.bounds_refuted as i64),
+                ),
+                (
+                    "diagnostics",
+                    Value::Array(
+                        r.report
+                            .diagnostics
+                            .iter()
+                            .map(|d| Value::from(d.to_string().as_str()))
+                            .collect(),
+                    ),
+                ),
+            ]));
         }
     }
-    println!("{pairings} pairings linted: {clean} clean, {errors} with errors");
-    if errors > 0 || pairings == 0 {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
+    (pairings, clean, errors, rows)
+}
+
+/// The graph-layer sweep: every model, both targets, fusion on/off.
+fn run_graph_sweep(filter: Option<&str>, verbose: bool) -> (usize, usize, usize, Vec<Value>) {
+    let mut pairings = 0usize;
+    let mut clean = 0usize;
+    let mut errors = 0usize;
+    let mut rows = Vec::new();
+    for r in graph_lint_filtered(filter) {
+        pairings += 1;
+        let n_errors = r.report.errors().count() + usize::from(r.build_error.is_some());
+        let status = if n_errors > 0 {
+            errors += 1;
+            "ERROR"
+        } else {
+            clean += 1;
+            "ok"
+        };
+        println!(
+            "{status:5} {} ({} kernels) {} groups, {} slots, {} live pairs; contracts \
+             {}/{} proven, {} refuted, {} unknown",
+            r.name,
+            r.kernels,
+            r.report.groups_checked,
+            r.report.slots_checked,
+            r.report.pairs_checked,
+            r.report.contracts_proven,
+            r.report.contracts_checked,
+            r.report.contracts_refuted,
+            r.report.contracts_unknown,
+        );
+        if let Some(e) = &r.build_error {
+            println!("      build error: {e}");
+        }
+        if n_errors > 0 || verbose {
+            for d in &r.report.diagnostics {
+                println!("      {d}");
+            }
+        }
+        rows.push(Value::object([
+            ("pairing", Value::from(r.name.as_str())),
+            ("status", Value::from(status)),
+            ("kernels", Value::from(r.kernels as i64)),
+            ("errors", Value::from(n_errors as i64)),
+            (
+                "groups_checked",
+                Value::from(r.report.groups_checked as i64),
+            ),
+            ("slots_checked", Value::from(r.report.slots_checked as i64)),
+            ("pairs_checked", Value::from(r.report.pairs_checked as i64)),
+            (
+                "contracts_checked",
+                Value::from(r.report.contracts_checked as i64),
+            ),
+            (
+                "contracts_proven",
+                Value::from(r.report.contracts_proven as i64),
+            ),
+            (
+                "contracts_refuted",
+                Value::from(r.report.contracts_refuted as i64),
+            ),
+            (
+                "diagnostics",
+                Value::Array(
+                    r.report
+                        .diagnostics
+                        .iter()
+                        .map(|d| Value::from(d.to_string().as_str()))
+                        .collect(),
+                ),
+            ),
+        ]));
     }
+    (pairings, clean, errors, rows)
 }
 
 fn exit_usage() -> ! {

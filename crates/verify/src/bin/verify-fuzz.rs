@@ -17,7 +17,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tvm_verify::{
-    check_plan_memory, check_simplify, fuzz, FuzzOptions, Repro, WorkloadKind, ALL_WORKLOADS,
+    check_graph_static, check_plan_memory, check_simplify, fuzz, FuzzOptions, Repro, WorkloadKind,
+    ALL_WORKLOADS,
 };
 
 struct Args {
@@ -26,11 +27,12 @@ struct Args {
     workloads: Vec<WorkloadKind>,
     repro_dir: PathBuf,
     props: usize,
+    graph_props: usize,
     replay: Option<PathBuf>,
     static_oracle: bool,
 }
 
-const USAGE: &str = "usage: verify-fuzz [--budget N] [--seed S] [--workload matmul|conv2d|fused|all]\n                   [--repro-dir DIR] [--props N] [--replay FILE] [--static-oracle]";
+const USAGE: &str = "usage: verify-fuzz [--budget N] [--seed S] [--workload matmul|conv2d|fused|all]\n                   [--repro-dir DIR] [--props N] [--graph-props N] [--replay FILE]\n                   [--static-oracle]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -44,6 +46,7 @@ fn parse_args() -> Args {
         workloads: ALL_WORKLOADS.to_vec(),
         repro_dir: PathBuf::from("results/repro"),
         props: 64,
+        graph_props: 64,
         replay: None,
         static_oracle: false,
     };
@@ -76,6 +79,9 @@ fn parse_args() -> Args {
             "--repro-dir" => args.repro_dir = PathBuf::from(value("--repro-dir")),
             "--props" => {
                 args.props = value("--props").parse().unwrap_or_else(|_| usage());
+            }
+            "--graph-props" => {
+                args.graph_props = value("--graph-props").parse().unwrap_or_else(|_| usage());
             }
             "--replay" => args.replay = Some(PathBuf::from(value("--replay"))),
             "--static-oracle" => args.static_oracle = true,
@@ -193,6 +199,24 @@ fn main() -> ExitCode {
         );
         match check_plan_memory(args.seed, args.props) {
             Ok(()) => println!("ok"),
+            Err(e) => {
+                println!("FAILED\n  {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if args.graph_props > 0 {
+        print!(
+            "graph static oracle: optimizer output verifies, injected faults are caught \
+             ({} cases)... ",
+            args.graph_props
+        );
+        match check_graph_static(args.seed, args.graph_props) {
+            Ok(stats) => println!(
+                "ok ({} clean, {}/{} mutations caught)",
+                stats.clean, stats.caught, stats.mutations
+            ),
             Err(e) => {
                 println!("FAILED\n  {e}");
                 failed = true;

@@ -1,0 +1,122 @@
+//! `tvm-lint --graph`: graph-layer static verification over every model
+//! in `crates/models`.
+//!
+//! Each model is compiled end-to-end (both targets, fusion on and off)
+//! and the resulting module is run through the `tvm_graph::verify` suite:
+//! memory-plan safety (recomputed liveness + interference), fusion
+//! legality (the §3 rule table, post-hoc), and the cross-layer slot
+//! contracts that prove every lowered kernel's touch set fits the
+//! planner's allocation. Like the loop-IR sweep, this is a known-good
+//! corpus: every pairing must come back error-free, and CI runs it on
+//! every push.
+
+use tvm::BuildOptions;
+use tvm_graph::{Graph, GraphReport};
+use tvm_sim::{arm_a53, titanx, Target};
+
+/// Graph-verification outcome for one (model, target, fusion) pairing.
+#[derive(Clone, Debug)]
+pub struct GraphLintResult {
+    /// Pairing label (`model @ target [fused|unfused]`).
+    pub name: String,
+    /// Kernels in the compiled module.
+    pub kernels: usize,
+    /// Full graph-verification report.
+    pub report: GraphReport,
+    /// Set when the build itself failed (also an error for the sweep).
+    pub build_error: Option<String>,
+}
+
+impl GraphLintResult {
+    /// True when the pairing built and verified clean.
+    pub fn is_clean(&self) -> bool {
+        self.build_error.is_none() && !self.report.has_errors()
+    }
+}
+
+/// The model corpus: every graph in `crates/models`, at the spatial sizes
+/// the benchmarks use (small enough to compile in milliseconds, large
+/// enough to exercise every operator and the planner's slot reuse).
+pub fn model_corpus() -> Vec<(String, Graph)> {
+    vec![
+        ("resnet18".to_string(), tvm_models::resnet18(32)),
+        ("mobilenet".to_string(), tvm_models::mobilenet(32)),
+        ("dqn".to_string(), tvm_models::dqn()),
+        ("dcgan".to_string(), tvm_models::dcgan_generator()),
+        ("lstm_lm".to_string(), tvm_models::lstm_lm(128, 2)),
+    ]
+}
+
+fn lint_one(name: &str, g: &Graph, target: &Target, fused: bool) -> GraphLintResult {
+    let label = format!(
+        "{name} @ {} [{}]",
+        target.name(),
+        if fused { "fused" } else { "unfused" }
+    );
+    let opts = BuildOptions {
+        no_fusion: !fused,
+        ..BuildOptions::default()
+    };
+    match tvm::build(g, target, &opts) {
+        Ok(module) => GraphLintResult {
+            name: label,
+            kernels: module.kernels.len(),
+            report: module.verify(),
+            build_error: None,
+        },
+        Err(e) => GraphLintResult {
+            name: label,
+            kernels: 0,
+            report: GraphReport::default(),
+            build_error: Some(e.to_string()),
+        },
+    }
+}
+
+/// Runs the full graph-verification sweep: every model in the corpus on
+/// both targets, with fusion on and off.
+pub fn graph_lint() -> Vec<GraphLintResult> {
+    graph_lint_filtered(None)
+}
+
+/// [`graph_lint`], restricted to pairings whose label contains `filter`.
+pub fn graph_lint_filtered(filter: Option<&str>) -> Vec<GraphLintResult> {
+    let mut results = Vec::new();
+    let corpus = model_corpus();
+    for target in [arm_a53(), titanx()] {
+        for (name, g) in &corpus {
+            for fused in [true, false] {
+                let label_match = format!("{name} @ {}", target.name());
+                if filter.is_some_and(|f| !label_match.contains(f)) {
+                    continue;
+                }
+                results.push(lint_one(name, g, &target, fused));
+            }
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smallest_model_sweeps_clean() {
+        // The full sweep runs in CI; tests pin the cheapest model so the
+        // suite stays fast.
+        let results = graph_lint_filtered(Some("dqn"));
+        assert_eq!(results.len(), 4, "dqn on 2 targets x fusion on/off");
+        for r in &results {
+            assert!(
+                r.is_clean(),
+                "{}: {:?}\n{}",
+                r.name,
+                r.build_error,
+                r.report.render()
+            );
+            assert!(r.kernels > 0);
+            assert!(r.report.contracts_proven > 0, "{}", r.name);
+        }
+    }
+}

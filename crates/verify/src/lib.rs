@@ -32,6 +32,8 @@
 pub mod apply;
 pub mod diff;
 pub mod generate;
+pub mod graph_lint;
+pub mod graph_oracle;
 pub mod lint;
 pub mod props;
 pub mod repro;
@@ -46,6 +48,8 @@ use std::path::PathBuf;
 pub use apply::{apply_one, apply_trace};
 pub use diff::{run_case, run_naive, Outcome, TOLERANCE};
 pub use generate::generate;
+pub use graph_lint::{graph_lint, graph_lint_filtered, GraphLintResult};
+pub use graph_oracle::{check_graph_static, GraphOracleStats};
 pub use lint::{lint_topi, LintResult};
 pub use props::{check_plan_memory, check_simplify};
 pub use repro::Repro;

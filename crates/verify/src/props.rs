@@ -81,8 +81,9 @@ pub fn check_simplify(seed: u64, cases: usize) -> Result<(), String> {
     Ok(())
 }
 
-/// Builds a random chain/diamond graph from a small op alphabet.
-fn random_graph(rng: &mut StdRng) -> Graph {
+/// Builds a random chain/diamond graph from a small op alphabet (shared
+/// with the graph static oracle in [`crate::graph_oracle`]).
+pub(crate) fn random_graph(rng: &mut StdRng) -> Graph {
     let mut g = Graph::new();
     let x = g.input(&[1, 8, 8, 8], "data");
     let mut cur = x;
