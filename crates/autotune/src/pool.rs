@@ -156,6 +156,10 @@ pub struct JobOutcome {
     pub remeasured: bool,
     /// Simulated retry-backoff delay accumulated by this job.
     pub backoff_ms: f64,
+    /// Device that produced the *accepted* timing sample (`None` when the
+    /// job failed). Consumers that care which replica actually answered —
+    /// hedged execution, version-corruption oracles — key off this.
+    pub device: Option<usize>,
 }
 
 /// Public per-device health snapshot.
@@ -354,18 +358,26 @@ impl Tracker {
 
     /// Picks the matching *usable* device with the smallest effective
     /// load; `extra_ms` adds per-device in-flight work not yet committed
-    /// to `busy_ms` (used by batch dispatch), and `avoid` removes devices
+    /// to `busy_ms` (used by batch dispatch), `avoid` removes devices
     /// the caller prefers not to reuse (ignored when it would leave no
-    /// choice). Ties go round-robin: the first minimum at-or-after the
-    /// rotating cursor wins.
-    fn pick(&self, target_name: &str, extra_ms: &[f64], avoid: &[usize]) -> Option<usize> {
+    /// choice), and `banned` removes devices unconditionally (a hedged
+    /// re-issue must never land back on the straggler). Ties go
+    /// round-robin: the first minimum at-or-after the rotating cursor
+    /// wins.
+    fn pick(
+        &self,
+        target_name: &str,
+        extra_ms: &[f64],
+        avoid: &[usize],
+        banned: &[usize],
+    ) -> Option<usize> {
         let pass = |skip_avoided: bool| -> Option<usize> {
             let n = self.devices.len();
             let mut best: Option<(usize, f64)> = None;
             for off in 0..n {
                 let id = (self.next_rr + off) % n;
                 let d = &self.devices[id];
-                if d.target.name() != target_name || !d.usable() {
+                if d.target.name() != target_name || !d.usable() || banned.contains(&id) {
                     continue;
                 }
                 if skip_avoided && avoid.contains(&id) {
@@ -389,7 +401,7 @@ impl Tracker {
     pub fn request(&mut self, target_name: &str) -> Option<usize> {
         self.log
             .push(RpcMsg::RequestDevice(target_name.to_string()));
-        let picked = self.pick(target_name, &[], &[]);
+        let picked = self.pick(target_name, &[], &[], &[]);
         if let Some(id) = picked {
             self.next_rr = (id + 1) % self.devices.len();
             self.log.push(RpcMsg::DeviceGranted(id));
@@ -488,6 +500,20 @@ impl Tracker {
         target_name: &str,
         funcs: &[&LoweredFunc],
     ) -> Vec<JobOutcome> {
+        self.run_batch_banned(target_name, funcs, &[])
+    }
+
+    /// [`Tracker::run_batch_detailed`] with a hard device exclusion list:
+    /// no attempt, retry, or replica of this batch lands on a device in
+    /// `banned`. Hedged execution uses this to re-issue a straggling
+    /// batch on a *different* replica; if every matching device is
+    /// banned the jobs report [`MeasureError::NoDevice`].
+    pub fn run_batch_banned(
+        &mut self,
+        target_name: &str,
+        funcs: &[&LoweredFunc],
+        banned: &[usize],
+    ) -> Vec<JobOutcome> {
         let need = self.policy.replicas.max(1);
         let mut jobs: Vec<JobState> = funcs
             .iter()
@@ -503,7 +529,11 @@ impl Tracker {
                 done: None,
             })
             .collect();
-        let any_match = self.devices.iter().any(|d| d.target.name() == target_name);
+        let any_match = self
+            .devices
+            .iter()
+            .enumerate()
+            .any(|(id, d)| d.target.name() == target_name && !banned.contains(&id));
         // Bounded by construction (each round adds a sample or a failure
         // to every unresolved job), but guard against logic slips anyway.
         let round_cap = self.policy.max_attempts + (self.policy.max_replicas.max(3) | 1) + 2;
@@ -532,7 +562,7 @@ impl Tracker {
                         avoid.push(d);
                     }
                 }
-                let picked = match self.pick(target_name, &pending, &avoid) {
+                let picked = match self.pick(target_name, &pending, &avoid, banned) {
                     Some(id) => id,
                     None => {
                         // No usable device. Re-admit the quarantined
@@ -543,7 +573,9 @@ impl Tracker {
                             .devices
                             .iter()
                             .enumerate()
-                            .filter(|(_, d)| d.target.name() == target_name)
+                            .filter(|(id, d)| {
+                                d.target.name() == target_name && !banned.contains(id)
+                            })
                             .filter_map(|(id, d)| match d.state {
                                 DevState::Quarantined { until } => Some((until, id)),
                                 _ => None,
@@ -678,12 +710,23 @@ impl Tracker {
                 if ms.is_err() {
                     self.stats.failed_jobs += 1;
                 }
+                // `samples` and `sampled_devices` are parallel arrays, so
+                // the accepted timing maps back to the device that
+                // produced it (first bitwise match; ties are harmless —
+                // identical samples mean identical answers).
+                let device = ms.as_ref().ok().and_then(|accepted| {
+                    job.samples
+                        .iter()
+                        .position(|s| s.to_bits() == accepted.to_bits())
+                        .and_then(|i| job.sampled_devices.get(i).copied())
+                });
                 JobOutcome {
                     ms,
                     attempts: job.attempts,
                     samples: job.samples.len(),
                     remeasured: job.remeasured,
                     backoff_ms: job.backoff_ms,
+                    device,
                 }
             })
             .collect()
@@ -1039,6 +1082,42 @@ mod tests {
             Err(MeasureError::RetriesExhausted { attempts: 3 })
         );
         assert_eq!(t.pool_stats().failed_jobs, 1);
+    }
+
+    #[test]
+    fn accepted_sample_is_attributed_to_its_device() {
+        let funcs = [small_func()];
+        let refs: Vec<&LoweredFunc> = funcs.iter().collect();
+        // Transient on device 0: the accepted sample must come from 1.
+        let mut t = Tracker::new(vec![arm_a53(), arm_a53()]);
+        let mut plan = FaultPlan::none();
+        plan.inject(0, 0, Fault::Transient);
+        t.set_fault_plan(plan);
+        let out = t.run_batch_detailed("a53-sim", &refs);
+        assert!(out[0].ms.is_ok());
+        assert_eq!(out[0].device, Some(1));
+        // A failed job attributes no device.
+        let mut dead = Tracker::new(vec![arm_a53()]);
+        let mut plan = FaultPlan::none();
+        plan.kill_from(0, 0);
+        dead.set_fault_plan(plan);
+        let out = dead.run_batch_detailed("a53-sim", &refs);
+        assert_eq!(out[0].device, None);
+    }
+
+    #[test]
+    fn banned_devices_are_never_dispatched() {
+        let funcs: Vec<LoweredFunc> = (0..4).map(|i| sized_func(64, &format!("b{i}"))).collect();
+        let refs: Vec<&LoweredFunc> = funcs.iter().collect();
+        let mut t = Tracker::new(vec![arm_a53(), arm_a53(), arm_a53()]);
+        let out = t.run_batch_banned("a53-sim", &refs, &[0]);
+        assert!(out.iter().all(|o| o.ms.is_ok()), "{out:?}");
+        assert!(out.iter().all(|o| o.device != Some(0)), "{out:?}");
+        let health = t.health();
+        assert_eq!(health[0].attempts, 0, "banned device was dispatched");
+        // Banning every matching device fails typed, not panicking.
+        let out = t.run_batch_banned("a53-sim", &refs, &[0, 1, 2]);
+        assert!(out.iter().all(|o| o.ms == Err(MeasureError::NoDevice)));
     }
 
     #[test]

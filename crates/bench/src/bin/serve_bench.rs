@@ -9,10 +9,13 @@
 //! Flags: `--quick` shrinks traces for the CI smoke step; `--seed N`
 //! reseeds the whole experiment.
 
+use std::collections::BTreeMap;
+
 use tvm_json::Value;
 use tvm_serve::{
-    generate, AdmissionConfig, BatchPolicy, Model, ResponseRecord, Service, ServiceConfig,
-    ServiceStats, TenantConfig, TenantTraffic, TrafficSpec,
+    generate, AdmissionConfig, BatchPolicy, HedgePolicy, Model, ModelVersion, ResponseRecord,
+    RolloutConfig, ServeOutcome, Service, ServiceConfig, ServiceStats, TenantConfig, TenantTraffic,
+    TrafficSpec,
 };
 use tvm_sim::{FaultPlan, FaultRates};
 
@@ -60,10 +63,12 @@ fn service_config(seed: u64, chaos: bool) -> ServiceConfig {
         ],
         admission: AdmissionConfig {
             max_outstanding: 384,
+            ..AdmissionConfig::default()
         },
         batch: BatchPolicy {
             max_batch: 8,
             max_delay_ms: 2.0,
+            ..BatchPolicy::default()
         },
         devices: 3,
         faults: if chaos {
@@ -91,12 +96,14 @@ fn spec(seed: u64, rps: f64, horizon_ms: f64) -> TrafficSpec {
                     end_ms: horizon_ms * 0.5,
                     factor: 3.0,
                 }],
+                deadline_budget_ms: None,
             },
             TenantTraffic {
                 tenant: "batchjob".into(),
                 rate_rps: rps * 0.4,
                 models: vec![Model::Mlp],
                 bursts: vec![],
+                deadline_budget_ms: None,
             },
         ],
     }
@@ -180,8 +187,280 @@ fn level_json(
                 ("hits", Value::from(stats.cache.hits)),
                 ("cold_builds", Value::from(stats.cache.cold_builds)),
                 ("warm_builds", Value::from(stats.cache.warm_builds)),
+                (
+                    "fingerprint_mismatches",
+                    Value::from(stats.cache.fingerprint_mismatches),
+                ),
+                ("verify_rejects", Value::from(stats.cache.verify_rejects)),
             ]),
         ),
+    ])
+}
+
+/// Single-tenant, single-model steady trace for the lifecycle and
+/// hedging scenarios.
+fn steady_spec(seed: u64, rate_rps: f64, horizon_ms: f64) -> TrafficSpec {
+    TrafficSpec {
+        seed,
+        horizon_ms,
+        tenants: vec![TenantTraffic {
+            tenant: "t".into(),
+            rate_rps,
+            models: vec![Model::Mlp],
+            bursts: vec![],
+            deadline_budget_ms: None,
+        }],
+    }
+}
+
+fn steady_config(faults: FaultPlan, devices: usize, hedge: HedgePolicy) -> ServiceConfig {
+    ServiceConfig {
+        tenants: vec![TenantConfig::new("t").queue_cap(4096)],
+        admission: AdmissionConfig {
+            max_outstanding: 1 << 14,
+            ..AdmissionConfig::default()
+        },
+        batch: BatchPolicy {
+            max_batch: 4,
+            max_delay_ms: 1.0,
+            ..BatchPolicy::default()
+        },
+        devices,
+        faults,
+        hedge,
+        rollout: RolloutConfig {
+            canary_fraction: 1.0,
+            window_ms: 20.0,
+            min_canary_batches: 3,
+            max_candidate_failures: 2,
+        },
+        ..ServiceConfig::default()
+    }
+}
+
+fn ok_digests(responses: &[ResponseRecord]) -> BTreeMap<u64, u32> {
+    responses
+        .iter()
+        .filter_map(|r| match &r.outcome {
+            ServeOutcome::Ok { digest, .. } => Some((r.id, *digest)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Blue/green rollout campaigns: a healthy candidate must promote; a
+/// seeded-corrupt candidate must roll back with zero wrong answers
+/// served (every tenant-visible digest matches the fault-free oracle).
+fn rollout_scenario(seed: u64, budget_requests: f64) -> Value {
+    let rate = 400.0;
+    let horizon = (budget_requests / rate * 1000.0).clamp(50.0, 400.0);
+
+    let mut oracle_svc = Service::new(steady_config(FaultPlan::none(), 2, HedgePolicy::default()))
+        .expect("oracle service");
+    let (oracle_responses, _) = oracle_svc.run(generate(&steady_spec(seed, rate, horizon)));
+    let oracle = ok_digests(&oracle_responses);
+
+    let mut healthy_svc = Service::new(steady_config(FaultPlan::none(), 2, HedgePolicy::default()))
+        .expect("healthy service");
+    healthy_svc
+        .begin_rollout(Model::Mlp, 0, "v1-retuned")
+        .expect("begin rollout");
+    let (_, healthy) = healthy_svc.run(generate(&steady_spec(seed, rate, horizon)));
+
+    let bad = ModelVersion {
+        model: Model::Mlp,
+        weights: 0,
+        label: "v1-bad".into(),
+    };
+    let mut faults = FaultPlan::none();
+    faults.corrupt_version(bad.fingerprint(), seed ^ 0x0BAD);
+    let mut corrupt_svc =
+        Service::new(steady_config(faults, 2, HedgePolicy::default())).expect("corrupt service");
+    corrupt_svc
+        .begin_rollout(Model::Mlp, 0, "v1-bad")
+        .expect("begin rollout");
+    let (corrupt_responses, corrupt) = corrupt_svc.run(generate(&steady_spec(seed, rate, horizon)));
+    let wrong_answers = ok_digests(&corrupt_responses)
+        .iter()
+        .filter(|(id, d)| oracle.get(id) != Some(d))
+        .count();
+
+    println!(
+        "  rollout    healthy: {} promoted | corrupt: {} rolled back, {} canary mismatches, {} wrong answers served",
+        healthy.rollout.promotions,
+        corrupt.rollout.rollbacks,
+        corrupt.rollout.digest_mismatches,
+        wrong_answers,
+    );
+    Value::object([
+        (
+            "healthy",
+            Value::object([
+                ("promotions", Value::from(healthy.rollout.promotions)),
+                ("rollbacks", Value::from(healthy.rollout.rollbacks)),
+                (
+                    "canary_batches",
+                    Value::from(healthy.rollout.canary_batches),
+                ),
+                (
+                    "digest_mismatches",
+                    Value::from(healthy.rollout.digest_mismatches),
+                ),
+            ]),
+        ),
+        (
+            "corrupt",
+            Value::object([
+                ("promotions", Value::from(corrupt.rollout.promotions)),
+                ("rollbacks", Value::from(corrupt.rollout.rollbacks)),
+                (
+                    "canary_batches",
+                    Value::from(corrupt.rollout.canary_batches),
+                ),
+                (
+                    "digest_mismatches",
+                    Value::from(corrupt.rollout.digest_mismatches),
+                ),
+                ("wrong_answers", Value::from(wrong_answers as u64)),
+            ]),
+        ),
+    ])
+}
+
+/// Hedged-execution A/B under straggler noise: the same trace with
+/// hedging off then on; hedging must cut the simulated p99.
+fn hedging_scenario(seed: u64, budget_requests: f64) -> Value {
+    let rate = 250.0;
+    let horizon = (budget_requests / rate * 1000.0).clamp(50.0, 600.0);
+    let stragglers = || {
+        FaultPlan::seeded(
+            seed ^ 0x5712A6,
+            FaultRates {
+                crash: 0.0,
+                hang: 0.0,
+                transient: 0.0,
+                noise: 0.2,
+                noise_factor: 25.0,
+            },
+        )
+    };
+    let hedge_on = HedgePolicy {
+        enabled: true,
+        min_samples: 8,
+        quantile: 0.5,
+        factor: 2.0,
+        min_threshold_ms: 0.0,
+    };
+    let run = |hedge: HedgePolicy| -> (Vec<f64>, ServiceStats) {
+        let mut svc = Service::new(steady_config(stragglers(), 3, hedge)).expect("service");
+        let (responses, stats) = svc.run(generate(&steady_spec(seed, rate, horizon)));
+        let mut lat: Vec<f64> = responses
+            .iter()
+            .filter(|r| r.outcome.is_ok())
+            .map(|r| r.latency_ms())
+            .collect();
+        lat.sort_by(f64::total_cmp);
+        (lat, stats)
+    };
+    let (lat_off, _off) = run(HedgePolicy::default());
+    let (lat_on, on) = run(hedge_on);
+    let p99_off = percentile(&lat_off, 0.99);
+    let p99_on = percentile(&lat_on, 0.99);
+    println!(
+        "  hedging    p99 off {:.4} ms | p99 on {:.4} ms | {} issued, {} wins, {} divergences",
+        p99_off, p99_on, on.hedge.issued, on.hedge.wins, on.hedge.divergences,
+    );
+    Value::object([
+        ("p99_off_ms", Value::from(p99_off)),
+        ("p99_on_ms", Value::from(p99_on)),
+        ("p50_off_ms", Value::from(percentile(&lat_off, 0.5))),
+        ("p50_on_ms", Value::from(percentile(&lat_on, 0.5))),
+        ("issued", Value::from(on.hedge.issued)),
+        ("wins", Value::from(on.hedge.wins)),
+        ("divergences", Value::from(on.hedge.divergences)),
+    ])
+}
+
+/// Capacity of the default (Mlp-only) service shape, measured the same
+/// way the fairness suite does: raise the rate until admission sheds.
+fn default_shape_capacity(seed: u64) -> f64 {
+    let mut rate = 2000.0f64;
+    loop {
+        let horizon = (1200.0 / rate * 1000.0).clamp(5.0, 500.0);
+        let trace = generate(&steady_spec(seed, rate, horizon));
+        let mut svc = Service::new(ServiceConfig {
+            tenants: vec![TenantConfig::new("t").queue_cap(64)],
+            ..ServiceConfig::default()
+        })
+        .expect("service");
+        let (_, stats) = svc.run(trace);
+        if stats.shed > 0 && stats.completed > 0 {
+            return stats.completed as f64 * 1000.0 / stats.horizon_ms.max(1e-9);
+        }
+        rate *= 4.0;
+        assert!(rate < 1e12, "overload calibration never saturated");
+    }
+}
+
+/// Deadline + brownout under sustained overload: a low-weight aggressor
+/// with tight budgets against a high-weight polite tenant.
+fn overload_scenario(seed: u64, budget_requests: f64) -> Value {
+    let capacity = default_shape_capacity(seed);
+    let polite_rate = capacity * 0.10;
+    let aggressive_rate = capacity * 4.0;
+    let horizon = (budget_requests / (polite_rate + aggressive_rate) * 1000.0).clamp(5.0, 500.0);
+    let trace = generate(&TrafficSpec {
+        seed,
+        horizon_ms: horizon,
+        tenants: vec![
+            TenantTraffic {
+                tenant: "polite".into(),
+                rate_rps: polite_rate,
+                models: vec![Model::Mlp],
+                bursts: vec![],
+                deadline_budget_ms: None,
+            },
+            TenantTraffic {
+                tenant: "aggressive".into(),
+                rate_rps: aggressive_rate,
+                models: vec![Model::Mlp],
+                bursts: vec![],
+                deadline_budget_ms: Some(0.75),
+            },
+        ],
+    });
+    let mut svc = Service::new(ServiceConfig {
+        tenants: vec![
+            TenantConfig::new("polite").weight(3).queue_cap(512),
+            TenantConfig::new("aggressive").weight(1).queue_cap(4096),
+        ],
+        admission: AdmissionConfig {
+            max_outstanding: 2048,
+            brownout_watermark: 64,
+        },
+        batch: BatchPolicy {
+            max_batch: 8,
+            max_delay_ms: 2.0,
+            ..BatchPolicy::default()
+        },
+        ..ServiceConfig::default()
+    })
+    .expect("service");
+    let (_, stats) = svc.run(trace);
+    let polite = &stats.per_tenant[0];
+    let polite_total = polite.ok + polite.shed + polite.err + polite.deadline;
+    let polite_goodput = polite.ok as f64 / (polite_total as f64).max(1.0);
+    println!(
+        "  overload   deadline sheds {} | brownout sheds {} | brownout {:.2} ms | polite goodput {:.3}",
+        stats.deadline_exceeded, stats.brownout_sheds, stats.brownout_ms, polite_goodput,
+    );
+    Value::object([
+        ("deadline_exceeded", Value::from(stats.deadline_exceeded)),
+        ("brownout_sheds", Value::from(stats.brownout_sheds)),
+        ("brownout_ms", Value::from(stats.brownout_ms)),
+        ("polite_goodput", Value::from(polite_goodput)),
+        ("completed", Value::from(stats.completed)),
+        ("shed", Value::from(stats.shed)),
     ])
 }
 
@@ -226,12 +505,20 @@ fn main() {
         ));
     }
 
+    println!("lifecycle & tail scenarios...");
+    let rollout = rollout_scenario(args.seed + 2, if args.quick { 120.0 } else { 400.0 });
+    let hedging = hedging_scenario(args.seed + 3, if args.quick { 150.0 } else { 600.0 });
+    let overload = overload_scenario(args.seed + 4, budget);
+
     let chaos = chaos_rates();
     let doc = Value::object([
         ("bench", Value::from("serving")),
         ("seed", Value::from(args.seed)),
         ("quick", Value::from(args.quick)),
         ("capacity_rps", Value::from(capacity)),
+        ("rollout", rollout),
+        ("hedging", hedging),
+        ("overload", overload),
         (
             "chaos",
             Value::object([

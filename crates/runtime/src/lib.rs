@@ -382,10 +382,22 @@ impl GraphExecutor {
     /// Creates an executor over a shared compiled module (the serving
     /// cache hands the same `Arc` to every batch executor).
     pub fn from_arc(module: Arc<Module>) -> GraphExecutor {
+        Self::from_arc_with_weights(module, 0)
+    }
+
+    /// [`GraphExecutor::from_arc`] with an explicit *weight-set seed*:
+    /// every parameter is initialized from a stream keyed by both its
+    /// node id and `weights`, so two executors with the same seed hold
+    /// bit-identical weights and two seeds model two different pushed
+    /// weight sets (the serving layer's versioned models). Seed `0`
+    /// reproduces [`GraphExecutor::from_arc`] exactly.
+    pub fn from_arc_with_weights(module: Arc<Module>, weights: u64) -> GraphExecutor {
         let mut values = HashMap::new();
         for node in &module.graph.nodes {
             if matches!(node.op, OpType::Param) {
-                values.insert(node.id, NDArray::seeded(&node.shape, node.id.0 as u64 + 1));
+                let seed = (node.id.0 as u64 + 1)
+                    .wrapping_add(weights.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                values.insert(node.id, NDArray::seeded(&node.shape, seed));
             }
         }
         GraphExecutor {
@@ -614,6 +626,32 @@ mod tests {
         assert_eq!(b, NDArray::seeded(&[4, 4], 7));
         assert_ne!(b, NDArray::seeded(&[4, 4], 8));
         assert!(b.data.iter().all(|v| v.abs() <= 0.5));
+    }
+
+    #[test]
+    fn weight_seed_zero_matches_default_and_seeds_differ() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4], "data");
+        let w = g.add(OpType::Param, vec![], vec![4, 4], "w");
+        g.outputs.push(x);
+        let fused = tvm_graph::fuse(&g, true);
+        let plan = tvm_graph::plan_memory(&g, &fused);
+        let module = Arc::new(Module {
+            graph: g,
+            fused,
+            kernels: vec![],
+            plan,
+            target_name: "test".into(),
+        });
+        let default = GraphExecutor::from_arc(Arc::clone(&module));
+        let v0 = GraphExecutor::from_arc_with_weights(Arc::clone(&module), 0);
+        let v1 = GraphExecutor::from_arc_with_weights(Arc::clone(&module), 1);
+        let param = |ex: &GraphExecutor| ex.values.get(&w).cloned().expect("param");
+        assert_eq!(param(&default), param(&v0), "seed 0 must be the default");
+        assert_ne!(param(&v0), param(&v1), "weight sets must differ by seed");
+        // Same seed, same bits — versioned weights are reproducible.
+        let v1b = GraphExecutor::from_arc_with_weights(module, 1);
+        assert_eq!(param(&v1), param(&v1b));
     }
 
     #[test]

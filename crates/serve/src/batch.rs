@@ -23,6 +23,10 @@ pub struct BatchPolicy {
     /// Longest a request may wait for co-batchable traffic (virtual ms)
     /// before the batch is flushed partially full.
     pub max_delay_ms: f64,
+    /// Multiplier applied to `max_delay_ms` while the service is in
+    /// brownout: under sustained overload, waiting for co-batchable
+    /// traffic only inflates everyone's tail, so batches flush sooner.
+    pub brownout_delay_factor: f64,
 }
 
 impl Default for BatchPolicy {
@@ -30,6 +34,7 @@ impl Default for BatchPolicy {
         BatchPolicy {
             max_batch: 8,
             max_delay_ms: 2.0,
+            brownout_delay_factor: 0.25,
         }
     }
 }
@@ -40,6 +45,7 @@ impl BatchPolicy {
         BatchPolicy {
             max_batch: 1,
             max_delay_ms: 0.0,
+            ..BatchPolicy::default()
         }
     }
 }
@@ -108,6 +114,7 @@ mod tests {
             model: m,
             payload: vec![1.5; m.row_len()],
             arrival_ms: 0.0,
+            deadline_ms: f64::INFINITY,
         }];
         let arr = stack_rows(m, 4, &reqs).unwrap();
         assert_eq!(arr.shape, vec![4, 64]);

@@ -140,31 +140,35 @@ impl ArtifactCache {
         self.stats
     }
 
-    /// The cache key for a compile: model, batch bucket, target, and the
-    /// hash of the tuning state the compile consults.
-    pub fn key(model: Model, bucket: i64, target: &Target, sched: u32) -> String {
+    /// The cache key for a compile: model, batch bucket, target, the
+    /// hash of the tuning state the compile consults, and the model
+    /// version's fingerprint (blue/green sides never share artifacts).
+    pub fn key(model: Model, bucket: i64, target: &Target, sched: u32, version: u64) -> String {
         format!(
-            "serve/{}/b{}/{}/s{:08x}",
+            "serve/{}/b{}/{}/s{:08x}/v{:016x}",
             model.name(),
             bucket,
             target.name(),
-            sched
+            sched,
+            version
         )
     }
 
-    /// Returns the compiled module for `model` at batch bucket `bucket`,
-    /// building it if needed. Build order of preference: in-memory hit →
-    /// journaled-decision replay (fingerprint-verified) → cold
-    /// dual-candidate search (journaled for next time).
+    /// Returns the compiled module for `model` at batch bucket `bucket`
+    /// under version fingerprint `version`, building it if needed. Build
+    /// order of preference: in-memory hit → journaled-decision replay
+    /// (fingerprint-verified) → cold dual-candidate search (journaled
+    /// for next time).
     pub fn get_or_build(
         &mut self,
         model: Model,
         bucket: i64,
         target: &Target,
         db: Option<&Database>,
+        version: u64,
     ) -> Result<Arc<Module>, ServeError> {
         let sched = schedule_hash(db);
-        let key = Self::key(model, bucket, target, sched);
+        let key = Self::key(model, bucket, target, sched, version);
         if let Some(m) = self.modules.get(&key) {
             self.stats.hits += 1;
             tvm_obs::counter_add("serve.cache.hits", 1);

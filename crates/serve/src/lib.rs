@@ -30,13 +30,18 @@ pub mod model;
 pub mod service;
 pub mod tenancy;
 pub mod traffic;
+pub mod version;
 
 pub use batch::{bucket_for, BatchPolicy};
 pub use cache::{schedule_hash, ArtifactCache, CacheStats};
 pub use model::{Model, ALL_MODELS};
-pub use service::{Request, ResponseRecord, ServeOutcome, Service, ServiceConfig, ServiceStats};
+pub use service::{
+    row_digest, HedgePolicy, HedgeStats, Request, ResponseRecord, ServeOutcome, Service,
+    ServiceConfig, ServiceStats,
+};
 pub use tenancy::{AdmissionConfig, TenantConfig};
 pub use traffic::{generate, BurstSpec, TenantTraffic, TrafficSpec};
+pub use version::{ModelVersion, RolloutConfig, RolloutStats, VersionRegistry};
 
 use tvm_runtime::RuntimeError;
 
@@ -84,6 +89,23 @@ pub enum ServeError {
     Runtime(RuntimeError),
     /// The artifact journal could not be read or written.
     CacheIo(String),
+    /// Shed under brownout: the tenant exceeded its weight-proportional
+    /// share of outstanding work while the service was in overload.
+    Brownout {
+        /// Tenant whose share was exhausted.
+        tenant: String,
+        /// The weight-proportional outstanding share it was held to.
+        share: usize,
+    },
+    /// A hedged re-execution disagreed with the primary on output bits:
+    /// one replica is silently diverging, so neither answer is served.
+    SilentDivergence {
+        /// Model whose replicas disagreed.
+        model: String,
+    },
+    /// A model-lifecycle state error (rollout already in progress,
+    /// promote/rollback without a candidate).
+    Rollout(String),
 }
 
 impl ServeError {
@@ -99,15 +121,20 @@ impl ServeError {
             ServeError::NoUsableDevices => "no_usable_devices",
             ServeError::Runtime(_) => "runtime",
             ServeError::CacheIo(_) => "cache_io",
+            ServeError::Brownout { .. } => "brownout",
+            ServeError::SilentDivergence { .. } => "silent_divergence",
+            ServeError::Rollout(_) => "rollout",
         }
     }
 
-    /// True for the two admission-control rejections (shed load), as
-    /// opposed to execution-side failures.
+    /// True for admission-control rejections (shed load), as opposed to
+    /// execution-side failures.
     pub fn is_shed(&self) -> bool {
         matches!(
             self,
-            ServeError::QueueFull { .. } | ServeError::Overloaded { .. }
+            ServeError::QueueFull { .. }
+                | ServeError::Overloaded { .. }
+                | ServeError::Brownout { .. }
         )
     }
 }
@@ -135,6 +162,13 @@ impl std::fmt::Display for ServeError {
             ServeError::NoUsableDevices => write!(f, "all devices dead"),
             ServeError::Runtime(e) => write!(f, "runtime error: {e}"),
             ServeError::CacheIo(e) => write!(f, "artifact journal I/O: {e}"),
+            ServeError::Brownout { tenant, share } => {
+                write!(f, "brownout: tenant `{tenant}` over its share of {share}")
+            }
+            ServeError::SilentDivergence { model } => {
+                write!(f, "replica outputs diverged for `{model}`")
+            }
+            ServeError::Rollout(e) => write!(f, "rollout: {e}"),
         }
     }
 }

@@ -1,6 +1,6 @@
 //! The serving engine: a deterministic virtual-time event loop gluing
-//! admission, fair dispatch, dynamic batching, the artifact cache, and
-//! the fault-tolerant device pool together.
+//! admission, fair dispatch, dynamic batching, the artifact cache, the
+//! fault-tolerant device pool, and the model lifecycle together.
 //!
 //! Time is virtual milliseconds (the same clock the device simulator
 //! uses), so a whole overload experiment runs in microseconds of wall
@@ -8,8 +8,26 @@
 //! thread count: every scheduling decision happens on the single event
 //! loop, and the only parallel code (inside the tracker and executor) is
 //! pure and order-preserving.
+//!
+//! Three robustness layers ride on that loop:
+//!
+//! - **Blue/green rollout** ([`Service::begin_rollout`]): tenants are
+//!   always served the *stable* version's bits; the candidate executes
+//!   only in canary shadow, and a health gate (digest agreement +
+//!   candidate-side failure rates) decides promote-or-rollback as a
+//!   deterministic function of the virtual-time window. A corrupted
+//!   candidate therefore rolls back with zero wrong answers served.
+//! - **Deadline-aware scheduling**: requests carry deadlines; flushes
+//!   happen early enough to meet the tightest queued deadline, provably
+//!   late requests are shed as [`ServeOutcome::DeadlineExceeded`], and
+//!   sustained overload past the brownout watermark shrinks batch delay
+//!   and sheds lowest-weight work first.
+//! - **Hedged execution**: a batch straggling past an adaptive threshold
+//!   (from the running latency distribution) re-issues on a second
+//!   healthy device; first result wins, and the replicas' output digests
+//!   must agree — silent divergence is refused, never served.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -17,13 +35,18 @@ use tvm::target::{arm_a53, Target};
 use tvm_autotune::db::crc32;
 use tvm_autotune::{Database, RetryPolicy, Tracker};
 use tvm_runtime::GraphExecutor;
-use tvm_sim::FaultPlan;
+use tvm_sim::{mix64, FaultPlan};
 
 use crate::batch::{bucket_for, slice_rows, stack_rows, BatchPolicy};
 use crate::cache::{ArtifactCache, CacheStats};
 use crate::model::{Model, ALL_MODELS};
 use crate::tenancy::{AdmissionConfig, TenantConfig, TenantQueues};
+use crate::version::{ModelVersion, RolloutConfig, RolloutStats, VersionRegistry};
 use crate::ServeError;
+
+/// Service-time samples kept per model for latency estimation (deadline
+/// feasibility, hedge thresholds).
+const LATENCY_WINDOW: usize = 64;
 
 /// One inference request.
 #[derive(Clone, Debug)]
@@ -38,6 +61,9 @@ pub struct Request {
     pub payload: Vec<f32>,
     /// Arrival time on the virtual clock.
     pub arrival_ms: f64,
+    /// Absolute completion deadline on the virtual clock;
+    /// `f64::INFINITY` means no deadline.
+    pub deadline_ms: f64,
 }
 
 /// How a request ended.
@@ -50,6 +76,12 @@ pub enum ServeOutcome {
         /// The output row itself (kept only when
         /// [`ServiceConfig::keep_outputs`] is set).
         output: Option<Vec<f32>>,
+    },
+    /// Shed because it provably could not (or already did not) meet its
+    /// deadline — a late answer is a wrong answer for deadline traffic.
+    DeadlineExceeded {
+        /// The deadline the request carried.
+        deadline_ms: f64,
     },
     /// Rejected or failed with a typed error — never silent corruption.
     Rejected(ServeError),
@@ -97,12 +129,58 @@ pub struct TenantStats {
     pub name: String,
     /// Requests completed.
     pub ok: u64,
-    /// Requests shed by admission control.
+    /// Requests shed by admission control (brownout included).
     pub shed: u64,
     /// Requests failed during execution.
     pub err: u64,
+    /// Requests shed for missing their deadline.
+    pub deadline: u64,
     /// Worst queue wait a dispatched request saw.
     pub max_wait_ms: f64,
+}
+
+/// Hedged-execution policy. Off by default: hedging spends device time
+/// to buy tail latency, which only pays when the pool has spare healthy
+/// capacity.
+#[derive(Clone, Copy, Debug)]
+pub struct HedgePolicy {
+    /// Master switch.
+    pub enabled: bool,
+    /// Minimum latency samples for a model before hedging may trigger
+    /// (an adaptive threshold needs a distribution to adapt to).
+    pub min_samples: usize,
+    /// Quantile of the latency window the threshold derives from.
+    pub quantile: f64,
+    /// Multiplier on that quantile: hedge when the primary's service
+    /// time exceeds `quantile(q) * factor`.
+    pub factor: f64,
+    /// Floor for the threshold (virtual ms), so a very fast model does
+    /// not hedge on noise.
+    pub min_threshold_ms: f64,
+}
+
+impl Default for HedgePolicy {
+    fn default() -> HedgePolicy {
+        HedgePolicy {
+            enabled: false,
+            min_samples: 12,
+            quantile: 0.95,
+            factor: 1.5,
+            min_threshold_ms: 0.5,
+        }
+    }
+}
+
+/// Hedged-execution counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HedgeStats {
+    /// Secondary executions issued.
+    pub issued: u64,
+    /// Hedges whose secondary completed before the straggling primary.
+    pub wins: u64,
+    /// Hedges whose replicas disagreed on output bits (the whole batch
+    /// is refused as [`ServeError::SilentDivergence`]).
+    pub divergences: u64,
 }
 
 /// Aggregate statistics for one [`Service::run`].
@@ -114,6 +192,12 @@ pub struct ServiceStats {
     pub shed: u64,
     /// Requests failed during execution (typed errors).
     pub failed: u64,
+    /// Requests shed for missing their deadline.
+    pub deadline_exceeded: u64,
+    /// Requests shed specifically by brownout share limits.
+    pub brownout_sheds: u64,
+    /// Virtual time spent in brownout mode.
+    pub brownout_ms: f64,
     /// Batched executions dispatched.
     pub batches: u64,
     /// Sum of batch sizes (mean batch = `batch_size_sum / batches`).
@@ -124,6 +208,10 @@ pub struct ServiceStats {
     pub cache: CacheStats,
     /// Device-pool fault counters.
     pub pool: tvm_autotune::PoolStats,
+    /// Rollout/canary counters.
+    pub rollout: RolloutStats,
+    /// Hedged-execution counters.
+    pub hedge: HedgeStats,
     /// Per-tenant breakdown, in tenant order.
     pub per_tenant: Vec<TenantStats>,
 }
@@ -149,6 +237,12 @@ pub struct ServiceConfig {
     pub keep_outputs: bool,
     /// Journal path for the artifact cache; `None` = in-memory only.
     pub cache_path: Option<PathBuf>,
+    /// Journal path for the version registry; `None` = in-memory only.
+    pub version_path: Option<PathBuf>,
+    /// Canary/rollout policy.
+    pub rollout: RolloutConfig,
+    /// Hedged-execution policy.
+    pub hedge: HedgePolicy,
 }
 
 impl Default for ServiceConfig {
@@ -163,6 +257,9 @@ impl Default for ServiceConfig {
             db: None,
             keep_outputs: false,
             cache_path: None,
+            version_path: None,
+            rollout: RolloutConfig::default(),
+            hedge: HedgePolicy::default(),
         }
     }
 }
@@ -188,6 +285,15 @@ struct InFlight {
     records: Vec<ResponseRecord>,
 }
 
+/// One model's canary observation window (while a candidate exists).
+#[derive(Clone, Copy, Debug, Default)]
+struct CanaryWindow {
+    started_ms: f64,
+    batches: u64,
+    mismatches: u64,
+    failures: u64,
+}
+
 /// The inference service.
 pub struct Service {
     cfg: ServiceConfig,
@@ -195,17 +301,23 @@ pub struct Service {
     tracker: Tracker,
     queues: TenantQueues,
     cache: ArtifactCache,
+    versions: VersionRegistry,
+    canary: HashMap<Model, CanaryWindow>,
+    batch_seq: HashMap<Model, u64>,
+    latency: HashMap<Model, VecDeque<f64>>,
     lanes: Vec<f64>,
     in_flight: Vec<InFlight>,
     now_ms: f64,
     outstanding: usize,
+    tenant_outstanding: Vec<usize>,
+    brownout_since: Option<f64>,
     all_dead: bool,
     stats: ServiceStats,
 }
 
 impl Service {
-    /// Builds a service (opening or creating the artifact journal when
-    /// configured).
+    /// Builds a service (opening or creating the artifact and version
+    /// journals when configured).
     pub fn new(cfg: ServiceConfig) -> Result<Service, ServeError> {
         let target = arm_a53();
         let devices = cfg.devices.max(1);
@@ -215,6 +327,10 @@ impl Service {
         let cache = match &cfg.cache_path {
             Some(p) => ArtifactCache::open(p)?,
             None => ArtifactCache::in_memory(),
+        };
+        let versions = match &cfg.version_path {
+            Some(p) => VersionRegistry::open(p)?,
+            None => VersionRegistry::in_memory(),
         };
         let queues = TenantQueues::new(&cfg.tenants);
         let per_tenant = cfg
@@ -231,9 +347,15 @@ impl Service {
             tracker,
             queues,
             cache,
+            versions,
+            canary: HashMap::new(),
+            batch_seq: HashMap::new(),
+            latency: HashMap::new(),
             in_flight: Vec::new(),
             now_ms: 0.0,
             outstanding: 0,
+            tenant_outstanding: vec![0; cfg.tenants.len()],
+            brownout_since: None,
             all_dead: false,
             stats: ServiceStats {
                 per_tenant,
@@ -246,6 +368,35 @@ impl Service {
     /// The artifact cache (journal recovery report, stats).
     pub fn cache(&self) -> &ArtifactCache {
         &self.cache
+    }
+
+    /// The model-version registry (stable/candidate per model).
+    pub fn versions(&self) -> &VersionRegistry {
+        &self.versions
+    }
+
+    /// Starts a blue/green rollout: registers `weights`/`label` as the
+    /// candidate version of `model` and opens its canary window. Tenants
+    /// keep receiving the stable version's bits until the health gate
+    /// promotes the candidate.
+    pub fn begin_rollout(
+        &mut self,
+        model: Model,
+        weights: u64,
+        label: &str,
+    ) -> Result<ModelVersion, ServeError> {
+        let v = self.versions.register_candidate(model, weights, label)?;
+        self.versions.sync()?;
+        self.canary.insert(
+            model,
+            CanaryWindow {
+                started_ms: self.now_ms,
+                ..CanaryWindow::default()
+            },
+        );
+        self.batch_seq.insert(model, 0);
+        tvm_obs::counter_add("serve.rollout.started", 1);
+        Ok(v)
     }
 
     /// Runs a full trace of requests to completion and returns every
@@ -269,6 +420,10 @@ impl Service {
             }
             self.commit_completions(&mut responses);
             self.admit_arrivals(&mut arrivals, &mut responses);
+            self.note_brownout_transition();
+            for m in ALL_MODELS {
+                self.evaluate_rollout_gate(m);
+            }
             if self.all_dead {
                 self.drain_dead(&mut responses);
                 if arrivals.is_empty() {
@@ -284,6 +439,10 @@ impl Service {
                 self.now_ms = self.now_ms.max(t);
             }
             self.commit_completions(&mut responses);
+        }
+        self.note_brownout_transition();
+        if let Some(s) = self.brownout_since.take() {
+            self.stats.brownout_ms += self.now_ms - s;
         }
 
         responses.sort_by(|a, b| a.done_ms.total_cmp(&b.done_ms).then(a.id.cmp(&b.id)));
@@ -304,8 +463,92 @@ impl Service {
             .min_by(f64::total_cmp)
     }
 
+    /// True once outstanding work crosses the brownout watermark.
+    fn brownout_active(&self) -> bool {
+        self.outstanding >= self.cfg.admission.brownout_watermark
+    }
+
+    fn note_brownout_transition(&mut self) {
+        match (self.brownout_active(), self.brownout_since) {
+            (true, None) => self.brownout_since = Some(self.now_ms),
+            (false, Some(s)) => {
+                self.stats.brownout_ms += self.now_ms - s;
+                self.brownout_since = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// The batch-forming delay currently in force (shrunk in brownout).
+    fn effective_delay_ms(&self) -> f64 {
+        if self.brownout_active() {
+            self.cfg.batch.max_delay_ms * self.cfg.batch.brownout_delay_factor.clamp(0.0, 1.0)
+        } else {
+            self.cfg.batch.max_delay_ms
+        }
+    }
+
+    /// Running service-time estimate for a model (median of the window);
+    /// `None` until enough batches completed to trust it.
+    fn est_service_ms(&self, model: Model) -> Option<f64> {
+        let h = self.latency.get(&model)?;
+        if h.len() < 4 {
+            return None;
+        }
+        let mut v: Vec<f64> = h.iter().copied().collect();
+        v.sort_by(f64::total_cmp);
+        Some(v[v.len() / 2])
+    }
+
+    /// Adaptive hedge threshold for a model, when hedging is armed and
+    /// the latency window has enough samples.
+    fn hedge_threshold_ms(&self, model: Model) -> Option<f64> {
+        if !self.cfg.hedge.enabled {
+            return None;
+        }
+        let h = self.latency.get(&model)?;
+        if h.len() < self.cfg.hedge.min_samples.max(1) {
+            return None;
+        }
+        let mut v: Vec<f64> = h.iter().copied().collect();
+        v.sort_by(f64::total_cmp);
+        let q = self.cfg.hedge.quantile.clamp(0.0, 1.0);
+        let idx = ((v.len() - 1) as f64 * q).round() as usize;
+        Some((v[idx] * self.cfg.hedge.factor).max(self.cfg.hedge.min_threshold_ms))
+    }
+
+    fn record_latency(&mut self, model: Model, ms: f64) {
+        let h = self.latency.entry(model).or_default();
+        h.push_back(ms);
+        while h.len() > LATENCY_WINDOW {
+            h.pop_front();
+        }
+    }
+
+    /// The earliest time a flush of `model` becomes due: a full batch is
+    /// due now; otherwise the (brownout-shrunk) max-delay timer — pulled
+    /// earlier when the tightest queued deadline needs it.
+    fn flush_due_at(&self, model: Model) -> Option<f64> {
+        let queued = self.queues.queued_for(model);
+        if queued == 0 {
+            return None;
+        }
+        if queued >= self.cfg.batch.max_batch {
+            return Some(self.now_ms);
+        }
+        let oldest = self.queues.oldest_arrival_for(model)?;
+        let mut due = oldest + self.effective_delay_ms();
+        if let (Some(est), Some(dl)) = (
+            self.est_service_ms(model),
+            self.queues.min_deadline_for(model),
+        ) {
+            due = due.min(dl - est);
+        }
+        Some(due.max(self.now_ms))
+    }
+
     /// The earliest time anything can happen: a completion, an arrival,
-    /// or — when a lane is free — a batch flush deadline.
+    /// or — when a lane is free — a batch flush coming due.
     fn next_event_time(&self, arrivals: &VecDeque<Request>) -> Option<f64> {
         let mut next = f64::INFINITY;
         if let Some(t) = self.next_completion() {
@@ -316,14 +559,8 @@ impl Service {
         }
         if self.lane_free() {
             for m in ALL_MODELS {
-                let queued = self.queues.queued_for(m);
-                if queued == 0 {
-                    continue;
-                }
-                if queued >= self.cfg.batch.max_batch {
-                    next = next.min(self.now_ms);
-                } else if let Some(oldest) = self.queues.oldest_arrival_for(m) {
-                    next = next.min((oldest + self.cfg.batch.max_delay_ms).max(self.now_ms));
+                if let Some(due) = self.flush_due_at(m) {
+                    next = next.min(due);
                 }
             }
         }
@@ -349,9 +586,16 @@ impl Service {
             let f = self.in_flight.remove(0);
             for rec in f.records {
                 self.note_outcome(&rec);
-                self.outstanding = self.outstanding.saturating_sub(1);
+                self.release_outstanding(&rec.tenant);
                 responses.push(rec);
             }
+        }
+    }
+
+    fn release_outstanding(&mut self, tenant: &str) {
+        self.outstanding = self.outstanding.saturating_sub(1);
+        if let Some(t) = self.queues.index_of(tenant) {
+            self.tenant_outstanding[t] = self.tenant_outstanding[t].saturating_sub(1);
         }
     }
 
@@ -365,8 +609,19 @@ impl Service {
                 }
                 tvm_obs::counter_add("serve.completed", 1);
             }
+            ServeOutcome::DeadlineExceeded { .. } => {
+                self.stats.deadline_exceeded += 1;
+                if let Some(t) = t {
+                    self.stats.per_tenant[t].deadline += 1;
+                }
+                tvm_obs::counter_add("serve.deadline_exceeded", 1);
+            }
             ServeOutcome::Rejected(e) if e.is_shed() => {
                 self.stats.shed += 1;
+                if matches!(e, ServeError::Brownout { .. }) {
+                    self.stats.brownout_sheds += 1;
+                    tvm_obs::counter_add("serve.shed.brownout", 1);
+                }
                 if let Some(t) = t {
                     self.stats.per_tenant[t].shed += 1;
                 }
@@ -392,6 +647,23 @@ impl Service {
             batch_size: 0,
             bucket: 0,
             outcome: ServeOutcome::Rejected(err),
+        };
+        self.note_outcome(&rec);
+        responses.push(rec);
+    }
+
+    fn expire(&mut self, req: Request, responses: &mut Vec<ResponseRecord>) {
+        let rec = ResponseRecord {
+            id: req.id,
+            tenant: req.tenant,
+            model: req.model,
+            arrival_ms: req.arrival_ms,
+            done_ms: self.now_ms,
+            batch_size: 0,
+            bucket: 0,
+            outcome: ServeOutcome::DeadlineExceeded {
+                deadline_ms: req.deadline_ms,
+            },
         };
         self.note_outcome(&rec);
         responses.push(rec);
@@ -427,6 +699,11 @@ impl Service {
                 self.reject(req, e, responses);
                 continue;
             }
+            if req.deadline_ms <= self.now_ms {
+                // Already expired on arrival: never occupies capacity.
+                self.expire(req, responses);
+                continue;
+            }
             let cap = self.cfg.admission.max_outstanding;
             if self.outstanding >= cap {
                 tvm_obs::counter_add("serve.shed.overloaded", 1);
@@ -440,8 +717,36 @@ impl Service {
                 );
                 continue;
             }
+            if self.brownout_active() {
+                // Brownout: hold each tenant to its weight-proportional
+                // share of the global cap, so heavy low-weight traffic
+                // is shed first while high-weight tenants keep flowing.
+                let total_w: u64 = self
+                    .queues
+                    .configs()
+                    .iter()
+                    .map(|c| u64::from(c.weight))
+                    .sum();
+                let w = u64::from(self.queues.configs()[tenant].weight);
+                let share = ((cap as u64 * w) / total_w.max(1)).max(1) as usize;
+                if self.tenant_outstanding[tenant] >= share {
+                    let name = self.queues.configs()[tenant].name.clone();
+                    self.reject(
+                        req,
+                        ServeError::Brownout {
+                            tenant: name,
+                            share,
+                        },
+                        responses,
+                    );
+                    continue;
+                }
+            }
             match self.queues.enqueue(tenant, req) {
-                Ok(()) => self.outstanding += 1,
+                Ok(()) => {
+                    self.outstanding += 1;
+                    self.tenant_outstanding[tenant] += 1;
+                }
                 Err(shed) => {
                     let (req, e) = *shed;
                     self.reject(req, e, responses);
@@ -459,13 +764,11 @@ impl Service {
             // registry order breaks ties.
             let mut pick: Option<(f64, Model)> = None;
             for m in ALL_MODELS {
-                let queued = self.queues.queued_for(m);
-                if queued == 0 {
+                if self.queues.queued_for(m) == 0 {
                     continue;
                 }
                 let oldest = self.queues.oldest_arrival_for(m).unwrap_or(self.now_ms);
-                let due = queued >= self.cfg.batch.max_batch
-                    || self.now_ms >= oldest + self.cfg.batch.max_delay_ms;
+                let due = self.flush_due_at(m).is_some_and(|t| t <= self.now_ms);
                 if due && pick.is_none_or(|(t, _)| oldest < t) {
                     pick = Some((oldest, m));
                 }
@@ -478,6 +781,48 @@ impl Service {
         }
     }
 
+    /// Runs one module's kernels as jobs on the device pool, excluding
+    /// `banned` devices. Returns the charged service time, the device
+    /// that produced the accepted result, the first failure (if any),
+    /// and how many kernels failed outright.
+    fn run_on_pool(
+        &mut self,
+        module: &Arc<tvm_runtime::Module>,
+        banned: &[usize],
+    ) -> (f64, Option<usize>, Option<ServeError>, u64) {
+        let funcs: Vec<&tvm_ir::LoweredFunc> = module.kernels.iter().map(|k| &k.func).collect();
+        let outcomes = self
+            .tracker
+            .run_batch_banned(self.target.name(), &funcs, banned);
+        let mut total = 0.0;
+        let mut device = None;
+        let mut failure: Option<ServeError> = None;
+        let mut failed = 0u64;
+        for (k, o) in module.kernels.iter().zip(&outcomes) {
+            total += o.backoff_ms;
+            match &o.ms {
+                Ok(ms) => {
+                    total += ms;
+                    device = o.device;
+                }
+                Err(e) => {
+                    total += self.cfg.retry.timeout_ms * o.attempts as f64;
+                    failed += 1;
+                    if failure.is_none() {
+                        failure = Some(ServeError::DeviceFailure {
+                            kernel: k.name.clone(),
+                            detail: e.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        if self.tracker.health().iter().all(|h| h.dead) {
+            self.all_dead = true;
+        }
+        (total, device, failure, failed)
+    }
+
     fn flush(&mut self, model: Model, responses: &mut Vec<ResponseRecord>) {
         let want = self.cfg.batch.max_batch.min(self.queues.queued_for(model));
         let reqs = self.queues.dispatch_model(model, want.max(1), self.now_ms);
@@ -485,20 +830,51 @@ impl Service {
             return;
         }
         let _sp = tvm_obs::span_with("serve.flush", &[("model", model.name())]);
+
+        // Deadline gate: requests that provably cannot finish by their
+        // deadline (running latency estimate; expired deadlines need no
+        // estimate) are shed now instead of executed late.
+        let est = self.est_service_ms(model).unwrap_or(0.0);
+        let (reqs, late): (Vec<Request>, Vec<Request>) = reqs
+            .into_iter()
+            .partition(|r| self.now_ms + est <= r.deadline_ms);
+        for r in late {
+            self.release_outstanding(&r.tenant);
+            self.expire(r, responses);
+        }
+        // A malformed payload degrades that request alone, never the
+        // batch or the process.
+        let (reqs, malformed): (Vec<Request>, Vec<Request>) = reqs
+            .into_iter()
+            .partition(|r| r.payload.len() == r.model.row_len());
+        for r in malformed {
+            let e = ServeError::Runtime(tvm_runtime::RuntimeError::DataMismatch {
+                expected: r.model.row_len(),
+                got: r.payload.len(),
+            });
+            self.release_outstanding(&r.tenant);
+            self.reject(r, e, responses);
+        }
+        if reqs.is_empty() {
+            return;
+        }
+
         tvm_obs::counter_add("serve.batches", 1);
         self.stats.batches += 1;
         self.stats.batch_size_sum += reqs.len() as u64;
         let bucket = bucket_for(reqs.len());
 
+        let stable = self.versions.stable(model);
+        let sfp = stable.fingerprint();
         let module =
             match self
                 .cache
-                .get_or_build(model, bucket, &self.target, self.cfg.db.as_ref())
+                .get_or_build(model, bucket, &self.target, self.cfg.db.as_ref(), sfp)
             {
                 Ok(m) => m,
                 Err(e) => {
                     for r in reqs {
-                        self.outstanding = self.outstanding.saturating_sub(1);
+                        self.release_outstanding(&r.tenant);
                         self.reject(r, e.clone(), responses);
                     }
                     return;
@@ -506,53 +882,102 @@ impl Service {
             };
 
         // Timing + fault handling: each kernel is one job on the pool.
-        let service_ms = {
+        let (primary_ms, primary_dev, primary_err, _pf) = {
             let _sp = tvm_obs::span("serve.execute.pool");
-            let funcs: Vec<&tvm_ir::LoweredFunc> = module.kernels.iter().map(|k| &k.func).collect();
-            let outcomes = self.tracker.run_batch_detailed(self.target.name(), &funcs);
-            let mut total = 0.0;
-            let mut failure: Option<ServeError> = None;
-            for (k, o) in module.kernels.iter().zip(&outcomes) {
-                total += o.backoff_ms;
-                match &o.ms {
-                    Ok(ms) => total += ms,
-                    Err(e) => {
-                        total += self.cfg.retry.timeout_ms * o.attempts as f64;
-                        if failure.is_none() {
-                            failure = Some(ServeError::DeviceFailure {
-                                kernel: k.name.clone(),
-                                detail: e.to_string(),
-                            });
+            self.run_on_pool(&module, &[])
+        };
+        if let Some(e) = primary_err {
+            let done = self.now_ms + primary_ms;
+            let records = reqs
+                .iter()
+                .map(|r| {
+                    record_for(
+                        r,
+                        done,
+                        reqs.len(),
+                        bucket,
+                        ServeOutcome::Rejected(e.clone()),
+                    )
+                })
+                .collect();
+            self.occupy_lane(done, records);
+            return;
+        }
+
+        // Hedge: when the primary straggles past the adaptive threshold
+        // and a second healthy device exists, re-issue there. The batch
+        // completes at whichever replica finishes first (the secondary
+        // is launched `threshold` after the primary).
+        let mut service_ms = primary_ms;
+        let mut winner_dev = primary_dev;
+        let mut hedge_dev: Option<usize> = None;
+        if let Some(thr) = self.hedge_threshold_ms(model) {
+            if primary_ms > thr && self.tracker.usable_count() > 1 {
+                if let Some(pd) = primary_dev {
+                    let _sp = tvm_obs::span_with("serve.hedge", &[("model", model.name())]);
+                    self.stats.hedge.issued += 1;
+                    tvm_obs::counter_add("serve.hedge.issued", 1);
+                    let (sec_ms, sec_dev, sec_err, _sf) = self.run_on_pool(&module, &[pd]);
+                    if sec_err.is_none() {
+                        if let Some(sd) = sec_dev {
+                            hedge_dev = Some(sd);
+                            let hedged_done = thr + sec_ms;
+                            if hedged_done < service_ms {
+                                service_ms = hedged_done;
+                                winner_dev = Some(sd);
+                                self.stats.hedge.wins += 1;
+                                tvm_obs::counter_add("serve.hedge.wins", 1);
+                            }
                         }
                     }
                 }
             }
-            if self.tracker.health().iter().all(|h| h.dead) {
-                self.all_dead = true;
+        }
+        // The latency window records *unhedged* service times, so the
+        // threshold tracks the device distribution, not its own effect.
+        self.record_latency(model, primary_ms);
+
+        // Functional execution: pure and bit-exact; the executing device
+        // matters only to the fault plan's version-corruption oracle.
+        let result = self.execute_batch(&module, model, bucket, &reqs, &stable, winner_dev);
+        let result = match (result, hedge_dev, primary_dev) {
+            (Ok(rows), Some(sd), Some(pd)) => {
+                // Both replicas computed the batch: their digests must
+                // agree, or neither answer is served.
+                let loser = if winner_dev == Some(sd) { pd } else { sd };
+                match self.execute_batch(&module, model, bucket, &reqs, &stable, Some(loser)) {
+                    Ok(other) => {
+                        let diverged = rows
+                            .iter()
+                            .zip(&other)
+                            .any(|(a, b)| row_digest(a) != row_digest(b));
+                        if diverged {
+                            self.stats.hedge.divergences += 1;
+                            tvm_obs::counter_add("serve.hedge.divergences", 1);
+                            Err(ServeError::SilentDivergence {
+                                model: model.name().to_string(),
+                            })
+                        } else {
+                            Ok(rows)
+                        }
+                    }
+                    Err(e) => Err(e),
+                }
             }
-            if let Some(e) = failure {
-                let done = self.now_ms + total;
-                let records = reqs
-                    .iter()
-                    .map(|r| ResponseRecord {
-                        id: r.id,
-                        tenant: r.tenant.clone(),
-                        model: r.model,
-                        arrival_ms: r.arrival_ms,
-                        done_ms: done,
-                        batch_size: reqs.len(),
-                        bucket,
-                        outcome: ServeOutcome::Rejected(e.clone()),
-                    })
-                    .collect();
-                self.occupy_lane(done, records);
-                return;
-            }
-            total
+            (r, _, _) => r,
         };
 
-        // Functional execution: pure, fault-free, bit-exact.
-        let result = self.execute_batch(&module, model, bucket, &reqs);
+        // Canary shadow: while a candidate exists, a deterministic
+        // fraction of batches also executes on the candidate version,
+        // feeding the promote-or-rollback health gate. Tenants are still
+        // served the stable bits computed above.
+        if let Ok(rows) = &result {
+            if self.versions.candidate(model).is_some() {
+                let rows = rows.clone();
+                self.canary_shadow(model, bucket, &reqs, &rows, &stable);
+            }
+        }
+
         let done = self.now_ms + service_ms;
         let records: Vec<ResponseRecord> = match result {
             Ok(rows) => reqs
@@ -560,51 +985,209 @@ impl Service {
                 .zip(rows)
                 .map(|(r, row)| {
                     let digest = row_digest(&row);
-                    ResponseRecord {
-                        id: r.id,
-                        tenant: r.tenant.clone(),
-                        model: r.model,
-                        arrival_ms: r.arrival_ms,
-                        done_ms: done,
-                        batch_size: reqs.len(),
+                    record_for(
+                        r,
+                        done,
+                        reqs.len(),
                         bucket,
-                        outcome: ServeOutcome::Ok {
+                        ServeOutcome::Ok {
                             digest,
                             output: self.cfg.keep_outputs.then_some(row),
                         },
-                    }
+                    )
                 })
                 .collect(),
             Err(e) => reqs
                 .iter()
-                .map(|r| ResponseRecord {
-                    id: r.id,
-                    tenant: r.tenant.clone(),
-                    model: r.model,
-                    arrival_ms: r.arrival_ms,
-                    done_ms: done,
-                    batch_size: reqs.len(),
-                    bucket,
-                    outcome: ServeOutcome::Rejected(e.clone()),
+                .map(|r| {
+                    record_for(
+                        r,
+                        done,
+                        reqs.len(),
+                        bucket,
+                        ServeOutcome::Rejected(e.clone()),
+                    )
                 })
                 .collect(),
         };
         self.occupy_lane(done, records);
     }
 
+    /// Shadow-executes one canary batch on the candidate version and
+    /// feeds the health gate: digest agreement against the reference
+    /// (stable bits for a bit-compatible rollout, the candidate on a
+    /// second device otherwise) plus candidate-side failure rates.
+    fn canary_shadow(
+        &mut self,
+        model: Model,
+        bucket: i64,
+        reqs: &[Request],
+        served: &[Vec<f32>],
+        stable: &ModelVersion,
+    ) {
+        let every = self.cfg.rollout.canary_every();
+        let seq = self.batch_seq.entry(model).or_insert(0);
+        *seq += 1;
+        if !(*seq).is_multiple_of(every) {
+            return;
+        }
+        let Some(cand) = self.versions.candidate(model).cloned() else {
+            return;
+        };
+        let _sp = tvm_obs::span_with("serve.canary", &[("model", model.name())]);
+        let cfp = cand.fingerprint();
+        let mut failures = 0u64;
+        let mut mismatches = 0u64;
+        match self
+            .cache
+            .get_or_build(model, bucket, &self.target, self.cfg.db.as_ref(), cfp)
+        {
+            Err(_) => {
+                // A candidate that cannot compile can never be promoted:
+                // charge it past the failure budget immediately.
+                failures += self.cfg.rollout.max_candidate_failures + 1;
+            }
+            Ok(cmodule) => {
+                let (_sh_ms, sh_dev, sh_err, sh_failed) = self.run_on_pool(&cmodule, &[]);
+                failures += sh_failed;
+                if sh_err.is_none() {
+                    match self.execute_batch(&cmodule, model, bucket, reqs, &cand, sh_dev) {
+                        Err(_) => failures += 1,
+                        Ok(crows) => {
+                            if cand.weights == stable.weights {
+                                // Bit-compatible rollout (re-tuned
+                                // artifact, same weights): the candidate
+                                // must reproduce the served bits.
+                                mismatches += crows
+                                    .iter()
+                                    .zip(served)
+                                    .filter(|(c, s)| row_digest(c) != row_digest(s))
+                                    .count() as u64;
+                            } else if let Some(sd) = sh_dev {
+                                // New weights legitimately change the
+                                // outputs; the oracle becomes the
+                                // candidate against itself on a second
+                                // device (refutes per-replica rot).
+                                if self.tracker.usable_count() > 1 {
+                                    let (_m2, rdev, rerr, rfailed) =
+                                        self.run_on_pool(&cmodule, &[sd]);
+                                    failures += rfailed;
+                                    if rerr.is_none() {
+                                        if let Some(rd) = rdev {
+                                            if let Ok(rrows) = self.execute_batch(
+                                                &cmodule,
+                                                model,
+                                                bucket,
+                                                reqs,
+                                                &cand,
+                                                Some(rd),
+                                            ) {
+                                                mismatches += crows
+                                                    .iter()
+                                                    .zip(&rrows)
+                                                    .filter(|(a, b)| row_digest(a) != row_digest(b))
+                                                    .count()
+                                                    as u64;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let w = self.canary.entry(model).or_insert(CanaryWindow {
+            started_ms: self.now_ms,
+            ..CanaryWindow::default()
+        });
+        w.batches += 1;
+        w.mismatches += mismatches;
+        w.failures += failures;
+        self.stats.rollout.canary_batches += 1;
+        self.stats.rollout.canary_rows += reqs.len() as u64;
+        self.stats.rollout.digest_mismatches += mismatches;
+        self.stats.rollout.candidate_failures += failures;
+        tvm_obs::counter_add("serve.canary.batches", 1);
+        if mismatches > 0 {
+            tvm_obs::counter_add("serve.canary.mismatches", mismatches);
+        }
+        self.evaluate_rollout_gate(model);
+    }
+
+    /// The promote-or-rollback decision, a pure function of the canary
+    /// window state and the virtual clock. Any digest mismatch rolls
+    /// back instantly; failure-budget exhaustion rolls back; a clean
+    /// window of sufficient length and sample count promotes.
+    fn evaluate_rollout_gate(&mut self, model: Model) {
+        if self.versions.candidate(model).is_none() {
+            return;
+        }
+        let Some(w) = self.canary.get(&model).copied() else {
+            return;
+        };
+        let rc = self.cfg.rollout;
+        if w.mismatches > 0 {
+            self.finish_rollout(model, false, "digest_mismatch");
+        } else if w.failures > rc.max_candidate_failures {
+            self.finish_rollout(model, false, "candidate_failures");
+        } else if w.batches >= rc.min_canary_batches && self.now_ms >= w.started_ms + rc.window_ms {
+            self.finish_rollout(model, true, "healthy");
+        }
+    }
+
+    fn finish_rollout(&mut self, model: Model, promote: bool, reason: &str) {
+        let applied = if promote {
+            self.versions.promote(model).is_ok()
+        } else {
+            self.versions.rollback(model, reason).is_ok()
+        };
+        if applied {
+            if promote {
+                self.stats.rollout.promotions += 1;
+                tvm_obs::counter_add("serve.rollout.promotions", 1);
+            } else {
+                self.stats.rollout.rollbacks += 1;
+                tvm_obs::counter_add("serve.rollout.rollbacks", 1);
+            }
+        }
+        self.canary.remove(&model);
+        self.batch_seq.remove(&model);
+        let _ = self.versions.sync();
+    }
+
+    /// Functional execution of one batch under a specific model version.
+    /// Pure and fault-free except for the fault plan's version-corruption
+    /// oracle, which (deterministically) perturbs outputs when this
+    /// version is corrupted on the executing device.
     fn execute_batch(
         &self,
         module: &Arc<tvm_runtime::Module>,
         model: Model,
         bucket: i64,
         reqs: &[Request],
+        version: &ModelVersion,
+        device: Option<usize>,
     ) -> Result<Vec<Vec<f32>>, ServeError> {
         let _sp = tvm_obs::span("serve.execute.functional");
-        let mut ex = GraphExecutor::from_arc(Arc::clone(module));
+        let mut ex = GraphExecutor::from_arc_with_weights(Arc::clone(module), version.weights);
         ex.set_input(model.input_name(), stack_rows(model, bucket, reqs)?)?;
         ex.run()?;
         let out = ex.get_output(0)?;
-        slice_rows(model, out, reqs.len())
+        let mut rows = slice_rows(model, out, reqs.len())?;
+        if let Some(d) = device {
+            if let Some(cseed) = self.cfg.faults.output_corruption(version.fingerprint(), d) {
+                for (r, row) in reqs.iter().zip(rows.iter_mut()) {
+                    if !row.is_empty() {
+                        let i = (mix64(cseed, r.id, row.len() as u64) as usize) % row.len();
+                        // Flip a mantissa bit: value changes, stays finite.
+                        row[i] = f32::from_bits(row[i].to_bits() ^ 0x0040_0000);
+                    }
+                }
+            }
+        }
+        Ok(rows)
     }
 
     fn occupy_lane(&mut self, done_at: f64, records: Vec<ResponseRecord>) {
@@ -619,9 +1202,28 @@ impl Service {
 
     fn drain_dead(&mut self, responses: &mut Vec<ResponseRecord>) {
         for req in self.queues.drain() {
-            self.outstanding = self.outstanding.saturating_sub(1);
+            self.release_outstanding(&req.tenant);
             self.reject(req, ServeError::NoUsableDevices, responses);
         }
+    }
+}
+
+fn record_for(
+    r: &Request,
+    done: f64,
+    size: usize,
+    bucket: i64,
+    outcome: ServeOutcome,
+) -> ResponseRecord {
+    ResponseRecord {
+        id: r.id,
+        tenant: r.tenant.clone(),
+        model: r.model,
+        arrival_ms: r.arrival_ms,
+        done_ms: done,
+        batch_size: size,
+        bucket,
+        outcome,
     }
 }
 

@@ -54,12 +54,19 @@ pub struct AdmissionConfig {
     /// Maximum requests admitted but not yet completed (queued + forming
     /// + in flight) before arrivals are shed with `Overloaded`.
     pub max_outstanding: usize,
+    /// Outstanding-request level at which the service enters *brownout*:
+    /// batch delays shrink and each tenant is held to its
+    /// weight-proportional share of `max_outstanding`, so sustained
+    /// overload sheds the lowest-weight work first instead of collapsing
+    /// p99 for everyone. `usize::MAX` (the default) disables brownout.
+    pub brownout_watermark: usize,
 }
 
 impl Default for AdmissionConfig {
     fn default() -> AdmissionConfig {
         AdmissionConfig {
             max_outstanding: 256,
+            brownout_watermark: usize::MAX,
         }
     }
 }
@@ -143,6 +150,17 @@ impl TenantQueues {
             .flat_map(|q| q.iter())
             .filter(|r| r.model == model)
             .map(|r| r.arrival_ms)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Earliest *finite* deadline among queued requests for one model
+    /// (drives deadline-cognizant early flushes).
+    pub fn min_deadline_for(&self, model: crate::Model) -> Option<f64> {
+        self.queues
+            .iter()
+            .flat_map(|q| q.iter())
+            .filter(|r| r.model == model && r.deadline_ms.is_finite())
+            .map(|r| r.deadline_ms)
             .min_by(f64::total_cmp)
     }
 
@@ -244,6 +262,7 @@ mod tests {
             model: Model::Mlp,
             payload: vec![0.0; Model::Mlp.row_len()],
             arrival_ms: 0.0,
+            deadline_ms: f64::INFINITY,
         }
     }
 

@@ -34,6 +34,9 @@ pub struct TenantTraffic {
     pub models: Vec<Model>,
     /// Burst windows.
     pub bursts: Vec<BurstSpec>,
+    /// Latency budget stamped on every request (`deadline = arrival +
+    /// budget`); `None` means no deadline.
+    pub deadline_budget_ms: Option<f64>,
 }
 
 /// A full traffic scenario.
@@ -88,6 +91,7 @@ pub fn generate(spec: &TrafficSpec) -> Vec<Request> {
                 model,
                 payload,
                 arrival_ms: now,
+                deadline_ms: t.deadline_budget_ms.map_or(f64::INFINITY, |b| now + b),
             });
         }
     }
@@ -119,6 +123,7 @@ mod tests {
                     end_ms: 300.0,
                     factor: 4.0,
                 }],
+                deadline_budget_ms: None,
             }],
         }
     }

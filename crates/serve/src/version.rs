@@ -1,0 +1,434 @@
+//! Versioned models and the blue/green rollout registry.
+//!
+//! A [`ModelVersion`] pins a servable model to a weight-set seed and a
+//! human label; its [`fingerprint`](ModelVersion::fingerprint) is the
+//! identity the artifact cache keys on and the fault plan corrupts.
+//! The [`VersionRegistry`] tracks, per model, one **stable** version
+//! (what tenants are served) and at most one **candidate** (the blue/
+//! green "green" side, executed only in canary shadow until the health
+//! gate promotes it). Every lifecycle transition — register, promote,
+//! roll back — is journaled in the PR 4 append-only checksummed format,
+//! so a crash mid-promotion recovers to the pre-promotion stable
+//! version: torn tails are truncated at a record boundary and replay is
+//! a pure fold over the surviving records.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use tvm_autotune::db::crc32;
+use tvm_autotune::{DbRecord, Journal, RecoveryReport};
+use tvm_sim::mix64;
+
+use crate::{Model, ServeError, ALL_MODELS};
+
+/// One deployable version of a model: the graph plus a weight-set seed.
+///
+/// Weight seed `0` is the legacy initialization every pre-versioning
+/// deployment used, so the baseline version serves bit-identical answers
+/// to an unversioned service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelVersion {
+    /// Which model this versions.
+    pub model: Model,
+    /// Weight-set seed mixed into parameter initialization (0 = legacy).
+    pub weights: u64,
+    /// Human label ("v0", "v1-retuned", …). Part of the fingerprint, so
+    /// re-registering the same weights under a new label is a distinct
+    /// version with its own artifacts.
+    pub label: String,
+}
+
+impl ModelVersion {
+    /// The implicit version every model starts at: legacy weights, "v0".
+    pub fn baseline(model: Model) -> ModelVersion {
+        ModelVersion {
+            model,
+            weights: 0,
+            label: "v0".to_string(),
+        }
+    }
+
+    /// Deterministic 64-bit identity of this version: model, weight
+    /// seed, and label. Cache keys and fault-plan corruption target this.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = mix64(
+            self.weights,
+            u64::from(crc32(self.model.name().as_bytes())),
+            0x7665_7273, // "vers"
+        );
+        for &b in self.label.as_bytes() {
+            h = mix64(h, u64::from(b), 0x6c61_6265); // "labe"
+        }
+        h
+    }
+}
+
+/// Canary/rollout policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RolloutConfig {
+    /// Fraction of a model's batches canaried while a candidate exists
+    /// (shadow-executed on the candidate version). Clamped to (0, 1].
+    pub canary_fraction: f64,
+    /// How long (virtual ms) the canary window observes before the gate
+    /// may promote.
+    pub window_ms: f64,
+    /// Minimum canaried batches before the gate may promote.
+    pub min_canary_batches: u64,
+    /// Candidate-side device failures (pool retry exhaustion, compile
+    /// errors) tolerated inside the window before automatic rollback.
+    pub max_candidate_failures: u64,
+}
+
+impl Default for RolloutConfig {
+    fn default() -> RolloutConfig {
+        RolloutConfig {
+            canary_fraction: 0.25,
+            window_ms: 50.0,
+            min_canary_batches: 4,
+            max_candidate_failures: 2,
+        }
+    }
+}
+
+impl RolloutConfig {
+    /// Every N-th batch is a canary batch.
+    pub fn canary_every(&self) -> u64 {
+        let f = self.canary_fraction.clamp(1e-6, 1.0);
+        (1.0 / f).round().max(1.0) as u64
+    }
+}
+
+/// Rollout/canary counters for one [`Service::run`](crate::Service::run).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RolloutStats {
+    /// Batches shadow-executed on a candidate version.
+    pub canary_batches: u64,
+    /// Rows those batches carried.
+    pub canary_rows: u64,
+    /// Canary rows whose digest disagreed with the health gate's
+    /// reference (stable version, or the candidate on a second device).
+    pub digest_mismatches: u64,
+    /// Candidate-side device/compile failures observed in canary windows.
+    pub candidate_failures: u64,
+    /// Candidates promoted to stable.
+    pub promotions: u64,
+    /// Candidates rolled back.
+    pub rollbacks: u64,
+}
+
+/// Lifecycle record ops, as encoded in the journal's `config` field.
+enum LifecycleOp {
+    Register { weights: u64, label: String },
+    Promote { weights: u64, label: String },
+    Rollback,
+}
+
+fn decode_op(config: &str, config_index: u64) -> Option<LifecycleOp> {
+    let (tag, label) = config.split_once(':')?;
+    match tag {
+        "R" => Some(LifecycleOp::Register {
+            weights: config_index,
+            label: label.to_string(),
+        }),
+        "P" => Some(LifecycleOp::Promote {
+            weights: config_index,
+            label: label.to_string(),
+        }),
+        // Rollback records carry `B:<label>|<reason>`; replay only needs
+        // the op (the candidate is discarded whatever it was).
+        "B" => Some(LifecycleOp::Rollback),
+        _ => None,
+    }
+}
+
+/// The per-model version registry with journaled lifecycle transitions.
+pub struct VersionRegistry {
+    journal: Option<Journal>,
+    stable: HashMap<Model, ModelVersion>,
+    candidate: HashMap<Model, ModelVersion>,
+    seq: HashMap<Model, u64>,
+    recovery: RecoveryReport,
+}
+
+impl VersionRegistry {
+    fn task_for(model: Model) -> String {
+        format!("version/{}", model.name())
+    }
+
+    /// A purely in-memory registry (no persistence).
+    pub fn in_memory() -> VersionRegistry {
+        VersionRegistry {
+            journal: None,
+            stable: baseline_map(),
+            candidate: HashMap::new(),
+            seq: HashMap::new(),
+            recovery: RecoveryReport::default(),
+        }
+    }
+
+    /// Opens (or creates) a journal-backed registry and replays the
+    /// recorded lifecycle. Torn tails, duplicate trials and garbage
+    /// lines are handled by journal recovery; an interrupted promotion
+    /// (no `P` record survived) replays to the pre-promotion stable.
+    pub fn open(path: &Path) -> Result<VersionRegistry, ServeError> {
+        let (journal, recovery) =
+            Journal::open(path).map_err(|e| ServeError::CacheIo(e.to_string()))?;
+        let mut reg = VersionRegistry {
+            journal: Some(journal),
+            stable: baseline_map(),
+            candidate: HashMap::new(),
+            seq: HashMap::new(),
+            recovery,
+        };
+        reg.replay();
+        Ok(reg)
+    }
+
+    fn replay(&mut self) {
+        let Some(j) = &self.journal else { return };
+        for m in ALL_MODELS {
+            let task = Self::task_for(m);
+            let mut stable = ModelVersion::baseline(m);
+            let mut candidate: Option<ModelVersion> = None;
+            let mut seq = 0;
+            for rec in j.trials_for(&task) {
+                seq = seq.max(rec.trial);
+                match decode_op(&rec.config, rec.config_index) {
+                    Some(LifecycleOp::Register { weights, label }) => {
+                        candidate = Some(ModelVersion {
+                            model: m,
+                            weights,
+                            label,
+                        });
+                    }
+                    Some(LifecycleOp::Promote { weights, label }) => {
+                        // The promote record is self-contained, so a
+                        // duplicate (re-journaled) promotion is an
+                        // idempotent no-op on replay.
+                        stable = ModelVersion {
+                            model: m,
+                            weights,
+                            label,
+                        };
+                        candidate = None;
+                    }
+                    Some(LifecycleOp::Rollback) => candidate = None,
+                    None => {} // unknown op: skip, never crash recovery
+                }
+            }
+            self.stable.insert(m, stable);
+            if let Some(c) = candidate {
+                self.candidate.insert(m, c);
+            }
+            self.seq.insert(m, seq);
+        }
+    }
+
+    /// What journal recovery found on open.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// The version currently serving tenants.
+    pub fn stable(&self, model: Model) -> ModelVersion {
+        self.stable
+            .get(&model)
+            .cloned()
+            .unwrap_or_else(|| ModelVersion::baseline(model))
+    }
+
+    /// The candidate under canary, if a rollout is in progress.
+    pub fn candidate(&self, model: Model) -> Option<&ModelVersion> {
+        self.candidate.get(&model)
+    }
+
+    fn journal_op(
+        &mut self,
+        model: Model,
+        config: String,
+        config_index: u64,
+    ) -> Result<(), ServeError> {
+        let seq = self.seq.entry(model).or_insert(0);
+        *seq += 1;
+        let trial = *seq;
+        if let Some(j) = self.journal.as_mut() {
+            j.append(DbRecord {
+                task: Self::task_for(model),
+                trial,
+                config_index,
+                config,
+                cost_ms: 0.0,
+            })
+            .map_err(|e| ServeError::CacheIo(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Registers a rollout candidate. Labels are sanitized (`:` and `|`
+    /// are record delimiters); starting a rollout while one is already
+    /// in progress is a typed error, not a silent replacement.
+    pub fn register_candidate(
+        &mut self,
+        model: Model,
+        weights: u64,
+        label: &str,
+    ) -> Result<ModelVersion, ServeError> {
+        if let Some(c) = self.candidate.get(&model) {
+            return Err(ServeError::Rollout(format!(
+                "rollout of `{}` already in progress for {}",
+                c.label,
+                model.name()
+            )));
+        }
+        let label: String = label
+            .chars()
+            .map(|c| if c == ':' || c == '|' { '_' } else { c })
+            .collect();
+        let v = ModelVersion {
+            model,
+            weights,
+            label: label.clone(),
+        };
+        if v == self.stable(model) {
+            return Err(ServeError::Rollout(format!(
+                "candidate `{label}` is already the stable version of {}",
+                model.name()
+            )));
+        }
+        self.journal_op(model, format!("R:{label}"), weights)?;
+        self.candidate.insert(model, v.clone());
+        Ok(v)
+    }
+
+    /// Promotes the candidate to stable (health gate passed).
+    pub fn promote(&mut self, model: Model) -> Result<ModelVersion, ServeError> {
+        let Some(c) = self.candidate.get(&model).cloned() else {
+            return Err(ServeError::Rollout(format!(
+                "no candidate to promote for {}",
+                model.name()
+            )));
+        };
+        self.journal_op(model, format!("P:{}", c.label), c.weights)?;
+        self.candidate.remove(&model);
+        self.stable.insert(model, c.clone());
+        Ok(c)
+    }
+
+    /// Discards the candidate (health gate failed); tenants keep being
+    /// served the stable version they never stopped receiving.
+    pub fn rollback(&mut self, model: Model, reason: &str) -> Result<ModelVersion, ServeError> {
+        let Some(c) = self.candidate.get(&model).cloned() else {
+            return Err(ServeError::Rollout(format!(
+                "no candidate to roll back for {}",
+                model.name()
+            )));
+        };
+        let reason: String = reason
+            .chars()
+            .map(|ch| if ch == ':' || ch == '|' { '_' } else { ch })
+            .collect();
+        self.journal_op(model, format!("B:{}|{reason}", c.label), c.weights)?;
+        self.candidate.remove(&model);
+        Ok(self.stable(model))
+    }
+
+    /// Forces the lifecycle journal to stable storage.
+    pub fn sync(&mut self) -> Result<(), ServeError> {
+        if let Some(j) = self.journal.as_mut() {
+            j.sync().map_err(|e| ServeError::CacheIo(e.to_string()))?;
+        }
+        Ok(())
+    }
+}
+
+fn baseline_map() -> HashMap<Model, ModelVersion> {
+    ALL_MODELS
+        .iter()
+        .map(|&m| (m, ModelVersion::baseline(m)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_weights_zero() {
+        let r = VersionRegistry::in_memory();
+        for m in ALL_MODELS {
+            assert_eq!(r.stable(m).weights, 0);
+            assert!(r.candidate(m).is_none());
+        }
+    }
+
+    #[test]
+    fn fingerprints_separate_versions() {
+        let a = ModelVersion::baseline(Model::Mlp);
+        let b = ModelVersion {
+            weights: 1,
+            ..a.clone()
+        };
+        let c = ModelVersion {
+            label: "v1".into(),
+            ..a.clone()
+        };
+        let d = ModelVersion::baseline(Model::TinyCnn);
+        let fps = [
+            a.fingerprint(),
+            b.fingerprint(),
+            c.fingerprint(),
+            d.fingerprint(),
+        ];
+        for i in 0..fps.len() {
+            for j in 0..i {
+                assert_ne!(fps[i], fps[j], "versions {i} and {j} collide");
+            }
+        }
+        assert_eq!(
+            a.fingerprint(),
+            ModelVersion::baseline(Model::Mlp).fingerprint()
+        );
+    }
+
+    #[test]
+    fn lifecycle_register_promote_rollback() {
+        let mut r = VersionRegistry::in_memory();
+        r.register_candidate(Model::Mlp, 7, "v1").unwrap();
+        assert_eq!(r.candidate(Model::Mlp).unwrap().weights, 7);
+        // A second concurrent rollout is refused.
+        assert!(r.register_candidate(Model::Mlp, 8, "v2").is_err());
+        let v = r.promote(Model::Mlp).unwrap();
+        assert_eq!(v.weights, 7);
+        assert_eq!(r.stable(Model::Mlp).label, "v1");
+        assert!(r.candidate(Model::Mlp).is_none());
+        // Promote without a candidate is a typed error.
+        assert!(r.promote(Model::Mlp).is_err());
+        // Next rollout can be rolled back.
+        r.register_candidate(Model::Mlp, 9, "v2").unwrap();
+        let back = r.rollback(Model::Mlp, "digest mismatch").unwrap();
+        assert_eq!(back.weights, 7);
+        assert!(r.candidate(Model::Mlp).is_none());
+    }
+
+    #[test]
+    fn journaled_lifecycle_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("tvm_version_reg_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("versions.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut r = VersionRegistry::open(&path).unwrap();
+            r.register_candidate(Model::Mlp, 5, "v1").unwrap();
+            r.promote(Model::Mlp).unwrap();
+            r.register_candidate(Model::TinyCnn, 3, "cnn-v1").unwrap();
+            r.sync().unwrap();
+        }
+        let r = VersionRegistry::open(&path).unwrap();
+        assert_eq!(r.stable(Model::Mlp).weights, 5);
+        assert_eq!(r.stable(Model::Mlp).label, "v1");
+        // The in-flight CNN rollout is still a candidate, not stable.
+        assert_eq!(r.stable(Model::TinyCnn).weights, 0);
+        assert_eq!(r.candidate(Model::TinyCnn).unwrap().weights, 3);
+        let _ = std::fs::remove_file(&path);
+    }
+}

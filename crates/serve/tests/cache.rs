@@ -30,6 +30,7 @@ fn trace(seed: u64) -> Vec<tvm_serve::Request> {
             rate_rps: 300.0,
             models: vec![Model::Mlp, Model::TinyCnn],
             bursts: vec![],
+            deadline_budget_ms: None,
         }],
     })
 }
@@ -40,6 +41,7 @@ fn config(path: &Path) -> ServiceConfig {
         batch: BatchPolicy {
             max_batch: 4,
             max_delay_ms: 2.0,
+            ..BatchPolicy::default()
         },
         keep_outputs: false,
         cache_path: Some(path.to_path_buf()),
@@ -52,7 +54,7 @@ fn digests(responses: &[tvm_serve::ResponseRecord]) -> Vec<(u64, u32)> {
         .iter()
         .filter_map(|r| match &r.outcome {
             ServeOutcome::Ok { digest, .. } => Some((r.id, *digest)),
-            ServeOutcome::Rejected(_) => None,
+            _ => None,
         })
         .collect();
     v.sort_unstable();
@@ -184,7 +186,7 @@ fn stale_fingerprint_falls_back_to_cold_build_and_self_heals() {
     {
         let mut cache = ArtifactCache::open(&path).expect("open");
         let m = cache
-            .get_or_build(Model::Mlp, 2, &target, None)
+            .get_or_build(Model::Mlp, 2, &target, None, 0)
             .expect("build");
         drop(m);
         cache.sync().expect("sync");
@@ -218,7 +220,7 @@ fn stale_fingerprint_falls_back_to_cold_build_and_self_heals() {
 
     let mut cache = ArtifactCache::open(&path).expect("reopen");
     let m = cache
-        .get_or_build(Model::Mlp, 2, &target, None)
+        .get_or_build(Model::Mlp, 2, &target, None, 0)
         .expect("rebuild");
     drop(m);
     let stats = cache.stats();
@@ -234,7 +236,7 @@ fn stale_fingerprint_falls_back_to_cold_build_and_self_heals() {
     drop(cache);
     let mut cache2 = ArtifactCache::open(&path).expect("third open");
     let _ = cache2
-        .get_or_build(Model::Mlp, 2, &target, None)
+        .get_or_build(Model::Mlp, 2, &target, None, 0)
         .expect("warm");
     assert_eq!(cache2.stats().warm_builds, 1, "cache did not self-heal");
     assert_eq!(cache2.stats().cold_builds, 0);

@@ -25,12 +25,14 @@ fn trace(seed: u64) -> Vec<tvm_serve::Request> {
                 rate_rps: 400.0,
                 models: vec![Model::Mlp, Model::TinyCnn],
                 bursts: vec![],
+                deadline_budget_ms: None,
             },
             TenantTraffic {
                 tenant: "b".into(),
                 rate_rps: 200.0,
                 models: vec![Model::Mlp],
                 bursts: vec![],
+                deadline_budget_ms: None,
             },
         ],
     })
@@ -44,10 +46,12 @@ fn config(faults: FaultPlan) -> ServiceConfig {
         ],
         admission: AdmissionConfig {
             max_outstanding: 2048,
+            ..AdmissionConfig::default()
         },
         batch: BatchPolicy {
             max_batch: 4,
             max_delay_ms: 2.0,
+            ..BatchPolicy::default()
         },
         devices: 3,
         faults,
@@ -67,7 +71,7 @@ fn chaos_never_corrupts_answers_and_recovers() {
         .iter()
         .filter_map(|r| match &r.outcome {
             ServeOutcome::Ok { digest, .. } => Some((r.id, *digest)),
-            ServeOutcome::Rejected(_) => None,
+            _ => None,
         })
         .collect();
     assert_eq!(
@@ -112,6 +116,8 @@ fn chaos_never_corrupts_answers_and_recovers() {
                 typed_failures += 1;
                 let _ = e.kind();
             }
+            // No request in this trace carries a deadline.
+            ServeOutcome::DeadlineExceeded { .. } => typed_failures += 1,
         }
     }
     assert_eq!(wrong_answers, 0, "chaos must never corrupt a response");
@@ -155,6 +161,9 @@ fn all_devices_dead_drains_with_typed_errors() {
     for r in &responses {
         match &r.outcome {
             ServeOutcome::Ok { .. } => panic!("no request can complete on a dead fleet"),
+            ServeOutcome::DeadlineExceeded { .. } => {
+                panic!("no request in this trace carries a deadline")
+            }
             ServeOutcome::Rejected(e) => {
                 assert!(
                     matches!(
@@ -167,6 +176,71 @@ fn all_devices_dead_drains_with_typed_errors() {
             }
         }
     }
+}
+
+#[test]
+fn malformed_payloads_degrade_one_request_not_the_process() {
+    // Corrupt a scattering of payloads: truncated, over-long, and empty
+    // rows. Each must come back as a typed runtime rejection while every
+    // well-formed request in the same (would-be) batch still completes
+    // with oracle bits.
+    let mut t = trace(64);
+    let n = t.len();
+    assert!(n > 30);
+    let mut broken = Vec::new();
+    for (i, req) in t.iter_mut().enumerate() {
+        match i % 11 {
+            0 => {
+                req.payload.truncate(req.payload.len() / 2);
+                broken.push(req.id);
+            }
+            5 => {
+                req.payload.push(1.0);
+                broken.push(req.id);
+            }
+            8 => {
+                req.payload.clear();
+                broken.push(req.id);
+            }
+            _ => {}
+        }
+    }
+
+    let mut oracle = Service::new(config(FaultPlan::none())).expect("oracle");
+    let (oracle_responses, _) = oracle.run(trace(64));
+    let oracle_digests: BTreeMap<u64, u32> = oracle_responses
+        .iter()
+        .filter_map(|r| match &r.outcome {
+            ServeOutcome::Ok { digest, .. } => Some((r.id, *digest)),
+            _ => None,
+        })
+        .collect();
+
+    let mut svc = Service::new(config(FaultPlan::none())).expect("service");
+    let (responses, stats) = svc.run(t);
+    assert_eq!(responses.len(), n, "every request must get a response");
+    for r in &responses {
+        if broken.contains(&r.id) {
+            match &r.outcome {
+                ServeOutcome::Rejected(tvm_serve::ServeError::Runtime(_)) => {}
+                other => panic!("malformed request {} got {other:?}", r.id),
+            }
+        } else {
+            match &r.outcome {
+                ServeOutcome::Ok { digest, .. } => {
+                    assert_eq!(
+                        oracle_digests.get(&r.id),
+                        Some(digest),
+                        "well-formed request {} served wrong bits",
+                        r.id
+                    );
+                }
+                other => panic!("well-formed request {} failed: {other:?}", r.id),
+            }
+        }
+    }
+    assert_eq!(stats.failed, broken.len() as u64);
+    assert_eq!(stats.completed, (n - broken.len()) as u64);
 }
 
 #[test]

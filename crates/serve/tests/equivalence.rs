@@ -26,12 +26,14 @@ fn low_load_trace(seed: u64) -> Vec<Request> {
                 rate_rps: 150.0,
                 models: vec![Model::Mlp, Model::TinyCnn],
                 bursts: vec![],
+                deadline_budget_ms: None,
             },
             TenantTraffic {
                 tenant: "beta".into(),
                 rate_rps: 100.0,
                 models: vec![Model::Mlp],
                 bursts: vec![],
+                deadline_budget_ms: None,
             },
         ],
     })
@@ -45,6 +47,7 @@ fn config(batch: BatchPolicy) -> ServiceConfig {
         ],
         admission: AdmissionConfig {
             max_outstanding: 1 << 14,
+            ..AdmissionConfig::default()
         },
         batch,
         devices: 2,
@@ -72,6 +75,9 @@ fn outputs_of(batch: BatchPolicy, trace: &[Request]) -> BTreeMap<u64, (u32, Vec<
                 (r.id, (digest, bits))
             }
             ServeOutcome::Rejected(e) => panic!("request {} rejected: {e}", r.id),
+            ServeOutcome::DeadlineExceeded { .. } => {
+                panic!("request {} expired without a deadline", r.id)
+            }
         })
         .collect()
 }
@@ -88,6 +94,7 @@ fn batched_matches_one_at_a_time_across_policies() {
                 BatchPolicy {
                     max_batch,
                     max_delay_ms,
+                    ..BatchPolicy::default()
                 },
                 &trace,
             );
@@ -113,14 +120,16 @@ fn batched_matches_standalone_executor_oracle() {
         BatchPolicy {
             max_batch: 8,
             max_delay_ms: 4.0,
+            ..BatchPolicy::default()
         },
         &trace,
     );
     let mut cache = tvm_serve::ArtifactCache::in_memory();
     let target = tvm::target::arm_a53();
     for req in trace.iter().take(40) {
+        let fp = tvm_serve::ModelVersion::baseline(req.model).fingerprint();
         let module = cache
-            .get_or_build(req.model, 1, &target, None)
+            .get_or_build(req.model, 1, &target, None, fp)
             .expect("compile");
         let mut ex = tvm_runtime::GraphExecutor::from_arc(Arc::clone(&module));
         ex.set_input(
@@ -146,6 +155,7 @@ fn deterministic_at_multiple_worker_counts() {
     let policy = BatchPolicy {
         max_batch: 8,
         max_delay_ms: 2.0,
+        ..BatchPolicy::default()
     };
     let mut runs = Vec::new();
     for threads in [1usize, 2, 4] {

@@ -30,6 +30,7 @@ fn measured_capacity_rps() -> f64 {
                 rate_rps: rate,
                 models: vec![Model::Mlp],
                 bursts: vec![],
+                deadline_budget_ms: None,
             }],
         });
         let mut svc = Service::new(ServiceConfig {
@@ -61,12 +62,14 @@ fn contended_run(seed: u64, capacity_rps: f64) -> (Vec<ResponseRecord>, ServiceS
                 rate_rps: polite_rate,
                 models: vec![Model::Mlp],
                 bursts: vec![],
+                deadline_budget_ms: None,
             },
             TenantTraffic {
                 tenant: "aggressive".into(),
                 rate_rps: aggressive_rate,
                 models: vec![Model::Mlp],
                 bursts: vec![],
+                deadline_budget_ms: None,
             },
         ],
     });
@@ -79,10 +82,12 @@ fn contended_run(seed: u64, capacity_rps: f64) -> (Vec<ResponseRecord>, ServiceS
         ],
         admission: AdmissionConfig {
             max_outstanding: 512,
+            ..AdmissionConfig::default()
         },
         batch: BatchPolicy {
             max_batch: 8,
             max_delay_ms: 2.0,
+            ..BatchPolicy::default()
         },
         ..ServiceConfig::default()
     })
@@ -131,6 +136,123 @@ fn polite_tenant_keeps_its_share_under_saturation() {
     );
 }
 
+/// The shedding machinery itself must stay fair: an aggressor with
+/// tight deadlines saturating the service past the brownout watermark
+/// may only hurt itself. The polite tenant (no deadlines, low rate,
+/// high weight) keeps ≥95% goodput while deadline shedding and brownout
+/// shares tear into the aggressor — and the whole storm is
+/// bit-reproducible at any worker count.
+fn shedding_storm_run(seed: u64, capacity_rps: f64) -> (Vec<ResponseRecord>, ServiceStats) {
+    let polite_rate = capacity_rps * 0.10;
+    let aggressive_rate = capacity_rps * 4.0;
+    let horizon_ms = (4000.0 / (polite_rate + aggressive_rate) * 1000.0).clamp(5.0, 500.0);
+    let trace = generate(&TrafficSpec {
+        seed,
+        horizon_ms,
+        tenants: vec![
+            TenantTraffic {
+                tenant: "polite".into(),
+                rate_rps: polite_rate,
+                models: vec![Model::Mlp],
+                bursts: vec![],
+                deadline_budget_ms: None,
+            },
+            TenantTraffic {
+                tenant: "aggressive".into(),
+                rate_rps: aggressive_rate,
+                models: vec![Model::Mlp],
+                bursts: vec![],
+                // Below the wait the brownout-capped queue still imposes,
+                // so both shedding paths (deadline + brownout share) fire.
+                deadline_budget_ms: Some(0.75),
+            },
+        ],
+    });
+    let mut svc = Service::new(ServiceConfig {
+        tenants: vec![
+            TenantConfig::new("polite").weight(3).queue_cap(512),
+            TenantConfig::new("aggressive").weight(1).queue_cap(4096),
+        ],
+        // The aggressor's brownout share (1/4 of 2048) still admits a
+        // queue deeper than its 0.75 ms budget can drain, so both the
+        // deadline gate and the brownout share cap must fire.
+        admission: AdmissionConfig {
+            max_outstanding: 2048,
+            brownout_watermark: 64,
+        },
+        batch: BatchPolicy {
+            max_batch: 8,
+            max_delay_ms: 2.0,
+            ..BatchPolicy::default()
+        },
+        ..ServiceConfig::default()
+    })
+    .expect("service");
+    svc.run(trace)
+}
+
+#[test]
+fn polite_tenant_survives_deadline_and_brownout_storm() {
+    let capacity = measured_capacity_rps();
+    let (_responses, stats) = shedding_storm_run(4242, capacity);
+
+    // The storm actually exercised both shedding paths.
+    assert!(stats.brownout_ms > 0.0, "brownout never engaged: {stats:?}");
+    assert!(stats.brownout_sheds > 0, "no brownout sheds: {stats:?}");
+    assert!(
+        stats.deadline_exceeded > 0,
+        "no deadline sheds despite 2 ms budgets: {stats:?}"
+    );
+
+    let polite = &stats.per_tenant[0];
+    let aggressive = &stats.per_tenant[1];
+    assert_eq!(polite.name, "polite");
+    let polite_total = polite.ok + polite.shed + polite.err + polite.deadline;
+    assert!(polite_total > 20, "too few polite requests to judge");
+    let polite_goodput = polite.ok as f64 / polite_total as f64;
+    assert!(
+        polite_goodput >= 0.95,
+        "polite tenant starved under shedding storm: goodput {polite_goodput:.3}"
+    );
+    // The aggressor absorbs both kinds of shedding.
+    assert!(aggressive.shed + aggressive.deadline > aggressive.ok);
+}
+
+#[test]
+fn shedding_storm_is_deterministic_across_worker_counts() {
+    let capacity = measured_capacity_rps();
+    let mut fingerprints = Vec::new();
+    for threads in [1usize, 3] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let (responses, stats) = pool.install(|| shedding_storm_run(4242, capacity));
+        let fp: Vec<(u64, u64, &'static str)> = responses
+            .iter()
+            .map(|r| {
+                let tag = match &r.outcome {
+                    tvm_serve::ServeOutcome::Ok { .. } => "ok",
+                    tvm_serve::ServeOutcome::DeadlineExceeded { .. } => "deadline",
+                    tvm_serve::ServeOutcome::Rejected(e) => e.kind(),
+                };
+                (r.id, r.done_ms.to_bits(), tag)
+            })
+            .collect();
+        fingerprints.push((
+            fp,
+            stats.completed,
+            stats.shed,
+            stats.deadline_exceeded,
+            stats.brownout_sheds,
+        ));
+    }
+    assert_eq!(
+        fingerprints[0], fingerprints[1],
+        "shedding storm must be bit-identical at any worker count"
+    );
+}
+
 #[test]
 fn contended_run_is_deterministic_across_worker_counts() {
     let capacity = measured_capacity_rps();
@@ -146,6 +268,7 @@ fn contended_run_is_deterministic_across_worker_counts() {
             .map(|r| {
                 let tag = match &r.outcome {
                     tvm_serve::ServeOutcome::Ok { .. } => "ok",
+                    tvm_serve::ServeOutcome::DeadlineExceeded { .. } => "deadline",
                     tvm_serve::ServeOutcome::Rejected(e) => e.kind(),
                 };
                 (r.id, r.done_ms.to_bits(), tag)

@@ -1,0 +1,459 @@
+//! Tail-latency robustness suite: hedged straggler execution, deadline-
+//! aware shedding, brownout mode — and the determinism of all three
+//! composed with chaos faults and a live rollout.
+
+use tvm_serve::{
+    generate, AdmissionConfig, BatchPolicy, HedgePolicy, Model, ModelVersion, ResponseRecord,
+    RolloutConfig, ServeError, ServeOutcome, Service, ServiceConfig, ServiceStats, TenantConfig,
+    TenantTraffic, TrafficSpec,
+};
+use tvm_sim::{FaultPlan, FaultRates};
+
+/// Timer-noise-only chaos: a fifth of attempts report a 25x latency (a
+/// straggling replica), nothing ever fails.
+fn straggler_faults(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(
+        seed,
+        FaultRates {
+            crash: 0.0,
+            hang: 0.0,
+            transient: 0.0,
+            noise: 0.2,
+            noise_factor: 25.0,
+        },
+    )
+}
+
+fn mlp_trace(seed: u64, rate_rps: f64, deadline_budget_ms: Option<f64>) -> Vec<tvm_serve::Request> {
+    mlp_trace_for(seed, rate_rps, 400.0, deadline_budget_ms)
+}
+
+fn mlp_trace_for(
+    seed: u64,
+    rate_rps: f64,
+    horizon_ms: f64,
+    deadline_budget_ms: Option<f64>,
+) -> Vec<tvm_serve::Request> {
+    generate(&TrafficSpec {
+        seed,
+        horizon_ms,
+        tenants: vec![TenantTraffic {
+            tenant: "t".into(),
+            rate_rps,
+            models: vec![Model::Mlp],
+            bursts: vec![],
+            deadline_budget_ms,
+        }],
+    })
+}
+
+/// Measured capacity (requests per virtual second) of a default-ish
+/// service: raise the offered rate geometrically until admission sheds,
+/// then call goodput at that rate the capacity (same approach as the
+/// fairness suite).
+fn measured_capacity_rps() -> f64 {
+    let mut rate = 2000.0f64;
+    loop {
+        let horizon_ms = (1200.0 / rate * 1000.0).clamp(5.0, 500.0);
+        let trace = generate(&TrafficSpec {
+            seed: 5,
+            horizon_ms,
+            tenants: vec![TenantTraffic {
+                tenant: "calib".into(),
+                rate_rps: rate,
+                models: vec![Model::Mlp],
+                bursts: vec![],
+                deadline_budget_ms: None,
+            }],
+        });
+        let mut svc = Service::new(ServiceConfig {
+            tenants: vec![TenantConfig::new("calib").queue_cap(64)],
+            ..ServiceConfig::default()
+        })
+        .expect("service");
+        let (_, stats) = svc.run(trace);
+        assert!(stats.completed > 0, "calibration served nothing");
+        if stats.shed > 0 {
+            return stats.completed as f64 * 1000.0 / stats.horizon_ms.max(1e-9);
+        }
+        rate *= 4.0;
+        assert!(rate < 1e12, "service never saturated during calibration");
+    }
+}
+
+fn hedge_on() -> HedgePolicy {
+    HedgePolicy {
+        enabled: true,
+        min_samples: 8,
+        quantile: 0.5,
+        factor: 2.0,
+        min_threshold_ms: 0.0,
+    }
+}
+
+fn percentile(mut v: Vec<f64>, p: f64) -> f64 {
+    assert!(!v.is_empty());
+    v.sort_by(f64::total_cmp);
+    let idx = ((v.len() - 1) as f64 * p).round() as usize;
+    v[idx]
+}
+
+fn ok_latencies(responses: &[ResponseRecord]) -> Vec<f64> {
+    responses
+        .iter()
+        .filter(|r| r.outcome.is_ok())
+        .map(|r| r.latency_ms())
+        .collect()
+}
+
+fn straggler_run(seed: u64, hedge: HedgePolicy) -> (Vec<ResponseRecord>, ServiceStats) {
+    let mut svc = Service::new(ServiceConfig {
+        tenants: vec![TenantConfig::new("t").queue_cap(4096)],
+        admission: AdmissionConfig {
+            max_outstanding: 1 << 14,
+            ..AdmissionConfig::default()
+        },
+        batch: BatchPolicy {
+            max_batch: 4,
+            max_delay_ms: 0.5,
+            ..BatchPolicy::default()
+        },
+        devices: 3,
+        faults: straggler_faults(seed),
+        hedge,
+        ..ServiceConfig::default()
+    })
+    .expect("service");
+    svc.run(mlp_trace(seed, 250.0, None))
+}
+
+#[test]
+fn hedging_improves_p99_under_stragglers() {
+    let seed = 2024;
+    let (off_responses, off_stats) = straggler_run(seed, HedgePolicy::default());
+    let (on_responses, on_stats) = straggler_run(seed, hedge_on());
+
+    assert_eq!(off_stats.hedge.issued, 0, "hedge fired while disabled");
+    assert!(on_stats.hedge.issued > 0, "no hedges under 25x stragglers");
+    assert!(on_stats.hedge.wins > 0, "hedges never beat the straggler");
+    assert_eq!(on_stats.hedge.divergences, 0, "healthy fleet diverged");
+
+    let p99_off = percentile(ok_latencies(&off_responses), 0.99);
+    let p99_on = percentile(ok_latencies(&on_responses), 0.99);
+    assert!(
+        p99_on < p99_off,
+        "hedging must cut tail latency: p99 on {p99_on:.4} ms vs off {p99_off:.4} ms"
+    );
+
+    // Hedging is a latency decision only: it may never change bits.
+    let digests = |rs: &[ResponseRecord]| -> Vec<(u64, u32)> {
+        let mut v: Vec<(u64, u32)> = rs
+            .iter()
+            .filter_map(|r| match &r.outcome {
+                ServeOutcome::Ok { digest, .. } => Some((r.id, *digest)),
+                _ => None,
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(
+        digests(&off_responses),
+        digests(&on_responses),
+        "hedging changed served bits"
+    );
+}
+
+#[test]
+fn hedged_divergence_is_refused_never_served() {
+    // The stable version silently rots on device 1 (bad DMA, stale
+    // artifact): outputs are wrong only there. Hedged execution compares
+    // replica digests, so every hedged batch refutes the divergence and
+    // refuses the batch instead of serving either answer.
+    let stable_fp = ModelVersion::baseline(Model::Mlp).fingerprint();
+    let mut faults = FaultPlan::none();
+    faults.corrupt_version_on(stable_fp, 1, 777);
+    let force_hedge = HedgePolicy {
+        enabled: true,
+        min_samples: 1,
+        quantile: 0.0,
+        factor: 0.0,
+        min_threshold_ms: 0.0,
+    };
+    let mut svc = Service::new(ServiceConfig {
+        tenants: vec![TenantConfig::new("t").queue_cap(4096)],
+        admission: AdmissionConfig {
+            max_outstanding: 1 << 14,
+            ..AdmissionConfig::default()
+        },
+        batch: BatchPolicy {
+            max_batch: 4,
+            max_delay_ms: 0.5,
+            ..BatchPolicy::default()
+        },
+        devices: 2,
+        faults,
+        hedge: force_hedge,
+        ..ServiceConfig::default()
+    })
+    .expect("service");
+    let (responses, stats) = svc.run(mlp_trace(5, 250.0, None));
+
+    assert!(stats.hedge.issued > 0);
+    assert!(
+        stats.hedge.divergences > 0,
+        "per-replica corruption never refuted: {:?}",
+        stats.hedge
+    );
+    let refused = responses
+        .iter()
+        .filter(|r| {
+            matches!(
+                &r.outcome,
+                ServeOutcome::Rejected(ServeError::SilentDivergence { .. })
+            )
+        })
+        .count();
+    assert!(
+        refused > 0,
+        "diverged batches must surface as typed refusals"
+    );
+
+    // Zero wrong answers: whatever *was* served matches the fault-free
+    // oracle bit-for-bit (the corrupted replica's answers never escape).
+    let mut oracle_svc = Service::new(ServiceConfig {
+        tenants: vec![TenantConfig::new("t").queue_cap(4096)],
+        admission: AdmissionConfig {
+            max_outstanding: 1 << 14,
+            ..AdmissionConfig::default()
+        },
+        batch: BatchPolicy {
+            max_batch: 4,
+            max_delay_ms: 0.5,
+            ..BatchPolicy::default()
+        },
+        devices: 2,
+        ..ServiceConfig::default()
+    })
+    .expect("oracle");
+    let (oracle, _) = oracle_svc.run(mlp_trace(5, 250.0, None));
+    let reference: std::collections::BTreeMap<u64, u32> = oracle
+        .iter()
+        .filter_map(|r| match &r.outcome {
+            ServeOutcome::Ok { digest, .. } => Some((r.id, *digest)),
+            _ => None,
+        })
+        .collect();
+    for r in &responses {
+        if let ServeOutcome::Ok { digest, .. } = &r.outcome {
+            assert_eq!(
+                *digest, reference[&r.id],
+                "request {} served corrupted-replica bits",
+                r.id
+            );
+        }
+    }
+}
+
+#[test]
+fn provably_late_requests_are_shed_as_deadline_exceeded() {
+    // Offered load far past capacity with a tight per-request deadline:
+    // queue waits grow, so a large fraction of requests provably cannot
+    // finish in time and must be shed typed, not served late.
+    let mut svc = Service::new(ServiceConfig {
+        tenants: vec![TenantConfig::new("t").queue_cap(4096)],
+        admission: AdmissionConfig {
+            max_outstanding: 1 << 14,
+            ..AdmissionConfig::default()
+        },
+        batch: BatchPolicy {
+            max_batch: 4,
+            max_delay_ms: 1.0,
+            ..BatchPolicy::default()
+        },
+        devices: 2,
+        ..ServiceConfig::default()
+    })
+    .expect("service");
+    // 4x measured capacity: queues build past the 2 ms budget fast.
+    let rate = measured_capacity_rps() * 4.0;
+    let horizon_ms = (3000.0 / rate * 1000.0).clamp(5.0, 100.0);
+    let (responses, stats) = svc.run(mlp_trace_for(31, rate, horizon_ms, Some(2.0)));
+
+    assert!(stats.completed > 0, "nothing completed");
+    assert!(
+        stats.deadline_exceeded > 0,
+        "overload with 2 ms deadlines must shed late work: {stats:?}"
+    );
+    for r in &responses {
+        if let ServeOutcome::DeadlineExceeded { deadline_ms } = &r.outcome {
+            assert!(deadline_ms.is_finite());
+            // Shed at-or-before the moment lateness became provable —
+            // never *served* after expiring.
+            assert_eq!(r.batch_size, 0, "expired request occupied a batch");
+        }
+    }
+    // Accounting: every request has exactly one recorded fate.
+    assert_eq!(
+        responses.len() as u64,
+        stats.completed + stats.shed + stats.failed + stats.deadline_exceeded
+    );
+}
+
+#[test]
+fn brownout_shrinks_delay_and_sheds_lowest_weight_first() {
+    let capacity = measured_capacity_rps();
+    let aggressor_rate = capacity * 4.0;
+    let polite_rate = capacity * 0.05;
+    let horizon_ms = (4000.0 / (aggressor_rate + polite_rate) * 1000.0).clamp(5.0, 100.0);
+    let capacity_storm = TrafficSpec {
+        seed: 77,
+        horizon_ms,
+        tenants: vec![
+            TenantTraffic {
+                tenant: "polite".into(),
+                rate_rps: polite_rate,
+                models: vec![Model::Mlp],
+                bursts: vec![],
+                deadline_budget_ms: None,
+            },
+            TenantTraffic {
+                tenant: "aggressor".into(),
+                rate_rps: aggressor_rate,
+                models: vec![Model::Mlp],
+                bursts: vec![],
+                deadline_budget_ms: None,
+            },
+        ],
+    };
+    let mut svc = Service::new(ServiceConfig {
+        tenants: vec![
+            TenantConfig::new("polite").weight(4).queue_cap(512),
+            TenantConfig::new("aggressor").weight(1).queue_cap(2048),
+        ],
+        admission: AdmissionConfig {
+            max_outstanding: 512,
+            brownout_watermark: 48,
+        },
+        batch: BatchPolicy {
+            max_batch: 8,
+            max_delay_ms: 2.0,
+            ..BatchPolicy::default()
+        },
+        devices: 2,
+        ..ServiceConfig::default()
+    })
+    .expect("service");
+    let (_, stats) = svc.run(generate(&capacity_storm));
+
+    assert!(stats.brownout_ms > 0.0, "brownout never engaged: {stats:?}");
+    assert!(
+        stats.brownout_sheds > 0,
+        "brownout must shed past per-tenant shares: {stats:?}"
+    );
+    let polite = &stats.per_tenant[0];
+    let aggressor = &stats.per_tenant[1];
+    assert_eq!(polite.name, "polite");
+    // Lowest-weight-first: the aggressor absorbs the brownout sheds, the
+    // high-weight polite tenant keeps flowing.
+    assert!(aggressor.shed > 0);
+    let polite_total = polite.ok + polite.shed + polite.err;
+    assert!(
+        polite.ok as f64 >= polite_total as f64 * 0.95,
+        "polite tenant browned out: {polite:?}"
+    );
+}
+
+/// Everything at once — chaos faults, a live (healthy) rollout, hedging,
+/// deadlines, brownout — must stay bit-identical at any worker count.
+#[test]
+fn full_stack_is_deterministic_across_worker_counts() {
+    let run = || -> (Vec<(u64, u64, String)>, u64, u64) {
+        let mut svc = Service::new(ServiceConfig {
+            tenants: vec![
+                TenantConfig::new("a").weight(2).queue_cap(512),
+                TenantConfig::new("b").weight(1).queue_cap(512),
+            ],
+            admission: AdmissionConfig {
+                max_outstanding: 256,
+                brownout_watermark: 96,
+            },
+            batch: BatchPolicy {
+                max_batch: 8,
+                max_delay_ms: 2.0,
+                ..BatchPolicy::default()
+            },
+            devices: 3,
+            faults: FaultPlan::seeded(
+                0xD15EA5E,
+                FaultRates {
+                    crash: 0.0,
+                    hang: 0.02,
+                    transient: 0.04,
+                    noise: 0.10,
+                    noise_factor: 10.0,
+                },
+            ),
+            hedge: hedge_on(),
+            rollout: RolloutConfig {
+                canary_fraction: 0.5,
+                window_ms: 30.0,
+                min_canary_batches: 2,
+                max_candidate_failures: 8,
+            },
+            ..ServiceConfig::default()
+        })
+        .expect("service");
+        svc.begin_rollout(Model::Mlp, 0, "v1-retuned")
+            .expect("rollout");
+        let trace = generate(&TrafficSpec {
+            seed: 4242,
+            horizon_ms: 250.0,
+            tenants: vec![
+                TenantTraffic {
+                    tenant: "a".into(),
+                    rate_rps: 400.0,
+                    models: vec![Model::Mlp, Model::TinyCnn],
+                    bursts: vec![],
+                    deadline_budget_ms: Some(8.0),
+                },
+                TenantTraffic {
+                    tenant: "b".into(),
+                    rate_rps: 2500.0,
+                    models: vec![Model::Mlp],
+                    bursts: vec![],
+                    deadline_budget_ms: None,
+                },
+            ],
+        });
+        let (responses, stats) = svc.run(trace);
+        let fp = responses
+            .iter()
+            .map(|r| {
+                let tag = match &r.outcome {
+                    ServeOutcome::Ok { digest, .. } => format!("ok:{digest:08x}"),
+                    ServeOutcome::DeadlineExceeded { .. } => "deadline".to_string(),
+                    ServeOutcome::Rejected(e) => e.kind().to_string(),
+                };
+                (r.id, r.done_ms.to_bits(), tag)
+            })
+            .collect();
+        (fp, stats.hedge.issued, stats.rollout.canary_batches)
+    };
+
+    let mut runs = Vec::new();
+    for threads in [1usize, 3] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        runs.push(pool.install(run));
+    }
+    assert_eq!(
+        runs[0], runs[1],
+        "hedged/deadline/rollout stack diverged across worker counts"
+    );
+    // The scenario exercised what it claims to exercise.
+    assert!(runs[0].1 > 0, "no hedges issued");
+    assert!(runs[0].2 > 0, "no canary batches");
+}

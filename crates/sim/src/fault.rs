@@ -87,6 +87,13 @@ pub struct FaultPlan {
     table: HashMap<(usize, u64), Fault>,
     crash_from: HashMap<usize, u64>,
     seeded: Option<(u64, FaultRates)>,
+    /// Versioned-artifact corruption striking every device: a bad weight
+    /// push whose outputs are wrong *consistently* across the fleet.
+    corrupt_versions: HashMap<u64, u64>,
+    /// Versioned-artifact corruption on one device only: a silently
+    /// diverging replica (bit rot, bad DMA, a stale artifact on one
+    /// host) that only cross-device comparison can refute.
+    corrupt_version_on: HashMap<(u64, usize), u64>,
 }
 
 impl FaultPlan {
@@ -115,9 +122,40 @@ impl FaultPlan {
         self
     }
 
+    /// Corrupts the outputs of the model version fingerprinted `version`
+    /// on **every** device (a bad weight push: wrong bits, consistently).
+    /// `seed` keys the deterministic perturbation the executor applies.
+    pub fn corrupt_version(&mut self, version: u64, seed: u64) -> &mut Self {
+        self.corrupt_versions.insert(version, seed);
+        self
+    }
+
+    /// Corrupts the outputs of version `version` only when executed on
+    /// `device` (a silently diverging replica). Cross-device digest
+    /// comparison — hedged execution, replica verification — is the only
+    /// oracle that can refute this one.
+    pub fn corrupt_version_on(&mut self, version: u64, device: usize, seed: u64) -> &mut Self {
+        self.corrupt_version_on.insert((version, device), seed);
+        self
+    }
+
+    /// The output-corruption seed (if any) striking an execution of
+    /// model version `version` on `device`. Device-specific corruption
+    /// wins over fleet-wide corruption so a plan can model both at once.
+    pub fn output_corruption(&self, version: u64, device: usize) -> Option<u64> {
+        self.corrupt_version_on
+            .get(&(version, device))
+            .or_else(|| self.corrupt_versions.get(&version))
+            .copied()
+    }
+
     /// True when the plan can never produce a fault.
     pub fn is_empty(&self) -> bool {
-        self.table.is_empty() && self.crash_from.is_empty() && self.seeded.is_none()
+        self.table.is_empty()
+            && self.crash_from.is_empty()
+            && self.seeded.is_none()
+            && self.corrupt_versions.is_empty()
+            && self.corrupt_version_on.is_empty()
     }
 
     /// The fault (if any) striking attempt `attempt` on `device`.
@@ -153,19 +191,26 @@ impl FaultPlan {
     }
 }
 
-/// SplitMix64-style avalanche of `(seed, device, attempt)` into `[0, 1)`.
-fn unit_hash(seed: u64, device: u64, attempt: u64) -> f64 {
+/// SplitMix64-style avalanche of three words into a full 64-bit hash.
+/// Public because fault *consumers* key deterministic perturbations off
+/// it too (e.g. which output element a corrupted version flips).
+pub fn mix64(seed: u64, a: u64, b: u64) -> u64 {
     let mut z = seed
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(device.wrapping_mul(0xBF58_476D_1CE4_E5B9))
-        .wrapping_add(attempt.wrapping_mul(0x94D0_49BB_1331_11EB))
+        .wrapping_add(a.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(b.wrapping_mul(0x94D0_49BB_1331_11EB))
         .wrapping_add(0x2545_F491_4F6C_DD1D);
     z ^= z >> 30;
     z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z ^= z >> 27;
     z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
-    (z >> 11) as f64 / (1u64 << 53) as f64
+    z
+}
+
+/// [`mix64`] squeezed into `[0, 1)`.
+fn unit_hash(seed: u64, device: u64, attempt: u64) -> f64 {
+    (mix64(seed, device, attempt) >> 11) as f64 / (1u64 << 53) as f64
 }
 
 #[cfg(test)]
@@ -221,6 +266,28 @@ mod tests {
         // With these rates some attempts must fault and some must not.
         assert!(sample(&a).iter().any(|f| f.is_some()));
         assert!(sample(&a).iter().any(|f| f.is_none()));
+    }
+
+    #[test]
+    fn version_corruption_is_keyed_by_version_and_device() {
+        let mut p = FaultPlan::none();
+        p.corrupt_version(0xAAAA, 7);
+        p.corrupt_version_on(0xBBBB, 2, 9);
+        assert!(!p.is_empty());
+        // Fleet-wide corruption hits every device of that version only.
+        for d in 0..4 {
+            assert_eq!(p.output_corruption(0xAAAA, d), Some(7));
+            assert_eq!(p.output_corruption(0xCCCC, d), None);
+        }
+        // Device-keyed corruption hits exactly one replica.
+        assert_eq!(p.output_corruption(0xBBBB, 2), Some(9));
+        assert_eq!(p.output_corruption(0xBBBB, 1), None);
+        // Device-specific wins when both are present.
+        p.corrupt_version_on(0xAAAA, 0, 42);
+        assert_eq!(p.output_corruption(0xAAAA, 0), Some(42));
+        assert_eq!(p.output_corruption(0xAAAA, 1), Some(7));
+        // Corruption never shows up as a timing/availability fault.
+        assert_eq!(p.fault_at(0, 0), None);
     }
 
     #[test]

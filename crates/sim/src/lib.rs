@@ -16,6 +16,6 @@ pub mod target;
 
 pub use analysis::{analyze, AccessRecord, ProgramAnalysis};
 pub use cost::{estimate, estimate_analysis, estimate_with, time_ms, Cost, SimOptions};
-pub use fault::{Fault, FaultPlan, FaultRates};
+pub use fault::{mix64, Fault, FaultPlan, FaultRates};
 pub use roofline::{attainable, attainable_gflops, ridge_intensity, utilization, RooflinePoint};
 pub use target::{arm_a53, mali_t860, titanx, CacheLevel, CpuSpec, GpuSpec, Target};
