@@ -22,6 +22,11 @@ pub struct Knob {
 pub struct ConfigSpace {
     /// Knobs in declaration order (the mixed-radix digit order).
     pub knobs: Vec<Knob>,
+    /// Preferred starting points (flat indices) declared by the space
+    /// author — population-based tuners measure these before random
+    /// exploration, like TVM's fallback configurations. Purely
+    /// advisory: an empty list means "start from uniform random".
+    pub seeds: Vec<u64>,
 }
 
 impl ConfigSpace {
@@ -76,6 +81,32 @@ impl ConfigSpace {
         rng.random_range(0..self.size().max(1))
     }
 
+    /// Declares a preferred starting configuration by knob value. Knobs
+    /// not mentioned take their first option; a value with no exact
+    /// option maps to the nearest one, so seeds stay valid as the space
+    /// evolves.
+    pub fn add_seed(&mut self, values: &[(&str, i64)]) {
+        let mut idx = 0u64;
+        let mut mult = 1u64;
+        for k in &self.knobs {
+            let digit = match values.iter().find(|(n, _)| *n == k.name) {
+                Some(&(_, v)) => k
+                    .options
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &o)| (o - v).unsigned_abs())
+                    .map(|(i, _)| i)
+                    .unwrap_or(0),
+                None => 0,
+            };
+            idx += digit as u64 * mult;
+            mult *= k.options.len() as u64;
+        }
+        if !self.seeds.contains(&idx) {
+            self.seeds.push(idx);
+        }
+    }
+
     /// A neighboring index: one knob mutated to a different option.
     pub fn neighbor(&self, index: u64, rng: &mut impl Rng) -> u64 {
         if self.knobs.is_empty() {
@@ -120,13 +151,23 @@ impl ConfigEntity {
     /// Value of a knob by name.
     ///
     /// # Panics
-    /// Panics when the knob does not exist (a template bug).
+    /// Panics when the knob does not exist (a template bug). Builders on
+    /// the measurement path should prefer [`ConfigEntity::try_get`].
     pub fn get(&self, name: &str) -> i64 {
+        self.try_get(name)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Value of a knob by name, or a typed error when the space never
+    /// declared it — the non-panicking form for request/measure paths.
+    pub fn try_get(&self, name: &str) -> Result<i64, crate::error::TuneError> {
         self.values
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| *v)
-            .unwrap_or_else(|| panic!("unknown knob `{name}`"))
+            .ok_or_else(|| crate::error::TuneError::UnknownKnob {
+                name: name.to_string(),
+            })
     }
 
     /// Short human-readable form for logs.
@@ -205,6 +246,21 @@ mod tests {
                 .count();
             assert!(diffs <= 1, "{} vs {}", a.summary(), b.summary());
         }
+    }
+
+    #[test]
+    fn try_get_rejects_unknown_knob() {
+        let s = space();
+        let cfg = s.get(3);
+        assert_eq!(cfg.try_get("tile_x").unwrap(), cfg.get("tile_x"));
+        let err = cfg.try_get("no_such_knob").unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::TuneError::UnknownKnob {
+                name: "no_such_knob".into()
+            }
+        );
+        assert!(err.to_string().contains("no_such_knob"));
     }
 
     #[test]

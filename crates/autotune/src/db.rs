@@ -77,6 +77,29 @@ fn meta_canonical(task: &str, seed: u64) -> String {
     format!("meta|{task}|{seed}")
 }
 
+/// Signatures are serialized as exact f64 bit patterns (hex, comma
+/// joined) so the journal round-trips byte-for-byte regardless of any
+/// JSON float formatting.
+fn sig_to_string(sig: &[f64]) -> String {
+    sig.iter()
+        .map(|v| format!("{:016x}", v.to_bits()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn sig_from_string(s: &str) -> Option<Vec<f64>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split(',')
+        .map(|h| u64::from_str_radix(h, 16).ok().map(f64::from_bits))
+        .collect()
+}
+
+fn sig_canonical(task: &str, sig: &[f64]) -> String {
+    format!("sig|{task}|{}", sig_to_string(sig))
+}
+
 /// JSON for a possibly non-finite cost (JSON itself has no `inf`).
 fn cost_to_value(cost_ms: f64) -> Value {
     if cost_ms.is_finite() {
@@ -123,6 +146,13 @@ pub enum JournalLine {
         /// Tuner RNG seed the journaled run used.
         seed: u64,
     },
+    /// A task's invariant feature-space signature (for transfer lookup).
+    Sig {
+        /// Task name.
+        task: String,
+        /// Signature values (see [`crate::features::task_signature`]).
+        sig: Vec<f64>,
+    },
     /// A measured trial.
     Trial(DbRecord),
 }
@@ -161,6 +191,24 @@ impl JournalLine {
                 }
             }
             return Ok(JournalLine::Meta { task, seed });
+        }
+        if v.get("kind").and_then(|k| k.as_str()) == Some("sig") {
+            let task = field("task")?
+                .as_str()
+                .ok_or_else(|| LineError::Malformed("task must be a string".into()))?
+                .to_string();
+            let sig = sig_from_string(
+                field("sig")?
+                    .as_str()
+                    .ok_or_else(|| LineError::Malformed("sig must be a string".into()))?,
+            )
+            .ok_or_else(|| LineError::Malformed("sig must be hex f64 bits".into()))?;
+            if let Some(crc) = stored_crc {
+                if crc != crc32(sig_canonical(&task, &sig).as_bytes()) {
+                    return Err(LineError::Checksum);
+                }
+            }
+            return Ok(JournalLine::Sig { task, sig });
         }
         let task = field("task")?
             .as_str()
@@ -229,6 +277,7 @@ impl DbRecord {
         match JournalLine::parse(line) {
             Ok(JournalLine::Trial(r)) => Ok(r),
             Ok(JournalLine::Meta { .. }) => Err("meta record, not a trial".into()),
+            Ok(JournalLine::Sig { .. }) => Err("signature record, not a trial".into()),
             Ok(JournalLine::Blank) => Err("blank line".into()),
             Err(LineError::Checksum) => Err("checksum mismatch".into()),
             Err(LineError::Malformed(e)) => Err(e),
@@ -359,6 +408,7 @@ fn tmp_path(path: &Path) -> PathBuf {
 struct JournalScan {
     db: Database,
     metas: Vec<(String, u64)>,
+    sigs: Vec<(String, Vec<f64>)>,
     report: RecoveryReport,
     /// Byte offset after the last valid line; the file tail beyond it is
     /// entirely invalid (torn) when `tail_torn` is set.
@@ -371,6 +421,7 @@ fn scan_journal(path: &Path) -> std::io::Result<JournalScan> {
     std::fs::File::open(path)?.read_to_end(&mut bytes)?;
     let mut db = Database::new();
     let mut metas: Vec<(String, u64)> = Vec::new();
+    let mut sigs: Vec<(String, Vec<f64>)> = Vec::new();
     let mut report = RecoveryReport::default();
     let mut seen: HashMap<(String, u64), ()> = HashMap::new();
     // Per-task running count for legacy records without trial numbers.
@@ -396,6 +447,12 @@ fn scan_journal(path: &Path) -> std::io::Result<JournalScan> {
                 good = true;
                 if !metas.iter().any(|(t, _)| *t == task) {
                     metas.push((task, seed));
+                }
+            }
+            Ok(JournalLine::Sig { task, sig }) => {
+                good = true;
+                if !sigs.iter().any(|(t, _)| *t == task) {
+                    sigs.push((task, sig));
                 }
             }
             Ok(JournalLine::Trial(mut rec)) => {
@@ -454,6 +511,7 @@ fn scan_journal(path: &Path) -> std::io::Result<JournalScan> {
     Ok(JournalScan {
         db,
         metas,
+        sigs,
         report,
         valid_end,
         tail_torn,
@@ -472,6 +530,7 @@ pub struct Journal {
     /// Recovered + appended records.
     pub db: Database,
     metas: Vec<(String, u64)>,
+    sigs: Vec<(String, Vec<f64>)>,
 }
 
 impl Journal {
@@ -483,6 +542,7 @@ impl Journal {
             file,
             db: Database::new(),
             metas: Vec::new(),
+            sigs: Vec::new(),
         })
     }
 
@@ -508,6 +568,7 @@ impl Journal {
                 file,
                 db: scan.db,
                 metas: scan.metas,
+                sigs: scan.sigs,
             },
             scan.report,
         ))
@@ -550,6 +611,50 @@ impl Journal {
         self.metas.iter().find(|(t, _)| t == task).map(|&(_, s)| s)
     }
 
+    /// Records a task's invariant feature-space signature (first writer
+    /// wins — a task's signature never changes across runs).
+    pub fn append_sig(&mut self, task: &str, sig: &[f64]) -> std::io::Result<()> {
+        if self.signature(task).is_some() {
+            return Ok(());
+        }
+        let crc = crc32(sig_canonical(task, sig).as_bytes());
+        let line = Value::object([
+            ("kind", Value::Str("sig".into())),
+            ("task", Value::from(task.to_string())),
+            ("sig", Value::Str(sig_to_string(sig))),
+            ("crc", Value::Int(crc as i64)),
+        ])
+        .to_string();
+        writeln!(self.file, "{line}")?;
+        self.file.flush()?;
+        self.sigs.push((task.to_string(), sig.to_vec()));
+        Ok(())
+    }
+
+    /// The journaled signature for a task, if any.
+    pub fn signature(&self, task: &str) -> Option<&[f64]> {
+        self.sigs
+            .iter()
+            .find(|(t, _)| t == task)
+            .map(|(_, s)| s.as_slice())
+    }
+
+    /// The journaled task nearest to `sig` in invariant feature space
+    /// (squared L2), skipping `exclude` (the task being tuned) and tasks
+    /// with no finite best record to transfer from. Distance ties break
+    /// towards the earliest-journaled task, keeping the choice stable
+    /// across replays.
+    pub fn nearest_task(&self, sig: &[f64], exclude: &str) -> Option<&str> {
+        self.sigs
+            .iter()
+            .filter(|(t, _)| t != exclude && self.db.best(t).is_some())
+            .min_by(|(_, a), (_, b)| {
+                crate::features::signature_distance(a, sig)
+                    .total_cmp(&crate::features::signature_distance(b, sig))
+            })
+            .map(|(t, _)| t.as_str())
+    }
+
     /// Trials recorded for a task, in trial order.
     pub fn trials_for(&self, task: &str) -> Vec<&DbRecord> {
         let mut v: Vec<&DbRecord> = self.db.records.iter().filter(|r| r.task == task).collect();
@@ -563,8 +668,8 @@ impl Journal {
     }
 
     /// Rewrites the journal atomically with only valid, deduplicated
-    /// content (metas first, then records in order). A crash during
-    /// compaction leaves the old journal intact.
+    /// content (metas and signatures first, then records in order). A
+    /// crash during compaction leaves the old journal intact.
     pub fn compact(&mut self) -> std::io::Result<()> {
         let tmp = tmp_path(&self.path);
         {
@@ -575,6 +680,17 @@ impl Journal {
                     ("kind", Value::Str("meta".into())),
                     ("task", Value::from(task.clone())),
                     ("seed", Value::from(*seed)),
+                    ("crc", Value::Int(crc as i64)),
+                ])
+                .to_string();
+                writeln!(f, "{line}")?;
+            }
+            for (task, sig) in &self.sigs {
+                let crc = crc32(sig_canonical(task, sig).as_bytes());
+                let line = Value::object([
+                    ("kind", Value::Str("sig".into())),
+                    ("task", Value::from(task.clone())),
+                    ("sig", Value::Str(sig_to_string(sig))),
                     ("crc", Value::Int(crc as i64)),
                 ])
                 .to_string();
@@ -674,6 +790,82 @@ mod tests {
             Err(LineError::Checksum),
             "{tampered}"
         );
+    }
+
+    #[test]
+    fn signatures_round_trip_and_pick_nearest() {
+        let path = std::env::temp_dir().join("tvm_rs_db_sig_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut space = ConfigSpace::new();
+        space.define_knob("k", &[1, 2, 3]);
+        {
+            let mut j = Journal::create(&path).expect("create");
+            j.append_sig("near", &[1.0, 2.0, 0.125]).expect("sig");
+            j.append_sig("far", &[9.0, 9.0, 9.0]).expect("sig");
+            j.append_sig("nobest", &[1.0, 2.0, 0.0]).expect("sig");
+            // First writer wins: a second signature for `near` is a no-op.
+            j.append_sig("near", &[5.0, 5.0, 5.0]).expect("sig");
+            let mut db = Database::new();
+            db.add("near", &space.get(1), 1.5);
+            db.add("far", &space.get(2), 2.0);
+            for r in db.records {
+                j.append(r).expect("append");
+            }
+        }
+        let (j, report) = Journal::open(&path).expect("open");
+        assert!(report.clean(), "{report:?}");
+        assert_eq!(j.signature("near"), Some(&[1.0, 2.0, 0.125][..]));
+        // `nobest` is nearest in space but has no record to transfer from.
+        assert_eq!(j.nearest_task(&[1.0, 2.0, 0.1], "self"), Some("near"));
+        // The task being tuned never transfers from itself.
+        assert_eq!(j.nearest_task(&[1.0, 2.0, 0.1], "near"), Some("far"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sig_checksum_detects_tampering() {
+        let path = std::env::temp_dir().join("tvm_rs_db_sig_tamper.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::create(&path).expect("create");
+            j.append_sig("t", &[1.0, 2.0]).expect("sig");
+        }
+        let line = std::fs::read_to_string(&path).expect("read");
+        match JournalLine::parse(line.trim_end()) {
+            Ok(JournalLine::Sig { task, sig }) => {
+                assert_eq!(task, "t");
+                assert_eq!(sig, vec![1.0, 2.0]);
+            }
+            other => panic!("expected sig line, got {other:?}"),
+        }
+        // Flip one bit of the signature payload.
+        let tampered = line.replacen("3ff", "3fe", 1);
+        assert_ne!(tampered, line);
+        assert_eq!(JournalLine::parse(tampered.trim_end()), Err(LineError::Checksum));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_preserves_signatures() {
+        let path = std::env::temp_dir().join("tvm_rs_db_sig_compact.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut space = ConfigSpace::new();
+        space.define_knob("k", &[1, 2]);
+        {
+            let mut j = Journal::create(&path).expect("create");
+            j.append_sig("t", &[0.5, -2.0, f64::INFINITY]).expect("sig");
+            let mut db = Database::new();
+            db.add("t", &space.get(0), 1.0);
+            for r in db.records {
+                j.append(r).expect("append");
+            }
+            j.compact().expect("compact");
+        }
+        let (j, report) = Journal::open(&path).expect("open");
+        assert!(report.clean(), "{report:?}");
+        assert_eq!(j.signature("t"), Some(&[0.5, -2.0, f64::INFINITY][..]));
+        assert_eq!(j.db.records.len(), 1);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Typed errors for the tuning request/measure paths.
+//!
+//! The tuner's hot paths used to panic on malformed input (unknown knob
+//! names, impossible sketch selections); these are now surfaced as
+//! [`TuneError`] values so a bad template or a corrupted config index
+//! degrades to a rejected candidate instead of aborting the run.
+
+use std::fmt;
+
+/// A malformed tuning input: the config, space, or derivation it names
+/// cannot be used.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TuneError {
+    /// A builder asked a config for a knob the space never declared.
+    UnknownKnob {
+        /// The missing knob name.
+        name: String,
+    },
+    /// A config selected a sketch index outside the generated set.
+    NoSuchSketch {
+        /// The out-of-range sketch index.
+        index: i64,
+        /// How many sketches the generator produced.
+        available: usize,
+    },
+    /// The tensor-expression DAG is not sketchable (the caller should
+    /// fall back to a hand-written template).
+    NotSketchable {
+        /// Why sketch generation refused the DAG.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::UnknownKnob { name } => write!(f, "unknown knob `{name}`"),
+            TuneError::NoSuchSketch { index, available } => {
+                write!(f, "sketch {index} out of range ({available} generated)")
+            }
+            TuneError::NotSketchable { reason } => write!(f, "not sketchable: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+impl From<TuneError> for tvm_te::TeError {
+    fn from(e: TuneError) -> tvm_te::TeError {
+        tvm_te::TeError::msg(e.to_string())
+    }
+}

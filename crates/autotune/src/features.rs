@@ -18,11 +18,81 @@ pub const MAX_ACCESSES: usize = 8;
 pub const ACCESS_FEATURES: usize = 9;
 /// Global program features.
 pub const GLOBAL_FEATURES: usize = 12;
+/// Task-invariant features (normalized ratios comparable across
+/// workloads — see [`invariant_features`]).
+pub const INVARIANT_FEATURES: usize = 8;
 /// Total feature-vector length.
-pub const FEATURE_LEN: usize = GLOBAL_FEATURES + MAX_ACCESSES * ACCESS_FEATURES;
+pub const FEATURE_LEN: usize =
+    GLOBAL_FEATURES + MAX_ACCESSES * ACCESS_FEATURES + INVARIANT_FEATURES;
 
 fn log2p(x: f64) -> f64 {
     (x.max(0.0) + 1.0).log2()
+}
+
+/// The task-invariant feature block ("Learning to Optimize Tensor
+/// Programs"-style): normalized ratios rather than absolute magnitudes,
+/// so one cost model can rank configurations *across* workloads of very
+/// different sizes, and so a task can be located relative to its tuned
+/// neighbors for transfer. The entries:
+///
+/// 0. arithmetic intensity `flops / bytes-touched` (log-compressed)
+/// 1-4. one-hot arithmetic-intensity bucket (`<0.5`, `<4`, `<32`, `>=32`)
+/// 5. touch ratio `bytes-touched / unique-footprint-bytes` (reuse factor)
+/// 6. normalized loop extent: geometric-mean per-level trip count,
+///    `iterations^(1/depth)`
+/// 7. store fraction of the access sites
+pub fn invariant_features(an: &ProgramAnalysis) -> [f64; INVARIANT_FEATURES] {
+    let total_touch: f64 = an
+        .accesses
+        .iter()
+        .map(|a| a.trips * a.dtype.bytes() as f64)
+        .sum();
+    let total_footprint: f64 = an.accesses.iter().map(|a| a.bytes_at_depth(0)).sum();
+    let ai = an.flops / total_touch.max(1.0);
+    let touch_ratio = total_touch / total_footprint.max(1.0);
+    let depth = an
+        .accesses
+        .iter()
+        .map(|a| a.loops.len())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let norm_extent = an.loop_iterations.max(1.0).powf(1.0 / depth as f64);
+    let stores = an.accesses.iter().filter(|a| a.is_store).count();
+    let store_frac = stores as f64 / an.accesses.len().max(1) as f64;
+    [
+        log2p(ai),
+        f64::from(ai < 0.5),
+        f64::from((0.5..4.0).contains(&ai)),
+        f64::from((4.0..32.0).contains(&ai)),
+        f64::from(ai >= 32.0),
+        log2p(touch_ratio),
+        log2p(norm_extent),
+        store_frac,
+    ]
+}
+
+/// Length of a [`task_signature`].
+pub const TASK_SIG_LEN: usize = INVARIANT_FEATURES;
+
+/// A task's location in the invariant feature space: the signature the
+/// journal stores so a new workload can warm-start from its nearest
+/// tuned neighbor. Extracted from any representative lowering of the
+/// task (the untuned default config works — the invariant block varies
+/// far less across configs of one task than across tasks).
+pub fn task_signature(func: &LoweredFunc) -> Vec<f64> {
+    invariant_features(&analyze(func)).to_vec()
+}
+
+/// Squared L2 distance between two signatures (shorter one zero-padded).
+pub fn signature_distance(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().max(b.len());
+    (0..n)
+        .map(|i| {
+            let d = a.get(i).copied().unwrap_or(0.0) - b.get(i).copied().unwrap_or(0.0);
+            d * d
+        })
+        .sum()
 }
 
 /// Extracts the fixed-length feature vector of a lowered function.
@@ -108,6 +178,7 @@ pub fn extract_analysis(an: &ProgramAnalysis) -> Vec<f64> {
             None => f.extend(std::iter::repeat_n(0.0, ACCESS_FEATURES)),
         }
     }
+    f.extend(invariant_features(an));
     debug_assert_eq!(f.len(), FEATURE_LEN);
     f
 }
@@ -133,7 +204,16 @@ impl FeatureCache {
     /// The feature vector for `func`, extracting it only on first sight of
     /// `key`.
     pub fn get_or_extract(&self, key: u64, func: &LoweredFunc) -> Arc<Vec<f64>> {
-        if let Some(hit) = self.map.lock().expect("feature cache lock").get(&key) {
+        // Recover from poisoning: the map holds plain data, so a panic in
+        // another worker mid-insert leaves at worst a missing entry —
+        // re-extraction is always safe, abandoning the whole tuning run
+        // is not.
+        if let Some(hit) = self
+            .map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
@@ -144,7 +224,7 @@ impl FeatureCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.map
             .lock()
-            .expect("feature cache lock")
+            .unwrap_or_else(|e| e.into_inner())
             .entry(key)
             .or_insert(feats)
             .clone()
@@ -211,6 +291,65 @@ mod tests {
                                   // Feature 1 is the vectorized-flop fraction.
         assert_eq!(f1[1], 0.0);
         assert!(f2[1] > 0.0);
+    }
+
+    #[test]
+    fn invariant_block_is_finite_and_bucketed() {
+        let f = extract(&mm(8));
+        let inv = &f[FEATURE_LEN - INVARIANT_FEATURES..];
+        assert_eq!(inv.len(), INVARIANT_FEATURES);
+        assert!(inv.iter().all(|v| v.is_finite()));
+        // Exactly one arithmetic-intensity bucket is hot.
+        let hot: f64 = inv[1..5].iter().sum();
+        assert_eq!(hot, 1.0);
+        // Matmul touches more bytes than its unique footprint (reuse > 1),
+        // so the log-compressed touch ratio is strictly positive.
+        assert!(inv[5] > 0.0, "touch ratio {}", inv[5]);
+        // Store fraction is a proper fraction.
+        assert!((0.0..=1.0).contains(&inv[7]));
+    }
+
+    #[test]
+    fn signatures_separate_tasks_not_configs() {
+        // Two configs of the same task sit closer together than two
+        // different tasks — the property transfer warm-starting relies on.
+        let small_a = task_signature(&mm(1));
+        let small_b = task_signature(&mm(8));
+        let elem = {
+            let n = 64;
+            let a = placeholder(&[n, n], DType::float32(), "A");
+            let c = compute(&[n, n], "C", |i| {
+                a.at(&[i[0].clone(), i[1].clone()]) + a.at(&[i[0].clone(), i[1].clone()])
+            });
+            let s = create_schedule(std::slice::from_ref(&c));
+            task_signature(&lower(&s, &[a, c], "add").expect("lowers"))
+        };
+        let intra = signature_distance(&small_a, &small_b);
+        let inter = signature_distance(&small_a, &elem);
+        assert!(
+            intra < inter,
+            "intra-task {intra} should be < inter-task {inter}"
+        );
+    }
+
+    #[test]
+    fn feature_cache_survives_a_poisoned_lock() {
+        let cache = Arc::new(FeatureCache::new());
+        let func = mm(8);
+        cache.get_or_extract(1, &func);
+        // Poison the mutex by panicking while holding it.
+        let c2 = cache.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = c2.map.lock().unwrap();
+            panic!("poison");
+        })
+        .join();
+        // Lookups still work: hit on the existing key, miss-and-insert on
+        // a new one.
+        let a = cache.get_or_extract(1, &func);
+        assert_eq!(*a, extract(&func));
+        let b = cache.get_or_extract(2, &func);
+        assert_eq!(*b, extract(&func));
     }
 
     #[test]

@@ -94,6 +94,13 @@ pub enum TunerKind {
     /// simple arithmetic-intensity heuristic, and only the predicted-best
     /// are measured. Zero data cost, but the model's bias caps quality.
     Predefined,
+    /// Evolutionary search guided by the ML cost model: tournament
+    /// selection + crossover + mutation over the measured population,
+    /// children ranked by the GBT before measurement. The default driver
+    /// for sketch-derived spaces, where the structural `sketch` knob and
+    /// the hole knobs recombine well; honors
+    /// [`TuneOptions::warm_start`] seeds (transfer learning).
+    Evolutionary,
 }
 
 /// Tuning options.
@@ -110,6 +117,12 @@ pub struct TuneOptions {
     pub sa_chains: usize,
     /// RNG seed (determinism for tests/benches).
     pub seed: u64,
+    /// Config indices to seed the initial population with (transfer
+    /// learning; see [`crate::transfer::warm_start_seeds`]). Used by
+    /// [`TunerKind::Evolutionary`]; empty means cold start. When tuning
+    /// through a journal with no explicit seeds, [`tune_with`] fills
+    /// this from the nearest journaled neighbor automatically.
+    pub warm_start: Vec<u64>,
 }
 
 impl Default for TuneOptions {
@@ -120,6 +133,7 @@ impl Default for TuneOptions {
             sa_steps: 40,
             sa_chains: 16,
             seed: 0,
+            warm_start: Vec::new(),
         }
     }
 }
@@ -413,7 +427,11 @@ fn measure_batch(cache: &MeasureCache, batch: &[u64]) -> Vec<(f64, Option<Arc<Ve
     if !jobs.is_empty() {
         let refs: Vec<&LoweredFunc> = funcs.iter().map(|f| f.as_ref()).collect();
         let outcomes = {
-            let mut tracker = pool.lock().expect("pool lock");
+            // Poison recovery: a panic on another thread mid-dispatch
+            // leaves the tracker in whatever state its own error handling
+            // produced — still usable, and far better than cascading the
+            // panic through every remaining measurement.
+            let mut tracker = pool.lock().unwrap_or_else(|e| e.into_inner());
             tracker.run_batch_detailed(cache.task.target.name(), &refs)
         };
         for (&idx, outcome) in jobs.iter().zip(&outcomes) {
@@ -429,11 +447,16 @@ fn measure_batch(cache: &MeasureCache, batch: &[u64]) -> Vec<(f64, Option<Arc<Ve
         .iter()
         .zip(lowered)
         .map(|(&idx, low)| {
-            let cost = *cache
+            // Every batch config was queued or preloaded above; if a pool
+            // outcome went missing anyway (a tracker bug, a short outcome
+            // vector), degrade that config to "invalid" rather than
+            // aborting the whole tuning run.
+            let cost = cache
                 .slot(idx)
                 .cost
                 .get()
-                .expect("batch config measured or preloaded");
+                .copied()
+                .unwrap_or(f64::INFINITY);
             (cost, low.map(|(_, feats)| feats))
         })
         .collect()
@@ -488,6 +511,9 @@ pub fn tune_with(
     // Declared before `h`: the journal sink inside `h` borrows this cell,
     // so it must outlive the history.
     let journal_err: std::cell::RefCell<Option<std::io::Error>> = std::cell::RefCell::new(None);
+    // Effective options: `warm_start` may be filled from the journal's
+    // nearest neighbor below.
+    let mut eff = opts.clone();
     let mut h = History::new();
     if let Some(j) = journal {
         if let Some(seed) = j.meta_seed(&task.name) {
@@ -502,6 +528,20 @@ pub fn tune_with(
             }
         }
         j.append_meta(&task.name, opts.seed)?;
+        // Fingerprint the task in invariant feature space: the signature
+        // is journaled (first writer wins, so replays append nothing) and
+        // locates the nearest already-tuned neighbor for warm-starting.
+        // The canonical config index 0 keeps the fingerprint identical
+        // across runs; the invariant block is the feature vector's tail.
+        let probe = [0u64, task.space.size() / 2];
+        if let Some(feats) = probe.iter().find_map(|&i| cache.lowered(i).map(|(_, f)| f)) {
+            let sig = feats[feats.len() - crate::features::INVARIANT_FEATURES..].to_vec();
+            if eff.warm_start.is_empty() {
+                eff.warm_start =
+                    crate::transfer::warm_start_seeds(j, &task.name, &sig, &task.space, 4);
+            }
+            j.append_sig(&task.name, &sig)?;
+        }
         let prior = j.trials_for(&task.name);
         h.skip = prior.len();
         for rec in prior {
@@ -526,12 +566,14 @@ pub fn tune_with(
         }));
     }
 
+    let opts = &eff;
     let mut result = match kind {
         TunerKind::Random => tune_random(task, &cache, opts, &mut rng, h),
         TunerKind::Genetic => tune_genetic(task, &cache, opts, &mut rng, h),
         TunerKind::GbtRank => tune_ml(task, &cache, opts, Objective::Rank, &mut rng, h),
         TunerKind::GbtReg => tune_ml(task, &cache, opts, Objective::Regression, &mut rng, h),
         TunerKind::Predefined => tune_predefined(task, &cache, opts, &mut rng, h),
+        TunerKind::Evolutionary => tune_evolutionary(task, &cache, opts, &mut rng, h),
     };
     if let Some(e) = journal_err.borrow_mut().take() {
         return Err(e);
@@ -554,7 +596,7 @@ pub fn tune_with(
         .saturating_sub(lower_before.lock_wait_ns);
     result.work = std::mem::take(cache.work.get_mut().unwrap_or_else(|e| e.into_inner()));
     if let Some(m) = cache.pool.take() {
-        let tracker: &mut Tracker = m.into_inner().expect("pool lock");
+        let tracker: &mut Tracker = m.into_inner().unwrap_or_else(|e| e.into_inner());
         let before = pool_before.unwrap_or_default();
         result.stats.pool = tracker.pool_stats().minus(&before);
         result.stats.device_health = tracker.health();
@@ -819,6 +861,256 @@ fn tune_genetic(
                     pop[worst] = (child, cost);
                 }
             }
+        }
+    }
+    h.finish()
+}
+
+/// Binary-tournament parent selection over the measured population.
+fn tournament(rng: &mut StdRng, pop: &[(u64, f64)]) -> u64 {
+    let a = &pop[rng.random_range(0..pop.len())];
+    let b = &pop[rng.random_range(0..pop.len())];
+    if a.1 < b.1 {
+        a.0
+    } else {
+        b.0
+    }
+}
+
+/// Evolutionary search guided by the GBT cost model (the sketch-space
+/// driver): children are bred serially (tournament + knob-wise crossover
+/// + neighbor mutation) from a per-generation RNG, scored by the model in
+/// proposal order on the worker pool, and only the predicted-best are
+/// measured. The per-generation RNG makes each generation's child stream
+/// a pure function of `(seed, generation)` — like the annealing path,
+/// the whole run is bit-for-bit identical at any worker count.
+/// [`TuneOptions::warm_start`] seeds join the initial population ahead of
+/// the random fill, which is all transfer needs: a good neighbor config
+/// is measured in generation zero and its genes spread from there.
+fn tune_evolutionary(
+    task: &TuningTask,
+    cache: &MeasureCache,
+    opts: &TuneOptions,
+    rng: &mut StdRng,
+    mut h: History<'_>,
+) -> TuneResult {
+    const TREES_PER_ROUND: usize = 8;
+    let pop_size = (opts.batch * 2).max(16);
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut xs: Vec<Vec<f64>> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    let mut model = Gbt::default();
+    let mut trained = 0usize;
+    let mut pop: Vec<(u64, f64)> = Vec::new();
+
+    // Initial population: the space's own declared seeds first (sketch
+    // generators emit occupancy-heuristic starting points, the analogue
+    // of TVM's fallback configs — putting them at fixed positions keeps
+    // cold and warmed runs comparable trial-for-trial), then transfer
+    // seeds, random fill after.
+    let mut init: Vec<u64> = Vec::new();
+    let init_size = pop_size.min(opts.n_trials).max(1);
+    for &c in &task.space.seeds {
+        let c = c % task.space.size().max(1);
+        if init.len() < init_size && !init.contains(&c) {
+            init.push(c);
+        }
+    }
+    for &s in &opts.warm_start {
+        let s = s % task.space.size().max(1);
+        if init.len() < init_size && !init.contains(&s) {
+            init.push(s);
+        }
+    }
+    let mut attempts = 0;
+    while init.len() < init_size {
+        let idx = task.space.random_index(rng);
+        attempts += 1;
+        if !init.contains(&idx) || task.space.size() <= init_size as u64 || attempts > 256 {
+            init.push(idx);
+        }
+    }
+    init.truncate(opts.n_trials);
+    let absorb = |idx: u64,
+                      cost: f64,
+                      feats: Option<Arc<Vec<f64>>>,
+                      h: &mut History<'_>,
+                      pop: &mut Vec<(u64, f64)>,
+                      xs: &mut Vec<Vec<f64>>,
+                      ys: &mut Vec<f64>| {
+        let cfg = task.space.get(idx);
+        match feats {
+            Some(f) if cost.is_finite() => {
+                xs.push(f.as_ref().clone());
+                ys.push(-(cost.max(1e-9)).ln());
+                h.push(&cfg, cost);
+                pop.push((idx, cost));
+            }
+            _ => h.push(&cfg, f64::INFINITY),
+        }
+    };
+    for (&idx, (cost, feats)) in init.iter().zip(measure_batch(cache, &init)) {
+        visited.insert(idx);
+        absorb(idx, cost, feats, &mut h, &mut pop, &mut xs, &mut ys);
+    }
+
+    while h.records.len() < opts.n_trials {
+        // Keep the population best-first and bounded.
+        pop.sort_by(|a, b| a.1.total_cmp(&b.1));
+        pop.dedup_by_key(|(i, _)| *i);
+        pop.truncate(pop_size);
+        let want = opts.batch.min(opts.n_trials - h.records.len()).max(1);
+        let batch: Vec<u64> = if pop.is_empty() || xs.len() < opts.batch {
+            // No usable population / model yet: random bootstrap.
+            let mut b = Vec::new();
+            let mut attempts = 0;
+            while b.len() < want {
+                let idx = task.space.random_index(rng);
+                attempts += 1;
+                if !visited.contains(&idx)
+                    || task.space.size() <= opts.n_trials as u64
+                    || attempts > 256
+                {
+                    b.push(idx);
+                }
+            }
+            b
+        } else {
+            if xs.len() > trained {
+                let _fit_span = tvm_obs::span_with("fit", &[("samples", &xs.len().to_string())]);
+                let params = GbtParams {
+                    objective: Objective::Rank,
+                    ..GbtParams::default()
+                };
+                let prof = FitProfile::default();
+                fit_more(&mut model, &xs, &ys, &params, TREES_PER_ROUND, Some(&prof));
+                trained = xs.len();
+                for (dur_s, items) in prof.take() {
+                    cache.record_phase("fit", vec![dur_s / items as f64; items]);
+                }
+            }
+            // Evolve a virtual population against the model: several
+            // selection + breeding rounds run purely on predicted scores
+            // between hardware measurements, so each measured batch is
+            // the outcome of a real search over the model rather than a
+            // single breed step. All breeding is serial from a dedicated
+            // per-generation RNG (the child stream is a pure function of
+            // (seed, generation index)); only the scoring fans out, in
+            // proposal order, so the whole search is thread-count
+            // independent.
+            const EVOLVE_ROUNDS: usize = 6;
+            let pool = (want * 8).max(64);
+            let mut grng = StdRng::seed_from_u64(rng.next_u64());
+            let mut seen: HashSet<u64> = HashSet::new();
+            let mut scored: Vec<(u64, f64)> = Vec::new();
+            // Round zero: the measured population plus uniform immigrants.
+            let mut cands: Vec<u64> = Vec::new();
+            for &(i, _) in pop.iter() {
+                if seen.insert(i) {
+                    cands.push(i);
+                }
+            }
+            let mut attempts = 0;
+            while cands.len() < pool && attempts < pool * 8 {
+                attempts += 1;
+                let idx = task.space.random_index(&mut grng);
+                if seen.insert(idx) {
+                    cands.push(idx);
+                }
+            }
+            for _ in 0..EVOLVE_ROUNDS {
+                if cands.is_empty() {
+                    break;
+                }
+                let (scores, durs) = timed_par_map(cands.clone(), |idx| {
+                    cache
+                        .lowered(idx)
+                        .map(|(_, f)| model.predict(&f))
+                        .unwrap_or(f64::NEG_INFINITY)
+                });
+                cache.record_phase("evolve", durs);
+                scored.extend(cands.iter().copied().zip(scores));
+                // Parents: the best-predicted candidates seen so far
+                // (negated score, so the tournament's lower-is-better
+                // convention applies unchanged).
+                let mut parents: Vec<(u64, f64)> =
+                    scored.iter().map(|&(i, s)| (i, -s)).collect();
+                parents.sort_by(|a, b| a.1.total_cmp(&b.1));
+                parents.dedup_by_key(|(i, _)| *i);
+                parents.truncate(pop_size);
+                cands.clear();
+                let mut attempts = 0;
+                while cands.len() < pool && attempts < pool * 8 {
+                    attempts += 1;
+                    let pa = tournament(&mut grng, &parents);
+                    let pb = tournament(&mut grng, &parents);
+                    let mut child = crossover(&task.space, pa, pb, &mut grng);
+                    if grng.random_range(0.0..1.0) < 0.3 {
+                        child = task.space.neighbor(child, &mut grng);
+                    }
+                    if seen.insert(child) {
+                        cands.push(child);
+                    }
+                }
+                // A slice of uniform immigrants each round keeps fresh
+                // regions in play, not only recombinations of the elite.
+                let mut attempts = 0;
+                while cands.len() < pool + pool / 4 && attempts < pool * 2 {
+                    attempts += 1;
+                    let idx = task.space.random_index(&mut grng);
+                    if seen.insert(idx) {
+                        cands.push(idx);
+                    }
+                }
+            }
+            // Measure the best-predicted unvisited candidates.
+            let mut ranked: Vec<(u64, f64)> = scored
+                .into_iter()
+                .filter(|(i, _)| !visited.contains(i))
+                .collect();
+            ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+            // Same proposal guards as the annealing path: spread exploit
+            // slots across predicted-score plateaus, keep a random tail.
+            let explore = (want / 4).max(1);
+            let exploit = want.saturating_sub(explore);
+            let mut out: Vec<u64> = Vec::new();
+            let mut per_score: HashMap<u64, usize> = HashMap::new();
+            for &(i, s) in &ranked {
+                if out.len() >= exploit {
+                    break;
+                }
+                let level = per_score.entry(s.to_bits()).or_insert(0);
+                if *level < 1 {
+                    *level += 1;
+                    out.push(i);
+                }
+            }
+            for &(i, _) in &ranked {
+                if out.len() >= exploit {
+                    break;
+                }
+                if !out.contains(&i) {
+                    out.push(i);
+                }
+            }
+            let mut attempts = 0;
+            while out.len() < want {
+                let idx = task.space.random_index(&mut grng);
+                attempts += 1;
+                if (!visited.contains(&idx) && !out.contains(&idx))
+                    || task.space.size() <= opts.n_trials as u64
+                    || attempts > 64
+                {
+                    out.push(idx);
+                }
+            }
+            out
+        };
+        for &idx in &batch {
+            visited.insert(idx);
+        }
+        for (&idx, (cost, feats)) in batch.iter().zip(measure_batch(cache, &batch)) {
+            absorb(idx, cost, feats, &mut h, &mut pop, &mut xs, &mut ys);
         }
     }
     h.finish()

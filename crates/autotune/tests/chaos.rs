@@ -205,7 +205,11 @@ fn killed_run_resumes_from_journal_to_identical_best() {
     drop(j);
     let full = std::fs::read_to_string(&full_path).expect("read");
     let lines: Vec<&str> = full.lines().collect();
-    assert_eq!(lines.len(), 1 + o.n_trials, "meta + one line per trial");
+    assert_eq!(
+        lines.len(),
+        2 + o.n_trials,
+        "meta + task signature + one line per trial"
+    );
 
     // Kill the run at several points: a clean record boundary, and a torn
     // write mid-record. Each must resume to the identical final result.

@@ -1,0 +1,173 @@
+//! The sketch-search contract: evolutionary tuning over a generated
+//! sketch space is bit-for-bit deterministic at any worker count — same
+//! trial history, same best schedule, and byte-identical journals — and
+//! transfer warm-starting strictly helps on a neighboring workload.
+
+use tvm_autotune::{
+    sketch_task, tune, tune_with, Journal, TuneOptions, TuneResult, TunerKind, TuningTask,
+};
+use tvm_ir::DType;
+use tvm_sim::arm_a53;
+use tvm_te::{compute, placeholder, reduce_axis, sum, Tensor};
+
+fn matmul(n: i64) -> (Tensor, Tensor, Tensor) {
+    let a = placeholder(&[n, n], DType::float32(), "A");
+    let b = placeholder(&[n, n], DType::float32(), "B");
+    let k = reduce_axis(n, "k");
+    let c = compute(&[n, n], "C", |i| {
+        sum(
+            a.at(&[i[0].clone(), k.expr()]) * b.at(&[k.expr(), i[1].clone()]),
+            std::slice::from_ref(&k),
+        )
+    });
+    (a, b, c)
+}
+
+fn mm_sketch_task(n: i64) -> TuningTask {
+    let (a, b, c) = matmul(n);
+    sketch_task(
+        format!("sketch_mm{n}"),
+        std::slice::from_ref(&c),
+        &[a, b, c.clone()],
+        arm_a53(),
+    )
+    .expect("matmul is sketchable")
+}
+
+fn opts(n_trials: usize, seed: u64) -> TuneOptions {
+    TuneOptions {
+        n_trials,
+        batch: 8,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn with_threads<T>(threads: usize, f: impl FnOnce() -> T + Send) -> T
+where
+    T: Send,
+{
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+        .install(f)
+}
+
+fn history_of(r: &TuneResult) -> Vec<(u64, f64)> {
+    r.history
+        .iter()
+        .map(|t| (t.config_index, t.cost_ms))
+        .collect()
+}
+
+#[test]
+fn evolutionary_sketch_search_is_thread_count_invariant() {
+    let o = opts(24, 11);
+    let runs: Vec<TuneResult> = [1usize, 4, 8]
+        .into_iter()
+        .map(|t| with_threads(t, || tune(&mm_sketch_task(64), &o, TunerKind::Evolutionary)))
+        .collect();
+    for r in &runs[1..] {
+        assert_eq!(
+            history_of(&runs[0]),
+            history_of(r),
+            "trial history must not depend on the worker count"
+        );
+        assert_eq!(runs[0].best_ms, r.best_ms);
+        assert_eq!(
+            runs[0].best_config.as_ref().map(|c| c.index),
+            r.best_config.as_ref().map(|c| c.index)
+        );
+        assert_eq!(runs[0].best_curve, r.best_curve);
+    }
+    assert!(
+        runs[0].best_config.is_some(),
+        "sketch search found a valid schedule"
+    );
+}
+
+#[test]
+fn sketch_journals_are_byte_identical_across_worker_counts() {
+    let o = opts(16, 23);
+    let dir = std::env::temp_dir();
+    let mut bytes: Vec<Vec<u8>> = Vec::new();
+    for threads in [1usize, 4, 8] {
+        let path = dir.join(format!("tvm_rs_sketch_det_{threads}.jsonl"));
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::create(&path).expect("create");
+        with_threads(threads, || {
+            tune_with(
+                &mm_sketch_task(64),
+                &o,
+                TunerKind::Evolutionary,
+                None,
+                Some(&mut j),
+            )
+            .expect("tunes")
+        });
+        drop(j);
+        bytes.push(std::fs::read(&path).expect("read"));
+        let _ = std::fs::remove_file(&path);
+    }
+    assert_eq!(bytes[0], bytes[1], "journal bytes differ at 4 threads");
+    assert_eq!(bytes[0], bytes[2], "journal bytes differ at 8 threads");
+    // The journal leads with the run metadata and the task's invariant
+    // feature-space signature (the transfer index for later tasks).
+    let text = String::from_utf8(bytes[0].clone()).expect("utf8");
+    assert!(text.lines().nth(1).expect("sig line").contains("\"sig\""));
+}
+
+#[test]
+fn transfer_warm_start_reaches_the_cold_best_in_fewer_trials() {
+    let trials = 24;
+    let dir = std::env::temp_dir();
+
+    // Cold run on the target workload: no journal, no prior knowledge.
+    let cold = tune(
+        &mm_sketch_task(96),
+        &opts(trials, 5),
+        TunerKind::Evolutionary,
+    );
+
+    // Donor run on a neighboring workload leaves trials + signature in
+    // the journal; the warmed run on the target picks its best configs
+    // as generation-zero seeds.
+    let path = dir.join("tvm_rs_sketch_transfer.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let mut j = Journal::create(&path).expect("create");
+    tune_with(
+        &mm_sketch_task(64),
+        &opts(trials, 5),
+        TunerKind::Evolutionary,
+        None,
+        Some(&mut j),
+    )
+    .expect("donor tunes");
+    let warm = tune_with(
+        &mm_sketch_task(96),
+        &opts(trials, 5),
+        TunerKind::Evolutionary,
+        None,
+        Some(&mut j),
+    )
+    .expect("warmed tunes");
+    drop(j);
+    let _ = std::fs::remove_file(&path);
+
+    // Trials needed to match the cold run's final best.
+    let reach = |r: &TuneResult| {
+        r.best_curve
+            .iter()
+            .position(|&c| c <= cold.best_ms)
+            .map(|i| i + 1)
+    };
+    let cold_reach = reach(&cold).expect("cold run reaches its own best");
+    let warm_reach = reach(&warm).expect("warmed run matches the cold best within budget");
+    assert!(
+        warm_reach < cold_reach,
+        "warm start should reach {:.4}ms sooner: warm {warm_reach} vs cold {cold_reach} trials",
+        cold.best_ms
+    );
+    assert!(warm.best_ms <= cold.best_ms, "transfer must never hurt");
+}

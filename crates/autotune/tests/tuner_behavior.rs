@@ -77,6 +77,7 @@ fn invalid_configs_are_skipped_not_fatal() {
     for kind in [
         TunerKind::Random,
         TunerKind::Genetic,
+        TunerKind::Evolutionary,
         TunerKind::GbtRank,
         TunerKind::Predefined,
     ] {
@@ -87,6 +88,36 @@ fn invalid_configs_are_skipped_not_fatal() {
         assert!(r.best_config.is_some());
         let best = r.best_config.expect("exists");
         assert_eq!(best.get("poison"), 0);
+    }
+}
+
+#[test]
+fn a_builder_that_always_fails_degrades_gracefully() {
+    // Every config is malformed: the run must complete its budget with
+    // all-infinite costs and no best — never panic, never hang — even
+    // for the population-based tuners that feed costs back into search.
+    let mut space = ConfigSpace::new();
+    space.define_split("tile", 64, 64);
+    space.define_knob("vec", &[0, 1]);
+    let builder =
+        |_: &ConfigEntity| -> Result<tvm_ir::LoweredFunc, TeError> { Err(TeError::msg("broken")) };
+    let task = TuningTask {
+        name: "always_fails".into(),
+        space,
+        builder: Arc::new(builder),
+        target: arm_a53(),
+        sim_opts: Default::default(),
+    };
+    let opts = TuneOptions {
+        n_trials: 20,
+        seed: 9,
+        ..Default::default()
+    };
+    for kind in [TunerKind::Evolutionary, TunerKind::GbtRank, TunerKind::Random] {
+        let r = tune(&task, &opts, kind);
+        assert_eq!(r.history.len(), 20, "{kind:?} spent the whole budget");
+        assert!(r.history.iter().all(|t| t.cost_ms.is_infinite()));
+        assert!(r.best_config.is_none(), "{kind:?} must not pick a best");
     }
 }
 

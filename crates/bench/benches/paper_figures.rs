@@ -89,6 +89,7 @@ fn bench_fig12_tuning(c: &mut Criterion) {
                 sa_steps: 4,
                 sa_chains: 4,
                 seed: 1,
+                warm_start: Vec::new(),
             };
             black_box(tune(&task, &opts, TunerKind::GbtRank).best_ms)
         })

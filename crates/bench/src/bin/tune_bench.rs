@@ -387,6 +387,7 @@ fn bench_robustness(quick: bool) -> bool {
         sa_steps: if quick { 10 } else { 40 },
         sa_chains: if quick { 8 } else { 16 },
         seed: 42,
+        warm_start: Vec::new(),
     };
     let target = titanx();
     let task = topi::dense_task(
@@ -500,10 +501,186 @@ fn bench_robustness(quick: bool) -> bool {
     ok
 }
 
+/// Trials a run needs to match `target_ms` (1-based), per its best-curve.
+fn trials_to_reach(r: &TuneResult, target_ms: f64) -> Option<usize> {
+    r.best_curve.iter().position(|&c| c <= target_ms).map(|i| i + 1)
+}
+
+fn curve_json(r: &TuneResult) -> Value {
+    Value::Array(r.best_curve.iter().map(|&c| Value::Float(c)).collect())
+}
+
+/// Sketch-vs-template benchmark: on each Fig. 12 workload, the generated
+/// sketch space searched by the evolutionary tuner must match or beat the
+/// hand-written template searched by SA+GBT under the same trial budget,
+/// and a transfer-warmed run (seeded from a smaller donor workload's
+/// journal) must reach the cold run's best in no more trials. Curves are
+/// merged into `results/BENCH_tuning.json` under `"sketch"`.
+fn bench_sketch(quick: bool) -> bool {
+    let opts = TuneOptions {
+        n_trials: if quick { 32 } else { 64 },
+        batch: 8,
+        sa_steps: if quick { 10 } else { 40 },
+        sa_chains: if quick { 8 } else { 16 },
+        seed: 42,
+        warm_start: Vec::new(),
+    };
+    let target = titanx();
+    let dense_w = DenseWorkload {
+        m: 64,
+        n: 512,
+        k: 512,
+        dtype: DType::float32(),
+    };
+    let dense_donor_w = DenseWorkload {
+        m: 32,
+        n: 256,
+        k: 256,
+        dtype: DType::float32(),
+    };
+    let conv_w = topi::resnet18_convs()[6];
+    let conv_donor_w = topi::Conv2dWorkload {
+        batch: 1,
+        size: 14,
+        in_c: 128,
+        out_c: 128,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+    };
+    struct Case {
+        name: &'static str,
+        template: TuningTask,
+        sketch: TuningTask,
+        donor: TuningTask,
+    }
+    let cases = [
+        Case {
+            name: "dense_64x512x512",
+            template: topi::dense_task(dense_w.clone(), target.clone()),
+            sketch: topi::dense_sketch_task(dense_w, target.clone()).expect("dense sketches"),
+            donor: topi::dense_sketch_task(dense_donor_w, target.clone())
+                .expect("donor dense sketches"),
+        },
+        Case {
+            name: "resnet18_C7_conv2d",
+            template: topi::conv2d_task(conv_w, DType::float32(), target.clone()),
+            sketch: topi::conv2d_sketch_task(conv_w, DType::float32(), target.clone())
+                .expect("conv sketches"),
+            donor: topi::conv2d_sketch_task(conv_donor_w, DType::float32(), target.clone())
+                .expect("donor conv sketches"),
+        },
+    ];
+    let mut ok = true;
+    let mut rows: Vec<Value> = Vec::new();
+    for case in cases {
+        println!(
+            "== sketch {}: {} trials, template space {} vs sketch space {} ==",
+            case.name,
+            opts.n_trials,
+            case.template.space.size(),
+            case.sketch.space.size()
+        );
+        let template = tune(&case.template, &opts, TunerKind::GbtRank);
+        let cold = tune(&case.sketch, &opts, TunerKind::Evolutionary);
+        // Warm run: the donor's journal (trials + signature) seeds the
+        // target's initial population.
+        let path = std::env::temp_dir().join(format!("tvm_rs_bench_sketch_{}.jsonl", case.name));
+        let _ = std::fs::remove_file(&path);
+        let mut j = tvm_autotune::Journal::create(&path).expect("journal");
+        tune_with(&case.donor, &opts, TunerKind::Evolutionary, None, Some(&mut j))
+            .expect("donor tunes");
+        let warm = tune_with(&case.sketch, &opts, TunerKind::Evolutionary, None, Some(&mut j))
+            .expect("warmed tunes");
+        drop(j);
+        let _ = std::fs::remove_file(&path);
+        let cold_reach = trials_to_reach(&cold, cold.best_ms).unwrap_or(opts.n_trials);
+        let warm_reach = trials_to_reach(&warm, cold.best_ms);
+        println!(
+            "  template best {:.4} ms | sketch best {:.4} ms (warm {:.4} ms); \
+             cold reached its best at trial {cold_reach}, warm matched it at {}",
+            template.best_ms,
+            cold.best_ms,
+            warm.best_ms,
+            warm_reach.map_or("never".into(), |t| t.to_string()),
+        );
+        if cold.best_ms > template.best_ms {
+            ok = false;
+            eprintln!(
+                "SKETCH PARITY FAILURE on {}: sketch {:.4} ms worse than template {:.4} ms \
+                 at {} trials",
+                case.name, cold.best_ms, template.best_ms, opts.n_trials
+            );
+        }
+        match warm_reach {
+            Some(t) if t <= cold_reach => {}
+            _ => {
+                ok = false;
+                eprintln!(
+                    "TRANSFER FAILURE on {}: warm start matched the cold best at {:?} trials \
+                     vs cold {cold_reach}",
+                    case.name, warm_reach
+                );
+            }
+        }
+        rows.push(Value::object([
+            ("workload", Value::Str(case.name.into())),
+            ("trials", Value::Int(opts.n_trials as i64)),
+            ("template_space", Value::Int(case.template.space.size() as i64)),
+            ("sketch_space", Value::Int(case.sketch.space.size() as i64)),
+            ("template_best_ms", Value::Float(template.best_ms)),
+            ("sketch_best_ms", Value::Float(cold.best_ms)),
+            ("sketch_warm_best_ms", Value::Float(warm.best_ms)),
+            ("cold_trials_to_best", Value::Int(cold_reach as i64)),
+            (
+                "warm_trials_to_cold_best",
+                warm_reach.map_or(Value::Null, |t| Value::Int(t as i64)),
+            ),
+            ("template_curve_ms", curve_json(&template)),
+            ("sketch_curve_ms", curve_json(&cold)),
+            ("sketch_warm_curve_ms", curve_json(&warm)),
+        ]));
+    }
+    let sketch_doc = Value::object([
+        ("quick", Value::Bool(quick)),
+        ("seed", Value::Int(opts.seed as i64)),
+        ("parity_ok", Value::Bool(ok)),
+        ("workloads", Value::Array(rows)),
+    ]);
+    // Merge under "sketch" so a prior throughput run's numbers survive.
+    std::fs::create_dir_all("results").expect("results dir");
+    let doc = match std::fs::read_to_string("results/BENCH_tuning.json")
+        .ok()
+        .and_then(|t| tvm_json::from_str(&t).ok())
+    {
+        Some(Value::Object(mut m)) => {
+            m.insert("sketch".into(), sketch_doc);
+            Value::Object(m)
+        }
+        _ => Value::object([
+            ("bench", Value::Str("tuning_throughput".into())),
+            ("sketch", sketch_doc),
+        ]),
+    };
+    std::fs::write(
+        "results/BENCH_tuning.json",
+        tvm_json::to_string(&doc) + "\n",
+    )
+    .expect("write results/BENCH_tuning.json");
+    println!("wrote results/BENCH_tuning.json sketch section (parity_ok = {ok})");
+    ok
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     if std::env::args().any(|a| a == "--robustness") {
         if !bench_robustness(quick) {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if std::env::args().any(|a| a == "--sketch") {
+        if !bench_sketch(quick) {
             std::process::exit(1);
         }
         return;
@@ -520,6 +697,7 @@ fn main() {
         sa_steps: if quick { 10 } else { 40 },
         sa_chains: if quick { 8 } else { 16 },
         seed: 42,
+        warm_start: Vec::new(),
     };
     let mut ok = true;
     let target = titanx();

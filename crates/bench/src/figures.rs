@@ -20,6 +20,7 @@ pub fn quick_tune_opts(n_trials: usize) -> TuneOptions {
         sa_steps: 10,
         sa_chains: 8,
         seed: 42,
+        warm_start: Vec::new(),
     }
 }
 

@@ -502,6 +502,14 @@ impl Service {
 
     /// Adaptive hedge threshold for a model, when hedging is armed and
     /// the latency window has enough samples.
+    ///
+    /// The window must clear the configured
+    /// [`HedgePolicy::min_samples`] (clamped to at least one sample, so
+    /// an empty window can never reach the quantile index arithmetic).
+    /// On a short window the quantile index rounds to the max sample
+    /// (q = 0.95 selects `v[len-1]` for any window under ~10), so the
+    /// default policy keeps `min_samples` at 12; a lower value is an
+    /// explicit operator opt-in to hedge off sparse evidence.
     fn hedge_threshold_ms(&self, model: Model) -> Option<f64> {
         if !self.cfg.hedge.enabled {
             return None;
@@ -513,7 +521,7 @@ impl Service {
         let mut v: Vec<f64> = h.iter().copied().collect();
         v.sort_by(f64::total_cmp);
         let q = self.cfg.hedge.quantile.clamp(0.0, 1.0);
-        let idx = ((v.len() - 1) as f64 * q).round() as usize;
+        let idx = (((v.len() - 1) as f64 * q).round() as usize).min(v.len() - 1);
         Some((v[idx] * self.cfg.hedge.factor).max(self.cfg.hedge.min_threshold_ms))
     }
 
@@ -1234,4 +1242,89 @@ pub fn row_digest(row: &[f32]) -> u32 {
         bytes.extend_from_slice(&v.to_le_bytes());
     }
     crc32(&bytes)
+}
+
+#[cfg(test)]
+mod hedge_guard_tests {
+    use super::*;
+
+    fn svc(hedge: HedgePolicy) -> Service {
+        Service::new(ServiceConfig {
+            hedge,
+            ..ServiceConfig::default()
+        })
+        .expect("service")
+    }
+
+    fn aggressive() -> HedgePolicy {
+        // A config that asks for hedging with no sample floor at all;
+        // the guard clamps it to one sample so an empty window never
+        // reaches the quantile index arithmetic.
+        HedgePolicy {
+            enabled: true,
+            min_samples: 0,
+            quantile: 0.95,
+            factor: 1.0,
+            min_threshold_ms: 0.0,
+        }
+    }
+
+    #[test]
+    fn empty_window_never_arms_the_hedge() {
+        let s = svc(aggressive());
+        // No latency recorded at all: must be a clean no-hedge, not an
+        // index underflow.
+        assert_eq!(s.hedge_threshold_ms(Model::Mlp), None);
+    }
+
+    #[test]
+    fn default_min_samples_guards_short_windows() {
+        let mut s = svc(HedgePolicy {
+            enabled: true,
+            ..HedgePolicy::default()
+        });
+        // One straggler dominates a tiny window; without the default
+        // min_samples guard the 0.95-quantile index rounds straight to
+        // it and hedging arms off a single sample.
+        s.record_latency(Model::Mlp, 500.0);
+        for _ in 0..(s.cfg.hedge.min_samples - 2) {
+            s.record_latency(Model::Mlp, 1.0);
+        }
+        assert_eq!(
+            s.hedge_threshold_ms(Model::Mlp),
+            None,
+            "hedge armed below the configured minimum window"
+        );
+        // One more sample clears the floor; the threshold becomes real.
+        s.record_latency(Model::Mlp, 1.0);
+        let thr = s.hedge_threshold_ms(Model::Mlp).expect("window full");
+        assert!(thr.is_finite() && thr > 0.0);
+    }
+
+    #[test]
+    fn explicit_low_min_samples_is_honored() {
+        // An operator who sets min_samples: 1 has opted into hedging
+        // off sparse evidence (the divergence-refusal suite relies on
+        // this); the guard must not silently override it.
+        let mut s = svc(HedgePolicy {
+            min_samples: 1,
+            ..aggressive()
+        });
+        s.record_latency(Model::Mlp, 1.0);
+        assert!(s.hedge_threshold_ms(Model::Mlp).is_some());
+    }
+
+    #[test]
+    fn configured_min_samples_still_respected_above_floor() {
+        let mut s = svc(HedgePolicy {
+            min_samples: 20,
+            ..aggressive()
+        });
+        for _ in 0..19 {
+            s.record_latency(Model::Mlp, 1.0);
+        }
+        assert_eq!(s.hedge_threshold_ms(Model::Mlp), None);
+        s.record_latency(Model::Mlp, 1.0);
+        assert!(s.hedge_threshold_ms(Model::Mlp).is_some());
+    }
 }

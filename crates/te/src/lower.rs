@@ -20,7 +20,7 @@
 //!    virtual threads are lowered to an interleaved instruction stream with
 //!    explicit DAE tokens (§4.4), and the result is simplified.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -173,26 +173,43 @@ fn lock_timed<'m, T>(m: &'m Mutex<T>, name: &str) -> MutexGuard<'m, T> {
 /// cached bound inference and dataflow analysis. Misses build outside the
 /// lock — concurrent duplicate builds are harmless (first insert wins).
 pub struct PlanCache<T> {
-    map: Mutex<HashMap<u64, Arc<T>>>,
+    inner: Mutex<PlanMap<T>>,
     cap: usize,
+}
+
+/// One cached plan plus its second-chance reference bit.
+struct PlanEntry<T> {
+    value: Arc<T>,
+    referenced: bool,
+}
+
+/// The guarded state: the key→plan map and the clock-hand FIFO the
+/// second-chance evictor sweeps.
+struct PlanMap<T> {
+    map: HashMap<u64, PlanEntry<T>>,
+    queue: VecDeque<u64>,
 }
 
 impl<T> Default for PlanCache<T> {
     fn default() -> Self {
         // Sized above the largest template search space's structural-key
-        // count (conv2d ≈ 1.5k): an undersized cache thrashes through the
-        // clear-at-capacity eviction and re-plans every schedule.
+        // count (conv2d ≈ 1.5k); an undersized cache degrades gracefully
+        // through second-chance eviction instead of thrashing.
         PlanCache::new(8192)
     }
 }
 
 impl<T> PlanCache<T> {
-    /// Creates a cache holding at most `cap` entries; at capacity the map
-    /// is cleared (cheap, deterministic-output-safe: a cleared entry is
-    /// simply rebuilt).
+    /// Creates a cache holding at most `cap` entries. At capacity one
+    /// victim is evicted by second-chance (clock) selection: entries hit
+    /// since their last sweep are spared, so a working set one entry over
+    /// capacity keeps its hot members instead of losing the whole cache.
     pub fn new(cap: usize) -> Self {
         PlanCache {
-            map: Mutex::new(HashMap::new()),
+            inner: Mutex::new(PlanMap {
+                map: HashMap::new(),
+                queue: VecDeque::new(),
+            }),
             cap: cap.max(1),
         }
     }
@@ -204,22 +221,61 @@ impl<T> PlanCache<T> {
         key: u64,
         build: impl FnOnce() -> Result<T, E>,
     ) -> Result<Arc<T>, E> {
-        if let Some(hit) = lock_timed(&self.map, "plan_cache").get(&key).cloned() {
-            PLAN_HITS.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit);
+        {
+            let mut inner = lock_timed(&self.inner, "plan_cache");
+            if let Some(entry) = inner.map.get_mut(&key) {
+                PLAN_HITS.fetch_add(1, Ordering::Relaxed);
+                entry.referenced = true;
+                return Ok(Arc::clone(&entry.value));
+            }
         }
         PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(build()?);
-        let mut map = lock_timed(&self.map, "plan_cache");
-        if map.len() >= self.cap {
-            map.clear();
+        let mut inner = lock_timed(&self.inner, "plan_cache");
+        // A racing duplicate build may have inserted while we were
+        // building; first insert wins (and counts as a reference).
+        if let Some(entry) = inner.map.get_mut(&key) {
+            entry.referenced = true;
+            return Ok(Arc::clone(&entry.value));
         }
-        Ok(Arc::clone(map.entry(key).or_insert(built)))
+        while inner.map.len() >= self.cap {
+            // Second chance: rotate referenced entries to the back with
+            // their bit cleared; evict the first unreferenced one. The
+            // sweep terminates because each rotation clears a bit.
+            match inner.queue.pop_front() {
+                Some(victim) => {
+                    let spare = match inner.map.get_mut(&victim) {
+                        Some(entry) if entry.referenced => {
+                            entry.referenced = false;
+                            true
+                        }
+                        Some(_) => false,
+                        // Stale queue slot (key already evicted): drop it.
+                        None => continue,
+                    };
+                    if spare {
+                        inner.queue.push_back(victim);
+                    } else {
+                        inner.map.remove(&victim);
+                    }
+                }
+                None => break,
+            }
+        }
+        inner.map.insert(
+            key,
+            PlanEntry {
+                value: Arc::clone(&built),
+                referenced: false,
+            },
+        );
+        inner.queue.push_back(key);
+        Ok(built)
     }
 
     /// Number of currently cached plans.
     pub fn len(&self) -> usize {
-        lock_timed(&self.map, "plan_cache").len()
+        lock_timed(&self.inner, "plan_cache").map.len()
     }
 
     /// True when no plans are cached.

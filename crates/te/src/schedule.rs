@@ -416,6 +416,31 @@ impl Schedule {
         Ok((yo, xo, yi, xi))
     }
 
+    /// Splits a leaf itervar into `factors.len() + 1` nested levels —
+    /// the multi-level tiling step sketch derivations are built from.
+    /// `factors` are the extents of the inner levels, innermost last;
+    /// the returned itervars are ordered outermost first. For an axis of
+    /// extent `E` and factors `[f1, f2]` the levels have extents
+    /// `[E / (f1*f2), f1, f2]` (non-perfect splits are guarded like any
+    /// other [`split`](Schedule::split)).
+    pub fn split_levels(
+        &mut self,
+        t: &Tensor,
+        iv: &IterVar,
+        factors: &[i64],
+    ) -> Result<Vec<IterVar>, ScheduleError> {
+        let mut levels = Vec::with_capacity(factors.len() + 1);
+        let mut rest = iv.clone();
+        for j in 0..factors.len() {
+            let prod: i64 = factors[j..].iter().product();
+            let (outer, inner) = self.split(t, &rest, prod)?;
+            levels.push(outer);
+            rest = inner;
+        }
+        levels.push(rest);
+        Ok(levels)
+    }
+
     /// Fuses two adjacent leaf itervars into one.
     pub fn fuse(
         &mut self,
@@ -746,6 +771,23 @@ mod tests {
         assert_eq!(leaves.len(), 4);
         assert_eq!(leaves[0].var, yo.var);
         assert_eq!(leaves[1].var, yi.var);
+    }
+
+    #[test]
+    fn split_levels_nests_outermost_first() {
+        let (a, b, c) = matmul(64);
+        let mut s = create_schedule(std::slice::from_ref(&c));
+        let axes = c.op.axes();
+        let levels = s.split_levels(&c, &axes[0], &[8, 2]).unwrap();
+        assert_eq!(levels.len(), 3);
+        let leaves = &s.stage(&c).unwrap().leaf_iters;
+        // Leaves: [y.o, y.i.o, y.i.i, x, k], outermost level first.
+        assert_eq!(leaves[0].var, levels[0].var);
+        assert_eq!(leaves[1].var, levels[1].var);
+        assert_eq!(leaves[2].var, levels[2].var);
+        // The derived loop nest still lowers (extents 4 * 8 * 2 = 64).
+        let f = crate::lower(&s, &[a, b, c], "ml_split").expect("lowers");
+        assert!(format!("{f:?}").len() > 0);
     }
 
     #[test]

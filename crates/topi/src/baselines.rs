@@ -102,6 +102,7 @@ pub fn expert_ms(task: &tvm_autotune::TuningTask) -> f64 {
         sa_steps: 8,
         sa_chains: 8,
         seed: 7,
+        warm_start: Vec::new(),
     };
     let best = tune(task, &opts, TunerKind::GbtRank).best_ms;
     EXPERT_CACHE.with(|c| c.borrow_mut().insert(task.name.clone(), best));

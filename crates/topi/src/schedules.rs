@@ -579,6 +579,40 @@ pub fn dense_task(w: DenseWorkload, target: Target) -> TuningTask {
     }
 }
 
+/// Builds a dense tuning task whose space and schedule derivations come
+/// from [`tvm_autotune::sketch_task`] instead of the hand-written
+/// template above — same workload, same measurement path, different
+/// search space. Errors with [`tvm_autotune::TuneError::NotSketchable`]
+/// when the DAG falls outside the sketch generator's coverage.
+pub fn dense_sketch_task(
+    w: DenseWorkload,
+    target: Target,
+) -> Result<TuningTask, tvm_autotune::TuneError> {
+    let (d, wt, out) = dense(&w);
+    tvm_autotune::sketch_task(
+        format!("sketch_dense_{}x{}x{}@{}", w.m, w.n, w.k, target.name()),
+        std::slice::from_ref(&out),
+        &[d, wt, out.clone()],
+        target,
+    )
+}
+
+/// Sketch-derived counterpart of [`conv2d_task`]; see
+/// [`dense_sketch_task`].
+pub fn conv2d_sketch_task(
+    w: Conv2dWorkload,
+    dtype: tvm_ir::DType,
+    target: Target,
+) -> Result<TuningTask, tvm_autotune::TuneError> {
+    let op = conv2d(&w, dtype);
+    tvm_autotune::sketch_task(
+        format!("sketch_{}@{}", w.describe(), target.name()),
+        std::slice::from_ref(&op.out),
+        &[op.data.clone(), op.weight.clone(), op.out.clone()],
+        target,
+    )
+}
+
 /// A reasonable untuned default config (median tiles, all annotations on):
 /// what "TVM without tuning" or a quick fallback would use.
 pub fn default_config(space: &ConfigSpace) -> ConfigEntity {
